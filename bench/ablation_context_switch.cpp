@@ -1,0 +1,94 @@
+// Ablation A1 (paper §5/§8): the cost of user-space context switching.
+//
+// The paper notes HPX's context switches go through Boost.Context on
+// RISC-V, and lists "one-cycle context switches" among the ISA extensions
+// that would benefit AMTs. This microbenchmark measures, on the host:
+//   - a fiber suspend/resume round trip (the ucontext path),
+//   - task post + execution through the full scheduler,
+//   - an OS-thread create/join for contrast,
+//   - hardware vs software timer reads (the RDTIME porting story).
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "minihpx/chrono/clocks.hpp"
+#include "minihpx/fiber/fiber.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/latch.hpp"
+
+namespace {
+
+void BM_FiberSuspendResume(benchmark::State& state) {
+  // One fiber that yields back and forth with the driver: each iteration is
+  // a full switch-out + switch-in pair.
+  mhpx::fiber::Fiber* self = nullptr;
+  bool stop = false;
+  mhpx::fiber::Fiber fib(
+      [&] {
+        while (!stop) {
+          self->set_state(mhpx::fiber::FiberState::ready);
+          self->suspend_to_owner();
+        }
+      },
+      mhpx::fiber::Stack(64 * 1024));
+  self = &fib;
+  for (auto _ : state) {
+    fib.resume();
+  }
+  stop = true;
+  fib.resume();  // let the entry return
+  state.SetLabel("ucontext swap pair (Boost.Context analogue)");
+}
+BENCHMARK(BM_FiberSuspendResume);
+
+void BM_FiberCreateRun(benchmark::State& state) {
+  mhpx::fiber::StackPool pool(64 * 1024, 8);
+  for (auto _ : state) {
+    mhpx::fiber::Fiber fib([] {}, pool.acquire());
+    fib.resume();
+    pool.release(fib.take_stack());
+  }
+  state.SetLabel("fiber create + run + recycle stack");
+}
+BENCHMARK(BM_FiberCreateRun);
+
+void BM_SchedulerPostAndRun(benchmark::State& state) {
+  mhpx::threads::Scheduler sched({1, 64 * 1024});
+  for (auto _ : state) {
+    mhpx::sync::latch done(1);
+    sched.post([&] { done.count_down(); });
+    done.wait();
+  }
+  state.SetLabel("task spawn through the work-stealing scheduler");
+}
+BENCHMARK(BM_SchedulerPostAndRun);
+
+void BM_OsThreadCreateJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    std::thread t([] {});
+    t.join();
+  }
+  state.SetLabel("OS thread create+join (what tasks avoid)");
+}
+BENCHMARK(BM_OsThreadCreateJoin);
+
+void BM_HardwareTimerRead(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mhpx::chrono::hardware_clock::now_ticks());
+  }
+  state.SetLabel("RDTSC/RDTIME-class read");
+}
+BENCHMARK(BM_HardwareTimerRead);
+
+void BM_SoftwareTimerRead(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mhpx::chrono::software_clock::now_ticks());
+  }
+  state.SetLabel("ISO C++ steady_clock read (HPX software path)");
+}
+BENCHMARK(BM_SoftwareTimerRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Ablation A3 (paper §3.2/§6.2.1): Kokkos Serial vs HPX execution space.
+//
+// The paper's reasoning: with one kernel per sub-grid, concurrent Serial
+// kernels already use all cores; the HPX space (splitting each kernel into
+// tasks) only pays off when there are too few concurrent kernels to fill
+// the machine. This microbenchmark runs the same total work as
+//   (a) many concurrent Serial kernels,
+//   (b) many concurrent HPX-space kernels (extra task overhead),
+//   (c) one big Serial kernel (single core),
+//   (d) one big HPX-space kernel (intra-kernel parallelism).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+#include "minikokkos/minikokkos.hpp"
+
+namespace {
+
+constexpr std::size_t kCellsPerKernel = 4096;
+constexpr int kKernels = 32;
+
+double cell_work(std::size_t i) {
+  return std::sqrt(static_cast<double>(i) + 1.5) * 1.0000001;
+}
+
+template <typename Space>
+void one_kernel(Space space, std::vector<double>& out, std::size_t n) {
+  mkk::parallel_for(mkk::RangePolicy<Space>(space, 0, n),
+                    [&](std::size_t i) { out[i] = cell_work(i); });
+}
+
+void BM_ManyConcurrentSerialKernels(benchmark::State& state) {
+  mhpx::Runtime rt{{4, 128 * 1024}};
+  std::vector<std::vector<double>> outs(
+      kKernels, std::vector<double>(kCellsPerKernel));
+  for (auto _ : state) {
+    std::vector<mhpx::future<void>> futs;
+    futs.reserve(kKernels);
+    for (int k = 0; k < kKernels; ++k) {
+      futs.push_back(mkk::async_parallel_for(
+          mkk::RangePolicy<mkk::Serial>(0, kCellsPerKernel),
+          [&outs, k](std::size_t i) { outs[k][i] = cell_work(i); }));
+    }
+    for (auto& f : futs) {
+      f.get();
+    }
+  }
+  state.SetLabel("one task per kernel; cores fill via concurrency");
+}
+BENCHMARK(BM_ManyConcurrentSerialKernels)->UseRealTime();
+
+void BM_ManyConcurrentHpxKernels(benchmark::State& state) {
+  mhpx::Runtime rt{{4, 128 * 1024}};
+  std::vector<std::vector<double>> outs(
+      kKernels, std::vector<double>(kCellsPerKernel));
+  for (auto _ : state) {
+    std::vector<mhpx::future<void>> futs;
+    futs.reserve(kKernels);
+    for (int k = 0; k < kKernels; ++k) {
+      futs.push_back(mkk::async_parallel_for(
+          mkk::RangePolicy<mkk::Hpx>(mkk::Hpx{4}, 0, kCellsPerKernel),
+          [&outs, k](std::size_t i) { outs[k][i] = cell_work(i); }));
+    }
+    for (auto& f : futs) {
+      f.get();
+    }
+  }
+  state.SetLabel("each kernel split into HPX tasks (extra overhead)");
+}
+BENCHMARK(BM_ManyConcurrentHpxKernels)->UseRealTime();
+
+void BM_OneBigSerialKernel(benchmark::State& state) {
+  mhpx::Runtime rt{{4, 128 * 1024}};
+  std::vector<double> out(kCellsPerKernel * kKernels);
+  for (auto _ : state) {
+    one_kernel(mkk::Serial{}, out, out.size());
+  }
+  state.SetLabel("single kernel, single core (no concurrency to exploit)");
+}
+BENCHMARK(BM_OneBigSerialKernel)->UseRealTime();
+
+void BM_OneBigHpxKernel(benchmark::State& state) {
+  mhpx::Runtime rt{{4, 128 * 1024}};
+  std::vector<double> out(kCellsPerKernel * kKernels);
+  for (auto _ : state) {
+    one_kernel(mkk::Hpx{16}, out, out.size());
+  }
+  state.SetLabel("single kernel split across workers (HPX space pays off)");
+}
+BENCHMARK(BM_OneBigHpxKernel)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Ablation A2 (paper §8): software vs hardware exponentiation.
+//
+// "Exponentiation in RISC-V is performed in software ... Adding hardware
+// support for exponents can reduce the number of floating point operations
+// from approximately ceil((2*e)+3) down to 4."
+// This binary shows the FLOP-count model, the measured host cost of
+// std::pow relative to a multiply, and the projected effect of a hardware
+// exponent unit on the Maclaurin benchmark for each architecture.
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "core/arch/cpu_model.hpp"
+#include "core/perf/flops.hpp"
+#include "core/report/table.hpp"
+
+namespace {
+
+/// Average ns per call of f over n iterations (keeps a live dependency).
+template <typename F>
+double measure_ns(F&& f, int n) {
+  volatile double sink = 1.0000001;
+  double x = static_cast<double>(sink);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    x = f(x);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  sink = x;
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / n;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "### Ablation A2: software vs hardware exponentiation\n\n";
+
+  rveval::report::Table model("FLOP model per Maclaurin term");
+  model.headers({"path", "pow flops", "term flops", "total (n=1e9)"});
+  model.row({"software pow (measured libm)",
+             rveval::report::Table::num(rveval::perf::software_pow_flops, 0),
+             rveval::report::Table::num(rveval::perf::term_flops_software, 0),
+             rveval::report::Table::num(
+                 rveval::perf::maclaurin_flops(1'000'000'000ull), 0)});
+  model.row({"hardware exponent unit (paper: 4)",
+             rveval::report::Table::num(rveval::perf::hardware_pow_flops, 0),
+             rveval::report::Table::num(rveval::perf::term_flops_hardware, 0),
+             rveval::report::Table::num(
+                 rveval::perf::maclaurin_flops_hardware_exp(1'000'000'000ull),
+                 0)});
+  model.print(std::cout);
+
+  // Host measurement: pow vs multiply cost ratio.
+  const int n = 2'000'000;
+  const double pow_ns =
+      measure_ns([](double x) { return std::pow(x, 1.0000001); }, n);
+  const double mul_ns =
+      measure_ns([](double x) { return x * 1.0000000001; }, n);
+  rveval::report::Table host("host measurement (this machine)");
+  host.headers({"operation", "ns/op", "ratio vs multiply"});
+  host.row({"std::pow", rveval::report::Table::num(pow_ns, 2),
+            rveval::report::Table::num(pow_ns / mul_ns, 1)});
+  host.row({"multiply", rveval::report::Table::num(mul_ns, 2), "1.0"});
+  host.print(std::cout);
+
+  // Projection: a hardware exponent unit shrinks per-term work by the flop
+  // ratio; the benchmark run time scales with it on every architecture.
+  rveval::report::Table proj(
+      "projected Maclaurin speed-up with a hardware exponent unit");
+  proj.headers({"CPU", "speed-up"});
+  const double ratio = rveval::perf::term_flops_software /
+                       rveval::perf::term_flops_hardware;
+  for (const auto& cpu : rveval::arch::table2_cpus()) {
+    proj.row({cpu.name, rveval::report::Table::num(ratio, 1) + "x"});
+  }
+  proj.print(std::cout);
+
+  std::cout << "paper form ceil(2e)+3 at e = Euler's number: "
+            << rveval::perf::softexp_flops_estimate(2.718281828) << " flops\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared helpers for the figure/table reproduction binaries: run the real
+/// workload under a trace collector, then price the trace on the modelled
+/// architectures (DESIGN.md §1 explains why pricing replaces wall clocks:
+/// the build host has neither RISC-V/A64FX silicon nor multiple cores).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/rveval.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace bench_common {
+
+/// Execute \p workload under a fresh minihpx runtime and trace collector;
+/// returns the captured phases.
+template <typename Workload>
+std::vector<rveval::sim::Phase> capture_trace(unsigned threads,
+                                              Workload&& workload) {
+  rveval::sim::TraceCollector trace;
+  {
+    mhpx::Runtime rt{{threads, 256 * 1024}};
+    trace.map_scheduler(&rt.scheduler(), 0);
+    workload(trace);
+    rt.scheduler().wait_idle();
+  }
+  return trace.finish();
+}
+
+/// GFLOP/s of an analytic FLOP total over a simulated duration.
+inline double gflops(double flops, double seconds) {
+  return flops / seconds / 1e9;
+}
+
+/// Print the standard bench banner so every binary's output is
+/// self-describing in bench_output.txt.
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "### " << id << ": " << what << "\n"
+            << "### (real code executed on the build host; rates priced on "
+               "the paper's Table-2 architecture models — see DESIGN.md)\n\n";
+}
+
+}  // namespace bench_common

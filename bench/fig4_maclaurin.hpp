@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file fig4_maclaurin.hpp
+/// Shared machinery for Figs. 4a/4b/5/6a/6b: run one Maclaurin-benchmark
+/// variant on the host, capture its task trace, and price it per
+/// architecture and core count — reproducing the paper's node-level
+/// scaling series.
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/rveval.hpp"
+
+namespace fig4 {
+
+using Runner =
+    rveval::bench::MaclaurinResult (*)(const rveval::bench::MaclaurinConfig&);
+
+struct Series {
+  std::string cpu;
+  std::vector<unsigned> cores;
+  std::vector<double> gflops;  ///< measured-rate series (Fig. 4 y-axis)
+  std::vector<double> normalized;  ///< Eq. 3 series (Fig. 6 y-axis)
+};
+
+/// Execute the variant once (real code, host), then price the trace on
+/// every Table-2 CPU for 1..min(10, cores) cores — the paper's "capped at
+/// ten cores" sweep. The executed term count is host-sized; rates are
+/// per-term and carry over to the paper's n = 1e9 runs (constant work per
+/// term).
+inline std::vector<Series> run_and_price(Runner runner,
+                                         std::uint64_t executed_terms) {
+  rveval::bench::MaclaurinConfig cfg;
+  cfg.terms = executed_terms;
+  cfg.tasks = 40;  // 4 tasks per core at the 10-core cap
+
+  double sum = 0.0;
+  const auto phases = bench_common::capture_trace(4, [&](auto& trace) {
+    trace.begin_phase("maclaurin");
+    sum = runner(cfg).sum;
+  });
+  const double err = std::abs(sum - rveval::bench::reference(cfg.x));
+  if (err > 1e-10) {
+    std::cerr << "WARNING: series sum off by " << err << "\n";
+  }
+
+  const double executed_flops =
+      rveval::perf::maclaurin_flops(executed_terms);
+  std::vector<Series> out;
+  for (const auto& cpu : rveval::arch::table2_cpus()) {
+    Series s;
+    s.cpu = cpu.name;
+    rveval::sim::CoreSimulator sim(cpu);
+    const unsigned max_cores = std::min(10u, cpu.cores);
+    for (unsigned c = 1; c <= max_cores; ++c) {
+      rveval::sim::SimOptions opt;
+      opt.cores = c;
+      const double seconds = sim.total_seconds(phases, opt);
+      s.cores.push_back(c);
+      s.gflops.push_back(bench_common::gflops(executed_flops, seconds));
+      s.normalized.push_back(rveval::perf::normalized_performance(
+          executed_flops / seconds, cpu.peak_gflops(c)));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Print the series as the figure's data table.
+inline void print_series(const std::string& title,
+                         const std::vector<Series>& series,
+                         bool normalized) {
+  rveval::report::Table t(title);
+  t.headers({"CPU", "cores", normalized ? "Perf_norm [-]" : "GFLOP/s"});
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.cores.size(); ++i) {
+      t.row({s.cpu, std::to_string(s.cores[i]),
+             normalized ? rveval::report::Table::sci(s.normalized[i], 3)
+                        : rveval::report::Table::num(s.gflops[i], 3)});
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace fig4

@@ -1,0 +1,22 @@
+// Fig. 4b reproduction: FLOP/s of the Maclaurin series implemented with the
+// parallel algorithm (hpx::for_each with the par execution policy),
+// node-level scaling on all four Table-2 architectures.
+
+#include <iostream>
+
+#include "bench/fig4_maclaurin.hpp"
+
+int main() {
+  bench_common::banner(
+      "Fig 4b", "Maclaurin series via parallel algorithm (for_each, par)");
+  const auto series =
+      fig4::run_and_price(&rveval::bench::run_parallel_algorithm, 4'000'000);
+  fig4::print_series("Fig 4b: parallel algorithm (hpx::for_each, par)",
+                     series, /*normalized=*/false);
+
+  const auto& amd = series[1];
+  const auto& intel = series[2];
+  std::cout << "shape check: AMD highest, Intel second at 4 cores: "
+            << (amd.gflops[3] > intel.gflops[3] ? "yes" : "NO") << "\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 5 reproduction: senders & receivers vs future + coroutine on RISC-V.
+//
+// The paper could only run these two C++20-based implementations on the
+// RISC-V board (the Intel/AMD systems lacked a C++20 compiler), so Fig. 5
+// shows the U74-MC alone, 1..4 cores. The paper found the S&R variant
+// slightly faster than the coroutine variant.
+
+#include <iostream>
+
+#include "bench/fig4_maclaurin.hpp"
+
+int main() {
+  bench_common::banner("Fig 5",
+                       "senders&receivers vs future+coroutine on RISC-V");
+
+  const auto sr =
+      fig4::run_and_price(&rveval::bench::run_sender_receiver, 4'000'000);
+  const auto coro =
+      fig4::run_and_price(&rveval::bench::run_coroutine, 4'000'000);
+  // Table-2 order: index 3 = RISC-V U74-MC.
+  const auto& sr_rv = sr[3];
+  const auto& coro_rv = coro[3];
+
+  rveval::report::Table t("Fig 5: RISC-V U74-MC, GFLOP/s vs cores");
+  t.headers({"cores", "senders&receivers", "future+coroutine"});
+  for (std::size_t i = 0; i < sr_rv.cores.size(); ++i) {
+    t.row({std::to_string(sr_rv.cores[i]),
+           rveval::report::Table::num(sr_rv.gflops[i], 4),
+           rveval::report::Table::num(coro_rv.gflops[i], 4)});
+  }
+  t.print(std::cout);
+
+  std::cout << "shape check: S&R >= coroutine at 4 cores: "
+            << (sr_rv.gflops[3] >= coro_rv.gflops[3] * 0.98 ? "yes" : "NO")
+            << "  (paper: S&R slightly better)\n";
+  return 0;
+}

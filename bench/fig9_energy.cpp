@@ -1,0 +1,120 @@
+// Fig. 9 / §7 reproduction: power and energy of the rotating-star run on
+// the RISC-V boards (wall power meter) vs Fugaku's A64FX (PowerAPI), for
+// one and two nodes.
+//
+// Paper readings: 3.19 W under `stress --cpu 4`, 3.22 W under Octo-Tiger;
+// RISC-V draws less power but uses *more energy* because the runs are ~7x
+// longer. Both instruments are modelled (core/power), and the run times
+// come from the same priced traces as Fig. 8.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/power/energy.hpp"
+#include "octotiger/distributed/dist_driver.hpp"
+#include "octotiger/driver.hpp"
+
+namespace {
+
+namespace md = mhpx::dist;
+
+std::vector<rveval::sim::Phase> run_single(const octo::Options& base) {
+  return bench_common::capture_trace(base.threads, [&](auto& trace) {
+    octo::Simulation sim(base);
+    sim.set_phase_marker(
+        [&trace](const std::string& p) { trace.begin_phase(p); });
+    sim.run();
+  });
+}
+
+std::vector<rveval::sim::Phase> run_two(const octo::Options& base) {
+  rveval::sim::TraceCollector trace;
+  {
+    octo::Options opt = base;
+    opt.localities = 2;
+    octo::dist::DistSimulation sim(opt, md::FabricKind::tcp);
+    trace.map_scheduler(&sim.runtime().locality(0).scheduler(), 0);
+    trace.map_scheduler(&sim.runtime().locality(1).scheduler(), 1);
+    sim.run();
+    sim.runtime().wait_all_idle();
+  }
+  return trace.finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_common::banner("Fig 9", "energy consumption, RISC-V vs A64FX");
+
+  octo::Options base;
+  base.max_level = 3;
+  base.stop_step = 5;
+  base.threads = 4;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  base.parse_cli(args);
+
+  const auto board = rveval::power::visionfive2_board();
+  const auto chip = rveval::power::a64fx_powerapi();
+
+  // §7 instrument check: the modelled wall-meter readings.
+  rveval::report::Table pw("power draw (instrument models vs paper readings)");
+  pw.headers({"load", "model [W]", "paper [W]"});
+  pw.row({"VisionFive2, stress --cpu 4",
+          rveval::report::Table::num(board.watts(4, false), 2), "3.19"});
+  pw.row({"VisionFive2, Octo-Tiger 4 cores",
+          rveval::report::Table::num(board.watts(4, true), 2), "3.22"});
+  pw.row({"A64FX 4-core slice (PowerAPI)",
+          rveval::report::Table::num(chip.watts(4), 2), "(chip-isolated)"});
+  pw.print(std::cout);
+
+  // Run times from the priced traces (same machinery as Fig. 8).
+  const auto single = run_single(base);
+  const auto two = run_two(base);
+
+  const auto rv = rveval::arch::jh7110();
+  const auto fx = rveval::arch::a64fx();
+  rveval::sim::SimOptions rv_opt;
+  rv_opt.cores = 4;
+  rv_opt.simd_speedup = rv.simd_kernel_speedup;
+  rveval::sim::SimOptions fx_opt;
+  fx_opt.cores = 4;
+  fx_opt.simd_speedup = fx.simd_kernel_speedup;  // SVE on the kernels
+
+  const double t_rv1 =
+      rveval::sim::CoreSimulator(rv).total_seconds(single, rv_opt);
+  const double t_rv2 = rveval::sim::CoreSimulator(rv).total_seconds_distributed(
+      two, 2, rveval::arch::gbe_tcp(), rv_opt);
+  const double t_fx1 =
+      rveval::sim::CoreSimulator(fx).total_seconds(single, fx_opt);
+  const double t_fx2 = rveval::sim::CoreSimulator(fx).total_seconds_distributed(
+      two, 2, rveval::arch::tofu_d(), fx_opt);
+
+  rveval::report::Table t("Fig 9: energy for the 5-step rotating-star run");
+  t.headers({"system", "nodes", "power [W]", "time [s]", "energy [J]"});
+  auto add = [&](const std::string& name, unsigned nodes, double watts,
+                 double seconds) {
+    rveval::power::PowerMeter meter;
+    meter.record(watts * nodes, seconds);
+    t.row({name, std::to_string(nodes),
+           rveval::report::Table::num(watts * nodes, 2),
+           rveval::report::Table::num(seconds, 2),
+           rveval::report::Table::num(meter.energy_joules(), 1)});
+    return meter.energy_joules();
+  };
+  const double e_rv1 = add("VisionFive2 (wall meter)", 1,
+                           board.watts(4, true), t_rv1);
+  add("VisionFive2 (wall meter)", 2, board.watts(4, true), t_rv2);
+  const double e_fx1 = add("A64FX (PowerAPI)", 1, chip.watts(4), t_fx1);
+  add("A64FX (PowerAPI)", 2, chip.watts(4), t_fx2);
+  t.print(std::cout);
+
+  std::cout << "shape checks (paper: RISC-V lower power, higher energy):\n"
+            << "  RISC-V power < A64FX power: "
+            << (board.watts(4, true) < chip.watts(4) ? "yes" : "NO") << "\n"
+            << "  RISC-V energy > A64FX energy (1 node): "
+            << (e_rv1 > e_fx1 ? "yes" : "NO") << " (" << e_rv1 / e_fx1
+            << "x)\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Future-work reproduction (paper §8): "memory system benchmarks (GUPS,
+// STREAM, STREAM-Triad, and LINPACK) to grade the relative performance of
+// RISC-V, development board hardware, and HPC-grade devices."
+//
+// All three benchmark families run for real on the host (validated in the
+// test suite) and are priced on every modelled CPU — including the SG2042
+// (Milk-V Pioneer) the paper anticipates.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/bench/memory_benchmarks.hpp"
+#include "minihpx/futures/future.hpp"
+
+namespace {
+
+using rveval::report::Table;
+
+std::vector<rveval::arch::CpuModel> graded_cpus() {
+  auto cpus = rveval::arch::table2_cpus();
+  cpus.push_back(rveval::arch::jh7110());
+  cpus.push_back(rveval::arch::sg2042());
+  return cpus;
+}
+
+}  // namespace
+
+int main() {
+  bench_common::banner(
+      "Future work (§8)",
+      "STREAM / GUPS / LINPACK grading of dev boards vs HPC devices");
+
+  // ---- STREAM --------------------------------------------------------
+  constexpr std::size_t n = 2'000'000;
+  const auto stream_phases = bench_common::capture_trace(4, [&](auto& trace) {
+    rveval::bench::StreamArrays arrays(n);
+    trace.begin_phase("copy");
+    rveval::bench::stream_copy(arrays);
+    trace.begin_phase("scale");
+    rveval::bench::stream_scale(arrays, 3.0);
+    trace.begin_phase("add");
+    rveval::bench::stream_add(arrays);
+    trace.begin_phase("triad");
+    rveval::bench::stream_triad(arrays, 3.0);
+  });
+
+  Table stream("STREAM at full core count (GB/s)");
+  stream.headers({"CPU", "cores", "copy", "triad",
+                  "model bw [GiB/s]"});
+  for (const auto& cpu : graded_cpus()) {
+    rveval::sim::CoreSimulator sim(cpu);
+    rveval::sim::SimOptions opt;
+    opt.cores = cpu.cores;
+    opt.charge_spawn_overhead = false;
+    double rates[4] = {0, 0, 0, 0};
+    for (std::size_t k = 0; k < stream_phases.size() && k < 4; ++k) {
+      const double secs = sim.simulate(stream_phases[k], opt).total_seconds;
+      const double bytes = stream_phases[k].total_task_bytes();
+      rates[k] = bytes / secs / 1e9;
+    }
+    stream.row({cpu.name, std::to_string(cpu.cores),
+                Table::num(rates[0], 1), Table::num(rates[3], 1),
+                Table::num(cpu.mem_bw_gib, 1)});
+  }
+  stream.print(std::cout);
+
+  // ---- GUPS ----------------------------------------------------------
+  constexpr std::size_t updates = 1'000'000;
+  const auto gups_phases = bench_common::capture_trace(2, [&](auto& trace) {
+    trace.begin_phase("gups");
+    // Run as a task so the kernel's annotation lands in the trace.
+    const auto checksum =
+        mhpx::async([&] { return rveval::bench::gups_kernel(20, updates); })
+            .get();
+    if (checksum == 0) {
+      std::cerr << "suspicious zero GUPS checksum\n";
+    }
+  });
+  Table gups("GUPS (giga-updates per second, random-access grading)");
+  gups.headers({"CPU", "GUPS"});
+  for (const auto& cpu : graded_cpus()) {
+    rveval::sim::CoreSimulator sim(cpu);
+    rveval::sim::SimOptions opt;
+    opt.cores = 1;  // the HPCC update stream is one dependent chain
+    opt.charge_spawn_overhead = false;
+    const double secs = sim.total_seconds(gups_phases, opt);
+    gups.row({cpu.name,
+              Table::sci(static_cast<double>(updates) / secs / 1e9, 2)});
+  }
+  gups.print(std::cout);
+
+  // ---- LINPACK-class LU ----------------------------------------------
+  constexpr std::size_t order = 256;
+  const auto lu_phases = bench_common::capture_trace(4, [&](auto& trace) {
+    trace.begin_phase("lu");
+    mkk::View<double, 2> a("A", order, order);
+    // Diagonally dominant random-ish matrix.
+    for (std::size_t i = 0; i < order; ++i) {
+      for (std::size_t j = 0; j < order; ++j) {
+        a(i, j) = (i == j) ? static_cast<double>(order)
+                           : 1.0 / (1.0 + static_cast<double>(i + j));
+      }
+    }
+    // Run as a task so the factorisation's annotations land in the trace.
+    mhpx::async([&] { (void)rveval::bench::lu_factor(a); }).get();
+  });
+  Table lin("LINPACK-class LU (GFLOP/s at 4 cores, 2/3 n^3 flops)");
+  lin.headers({"CPU", "GFLOP/s", "% of 4-core peak"});
+  for (const auto& cpu : graded_cpus()) {
+    rveval::sim::CoreSimulator sim(cpu);
+    rveval::sim::SimOptions opt;
+    opt.cores = 4;
+    opt.simd_speedup = cpu.simd_kernel_speedup;  // BLAS-style kernels SIMD
+    const double secs = sim.total_seconds(lu_phases, opt);
+    const double gf = rveval::bench::lu_flops(order) / secs / 1e9;
+    lin.row({cpu.name, Table::num(gf, 2),
+             Table::num(100.0 * gf / cpu.peak_gflops(4), 1)});
+  }
+  lin.print(std::cout);
+
+  std::cout << "grading summary: the JH7110's ~"
+            << rveval::arch::jh7110().mem_bw_gib
+            << " GiB/s memory system sits ~20x below the A64FX 4-core\n"
+            << "slice — the §6.2.1 observation ('the slow connection to "
+               "the memory kicks in')\nmade quantitative.\n";
+  return 0;
+}

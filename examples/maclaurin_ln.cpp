@@ -1,0 +1,62 @@
+// The paper's shared-memory benchmark as a standalone example: compute
+// ln(1+x) via the Maclaurin series (Eq. 1) with all four parallelism
+// idioms and compare against std::log1p.
+//
+//   ./build/examples/maclaurin_ln [x] [terms]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/bench/maclaurin.hpp"
+#include "core/perf/flops.hpp"
+#include "minihpx/chrono/clocks.hpp"
+#include "minihpx/runtime.hpp"
+
+int main(int argc, char** argv) {
+  double x = 0.5;
+  std::uint64_t terms = 2'000'000;
+  if (argc > 1) {
+    x = std::atof(argv[1]);
+  }
+  if (argc > 2) {
+    terms = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  }
+  if (!(x > -1.0 && x < 1.0)) {
+    std::fprintf(stderr, "x must satisfy |x| < 1 (got %g)\n", x);
+    return 1;
+  }
+
+  mhpx::Runtime runtime{{4, 256 * 1024}};
+  rveval::bench::MaclaurinConfig cfg;
+  cfg.x = x;
+  cfg.terms = terms;
+  cfg.tasks = 16;
+
+  const double exact = rveval::bench::reference(x);
+  std::printf("ln(1+%g) = %.15f (std::log1p)\n", x, exact);
+  std::printf("%-22s %-20s %-12s %s\n", "implementation", "result", "error",
+              "host time [s]");
+
+  struct Variant {
+    const char* name;
+    rveval::bench::MaclaurinResult (*run)(
+        const rveval::bench::MaclaurinConfig&);
+  };
+  const Variant variants[] = {
+      {"async + futures", &rveval::bench::run_async},
+      {"parallel algorithm", &rveval::bench::run_parallel_algorithm},
+      {"senders & receivers", &rveval::bench::run_sender_receiver},
+      {"future + coroutine", &rveval::bench::run_coroutine},
+  };
+  for (const auto& v : variants) {
+    mhpx::chrono::timer<> t;
+    const auto r = v.run(cfg);
+    const double secs = t.elapsed_seconds();
+    std::printf("%-22s %.15f %.3e    %.3f\n", v.name, r.sum,
+                std::abs(r.sum - exact), secs);
+  }
+  std::printf("analytic flops (software pow): %.0f\n",
+              rveval::perf::maclaurin_flops(terms));
+  return 0;
+}

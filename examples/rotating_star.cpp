@@ -1,0 +1,59 @@
+// The paper's astrophysics workload as a runnable example: evolve a single
+// rotating polytropic star with the interleaved gravity + hydro solvers and
+// print per-step diagnostics — the Octo-Tiger command-line experience of
+// the paper's Listing 2 in miniature:
+//
+//   ./build/examples/rotating_star --config_file=rotating_star.ini \
+//       --max_level=2 --stop_step=5 --theta=0.5 \
+//       --hydro_host_kernel_type=KOKKOS \
+//       --multipole_host_kernel_type=KOKKOS \
+//       --monopole_host_kernel_type=KOKKOS --hpx:threads=4
+//
+// All flags are optional; defaults give a quick level-2 run.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "minihpx/chrono/clocks.hpp"
+#include "minihpx/runtime.hpp"
+#include "octotiger/driver.hpp"
+
+int main(int argc, char** argv) {
+  octo::Options opt;
+  opt.max_level = 2;
+  opt.stop_step = 5;
+  try {
+    opt.parse_cli({argv + 1, argv + argc});
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  mhpx::Runtime runtime{{opt.threads, 256 * 1024}};
+  std::printf("octotiger miniapp: %s\n", opt.summary().c_str());
+
+  octo::Simulation sim(opt);
+  std::printf("mesh: %zu leaves, %zu cells (8x8x8 sub-grids)\n",
+              sim.tree().leaf_count(), sim.tree().total_cells());
+  const octo::Cons t0 = sim.totals();
+  std::printf("initial: mass=%.6e energy=%.6e\n", t0.rho, t0.egas);
+
+  mhpx::chrono::timer<> wall;
+  for (unsigned s = 0; s < opt.stop_step; ++s) {
+    const double dt = sim.step();
+    const octo::Cons t = sim.totals();
+    std::printf("step %u: dt=%.4e t=%.4e  mass=%.6e  |mom|=%.2e\n", s + 1,
+                dt, sim.stats().sim_time, t.rho,
+                std::sqrt(t.sx * t.sx + t.sy * t.sy + t.sz * t.sz));
+  }
+  const double secs = wall.elapsed_seconds();
+  const octo::Cons t1 = sim.totals();
+
+  std::printf("\n%u steps in %.2f s on this host: %.0f cells/s\n",
+              sim.stats().steps, secs,
+              static_cast<double>(sim.stats().cells_processed) / secs);
+  std::printf("mass drift: %.3e (relative)\n",
+              std::abs(t1.rho - t0.rho) / t0.rho);
+  return 0;
+}

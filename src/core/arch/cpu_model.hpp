@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file cpu_model.hpp
+/// Architecture models for the four CPUs of the paper's Table 2.
+///
+/// The build host has no RISC-V (or A64FX) silicon, so every cross-
+/// architecture figure is produced by pricing a *real, captured* task trace
+/// on these models (DESIGN.md §1). A model is deliberately simple and fully
+/// documented: clock, vector length, FPU count, FMA capability and core
+/// count come verbatim from the paper's Table 2; sustained scalar IPC and
+/// memory bandwidth come from vendor sheets / microarchitecture references
+/// and are the *inputs* from which the paper's observed ratios emerge.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rveval::arch {
+
+/// Static description of one CPU (one row of the paper's Table 2, plus the
+/// microarchitectural fields the simulator needs).
+struct CpuModel {
+  std::string name;        ///< Table 2 row label
+  std::string isa;         ///< "x86-64", "aarch64", "riscv64"
+  double clock_ghz = 0.0;  ///< Table 2 "Clock speed"
+  /// Table 2 "Vector length" in doubles; 1 = no vector unit (printed "NA").
+  unsigned vector_length = 1;
+  unsigned fpu_per_core = 1;  ///< Table 2 "FPU units per core"
+  bool fma = false;           ///< Table 2 "FMA" (FP64)
+  unsigned cores = 1;         ///< Table 2 "Cores"
+
+  /// Sustained double-precision scalar FLOP/cycle/core on latency-bound,
+  /// software-pow-dominated code (the Maclaurin kernel): an out-of-order
+  /// x86 core retires several dependent-chain flops per cycle, the in-order
+  /// A64FX fewer, and the single-issue-FPU U74-MC (no FP64 FMA) fewer
+  /// still. These are the documented model inputs behind the paper's
+  /// "RISC-V is ~5x slower than A64FX per core" observation.
+  double scalar_fp_ipc = 1.0;
+
+  /// Effective node memory bandwidth in GiB/s (STREAM-class, not peak).
+  double mem_bw_gib = 1.0;
+
+  /// Whether the compiler can auto-vectorise simple loops on this CPU at
+  /// all. Per the paper (§6.1), auto-vectorisation had no significant
+  /// effect on the Maclaurin benchmark anywhere (its pow-chain does not
+  /// vectorise), and the U74-MC has no vector unit at all.
+  bool autovec_effective = false;
+
+  /// Realised speed-up of *explicitly SIMD-typed* compute kernels (the
+  /// Octo-Tiger Kokkos kernels use explicit SIMD types — the authors' SVE
+  /// work, paper refs [8]/[27]) over scalar code on this CPU. Well below
+  /// the ideal vector width for stencil/FMM kernels; 1.0 where no vector
+  /// unit exists. This factor is what separates the paper's ~5x
+  /// (scalar Maclaurin) from its ~7x (Octo-Tiger) RISC-V-to-A64FX gap.
+  double simd_kernel_speedup = 1.0;
+
+  /// Peak performance in GFLOP/s at \p ncores (paper Eq. 2):
+  ///   2 x clock x vector length x #FPU x #cores.
+  /// The factor 2 is the FMA factor; the paper applies it to every row of
+  /// Table 2 — including the U74-MC, whose 9.6 GFLOP/s entry implies it,
+  /// even though its FP64 ISA lacks FMA (the table's own footnote). We
+  /// match the paper's printed numbers and keep `fma` as the descriptive
+  /// field the simulator's IPC constants already account for.
+  [[nodiscard]] double peak_gflops(unsigned ncores) const {
+    return 2.0 * clock_ghz * static_cast<double>(vector_length) *
+           static_cast<double>(fpu_per_core) * static_cast<double>(ncores);
+  }
+
+  /// Peak at the full core count (Table 2's last column).
+  [[nodiscard]] double peak_gflops() const { return peak_gflops(cores); }
+
+  /// Sustained per-core FLOP rate (FLOP/s) for scalar dependency-bound code.
+  [[nodiscard]] double scalar_flops_per_core() const {
+    return clock_ghz * 1e9 * scalar_fp_ipc;
+  }
+};
+
+/// Runtime overhead model: how expensive the AMT machinery itself is on a
+/// given CPU (scales inversely with clock; constants measured on the host
+/// and documented in cpu_models.cpp).
+struct RuntimeOverheadModel {
+  double task_spawn_seconds = 0.0;      ///< post() + queue + fiber setup
+  double context_switch_seconds = 0.0;  ///< one ucontext swap pair
+  double timer_read_seconds = 0.0;      ///< RDTIME-class read
+};
+
+/// Canned models.
+CpuModel a64fx();            ///< Fugaku node CPU
+CpuModel epyc_7543();        ///< AMD Milan
+CpuModel xeon_gold_6140();   ///< Intel Skylake-SP
+CpuModel u74_mc();           ///< SiFive HiFive Unmatched (FU740)
+CpuModel jh7110();           ///< StarFive VisionFive2 (same U74 cores)
+/// SOPHON SG2042 (Milk-V Pioneer): the 64-core RISC-V desktop part the
+/// paper's conclusion anticipates for larger scaling runs (§8).
+CpuModel sg2042();
+
+/// All four Table 2 CPUs, in the paper's row order.
+std::vector<CpuModel> table2_cpus();
+
+/// Look up a model by Table 2 name; empty if unknown.
+std::optional<CpuModel> find_cpu(std::string_view name);
+
+/// Runtime overheads on a given CPU (constants scale with 1/clock relative
+/// to the 1.2 GHz U74 baseline).
+RuntimeOverheadModel runtime_overheads(const CpuModel& cpu);
+
+}  // namespace rveval::arch

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file network_model.hpp
+/// Interconnect models for the distributed experiments (Fig. 8).
+///
+/// The paper's cluster links two VisionFive2 boards with onboard GbE and
+/// compares HPX's TCP and MPI parcelports; the Fugaku comparison nodes use
+/// Tofu-D. A network model prices one message as latency + bytes/bandwidth,
+/// with the MPI model adding its protocol costs (eager copy overhead for
+/// small messages, an extra RTS/CTS round trip above the eager limit) —
+/// the documented hypothesis (DESIGN.md §4) for the paper's observation
+/// that the TCP runs scaled better (1.85x) than MPI (1.55x).
+
+#include <cstddef>
+#include <string>
+
+namespace rveval::arch {
+
+struct NetworkModel {
+  std::string name;
+  double latency_seconds = 0.0;    ///< per-message one-way latency
+  double bandwidth_bytes = 1.0;    ///< sustained bytes/second
+  /// MPI only: messages above this size pay a rendezvous round trip.
+  std::size_t eager_limit_bytes = 0;
+  /// MPI only: extra latency of one RTS/CTS round trip.
+  double rendezvous_rtt_seconds = 0.0;
+
+  /// Time for one message of \p bytes.
+  [[nodiscard]] double message_seconds(std::size_t bytes) const {
+    double t = latency_seconds + static_cast<double>(bytes) / bandwidth_bytes;
+    if (eager_limit_bytes != 0 && bytes > eager_limit_bytes) {
+      t += rendezvous_rtt_seconds;
+    }
+    return t;
+  }
+};
+
+/// HPX TCP parcelport over the boards' GbE link: ~117 MB/s sustained,
+/// ~120 us end-to-end per parcel (kernel TCP stack on a 1.5 GHz in-order
+/// core; interrupt-driven NIC).
+inline NetworkModel gbe_tcp() {
+  NetworkModel n;
+  n.name = "GbE/TCP";
+  n.latency_seconds = 120e-6;
+  n.bandwidth_bytes = 117.0e6;
+  return n;
+}
+
+/// OpenMPI 4.1 over the same GbE link: the TCP BTL adds matching/progress
+/// overhead (~180 us per message on this class of core) and a rendezvous
+/// round trip above the 64 KiB eager limit.
+inline NetworkModel gbe_mpi() {
+  NetworkModel n;
+  n.name = "GbE/MPI";
+  n.latency_seconds = 180e-6;
+  n.bandwidth_bytes = 110.0e6;
+  n.eager_limit_bytes = 64 * 1024;
+  n.rendezvous_rtt_seconds = 2 * 180e-6;
+  return n;
+}
+
+/// Fugaku's Tofu-D interconnect (for the A64FX comparison series).
+inline NetworkModel tofu_d() {
+  NetworkModel n;
+  n.name = "Tofu-D";
+  n.latency_seconds = 2e-6;
+  n.bandwidth_bytes = 6.8e9;
+  return n;
+}
+
+}  // namespace rveval::arch

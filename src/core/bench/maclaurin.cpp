@@ -1,0 +1,173 @@
+#include "core/bench/maclaurin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/perf/flops.hpp"
+#include "minihpx/coroutine/task.hpp"
+#include "minihpx/execution/sender_receiver.hpp"
+#include "minihpx/futures/future.hpp"
+#include "minihpx/instrument.hpp"
+#include "minihpx/parallel/algorithms.hpp"
+
+namespace rveval::bench {
+
+double maclaurin_chunk(double x, std::uint64_t begin, std::uint64_t end) {
+  double sum = 0.0;
+  for (std::uint64_t n = begin; n < end; ++n) {
+    const double sign = (n % 2 == 1) ? 1.0 : -1.0;
+    // Deliberately pow(), not an incremental power: the paper's benchmark
+    // is exponentiation-heavy by construction (§8 discusses exactly this
+    // software-pow cost).
+    sum += sign * std::pow(x, static_cast<double>(n)) /
+           static_cast<double>(n);
+  }
+  mhpx::instrument::annotate(
+      perf::term_flops_software * static_cast<double>(end - begin),
+      /*bytes=*/0.0);
+  return sum;
+}
+
+namespace {
+
+struct ChunkPlan {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+
+std::vector<ChunkPlan> plan_chunks(const MaclaurinConfig& cfg) {
+  const std::uint64_t first = 1;  // series index starts at n = 1
+  const std::uint64_t last = cfg.terms + 1;
+  const std::uint64_t n = last - first;
+  const std::uint64_t tasks =
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(cfg.tasks, n));
+  std::vector<ChunkPlan> plan;
+  plan.reserve(tasks);
+  const std::uint64_t base = n / tasks;
+  const std::uint64_t rem = n % tasks;
+  std::uint64_t b = first;
+  for (std::uint64_t c = 0; c < tasks; ++c) {
+    const std::uint64_t e = b + base + (c < rem ? 1 : 0);
+    plan.push_back({b, e});
+    b = e;
+  }
+  return plan;
+}
+
+MaclaurinResult finish(const MaclaurinConfig& cfg, double sum) {
+  MaclaurinResult r;
+  r.sum = sum;
+  r.analytic_flops = perf::maclaurin_flops(cfg.terms);
+  return r;
+}
+
+}  // namespace
+
+MaclaurinResult run_async(const MaclaurinConfig& cfg) {
+  const auto plan = plan_chunks(cfg);
+  std::vector<mhpx::future<double>> futures;
+  futures.reserve(plan.size());
+  for (const auto& c : plan) {
+    futures.push_back(mhpx::async(
+        [x = cfg.x, c] { return maclaurin_chunk(x, c.begin, c.end); }));
+  }
+  auto ready = mhpx::when_all(std::move(futures)).get();
+  double sum = 0.0;
+  for (auto& f : ready) {
+    sum += f.get();
+  }
+  return finish(cfg, sum);
+}
+
+MaclaurinResult run_parallel_algorithm(const MaclaurinConfig& cfg) {
+  const auto plan = plan_chunks(cfg);
+  // The parallel algorithm iterates the chunk table; each element visit
+  // computes one chunk — the same work decomposition hpx::for_each(par,..)
+  // applies internally to the flat term range.
+  std::vector<double> partial(plan.size(), 0.0);
+  std::vector<std::size_t> index(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    index[i] = i;
+  }
+  mhpx::for_each(
+      mhpx::execution::par.with_chunks(static_cast<unsigned>(plan.size())),
+      index.begin(), index.end(), [&](std::size_t i) {
+        partial[i] = maclaurin_chunk(cfg.x, plan[i].begin, plan[i].end);
+      });
+  double sum = 0.0;
+  for (const double p : partial) {
+    sum += p;
+  }
+  return finish(cfg, sum);
+}
+
+MaclaurinResult run_sender_receiver(const MaclaurinConfig& cfg) {
+  const auto plan = plan_chunks(cfg);
+  // One schedule|then chain per chunk, joined with when_all_of; mirrors the
+  // paper's S&R implementation of the same reduction.
+  namespace ex = mhpx::ex;
+  double sum = 0.0;
+  // Build in groups to keep the variadic join bounded; 8 chunks per join.
+  std::size_t i = 0;
+  while (i < plan.size()) {
+    const std::size_t group = std::min<std::size_t>(8, plan.size() - i);
+    std::vector<double> results;
+    auto make = [&](std::size_t k) {
+      const auto c = plan[i + k];
+      return ex::schedule(ex::ambient_sched()) | ex::then([x = cfg.x, c] {
+               return maclaurin_chunk(x, c.begin, c.end);
+             });
+    };
+    switch (group) {
+      case 8: {
+        auto r = ex::sync_wait_one<std::vector<double>>(
+            ex::when_all_of<double>(make(0), make(1), make(2), make(3),
+                                    make(4), make(5), make(6), make(7)));
+        results = std::move(*r);
+        break;
+      }
+      default: {
+        for (std::size_t k = 0; k < group; ++k) {
+          auto r = ex::sync_wait_one<double>(make(k));
+          results.push_back(*r);
+        }
+        break;
+      }
+    }
+    for (const double v : results) {
+      sum += v;
+    }
+    i += group;
+  }
+  return finish(cfg, sum);
+}
+
+namespace {
+
+mhpx::future<double> coroutine_driver(MaclaurinConfig cfg) {
+  const auto plan = plan_chunks(cfg);
+  // Launch every chunk eagerly, then co_await the futures in order — the
+  // "future + coroutine" composition of Fig. 5.
+  std::vector<mhpx::future<double>> futures;
+  futures.reserve(plan.size());
+  for (const auto& c : plan) {
+    futures.push_back(mhpx::async(
+        [x = cfg.x, c] { return maclaurin_chunk(x, c.begin, c.end); }));
+  }
+  double sum = 0.0;
+  for (auto& f : futures) {
+    sum += co_await std::move(f);
+  }
+  co_return sum;
+}
+
+}  // namespace
+
+MaclaurinResult run_coroutine(const MaclaurinConfig& cfg) {
+  return finish(cfg, coroutine_driver(cfg).get());
+}
+
+double reference(double x) { return std::log1p(x); }
+
+}  // namespace rveval::bench

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file maclaurin.hpp
+/// The paper's shared-memory benchmark (Eq. 1): the Maclaurin series of
+/// ln(1+x), implemented four ways on minihpx — asynchronous programming
+/// (hpx::async + futures, Fig. 4a), the parallel algorithm (hpx::for_each
+/// with par, Fig. 4b), senders & receivers, and future + coroutine
+/// (Fig. 5). Every variant computes the identical sum and annotates each
+/// chunk task with its analytic FLOP count so a captured trace can be
+/// priced on any CPU model.
+
+#include <cstdint>
+
+namespace rveval::bench {
+
+struct MaclaurinConfig {
+  /// Series argument, |x| < 1. The paper uses the natural-log series.
+  double x = 0.5;
+  /// Terms actually executed on the host. The paper runs n = 10^9 on real
+  /// boards; benches execute a smaller n and let the simulator scale by the
+  /// analytic FLOP count (per-term work is constant).
+  std::uint64_t terms = 1'000'000;
+  /// Number of chunk tasks to split the series into.
+  unsigned tasks = 16;
+};
+
+struct MaclaurinResult {
+  double sum = 0.0;          ///< computed series value (≈ ln(1+x))
+  double analytic_flops = 0.0;  ///< software-exponentiation FLOP count
+};
+
+/// Sum of terms [begin, end) of the series; annotates the current task
+/// with the chunk's analytic FLOPs.
+double maclaurin_chunk(double x, std::uint64_t begin, std::uint64_t end);
+
+/// Fig. 4a variant: one mhpx::async per chunk, joined with when_all.
+MaclaurinResult run_async(const MaclaurinConfig& cfg);
+
+/// Fig. 4b variant: the parallel algorithm with the par execution policy
+/// (chunked exactly like hpx::for_each(par, ...)).
+MaclaurinResult run_parallel_algorithm(const MaclaurinConfig& cfg);
+
+/// Fig. 5 variant A: senders & receivers (schedule | then per chunk,
+/// joined with when_all).
+MaclaurinResult run_sender_receiver(const MaclaurinConfig& cfg);
+
+/// Fig. 5 variant B: future + coroutine (co_await per chunk future).
+MaclaurinResult run_coroutine(const MaclaurinConfig& cfg);
+
+/// Reference value ln(1+x) for validation.
+double reference(double x);
+
+}  // namespace rveval::bench

@@ -1,0 +1,173 @@
+#include "core/bench/memory_benchmarks.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "minihpx/instrument.hpp"
+#include "minihpx/parallel/algorithms.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace rveval::bench {
+
+namespace {
+
+namespace ex = mhpx::execution;
+
+/// Run body(i) for i in [0, n) as a parallel task fan-out when a runtime is
+/// active, inline otherwise. Each element accumulates its cost into the
+/// executing task's annotation bucket, so chunk tasks carry exactly their
+/// share of the kernel's flops/bytes in the captured trace.
+template <typename Body>
+void bulk(std::size_t n, double flops_per_elem, double bytes_per_elem,
+          Body&& body) {
+  auto annotated = [&](std::size_t i) {
+    body(i);
+    mhpx::instrument::annotate(flops_per_elem, bytes_per_elem);
+  };
+  if (mhpx::detail::ambient_scheduler() != nullptr) {
+    // Plenty of chunks: the captured trace must expose enough task
+    // parallelism to fill the widest modelled machine (64 cores), not just
+    // the build host's workers.
+    mhpx::for_loop(ex::par.with_chunks(128), 0, n, annotated);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      annotated(i);
+    }
+  }
+}
+
+}  // namespace
+
+StreamArrays::StreamArrays(std::size_t n) : a(n, 1.0), b(n, 2.0), c(n, 0.0) {}
+
+void stream_copy(StreamArrays& s) {
+  bulk(s.a.size(), 0.0, stream_copy_bytes,
+       [&](std::size_t i) { s.c[i] = s.a[i]; });
+}
+
+void stream_scale(StreamArrays& s, double scalar) {
+  bulk(s.a.size(), 1.0, stream_scale_bytes,
+       [&](std::size_t i) { s.b[i] = scalar * s.c[i]; });
+}
+
+void stream_add(StreamArrays& s) {
+  bulk(s.a.size(), 1.0, stream_add_bytes,
+       [&](std::size_t i) { s.c[i] = s.a[i] + s.b[i]; });
+}
+
+void stream_triad(StreamArrays& s, double scalar) {
+  bulk(s.a.size(), 2.0, stream_triad_bytes,
+       [&](std::size_t i) { s.a[i] = s.b[i] + scalar * s.c[i]; });
+}
+
+std::uint64_t gups_kernel(std::size_t log2_size, std::size_t updates) {
+  const std::size_t size = std::size_t{1} << log2_size;
+  const std::size_t mask = size - 1;
+  std::vector<std::uint64_t> table(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    table[i] = i;
+  }
+  // HPCC-style LCG random stream; sequential by construction (each update
+  // depends on the previous random number), so one task.
+  std::uint64_t ran = 0x123456789abcdef0ull;
+  for (std::size_t u = 0; u < updates; ++u) {
+    ran = ran * 6364136223846793005ull + 1442695040888963407ull;
+    table[ran & mask] ^= ran;
+  }
+  mhpx::instrument::annotate(0.0,
+                             gups_bytes_per_update *
+                                 static_cast<double>(updates));
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : table) {
+    sum ^= v;
+  }
+  return sum;
+}
+
+std::vector<std::size_t> lu_factor(mkk::View<double, 2>& a) {
+  const std::size_t n = a.extent(0);
+  if (a.extent(1) != n) {
+    throw std::invalid_argument("lu_factor: matrix must be square");
+  }
+  std::vector<std::size_t> pivots(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t p = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        p = i;
+      }
+    }
+    if (best == 0.0) {
+      throw std::runtime_error("lu_factor: singular matrix");
+    }
+    pivots[k] = p;
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(k, j), a(p, j));
+      }
+    }
+    const double inv = 1.0 / a(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      a(i, k) *= inv;
+    }
+    // Trailing update: the O(n^3) bulk, parallel over rows.
+    const std::size_t rows = n - (k + 1);
+    if (rows > 0) {
+      auto update_row = [&, k](std::size_t r) {
+        const std::size_t i = k + 1 + r;
+        const double lik = a(i, k);
+        for (std::size_t j = k + 1; j < n; ++j) {
+          a(i, j) -= lik * a(k, j);
+        }
+        // 2 flops per updated element; one read + one r/m/w of 8 B each.
+        const auto cols = static_cast<double>(n - (k + 1));
+        mhpx::instrument::annotate(2.0 * cols, 24.0 * cols);
+      };
+      if (mhpx::detail::ambient_scheduler() != nullptr && rows >= 32) {
+        mhpx::for_loop(ex::par, 0, rows, update_row);
+      } else {
+        for (std::size_t r = 0; r < rows; ++r) {
+          update_row(r);
+        }
+      }
+    }
+  }
+  // Pivot search/swap and column scaling (the O(n^2) remainder).
+  mhpx::instrument::annotate(2.0 * static_cast<double>(n) *
+                                 static_cast<double>(n),
+                             16.0 * static_cast<double>(n) *
+                                 static_cast<double>(n));
+  return pivots;
+}
+
+std::vector<double> lu_solve(const mkk::View<double, 2>& lu,
+                             const std::vector<std::size_t>& pivots,
+                             std::vector<double> rhs) {
+  const std::size_t n = lu.extent(0);
+  // Apply pivots.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::swap(rhs[k], rhs[pivots[k]]);
+  }
+  // Forward substitution (unit lower).
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = rhs[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      s -= lu(i, j) * rhs[j];
+    }
+    rhs[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = rhs[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      s -= lu(ii, j) * rhs[j];
+    }
+    rhs[ii] = s / lu(ii, ii);
+  }
+  return rhs;
+}
+
+}  // namespace rveval::bench

@@ -1,0 +1,92 @@
+#include "core/report/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rveval::report {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::headers(std::vector<std::string> names) {
+  headers_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  // Column widths over header + all rows.
+  std::size_t ncols = headers_.size();
+  for (const auto& r : rows_) {
+    ncols = std::max(ncols, r.size());
+  }
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      width[c] = std::max(width[c], cells[c].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& r : rows_) {
+    widen(r);
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) {
+    emit(headers_);
+    std::size_t total = 0;
+    for (const std::size_t w : width) {
+      total += w + 2;
+    }
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+  os << '\n';
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) {
+    emit(headers_);
+  }
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+  return os.str();
+}
+
+}  // namespace rveval::report

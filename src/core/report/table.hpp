@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned-table and CSV emitters shared by every bench binary, so each
+/// reproduced figure/table prints the same rows/series the paper reports.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rveval::report {
+
+/// A simple column-aligned text table with an optional CSV dump.
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  /// Set the header row (clears nothing else).
+  Table& headers(std::vector<std::string> names);
+
+  /// Append one row of preformatted cells.
+  Table& row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 3);
+
+  /// Render to a stream as an aligned table with the title on top.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header row first).
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rveval::report

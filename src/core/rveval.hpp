@@ -1,0 +1,14 @@
+#pragma once
+
+/// \file rveval.hpp
+/// Umbrella header for the evaluation-harness library (the paper's primary
+/// contribution: porting + cross-architecture evaluation machinery).
+
+#include "core/arch/cpu_model.hpp"
+#include "core/arch/network_model.hpp"
+#include "core/bench/maclaurin.hpp"
+#include "core/perf/flops.hpp"
+#include "core/power/energy.hpp"
+#include "core/report/table.hpp"
+#include "core/sim/core_simulator.hpp"
+#include "core/sim/trace.hpp"

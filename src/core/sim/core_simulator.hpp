@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file core_simulator.hpp
+/// Discrete-event pricing of a captured trace on a modelled architecture.
+///
+/// Given a Phase (tasks with flops/bytes, parcels with bytes) and a CpuModel
+/// with k cores, the simulator computes the phase's wall time as it would
+/// unfold on that machine:
+///
+///   task time  t_i = spawn_overhead + max(flops_i / scalar_rate,
+///                                         bytes_i  / per_core_bandwidth)
+///   compute    = LPT list-scheduling makespan of {t_i} on k cores,
+///                bounded below by total_bytes / node_bandwidth (the roofline
+///                memory ceiling applies to the aggregate, not per core)
+///   comm       = sum over incoming parcels of the network model's
+///                message_seconds (per destination locality)
+///   phase time = per locality: compute + (1 - overlap) * comm, where the
+///                overlap fraction grows with parallel slack (tasks >> cores
+///                means the AMT hides communication behind computation, the
+///                mechanism §3.3 of the paper describes).
+///
+/// Everything in the formula is a measured trace quantity or a documented
+/// model constant — see DESIGN.md §4.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arch/cpu_model.hpp"
+#include "core/arch/network_model.hpp"
+#include "core/sim/trace.hpp"
+
+namespace rveval::sim {
+
+/// Options for pricing one phase.
+struct SimOptions {
+  unsigned cores = 1;  ///< cores used per locality
+  /// Multiplier on the scalar FLOP rate for this workload's kernels.
+  /// 1.0 for scalar code (the Maclaurin pow-chain — paper §6.1 saw no
+  /// vectorisation effect); cpu.simd_kernel_speedup for explicitly
+  /// SIMD-typed kernels (the Octo-Tiger Kokkos kernels).
+  double simd_speedup = 1.0;
+  /// Charge the per-task spawn overhead (on by default; the ablation bench
+  /// switches it off to isolate runtime overhead).
+  bool charge_spawn_overhead = true;
+};
+
+/// Result of pricing one phase on one locality set.
+struct PhaseCost {
+  double compute_seconds = 0.0;  ///< max over localities
+  double comm_seconds = 0.0;     ///< max over localities
+  double total_seconds = 0.0;    ///< modelled wall time of the phase
+};
+
+class CoreSimulator {
+ public:
+  explicit CoreSimulator(arch::CpuModel cpu) : cpu_(std::move(cpu)) {}
+
+  [[nodiscard]] const arch::CpuModel& cpu() const noexcept { return cpu_; }
+
+  /// Price the time of one task on this CPU.
+  [[nodiscard]] double task_seconds(const TaskRecord& task,
+                                    const SimOptions& opt) const;
+
+  /// LPT makespan of a task set on opt.cores cores, with the aggregate
+  /// memory-bandwidth ceiling applied.
+  [[nodiscard]] double compute_makespan(const std::vector<TaskRecord>& tasks,
+                                        const SimOptions& opt) const;
+
+  /// Price a single-locality phase (ignores parcels).
+  [[nodiscard]] PhaseCost simulate(const Phase& phase,
+                                   const SimOptions& opt) const;
+
+  /// Price a multi-locality phase: every locality computes its own tasks on
+  /// opt.cores cores; incoming parcels cost network time; computation and
+  /// communication overlap in proportion to parallel slack.
+  [[nodiscard]] PhaseCost simulate_distributed(
+      const Phase& phase, unsigned num_localities,
+      const arch::NetworkModel& net, const SimOptions& opt) const;
+
+  /// Sum of simulate() over phases (phases are sequential by construction:
+  /// a new phase begins only after the previous one's joins completed).
+  [[nodiscard]] double total_seconds(const std::vector<Phase>& phases,
+                                     const SimOptions& opt) const;
+
+  /// Sum of simulate_distributed() over phases.
+  [[nodiscard]] double total_seconds_distributed(
+      const std::vector<Phase>& phases, unsigned num_localities,
+      const arch::NetworkModel& net, const SimOptions& opt) const;
+
+ private:
+  arch::CpuModel cpu_;
+};
+
+}  // namespace rveval::sim

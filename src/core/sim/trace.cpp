@@ -1,0 +1,130 @@
+#include "core/sim/trace.hpp"
+
+#include <utility>
+
+namespace rveval::sim {
+
+double Phase::total_flops() const {
+  double f = 0.0;
+  for (const auto& t : tasks) {
+    f += t.flops;
+  }
+  return f;
+}
+
+double Phase::total_task_bytes() const {
+  double b = 0.0;
+  for (const auto& t : tasks) {
+    b += t.bytes;
+  }
+  return b;
+}
+
+std::size_t Phase::total_parcel_bytes() const {
+  std::size_t b = 0;
+  for (const auto& p : parcels) {
+    b += p.bytes;
+  }
+  return b;
+}
+
+std::vector<TaskRecord> Phase::tasks_of(std::uint32_t locality) const {
+  std::vector<TaskRecord> out;
+  for (const auto& t : tasks) {
+    if (t.locality == locality) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<ParcelRecord> Phase::parcels_to(std::uint32_t locality) const {
+  std::vector<ParcelRecord> out;
+  for (const auto& p : parcels) {
+    if (p.destination == locality) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+TraceCollector::TraceCollector() : previous_(mhpx::instrument::hooks()) {
+  current_.name = "default";
+  current_open_ = true;
+  mhpx::instrument::Hooks hooks;
+  hooks.ctx = this;
+  hooks.on_task_finish = &TraceCollector::hook_task_finish;
+  hooks.on_parcel = &TraceCollector::hook_parcel;
+  mhpx::instrument::set_hooks(hooks);
+}
+
+TraceCollector::~TraceCollector() { mhpx::instrument::set_hooks(previous_); }
+
+void TraceCollector::map_scheduler(const mhpx::threads::Scheduler* sched,
+                                   std::uint32_t id) {
+  std::lock_guard lk(mutex_);
+  scheduler_map_[sched] = id;
+}
+
+void TraceCollector::begin_phase(std::string name) {
+  std::lock_guard lk(mutex_);
+  if (current_open_ && (!current_.tasks.empty() || !current_.parcels.empty())) {
+    phases_.push_back(std::move(current_));
+  }
+  current_ = Phase{};
+  current_.name = std::move(name);
+  current_open_ = true;
+}
+
+std::vector<Phase> TraceCollector::finish() {
+  std::lock_guard lk(mutex_);
+  if (current_open_ && (!current_.tasks.empty() || !current_.parcels.empty())) {
+    phases_.push_back(std::move(current_));
+  }
+  current_ = Phase{};
+  current_open_ = false;
+  return std::move(phases_);
+}
+
+std::size_t TraceCollector::tasks_recorded() const {
+  std::lock_guard lk(mutex_);
+  return task_count_;
+}
+
+std::size_t TraceCollector::parcels_recorded() const {
+  std::lock_guard lk(mutex_);
+  return parcel_count_;
+}
+
+void TraceCollector::hook_task_finish(void* ctx,
+                                      const mhpx::instrument::TaskWork& w) {
+  static_cast<TraceCollector*>(ctx)->on_task_finish(w);
+}
+
+void TraceCollector::hook_parcel(void* ctx, std::uint32_t src,
+                                 std::uint32_t dst, std::size_t bytes) {
+  static_cast<TraceCollector*>(ctx)->on_parcel(src, dst, bytes);
+}
+
+void TraceCollector::on_task_finish(const mhpx::instrument::TaskWork& w) {
+  // The hook runs on the worker thread that retired the task, so the
+  // current scheduler identifies the owning locality.
+  const auto* sched = mhpx::threads::Scheduler::current();
+  std::lock_guard lk(mutex_);
+  TaskRecord rec;
+  rec.flops = w.flops;
+  rec.bytes = w.bytes;
+  const auto it = scheduler_map_.find(sched);
+  rec.locality = it != scheduler_map_.end() ? it->second : 0;
+  current_.tasks.push_back(rec);
+  ++task_count_;
+}
+
+void TraceCollector::on_parcel(std::uint32_t src, std::uint32_t dst,
+                               std::size_t bytes) {
+  std::lock_guard lk(mutex_);
+  current_.parcels.push_back(ParcelRecord{src, dst, bytes});
+  ++parcel_count_;
+}
+
+}  // namespace rveval::sim

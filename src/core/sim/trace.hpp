@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file trace.hpp
+/// Workload trace capture.
+///
+/// Benchmarks run the *real* code (minihpx tasks, minikokkos kernels, the
+/// Octo-Tiger miniapp) on the build host; a TraceCollector hooks into the
+/// runtime's instrumentation layer and records, per phase:
+///   - every task with its annotated arithmetic (flops) and memory traffic
+///     (bytes), attributed to the locality whose scheduler ran it;
+///   - every parcel with its byte count and (src, dst) localities.
+/// The discrete-event simulator (core_simulator.hpp) then prices a phase on
+/// a modelled architecture. This two-step design keeps the numbers honest:
+/// the task graph and message volume are measured, only the hardware is
+/// modelled (DESIGN.md §1).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "minihpx/instrument.hpp"
+#include "minihpx/threads/scheduler.hpp"
+
+namespace rveval::sim {
+
+/// One finished task's cost annotations.
+struct TaskRecord {
+  double flops = 0.0;
+  double bytes = 0.0;
+  std::uint32_t locality = 0;
+};
+
+/// One parcel.
+struct ParcelRecord {
+  std::uint32_t source = 0;
+  std::uint32_t destination = 0;
+  std::size_t bytes = 0;
+};
+
+/// All work observed between two phase marks.
+struct Phase {
+  std::string name;
+  std::vector<TaskRecord> tasks;
+  std::vector<ParcelRecord> parcels;
+
+  [[nodiscard]] double total_flops() const;
+  [[nodiscard]] double total_task_bytes() const;
+  [[nodiscard]] std::size_t total_parcel_bytes() const;
+  /// Tasks attributed to one locality.
+  [[nodiscard]] std::vector<TaskRecord> tasks_of(std::uint32_t locality) const;
+  /// Parcels addressed to one locality.
+  [[nodiscard]] std::vector<ParcelRecord> parcels_to(
+      std::uint32_t locality) const;
+};
+
+/// RAII trace collector: installs itself as the global instrumentation hook
+/// table on construction and restores the previous table on destruction.
+/// Only one collector may be active at a time.
+class TraceCollector {
+ public:
+  TraceCollector();
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Attribute tasks executed by \p sched to locality \p id. Unregistered
+  /// schedulers are attributed to locality 0.
+  void map_scheduler(const mhpx::threads::Scheduler* sched, std::uint32_t id);
+
+  /// Close the current phase (if non-empty) and open a new one.
+  void begin_phase(std::string name);
+
+  /// Close the current phase and return all recorded phases.
+  std::vector<Phase> finish();
+
+  /// Live statistics (for tests / progress output).
+  [[nodiscard]] std::size_t tasks_recorded() const;
+  [[nodiscard]] std::size_t parcels_recorded() const;
+
+ private:
+  static void hook_task_finish(void* ctx, const mhpx::instrument::TaskWork& w);
+  static void hook_parcel(void* ctx, std::uint32_t src, std::uint32_t dst,
+                          std::size_t bytes);
+
+  void on_task_finish(const mhpx::instrument::TaskWork& w);
+  void on_parcel(std::uint32_t src, std::uint32_t dst, std::size_t bytes);
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::map<const mhpx::threads::Scheduler*, std::uint32_t> scheduler_map_;
+  std::vector<Phase> phases_;
+  Phase current_;
+  bool current_open_ = false;
+  std::size_t task_count_ = 0;
+  std::size_t parcel_count_ = 0;
+
+  mhpx::instrument::Hooks previous_;
+};
+
+}  // namespace rveval::sim

@@ -1,0 +1,31 @@
+#include "minihpx/chrono/clocks.hpp"
+
+#include <thread>
+
+namespace mhpx::chrono {
+
+namespace {
+
+/// Measure the hardware tick rate against steady_clock over a short window.
+double calibrate() {
+  using sc = std::chrono::steady_clock;
+  const auto t0 = sc::now();
+  const std::uint64_t c0 = hardware_clock::now_ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t1 = sc::now();
+  const std::uint64_t c1 = hardware_clock::now_ticks();
+  const double dt = std::chrono::duration<double>(t1 - t0).count();
+  if (dt <= 0.0 || c1 <= c0) {
+    return 1e9;  // degenerate environment; report nanosecond ticks
+  }
+  return static_cast<double>(c1 - c0) / dt;
+}
+
+}  // namespace
+
+double hardware_clock::ticks_per_second() {
+  static const double rate = calibrate();
+  return rate;
+}
+
+}  // namespace mhpx::chrono

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file clocks.hpp
+/// Hardware- and software-backed timers.
+///
+/// The single source change the paper's HPX RISC-V port required was the
+/// timer: HPX's hardware timestamp support had no RISC-V branch, and the
+/// port added one using the RDTIME pseudo-instruction (a read of the `time`
+/// CSR; see the paper's Listing 1 / Fig. 3). We mirror that structure:
+///
+///   - hardware_clock: a raw cycle/tick counter read straight from the CPU
+///     (RDTSC on x86-64, CNTVCT on aarch64, RDTIME on riscv64), with a
+///     calibrated tick rate;
+///   - software_clock: the portable ISO C++ fallback (steady_clock), which
+///     is what HPX uses on ISAs without a hardware branch — at the price of
+///     more instructions per read, the overhead the paper calls out.
+
+#include <chrono>
+#include <cstdint>
+
+namespace mhpx::chrono {
+
+/// Raw timestamp-counter clock.
+class hardware_clock {
+ public:
+  /// True when the build target has a hardware timestamp branch below.
+  static constexpr bool available() noexcept {
+#if defined(__x86_64__) || defined(__aarch64__) || defined(__riscv)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Read the raw tick counter.
+  static std::uint64_t now_ticks() noexcept {
+#if defined(__x86_64__)
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#elif defined(__aarch64__)
+    std::uint64_t ticks = 0;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(ticks));
+    return ticks;
+#elif defined(__riscv)
+    // This is the exact instruction the paper's HPX patch added
+    // (STEllAR-GROUP/hpx#5968): RDTIME reads the `time` CSR.
+    std::uint64_t ticks = 0;
+    asm volatile("rdtime %0" : "=r"(ticks));
+    return ticks;
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+  }
+
+  /// Ticks per second, calibrated once against steady_clock.
+  static double ticks_per_second();
+
+  /// Seconds since an arbitrary epoch.
+  static double now_seconds() {
+    return static_cast<double>(now_ticks()) / ticks_per_second();
+  }
+};
+
+/// Portable ISO C++ timer (HPX's software timing path).
+class software_clock {
+ public:
+  static constexpr bool available() noexcept { return true; }
+
+  static std::uint64_t now_ticks() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+
+  static double ticks_per_second() noexcept {
+    using period = std::chrono::steady_clock::period;
+    return static_cast<double>(period::den) / static_cast<double>(period::num);
+  }
+
+  static double now_seconds() noexcept {
+    return static_cast<double>(now_ticks()) / ticks_per_second();
+  }
+};
+
+/// Simple stopwatch over a Clock.
+template <typename Clock = software_clock>
+class timer {
+ public:
+  timer() : start_(Clock::now_seconds()) {}
+  void restart() { start_ = Clock::now_seconds(); }
+  [[nodiscard]] double elapsed_seconds() const {
+    return Clock::now_seconds() - start_;
+  }
+
+ private:
+  double start_;
+};
+
+}  // namespace mhpx::chrono

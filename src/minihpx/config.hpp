@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file config.hpp
+/// Build-wide configuration for the minihpx runtime.
+///
+/// minihpx is a from-scratch analogue of the HPX asynchronous many-task
+/// runtime system, providing the subset of HPX that the SC-W 2023 paper
+/// "Evaluating HPX and Kokkos on RISC-V" exercises: lightweight user-space
+/// threads (fibers), futures and continuations, parallel algorithms,
+/// senders & receivers, C++20 coroutine integration, fiber-aware
+/// synchronisation primitives, and a distributed layer (AGAS-style
+/// components, actions and pluggable parcelports).
+
+#include <cstddef>
+
+namespace mhpx {
+
+/// Default stack size for a fiber (user-space thread), in bytes.
+/// HPX defaults to 8 MiB "small stacks"; our workloads are shallow, so we
+/// keep stacks lean and rely on lazily committed mmap pages.
+inline constexpr std::size_t default_stack_size = 256 * 1024;
+
+/// Maximum number of recycled stacks kept per scheduler.
+inline constexpr std::size_t stack_pool_limit = 256;
+
+/// Library version, reported by bench/table1_versions.
+inline constexpr int version_major = 1;
+inline constexpr int version_minor = 0;
+inline constexpr int version_patch = 0;
+
+}  // namespace mhpx

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file task.hpp
+/// C++20 coroutine integration — the "future + coroutine" programming model
+/// of the paper's Fig. 5 benchmark.
+///
+/// Two pieces:
+///   1. mhpx::future<T> works as a coroutine return type: a coroutine
+///      declared as `mhpx::future<T> f()` runs eagerly on the current
+///      context and fulfils the future at co_return.
+///   2. mhpx::future<T> is awaitable: `co_await fut` suspends the coroutine
+///      and resumes it (as a scheduler task) once the future is ready, so a
+///      coroutine never blocks a worker thread.
+
+#include <coroutine>
+#include <exception>
+#include <type_traits>
+#include <utility>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace mhpx::coro {
+
+/// Awaiter that parks a coroutine on a future's continuation list.
+template <typename T>
+struct future_awaiter {
+  future<T> fut;
+
+  [[nodiscard]] bool await_ready() const { return fut.is_ready(); }
+
+  void await_suspend(std::coroutine_handle<> h) {
+    auto state = fut.state();
+    state->add_continuation([h]() mutable {
+      // Resume on a scheduler task when possible so the setter's thread is
+      // not hijacked for arbitrarily long coroutine bodies.
+      if (auto* sched = mhpx::detail::ambient_scheduler()) {
+        sched->post([h] { h.resume(); });
+      } else {
+        h.resume();
+      }
+    });
+  }
+
+  T await_resume() { return fut.get(); }
+};
+
+}  // namespace mhpx::coro
+
+namespace mhpx {
+
+/// Make `co_await some_future` work anywhere.
+template <typename T>
+coro::future_awaiter<T> operator co_await(future<T>&& f) {
+  return coro::future_awaiter<T>{std::move(f)};
+}
+
+namespace coro::detail {
+
+template <typename T>
+struct future_promise_base {
+  promise<T> result;
+
+  std::suspend_never initial_suspend() noexcept { return {}; }
+  std::suspend_never final_suspend() noexcept { return {}; }
+  void unhandled_exception() {
+    result.set_exception(std::current_exception());
+  }
+  future<T> get_return_object() { return result.get_future(); }
+};
+
+template <typename T>
+struct future_promise : future_promise_base<T> {
+  template <typename U>
+  void return_value(U&& v) {
+    this->result.set_value(std::forward<U>(v));
+  }
+};
+
+template <>
+struct future_promise<void> : future_promise_base<void> {
+  void return_void() { this->result.set_value(); }
+};
+
+}  // namespace coro::detail
+}  // namespace mhpx
+
+/// Allow `mhpx::future<T>` as a coroutine return type.
+template <typename T, typename... Args>
+struct std::coroutine_traits<mhpx::future<T>, Args...> {
+  using promise_type = mhpx::coro::detail::future_promise<T>;
+};

@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file action.hpp
+/// Typed remote actions with unified local/remote call syntax.
+///
+/// The paper (§3.1) highlights that HPX's unified syntax between local and
+/// remote function calls makes distributed tree traversals natural: the
+/// caller never checks where the target lives. Our analogue: an action is a
+/// struct with a static invoke(); Locality::call<A>(gid, args...) serializes
+/// the arguments into a parcel when the target is remote and short-circuits
+/// through the same dispatch path when it is local, returning a future
+/// either way.
+///
+///   struct Ping {
+///     static constexpr std::string_view name = "demo::ping";
+///     static int invoke(Locality& here, int x) { return x + 1; }
+///   };
+///   MHPX_REGISTER_ACTION(Ping);
+///   future<int> f = locality.call<Ping>(locality_gid(1), 41);
+///
+/// Component actions additionally take the target component:
+///
+///   struct Get {
+///     static constexpr std::string_view name = "counter::get";
+///     static long invoke(Locality& here, Counter& self) { ... }
+///   };
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+
+#include "minihpx/distributed/component.hpp"
+#include "minihpx/distributed/parcel.hpp"
+#include "minihpx/serialization/archive.hpp"
+
+namespace mhpx::dist {
+
+class Locality;
+
+namespace detail {
+
+/// Introspection over A::invoke. Two shapes are recognised:
+///   R invoke(Locality&, Args...)          — locality-targeted action
+///   R invoke(Locality&, C&, Args...)      — component-targeted action
+template <typename Sig>
+struct action_sig;
+
+template <typename R, typename... As>
+struct action_sig<R (*)(Locality&, As...)> {
+  using result = R;
+  using args_tuple = std::tuple<std::decay_t<As>...>;
+  using component = void;
+};
+
+template <typename R, typename C, typename... As>
+  requires std::is_base_of_v<Component, std::decay_t<C>>
+struct action_sig<R (*)(Locality&, C&, As...)> {
+  using result = R;
+  using args_tuple = std::tuple<std::decay_t<As>...>;
+  using component = std::decay_t<C>;
+};
+
+template <typename A>
+using action_traits = action_sig<decltype(&A::invoke)>;
+
+}  // namespace detail
+
+/// Process-wide registry of action handlers. A handler deserializes the
+/// argument tuple, invokes the action, and serializes the result (or
+/// rethrows so the caller receives a remote-error reply).
+class ActionRegistry {
+ public:
+  using handler_fn =
+      std::function<void(Locality& here, std::uint64_t target_id,
+                         serialization::InputArchive& args,
+                         serialization::OutputArchive& result)>;
+
+  static ActionRegistry& instance() {
+    static ActionRegistry reg;
+    return reg;
+  }
+
+  void add(std::uint64_t hash, handler_fn handler) {
+    std::lock_guard lk(mutex_);
+    handlers_[hash] = std::move(handler);
+  }
+
+  [[nodiscard]] const handler_fn& get(std::uint64_t hash) const {
+    std::lock_guard lk(mutex_);
+    const auto it = handlers_.find(hash);
+    if (it == handlers_.end()) {
+      throw std::runtime_error("mhpx: unregistered action");
+    }
+    return it->second;
+  }
+
+ private:
+  mutable std::mutex mutex_;  // guards handlers_
+  std::unordered_map<std::uint64_t, handler_fn> handlers_;
+};
+
+namespace detail {
+
+Component* find_component(Locality& here, std::uint64_t id);  // locality.cpp
+
+template <typename A>
+void invoke_action(Locality& here, std::uint64_t target_id,
+                   serialization::InputArchive& in,
+                   serialization::OutputArchive& out) {
+  using traits = action_traits<A>;
+  using R = typename traits::result;
+  using C = typename traits::component;
+  typename traits::args_tuple args{};
+  in& args;
+  auto call = [&]() -> R {
+    if constexpr (std::is_void_v<C>) {
+      return std::apply(
+          [&](auto&&... as) {
+            return A::invoke(here, std::forward<decltype(as)>(as)...);
+          },
+          std::move(args));
+    } else {
+      Component* raw = find_component(here, target_id);
+      auto* typed = dynamic_cast<C*>(raw);
+      if (typed == nullptr) {
+        throw std::runtime_error("mhpx action: target component type mismatch");
+      }
+      return std::apply(
+          [&](auto&&... as) {
+            return A::invoke(here, *typed, std::forward<decltype(as)>(as)...);
+          },
+          std::move(args));
+    }
+  };
+  if constexpr (std::is_void_v<R>) {
+    call();
+  } else {
+    R r = call();
+    out& r;
+  }
+}
+
+template <typename A>
+struct action_registrar {
+  action_registrar() {
+    ActionRegistry::instance().add(
+        fnv1a(A::name),
+        [](Locality& here, std::uint64_t target,
+           serialization::InputArchive& in,
+           serialization::OutputArchive& out) {
+          invoke_action<A>(here, target, in, out);
+        });
+  }
+};
+
+}  // namespace detail
+}  // namespace mhpx::dist
+
+#define MHPX_DETAIL_CONCAT_IMPL(a, b) a##b
+#define MHPX_DETAIL_CONCAT(a, b) MHPX_DETAIL_CONCAT_IMPL(a, b)
+
+/// Register action A (a struct with static name and static invoke).
+#define MHPX_REGISTER_ACTION(A)                                       \
+  namespace {                                                         \
+  const ::mhpx::dist::detail::action_registrar<A> MHPX_DETAIL_CONCAT( \
+      mhpx_action_registrar_, __COUNTER__){};                         \
+  }

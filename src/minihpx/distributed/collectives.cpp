@@ -1,0 +1,19 @@
+#include "minihpx/distributed/collectives.hpp"
+
+namespace mhpx::dist {
+
+MHPX_REGISTER_ACTION(BarrierPingAction);
+
+void barrier(DistributedRuntime& rt) {
+  std::vector<future<int>> futs;
+  futs.reserve(rt.num_localities());
+  for (locality_id l = 0; l < rt.num_localities(); ++l) {
+    futs.push_back(
+        rt.locality(0).call<BarrierPingAction>(locality_gid(l)));
+  }
+  for (auto& f : futs) {
+    f.get();
+  }
+}
+
+}  // namespace mhpx::dist

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file collectives.hpp
+/// Distributed collectives over localities — the analogue of HPX's
+/// collectives module (broadcast / reduce / all-gather / barrier), built
+/// entirely on the action layer so every hop is a real parcel.
+///
+/// All collectives are driven from one caller thread (any locality or an
+/// external orchestrator) against a DistributedRuntime; they are the
+/// building blocks the distributed Octo-Tiger driver uses for dt reduction
+/// and moment exchange.
+
+#include <functional>
+#include <vector>
+
+#include "minihpx/distributed/runtime.hpp"
+#include "minihpx/futures/future.hpp"
+
+namespace mhpx::dist {
+
+namespace detail_collectives {
+
+/// Per-type mailbox component used by broadcast/gather: stores the latest
+/// payload delivered to a locality.
+template <typename T>
+class Mailbox : public Component {
+ public:
+  static constexpr std::string_view type_name = "mhpx::Mailbox";
+  using ctor_args = std::tuple<>;
+
+  explicit Mailbox(Locality&) {}
+
+  void put(T value) {
+    std::lock_guard lk(mutex_);
+    value_ = std::move(value);
+    ++version_;
+  }
+
+  [[nodiscard]] T get() const {
+    std::lock_guard lk(mutex_);
+    return value_;
+  }
+
+  [[nodiscard]] std::uint64_t version() const {
+    std::lock_guard lk(mutex_);
+    return version_;
+  }
+
+ private:
+  mutable std::mutex mutex_;  // guards value_/version_
+  T value_{};
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace detail_collectives
+
+/// Invoke \p call(locality) for every locality and gather the results in
+/// locality order. \p call must return future<T>.
+template <typename T, typename CallFn>
+std::vector<T> gather_all(DistributedRuntime& rt, CallFn&& call) {
+  std::vector<future<T>> futs;
+  futs.reserve(rt.num_localities());
+  for (locality_id l = 0; l < rt.num_localities(); ++l) {
+    futs.push_back(call(l));
+  }
+  std::vector<T> out;
+  out.reserve(futs.size());
+  for (auto& f : futs) {
+    out.push_back(f.get());
+  }
+  return out;
+}
+
+/// Reduce the per-locality values produced by \p call with \p op.
+template <typename T, typename CallFn, typename Op>
+T reduce_all(DistributedRuntime& rt, CallFn&& call, T init, Op&& op) {
+  auto values = gather_all<T>(rt, std::forward<CallFn>(call));
+  T acc = std::move(init);
+  for (auto& v : values) {
+    acc = op(std::move(acc), std::move(v));
+  }
+  return acc;
+}
+
+/// A simple distributed barrier: completes once every locality has executed
+/// one (empty) action — guarantees all previously *completed* per-locality
+/// work is visible before continuing.
+struct BarrierPingAction {
+  static constexpr std::string_view name = "mhpx::collectives::barrier_ping";
+  static int invoke(Locality&) { return 0; }
+};
+
+void barrier(DistributedRuntime& rt);
+
+}  // namespace mhpx::dist

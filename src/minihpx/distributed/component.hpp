@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file component.hpp
+/// Distributed components — the AGAS-visible objects remote actions target.
+///
+/// In Octo-Tiger every octree node is one HPX component, placeable on any
+/// locality; our analogue keeps that model: a Component lives in exactly one
+/// locality's table and is addressed by gid. Component types register a
+/// factory so they can be constructed remotely from serialized constructor
+/// arguments.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+
+#include "minihpx/distributed/parcel.hpp"
+#include "minihpx/serialization/archive.hpp"
+
+namespace mhpx::dist {
+
+class Locality;
+
+/// Base class of everything addressable by gid.
+class Component {
+ public:
+  virtual ~Component() = default;
+};
+
+/// Process-wide registry of component factories (name -> construct from a
+/// serialized argument tuple). Populated at static-init time by
+/// MHPX_REGISTER_COMPONENT.
+class ComponentFactoryRegistry {
+ public:
+  using factory_fn = std::function<std::unique_ptr<Component>(
+      Locality& here, serialization::InputArchive& args)>;
+
+  static ComponentFactoryRegistry& instance() {
+    static ComponentFactoryRegistry reg;
+    return reg;
+  }
+
+  void add(std::uint64_t hash, factory_fn factory) {
+    std::lock_guard lk(mutex_);
+    factories_[hash] = std::move(factory);
+  }
+
+  [[nodiscard]] const factory_fn& get(std::uint64_t hash) const {
+    std::lock_guard lk(mutex_);
+    const auto it = factories_.find(hash);
+    if (it == factories_.end()) {
+      throw std::runtime_error("mhpx: unregistered component type");
+    }
+    return it->second;
+  }
+
+ private:
+  mutable std::mutex mutex_;  // guards factories_
+  std::unordered_map<std::uint64_t, factory_fn> factories_;
+};
+
+namespace detail {
+
+/// Deduce the constructor-argument tuple for remote creation of C: the
+/// component declares `using ctor_args = std::tuple<...>;` and a
+/// constructor C(Locality&, args...).
+template <typename C>
+using ctor_args_t = typename C::ctor_args;
+
+template <typename C, typename Tuple, std::size_t... Is>
+std::unique_ptr<Component> construct_component(Locality& here, Tuple&& args,
+                                               std::index_sequence<Is...>) {
+  return std::make_unique<C>(here, std::get<Is>(std::forward<Tuple>(args))...);
+}
+
+template <typename C>
+struct component_registrar {
+  explicit component_registrar(std::string_view name) {
+    ComponentFactoryRegistry::instance().add(
+        fnv1a(name),
+        [](Locality& here,
+           serialization::InputArchive& ar) -> std::unique_ptr<Component> {
+          ctor_args_t<C> args{};
+          ar& args;
+          return construct_component<C>(
+              here, std::move(args),
+              std::make_index_sequence<std::tuple_size_v<ctor_args_t<C>>>{});
+        });
+  }
+};
+
+}  // namespace detail
+}  // namespace mhpx::dist
+
+#define MHPX_DETAIL_CONCAT2_IMPL(a, b) a##b
+#define MHPX_DETAIL_CONCAT2(a, b) MHPX_DETAIL_CONCAT2_IMPL(a, b)
+
+/// Register component type C under its name for remote construction.
+/// C must declare `static constexpr std::string_view type_name`, a
+/// `using ctor_args = std::tuple<...>` and a C(Locality&, args...) ctor.
+#define MHPX_REGISTER_COMPONENT(C)                                       \
+  namespace {                                                            \
+  const ::mhpx::dist::detail::component_registrar<C> MHPX_DETAIL_CONCAT2( \
+      mhpx_component_registrar_, __COUNTER__){C::type_name};             \
+  }

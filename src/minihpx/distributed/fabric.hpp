@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file fabric.hpp
+/// Parcelport abstraction: how frames travel between localities.
+///
+/// HPX lets the user pick the communication backend ("parcelport"): TCP,
+/// MPI or LCI. The paper's Fig. 8 compares TCP and MPI on the two-board
+/// cluster. We implement three fabrics behind one interface:
+///   - inproc: direct handoff (the intra-process baseline),
+///   - tcp:    real AF_INET loopback sockets with length-prefixed frames,
+///   - mpisim: in-process queues plus an MPI protocol model (eager vs
+///             rendezvous) whose extra control traffic and latency are
+///             recorded for the discrete-event simulator.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "minihpx/distributed/gid.hpp"
+
+namespace mhpx::dist {
+
+/// Which parcelport implementation to use.
+enum class FabricKind {
+  inproc,
+  tcp,
+  mpisim,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FabricKind k) {
+  switch (k) {
+    case FabricKind::inproc:
+      return "inproc";
+    case FabricKind::tcp:
+      return "tcp";
+    case FabricKind::mpisim:
+      return "mpisim";
+  }
+  return "?";
+}
+
+/// Transport between localities. Implementations deliver each frame exactly
+/// once, in order per (src, dst) pair, by invoking the receiver callback
+/// registered for the destination.
+class Fabric {
+ public:
+  using receive_fn =
+      std::function<void(locality_id src, std::vector<std::byte> frame)>;
+
+  /// Aggregate traffic counters (per fabric, all localities).
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    /// mpisim only: messages that exceeded the eager limit and paid the
+    /// rendezvous round-trip.
+    std::uint64_t rendezvous_messages = 0;
+    /// mpisim only: simulated protocol control messages (RTS/CTS).
+    std::uint64_t control_messages = 0;
+  };
+
+  virtual ~Fabric() = default;
+
+  /// Wire up \p count localities; receiver i gets frames addressed to i.
+  /// Must be called exactly once, before any send.
+  virtual void connect(std::vector<receive_fn> receivers) = 0;
+
+  /// Send one frame. Thread-safe. \p src/\p dst must be < locality count.
+  virtual void send(locality_id src, locality_id dst,
+                    std::vector<std::byte> frame) = 0;
+
+  /// Stop background threads and release sockets. Idempotent; called by
+  /// the distributed runtime before localities are destroyed.
+  virtual void shutdown() = 0;
+
+  [[nodiscard]] virtual Stats stats() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Construct a fabric of the given kind.
+std::unique_ptr<Fabric> make_fabric(FabricKind kind);
+
+}  // namespace mhpx::dist

@@ -1,0 +1,66 @@
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/instrument.hpp"
+
+namespace mhpx::dist {
+
+namespace {
+
+/// Direct handoff: send() invokes the destination's receiver on the calling
+/// thread. The receiver (Locality::deliver) only posts a task, so this is
+/// cheap and cannot recurse unboundedly.
+class InprocFabric final : public Fabric {
+ public:
+  void connect(std::vector<receive_fn> receivers) override {
+    std::lock_guard lk(mutex_);
+    if (!receivers_.empty()) {
+      throw std::logic_error("inproc fabric: connect() called twice");
+    }
+    receivers_ = std::move(receivers);
+  }
+
+  void send(locality_id src, locality_id dst,
+            std::vector<std::byte> frame) override {
+    receive_fn* target = nullptr;
+    {
+      std::lock_guard lk(mutex_);
+      if (dst >= receivers_.size()) {
+        throw std::out_of_range("inproc fabric: bad destination locality");
+      }
+      target = &receivers_[dst];
+    }
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+    instrument::detail::notify_parcel(src, dst, frame.size());
+    (*target)(src, std::move(frame));
+  }
+
+  void shutdown() override {}
+
+  [[nodiscard]] Stats stats() const override {
+    Stats s;
+    s.messages = messages_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "inproc"; }
+
+ private:
+  mutable std::mutex mutex_;  // guards receivers_
+  std::vector<receive_fn> receivers_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Fabric> make_inproc_fabric() {
+  return std::make_unique<InprocFabric>();
+}
+
+}  // namespace mhpx::dist

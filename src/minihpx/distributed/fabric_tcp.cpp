@@ -1,0 +1,270 @@
+// TCP parcelport over real AF_INET loopback sockets.
+//
+// Every locality gets a listening socket on 127.0.0.1 with a kernel-chosen
+// port; connect() establishes a full mesh (locality j dials every i < j) and
+// then starts one reader thread per connection. Frames are length-prefixed:
+//   uint32 frame_size | uint32 source_locality | frame bytes.
+// This exercises the same syscall path a two-board GbE cluster would, which
+// is what makes the TCP-vs-MPI comparison of Fig. 8 meaningful.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/instrument.hpp"
+
+namespace mhpx::dist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("tcp parcelport: send");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Returns false on orderly shutdown (peer closed).
+bool read_all(int fd, void* out, std::size_t n) {
+  char* p = static_cast<char*>(out);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r == 0) {
+      return false;
+    }
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // socket torn down during shutdown
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+class TcpFabric final : public Fabric {
+ public:
+  ~TcpFabric() override { shutdown(); }
+
+  void connect(std::vector<receive_fn> receivers) override {
+    const auto n = static_cast<locality_id>(receivers.size());
+    receivers_ = std::move(receivers);
+    sockets_.assign(n, std::vector<int>(n, -1));
+
+    // One listener per locality on a kernel-chosen loopback port.
+    std::vector<int> listeners(n, -1);
+    std::vector<std::uint16_t> ports(n, 0);
+    for (locality_id i = 0; i < n; ++i) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        throw_errno("tcp parcelport: socket");
+      }
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = 0;
+      if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        throw_errno("tcp parcelport: bind");
+      }
+      socklen_t len = sizeof(addr);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        throw_errno("tcp parcelport: getsockname");
+      }
+      ports[i] = ntohs(addr.sin_port);
+      if (::listen(fd, static_cast<int>(n)) != 0) {
+        throw_errno("tcp parcelport: listen");
+      }
+      listeners[i] = fd;
+    }
+
+    // Full mesh: j dials i for all i < j; i accepts and learns j from a
+    // one-int handshake.
+    for (locality_id j = 0; j < n; ++j) {
+      for (locality_id i = 0; i < j; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+          throw_errno("tcp parcelport: socket(dial)");
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(ports[i]);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+          throw_errno("tcp parcelport: connect");
+        }
+        const std::uint32_t who = j;
+        write_all(fd, &who, sizeof(who));
+
+        const int afd = ::accept(listeners[i], nullptr, nullptr);
+        if (afd < 0) {
+          throw_errno("tcp parcelport: accept");
+        }
+        std::uint32_t peer = 0;
+        if (!read_all(afd, &peer, sizeof(peer))) {
+          throw std::runtime_error("tcp parcelport: handshake failed");
+        }
+        configure(fd);
+        configure(afd);
+        sockets_[j][i] = fd;   // j -> i uses the dialled socket
+        sockets_[i][peer] = afd;  // i -> j uses the accepted socket
+      }
+    }
+    for (const int fd : listeners) {
+      ::close(fd);
+    }
+
+    // One reader thread per directed connection endpoint: locality d reads
+    // from its socket to s.
+    running_.store(true);
+    for (locality_id d = 0; d < n; ++d) {
+      for (locality_id s = 0; s < n; ++s) {
+        if (d == s) {
+          continue;
+        }
+        readers_.emplace_back([this, d, s] { reader_loop(d, s); });
+      }
+    }
+    send_mutexes_ = std::vector<std::mutex>(static_cast<std::size_t>(n) * n);
+  }
+
+  void send(locality_id src, locality_id dst,
+            std::vector<std::byte> frame) override {
+    if (src == dst) {
+      deliver_local(src, dst, std::move(frame));
+      return;
+    }
+    const int fd = sockets_[src][dst];
+    if (fd < 0) {
+      throw std::logic_error("tcp parcelport: no connection");
+    }
+    const auto size = static_cast<std::uint32_t>(frame.size());
+    const std::uint32_t who = src;
+    {
+      // Serialise writers per directed connection so frames never interleave.
+      std::lock_guard lk(send_mutexes_[static_cast<std::size_t>(src) *
+                                           sockets_.size() +
+                                       dst]);
+      write_all(fd, &size, sizeof(size));
+      write_all(fd, &who, sizeof(who));
+      write_all(fd, frame.data(), frame.size());
+    }
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+    instrument::detail::notify_parcel(src, dst, frame.size());
+  }
+
+  void shutdown() override {
+    bool expected = true;
+    if (!running_.compare_exchange_strong(expected, false)) {
+      // Not started or already shut down; still join any stray readers.
+    }
+    for (auto& row : sockets_) {
+      for (int& fd : row) {
+        if (fd >= 0) {
+          ::shutdown(fd, SHUT_RDWR);
+        }
+      }
+    }
+    for (auto& t : readers_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    readers_.clear();
+    for (auto& row : sockets_) {
+      for (int& fd : row) {
+        if (fd >= 0) {
+          ::close(fd);
+          fd = -1;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] Stats stats() const override {
+    Stats s;
+    s.messages = messages_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "tcp"; }
+
+ private:
+  static void configure(int fd) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  void deliver_local(locality_id src, locality_id dst,
+                     std::vector<std::byte> frame) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+    receivers_[dst](src, std::move(frame));
+  }
+
+  void reader_loop(locality_id self, locality_id peer) {
+    const int fd = sockets_[self][peer];
+    if (fd < 0) {
+      return;
+    }
+    while (running_.load(std::memory_order_acquire)) {
+      std::uint32_t size = 0;
+      std::uint32_t who = 0;
+      if (!read_all(fd, &size, sizeof(size)) ||
+          !read_all(fd, &who, sizeof(who))) {
+        return;
+      }
+      std::vector<std::byte> frame(size);
+      if (!read_all(fd, frame.data(), frame.size())) {
+        return;
+      }
+      receivers_[self](static_cast<locality_id>(who), std::move(frame));
+    }
+  }
+
+  std::vector<receive_fn> receivers_;
+  std::vector<std::vector<int>> sockets_;  // [src][dst] -> fd
+  std::vector<std::mutex> send_mutexes_;
+  std::vector<std::thread> readers_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Fabric> make_tcp_fabric() {
+  return std::make_unique<TcpFabric>();
+}
+
+}  // namespace mhpx::dist

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file gid.hpp
+/// Global identifiers for the AGAS-style component space.
+///
+/// HPX's Active Global Address Space (AGAS) lets components live on any
+/// locality while being addressed uniformly. Our analogue keeps the same
+/// user-visible property — a gid names a component wherever it lives, and
+/// remote calls on it are syntax-identical to local ones — with a simple
+/// (locality, id) encoding instead of HPX's full resolution service.
+
+#include <cstdint>
+#include <functional>
+
+namespace mhpx::dist {
+
+/// Identifies one simulated locality (one "compute node" / SBC board).
+using locality_id = std::uint32_t;
+
+/// Global identifier of a component: which locality owns it and its local
+/// slot there. id 0 is reserved for "the locality itself" (free-function
+/// actions with no component target).
+struct gid {
+  locality_id locality = 0;
+  std::uint64_t id = 0;
+
+  friend bool operator==(const gid&, const gid&) = default;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& locality& id;
+  }
+};
+
+/// gid of "locality l itself" — target for component-less actions.
+inline gid locality_gid(locality_id l) { return gid{l, 0}; }
+
+}  // namespace mhpx::dist
+
+template <>
+struct std::hash<mhpx::dist::gid> {
+  std::size_t operator()(const mhpx::dist::gid& g) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(g.locality) << 48) ^ g.id);
+  }
+};

@@ -1,0 +1,147 @@
+#include "minihpx/distributed/locality.hpp"
+
+#include "minihpx/distributed/runtime.hpp"
+
+namespace mhpx::dist {
+
+namespace detail {
+Component* find_component(Locality& here, std::uint64_t id) {
+  return &here.component(id);
+}
+}  // namespace detail
+
+Locality::Locality(locality_id id, DistributedRuntime& runtime,
+                   unsigned num_threads, std::size_t stack_size)
+    : id_(id),
+      runtime_(runtime),
+      scheduler_(threads::Scheduler::Config{num_threads, stack_size}) {}
+
+Locality::~Locality() = default;
+
+gid Locality::adopt(std::unique_ptr<Component> component) {
+  std::lock_guard lk(components_mutex_);
+  const std::uint64_t local_id = next_component_++;
+  components_.emplace(local_id, std::move(component));
+  return gid{id_, local_id};
+}
+
+Component& Locality::component(std::uint64_t local_id) {
+  std::lock_guard lk(components_mutex_);
+  const auto it = components_.find(local_id);
+  if (it == components_.end()) {
+    throw std::runtime_error("mhpx: component not found on this locality");
+  }
+  return *it->second;
+}
+
+void Locality::destroy(const gid& g) {
+  if (g.locality != id_) {
+    throw std::logic_error("Locality::destroy: component lives elsewhere");
+  }
+  std::lock_guard lk(components_mutex_);
+  components_.erase(g.id);
+}
+
+std::size_t Locality::component_count() const {
+  std::lock_guard lk(components_mutex_);
+  return components_.size();
+}
+
+void Locality::send_parcel(Parcel p) {
+  runtime_.fabric().send(id_, p.header.destination, encode_parcel(p));
+}
+
+void Locality::deliver(locality_id src, std::vector<std::byte> frame) {
+  // Called on a fabric thread (or the sender's thread for inproc): decode
+  // cheaply and move the real work onto this locality's scheduler so action
+  // bodies always run on worker fibers.
+  //
+  // A malformed frame (bit rot, a hostile peer, a failure-injection test)
+  // must never take the fabric thread down: drop it and count it. The
+  // request it carried will simply never resolve — the same observable
+  // behaviour as a lost message on a real wire.
+  Parcel p;
+  try {
+    p = decode_parcel(frame);
+  } catch (const std::exception&) {
+    dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+    (void)src;
+    return;
+  }
+  scheduler_.post(
+      [this, parcel = std::move(p)]() mutable { handle_parcel(std::move(parcel)); });
+}
+
+void Locality::handle_parcel(Parcel p) {
+  switch (p.header.kind) {
+    case ParcelKind::call: {
+      Parcel reply;
+      reply.header.kind = ParcelKind::reply;
+      reply.header.source = id_;
+      reply.header.destination = p.header.source;
+      reply.header.request = p.header.request;
+      try {
+        const auto& handler = ActionRegistry::instance().get(p.header.action);
+        serialization::InputArchive in(p.payload);
+        serialization::OutputArchive out;
+        handler(*this, p.header.target, in, out);
+        reply.payload = std::move(out).take();
+      } catch (const std::exception& e) {
+        reply.header.status = 1;
+        serialization::OutputArchive out;
+        std::string message = e.what();
+        out& message;
+        reply.payload = std::move(out).take();
+      }
+      send_parcel(std::move(reply));
+      break;
+    }
+    case ParcelKind::create: {
+      Parcel reply;
+      reply.header.kind = ParcelKind::reply;
+      reply.header.source = id_;
+      reply.header.destination = p.header.source;
+      reply.header.request = p.header.request;
+      try {
+        const auto& factory =
+            ComponentFactoryRegistry::instance().get(p.header.action);
+        serialization::InputArchive in(p.payload);
+        const gid g = adopt(factory(*this, in));
+        serialization::OutputArchive out;
+        out& g;
+        reply.payload = std::move(out).take();
+      } catch (const std::exception& e) {
+        reply.header.status = 1;
+        serialization::OutputArchive out;
+        std::string message = e.what();
+        out& message;
+        reply.payload = std::move(out).take();
+      }
+      send_parcel(std::move(reply));
+      break;
+    }
+    case ParcelKind::reply: {
+      std::function<void(std::uint8_t, serialization::InputArchive&)> resolver;
+      {
+        std::lock_guard lk(pending_mutex_);
+        auto it = pending_.find(p.header.request);
+        if (it == pending_.end()) {
+          return;  // duplicate or cancelled request: drop
+        }
+        resolver = std::move(it->second);
+        pending_.erase(it);
+      }
+      serialization::InputArchive in(p.payload);
+      resolver(p.header.status, in);
+      break;
+    }
+    case ParcelKind::shutdown:
+      break;  // cooperative teardown marker; nothing to do in-process
+    default:
+      // Corrupted kind byte that survived framing: drop, like deliver().
+      dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+}  // namespace mhpx::dist

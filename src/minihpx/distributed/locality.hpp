@@ -1,0 +1,233 @@
+#pragma once
+
+/// \file locality.hpp
+/// A simulated locality: one "compute node" with its own scheduler,
+/// component table and pending-request map. The DistributedRuntime hosts N
+/// of these in one process and wires them to a shared parcelport fabric —
+/// the substitution for the paper's two physical VisionFive2 boards
+/// (DESIGN.md §1).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "minihpx/distributed/action.hpp"
+#include "minihpx/distributed/component.hpp"
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/gid.hpp"
+#include "minihpx/distributed/parcel.hpp"
+#include "minihpx/futures/future.hpp"
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mhpx::dist {
+
+/// Thrown on the caller when a remote action threw; carries the remote
+/// exception's message.
+struct remote_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class DistributedRuntime;
+
+class Locality {
+ public:
+  Locality(locality_id id, DistributedRuntime& runtime, unsigned num_threads,
+           std::size_t stack_size);
+  ~Locality();
+  Locality(const Locality&) = delete;
+  Locality& operator=(const Locality&) = delete;
+
+  [[nodiscard]] locality_id id() const noexcept { return id_; }
+  [[nodiscard]] threads::Scheduler& scheduler() noexcept { return scheduler_; }
+
+  // ----------------------------------------------------------- components
+
+  /// Construct a component locally; returns its gid.
+  template <typename C, typename... Args>
+  gid create_local(Args&&... args) {
+    auto comp = std::make_unique<C>(*this, std::forward<Args>(args)...);
+    return adopt(std::move(comp));
+  }
+
+  /// Take ownership of an already constructed component.
+  gid adopt(std::unique_ptr<Component> component);
+
+  /// Construct component C on locality \p where from serializable ctor
+  /// arguments; resolves to the new component's gid.
+  template <typename C, typename... Args>
+  future<gid> create_on(locality_id where, Args&&... args) {
+    if (where == id_) {
+      return make_ready_future(create_local<C>(std::forward<Args>(args)...));
+    }
+    serialization::OutputArchive payload;
+    typename C::ctor_args args_tuple(std::forward<Args>(args)...);
+    payload& args_tuple;
+    return send_request<gid>(where, ParcelKind::create, fnv1a(C::type_name),
+                             /*target=*/0, std::move(payload).take());
+  }
+
+  /// Look up a local component by id; throws if absent.
+  Component& component(std::uint64_t local_id);
+
+  /// Typed lookup of a *local* component.
+  template <typename C>
+  C& local(const gid& g) {
+    if (g.locality != id_) {
+      throw std::logic_error("Locality::local: component lives elsewhere");
+    }
+    auto* typed = dynamic_cast<C*>(&component(g.id));
+    if (typed == nullptr) {
+      throw std::runtime_error("Locality::local: component type mismatch");
+    }
+    return *typed;
+  }
+
+  /// Destroy a local component.
+  void destroy(const gid& g);
+
+  /// Number of components resident here.
+  [[nodiscard]] std::size_t component_count() const;
+
+  // --------------------------------------------------------------- actions
+
+  /// Invoke action A on \p target (unified local/remote syntax): if the
+  /// target is local, runs as a local task; otherwise serializes the
+  /// arguments into a parcel. Returns a future for the result either way.
+  template <typename A, typename... Args>
+  auto call(const gid& target, Args&&... args)
+      -> future<typename detail::action_traits<A>::result> {
+    using R = typename detail::action_traits<A>::result;
+    typename detail::action_traits<A>::args_tuple tup(
+        std::forward<Args>(args)...);
+    if (target.locality == id_) {
+      // Local short-circuit: same dispatch, no serialization round-trip.
+      auto state = std::make_shared<mhpx::detail::shared_state<R>>();
+      scheduler_.post([this, target, tup = std::move(tup), state]() mutable {
+        try {
+          if constexpr (std::is_void_v<R>) {
+            invoke_local<A>(target.id, std::move(tup));
+            state->set_value(std::monostate{});
+          } else {
+            state->set_value(invoke_local<A>(target.id, std::move(tup)));
+          }
+        } catch (...) {
+          state->set_exception(std::current_exception());
+        }
+      });
+      return future<R>(std::move(state));
+    }
+    serialization::OutputArchive payload;
+    payload& tup;
+    return send_request<R>(target.locality, ParcelKind::call, fnv1a(A::name),
+                           target.id, std::move(payload).take());
+  }
+
+  // ------------------------------------------------------------- plumbing
+
+  /// Fabric entry point: called (possibly on a fabric thread) for every
+  /// frame addressed to this locality. Decodes and posts a handler task.
+  void deliver(locality_id src, std::vector<std::byte> frame);
+
+  /// Block the calling external thread until this locality has no live
+  /// tasks (it may still receive parcels afterwards).
+  void wait_idle() { scheduler_.wait_idle(); }
+
+  /// Malformed frames dropped by deliver() (failure-injection diagnostics).
+  [[nodiscard]] std::uint64_t dropped_frames() const {
+    return dropped_frames_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  template <typename A, typename Tuple>
+  typename detail::action_traits<A>::result invoke_local(std::uint64_t target,
+                                                         Tuple tup) {
+    using traits = detail::action_traits<A>;
+    using C = typename traits::component;
+    if constexpr (std::is_void_v<C>) {
+      return std::apply(
+          [&](auto&&... as) {
+            return A::invoke(*this, std::forward<decltype(as)>(as)...);
+          },
+          std::move(tup));
+    } else {
+      auto* typed = dynamic_cast<C*>(&component(target));
+      if (typed == nullptr) {
+        throw std::runtime_error("mhpx action: target component type mismatch");
+      }
+      return std::apply(
+          [&](auto&&... as) {
+            return A::invoke(*this, *typed,
+                             std::forward<decltype(as)>(as)...);
+          },
+          std::move(tup));
+    }
+  }
+
+  /// Send a request parcel and return a future resolved by the reply.
+  template <typename R>
+  future<R> send_request(locality_id dst, ParcelKind kind,
+                         std::uint64_t action, std::uint64_t target,
+                         std::vector<std::byte> payload) {
+    auto state = std::make_shared<mhpx::detail::shared_state<R>>();
+    const std::uint64_t request = next_request_.fetch_add(1);
+    {
+      std::lock_guard lk(pending_mutex_);
+      pending_[request] = [state](std::uint8_t status,
+                                  serialization::InputArchive& in) {
+        if (status != 0) {
+          std::string message;
+          in& message;
+          state->set_exception(
+              std::make_exception_ptr(remote_error(message)));
+          return;
+        }
+        try {
+          if constexpr (std::is_void_v<R>) {
+            state->set_value(std::monostate{});
+          } else {
+            R value{};
+            in& value;
+            state->set_value(std::move(value));
+          }
+        } catch (...) {
+          state->set_exception(std::current_exception());
+        }
+      };
+    }
+    Parcel p;
+    p.header.kind = kind;
+    p.header.source = id_;
+    p.header.destination = dst;
+    p.header.action = action;
+    p.header.target = target;
+    p.header.request = request;
+    p.payload = std::move(payload);
+    send_parcel(std::move(p));
+    return future<R>(std::move(state));
+  }
+
+  void send_parcel(Parcel p);
+  void handle_parcel(Parcel p);
+
+  locality_id id_;
+  DistributedRuntime& runtime_;
+  threads::Scheduler scheduler_;
+
+  mutable std::mutex components_mutex_;  // guards components_/next_component_
+  std::unordered_map<std::uint64_t, std::unique_ptr<Component>> components_;
+  std::uint64_t next_component_ = 1;  // 0 is "the locality itself"
+
+  std::mutex pending_mutex_;  // guards pending_
+  std::unordered_map<std::uint64_t,
+                     std::function<void(std::uint8_t,
+                                        serialization::InputArchive&)>>
+      pending_;
+  std::atomic<std::uint64_t> next_request_{1};
+  std::atomic<std::uint64_t> dropped_frames_{0};
+};
+
+}  // namespace mhpx::dist

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file parcel.hpp
+/// Wire format of one parcel (HPX's unit of remote communication).
+///
+/// A parcel is a flat frame: a fixed header followed by an opaque payload
+/// produced by the serialization archives. Parcelports move frames; they
+/// never interpret payloads.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "minihpx/distributed/gid.hpp"
+#include "minihpx/serialization/archive.hpp"
+
+namespace mhpx::dist {
+
+/// What a parcel asks the receiving locality to do.
+enum class ParcelKind : std::uint8_t {
+  call = 0,      ///< invoke a registered action on a target gid
+  reply = 1,     ///< deliver an action result to a pending request
+  create = 2,    ///< construct a component from a registered factory
+  shutdown = 3,  ///< cooperative teardown notification
+};
+
+struct ParcelHeader {
+  ParcelKind kind = ParcelKind::call;
+  locality_id source = 0;
+  locality_id destination = 0;
+  /// FNV-1a hash of the action (or component-factory) name.
+  std::uint64_t action = 0;
+  /// Local component id on the destination (0 = the locality itself).
+  std::uint64_t target = 0;
+  /// Correlates a reply with its pending request on the source.
+  std::uint64_t request = 0;
+  /// 0 = success; nonzero = remote error, payload is the message string.
+  std::uint8_t status = 0;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& kind& source& destination& action& target& request& status;
+  }
+};
+
+struct Parcel {
+  ParcelHeader header;
+  std::vector<std::byte> payload;
+};
+
+/// Compile-time FNV-1a, used to hash action and component names.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Flatten a parcel into one frame.
+inline std::vector<std::byte> encode_parcel(const Parcel& p) {
+  serialization::OutputArchive ar;
+  ar& p.header;
+  const auto n = static_cast<std::uint64_t>(p.payload.size());
+  ar& n;
+  ar.write_bytes(p.payload.data(), p.payload.size());
+  return std::move(ar).take();
+}
+
+/// Parse a frame back into a parcel. Throws serialization::archive_error on
+/// truncated frames or hostile length fields (checked *before* allocating).
+inline Parcel decode_parcel(const std::vector<std::byte>& frame) {
+  serialization::InputArchive ar(frame);
+  Parcel p;
+  ar& p.header;
+  std::uint64_t n = 0;
+  ar& n;
+  if (n > ar.remaining()) {
+    throw serialization::archive_error(
+        "parcel: payload length exceeds frame size");
+  }
+  p.payload.resize(static_cast<std::size_t>(n));
+  ar.read_bytes(p.payload.data(), p.payload.size());
+  return p;
+}
+
+}  // namespace mhpx::dist

@@ -1,0 +1,60 @@
+#include "minihpx/distributed/runtime.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace mhpx::dist {
+
+DistributedRuntime::DistributedRuntime(Config cfg) {
+  fabric_ = make_fabric(cfg.fabric);
+  localities_.reserve(cfg.num_localities);
+  for (locality_id i = 0; i < cfg.num_localities; ++i) {
+    localities_.push_back(
+        std::make_unique<Locality>(i, *this, cfg.threads_per_locality,
+                                   cfg.stack_size));
+  }
+  std::vector<Fabric::receive_fn> receivers;
+  receivers.reserve(localities_.size());
+  for (auto& loc : localities_) {
+    receivers.push_back([target = loc.get()](locality_id src,
+                                             std::vector<std::byte> frame) {
+      target->deliver(src, std::move(frame));
+    });
+  }
+  fabric_->connect(std::move(receivers));
+}
+
+DistributedRuntime::~DistributedRuntime() {
+  wait_all_idle();
+  // Stop the fabric first so no frame arrives at a half-destroyed locality.
+  fabric_->shutdown();
+}
+
+void DistributedRuntime::wait_all_idle() {
+  // A reply parcel can re-awaken a locality that already looked idle, so
+  // sweep until one pass observes every locality quiescent.
+  for (;;) {
+    bool all_idle = true;
+    for (auto& loc : localities_) {
+      if (loc->scheduler().live_tasks() != 0) {
+        all_idle = false;
+        loc->wait_idle();
+      }
+    }
+    if (all_idle) {
+      // Double-check after a grace period for in-flight frames.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      bool still_idle = true;
+      for (auto& loc : localities_) {
+        if (loc->scheduler().live_tasks() != 0) {
+          still_idle = false;
+        }
+      }
+      if (still_idle) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace mhpx::dist

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file runtime.hpp (distributed)
+/// DistributedRuntime: hosts N simulated localities over a chosen fabric —
+/// the analogue of launching octotiger with --hpx:localities=2 on the
+/// two-board cluster (paper Listings 2–3).
+
+#include <memory>
+#include <vector>
+
+#include "minihpx/config.hpp"
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/locality.hpp"
+
+namespace mhpx::dist {
+
+class DistributedRuntime {
+ public:
+  struct Config {
+    unsigned num_localities = 2;      ///< --hpx:localities analogue
+    unsigned threads_per_locality = 4;  ///< --hpx:threads analogue
+    std::size_t stack_size = default_stack_size;
+    FabricKind fabric = FabricKind::tcp;  ///< parcelport selection
+  };
+
+  explicit DistributedRuntime(Config cfg);
+  ~DistributedRuntime();
+  DistributedRuntime(const DistributedRuntime&) = delete;
+  DistributedRuntime& operator=(const DistributedRuntime&) = delete;
+
+  [[nodiscard]] unsigned num_localities() const noexcept {
+    return static_cast<unsigned>(localities_.size());
+  }
+  [[nodiscard]] Locality& locality(locality_id i) { return *localities_.at(i); }
+  [[nodiscard]] Fabric& fabric() noexcept { return *fabric_; }
+
+  /// Drain every locality. Callable only from an external (non-worker)
+  /// thread; loops until a full sweep finds all localities idle (a reply
+  /// can re-awaken an earlier-checked locality, hence the sweep).
+  void wait_all_idle();
+
+ private:
+  friend class Locality;
+
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::unique_ptr<Locality>> localities_;
+};
+
+}  // namespace mhpx::dist

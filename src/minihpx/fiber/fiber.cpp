@@ -1,0 +1,93 @@
+#include "minihpx/fiber/fiber.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace mhpx::fiber {
+
+Fiber::Fiber(entry_t entry, Stack stack)
+    : entry_(std::move(entry)), stack_(std::move(stack)) {
+  prepare_context();
+}
+
+void Fiber::prepare_context() {
+  if (::getcontext(&context_) != 0) {
+    std::perror("getcontext");
+    std::abort();
+  }
+  context_.uc_stack.ss_sp = stack_.base();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = nullptr;  // we always switch out explicitly
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  const auto hi = static_cast<unsigned int>(self >> 32);
+  const auto lo = static_cast<unsigned int>(self & 0xffffffffu);
+  // makecontext only forwards int-sized arguments portably; split the
+  // pointer across two of them.
+  ::makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                hi, lo);
+  state_ = FiberState::ready;
+}
+
+void Fiber::trampoline(unsigned int hi, unsigned int lo) {
+  const auto bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  auto* self = reinterpret_cast<Fiber*>(bits);
+  self->run_entry();
+}
+
+void Fiber::run_entry() {
+  for (;;) {
+    // The entry function owns its exceptions: a task that lets one escape
+    // would otherwise unwind off the fiber stack into undefined behaviour.
+    try {
+      entry_();
+    } catch (...) {
+      std::fprintf(stderr,
+                   "minihpx: fatal: exception escaped a fiber entry point\n");
+      std::terminate();
+    }
+    state_ = FiberState::finished;
+    entry_ = nullptr;
+    // Return control to the worker. If the fiber object is later reset()
+    // with a new entry, the next resume() re-enters here and loops.
+    suspend_to_owner();
+  }
+}
+
+void Fiber::resume() {
+  assert(state_ == FiberState::ready);
+  state_ = FiberState::running;
+  ucontext_t caller{};
+  return_context_ = &caller;
+  if (::swapcontext(&caller, &context_) != 0) {
+    std::perror("swapcontext(resume)");
+    std::abort();
+  }
+}
+
+void Fiber::suspend_to_owner() {
+  assert(return_context_ != nullptr);
+  ucontext_t* ret = return_context_;
+  if (::swapcontext(&context_, ret) != 0) {
+    std::perror("swapcontext(suspend)");
+    std::abort();
+  }
+}
+
+Stack Fiber::take_stack() {
+  assert(state_ == FiberState::finished);
+  return std::move(stack_);
+}
+
+void Fiber::reset(entry_t entry) {
+  assert(state_ == FiberState::finished);
+  assert(stack_.valid());
+  entry_ = std::move(entry);
+  // The saved context still points at the resume point inside run_entry()'s
+  // loop, so no makecontext is needed: simply mark runnable again.
+  state_ = FiberState::ready;
+}
+
+}  // namespace mhpx::fiber

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file fiber.hpp
+/// Stackful user-space threads on top of POSIX ucontext.
+///
+/// HPX implements user-space threads either with Boost.Context or with a
+/// native assembly port per ISA; the paper's RISC-V port uses Boost.Context.
+/// Our analogue uses the portable POSIX ucontext API — the same stackful
+/// semantics (suspend anywhere, resume on any worker), which is exactly what
+/// the fiber-aware synchronisation primitives and future::get rely on.
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "minihpx/fiber/stack.hpp"
+
+namespace mhpx::fiber {
+
+/// Execution state of a fiber.
+enum class FiberState : std::uint8_t {
+  ready,      ///< runnable, sitting in a scheduler queue
+  running,    ///< currently executing on some worker
+  suspended,  ///< parked; some waiter list holds the handle
+  finished,   ///< entry function returned; stack may be recycled
+};
+
+/// A stackful fiber: a callable plus a private stack and saved context.
+///
+/// A fiber is always driven by a worker thread through resume(); inside the
+/// fiber, suspend() switches back to that worker. Fibers may migrate between
+/// workers across suspensions (the resuming worker re-binds the return
+/// context every time).
+class Fiber {
+ public:
+  using entry_t = std::function<void()>;
+
+  /// Construct a fiber that will run \p entry on \p stack.
+  Fiber(entry_t entry, Stack stack);
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the calling (worker) context into the fiber. Returns when
+  /// the fiber suspends, yields or finishes.
+  void resume();
+
+  /// Switch from inside the fiber back to the worker that resumed it.
+  /// Must be called on this fiber's own stack.
+  void suspend_to_owner();
+
+  [[nodiscard]] FiberState state() const noexcept { return state_; }
+  void set_state(FiberState s) noexcept { state_ = s; }
+
+  /// Reclaim the stack of a finished fiber (for pooling).
+  Stack take_stack();
+
+  /// Rebind a recycled fiber to a new entry function, reusing its stack.
+  void reset(entry_t entry);
+
+ private:
+  static void trampoline(unsigned int hi, unsigned int lo);
+  void prepare_context();
+  void run_entry();
+
+  entry_t entry_;
+  Stack stack_;
+  ucontext_t context_{};         // the fiber's own context
+  ucontext_t* return_context_ = nullptr;  // worker context to return to
+  FiberState state_ = FiberState::ready;
+};
+
+}  // namespace mhpx::fiber

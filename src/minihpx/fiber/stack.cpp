@@ -1,0 +1,99 @@
+#include "minihpx/fiber/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <new>
+#include <utility>
+
+namespace mhpx::fiber {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+}  // namespace
+
+Stack::Stack(std::size_t size) {
+  const std::size_t ps = page_size();
+  size_ = round_up(size, ps);
+  map_size_ = size_ + ps;  // + guard page
+  void* p = ::mmap(nullptr, map_size_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    throw std::bad_alloc{};
+  }
+  // Stack grows downwards: place the guard page at the low end so an
+  // overflow faults instead of silently corrupting an adjacent mapping.
+  if (::mprotect(p, ps, PROT_NONE) != 0) {
+    ::munmap(p, map_size_);
+    throw std::bad_alloc{};
+  }
+  map_ = p;
+  base_ = static_cast<char*>(p) + ps;
+}
+
+Stack::~Stack() {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_size_);
+  }
+}
+
+Stack::Stack(Stack&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      base_(std::exchange(other.base_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      size_(std::exchange(other.size_, 0)) {}
+
+Stack& Stack::operator=(Stack&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) {
+      ::munmap(map_, map_size_);
+    }
+    map_ = std::exchange(other.map_, nullptr);
+    base_ = std::exchange(other.base_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+StackPool::StackPool(std::size_t stack_size, std::size_t limit)
+    : stack_size_(stack_size), limit_(limit) {}
+
+Stack StackPool::acquire() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!pool_.empty()) {
+      Stack s = std::move(pool_.back());
+      pool_.pop_back();
+      return s;
+    }
+  }
+  return Stack(stack_size_);
+}
+
+void StackPool::release(Stack stack) {
+  if (!stack.valid()) {
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  if (pool_.size() < limit_) {
+    pool_.push_back(std::move(stack));
+  }
+  // else: drop on the floor; ~Stack unmaps.
+}
+
+std::size_t StackPool::pooled() const {
+  std::lock_guard lock(mutex_);
+  return pool_.size();
+}
+
+}  // namespace mhpx::fiber

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file stack.hpp
+/// Guard-paged, mmap-backed fiber stacks and a recycling pool.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace mhpx::fiber {
+
+/// An mmap-backed stack with a PROT_NONE guard page at the low end.
+/// Move-only RAII owner; the mapping is released on destruction.
+class Stack {
+ public:
+  Stack() = default;
+  /// Allocate a stack of at least \p size usable bytes (rounded up to the
+  /// page size) plus one guard page. Throws std::bad_alloc on failure.
+  explicit Stack(std::size_t size);
+  ~Stack();
+
+  Stack(Stack&& other) noexcept;
+  Stack& operator=(Stack&& other) noexcept;
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  /// Lowest usable address (just above the guard page).
+  [[nodiscard]] void* base() const noexcept { return base_; }
+  /// Usable size in bytes (excluding the guard page).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool valid() const noexcept { return base_ != nullptr; }
+
+ private:
+  void* map_ = nullptr;        // full mapping including guard page
+  void* base_ = nullptr;       // usable region start
+  std::size_t map_size_ = 0;   // full mapping size
+  std::size_t size_ = 0;       // usable size
+};
+
+/// Thread-safe recycling pool of equally sized stacks.
+/// Fibers are created and destroyed at task granularity; reusing stacks
+/// avoids an mmap/munmap syscall pair per task.
+class StackPool {
+ public:
+  explicit StackPool(std::size_t stack_size, std::size_t limit);
+
+  /// Pop a recycled stack or allocate a fresh one.
+  Stack acquire();
+  /// Return a stack for reuse; frees it if the pool is full.
+  void release(Stack stack);
+
+  [[nodiscard]] std::size_t pooled() const;
+  [[nodiscard]] std::size_t stack_size() const noexcept { return stack_size_; }
+
+ private:
+  std::size_t stack_size_;
+  std::size_t limit_;
+  mutable std::mutex mutex_;           // guards pool_
+  std::vector<Stack> pool_;
+};
+
+}  // namespace mhpx::fiber

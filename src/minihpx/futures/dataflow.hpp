@@ -1,0 +1,231 @@
+#pragma once
+
+/// \file dataflow.hpp
+/// hpx::dataflow analogue: run a function once all of its future arguments
+/// are ready, without blocking any worker — the idiom Octo-Tiger uses to
+/// chain kernel launches on ghost-exchange futures (paper §3.1: "a
+/// user-defined task graph").
+///
+///   auto c = mhpx::dataflow([](int a, int b){ return a + b; },
+///                           async(...), async(...), 7);
+///
+/// Plain (non-future) arguments pass through by value.
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "minihpx/futures/future.hpp"
+
+namespace mhpx {
+
+namespace detail {
+
+/// Unwrap one dataflow argument at invocation time: futures yield their
+/// value (rethrowing errors), plain values pass through.
+template <typename T>
+decltype(auto) df_unwrap(T&& v) {
+  if constexpr (is_future_v<std::decay_t<T>>) {
+    return std::forward<T>(v).get();
+  } else {
+    return std::forward<T>(v);
+  }
+}
+
+/// Result type of invoking F with unwrapped Args.
+template <typename F, typename... Args>
+using dataflow_result_t = decltype(std::declval<F>()(
+    df_unwrap(std::declval<std::decay_t<Args>&&>())...));
+
+/// Count the futures among the arguments (the join width).
+template <typename... Args>
+constexpr std::size_t future_count() {
+  return (std::size_t{0} + ... +
+          (is_future_v<std::decay_t<Args>> ? 1 : 0));
+}
+
+}  // namespace detail
+
+/// Schedule f(args...) to run as a task once every future argument is
+/// ready. Returns a future for the result. Errors in any input future
+/// propagate (f is still invoked; its .get() rethrows — matching
+/// hpx::dataflow's unwrapping semantics where the first rethrow wins).
+template <typename F, typename... Args>
+auto dataflow(F&& f, Args&&... args)
+    -> future<detail::dataflow_result_t<std::decay_t<F>, Args...>> {
+  using R = detail::dataflow_result_t<std::decay_t<F>, Args...>;
+
+  struct Ctx {
+    std::decay_t<F> fn;
+    std::tuple<std::decay_t<Args>...> args;
+    std::atomic<std::size_t> remaining{0};
+    std::shared_ptr<detail::shared_state<R>> state;
+
+    Ctx(F&& fn_in, Args&&... args_in)
+        : fn(std::forward<F>(fn_in)),
+          args(std::forward<Args>(args_in)...),
+          state(std::make_shared<detail::shared_state<R>>()) {}
+
+    void fire() {
+      auto run = [self = this->shared_from_this_()]() mutable {
+        try {
+          if constexpr (std::is_void_v<R>) {
+            std::apply(
+                [&](auto&&... a) {
+                  self->fn(detail::df_unwrap(std::move(a))...);
+                },
+                std::move(self->args));
+            self->state->set_value(std::monostate{});
+          } else {
+            self->state->set_value(std::apply(
+                [&](auto&&... a) {
+                  return self->fn(detail::df_unwrap(std::move(a))...);
+                },
+                std::move(self->args)));
+          }
+        } catch (...) {
+          self->state->set_exception(std::current_exception());
+        }
+      };
+      if (auto* sched = mhpx::detail::ambient_scheduler()) {
+        sched->post(std::move(run));
+      } else {
+        run();
+      }
+    }
+
+    // Manual shared-from-this (Ctx is always heap-held in a shared_ptr).
+    std::shared_ptr<Ctx> self_holder;
+    std::shared_ptr<Ctx> shared_from_this_() { return self_holder; }
+  };
+
+  auto ctx = std::make_shared<Ctx>(std::forward<F>(f),
+                                   std::forward<Args>(args)...);
+  ctx->self_holder = ctx;
+  auto result = future<R>(ctx->state);
+
+  constexpr std::size_t joins = detail::future_count<Args...>();
+  if constexpr (joins == 0) {
+    ctx->fire();
+    ctx->self_holder.reset();
+    return result;
+  } else {
+    // +1 gate held by the registration pass.
+    ctx->remaining.store(joins + 1);
+    auto arrive = [ctx] {
+      if (ctx->remaining.fetch_sub(1) == 1) {
+        ctx->fire();
+        ctx->self_holder.reset();  // break the self-cycle
+      }
+    };
+    std::apply(
+        [&](auto&... a) {
+          (
+              [&] {
+                if constexpr (detail::is_future_v<
+                                  std::decay_t<decltype(a)>>) {
+                  a.state()->add_continuation(arrive);
+                }
+              }(),
+              ...);
+        },
+        ctx->args);
+    arrive();
+    return result;
+  }
+}
+
+/// shared_future: copyable handle to a future's result; get() returns a
+/// const reference and may be called from many tasks (hpx::shared_future
+/// analogue).
+template <typename T>
+class shared_future {
+ public:
+  shared_future() = default;
+  /// Construct from a future (consumes it).
+  explicit shared_future(future<T>&& f) : state_(f.state()) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool is_ready() const { return state_ && state_->is_ready(); }
+
+  void wait() const {
+    ensure();
+    state_->wait();
+  }
+
+  /// Access the shared value (const reference; unlike future::get this
+  /// does not consume). For void, just waits/rethrows.
+  using get_result_t = std::conditional_t<std::is_void_v<T>, void,
+                                          const detail::state_storage_t<T>&>;
+  get_result_t get() const {
+    ensure();
+    state_->wait();
+    if constexpr (std::is_void_v<T>) {
+      state_->value();
+    } else {
+      return state_->value();
+    }
+  }
+
+  /// Attach a continuation; unlike future::then, the shared_future remains
+  /// valid and more continuations may be attached.
+  template <typename F>
+  auto then(F&& f) const -> future<detail::then_result_t<std::decay_t<F>, T>> {
+    ensure();
+    using R = detail::then_result_t<std::decay_t<F>, T>;
+    auto next = std::make_shared<detail::shared_state<R>>();
+    auto prev = state_;
+    prev->add_continuation([prev, next, fn = std::forward<F>(f)]() mutable {
+      auto work = [prev, next, fn = std::move(fn)]() mutable {
+        try {
+          if constexpr (std::is_void_v<T>) {
+            prev->value();
+            if constexpr (std::is_void_v<R>) {
+              fn();
+              next->set_value(std::monostate{});
+            } else {
+              next->set_value(fn());
+            }
+          } else {
+            // Shared semantics: pass a copy of the stored value.
+            T copy = prev->value();
+            if constexpr (std::is_void_v<R>) {
+              fn(std::move(copy));
+              next->set_value(std::monostate{});
+            } else {
+              next->set_value(fn(std::move(copy)));
+            }
+          }
+        } catch (...) {
+          next->set_exception(std::current_exception());
+        }
+      };
+      if (auto* sched = mhpx::detail::ambient_scheduler()) {
+        sched->post(std::move(work));
+      } else {
+        work();
+      }
+    });
+    return future<R>(std::move(next));
+  }
+
+ private:
+  void ensure() const {
+    if (state_ == nullptr) {
+      throw std::runtime_error("mhpx::shared_future: no associated state");
+    }
+  }
+
+  std::shared_ptr<detail::shared_state<T>> state_;
+};
+
+/// Convenience: f.share().
+template <typename T>
+shared_future<T> share(future<T>&& f) {
+  return shared_future<T>(std::move(f));
+}
+
+}  // namespace mhpx

@@ -1,0 +1,385 @@
+#pragma once
+
+/// \file future.hpp
+/// mhpx::future / mhpx::promise / continuations — the minihpx analogue of
+/// hpx::future, including .then() chaining, when_all/when_any combinators
+/// and unwrapping, which the paper's asynchronous-programming benchmark
+/// (Fig. 4a) is built from.
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "minihpx/futures/shared_state.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace mhpx {
+
+template <typename T>
+class future;
+template <typename T>
+class promise;
+
+namespace detail {
+
+template <typename T>
+struct is_future : std::false_type {};
+template <typename T>
+struct is_future<future<T>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_future_v = is_future<T>::value;
+
+template <typename T>
+struct future_value {
+  using type = void;
+};
+template <typename T>
+struct future_value<future<T>> {
+  using type = T;
+};
+
+/// Result type of future<T>::then(F): F may take T&& (value call), or for
+/// T = void, no arguments.
+template <typename F, typename T>
+struct then_result {
+  using type = std::invoke_result_t<F, T&&>;
+};
+template <typename F>
+struct then_result<F, void> {
+  using type = std::invoke_result_t<F>;
+};
+template <typename F, typename T>
+using then_result_t = typename then_result<F, T>::type;
+
+/// Invoke \p f with the value in \p prev (or no arguments for void) and
+/// deposit the result (or exception) into \p next.
+template <typename T, typename R, typename F>
+void run_continuation(shared_state<T>& prev, shared_state<R>& next, F& f) {
+  try {
+    if constexpr (std::is_void_v<T>) {
+      prev.value();  // rethrows a stored exception
+      if constexpr (std::is_void_v<R>) {
+        f();
+        next.set_value(std::monostate{});
+      } else {
+        next.set_value(f());
+      }
+    } else {
+      auto& v = prev.value();
+      if constexpr (std::is_void_v<R>) {
+        f(std::move(v));
+        next.set_value(std::monostate{});
+      } else {
+        next.set_value(f(std::move(v)));
+      }
+    }
+  } catch (...) {
+    next.set_exception(std::current_exception());
+  }
+}
+
+}  // namespace detail
+
+/// One-shot value channel; the reading end of a promise or async call.
+/// Move-only. get() consumes the value (like std::future).
+template <typename T>
+class future {
+ public:
+  using value_type = T;
+
+  future() = default;
+  explicit future(std::shared_ptr<detail::shared_state<T>> state)
+      : state_(std::move(state)) {}
+
+  future(future&&) noexcept = default;
+  future& operator=(future&&) noexcept = default;
+  future(const future&) = delete;
+  future& operator=(const future&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool is_ready() const {
+    ensure_valid();
+    return state_->is_ready();
+  }
+
+  /// Wait for readiness. Suspends the current fiber when called from a
+  /// task; blocks the OS thread otherwise.
+  void wait() const {
+    ensure_valid();
+    state_->wait();
+  }
+
+  /// Wait and return the value (moves it out), rethrowing any exception.
+  T get() {
+    ensure_valid();
+    state_->wait();
+    auto state = std::move(state_);  // consume
+    if constexpr (std::is_void_v<T>) {
+      state->value();
+    } else {
+      return std::move(state->value());
+    }
+  }
+
+  /// Attach a continuation running f(value) (or f() for void) once ready.
+  /// The continuation is scheduled as a new task on the ambient scheduler
+  /// (runs inline when no runtime is active). Exceptions propagate: if this
+  /// future holds an exception, \p f is not called and the resulting future
+  /// holds the same exception.
+  template <typename F>
+  auto then(F&& f) -> future<detail::then_result_t<std::decay_t<F>, T>> {
+    ensure_valid();
+    using R = detail::then_result_t<std::decay_t<F>, T>;
+    auto next = std::make_shared<detail::shared_state<R>>();
+    auto prev = std::move(state_);  // consume, like std::future::then would
+    prev->add_continuation(
+        [prev, next, fn = std::forward<F>(f)]() mutable {
+          auto work = [prev, next, fn = std::move(fn)]() mutable {
+            detail::run_continuation(*prev, *next, fn);
+          };
+          if (auto* sched = detail::ambient_scheduler()) {
+            sched->post(std::move(work));
+          } else {
+            work();
+          }
+        });
+    return future<R>(std::move(next));
+  }
+
+  /// Access the underlying state (used by combinators).
+  [[nodiscard]] const std::shared_ptr<detail::shared_state<T>>& state() const {
+    return state_;
+  }
+
+ private:
+  void ensure_valid() const {
+    if (state_ == nullptr) {
+      throw std::runtime_error("mhpx::future: no associated state");
+    }
+  }
+
+  std::shared_ptr<detail::shared_state<T>> state_;
+};
+
+/// The writing end of a future.
+template <typename T>
+class promise {
+ public:
+  promise() : state_(std::make_shared<detail::shared_state<T>>()) {}
+  promise(promise&&) noexcept = default;
+  promise& operator=(promise&&) noexcept = default;
+  promise(const promise&) = delete;
+  promise& operator=(const promise&) = delete;
+
+  future<T> get_future() {
+    if (future_taken_) {
+      throw std::runtime_error("mhpx::promise: future already retrieved");
+    }
+    future_taken_ = true;
+    return future<T>(state_);
+  }
+
+  template <typename U = T>
+  void set_value(U&& value)
+    requires(!std::is_void_v<T>)
+  {
+    state_->set_value(std::forward<U>(value));
+  }
+
+  void set_value()
+    requires std::is_void_v<T>
+  {
+    state_->set_value(std::monostate{});
+  }
+
+  void set_exception(std::exception_ptr error) {
+    state_->set_exception(std::move(error));
+  }
+
+ private:
+  std::shared_ptr<detail::shared_state<T>> state_;
+  bool future_taken_ = false;
+};
+
+/// A future that is already ready with \p value.
+template <typename T>
+future<std::decay_t<T>> make_ready_future(T&& value) {
+  auto st = std::make_shared<detail::shared_state<std::decay_t<T>>>();
+  st->set_value(std::forward<T>(value));
+  return future<std::decay_t<T>>(std::move(st));
+}
+
+inline future<void> make_ready_future() {
+  auto st = std::make_shared<detail::shared_state<void>>();
+  st->set_value(std::monostate{});
+  return future<void>(std::move(st));
+}
+
+template <typename T>
+future<T> make_exceptional_future(std::exception_ptr error) {
+  auto st = std::make_shared<detail::shared_state<T>>();
+  st->set_exception(std::move(error));
+  return future<T>(std::move(st));
+}
+
+/// Launch f(args...) as a task and return a future for its result — the
+/// hpx::async analogue at the heart of the Fig. 4a benchmark.
+template <typename F, typename... Args>
+auto async(F&& f, Args&&... args)
+    -> future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>> {
+  using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>;
+  auto state = std::make_shared<detail::shared_state<R>>();
+  auto* sched = detail::ambient_scheduler();
+  if (sched == nullptr) {
+    throw std::runtime_error("mhpx::async: no active runtime");
+  }
+  sched->post([state, fn = std::forward<F>(f),
+               tup = std::make_tuple(std::forward<Args>(args)...)]() mutable {
+    try {
+      if constexpr (std::is_void_v<R>) {
+        std::apply(fn, std::move(tup));
+        state->set_value(std::monostate{});
+      } else {
+        state->set_value(std::apply(fn, std::move(tup)));
+      }
+    } catch (...) {
+      state->set_exception(std::current_exception());
+    }
+  });
+  return future<R>(std::move(state));
+}
+
+/// when_all over a vector: ready once every input is; returns the (ready)
+/// inputs so callers can harvest values, matching hpx::when_all.
+template <typename T>
+future<std::vector<future<T>>> when_all(std::vector<future<T>> futures) {
+  struct Ctx {
+    std::vector<future<T>> futures;
+    std::atomic<std::size_t> remaining;
+    promise<std::vector<future<T>>> done;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->futures = std::move(futures);
+  const std::size_t n = ctx->futures.size();
+  ctx->remaining.store(n + 1);  // +1: registration loop holds one count
+  auto result = ctx->done.get_future();
+  for (auto& f : ctx->futures) {
+    f.state()->add_continuation([ctx] {
+      if (ctx->remaining.fetch_sub(1) == 1) {
+        ctx->done.set_value(std::move(ctx->futures));
+      }
+    });
+  }
+  if (ctx->remaining.fetch_sub(1) == 1) {
+    ctx->done.set_value(std::move(ctx->futures));
+  }
+  return result;
+}
+
+/// Variadic when_all: ready once every input is.
+template <typename... Ts>
+future<std::tuple<future<Ts>...>> when_all(future<Ts>... fs) {
+  struct Ctx {
+    std::tuple<future<Ts>...> futures;
+    std::atomic<std::size_t> remaining;
+    promise<std::tuple<future<Ts>...>> done;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->futures = std::make_tuple(std::move(fs)...);
+  constexpr std::size_t n = sizeof...(Ts);
+  ctx->remaining.store(n + 1);
+  auto result = ctx->done.get_future();
+  std::apply(
+      [&](auto&... f) {
+        (f.state()->add_continuation([ctx] {
+          if (ctx->remaining.fetch_sub(1) == 1) {
+            ctx->done.set_value(std::move(ctx->futures));
+          }
+        }),
+         ...);
+      },
+      ctx->futures);
+  if (ctx->remaining.fetch_sub(1) == 1) {
+    ctx->done.set_value(std::move(ctx->futures));
+  }
+  return result;
+}
+
+/// when_any: index of the first input to become ready, plus the inputs.
+template <typename T>
+struct when_any_result {
+  std::size_t index = 0;
+  std::vector<future<T>> futures;
+};
+
+template <typename T>
+future<when_any_result<T>> when_any(std::vector<future<T>> futures) {
+  struct Ctx {
+    std::vector<future<T>> futures;
+    std::atomic<bool> fired{false};
+    // Gate of 2: one decrement for the first completion, one for the end of
+    // the registration loop (the vector must not be moved out while the
+    // loop still indexes into it).
+    std::atomic<int> gate{2};
+    std::size_t winner = 0;
+    promise<when_any_result<T>> done;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->futures = std::move(futures);
+  const std::size_t n = ctx->futures.size();
+  if (n == 0) {
+    throw std::invalid_argument("mhpx::when_any: empty input");
+  }
+  auto result = ctx->done.get_future();
+  auto open_gate = [](const std::shared_ptr<Ctx>& c) {
+    if (c->gate.fetch_sub(1) == 1) {
+      c->done.set_value(when_any_result<T>{c->winner, std::move(c->futures)});
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    ctx->futures[i].state()->add_continuation([ctx, i, open_gate] {
+      bool expected = false;
+      if (ctx->fired.compare_exchange_strong(expected, true)) {
+        ctx->winner = i;
+        open_gate(ctx);
+      }
+    });
+  }
+  open_gate(ctx);
+  return result;
+}
+
+/// Collapse future<future<T>> into future<T>.
+template <typename T>
+future<T> unwrap(future<future<T>> outer) {
+  auto next = std::make_shared<detail::shared_state<T>>();
+  auto outer_state = outer.state();
+  outer_state->add_continuation([outer_state, next] {
+    try {
+      future<T> inner = std::move(outer_state->value());
+      auto inner_state = inner.state();
+      inner_state->add_continuation([inner_state, next] {
+        try {
+          if constexpr (std::is_void_v<T>) {
+            inner_state->value();
+            next->set_value(std::monostate{});
+          } else {
+            next->set_value(std::move(inner_state->value()));
+          }
+        } catch (...) {
+          next->set_exception(std::current_exception());
+        }
+      });
+    } catch (...) {
+      next->set_exception(std::current_exception());
+    }
+  });
+  return future<T>(std::move(next));
+}
+
+}  // namespace mhpx

@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file shared_state.hpp
+/// The synchronisation core behind mhpx::future / mhpx::promise.
+///
+/// A shared state is written once (value or exception) and read by waiters
+/// and continuations. Waiting is *fiber-aware*: a task waiting on a future
+/// suspends its fiber and frees the worker thread — the defining property of
+/// an AMT runtime that the paper's benchmarks exercise — while a plain OS
+/// thread falls back to a condition variable.
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mhpx::detail {
+
+/// void is stored as std::monostate so one template serves all T.
+template <typename T>
+struct state_storage {
+  using type = T;
+};
+template <>
+struct state_storage<void> {
+  using type = std::monostate;
+};
+template <typename T>
+using state_storage_t = typename state_storage<T>::type;
+
+template <typename T>
+class shared_state {
+ public:
+  using storage_t = state_storage_t<T>;
+
+  shared_state() = default;
+  shared_state(const shared_state&) = delete;
+  shared_state& operator=(const shared_state&) = delete;
+
+  [[nodiscard]] bool is_ready() const {
+    std::lock_guard lock(mutex_);
+    return status_ != Status::empty;
+  }
+
+  void set_value(storage_t value) {
+    std::vector<std::function<void()>> conts;
+    {
+      std::lock_guard lock(mutex_);
+      if (status_ != Status::empty) {
+        std::terminate();  // double-set is a programming error
+      }
+      value_.emplace(std::move(value));
+      status_ = Status::value;
+      conts = std::move(continuations_);
+      continuations_.clear();
+      cv_.notify_all();
+    }
+    // Run continuations outside the lock (CP.22: never call unknown code
+    // while holding a lock). Each is tiny: a resume or a task post.
+    for (auto& c : conts) {
+      c();
+    }
+  }
+
+  void set_exception(std::exception_ptr error) {
+    std::vector<std::function<void()>> conts;
+    {
+      std::lock_guard lock(mutex_);
+      if (status_ != Status::empty) {
+        std::terminate();
+      }
+      error_ = std::move(error);
+      status_ = Status::error;
+      conts = std::move(continuations_);
+      continuations_.clear();
+      cv_.notify_all();
+    }
+    for (auto& c : conts) {
+      c();
+    }
+  }
+
+  /// Block until ready. Suspends the calling fiber when inside a task.
+  void wait() {
+    {
+      std::lock_guard lock(mutex_);
+      if (status_ != Status::empty) {
+        return;
+      }
+    }
+    if (threads::Scheduler::inside_task()) {
+      auto* sched = threads::Scheduler::current();
+      sched->suspend_current([this, sched](threads::TaskHandle h) {
+        bool already_ready = false;
+        {
+          std::lock_guard lock(mutex_);
+          if (status_ != Status::empty) {
+            already_ready = true;
+          } else {
+            continuations_.emplace_back([sched, h] { sched->resume(h); });
+          }
+        }
+        if (already_ready) {
+          sched->resume(h);
+        }
+      });
+    } else {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return status_ != Status::empty; });
+    }
+  }
+
+  /// Precondition: ready. Throws the stored exception, if any.
+  storage_t& value() {
+    std::lock_guard lock(mutex_);
+    if (status_ == Status::error) {
+      std::rethrow_exception(error_);
+    }
+    return *value_;
+  }
+
+  [[nodiscard]] bool has_exception() const {
+    std::lock_guard lock(mutex_);
+    return status_ == Status::error;
+  }
+
+  [[nodiscard]] std::exception_ptr exception() const {
+    std::lock_guard lock(mutex_);
+    return error_;
+  }
+
+  /// Register \p f to run once the state becomes ready; runs immediately
+  /// (on the calling thread) if it already is.
+  void add_continuation(std::function<void()> f) {
+    bool run_now = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (status_ != Status::empty) {
+        run_now = true;
+      } else {
+        continuations_.push_back(std::move(f));
+      }
+    }
+    if (run_now) {
+      f();
+    }
+  }
+
+ private:
+  enum class Status { empty, value, error };
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::condition_variable cv_;
+  Status status_ = Status::empty;
+  std::optional<storage_t> value_;
+  std::exception_ptr error_;
+  std::vector<std::function<void()>> continuations_;
+};
+
+}  // namespace mhpx::detail

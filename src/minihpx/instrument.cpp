@@ -1,0 +1,59 @@
+#include "minihpx/instrument.hpp"
+
+namespace mhpx::instrument {
+
+namespace {
+Hooks g_hooks{};
+
+struct ThreadScope {
+  TaskWork work{};
+  bool active = false;
+};
+thread_local ThreadScope t_scope;
+}  // namespace
+
+void set_hooks(const Hooks& h) noexcept { g_hooks = h; }
+
+const Hooks& hooks() noexcept { return g_hooks; }
+
+void annotate(double flops, double bytes) noexcept {
+  t_scope.work.flops += flops;
+  t_scope.work.bytes += bytes;
+}
+
+namespace detail {
+
+void task_scope_begin() noexcept {
+  t_scope.work = TaskWork{};
+  t_scope.active = true;
+}
+
+TaskWork task_scope_end() noexcept {
+  t_scope.active = false;
+  TaskWork w = t_scope.work;
+  t_scope.work = TaskWork{};
+  return w;
+}
+
+void notify_spawn() noexcept {
+  if (g_hooks.on_task_spawn != nullptr) {
+    g_hooks.on_task_spawn(g_hooks.ctx);
+  }
+}
+
+void notify_finish(const TaskWork& work) noexcept {
+  if (g_hooks.on_task_finish != nullptr) {
+    g_hooks.on_task_finish(g_hooks.ctx, work);
+  }
+}
+
+void notify_parcel(std::uint32_t src, std::uint32_t dst,
+                   std::size_t bytes) noexcept {
+  if (g_hooks.on_parcel != nullptr) {
+    g_hooks.on_parcel(g_hooks.ctx, src, dst, bytes);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace instrument mhpx::instrument

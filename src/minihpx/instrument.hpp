@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file instrument.hpp
+/// Runtime instrumentation hooks.
+///
+/// The evaluation harness (src/core) needs a task/parcel trace of every
+/// benchmark run: how many tasks a phase spawned, how much arithmetic and
+/// memory traffic each task performed, and which parcels crossed locality
+/// boundaries. The runtime must not depend on the harness, so the coupling
+/// is inverted: the harness installs a Hooks table here and the runtime
+/// calls through it. All hooks are optional and default to no-ops.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mhpx::instrument {
+
+/// Cost annotation for the task currently executing. Kernels report their
+/// analytic arithmetic (flops) and memory traffic (bytes); the discrete-event
+/// simulator prices these on the modelled architecture.
+struct TaskWork {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+/// Observer interface installed by the evaluation harness.
+struct Hooks {
+  /// A new task was posted to a scheduler.
+  void (*on_task_spawn)(void* ctx) = nullptr;
+  /// A task finished; \p work holds its accumulated annotations.
+  void (*on_task_finish)(void* ctx, const TaskWork& work) = nullptr;
+  /// A parcel of \p bytes was sent from \p src to \p dst locality.
+  void (*on_parcel)(void* ctx, std::uint32_t src, std::uint32_t dst,
+                    std::size_t bytes) = nullptr;
+  void* ctx = nullptr;
+};
+
+/// Install (or clear, by passing {}) the global hook table.
+/// Not thread-safe with respect to concurrently running tasks; install
+/// before starting a traced region.
+void set_hooks(const Hooks& hooks) noexcept;
+
+/// Current hook table (never null-dereferenced; fields may be null).
+const Hooks& hooks() noexcept;
+
+/// Called by kernels: add \p flops / \p bytes to the current task's work.
+/// Safe to call from any context; outside a task it accumulates into a
+/// per-thread bucket that on_task_finish never sees (and tests can query).
+void annotate(double flops, double bytes) noexcept;
+
+namespace detail {
+/// Scheduler internals: begin/end the accumulation scope of one task.
+void task_scope_begin() noexcept;
+TaskWork task_scope_end() noexcept;
+void notify_spawn() noexcept;
+void notify_finish(const TaskWork& work) noexcept;
+void notify_parcel(std::uint32_t src, std::uint32_t dst,
+                   std::size_t bytes) noexcept;
+}  // namespace detail
+
+}  // namespace mhpx::instrument

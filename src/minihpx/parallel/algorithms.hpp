@@ -1,0 +1,275 @@
+#pragma once
+
+/// \file algorithms.hpp
+/// C++17/20-style parallel algorithms on top of the fiber scheduler —
+/// the hpx::for_each / hpx::reduce / hpx::transform_reduce analogues with
+/// execution policies hpx::execution::{seq, par, par_unseq}. Fig. 4b of the
+/// paper benchmarks exactly this for_each + par combination.
+
+#include <cstddef>
+#include <iterator>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/latch.hpp"
+
+namespace mhpx::execution {
+
+/// Run on the calling thread, in order.
+struct sequenced_policy {};
+
+/// Run chunked across scheduler tasks.
+struct parallel_policy {
+  /// Number of chunks (tasks) to split into; 0 = 4 × worker count.
+  /// The paper's discussion of the Kokkos HPX execution space revolves
+  /// around exactly this knob: how many tasks a kernel is divided into.
+  unsigned chunks = 0;
+
+  [[nodiscard]] parallel_policy with_chunks(unsigned n) const {
+    parallel_policy p = *this;
+    p.chunks = n;
+    return p;
+  }
+};
+
+/// Like par, and additionally promises the element visits may be
+/// vectorised/interleaved (the hpx::execution::par_unseq the paper mentions
+/// as the C++20 route to implicit vectorisation).
+struct parallel_unsequenced_policy {
+  unsigned chunks = 0;
+};
+
+inline constexpr sequenced_policy seq{};
+inline constexpr parallel_policy par{};
+inline constexpr parallel_unsequenced_policy par_unseq{};
+
+namespace detail {
+
+template <typename P>
+struct is_parallel : std::false_type {};
+template <>
+struct is_parallel<parallel_policy> : std::true_type {};
+template <>
+struct is_parallel<parallel_unsequenced_policy> : std::true_type {};
+
+inline unsigned resolve_chunks(unsigned requested, std::size_t n) {
+  auto* sched = mhpx::detail::ambient_scheduler();
+  if (sched == nullptr) {
+    throw std::runtime_error(
+        "mhpx parallel algorithm: no active runtime for a parallel policy");
+  }
+  unsigned chunks = requested != 0 ? requested : 4 * sched->num_workers();
+  if (static_cast<std::size_t>(chunks) > n) {
+    chunks = static_cast<unsigned>(n);
+  }
+  return chunks == 0 ? 1 : chunks;
+}
+
+/// Split [0, n) into `chunks` nearly equal pieces and run
+/// body(chunk_index, begin, end) for each as a scheduler task; joins on a
+/// fiber-aware latch so it is safe to call from inside another task.
+template <typename Body>
+void bulk_run(std::size_t n, unsigned chunks, Body&& body) {
+  if (n == 0) {
+    return;
+  }
+  auto* sched = mhpx::detail::ambient_scheduler();
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  sync::latch done(static_cast<std::ptrdiff_t>(chunks));
+  std::exception_ptr first_error;
+  std::mutex error_guard;  // guards first_error
+  std::size_t begin = 0;
+  for (unsigned c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    const std::size_t end = begin + len;
+    sched->post([&, c, begin, end] {
+      try {
+        body(c, begin, end);
+      } catch (...) {
+        std::lock_guard lk(error_guard);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+      done.count_down();
+    });
+    begin = end;
+  }
+  done.wait();
+  // The latch opens inside the last chunk's body, slightly before its fiber
+  // retires (and fires the instrumentation finish hook). When called from a
+  // plain thread, wait for quiescence so trace phases cannot smear; inside
+  // a task this is skipped (wait_idle would deadlock) and the caller's join
+  // already provides the ordering that matters.
+  if (!threads::Scheduler::inside_task() && sched->live_tasks() != 0) {
+    sched->wait_idle();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace detail
+}  // namespace mhpx::execution
+
+namespace mhpx {
+
+/// Apply f to every element of [first, last).
+template <typename It, typename F>
+void for_each(execution::sequenced_policy, It first, It last, F f) {
+  for (; first != last; ++first) {
+    f(*first);
+  }
+}
+
+template <typename Policy, typename It, typename F>
+  requires execution::detail::is_parallel<Policy>::value
+void for_each(Policy policy, It first, It last, F f) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) {
+    return;
+  }
+  const unsigned chunks = execution::detail::resolve_chunks(policy.chunks, n);
+  execution::detail::bulk_run(
+      n, chunks, [&](std::size_t, std::size_t begin, std::size_t end) {
+        It it = first;
+        std::advance(it, begin);
+        for (std::size_t i = begin; i < end; ++i, ++it) {
+          f(*it);
+        }
+      });
+}
+
+/// Index-space loop: f(i) for i in [begin, end) — the idiom the Maclaurin
+/// benchmark and the Octo-Tiger kernels use.
+template <typename F>
+void for_loop(execution::sequenced_policy, std::size_t begin, std::size_t end,
+              F f) {
+  for (std::size_t i = begin; i < end; ++i) {
+    f(i);
+  }
+}
+
+template <typename Policy, typename F>
+  requires execution::detail::is_parallel<Policy>::value
+void for_loop(Policy policy, std::size_t begin, std::size_t end, F f) {
+  if (end <= begin) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  const unsigned chunks = execution::detail::resolve_chunks(policy.chunks, n);
+  execution::detail::bulk_run(
+      n, chunks, [&](std::size_t, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          f(begin + i);
+        }
+      });
+}
+
+/// transform_reduce: red(init, red(conv(e0), conv(e1), ...)) — the primitive
+/// reduction; the natural way to express the Maclaurin series sum as a
+/// data-parallel reduction. `init` participates exactly once.
+template <typename It, typename T, typename Red, typename Conv>
+T transform_reduce(execution::sequenced_policy, It first, It last, T init,
+                   Red red, Conv conv) {
+  T acc = std::move(init);
+  for (; first != last; ++first) {
+    acc = red(std::move(acc), conv(*first));
+  }
+  return acc;
+}
+
+template <typename Policy, typename It, typename T, typename Red,
+          typename Conv>
+  requires execution::detail::is_parallel<Policy>::value
+T transform_reduce(Policy policy, It first, It last, T init, Red red,
+                   Conv conv) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) {
+    return init;
+  }
+  unsigned ch = 0;
+  if constexpr (requires { policy.chunks; }) {
+    ch = policy.chunks;
+  }
+  const unsigned chunks = execution::detail::resolve_chunks(ch, n);
+  // Each chunk folds into its own slot seeded by its first element, so that
+  // `init` is combined exactly once at the end (std::reduce semantics).
+  std::vector<T> partials(chunks, init);
+  execution::detail::bulk_run(
+      n, chunks, [&](std::size_t c, std::size_t begin, std::size_t end) {
+        It it = first;
+        std::advance(it, begin);
+        T acc = conv(*it);
+        ++it;
+        for (std::size_t i = begin + 1; i < end; ++i, ++it) {
+          acc = red(std::move(acc), conv(*it));
+        }
+        partials[c] = std::move(acc);
+      });
+  T total = std::move(init);
+  for (auto& p : partials) {
+    total = red(std::move(total), std::move(p));
+  }
+  return total;
+}
+
+/// Index-space transform_reduce: folds conv(i) for i in [begin, end).
+template <typename T, typename Red, typename Conv>
+T transform_reduce_idx(execution::sequenced_policy, std::size_t begin,
+                       std::size_t end, T init, Red red, Conv conv) {
+  T acc = std::move(init);
+  for (std::size_t i = begin; i < end; ++i) {
+    acc = red(std::move(acc), conv(i));
+  }
+  return acc;
+}
+
+template <typename Policy, typename T, typename Red, typename Conv>
+  requires execution::detail::is_parallel<Policy>::value
+T transform_reduce_idx(Policy policy, std::size_t begin, std::size_t end,
+                       T init, Red red, Conv conv) {
+  if (end <= begin) {
+    return init;
+  }
+  const std::size_t n = end - begin;
+  unsigned ch = 0;
+  if constexpr (requires { policy.chunks; }) {
+    ch = policy.chunks;
+  }
+  const unsigned chunks = execution::detail::resolve_chunks(ch, n);
+  std::vector<T> partials(chunks, init);
+  execution::detail::bulk_run(
+      n, chunks, [&](std::size_t c, std::size_t b, std::size_t e) {
+        T acc = conv(begin + b);
+        for (std::size_t i = b + 1; i < e; ++i) {
+          acc = red(std::move(acc), conv(begin + i));
+        }
+        partials[c] = std::move(acc);
+      });
+  T total = std::move(init);
+  for (auto& p : partials) {
+    total = red(std::move(total), std::move(p));
+  }
+  return total;
+}
+
+/// reduce over [first, last) with init and a binary op (std::reduce-like;
+/// the element type must be convertible to T).
+template <typename It, typename T, typename Op>
+T reduce(execution::sequenced_policy, It first, It last, T init, Op op) {
+  return std::accumulate(first, last, std::move(init), op);
+}
+
+template <typename Policy, typename It, typename T, typename Op>
+  requires execution::detail::is_parallel<Policy>::value
+T reduce(Policy policy, It first, It last, T init, Op op) {
+  return transform_reduce(policy, first, last, std::move(init), op,
+                          [](const auto& v) -> T { return v; });
+}
+
+}  // namespace mhpx

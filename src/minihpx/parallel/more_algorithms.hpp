@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file more_algorithms.hpp
+/// The wider parallel-algorithm surface HPX implements from the C++17/20
+/// parallelism TS: transform, fill, copy, count_if, the predicate
+/// algorithms, min/max reductions, and inclusive_scan. All share the
+/// chunked task fan-out of algorithms.hpp.
+
+#include <algorithm>
+#include <iterator>
+#include <limits>
+#include <vector>
+
+#include "minihpx/parallel/algorithms.hpp"
+
+namespace mhpx {
+
+/// transform: out[i] = f(in[i]).
+template <typename Policy, typename InIt, typename OutIt, typename F>
+  requires execution::detail::is_parallel<Policy>::value
+OutIt transform(Policy policy, InIt first, InIt last, OutIt out, F f) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) {
+    return out;
+  }
+  unsigned ch = 0;
+  if constexpr (requires { policy.chunks; }) {
+    ch = policy.chunks;
+  }
+  const unsigned chunks = execution::detail::resolve_chunks(ch, n);
+  execution::detail::bulk_run(
+      n, chunks, [&](std::size_t, std::size_t b, std::size_t e) {
+        InIt in = first;
+        std::advance(in, b);
+        OutIt o = out;
+        std::advance(o, b);
+        for (std::size_t i = b; i < e; ++i, ++in, ++o) {
+          *o = f(*in);
+        }
+      });
+  std::advance(out, n);
+  return out;
+}
+
+template <typename InIt, typename OutIt, typename F>
+OutIt transform(execution::sequenced_policy, InIt first, InIt last, OutIt out,
+                F f) {
+  return std::transform(first, last, out, f);
+}
+
+/// fill every element with a value.
+template <typename Policy, typename It, typename T>
+  requires execution::detail::is_parallel<Policy>::value
+void fill(Policy policy, It first, It last, const T& value) {
+  for_each(policy, first, last, [&value](auto& x) { x = value; });
+}
+
+template <typename It, typename T>
+void fill(execution::sequenced_policy, It first, It last, const T& value) {
+  std::fill(first, last, value);
+}
+
+/// copy [first, last) to out.
+template <typename Policy, typename InIt, typename OutIt>
+  requires execution::detail::is_parallel<Policy>::value
+OutIt copy(Policy policy, InIt first, InIt last, OutIt out) {
+  return transform(policy, first, last, out,
+                   [](const auto& v) { return v; });
+}
+
+/// count_if: parallel count of elements satisfying pred.
+template <typename Policy, typename It, typename Pred>
+  requires execution::detail::is_parallel<Policy>::value
+std::size_t count_if(Policy policy, It first, It last, Pred pred) {
+  return transform_reduce(
+      policy, first, last, std::size_t{0},
+      [](std::size_t a, std::size_t b) { return a + b; },
+      [&pred](const auto& v) -> std::size_t { return pred(v) ? 1 : 0; });
+}
+
+/// all_of / any_of / none_of.
+template <typename Policy, typename It, typename Pred>
+  requires execution::detail::is_parallel<Policy>::value
+bool all_of(Policy policy, It first, It last, Pred pred) {
+  return count_if(policy, first, last,
+                  [&pred](const auto& v) { return !pred(v); }) == 0;
+}
+
+template <typename Policy, typename It, typename Pred>
+  requires execution::detail::is_parallel<Policy>::value
+bool any_of(Policy policy, It first, It last, Pred pred) {
+  return count_if(policy, first, last, pred) != 0;
+}
+
+template <typename Policy, typename It, typename Pred>
+  requires execution::detail::is_parallel<Policy>::value
+bool none_of(Policy policy, It first, It last, Pred pred) {
+  return !any_of(policy, first, last, pred);
+}
+
+/// Smallest element value (requires a non-empty range).
+template <typename Policy, typename It>
+  requires execution::detail::is_parallel<Policy>::value
+auto min_value(Policy policy, It first, It last) {
+  using T = std::decay_t<decltype(*first)>;
+  return transform_reduce(
+      policy, first, last, std::numeric_limits<T>::max(),
+      [](T a, T b) { return std::min(a, b); }, [](const T& v) { return v; });
+}
+
+/// Largest element value (requires a non-empty range).
+template <typename Policy, typename It>
+  requires execution::detail::is_parallel<Policy>::value
+auto max_value(Policy policy, It first, It last) {
+  using T = std::decay_t<decltype(*first)>;
+  return transform_reduce(
+      policy, first, last, std::numeric_limits<T>::lowest(),
+      [](T a, T b) { return std::max(a, b); }, [](const T& v) { return v; });
+}
+
+/// inclusive_scan with + : two-pass chunked algorithm (per-chunk local
+/// scan, exclusive combine of chunk totals, parallel fix-up).
+template <typename Policy, typename InIt, typename OutIt>
+  requires execution::detail::is_parallel<Policy>::value
+OutIt inclusive_scan(Policy policy, InIt first, InIt last, OutIt out) {
+  using T = std::decay_t<decltype(*first)>;
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) {
+    return out;
+  }
+  unsigned ch = 0;
+  if constexpr (requires { policy.chunks; }) {
+    ch = policy.chunks;
+  }
+  const unsigned chunks = execution::detail::resolve_chunks(ch, n);
+  std::vector<T> chunk_totals(chunks, T{});
+
+  // Pass 1: local inclusive scans, record chunk totals.
+  execution::detail::bulk_run(
+      n, chunks, [&](std::size_t c, std::size_t b, std::size_t e) {
+        InIt in = first;
+        std::advance(in, b);
+        OutIt o = out;
+        std::advance(o, b);
+        T acc{};
+        for (std::size_t i = b; i < e; ++i, ++in, ++o) {
+          acc = acc + *in;
+          *o = acc;
+        }
+        chunk_totals[c] = acc;
+      });
+
+  // Exclusive scan of the chunk totals (tiny, sequential).
+  std::vector<T> offsets(chunks, T{});
+  T running{};
+  for (unsigned c = 0; c < chunks; ++c) {
+    offsets[c] = running;
+    running = running + chunk_totals[c];
+  }
+
+  // Pass 2: add each chunk's offset.
+  execution::detail::bulk_run(
+      n, chunks, [&](std::size_t c, std::size_t b, std::size_t e) {
+        if (c == 0) {
+          return;
+        }
+        OutIt o = out;
+        std::advance(o, b);
+        for (std::size_t i = b; i < e; ++i, ++o) {
+          *o = *o + offsets[c];
+        }
+      });
+
+  std::advance(out, n);
+  return out;
+}
+
+}  // namespace mhpx

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file sort.hpp
+/// Parallel sort (hpx::sort analogue): task-recursive quicksort with
+/// median-of-three pivots, insertion sort below a cutoff, and a depth cap
+/// falling back to std::sort — the classic AMT divide-and-conquer pattern
+/// where both halves are ready tasks.
+
+#include <algorithm>
+#include <iterator>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/parallel/algorithms.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace mhpx {
+
+namespace detail_sort {
+
+constexpr std::ptrdiff_t parallel_cutoff = 4096;
+
+template <typename It, typename Cmp>
+void sort_task(It first, It last, Cmp cmp, int budget) {
+  const auto n = std::distance(first, last);
+  if (n <= parallel_cutoff || budget <= 0 ||
+      mhpx::detail::ambient_scheduler() == nullptr) {
+    std::sort(first, last, cmp);
+    return;
+  }
+  // Median-of-three pivot.
+  It mid = first + n / 2;
+  It back = last - 1;
+  if (cmp(*mid, *first)) {
+    std::iter_swap(mid, first);
+  }
+  if (cmp(*back, *first)) {
+    std::iter_swap(back, first);
+  }
+  if (cmp(*back, *mid)) {
+    std::iter_swap(back, mid);
+  }
+  const auto pivot = *mid;
+  It split = std::partition(first, last,
+                            [&](const auto& v) { return cmp(v, pivot); });
+  // Guarantee progress on pathological inputs (all-equal runs).
+  It split2 = std::partition(split, last,
+                             [&](const auto& v) { return !cmp(pivot, v); });
+  auto left = mhpx::async(
+      [=] { sort_task(first, split, cmp, budget - 1); });
+  sort_task(split2, last, cmp, budget - 1);
+  left.get();
+}
+
+}  // namespace detail_sort
+
+/// Sort [first, last) with cmp; parallel recursion when a runtime is
+/// active.
+template <typename Policy, typename It,
+          typename Cmp = std::less<std::iter_value_t<It>>>
+  requires execution::detail::is_parallel<Policy>::value
+void sort(Policy, It first, It last, Cmp cmp = {}) {
+  // Budget: ~log2(workers) + slack levels of task recursion.
+  detail_sort::sort_task(first, last, cmp, 8);
+}
+
+template <typename It, typename Cmp = std::less<std::iter_value_t<It>>>
+void sort(execution::sequenced_policy, It first, It last, Cmp cmp = {}) {
+  std::sort(first, last, cmp);
+}
+
+}  // namespace mhpx

@@ -1,0 +1,48 @@
+#include "minihpx/runtime.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace mhpx {
+
+namespace {
+std::atomic<Runtime*> g_runtime{nullptr};
+}
+
+Runtime::Runtime(Config cfg) {
+  scheduler_ = std::make_unique<threads::Scheduler>(
+      threads::Scheduler::Config{cfg.num_threads, cfg.stack_size});
+  Runtime* expected = nullptr;
+  if (!g_runtime.compare_exchange_strong(expected, this)) {
+    throw std::runtime_error("mhpx::Runtime: a runtime is already active");
+  }
+}
+
+Runtime::~Runtime() {
+  scheduler_->wait_idle();
+  g_runtime.store(nullptr);
+}
+
+Runtime* Runtime::instance() noexcept { return g_runtime.load(); }
+
+namespace detail {
+threads::Scheduler* ambient_scheduler() noexcept {
+  if (auto* s = threads::Scheduler::current()) {
+    return s;
+  }
+  if (auto* rt = Runtime::instance()) {
+    return &rt->scheduler();
+  }
+  return nullptr;
+}
+}  // namespace detail
+
+void post(std::function<void()> f) {
+  auto* sched = detail::ambient_scheduler();
+  if (sched == nullptr) {
+    throw std::runtime_error("mhpx::post: no active runtime");
+  }
+  sched->post(std::move(f));
+}
+
+}  // namespace mhpx

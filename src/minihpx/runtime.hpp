@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Process-level runtime: owns the default scheduler, analogous to
+/// hpx::start / hpx::stop (or running main() under hpx_main).
+
+#include <cstddef>
+#include <memory>
+
+#include "minihpx/config.hpp"
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mhpx {
+
+/// RAII runtime: constructs the worker pool, registers itself as the
+/// ambient runtime, and drains all tasks on destruction.
+///
+/// Exactly one Runtime may be alive at a time (like an HPX process-wide
+/// runtime). Simulated multi-locality setups construct additional bare
+/// Schedulers instead (see distributed/locality.hpp).
+class Runtime {
+ public:
+  struct Config {
+    /// Worker threads; 0 = hardware_concurrency (the --hpx:threads analogue).
+    unsigned num_threads = 0;
+    std::size_t stack_size = default_stack_size;
+  };
+
+  Runtime() : Runtime(Config{}) {}
+  explicit Runtime(Config cfg);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] threads::Scheduler& scheduler() noexcept { return *scheduler_; }
+
+  /// The live runtime, or nullptr.
+  static Runtime* instance() noexcept;
+
+ private:
+  std::unique_ptr<threads::Scheduler> scheduler_;
+};
+
+namespace detail {
+/// Scheduler used for implicitly posted work (async, then, parallel
+/// algorithms): the current worker's scheduler when on a worker thread,
+/// otherwise the runtime's default scheduler. Null if neither exists.
+threads::Scheduler* ambient_scheduler() noexcept;
+}  // namespace detail
+
+/// Fire-and-forget: run \p f as a task on the ambient scheduler.
+/// Throws std::runtime_error if no runtime or scheduler is active.
+void post(std::function<void()> f);
+
+}  // namespace mhpx

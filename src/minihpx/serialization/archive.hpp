@@ -1,0 +1,305 @@
+#pragma once
+
+/// \file archive.hpp
+/// Byte-oriented serialization for parcel payloads.
+///
+/// Every remote action call and every component creation crosses a
+/// parcelport as a flat byte buffer; these archives are the (much smaller)
+/// analogue of HPX's serialization layer. Arithmetic types, enums, strings,
+/// vectors, arrays, pairs and tuples are supported out of the box; user
+/// types opt in by providing
+///
+///     template <typename Ar> void serialize(Ar& ar) { ar & member & ...; }
+///
+/// as a member (the same archive visits both directions).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mhpx::serialization {
+
+struct archive_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+template <typename Ar, typename T>
+concept MemberSerializable = requires(Ar& ar, T& v) { v.serialize(ar); };
+
+/// Serialising archive: appends to an internal byte buffer.
+class OutputArchive {
+ public:
+  static constexpr bool is_output = true;
+
+  [[nodiscard]] const std::vector<std::byte>& buffer() const& {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+  void write_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  template <typename T>
+  OutputArchive& operator&(const T& value) {
+    save(value);
+    return *this;
+  }
+
+ private:
+  template <typename T>
+  void save(const T& value) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      write_bytes(&value, sizeof(T));
+    } else if constexpr (MemberSerializable<OutputArchive, T>) {
+      // serialize() is logically const for output; cast is confined here.
+      const_cast<T&>(value).serialize(*this);
+    } else {
+      static_assert(sizeof(T) == 0, "type is not serializable");
+    }
+  }
+
+  void save(const std::string& s) {
+    const auto n = static_cast<std::uint64_t>(s.size());
+    write_bytes(&n, sizeof(n));
+    write_bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void save(const std::vector<T>& v) {
+    const auto n = static_cast<std::uint64_t>(v.size());
+    write_bytes(&n, sizeof(n));
+    if constexpr (std::is_arithmetic_v<T>) {
+      write_bytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const auto& e : v) {
+        save(e);
+      }
+    }
+  }
+
+  template <typename T, std::size_t N>
+  void save(const std::array<T, N>& a) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      write_bytes(a.data(), N * sizeof(T));
+    } else {
+      for (const auto& e : a) {
+        save(e);
+      }
+    }
+  }
+
+  template <typename A, typename B>
+  void save(const std::pair<A, B>& p) {
+    save(p.first);
+    save(p.second);
+  }
+
+  template <typename... Ts>
+  void save(const std::tuple<Ts...>& t) {
+    std::apply([this](const auto&... e) { (save(e), ...); }, t);
+  }
+
+  template <typename T>
+  void save(const std::optional<T>& o) {
+    const std::uint8_t present = o.has_value() ? 1 : 0;
+    write_bytes(&present, sizeof(present));
+    if (o.has_value()) {
+      save(*o);
+    }
+  }
+
+  template <typename K, typename V>
+  void save_map_like(const auto& m) {
+    const auto n = static_cast<std::uint64_t>(m.size());
+    write_bytes(&n, sizeof(n));
+    for (const auto& [k, v] : m) {
+      save(k);
+      save(v);
+    }
+  }
+
+  template <typename K, typename V>
+  void save(const std::map<K, V>& m) {
+    save_map_like<K, V>(m);
+  }
+
+  template <typename K, typename V>
+  void save(const std::unordered_map<K, V>& m) {
+    save_map_like<K, V>(m);
+  }
+
+  std::vector<std::byte> buffer_;
+};
+
+/// Deserialising archive: reads from a borrowed byte buffer.
+class InputArchive {
+ public:
+  static constexpr bool is_output = false;
+
+  InputArchive(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit InputArchive(const std::vector<std::byte>& buffer)
+      : InputArchive(buffer.data(), buffer.size()) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - offset_;
+  }
+
+  void read_bytes(void* out, std::size_t n) {
+    if (n > remaining()) {
+      throw archive_error("mhpx archive: read past end of buffer");
+    }
+    std::memcpy(out, data_ + offset_, n);
+    offset_ += n;
+  }
+
+  template <typename T>
+  InputArchive& operator&(T& value) {
+    load(value);
+    return *this;
+  }
+
+ private:
+  template <typename T>
+  void load(T& value) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      read_bytes(&value, sizeof(T));
+    } else if constexpr (MemberSerializable<InputArchive, T>) {
+      value.serialize(*this);
+    } else {
+      static_assert(sizeof(T) == 0, "type is not serializable");
+    }
+  }
+
+  void load(std::string& s) {
+    std::uint64_t n = 0;
+    read_bytes(&n, sizeof(n));
+    if (n > remaining()) {
+      throw archive_error("mhpx archive: string length exceeds buffer");
+    }
+    s.resize(static_cast<std::size_t>(n));
+    read_bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void load(std::vector<T>& v) {
+    std::uint64_t n = 0;
+    read_bytes(&n, sizeof(n));
+    if constexpr (std::is_arithmetic_v<T>) {
+      if (n * sizeof(T) > remaining()) {
+        throw archive_error("mhpx archive: vector length exceeds buffer");
+      }
+      v.resize(static_cast<std::size_t>(n));
+      read_bytes(v.data(), v.size() * sizeof(T));
+    } else {
+      if (n > remaining()) {  // each element needs >= 1 byte
+        throw archive_error("mhpx archive: vector length exceeds buffer");
+      }
+      v.clear();
+      v.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        T e{};
+        load(e);
+        v.push_back(std::move(e));
+      }
+    }
+  }
+
+  template <typename T, std::size_t N>
+  void load(std::array<T, N>& a) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      read_bytes(a.data(), N * sizeof(T));
+    } else {
+      for (auto& e : a) {
+        load(e);
+      }
+    }
+  }
+
+  template <typename A, typename B>
+  void load(std::pair<A, B>& p) {
+    load(p.first);
+    load(p.second);
+  }
+
+  template <typename... Ts>
+  void load(std::tuple<Ts...>& t) {
+    std::apply([this](auto&... e) { (load(e), ...); }, t);
+  }
+
+  template <typename T>
+  void load(std::optional<T>& o) {
+    std::uint8_t present = 0;
+    read_bytes(&present, sizeof(present));
+    if (present != 0) {
+      T v{};
+      load(v);
+      o = std::move(v);
+    } else {
+      o.reset();
+    }
+  }
+
+  template <typename M>
+  void load_map_like(M& m) {
+    std::uint64_t n = 0;
+    read_bytes(&n, sizeof(n));
+    if (n > remaining()) {  // every entry needs at least one byte
+      throw archive_error("mhpx archive: map size exceeds buffer");
+    }
+    m.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      typename M::key_type k{};
+      typename M::mapped_type v{};
+      load(k);
+      load(v);
+      m.emplace(std::move(k), std::move(v));
+    }
+  }
+
+  template <typename K, typename V>
+  void load(std::map<K, V>& m) {
+    load_map_like(m);
+  }
+
+  template <typename K, typename V>
+  void load(std::unordered_map<K, V>& m) {
+    load_map_like(m);
+  }
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+/// Serialize a value into a fresh byte buffer.
+template <typename T>
+std::vector<std::byte> to_bytes(const T& value) {
+  OutputArchive ar;
+  ar& value;
+  return std::move(ar).take();
+}
+
+/// Deserialize a value of type T from a byte buffer.
+template <typename T>
+T from_bytes(const std::vector<std::byte>& bytes) {
+  InputArchive ar(bytes);
+  T value{};
+  ar& value;
+  return value;
+}
+
+}  // namespace mhpx::serialization

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file channel.hpp
+/// Bounded MPMC channel — the analogue of HPX's channel communication
+/// primitive (§3.1 of the paper lists channels among the distributed
+/// building blocks; this is the node-level variant used for pipelines).
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "minihpx/sync/fiber_cv.hpp"
+
+namespace mhpx::sync {
+
+/// Thrown by send() on a closed channel.
+struct channel_closed : std::runtime_error {
+  channel_closed() : std::runtime_error("mhpx::sync::channel: closed") {}
+};
+
+/// Bounded multi-producer multi-consumer channel of T.
+/// send() blocks (suspending fibers) when full; receive() blocks when empty
+/// and returns std::nullopt once the channel is closed and drained.
+template <typename T>
+class channel {
+ public:
+  explicit channel(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("mhpx::sync::channel: capacity must be > 0");
+    }
+  }
+  channel(const channel&) = delete;
+  channel& operator=(const channel&) = delete;
+
+  /// Enqueue a value, waiting for space. Throws channel_closed if closed.
+  void send(T value) {
+    std::unique_lock lk(guard_);
+    not_full_.wait(lk, [this] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) {
+      throw channel_closed{};
+    }
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+  }
+
+  /// Try to enqueue without waiting; false when full or closed.
+  bool try_send(T value) {
+    std::lock_guard lk(guard_);
+    if (closed_ || queue_.size() >= capacity_) {
+      return false;
+    }
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue a value, waiting for one. nullopt once closed and drained.
+  std::optional<T> receive() {
+    std::unique_lock lk(guard_);
+    not_empty_.wait(lk, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Try to dequeue without waiting.
+  std::optional<T> try_receive() {
+    std::lock_guard lk(guard_);
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Close the channel: senders start throwing, receivers drain then see
+  /// nullopt. Idempotent.
+  void close() {
+    std::lock_guard lk(guard_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lk(guard_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lk(guard_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex guard_;  // protects queue_/closed_ and both cv lists
+  FiberCv not_full_;
+  FiberCv not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace mhpx::sync

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file fiber_cv.hpp
+/// FiberCv — the one waiting primitive every minihpx synchronisation object
+/// is built on. Semantically a condition variable over a std::mutex, but
+/// when the waiter is a task it *suspends the fiber* instead of blocking the
+/// worker OS thread. This is precisely the advantage the paper ascribes to
+/// hpx::mutex over std::mutex ("the runtime can switch it out instead of
+/// simply blocking, allowing worker threads to continue working").
+///
+/// Protocol (parking-lot style): a waiter registers itself in the waiter
+/// list while still holding the user mutex, releases the mutex *on its own
+/// fiber*, then parks. Park and signal race through one atomic state CAS:
+///   0 (parking) -> 1 (parked, handle published)   by the parking fiber
+///   0 (parking) -> 2 (signalled before parked)    by a notifier
+/// Whoever loses the CAS completes the hand-off: a notifier that finds the
+/// waiter already parked resumes it; a parking fiber that finds itself
+/// already signalled resumes itself. No thread ever touches another
+/// thread's lock object, and each waiter is resumed exactly once.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mhpx::sync {
+
+/// Fiber-aware condition variable. All member functions must be called with
+/// the associated std::mutex held (it protects the internal waiter list, per
+/// CP.50 — the mutex and the data it guards travel together).
+class FiberCv {
+  struct Waiter {
+    threads::Scheduler* sched = nullptr;
+    threads::TaskHandle handle = nullptr;
+    /// 0 = parking, 1 = parked (handle valid), 2 = signalled-before-parked.
+    std::atomic<int> state{0};
+  };
+
+ public:
+  FiberCv() = default;
+  FiberCv(const FiberCv&) = delete;
+  FiberCv& operator=(const FiberCv&) = delete;
+
+  /// Wait for one notification. \p lk must be locked; it is released while
+  /// waiting and re-held on return.
+  void wait(std::unique_lock<std::mutex>& lk) {
+    if (threads::Scheduler::inside_task()) {
+      auto* sched = threads::Scheduler::current();
+      Waiter w;
+      w.sched = sched;
+      // Register while still holding the user mutex: a notifier running
+      // after our unlock is guaranteed to see this entry.
+      fiber_waiters_.push_back(&w);
+      lk.unlock();
+      sched->suspend_current([&w](threads::TaskHandle h) {
+        // Publish the handle, then try to transition parking -> parked.
+        w.handle = h;
+        int expected = 0;
+        if (!w.state.compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel)) {
+          // A notifier signalled before we finished parking (state == 2):
+          // the hand-off is ours to complete.
+          w.sched->resume(h);
+        }
+      });
+      lk.lock();
+    } else {
+      cv_.wait(lk);
+    }
+  }
+
+  /// Wait until \p pred holds.
+  template <typename Pred>
+  void wait(std::unique_lock<std::mutex>& lk, Pred pred) {
+    while (!pred()) {
+      wait(lk);
+    }
+  }
+
+  /// Wake one waiter. Caller must hold the associated mutex.
+  void notify_one() {
+    if (!fiber_waiters_.empty()) {
+      Waiter* w = fiber_waiters_.front();
+      fiber_waiters_.pop_front();
+      signal(w);
+      return;
+    }
+    cv_.notify_one();
+  }
+
+  /// Wake all waiters. Caller must hold the associated mutex.
+  void notify_all() {
+    while (!fiber_waiters_.empty()) {
+      Waiter* w = fiber_waiters_.front();
+      fiber_waiters_.pop_front();
+      signal(w);
+    }
+    cv_.notify_all();
+  }
+
+  /// Number of parked fibers (diagnostics/tests). Caller holds the mutex.
+  [[nodiscard]] std::size_t parked_fibers() const {
+    return fiber_waiters_.size();
+  }
+
+ private:
+  static void signal(Waiter* w) {
+    int expected = 0;
+    if (w->state.compare_exchange_strong(expected, 2,
+                                         std::memory_order_acq_rel)) {
+      // The fiber had not finished parking; its park hook will observe
+      // state == 2 and resume itself. After this CAS the waiter object
+      // (on the fiber's stack) must not be touched again.
+      return;
+    }
+    // state was 1: the fiber is fully parked and the handle is published.
+    w->sched->resume(w->handle);
+  }
+
+  std::condition_variable cv_;  // fallback for plain OS-thread waiters
+  std::deque<Waiter*> fiber_waiters_;
+};
+
+}  // namespace mhpx::sync

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file latch.hpp
+/// Fiber-aware latch and barrier (hpx::latch / hpx::barrier analogues).
+/// The parallel algorithms join their task fan-outs on a latch.
+
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+
+#include "minihpx/sync/fiber_cv.hpp"
+
+namespace mhpx::sync {
+
+/// Single-use countdown synchroniser, like std::latch but fiber-aware.
+class latch {
+ public:
+  explicit latch(std::ptrdiff_t expected) : count_(expected) {
+    if (expected < 0) {
+      throw std::invalid_argument("mhpx::sync::latch: negative count");
+    }
+  }
+  latch(const latch&) = delete;
+  latch& operator=(const latch&) = delete;
+
+  void count_down(std::ptrdiff_t n = 1) {
+    std::lock_guard lk(guard_);
+    count_ -= n;
+    if (count_ < 0) {
+      throw std::logic_error("mhpx::sync::latch: counted below zero");
+    }
+    if (count_ == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  [[nodiscard]] bool try_wait() const {
+    std::lock_guard lk(guard_);
+    return count_ == 0;
+  }
+
+  void wait() const {
+    std::unique_lock lk(guard_);
+    cv_.wait(lk, [this] { return count_ == 0; });
+  }
+
+  void arrive_and_wait(std::ptrdiff_t n = 1) {
+    std::unique_lock lk(guard_);
+    count_ -= n;
+    if (count_ < 0) {
+      throw std::logic_error("mhpx::sync::latch: counted below zero");
+    }
+    if (count_ == 0) {
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lk, [this] { return count_ == 0; });
+  }
+
+ private:
+  mutable std::mutex guard_;  // protects count_ and waiters
+  mutable FiberCv cv_;
+  std::ptrdiff_t count_;
+};
+
+/// Reusable cyclic barrier for a fixed party count, fiber-aware.
+class barrier {
+ public:
+  explicit barrier(std::ptrdiff_t parties) : parties_(parties), arrived_(0) {
+    if (parties <= 0) {
+      throw std::invalid_argument("mhpx::sync::barrier: parties must be > 0");
+    }
+  }
+  barrier(const barrier&) = delete;
+  barrier& operator=(const barrier&) = delete;
+
+  /// Arrive and wait for the rest of the party; generation counting makes
+  /// the barrier immediately reusable for the next phase.
+  void arrive_and_wait() {
+    std::unique_lock lk(guard_);
+    const std::uint64_t my_gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lk, [this, my_gen] { return generation_ != my_gen; });
+  }
+
+ private:
+  std::mutex guard_;  // protects arrived_/generation_ and waiters
+  FiberCv cv_;
+  std::ptrdiff_t parties_;
+  std::ptrdiff_t arrived_;
+  std::uint64_t generation_ = 0;
+};
+
+/// Fiber-aware counting semaphore (hpx::counting_semaphore analogue).
+class counting_semaphore {
+ public:
+  explicit counting_semaphore(std::ptrdiff_t initial) : count_(initial) {}
+  counting_semaphore(const counting_semaphore&) = delete;
+  counting_semaphore& operator=(const counting_semaphore&) = delete;
+
+  void release(std::ptrdiff_t n = 1) {
+    std::lock_guard lk(guard_);
+    count_ += n;
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      cv_.notify_one();
+    }
+  }
+
+  void acquire() {
+    std::unique_lock lk(guard_);
+    cv_.wait(lk, [this] { return count_ > 0; });
+    --count_;
+  }
+
+  bool try_acquire() {
+    std::lock_guard lk(guard_);
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::ptrdiff_t value() const {
+    std::lock_guard lk(guard_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex guard_;  // protects count_ and waiters
+  FiberCv cv_;
+  std::ptrdiff_t count_;
+};
+
+}  // namespace mhpx::sync

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file mutex.hpp
+/// mhpx::sync::mutex — the hpx::mutex analogue: BasicLockable, but a waiting
+/// task suspends its fiber instead of blocking the worker thread.
+
+#include <mutex>
+
+#include "minihpx/sync/fiber_cv.hpp"
+
+namespace mhpx::sync {
+
+/// Fiber-aware mutual exclusion. Satisfies Lockable, so it works with
+/// std::lock_guard / std::unique_lock / std::scoped_lock.
+class mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() {
+    std::unique_lock lk(guard_);
+    cv_.wait(lk, [this] { return !locked_; });
+    locked_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard lk(guard_);
+    if (locked_) {
+      return false;
+    }
+    locked_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::lock_guard lk(guard_);
+    locked_ = false;
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex guard_;  // protects locked_ and the cv waiter list
+  FiberCv cv_;
+  bool locked_ = false;
+};
+
+/// Fiber-aware condition variable usable with any Lockable (in particular
+/// mhpx::sync::mutex) — the hpx::condition_variable_any analogue.
+class condition_variable_any {
+ public:
+  template <typename Lock>
+  void wait(Lock& user_lock) {
+    std::unique_lock lk(guard_);
+    const std::uint64_t my_gen = generation_;
+    user_lock.unlock();
+    cv_.wait(lk, [this, my_gen] {
+      return permits_ > 0 || generation_ != my_gen;
+    });
+    if (generation_ == my_gen && permits_ > 0) {
+      --permits_;
+    }
+    lk.unlock();
+    user_lock.lock();
+  }
+
+  template <typename Lock, typename Pred>
+  void wait(Lock& user_lock, Pred pred) {
+    while (!pred()) {
+      wait(user_lock);
+    }
+  }
+
+  void notify_one() {
+    std::lock_guard lk(guard_);
+    ++permits_;
+    cv_.notify_one();
+  }
+
+  void notify_all() {
+    std::lock_guard lk(guard_);
+    ++generation_;
+    permits_ = 0;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex guard_;  // protects permits_/generation_ and waiter list
+  FiberCv cv_;
+  std::uint64_t generation_ = 0;
+  unsigned permits_ = 0;
+};
+
+}  // namespace mhpx::sync

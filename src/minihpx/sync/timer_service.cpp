@@ -1,0 +1,81 @@
+#include "minihpx/sync/timer_service.hpp"
+
+namespace mhpx::sync {
+
+TimerService& TimerService::instance() {
+  static TimerService service;
+  return service;
+}
+
+TimerService::TimerService() {
+  thread_ = std::thread([this] { loop(); });
+}
+
+TimerService::~TimerService() {
+  {
+    std::lock_guard lk(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void TimerService::post_at(clock::time_point deadline,
+                           std::function<void()> f) {
+  {
+    std::lock_guard lk(mutex_);
+    queue_.push(Entry{deadline, std::move(f)});
+  }
+  cv_.notify_one();
+}
+
+std::size_t TimerService::pending() const {
+  std::lock_guard lk(mutex_);
+  return queue_.size();
+}
+
+void TimerService::loop() {
+  std::unique_lock lk(mutex_);
+  while (!stop_) {
+    if (queue_.empty()) {
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      continue;
+    }
+    const auto next = queue_.top().deadline;
+    if (clock::now() < next) {
+      cv_.wait_until(lk, next);
+      continue;
+    }
+    // Pop all due entries and fire them outside the lock.
+    std::vector<std::function<void()>> due;
+    while (!queue_.empty() && queue_.top().deadline <= clock::now()) {
+      due.push_back(std::move(const_cast<Entry&>(queue_.top()).fn));
+      queue_.pop();
+    }
+    lk.unlock();
+    for (auto& f : due) {
+      f();
+    }
+    lk.lock();
+  }
+}
+
+void sleep_for(std::chrono::steady_clock::duration duration) {
+  sleep_until(std::chrono::steady_clock::now() + duration);
+}
+
+void sleep_until(std::chrono::steady_clock::time_point deadline) {
+  if (!threads::Scheduler::inside_task()) {
+    std::this_thread::sleep_until(deadline);
+    return;
+  }
+  auto* sched = threads::Scheduler::current();
+  sched->suspend_current([deadline, sched](threads::TaskHandle h) {
+    TimerService::instance().post_at(
+        deadline, [sched, h] { sched->resume(h); });
+  });
+}
+
+}  // namespace mhpx::sync

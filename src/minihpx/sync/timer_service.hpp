@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file timer_service.hpp
+/// Timed suspension for fibers — the hpx::this_thread::sleep_for analogue.
+///
+/// A process-wide timer thread holds a deadline-ordered queue of parked
+/// fibers (and one-shot callbacks) and resumes them when due. A sleeping
+/// task never blocks its worker thread, so thousands of timed waits cost
+/// one OS thread total — the AMT property that makes timeouts cheap.
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mhpx::sync {
+
+/// Deadline scheduler (singleton; lazily started, joined at exit).
+class TimerService {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  static TimerService& instance();
+
+  /// Run \p f (on the timer thread — keep it tiny, e.g. a resume or a
+  /// promise fulfilment) at \p deadline.
+  void post_at(clock::time_point deadline, std::function<void()> f);
+
+  /// Number of pending deadlines (diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+ private:
+  TimerService();
+  ~TimerService();
+  void loop();
+
+  struct Entry {
+    clock::time_point deadline;
+    std::function<void()> fn;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      return a.deadline > b.deadline;
+    }
+  };
+
+  mutable std::mutex mutex_;  // guards queue_ and stop_
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Suspend the calling context for \p duration: fibers park in the timer
+/// service (their worker keeps running other tasks); plain OS threads fall
+/// back to std::this_thread::sleep_for.
+void sleep_for(std::chrono::steady_clock::duration duration);
+
+/// Suspend until \p deadline.
+void sleep_until(std::chrono::steady_clock::time_point deadline);
+
+}  // namespace mhpx::sync

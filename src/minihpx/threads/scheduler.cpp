@@ -1,0 +1,266 @@
+#include "minihpx/threads/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mhpx::threads {
+
+namespace {
+thread_local Scheduler* t_scheduler = nullptr;
+thread_local Scheduler* t_worker_of = nullptr;  // set for worker threads
+thread_local TaskCtx* t_current_task = nullptr;
+thread_local unsigned t_worker_id = 0;
+}  // namespace
+
+Scheduler::Scheduler(Config cfg)
+    : stacks_(cfg.stack_size, stack_pool_limit) {
+  unsigned n = cfg.num_workers;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>(i));
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  // Drain first so no task is abandoned mid-flight; then stop the workers.
+  wait_idle();
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(sleep_mutex_);
+    work_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+    }
+  }
+  // Free recycled task records (their fibers are finished).
+  std::lock_guard lock(free_mutex_);
+  free_list_.clear();
+}
+
+Scheduler* Scheduler::current() noexcept {
+  return t_scheduler != nullptr ? t_scheduler : t_worker_of;
+}
+
+bool Scheduler::inside_task() noexcept { return t_current_task != nullptr; }
+
+TaskCtx* Scheduler::make_task(std::function<void()> fn) {
+  std::unique_ptr<TaskCtx> task;
+  {
+    std::lock_guard lock(free_mutex_);
+    if (!free_list_.empty()) {
+      task = std::move(free_list_.back());
+      free_list_.pop_back();
+    }
+  }
+  if (task) {
+    task->work = instrument::TaskWork{};
+    task->fib->reset(std::move(fn));
+  } else {
+    task = std::make_unique<TaskCtx>();
+    task->owner = this;
+    task->fib = std::make_unique<fiber::Fiber>(std::move(fn), stacks_.acquire());
+  }
+  return task.release();
+}
+
+void Scheduler::recycle(TaskCtx* task) {
+  std::unique_ptr<TaskCtx> owned(task);
+  std::lock_guard lock(free_mutex_);
+  if (free_list_.size() < stack_pool_limit) {
+    free_list_.push_back(std::move(owned));
+  }
+  // else: destructor releases fiber and stack.
+}
+
+std::size_t Scheduler::recycled_fibers() const {
+  std::lock_guard lock(free_mutex_);
+  return free_list_.size();
+}
+
+void Scheduler::post(std::function<void()> task) {
+  live_.fetch_add(1, std::memory_order_acq_rel);
+  instrument::detail::notify_spawn();
+  enqueue(make_task(std::move(task)));
+}
+
+void Scheduler::enqueue(TaskCtx* task) {
+  assert(task->owner == this);
+  if (t_worker_of == this) {
+    Worker& w = *workers_[t_worker_id];
+    std::lock_guard lock(w.mutex);
+    w.queue.push_back(task);
+  } else {
+    std::lock_guard lock(inject_mutex_);
+    inject_queue_.push_back(task);
+  }
+  std::lock_guard lock(sleep_mutex_);
+  if (sleepers_ > 0) {
+    work_cv_.notify_one();
+  }
+}
+
+TaskCtx* Scheduler::try_pop(Worker& self) {
+  std::lock_guard lock(self.mutex);
+  if (self.queue.empty()) {
+    return nullptr;
+  }
+  TaskCtx* task = self.queue.back();
+  self.queue.pop_back();
+  return task;
+}
+
+TaskCtx* Scheduler::pop_inject() {
+  std::lock_guard lock(inject_mutex_);
+  if (inject_queue_.empty()) {
+    return nullptr;
+  }
+  TaskCtx* task = inject_queue_.front();
+  inject_queue_.pop_front();
+  n_injected_.fetch_add(1, std::memory_order_relaxed);
+  return task;
+}
+
+TaskCtx* Scheduler::try_steal(Worker& self) {
+  const auto n = workers_.size();
+  if (n <= 1) {
+    return pop_inject();
+  }
+
+  thread_local std::minstd_rand rng{std::random_device{}()};
+  const auto start = static_cast<std::size_t>(rng()) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t v = (start + k) % n;
+    if (v == self.id) {
+      continue;
+    }
+    Worker& victim = *workers_[v];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      TaskCtx* task = victim.queue.front();  // steal from the cold end
+      victim.queue.pop_front();
+      n_stolen_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return pop_inject();
+}
+
+void Scheduler::worker_loop(Worker& self) {
+  t_worker_of = this;
+  t_worker_id = self.id;
+  while (true) {
+    TaskCtx* task = try_pop(self);
+    if (task == nullptr) {
+      task = try_steal(self);
+    }
+    if (task == nullptr) {
+      std::unique_lock lock(sleep_mutex_);
+      if (stopping_.load(std::memory_order_acquire)) {
+        break;
+      }
+      ++sleepers_;
+      work_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      --sleepers_;
+      continue;
+    }
+    run_task(self, task);
+  }
+}
+
+void Scheduler::run_task(Worker& self, TaskCtx* task) {
+  (void)self;
+  t_current_task = task;
+  instrument::detail::task_scope_begin();
+  task->fib->resume();
+  // Accumulate this execution slice's work annotations into the task, so
+  // tasks that suspend and migrate across workers are still priced fully.
+  const auto slice = instrument::detail::task_scope_end();
+  task->work.flops += slice.flops;
+  task->work.bytes += slice.bytes;
+  t_current_task = nullptr;
+
+  switch (task->fib->state()) {
+    case fiber::FiberState::finished:
+      finish_task(task);
+      break;
+    case fiber::FiberState::suspended: {
+      // Hand the handle to the waiter list only now that the fiber is off
+      // its stack; a racing resume() is safe from this point on.
+      auto hook = std::move(task->pending_suspend);
+      task->pending_suspend = nullptr;
+      assert(hook);
+      hook(task);
+      break;
+    }
+    case fiber::FiberState::ready:
+      enqueue(task);  // cooperative yield
+      break;
+    case fiber::FiberState::running:
+      assert(false && "fiber returned to scheduler while 'running'");
+      break;
+  }
+}
+
+void Scheduler::finish_task(TaskCtx* task) {
+  n_executed_.fetch_add(1, std::memory_order_relaxed);
+  instrument::detail::notify_finish(task->work);
+  recycle(task);
+  if (live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void Scheduler::wait_idle() {
+  assert(t_worker_of != this && "wait_idle() called from a worker");
+  std::unique_lock lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return live_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Scheduler::suspend_current(std::function<void(TaskHandle)> after_switch) {
+  TaskCtx* task = t_current_task;
+  assert(task != nullptr && "suspend_current() outside a task");
+  assert(task->owner == this);
+  task->pending_suspend = std::move(after_switch);
+  task->fib->set_state(fiber::FiberState::suspended);
+  n_suspended_.fetch_add(1, std::memory_order_relaxed);
+  task->fib->suspend_to_owner();
+  // Execution resumes here after some resume() re-enqueued the task.
+}
+
+void Scheduler::resume(TaskHandle handle) {
+  assert(handle != nullptr);
+  assert(handle->fib->state() == fiber::FiberState::suspended);
+  handle->fib->set_state(fiber::FiberState::ready);
+  handle->owner->enqueue(handle);
+}
+
+void Scheduler::yield() {
+  TaskCtx* task = t_current_task;
+  assert(task != nullptr && "yield() outside a task");
+  task->owner->n_yielded_.fetch_add(1, std::memory_order_relaxed);
+  task->fib->set_state(fiber::FiberState::ready);
+  task->fib->suspend_to_owner();
+}
+
+Scheduler::Counters Scheduler::counters() const {
+  Counters c;
+  c.tasks_executed = n_executed_.load(std::memory_order_relaxed);
+  c.tasks_stolen = n_stolen_.load(std::memory_order_relaxed);
+  c.tasks_injected = n_injected_.load(std::memory_order_relaxed);
+  c.suspensions = n_suspended_.load(std::memory_order_relaxed);
+  c.yields = n_yielded_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace mhpx::threads

@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Work-stealing fiber scheduler: the minihpx analogue of an HPX thread pool.
+///
+/// Every task runs on a stackful fiber, so it can suspend anywhere (inside
+/// future::get, a fiber-aware mutex, a channel receive, ...) without ever
+/// blocking the worker OS thread — the property the paper's discussion of
+/// HPX lightweight threads and hpx::mutex hinges on.
+///
+/// Design notes (following the C++ Core Guidelines concurrency rules):
+///  - tasks, not threads, are the unit of work (CP.4);
+///  - each queue's mutex lives next to the data it guards (CP.50);
+///  - suspension hands the task handle to the waiter *after* the fiber has
+///    switched off its stack, so a racing resume can never run a fiber that
+///    is still executing.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "minihpx/config.hpp"
+#include "minihpx/fiber/fiber.hpp"
+#include "minihpx/fiber/stack.hpp"
+#include "minihpx/instrument.hpp"
+
+namespace mhpx::threads {
+
+class Scheduler;
+
+/// Scheduler-internal record for one task (a fiber plus bookkeeping).
+/// Opaque to users; passed around as TaskHandle by suspension hooks.
+struct TaskCtx {
+  std::unique_ptr<fiber::Fiber> fib;
+  instrument::TaskWork work{};
+  Scheduler* owner = nullptr;
+  /// One-shot hook run by the worker after the fiber has switched out.
+  std::function<void(TaskCtx*)> pending_suspend;
+};
+
+/// Opaque handle to a suspended task; pass to Scheduler::resume.
+using TaskHandle = TaskCtx*;
+
+/// A pool of worker OS threads executing tasks on recycled fibers, with
+/// per-worker deques and random-victim work stealing.
+class Scheduler {
+ public:
+  struct Config {
+    /// Number of worker OS threads; 0 means hardware_concurrency().
+    unsigned num_workers = 0;
+    std::size_t stack_size = default_stack_size;
+  };
+
+  Scheduler() : Scheduler(Config{}) {}
+  explicit Scheduler(Config cfg);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Spawn a new task. Thread-safe; callable from workers, fibers and
+  /// external threads alike.
+  void post(std::function<void()> task);
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned num_workers() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Tasks spawned but not yet finished (includes suspended ones).
+  [[nodiscard]] std::size_t live_tasks() const noexcept {
+    return live_.load(std::memory_order_acquire);
+  }
+
+  /// Block the calling (non-worker) thread until no live tasks remain.
+  /// Must not be called from a worker fiber (it would deadlock); use
+  /// futures/latches there instead.
+  void wait_idle();
+
+  /// Suspend the task calling this. \p after_switch receives the task's
+  /// handle once the fiber is safely off-CPU; it typically stores the handle
+  /// in a waiter list. Must be called from within a task.
+  void suspend_current(std::function<void(TaskHandle)> after_switch);
+
+  /// Make a previously suspended task runnable again. Thread-safe.
+  void resume(TaskHandle handle);
+
+  /// Cooperatively reschedule the current task to the back of the queue.
+  static void yield();
+
+  /// Scheduler owning the calling worker thread, or nullptr.
+  static Scheduler* current() noexcept;
+
+  /// True when called from inside a task (fiber context).
+  static bool inside_task() noexcept;
+
+  /// Fibers (and their stacks) currently pooled for reuse.
+  [[nodiscard]] std::size_t recycled_fibers() const;
+
+  /// Scheduler performance counters — the analogue of HPX's
+  /// /threads/count/... counters the paper's community uses for tuning.
+  struct Counters {
+    std::uint64_t tasks_executed = 0;   ///< fibers run to completion
+    std::uint64_t tasks_stolen = 0;     ///< tasks taken from another worker
+    std::uint64_t tasks_injected = 0;   ///< tasks arriving from non-workers
+    std::uint64_t suspensions = 0;      ///< fiber park operations
+    std::uint64_t yields = 0;           ///< cooperative reschedules
+  };
+
+  /// Snapshot of the counters (aggregated over all workers).
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  struct Worker {
+    explicit Worker(unsigned worker_id) : id(worker_id) {}
+    unsigned id;
+    std::mutex mutex;  // guards queue
+    std::deque<TaskCtx*> queue;
+    std::thread thread;
+  };
+
+  void worker_loop(Worker& self);
+  void run_task(Worker& self, TaskCtx* task);
+  void enqueue(TaskCtx* task);
+  TaskCtx* try_pop(Worker& self);
+  TaskCtx* try_steal(Worker& self);
+  TaskCtx* pop_inject();
+  TaskCtx* make_task(std::function<void()> fn);
+  void recycle(TaskCtx* task);
+  void finish_task(TaskCtx* task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  fiber::StackPool stacks_;
+
+  std::mutex inject_mutex_;  // guards inject_queue_
+  std::deque<TaskCtx*> inject_queue_;
+
+  mutable std::mutex free_mutex_;  // guards free_list_
+  std::vector<std::unique_ptr<TaskCtx>> free_list_;
+
+  std::mutex sleep_mutex_;  // guards sleepers_ and pairs with work_cv_
+  std::condition_variable work_cv_;
+  unsigned sleepers_ = 0;
+
+  std::mutex drain_mutex_;  // pairs with drain_cv_ for wait_idle
+  std::condition_variable drain_cv_;
+
+  std::atomic<std::size_t> live_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> n_executed_{0};
+  std::atomic<std::uint64_t> n_stolen_{0};
+  std::atomic<std::uint64_t> n_injected_{0};
+  std::atomic<std::uint64_t> n_suspended_{0};
+  std::atomic<std::uint64_t> n_yielded_{0};
+};
+
+}  // namespace mhpx::threads

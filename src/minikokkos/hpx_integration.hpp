@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file hpx_integration.hpp
+/// The two HPX<->Kokkos integrations the paper singles out (§3.2):
+///   1. futures for asynchronously launched kernels, so kernel completions
+///      slot into the HPX task graph;
+///   2. the HPX execution space (see spaces.hpp/parallel.hpp), which runs a
+///      kernel as minihpx tasks instead of on a conflicting thread pool.
+/// This header provides (1): async kernel dispatch returning mhpx::future.
+
+#include <utility>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+#include "minikokkos/parallel.hpp"
+
+namespace mkk {
+
+/// Launch parallel_for(policy, f) as one minihpx task; the returned future
+/// becomes ready when the whole kernel has finished. The kernel itself may
+/// further fan out (Hpx space) or run single-core (Serial space) — the
+/// composition the Octo-Tiger driver relies on for one-kernel-per-sub-grid
+/// concurrency.
+template <typename Policy, typename F>
+mhpx::future<void> async_parallel_for(Policy policy, F f) {
+  return mhpx::async(
+      [policy = std::move(policy), f = std::move(f)]() mutable {
+        parallel_for(policy, f);
+      });
+}
+
+/// Launch parallel_reduce(policy, f) asynchronously; the future carries the
+/// reduction result.
+template <typename T, typename Policy, typename F>
+mhpx::future<T> async_parallel_reduce(Policy policy, F f) {
+  return mhpx::async([policy = std::move(policy), f = std::move(f)]() mutable {
+    T result{};
+    parallel_reduce(policy, f, result);
+    return result;
+  });
+}
+
+}  // namespace mkk

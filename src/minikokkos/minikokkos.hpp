@@ -1,0 +1,13 @@
+#pragma once
+
+/// \file minikokkos.hpp
+/// Umbrella header: the full public API of the minikokkos portability
+/// layer (Views, execution spaces, parallel dispatch, scan, atomics, SIMD).
+
+#include "minikokkos/hpx_integration.hpp"
+#include "minikokkos/parallel.hpp"
+#include "minikokkos/scan_atomic.hpp"
+#include "minikokkos/simd.hpp"
+#include "minikokkos/spaces.hpp"
+#include "minikokkos/team.hpp"
+#include "minikokkos/view.hpp"

@@ -1,0 +1,209 @@
+#pragma once
+
+/// \file parallel.hpp
+/// mkk::parallel_for / mkk::parallel_reduce over Range and MDRange policies,
+/// dispatched to the Serial, Threads or Hpx execution space.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "minihpx/parallel/algorithms.hpp"
+#include "minihpx/runtime.hpp"
+#include "minikokkos/spaces.hpp"
+
+namespace mkk {
+
+/// 1-D iteration range [begin, end) on execution space Space.
+template <typename Space = Serial>
+struct RangePolicy {
+  Space space{};
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  RangePolicy(std::size_t b, std::size_t e) : begin(b), end(e) {}
+  RangePolicy(Space s, std::size_t b, std::size_t e)
+      : space(s), begin(b), end(e) {}
+};
+
+/// Rank-3 iteration range, the natural shape for 8x8x8 sub-grid kernels.
+template <typename Space = Serial>
+struct MDRangePolicy3 {
+  Space space{};
+  std::array<std::size_t, 3> begin{};
+  std::array<std::size_t, 3> end{};
+
+  MDRangePolicy3(std::array<std::size_t, 3> b, std::array<std::size_t, 3> e)
+      : begin(b), end(e) {}
+  MDRangePolicy3(Space s, std::array<std::size_t, 3> b,
+                 std::array<std::size_t, 3> e)
+      : space(s), begin(b), end(e) {}
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 1;
+    for (std::size_t d = 0; d < 3; ++d) {
+      n *= end[d] - begin[d];
+    }
+    return n;
+  }
+
+  /// Map a flat index back to (i, j, k), row-major.
+  void unflatten(std::size_t flat, std::size_t& i, std::size_t& j,
+                 std::size_t& k) const {
+    const std::size_t nj = end[1] - begin[1];
+    const std::size_t nk = end[2] - begin[2];
+    k = begin[2] + flat % nk;
+    j = begin[1] + (flat / nk) % nj;
+    i = begin[0] + flat / (nk * nj);
+  }
+};
+
+namespace detail {
+
+/// Run body(b, e) over [begin,end) split across the space's workers.
+template <typename Body>
+void dispatch_blocks(Serial, std::size_t begin, std::size_t end, Body&& body) {
+  if (end > begin) {
+    body(begin, end);
+  }
+}
+
+template <typename Body>
+void dispatch_blocks(Threads space, std::size_t begin, std::size_t end,
+                     Body&& body) {
+  const std::size_t n = end - begin;
+  if (n == 0) {
+    return;
+  }
+  unsigned workers = space.num_threads != 0
+                         ? space.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  if (static_cast<std::size_t>(workers) > n) {
+    workers = static_cast<unsigned>(n);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t base = n / workers;
+  const std::size_t rem = n % workers;
+  std::size_t b = begin;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t e = b + base + (w < rem ? 1 : 0);
+    threads.emplace_back([&body, b, e] { body(b, e); });
+    b = e;
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+template <typename Body>
+void dispatch_blocks(Hpx space, std::size_t begin, std::size_t end,
+                     Body&& body) {
+  const std::size_t n = end - begin;
+  if (n == 0) {
+    return;
+  }
+  auto* sched = mhpx::detail::ambient_scheduler();
+  if (sched == nullptr) {
+    throw std::runtime_error(
+        "mkk::Hpx execution space: no active minihpx runtime");
+  }
+  unsigned chunks = space.chunks != 0 ? space.chunks : 4 * sched->num_workers();
+  if (static_cast<std::size_t>(chunks) > n) {
+    chunks = static_cast<unsigned>(n);
+  }
+  mhpx::execution::detail::bulk_run(
+      n, chunks, [&](std::size_t, std::size_t b, std::size_t e) {
+        body(begin + b, begin + e);
+      });
+}
+
+}  // namespace detail
+
+/// parallel_for over a 1-D range: f(i).
+template <typename Space, typename F>
+void parallel_for(const RangePolicy<Space>& policy, F&& f) {
+  detail::dispatch_blocks(policy.space, policy.begin, policy.end,
+                          [&](std::size_t b, std::size_t e) {
+                            for (std::size_t i = b; i < e; ++i) {
+                              f(i);
+                            }
+                          });
+}
+
+/// Convenience: parallel_for over [0, n) on a default-constructed space.
+template <typename F>
+void parallel_for(std::size_t n, F&& f) {
+  parallel_for(RangePolicy<Serial>(0, n), std::forward<F>(f));
+}
+
+/// parallel_for over a rank-3 range: f(i, j, k).
+template <typename Space, typename F>
+void parallel_for(const MDRangePolicy3<Space>& policy, F&& f) {
+  const std::size_t n = policy.count();
+  detail::dispatch_blocks(policy.space, 0, n,
+                          [&](std::size_t b, std::size_t e) {
+                            for (std::size_t flat = b; flat < e; ++flat) {
+                              std::size_t i = 0;
+                              std::size_t j = 0;
+                              std::size_t k = 0;
+                              policy.unflatten(flat, i, j, k);
+                              f(i, j, k);
+                            }
+                          });
+}
+
+/// parallel_reduce over a 1-D range: f(i, acc) accumulates into acc; chunk
+/// partials combine with += (Kokkos' default Sum reducer).
+template <typename Space, typename F, typename T>
+void parallel_reduce(const RangePolicy<Space>& policy, F&& f, T& result) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) {
+    result = T{};
+    return;
+  }
+  std::mutex combine_mutex;  // guards total
+  T total{};
+  detail::dispatch_blocks(policy.space, policy.begin, policy.end,
+                          [&](std::size_t b, std::size_t e) {
+                            T local{};
+                            for (std::size_t i = b; i < e; ++i) {
+                              f(i, local);
+                            }
+                            std::lock_guard lk(combine_mutex);
+                            total += local;
+                          });
+  result = total;
+}
+
+/// parallel_reduce over a rank-3 range: f(i, j, k, acc).
+template <typename Space, typename F, typename T>
+void parallel_reduce(const MDRangePolicy3<Space>& policy, F&& f, T& result) {
+  const std::size_t n = policy.count();
+  if (n == 0) {
+    result = T{};
+    return;
+  }
+  std::mutex combine_mutex;  // guards total
+  T total{};
+  detail::dispatch_blocks(policy.space, 0, n,
+                          [&](std::size_t b, std::size_t e) {
+                            T local{};
+                            for (std::size_t flat = b; flat < e; ++flat) {
+                              std::size_t i = 0;
+                              std::size_t j = 0;
+                              std::size_t k = 0;
+                              policy.unflatten(flat, i, j, k);
+                              f(i, j, k, local);
+                            }
+                            std::lock_guard lk(combine_mutex);
+                            total += local;
+                          });
+  result = total;
+}
+
+}  // namespace mkk

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file scan_atomic.hpp
+/// Kokkos-style parallel_scan and atomic update helpers — the remaining
+/// pieces of the Kokkos core API surface Octo-Tiger-class codes use for
+/// prefix sums (index construction) and scatter-add kernels.
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "minikokkos/parallel.hpp"
+
+namespace mkk {
+
+/// Kokkos::atomic_add analogue for double (CAS loop; std::atomic_ref needs
+/// the object to outlive all plain accesses, so a raw CAS on the bits keeps
+/// the call sites simple).
+inline void atomic_add(double* addr, double value) {
+  auto* bits = reinterpret_cast<std::atomic<std::uint64_t>*>(addr);
+  std::uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    double old_val;
+    std::memcpy(&old_val, &old_bits, sizeof(double));
+    const double new_val = old_val + value;
+    std::uint64_t new_bits;
+    std::memcpy(&new_bits, &new_val, sizeof(double));
+    if (bits->compare_exchange_weak(old_bits, new_bits,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+/// Kokkos::atomic_add analogue for integral types.
+template <typename T>
+  requires std::is_integral_v<T>
+void atomic_add(T* addr, T value) {
+  reinterpret_cast<std::atomic<T>*>(addr)->fetch_add(
+      value, std::memory_order_relaxed);
+}
+
+/// parallel_scan over [0, n): f(i, acc, final) Kokkos-style — called twice
+/// per element (first pass final=false accumulates, second pass final=true
+/// sees the running prefix and may write results). Returns the total.
+///
+/// Implementation: chunked two-pass (local scans, chunk-offset combine),
+/// dispatched to the policy's execution space.
+template <typename Space, typename F, typename T>
+T parallel_scan(const RangePolicy<Space>& policy, F&& f, T init = T{}) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) {
+    return init;
+  }
+  // Chunk boundaries identical across both passes.
+  const unsigned chunks = [&] {
+    if constexpr (std::is_same_v<Space, Serial>) {
+      return 1u;
+    } else {
+      unsigned c = 8;
+      if (static_cast<std::size_t>(c) > n) {
+        c = static_cast<unsigned>(n);
+      }
+      return c;
+    }
+  }();
+  std::vector<T> totals(chunks, T{});
+
+  auto chunk_bounds = [&](unsigned c, std::size_t& b, std::size_t& e) {
+    const std::size_t base = n / chunks;
+    const std::size_t rem = n % chunks;
+    b = policy.begin + c * base + std::min<std::size_t>(c, rem);
+    e = b + base + (c < rem ? 1 : 0);
+  };
+
+  // Pass 1: per-chunk totals (final = false).
+  detail::dispatch_blocks(policy.space, 0, chunks,
+                          [&](std::size_t cb, std::size_t ce) {
+                            for (std::size_t c = cb; c < ce; ++c) {
+                              std::size_t b = 0;
+                              std::size_t e = 0;
+                              chunk_bounds(static_cast<unsigned>(c), b, e);
+                              T acc{};
+                              for (std::size_t i = b; i < e; ++i) {
+                                f(i, acc, false);
+                              }
+                              totals[c] = acc;
+                            }
+                          });
+
+  // Exclusive scan of chunk totals.
+  std::vector<T> offsets(chunks, init);
+  T running = init;
+  for (unsigned c = 0; c < chunks; ++c) {
+    offsets[c] = running;
+    running = running + totals[c];
+  }
+
+  // Pass 2: run with the prefix (final = true).
+  detail::dispatch_blocks(policy.space, 0, chunks,
+                          [&](std::size_t cb, std::size_t ce) {
+                            for (std::size_t c = cb; c < ce; ++c) {
+                              std::size_t b = 0;
+                              std::size_t e = 0;
+                              chunk_bounds(static_cast<unsigned>(c), b, e);
+                              T acc = offsets[c];
+                              for (std::size_t i = b; i < e; ++i) {
+                                f(i, acc, true);
+                              }
+                            }
+                          });
+  return running;
+}
+
+}  // namespace mkk

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file spaces.hpp
+/// Execution spaces — where a minikokkos kernel runs.
+///
+/// The paper (§3.2, §6.2.1) compares three ways of running the Octo-Tiger
+/// Kokkos kernels on the RISC-V CPU:
+///   - Serial execution space: one core executes the kernel; multicore use
+///     still emerges because many kernels run concurrently (one per
+///     sub-grid);
+///   - HPX execution space: the kernel is split into HPX tasks on the HPX
+///     worker threads, avoiding a conflicting thread pool;
+///   - (for contrast) a plain Threads space that forks its own OS threads —
+///     the "conflicting thread pools" configuration the paper warns about
+///     when mixing OpenMP with HPX.
+/// All three are implemented here behind one dispatch interface.
+
+#include <cstddef>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace mkk {
+
+/// Run the kernel inline on the calling thread.
+struct Serial {
+  static constexpr std::string_view name() { return "Serial"; }
+};
+
+/// Fork-join over dedicated OS threads per dispatch (OpenMP-like). Creates
+/// and joins threads on every call — deliberately naive, mirroring how a
+/// foreign thread pool conflicts with an AMT runtime's workers.
+struct Threads {
+  unsigned num_threads = 0;  ///< 0 = hardware_concurrency
+  static constexpr std::string_view name() { return "Threads"; }
+};
+
+/// Split the kernel into tasks on the ambient minihpx scheduler — the
+/// Kokkos-HPX execution space the paper's Fig. 7 benchmarks.
+struct Hpx {
+  /// Tasks per dispatch; 0 = 4 × worker count. This is the "fine-grained
+  /// control regarding the number of tasks required for each kernel" the
+  /// paper highlights.
+  unsigned chunks = 0;
+  static constexpr std::string_view name() { return "Hpx"; }
+};
+
+namespace detail {
+
+template <typename T>
+struct is_execution_space : std::false_type {};
+template <>
+struct is_execution_space<Serial> : std::true_type {};
+template <>
+struct is_execution_space<Threads> : std::true_type {};
+template <>
+struct is_execution_space<Hpx> : std::true_type {};
+
+}  // namespace detail
+
+/// Host kernel flavour selection, mirroring Octo-Tiger's
+/// --xxx_host_kernel_type={LEGACY,KOKKOS} command-line switches
+/// (paper Listings 2–3).
+enum class KernelType {
+  legacy,          ///< old pure-HPX kernel implementations
+  kokkos_serial,   ///< minikokkos kernels on the Serial space
+  kokkos_hpx,      ///< minikokkos kernels on the Hpx space
+};
+
+[[nodiscard]] constexpr std::string_view to_string(KernelType k) {
+  switch (k) {
+    case KernelType::legacy:
+      return "legacy-hpx";
+    case KernelType::kokkos_serial:
+      return "kokkos-serial";
+    case KernelType::kokkos_hpx:
+      return "kokkos-hpx";
+  }
+  return "?";
+}
+
+}  // namespace mkk

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file team.hpp
+/// Hierarchical (team) parallelism — the Kokkos TeamPolicy subset.
+///
+/// A league of teams: the league dimension is distributed over the
+/// execution space (one task per team on the Hpx space); within a team,
+/// team_size logical threads execute cooperatively on one core (the
+/// faithful CPU lowering: Kokkos' host backends serialise team threads
+/// unless hyperthreads are bound). TeamThreadRange partitions an index
+/// range across the team's threads.
+
+#include <cstddef>
+
+#include "minikokkos/parallel.hpp"
+
+namespace mkk {
+
+/// Handle passed to a team kernel: identifies the team and thread.
+class TeamMember {
+ public:
+  TeamMember(std::size_t league_rank, unsigned team_rank, unsigned team_size)
+      : league_rank_(league_rank),
+        team_rank_(team_rank),
+        team_size_(team_size) {}
+
+  [[nodiscard]] std::size_t league_rank() const noexcept {
+    return league_rank_;
+  }
+  [[nodiscard]] unsigned team_rank() const noexcept { return team_rank_; }
+  [[nodiscard]] unsigned team_size() const noexcept { return team_size_; }
+
+ private:
+  std::size_t league_rank_;
+  unsigned team_rank_;
+  unsigned team_size_;
+};
+
+/// League of `league_size` teams, each with `team_size` logical threads,
+/// distributed over execution space Space.
+template <typename Space = Serial>
+struct TeamPolicy {
+  Space space{};
+  std::size_t league_size = 0;
+  unsigned team_size = 1;
+
+  TeamPolicy(std::size_t league, unsigned team)
+      : league_size(league), team_size(team) {}
+  TeamPolicy(Space s, std::size_t league, unsigned team)
+      : space(s), league_size(league), team_size(team) {}
+};
+
+/// parallel_for over a team policy: f(member) is invoked once per
+/// (team, thread) pair; teams are parallel across the space, threads within
+/// a team run sequentially on the executing core (in team-rank order, so
+/// per-team scratch patterns behave deterministically).
+template <typename Space, typename F>
+void parallel_for(const TeamPolicy<Space>& policy, F&& f) {
+  detail::dispatch_blocks(
+      policy.space, 0, policy.league_size,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t league = b; league < e; ++league) {
+          for (unsigned t = 0; t < policy.team_size; ++t) {
+            f(TeamMember(league, t, policy.team_size));
+          }
+        }
+      });
+}
+
+/// TeamThreadRange: invoke body(i) for the member's slice of [0, n) —
+/// thread t handles i with i % team_size == t (cyclic, Kokkos-like).
+template <typename F>
+void team_thread_range(const TeamMember& member, std::size_t n, F&& body) {
+  for (std::size_t i = member.team_rank(); i < n; i += member.team_size()) {
+    body(i);
+  }
+}
+
+/// Team-level reduction helper: every thread contributes `value`; the
+/// caller accumulates into a per-team slot. On this serialised-team CPU
+/// lowering a plain reference is race-free because team threads run in
+/// sequence on one core.
+template <typename T>
+void team_reduce_add(const TeamMember& /*member*/, T value, T& slot) {
+  slot += value;
+}
+
+}  // namespace mkk

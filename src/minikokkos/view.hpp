@@ -1,0 +1,235 @@
+#pragma once
+
+/// \file view.hpp
+/// mkk::View — the minikokkos analogue of Kokkos::View.
+///
+/// A View is a reference-counted, multi-dimensional array with a
+/// compile-time rank and a configurable memory layout. Compute kernels in
+/// the Octo-Tiger miniapp take Views, exactly as the paper describes for the
+/// real code ("compute kernels written with Kokkos, using Kokkos Views as
+/// data-structures").
+///
+/// Supported: ranks 1–4, LayoutRight (C order, default) and LayoutLeft
+/// (Fortran order), deep_copy, fill, and contiguous leading-dimension
+/// subviews for LayoutRight.
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mkk {
+
+/// C ordering: the last index is stride-1.
+struct LayoutRight {};
+/// Fortran ordering: the first index is stride-1.
+struct LayoutLeft {};
+
+namespace detail {
+
+template <std::size_t Rank>
+std::size_t product(const std::array<std::size_t, Rank>& dims) {
+  std::size_t p = 1;
+  for (const std::size_t d : dims) {
+    p *= d;
+  }
+  return p;
+}
+
+template <typename Layout, std::size_t Rank>
+std::array<std::size_t, Rank> make_strides(
+    const std::array<std::size_t, Rank>& dims) {
+  std::array<std::size_t, Rank> s{};
+  if constexpr (std::is_same_v<Layout, LayoutRight>) {
+    std::size_t acc = 1;
+    for (std::size_t d = Rank; d-- > 0;) {
+      s[d] = acc;
+      acc *= dims[d];
+    }
+  } else {
+    std::size_t acc = 1;
+    for (std::size_t d = 0; d < Rank; ++d) {
+      s[d] = acc;
+      acc *= dims[d];
+    }
+  }
+  return s;
+}
+
+}  // namespace detail
+
+/// Multi-dimensional array view with shared ownership.
+template <typename T, std::size_t Rank, typename Layout = LayoutRight>
+class View {
+  static_assert(Rank >= 1 && Rank <= 4, "mkk::View supports ranks 1..4");
+
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr std::size_t rank = Rank;
+
+  View() = default;
+
+  /// Allocate a zero-initialised view with the given label and extents.
+  template <typename... Extents>
+    requires(sizeof...(Extents) == Rank &&
+             (std::is_convertible_v<Extents, std::size_t> && ...))
+  explicit View(std::string label, Extents... extents)
+      : label_(std::move(label)),
+        dims_{static_cast<std::size_t>(extents)...},
+        strides_(detail::make_strides<Layout, Rank>(dims_)),
+        size_(detail::product<Rank>(dims_)),
+        data_(size_ > 0 ? std::shared_ptr<T[]>(new T[size_]{})
+                        : std::shared_ptr<T[]>{}) {}
+
+  /// Wrap an existing allocation (used by subview).
+  View(std::string label, std::shared_ptr<T[]> data,
+       std::array<std::size_t, Rank> dims,
+       std::array<std::size_t, Rank> strides, T* origin)
+      : label_(std::move(label)),
+        dims_(dims),
+        strides_(strides),
+        size_(detail::product<Rank>(dims)),
+        data_(std::move(data)),
+        origin_(origin) {}
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] std::size_t extent(std::size_t d) const {
+    assert(d < Rank);
+    return dims_[d];
+  }
+  [[nodiscard]] std::size_t stride(std::size_t d) const {
+    assert(d < Rank);
+    return strides_[d];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool allocated() const noexcept { return data_ != nullptr; }
+
+  /// Raw pointer to the first element (layout origin).
+  [[nodiscard]] T* data() const noexcept {
+    return origin_ != nullptr ? origin_ : data_.get();
+  }
+
+  /// Element access: v(i), v(i,j), ...
+  template <typename... Is>
+    requires(sizeof...(Is) == Rank &&
+             (std::is_convertible_v<Is, std::size_t> && ...))
+  T& operator()(Is... is) const {
+    const std::array<std::size_t, Rank> idx{static_cast<std::size_t>(is)...};
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < Rank; ++d) {
+      assert(idx[d] < dims_[d] && "mkk::View: index out of bounds");
+      offset += idx[d] * strides_[d];
+    }
+    return data()[offset];
+  }
+
+  /// Set every element to \p value.
+  void fill(const T& value) const {
+    // Walk in layout order; for owned (non-sub) views this is contiguous.
+    T* p = data();
+    if (contiguous()) {
+      for (std::size_t i = 0; i < size_; ++i) {
+        p[i] = value;
+      }
+    } else {
+      for_each_index([&](auto... is) { (*this)(is...) = value; });
+    }
+  }
+
+  /// True when elements occupy one contiguous block in memory.
+  [[nodiscard]] bool contiguous() const {
+    auto expect = detail::make_strides<Layout, Rank>(dims_);
+    return expect == strides_;
+  }
+
+  /// Rank-reducing subview: fix the leading index (LayoutRight only, where
+  /// the resulting block is contiguous) — how Octo-Tiger slices per-field
+  /// planes out of a sub-grid.
+  [[nodiscard]] View<T, Rank - 1, Layout> subview(std::size_t leading) const
+    requires(Rank >= 2 && std::is_same_v<Layout, LayoutRight>)
+  {
+    if (leading >= dims_[0]) {
+      throw std::out_of_range("mkk::View::subview: index out of range");
+    }
+    std::array<std::size_t, Rank - 1> dims{};
+    std::array<std::size_t, Rank - 1> strides{};
+    for (std::size_t d = 1; d < Rank; ++d) {
+      dims[d - 1] = dims_[d];
+      strides[d - 1] = strides_[d];
+    }
+    return View<T, Rank - 1, Layout>(label_ + "/sub", data_, dims, strides,
+                                     data() + leading * strides_[0]);
+  }
+
+  /// Visit every index tuple (row-major order of the logical index space).
+  template <typename F>
+  void for_each_index(F&& f) const {
+    if constexpr (Rank == 1) {
+      for (std::size_t i = 0; i < dims_[0]; ++i) {
+        f(i);
+      }
+    } else if constexpr (Rank == 2) {
+      for (std::size_t i = 0; i < dims_[0]; ++i) {
+        for (std::size_t j = 0; j < dims_[1]; ++j) {
+          f(i, j);
+        }
+      }
+    } else if constexpr (Rank == 3) {
+      for (std::size_t i = 0; i < dims_[0]; ++i) {
+        for (std::size_t j = 0; j < dims_[1]; ++j) {
+          for (std::size_t k = 0; k < dims_[2]; ++k) {
+            f(i, j, k);
+          }
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < dims_[0]; ++i) {
+        for (std::size_t j = 0; j < dims_[1]; ++j) {
+          for (std::size_t k = 0; k < dims_[2]; ++k) {
+            for (std::size_t l = 0; l < dims_[3]; ++l) {
+              f(i, j, k, l);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Views compare equal when they alias the same data and shape.
+  friend bool operator==(const View& a, const View& b) {
+    return a.data() == b.data() && a.dims_ == b.dims_ &&
+           a.strides_ == b.strides_;
+  }
+
+ private:
+  std::string label_;
+  std::array<std::size_t, Rank> dims_{};
+  std::array<std::size_t, Rank> strides_{};
+  std::size_t size_ = 0;
+  std::shared_ptr<T[]> data_;
+  T* origin_ = nullptr;  // non-null for subviews
+};
+
+/// Element-wise copy between views of identical shape (any layouts).
+template <typename T, std::size_t Rank, typename LDst, typename LSrc>
+void deep_copy(const View<T, Rank, LDst>& dst,
+               const View<T, Rank, LSrc>& src) {
+  for (std::size_t d = 0; d < Rank; ++d) {
+    if (dst.extent(d) != src.extent(d)) {
+      throw std::invalid_argument("mkk::deep_copy: extent mismatch");
+    }
+  }
+  src.for_each_index([&](auto... is) { dst(is...) = src(is...); });
+}
+
+/// Fill a view with one value (Kokkos::deep_copy(view, value) analogue).
+template <typename T, std::size_t Rank, typename L>
+void deep_copy(const View<T, Rank, L>& dst, const T& value) {
+  dst.fill(value);
+}
+
+}  // namespace mkk

@@ -1,0 +1,142 @@
+#include "octotiger/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "minihpx/serialization/archive.hpp"
+
+namespace octo {
+
+namespace {
+
+namespace ser = mhpx::serialization;
+
+constexpr std::uint64_t checkpoint_magic = 0x4f43544f43504bull;  // "OCTOCPK"
+constexpr std::uint32_t checkpoint_version = 1;
+
+struct StatsRecord {
+  std::uint32_t steps = 0;
+  double sim_time = 0.0;
+  double last_dt = 0.0;
+  std::uint64_t cells_processed = 0;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& steps& sim_time& last_dt& cells_processed;
+  }
+};
+
+}  // namespace
+
+void save_checkpoint(const Simulation& sim, const std::string& path) {
+  ser::OutputArchive ar;
+  ar& checkpoint_magic& checkpoint_version;
+
+  Options opt = sim.options();
+  ar& opt;
+
+  StatsRecord stats;
+  stats.steps = sim.stats().steps;
+  stats.sim_time = sim.stats().sim_time;
+  stats.last_dt = sim.stats().last_dt;
+  stats.cells_processed = sim.stats().cells_processed;
+  ar& stats;
+
+  const auto leaf_count = static_cast<std::uint64_t>(sim.tree().leaf_count());
+  ar& leaf_count;
+  for (const TreeNode* leaf : sim.tree().leaves()) {
+    const SubGrid& g = leaf->grid;
+    std::vector<double> block;
+    block.reserve(NF * CELLS_PER_GRID);
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            block.push_back(g.u(f, i, j, k));
+          }
+        }
+      }
+    }
+    ar& block;
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("octo checkpoint: cannot open " + path);
+  }
+  const auto& buf = ar.buffer();
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  if (!out) {
+    throw std::runtime_error("octo checkpoint: write failed for " + path);
+  }
+}
+
+Simulation load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("octo checkpoint: cannot open " + path);
+  }
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) {
+    throw std::runtime_error("octo checkpoint: read failed for " + path);
+  }
+
+  ser::InputArchive ar(bytes);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  ar& magic& version;
+  if (magic != checkpoint_magic) {
+    throw std::runtime_error("octo checkpoint: bad magic in " + path);
+  }
+  if (version != checkpoint_version) {
+    throw std::runtime_error("octo checkpoint: unsupported version in " +
+                             path);
+  }
+
+  Options opt;
+  ar& opt;
+  StatsRecord stats;
+  ar& stats;
+
+  Simulation sim(opt);  // rebuilds the same tree (deterministic)
+  std::uint64_t leaf_count = 0;
+  ar& leaf_count;
+  if (leaf_count != sim.tree().leaf_count()) {
+    throw std::runtime_error(
+        "octo checkpoint: mesh mismatch (options changed?) in " + path);
+  }
+  for (TreeNode* leaf : sim.tree().leaves()) {
+    std::vector<double> block;
+    ar& block;
+    if (block.size() != NF * CELLS_PER_GRID) {
+      throw std::runtime_error("octo checkpoint: corrupt leaf block in " +
+                               path);
+    }
+    std::size_t o = 0;
+    const SubGrid& g = leaf->grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            g.u(f, i, j, k) = block[o++];
+          }
+        }
+      }
+    }
+  }
+
+  RunStats rs;
+  rs.steps = stats.steps;
+  rs.sim_time = stats.sim_time;
+  rs.last_dt = stats.last_dt;
+  rs.cells_processed = static_cast<std::size_t>(stats.cells_processed);
+  sim.restore_stats(rs);
+  return sim;
+}
+
+}  // namespace octo

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Checkpoint/restart — production simulations run for weeks; Octo-Tiger
+/// writes restart files every N steps. The miniapp equivalent: serialize
+/// the options, run statistics and every leaf's interior state through the
+/// minihpx archives into one file, and restore a bit-identical Simulation.
+
+#include <string>
+
+#include "octotiger/driver.hpp"
+
+namespace octo {
+
+/// Write a restart file. Throws std::runtime_error on I/O failure.
+void save_checkpoint(const Simulation& sim, const std::string& path);
+
+/// Rebuild a Simulation from a restart file: the tree is reconstructed
+/// from the stored options (deterministic), then every leaf's interior is
+/// restored. Continuing the run produces bit-identical states to an
+/// uninterrupted one.
+Simulation load_checkpoint(const std::string& path);
+
+}  // namespace octo

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file defs.hpp
+/// Global constants of the Octo-Tiger miniapp.
+///
+/// Octo-Tiger simulates self-gravitating astrophysical fluids on an
+/// adaptive octree whose every node carries an 8x8x8 sub-grid (paper §3.3).
+/// This miniapp keeps the same structure: 512 cells per sub-grid, five
+/// conserved fields (inviscid Euler + total energy), interleaved hydro and
+/// FMM gravity solvers, and the three host-kernel families the paper's
+/// command lines select (hydro / multipole / monopole).
+
+#include <cstddef>
+
+namespace octo {
+
+/// Cells per sub-grid edge (Octo-Tiger's 8x8x8 sub-grids).
+inline constexpr std::size_t NX = 8;
+/// Ghost-layer width: linear (minmod) reconstruction needs slopes in the
+/// first exterior cell, hence two layers.
+inline constexpr std::size_t GHOST = 2;
+/// Extended edge including ghosts.
+inline constexpr std::size_t NXE = NX + 2 * GHOST;
+/// Cells per sub-grid (the paper's "512 cells per sub-grid").
+inline constexpr std::size_t CELLS_PER_GRID = NX * NX * NX;
+
+/// Conserved fields.
+enum Field : std::size_t {
+  f_rho = 0,  ///< mass density
+  f_sx = 1,   ///< x momentum density
+  f_sy = 2,   ///< y momentum density
+  f_sz = 3,   ///< z momentum density
+  f_egas = 4, ///< total (gas) energy density
+  NF = 5,
+};
+
+/// Ideal-gas adiabatic index (monatomic / n=1.5 polytrope convention kept
+/// at 5/3, as in Octo-Tiger's default EoS).
+inline constexpr double gamma_gas = 5.0 / 3.0;
+
+/// Gravitational constant (code units).
+inline constexpr double G_newton = 1.0;
+
+/// Density and pressure floors.
+inline constexpr double rho_floor = 1.0e-10;
+inline constexpr double p_floor = 1.0e-12;
+
+}  // namespace octo

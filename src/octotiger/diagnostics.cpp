@@ -1,0 +1,45 @@
+#include "octotiger/diagnostics.hpp"
+
+#include "octotiger/hydro/eos.hpp"
+
+namespace octo {
+
+Diagnostics compute_diagnostics(const Octree& tree) {
+  Diagnostics d;
+  for (const TreeNode* leaf : tree.leaves()) {
+    const SubGrid& g = leaf->grid;
+    const double vol = g.cell_volume();
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const double rho = g.u(f_rho, i, j, k);
+          const double sx = g.u(f_sx, i, j, k);
+          const double sy = g.u(f_sy, i, j, k);
+          const double sz = g.u(f_sz, i, j, k);
+          const double egas = g.u(f_egas, i, j, k);
+          const Vec3 p = g.cell_center(i, j, k);
+
+          d.mass += rho * vol;
+          d.momentum.x += sx * vol;
+          d.momentum.y += sy * vol;
+          d.momentum.z += sz * vol;
+          d.angular_momentum_z += (p.x * sy - p.y * sx) * vol;
+
+          const double kin =
+              0.5 * (sx * sx + sy * sy + sz * sz) / std::max(rho, rho_floor);
+          d.kinetic_energy += kin * vol;
+          d.internal_energy += std::max(egas - kin, 0.0) * vol;
+          d.potential_energy += 0.5 * rho * g.phi(i, j, k) * vol;
+
+          if (rho > d.rho_max) {
+            d.rho_max = rho;
+            d.rho_max_location = p;
+          }
+        }
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace octo

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file diagnostics.hpp
+/// Physical diagnostics over the whole mesh — the analogue of Octo-Tiger's
+/// per-step diagnostics output (conserved totals, energies, angular
+/// momentum, density extrema). Property tests use these as invariants; the
+/// binary-merger example prints them per step.
+
+#include "octotiger/octree.hpp"
+
+namespace octo {
+
+struct Diagnostics {
+  double mass = 0.0;
+  Vec3 momentum{};
+  /// Angular momentum about the z axis through the origin.
+  double angular_momentum_z = 0.0;
+  double kinetic_energy = 0.0;
+  double internal_energy = 0.0;
+  /// Gravitational potential energy, 1/2 sum rho phi dV (needs a prior
+  /// gravity solve; zero otherwise).
+  double potential_energy = 0.0;
+  double rho_max = 0.0;
+  Vec3 rho_max_location{};
+  /// |virial| = |2 E_kin + E_pot| / |E_pot| — ~O(0.1) for a star near
+  /// equilibrium, meaningless without gravity.
+  [[nodiscard]] double virial_error() const {
+    if (potential_energy == 0.0) {
+      return 0.0;
+    }
+    return std::abs(2.0 * kinetic_energy + potential_energy) /
+           std::abs(potential_energy);
+  }
+};
+
+/// Compute all diagnostics in one sweep over the leaves.
+Diagnostics compute_diagnostics(const Octree& tree);
+
+}  // namespace octo

@@ -1,0 +1,492 @@
+#include "octotiger/distributed/dist_driver.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/sync/latch.hpp"
+#include "octotiger/gravity/solver.hpp"
+#include "octotiger/hydro/kernels.hpp"
+#include "octotiger/init/rotating_star.hpp"
+
+namespace octo::dist {
+
+namespace md = mhpx::dist;
+
+// --------------------------------------------------------------- component
+
+DistOcto::DistOcto(md::Locality& here, Options opt,
+                   std::uint32_t num_partitions)
+    : here_(here),
+      opt_(std::move(opt)),
+      rank_(here.id()),
+      num_partitions_(num_partitions),
+      tree_(opt_.max_level, opt_.refine_radius) {
+  init::rotating_star(tree_, opt_);
+  const std::size_t n = tree_.leaf_count();
+  owned_begin_ = static_cast<std::size_t>(rank_) * n / num_partitions_;
+  owned_end_ = static_cast<std::size_t>(rank_ + 1) * n / num_partitions_;
+  compute_adjacency();
+}
+
+void DistOcto::compute_adjacency() {
+  // A partition reads a remote leaf when it is "near" one of its owned
+  // leaves: ghost sampling reaches 2 cells out, the gravity monopole kernel
+  // touches lattice neighbours, and the coarse P2P touches box-adjacent
+  // leaves across level jumps. A box-distance threshold of half the owned
+  // leaf's width covers all three.
+  needed_.assign(num_partitions_, {});
+  const auto& leaves = tree_.leaves();
+  auto partition_of = [&](std::size_t id) {
+    // Inverse of the contiguous range split.
+    for (std::uint32_t p = 0; p < num_partitions_; ++p) {
+      const std::size_t b = static_cast<std::size_t>(p) * leaves.size() /
+                            num_partitions_;
+      const std::size_t e = static_cast<std::size_t>(p + 1) * leaves.size() /
+                            num_partitions_;
+      if (id >= b && id < e) {
+        return p;
+      }
+    }
+    return num_partitions_ - 1;
+  };
+  std::vector<std::vector<bool>> seen(
+      num_partitions_, std::vector<bool>(leaves.size(), false));
+  for (std::size_t t = owned_begin_; t < owned_end_; ++t) {
+    const TreeNode& target = *leaves[t];
+    const double near = 0.55 * target.width();
+    for (std::size_t s = 0; s < leaves.size(); ++s) {
+      if (owns(s)) {
+        continue;
+      }
+      const TreeNode& src = *leaves[s];
+      // Box-box distance via corner distance of the source to the target's
+      // inflated box: use the symmetric test dist(src box, target center)
+      // conservative form — compute true box gap per axis.
+      const Vec3 tl = target.low();
+      const Vec3 sl = src.low();
+      const double tw = target.width();
+      const double sw = src.width();
+      const double gx =
+          std::max({sl.x - (tl.x + tw), tl.x - (sl.x + sw), 0.0});
+      const double gy =
+          std::max({sl.y - (tl.y + tw), tl.y - (sl.y + sw), 0.0});
+      const double gz =
+          std::max({sl.z - (tl.z + tw), tl.z - (sl.z + sw), 0.0});
+      const double gap = std::sqrt(gx * gx + gy * gy + gz * gz);
+      if (gap < near) {
+        const std::uint32_t p = partition_of(s);
+        if (!seen[p][s]) {
+          seen[p][s] = true;
+          needed_[p].push_back(s);
+        }
+      }
+    }
+  }
+  for (auto& ids : needed_) {
+    std::sort(ids.begin(), ids.end());
+  }
+}
+
+void DistOcto::for_each_owned_task(
+    const std::function<void(TreeNode&)>& f) {
+  // One task per owned sub-grid, joined on a fiber-aware latch (this runs
+  // inside an action handler fiber).
+  auto& sched = here_.scheduler();
+  mhpx::sync::latch done(
+      static_cast<std::ptrdiff_t>(owned_end_ - owned_begin_));
+  for (std::size_t l = owned_begin_; l < owned_end_; ++l) {
+    TreeNode* leaf = tree_.leaves()[l];
+    sched.post([&f, leaf, &done] {
+      f(*leaf);
+      done.count_down();
+    });
+  }
+  done.wait();
+}
+
+double DistOcto::signal_max() const {
+  double s = 0.0;
+  for (std::size_t l = owned_begin_; l < owned_end_; ++l) {
+    s = std::max(s, hydro::max_signal_speed(tree_.leaves()[l]->grid));
+  }
+  return s;
+}
+
+std::vector<double> DistOcto::pack_moments() const {
+  std::vector<double> out;
+  out.reserve((owned_end_ - owned_begin_) * 11);
+  for (std::size_t l = owned_begin_; l < owned_end_; ++l) {
+    const auto m = gravity::leaf_moments(tree_.leaves()[l]->grid);
+    out.push_back(static_cast<double>(l));
+    out.push_back(m.mass);
+    out.push_back(m.com.x);
+    out.push_back(m.com.y);
+    out.push_back(m.com.z);
+    for (const double q : m.quad) {
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+void DistOcto::apply_moments(const std::vector<double>& packed) {
+  for (std::size_t o = 0; o + 11 <= packed.size(); o += 11) {
+    const auto id = static_cast<std::size_t>(packed[o]);
+    gravity::Multipole m;
+    m.mass = packed[o + 1];
+    m.com = {packed[o + 2], packed[o + 3], packed[o + 4]};
+    for (std::size_t q = 0; q < 6; ++q) {
+      m.quad[q] = packed[o + 5 + q];
+    }
+    tree_.leaves().at(id)->moments = m;
+  }
+}
+
+std::vector<std::uint64_t> DistOcto::needed_from(std::uint32_t from) const {
+  return {needed_.at(from).begin(), needed_.at(from).end()};
+}
+
+std::vector<double> DistOcto::pack_fields(
+    const std::vector<std::uint64_t>& ids) const {
+  std::vector<double> out;
+  out.reserve(ids.size() * NF * CELLS_PER_GRID);
+  for (const std::uint64_t id : ids) {
+    const SubGrid& g = tree_.leaves().at(static_cast<std::size_t>(id))->grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            out.push_back(g.u(f, i, j, k));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void DistOcto::apply_fields(const std::vector<std::uint64_t>& ids,
+                            const std::vector<double>& data) {
+  std::size_t o = 0;
+  for (const std::uint64_t id : ids) {
+    const SubGrid& g = tree_.leaves().at(static_cast<std::size_t>(id))->grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            g.u(f, i, j, k) = data.at(o++);
+          }
+        }
+      }
+    }
+  }
+}
+
+void DistOcto::run_stage(double dt, std::uint32_t stage) {
+  if (stage == 0) {
+    for (std::size_t l = owned_begin_; l < owned_end_; ++l) {
+      tree_.leaves()[l]->grid.save_state();
+    }
+    // Leaf moments were just applied/computed; combine internal nodes and
+    // run the gravity kernels on the owned partition.
+    for (std::size_t l = owned_begin_; l < owned_end_; ++l) {
+      tree_.leaves()[l]->moments =
+          gravity::leaf_moments(tree_.leaves()[l]->grid);
+    }
+    gravity::combine_internal_moments(tree_.root());
+    const TreeNode& root = tree_.root();
+    for_each_owned_task([&](TreeNode& leaf) {
+      gravity::solve_leaf(root, leaf, opt_.theta, opt_.multipole_kernel,
+                          opt_.monopole_kernel);
+    });
+  }
+  for_each_owned_task([&](TreeNode& leaf) { tree_.fill_ghosts(leaf); });
+  for_each_owned_task([&](TreeNode& leaf) {
+    hydro::compute_rhs(leaf.grid, opt_.hydro_kernel);
+  });
+  for_each_owned_task([&](TreeNode& leaf) {
+    SubGrid& g = leaf.grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            if (stage == 0) {
+              g.u(f, i, j, k) = g.u0(f, i, j, k) + dt * g.rhs(f, i, j, k);
+            } else {
+              g.u(f, i, j, k) = 0.5 * (g.u0(f, i, j, k) + g.u(f, i, j, k) +
+                                       dt * g.rhs(f, i, j, k));
+            }
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          g.u(f_rho, i, j, k) = std::max(g.u(f_rho, i, j, k), rho_floor);
+        }
+      }
+    }
+  });
+}
+
+Cons DistOcto::partition_totals() const {
+  Cons t;
+  for (std::size_t l = owned_begin_; l < owned_end_; ++l) {
+    const Cons c = tree_.leaves()[l]->grid.totals();
+    t.rho += c.rho;
+    t.sx += c.sx;
+    t.sy += c.sy;
+    t.sz += c.sz;
+    t.egas += c.egas;
+  }
+  return t;
+}
+
+MHPX_REGISTER_COMPONENT(DistOcto);
+
+// ----------------------------------------------------------------- actions
+
+struct SignalMaxAction {
+  static constexpr std::string_view name = "octo::dist::signal_max";
+  static double invoke(md::Locality&, DistOcto& self) {
+    return self.signal_max();
+  }
+};
+MHPX_REGISTER_ACTION(SignalMaxAction);
+
+struct PackMomentsAction {
+  static constexpr std::string_view name = "octo::dist::pack_moments";
+  static std::vector<double> invoke(md::Locality&, DistOcto& self) {
+    return self.pack_moments();
+  }
+};
+MHPX_REGISTER_ACTION(PackMomentsAction);
+
+struct ApplyMomentsAction {
+  static constexpr std::string_view name = "octo::dist::apply_moments";
+  static int invoke(md::Locality&, DistOcto& self,
+                    std::vector<double> packed) {
+    self.apply_moments(packed);
+    return 0;
+  }
+};
+MHPX_REGISTER_ACTION(ApplyMomentsAction);
+
+struct NeededFromAction {
+  static constexpr std::string_view name = "octo::dist::needed_from";
+  static std::vector<std::uint64_t> invoke(md::Locality&, DistOcto& self,
+                                           std::uint32_t from) {
+    return self.needed_from(from);
+  }
+};
+MHPX_REGISTER_ACTION(NeededFromAction);
+
+struct PackFieldsAction {
+  static constexpr std::string_view name = "octo::dist::pack_fields";
+  static std::vector<double> invoke(md::Locality&, DistOcto& self,
+                                    std::vector<std::uint64_t> ids) {
+    return self.pack_fields(ids);
+  }
+};
+MHPX_REGISTER_ACTION(PackFieldsAction);
+
+struct ApplyFieldsAction {
+  static constexpr std::string_view name = "octo::dist::apply_fields";
+  static int invoke(md::Locality&, DistOcto& self,
+                    std::vector<std::uint64_t> ids, std::vector<double> data) {
+    self.apply_fields(ids, data);
+    return 0;
+  }
+};
+MHPX_REGISTER_ACTION(ApplyFieldsAction);
+
+struct RunStageAction {
+  static constexpr std::string_view name = "octo::dist::run_stage";
+  static int invoke(md::Locality&, DistOcto& self, double dt,
+                    std::uint32_t stage) {
+    self.run_stage(dt, stage);
+    return 0;
+  }
+};
+MHPX_REGISTER_ACTION(RunStageAction);
+
+struct PartitionTotalsAction {
+  static constexpr std::string_view name = "octo::dist::partition_totals";
+  static Cons invoke(md::Locality&, DistOcto& self) {
+    return self.partition_totals();
+  }
+};
+MHPX_REGISTER_ACTION(PartitionTotalsAction);
+
+// ------------------------------------------------------------ orchestrator
+
+DistSimulation::DistSimulation(Options opt, md::FabricKind fabric)
+    : opt_(std::move(opt)),
+      runtime_([&] {
+        md::DistributedRuntime::Config cfg;
+        cfg.num_localities = opt_.localities;
+        cfg.threads_per_locality = opt_.threads;
+        cfg.fabric = fabric;
+        return cfg;
+      }()) {
+  const auto n = runtime_.num_localities();
+  components_.reserve(n);
+  for (md::locality_id l = 0; l < n; ++l) {
+    components_.push_back(
+        runtime_.locality(0)
+            .create_on<DistOcto>(l, opt_, static_cast<std::uint32_t>(n))
+            .get());
+  }
+  {
+    // Every replica builds the same tree; read the cell count locally.
+    auto& local =
+        runtime_.locality(0).local<DistOcto>(components_[0]);
+    total_cells_ = local.tree().total_cells();
+  }
+  // Gather the adjacency wish-lists: wanted_[consumer][producer].
+  wanted_.assign(n, std::vector<std::vector<std::uint64_t>>(n));
+  for (md::locality_id c = 0; c < n; ++c) {
+    for (md::locality_id p = 0; p < n; ++p) {
+      if (c == p) {
+        continue;
+      }
+      wanted_[c][p] = runtime_.locality(0)
+                          .call<NeededFromAction>(components_[c], p)
+                          .get();
+    }
+  }
+}
+
+void DistSimulation::mark(const std::string& phase) {
+  if (phase_marker_) {
+    phase_marker_(phase);
+  }
+}
+
+void DistSimulation::exchange_fields() {
+  const auto n = runtime_.num_localities();
+  // For every (consumer, producer) pair: fetch the producer's boundary
+  // leaves and apply them at the consumer. Both hops are real parcels.
+  std::vector<mhpx::future<int>> applies;
+  for (md::locality_id c = 0; c < n; ++c) {
+    for (md::locality_id p = 0; p < n; ++p) {
+      if (c == p || wanted_[c][p].empty()) {
+        continue;
+      }
+      auto data = runtime_.locality(c)
+                      .call<PackFieldsAction>(components_[p], wanted_[c][p])
+                      .get();
+      applies.push_back(runtime_.locality(p).call<ApplyFieldsAction>(
+          components_[c], wanted_[c][p], std::move(data)));
+    }
+  }
+  for (auto& f : applies) {
+    f.get();
+  }
+}
+
+double DistSimulation::step() {
+  const auto n = runtime_.num_localities();
+
+  mark("dist.dt");
+  double smax = 0.0;
+  {
+    std::vector<mhpx::future<double>> futs;
+    for (md::locality_id l = 0; l < n; ++l) {
+      futs.push_back(
+          runtime_.locality(0).call<SignalMaxAction>(components_[l]));
+    }
+    for (auto& f : futs) {
+      smax = std::max(smax, f.get());
+    }
+  }
+  // All partitions share the finest cell width (the tree is replicated);
+  // use the finest level's dx for the CFL bound.
+  auto& local = runtime_.locality(0).local<DistOcto>(components_[0]);
+  double min_dx = std::numeric_limits<double>::max();
+  for (const TreeNode* leaf : local.tree().leaves()) {
+    min_dx = std::min(min_dx, leaf->grid.dx());
+  }
+  const double dt = opt_.cfl * min_dx / std::max(smax, 1e-30);
+
+  mark("dist.moments");
+  {
+    // All-to-all moment exchange.
+    std::vector<mhpx::future<int>> applies;
+    for (md::locality_id p = 0; p < n; ++p) {
+      auto packed = runtime_.locality(0)
+                        .call<PackMomentsAction>(components_[p])
+                        .get();
+      for (md::locality_id c = 0; c < n; ++c) {
+        if (c != p) {
+          applies.push_back(runtime_.locality(0).call<ApplyMomentsAction>(
+              components_[c], packed));
+        }
+      }
+    }
+    for (auto& f : applies) {
+      f.get();
+    }
+  }
+
+  mark("dist.exchange1");
+  exchange_fields();
+
+  mark("dist.stage1");
+  {
+    std::vector<mhpx::future<int>> futs;
+    for (md::locality_id l = 0; l < n; ++l) {
+      futs.push_back(runtime_.locality(0).call<RunStageAction>(
+          components_[l], dt, std::uint32_t{0}));
+    }
+    for (auto& f : futs) {
+      f.get();
+    }
+  }
+
+  mark("dist.exchange2");
+  exchange_fields();
+
+  mark("dist.stage2");
+  {
+    std::vector<mhpx::future<int>> futs;
+    for (md::locality_id l = 0; l < n; ++l) {
+      futs.push_back(runtime_.locality(0).call<RunStageAction>(
+          components_[l], dt, std::uint32_t{1}));
+    }
+    for (auto& f : futs) {
+      f.get();
+    }
+  }
+
+  ++stats_.steps;
+  stats_.sim_time += dt;
+  stats_.last_dt = dt;
+  stats_.cells_processed += total_cells_;
+  return dt;
+}
+
+void DistSimulation::run() {
+  for (unsigned s = 0; s < opt_.stop_step; ++s) {
+    step();
+  }
+}
+
+Cons DistSimulation::totals() {
+  Cons t;
+  for (md::locality_id l = 0; l < runtime_.num_localities(); ++l) {
+    const Cons c = runtime_.locality(0)
+                       .call<PartitionTotalsAction>(components_[l])
+                       .get();
+    t.rho += c.rho;
+    t.sx += c.sx;
+    t.sy += c.sy;
+    t.sz += c.sz;
+    t.egas += c.egas;
+  }
+  return t;
+}
+
+}  // namespace octo::dist

@@ -1,0 +1,240 @@
+#include "octotiger/driver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+#include "octotiger/gravity/solver.hpp"
+#include "octotiger/hydro/kernels.hpp"
+#include "octotiger/init/binary_star.hpp"
+#include "octotiger/init/rotating_star.hpp"
+
+namespace octo {
+
+namespace {
+
+/// Refinement criterion for the configured problem: the rotating star
+/// refines a sphere about the origin; the binary refines around both star
+/// centres and the mass-transfer region between them (paper §3.3:
+/// "maximize the resolution in the area between the stars").
+Octree::refine_predicate refinement_for(const Options& opt) {
+  if (opt.problem == Options::Problem::binary_star) {
+    init::BinaryParams p;
+    p.separation = opt.binary_separation;
+    p.radius1 = opt.binary_radius1;
+    p.radius2 = opt.binary_radius2;
+    p.rho_c1 = opt.binary_rho_c1;
+    p.rho_c2 = opt.binary_rho_c2;
+    const Vec3 c1 = init::binary_center1(p);
+    const Vec3 c2 = init::binary_center2(p);
+    const double reach =
+        1.4 * std::max(opt.binary_radius1, opt.binary_radius2);
+    return [c1, c2, reach](const TreeNode& node) {
+      return node.distance_to(c1) < reach || node.distance_to(c2) < reach ||
+             node.distance_to(Vec3{0, 0, 0}) < reach;
+    };
+  }
+  const double r = opt.refine_radius;
+  return [r](const TreeNode& node) {
+    return node.distance_to(Vec3{0, 0, 0}) < r;
+  };
+}
+
+}  // namespace
+
+Simulation::Simulation(Options opt)
+    : opt_(std::move(opt)), tree_(opt_.max_level, refinement_for(opt_)) {
+  if (opt_.problem == Options::Problem::binary_star) {
+    init::BinaryParams p;
+    p.separation = opt_.binary_separation;
+    p.radius1 = opt_.binary_radius1;
+    p.radius2 = opt_.binary_radius2;
+    p.rho_c1 = opt_.binary_rho_c1;
+    p.rho_c2 = opt_.binary_rho_c2;
+    init::binary_star(tree_, p);
+  } else {
+    init::rotating_star(tree_, opt_);
+  }
+}
+
+void Simulation::mark(const std::string& phase) {
+  if (phase_marker_) {
+    phase_marker_(phase);
+  }
+}
+
+void Simulation::for_each_leaf_task(
+    const std::function<void(TreeNode&)>& f) {
+  auto* sched = mhpx::detail::ambient_scheduler();
+  if (sched == nullptr) {
+    // No runtime (plain unit tests): run inline.
+    for (TreeNode* leaf : tree_.leaves()) {
+      f(*leaf);
+    }
+    return;
+  }
+  // One task per sub-grid — the Octo-Tiger execution model.
+  std::vector<mhpx::future<void>> futs;
+  futs.reserve(tree_.leaf_count());
+  for (TreeNode* leaf : tree_.leaves()) {
+    futs.push_back(mhpx::async([&f, leaf] { f(*leaf); }));
+  }
+  for (auto& fut : mhpx::when_all(std::move(futs)).get()) {
+    fut.get();
+  }
+  // A future resolves inside its task, slightly before the task's fiber
+  // retires (and fires the instrumentation finish hook). Wait for full
+  // quiescence so trace records cannot smear into the next phase.
+  if (!mhpx::threads::Scheduler::inside_task()) {
+    sched->wait_idle();
+  }
+}
+
+double Simulation::compute_dt() const {
+  double dt = std::numeric_limits<double>::max();
+  for (const TreeNode* leaf : tree_.leaves()) {
+    const double s = hydro::max_signal_speed(leaf->grid);
+    if (s > 0.0) {
+      dt = std::min(dt, opt_.cfl * leaf->grid.dx() / s);
+    }
+  }
+  return dt;
+}
+
+void Simulation::solve_gravity() {
+  mark("gravity.moments");
+  gravity::compute_moments(tree_.root());
+  mark("gravity.kernels");
+  const TreeNode& root = tree_.root();
+  for_each_leaf_task([&](TreeNode& leaf) {
+    gravity::solve_leaf(root, leaf, opt_.theta, opt_.multipole_kernel,
+                        opt_.monopole_kernel);
+  });
+}
+
+void Simulation::hydro_stage(double dt, bool second_stage) {
+  mark("hydro.exchange");
+  for_each_leaf_task([&](TreeNode& leaf) { tree_.fill_ghosts(leaf); });
+
+  mark("hydro.kernels");
+  for_each_leaf_task([&](TreeNode& leaf) {
+    hydro::compute_rhs(leaf.grid, opt_.hydro_kernel);
+  });
+
+  mark("hydro.update");
+  for_each_leaf_task([&](TreeNode& leaf) {
+    SubGrid& g = leaf.grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            if (!second_stage) {
+              // u1 = u0 + dt L(u0)
+              g.u(f, i, j, k) = g.u0(f, i, j, k) + dt * g.rhs(f, i, j, k);
+            } else {
+              // u^{n+1} = (u0 + u1 + dt L(u1)) / 2
+              g.u(f, i, j, k) = 0.5 * (g.u0(f, i, j, k) + g.u(f, i, j, k) +
+                                       dt * g.rhs(f, i, j, k));
+            }
+          }
+        }
+      }
+    }
+    // Keep the state physical after the update.
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          g.u(f_rho, i, j, k) = std::max(g.u(f_rho, i, j, k), rho_floor);
+        }
+      }
+    }
+  });
+}
+
+double Simulation::step() {
+  const double dt = compute_dt();
+
+  for (TreeNode* leaf : tree_.leaves()) {
+    leaf->grid.save_state();
+  }
+
+  // Gravity once per step; both RK stages use the same acceleration — a
+  // documented miniapp simplification (DESIGN.md §6).
+  if (opt_.gravity) {
+    solve_gravity();
+  }
+
+  hydro_stage(dt, /*second_stage=*/false);
+  hydro_stage(dt, /*second_stage=*/true);
+
+  ++stats_.steps;
+  stats_.sim_time += dt;
+  stats_.last_dt = dt;
+  stats_.cells_processed += tree_.total_cells();
+  return dt;
+}
+
+void Simulation::run() {
+  for (unsigned s = 0; s < opt_.stop_step; ++s) {
+    step();
+  }
+}
+
+std::size_t Simulation::regrid(double rho_threshold) {
+  // Refinement criterion from the *current* solution: split a node when
+  // any probe of its region (center + the 8 region corners, pulled
+  // slightly inward) sees density above the threshold.
+  const Octree& old = tree_;
+  auto pred = [&old, rho_threshold](const TreeNode& node) {
+    const Vec3 lo = node.low();
+    const double w = node.width();
+    const double eps = 0.05 * w;
+    for (const double fx : {eps, 0.5 * w, w - eps}) {
+      for (const double fy : {eps, 0.5 * w, w - eps}) {
+        for (const double fz : {eps, 0.5 * w, w - eps}) {
+          const Vec3 p{lo.x + fx, lo.y + fy, lo.z + fz};
+          if (old.sample(f_rho, p) > rho_threshold) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  Octree next(opt_.max_level, pred);
+  // Resample the conserved state onto the new mesh (piecewise constant —
+  // same operator as the ghost fill).
+  next.for_each_leaf([&](TreeNode& leaf) {
+    SubGrid& g = leaf.grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const Vec3 p = g.cell_center(i, j, k);
+          for (std::size_t f = 0; f < NF; ++f) {
+            g.u(f, i, j, k) = old.sample(f, p);
+          }
+        }
+      }
+    }
+  });
+  tree_ = std::move(next);
+  return tree_.leaf_count();
+}
+
+Cons Simulation::totals() const {
+  Cons t;
+  for (const TreeNode* leaf : tree_.leaves()) {
+    const Cons l = leaf->grid.totals();
+    t.rho += l.rho;
+    t.sx += l.sx;
+    t.sy += l.sy;
+    t.sz += l.sz;
+    t.egas += l.egas;
+  }
+  return t;
+}
+
+}  // namespace octo

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file driver.hpp
+/// The Octo-Tiger simulation driver: interleaved gravity + hydro solvers on
+/// the adaptive octree, with one compute-kernel task per sub-grid per stage
+/// (paper §3.3: "in each solver iteration, we invoke each compute kernel
+/// numerous times (usually once per sub-grid)"). This fan-out is what gives
+/// the AMT runtime its parallelism and what the Fig. 7/8 benchmarks price.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "octotiger/octree.hpp"
+#include "octotiger/options.hpp"
+
+namespace octo {
+
+/// Aggregate accounting of a run.
+struct RunStats {
+  unsigned steps = 0;
+  double sim_time = 0.0;        ///< accumulated simulated time
+  double last_dt = 0.0;
+  std::size_t cells_processed = 0;  ///< total_cells x steps (paper metric)
+};
+
+class Simulation {
+ public:
+  /// Build the tree, apply the rotating-star initial condition.
+  explicit Simulation(Options opt);
+
+  [[nodiscard]] Octree& tree() { return tree_; }
+  [[nodiscard]] const Octree& tree() const { return tree_; }
+  [[nodiscard]] const Options& options() const { return opt_; }
+  [[nodiscard]] const RunStats& stats() const { return stats_; }
+
+  /// Called at every solver-stage boundary with a phase label; benches
+  /// install the trace collector's begin_phase here.
+  void set_phase_marker(std::function<void(const std::string&)> marker) {
+    phase_marker_ = std::move(marker);
+  }
+
+  /// Advance one time step (CFL dt, gravity solve, two RK2 hydro stages).
+  /// Returns dt.
+  double step();
+
+  /// Run opt.stop_step steps.
+  void run();
+
+  /// Conserved totals over the whole mesh (conservation diagnostics).
+  [[nodiscard]] Cons totals() const;
+
+  /// CFL time step of the current state.
+  [[nodiscard]] double compute_dt() const;
+
+  /// Restore accounting after a checkpoint load (checkpoint.cpp).
+  void restore_stats(const RunStats& stats) { stats_ = stats; }
+
+  /// Dynamic AMR: rebuild the octree so that refinement follows the
+  /// *current* density field (refine every node containing material above
+  /// \p rho_threshold, up to max_level) and resample the state onto the
+  /// new mesh. Octo-Tiger re-grids periodically as the stars move; the
+  /// miniapp's piecewise-constant resampling is a documented
+  /// simplification (mass is preserved to sampling accuracy, not exactly).
+  /// Returns the new leaf count.
+  std::size_t regrid(double rho_threshold = 1e-4);
+
+ private:
+  void mark(const std::string& phase);
+  void solve_gravity();
+  void hydro_stage(double dt, bool second_stage);
+  /// Run f(leaf) for every leaf as one task per leaf; join.
+  void for_each_leaf_task(const std::function<void(TreeNode&)>& f);
+
+  Options opt_;
+  Octree tree_;
+  RunStats stats_;
+  std::function<void(const std::string&)> phase_marker_;
+};
+
+}  // namespace octo

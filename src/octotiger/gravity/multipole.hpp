@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file multipole.hpp
+/// Multipole moments (monopole + quadrupole about the center of mass) and
+/// their far-field evaluation — the arithmetic core of the paper's
+/// "multipole host kernel".
+
+#include <array>
+#include <cmath>
+
+#include "octotiger/defs.hpp"
+#include "octotiger/grid.hpp"
+
+namespace octo::gravity {
+
+/// Moments of a mass distribution: total mass, center of mass, and the raw
+/// quadrupole tensor Q_ij = sum m (x-com)_i (x-com)_j stored as
+/// (xx, yy, zz, xy, xz, yz). The dipole vanishes about the com.
+struct Multipole {
+  double mass = 0.0;
+  Vec3 com{};
+  std::array<double, 6> quad{};  // xx, yy, zz, xy, xz, yz
+
+  /// Shift this multipole's expansion center bookkeeping when combined
+  /// into a parent (parallel-axis theorem), accumulating into \p out.
+  void accumulate_into(Multipole& out) const {
+    if (mass <= 0.0) {
+      return;
+    }
+    // out.com must already hold the final center of mass.
+    const Vec3 d = com - out.com;
+    out.quad[0] += quad[0] + mass * d.x * d.x;
+    out.quad[1] += quad[1] + mass * d.y * d.y;
+    out.quad[2] += quad[2] + mass * d.z * d.z;
+    out.quad[3] += quad[3] + mass * d.x * d.y;
+    out.quad[4] += quad[4] + mass * d.x * d.z;
+    out.quad[5] += quad[5] + mass * d.y * d.z;
+  }
+};
+
+/// Far-field evaluation of (phi, g) at point \p p:
+///   phi = -GM/r - (G/2) (3 dQd / r^5 - trQ / r^3)
+///   g   = -grad phi
+/// with d = p - com. Valid for r well outside the source region.
+inline void evaluate(const Multipole& m, Vec3 p, double& phi, Vec3& g) {
+  const Vec3 d = p - m.com;
+  const double r2 = d.norm2();
+  const double r = std::sqrt(r2);
+  const double inv_r = 1.0 / r;
+  const double inv_r3 = inv_r / r2;
+  const double inv_r5 = inv_r3 / r2;
+  const double inv_r7 = inv_r5 / r2;
+
+  // Monopole.
+  phi += -G_newton * m.mass * inv_r;
+  const double mono = -G_newton * m.mass * inv_r3;
+  g.x += mono * d.x;
+  g.y += mono * d.y;
+  g.z += mono * d.z;
+
+  // Quadrupole.
+  const auto& q = m.quad;
+  const double tr = q[0] + q[1] + q[2];
+  const Vec3 qd{q[0] * d.x + q[3] * d.y + q[4] * d.z,
+                q[3] * d.x + q[1] * d.y + q[5] * d.z,
+                q[4] * d.x + q[5] * d.y + q[2] * d.z};
+  const double dqd = d.x * qd.x + d.y * qd.y + d.z * qd.z;
+  phi += -0.5 * G_newton * (3.0 * dqd * inv_r5 - tr * inv_r3);
+  // g = -grad phi = (G/2) [6 Qd / r^5 - 15 dQd d / r^7 + 3 trQ d / r^5]
+  const double c1 = 0.5 * G_newton;
+  const double c_qd = 6.0 * inv_r5;
+  const double c_d = -15.0 * dqd * inv_r7 + 3.0 * tr * inv_r5;
+  g.x += c1 * (c_qd * qd.x + c_d * d.x);
+  g.y += c1 * (c_qd * qd.y + c_d * d.y);
+  g.z += c1 * (c_qd * qd.z + c_d * d.z);
+}
+
+/// Analytic FLOPs of one evaluate() call (documented count).
+inline constexpr double m2p_flops = 63.0;
+
+}  // namespace octo::gravity

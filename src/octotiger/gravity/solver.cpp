@@ -1,0 +1,483 @@
+#include "octotiger/gravity/solver.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "minihpx/instrument.hpp"
+#include "minikokkos/parallel.hpp"
+
+namespace octo::gravity {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Near-field offset table.
+//
+// All cells live on regular lattices; for two same-level leaves whose index
+// offset per axis is in {-1, 0, +1} (self or adjacent), the source-target
+// cell offset per axis lies in [-15, +15]. The interaction of a unit mass
+// at lattice offset o (in units of the cell width h) is
+//   g   =  G/h^2 * o / |o|^3,    phi = -G/h * 1 / |o|
+// so one static, h-independent table serves every level.
+// ---------------------------------------------------------------------------
+
+constexpr long table_half = 2 * static_cast<long>(NX) - 1;  // 15
+constexpr long table_dim = 2 * table_half + 1;              // 31
+
+struct OffsetEntry {
+  double gx, gy, gz;  // o / |o|^3
+  double inv_r;       // 1 / |o|
+};
+
+const std::array<OffsetEntry,
+                 static_cast<std::size_t>(table_dim* table_dim* table_dim)>&
+offset_table() {
+  static const auto table = [] {
+    std::array<OffsetEntry,
+               static_cast<std::size_t>(table_dim * table_dim * table_dim)>
+        t{};
+    for (long ox = -table_half; ox <= table_half; ++ox) {
+      for (long oy = -table_half; oy <= table_half; ++oy) {
+        for (long oz = -table_half; oz <= table_half; ++oz) {
+          const std::size_t idx = static_cast<std::size_t>(
+              ((ox + table_half) * table_dim + (oy + table_half)) * table_dim +
+              (oz + table_half));
+          const double r2 = static_cast<double>(ox * ox + oy * oy + oz * oz);
+          if (r2 == 0.0) {
+            t[idx] = OffsetEntry{0, 0, 0, 0};  // self cell: skipped
+            continue;
+          }
+          const double r = std::sqrt(r2);
+          const double inv_r3 = 1.0 / (r2 * r);
+          t[idx] = OffsetEntry{static_cast<double>(ox) * inv_r3,
+                               static_cast<double>(oy) * inv_r3,
+                               static_cast<double>(oz) * inv_r3, 1.0 / r};
+        }
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::size_t table_index(long ox, long oy, long oz) {
+  return static_cast<std::size_t>(
+      ((ox + table_half) * table_dim + (oy + table_half)) * table_dim +
+      (oz + table_half));
+}
+
+// --------------------------------------------------------------- geometry
+
+double half_diagonal(const TreeNode& n) {
+  return 0.5 * std::sqrt(3.0) * n.width();
+}
+
+bool separated(const TreeNode& a, const TreeNode& b, double theta) {
+  const Vec3 d = a.center() - b.center();
+  return d.norm() * theta >= half_diagonal(a) + half_diagonal(b);
+}
+
+/// Per-axis leaf-index offset between two same-level nodes.
+std::array<long, 3> index_offset(const TreeNode& from, const TreeNode& to) {
+  return {static_cast<long>(to.index[0]) - static_cast<long>(from.index[0]),
+          static_cast<long>(to.index[1]) - static_cast<long>(from.index[1]),
+          static_cast<long>(to.index[2]) - static_cast<long>(from.index[2])};
+}
+
+bool is_lattice_neighbor(const std::array<long, 3>& off) {
+  return std::abs(off[0]) <= 1 && std::abs(off[1]) <= 1 &&
+         std::abs(off[2]) <= 1;
+}
+
+// ---------------------------------------------------- interaction lists
+
+struct SameLevelSource {
+  const SubGrid* grid;
+  std::array<long, 3> dir;  // leaf-index offset target -> source
+};
+
+struct CoarsePseudoParticle {
+  double mass;
+  Vec3 pos;
+};
+
+struct InteractionLists {
+  std::vector<const TreeNode*> m2p;
+  std::vector<SameLevelSource> p2p_same;
+  std::vector<CoarsePseudoParticle> p2p_coarse;
+};
+
+/// 2x2x2-aggregated pseudo-particles of a leaf (for interactions across a
+/// refinement-level jump, where the lattice offset table does not apply).
+void coarsen_leaf(const SubGrid& g, std::vector<CoarsePseudoParticle>& out) {
+  const double vol = g.cell_volume();
+  for (std::size_t bi = 0; bi < NX; bi += 2) {
+    for (std::size_t bj = 0; bj < NX; bj += 2) {
+      for (std::size_t bk = 0; bk < NX; bk += 2) {
+        double m = 0.0;
+        Vec3 c{};
+        for (std::size_t di = 0; di < 2; ++di) {
+          for (std::size_t dj = 0; dj < 2; ++dj) {
+            for (std::size_t dk = 0; dk < 2; ++dk) {
+              const double cm =
+                  g.u(f_rho, bi + di, bj + dj, bk + dk) * vol;
+              const Vec3 p = g.cell_center(bi + di, bj + dj, bk + dk);
+              m += cm;
+              c = c + cm * p;
+            }
+          }
+        }
+        if (m > 0.0) {
+          out.push_back(CoarsePseudoParticle{m, (1.0 / m) * c});
+        }
+      }
+    }
+  }
+}
+
+/// Dual traversal: classify every source node against the target leaf.
+/// Selection rules (see header): theta-MAC first; adjacent same-level
+/// leaves use the offset-table P2P; same-level leaves that fail the MAC
+/// but are not lattice neighbors fall back to M2P (effective theta <~ 0.6);
+/// cross-level adjacent leaves use coarsened P2P.
+/// Source nodes whose total mass is below this threshold are dropped: a
+/// floor-density sub-grid carries ~1e-12 code mass and perturbs the force
+/// field at the 1e-10 relative level — far below the solver's multipole
+/// truncation error — while costing full P2P price.
+constexpr double mass_prune_threshold = 1e-9;
+
+void walk(const TreeNode& node, const TreeNode& target, double theta,
+          InteractionLists& lists) {
+  if (&node == &target) {
+    lists.p2p_same.push_back(SameLevelSource{&node.grid, {0, 0, 0}});
+    return;
+  }
+  if (node.moments.mass < mass_prune_threshold) {
+    return;  // negligible source; prune the whole subtree
+  }
+  if (separated(node, target, theta)) {
+    lists.m2p.push_back(&node);
+    return;
+  }
+  if (!node.is_leaf()) {
+    for (const auto& c : node.children) {
+      walk(*c, target, theta, lists);
+    }
+    return;
+  }
+  if (node.level == target.level) {
+    const auto off = index_offset(target, node);
+    if (is_lattice_neighbor(off)) {
+      lists.p2p_same.push_back(SameLevelSource{&node.grid, off});
+    } else {
+      lists.m2p.push_back(&node);
+    }
+    return;
+  }
+  coarsen_leaf(node.grid, lists.p2p_coarse);
+}
+
+// ----------------------------------------------------------- the kernels
+
+/// Monopole (P2P) kernel body for one target cell.
+void monopole_cell(const SubGrid& target, const InteractionLists& lists,
+                   std::size_t i, std::size_t j, std::size_t k) {
+  const auto& table = offset_table();
+  const double h = target.dx();
+  const double inv_h = 1.0 / h;
+  const double inv_h2 = inv_h * inv_h;
+  const double vol = h * h * h;
+
+  double phi = target.phi(i, j, k);
+  double gx = target.g(0, i, j, k);
+  double gy = target.g(1, i, j, k);
+  double gz = target.g(2, i, j, k);
+
+  // Premultiplied unit factors: m = rho * vol, gm/h^2 and gm/h.
+  const double fg = G_newton * vol * inv_h2;
+  const double fp = G_newton * vol * inv_h;
+  for (const auto& src : lists.p2p_same) {
+    const double* rho = src.grid->interior_ptr(f_rho);
+    const long bx = src.dir[0] * static_cast<long>(NX) -
+                    static_cast<long>(i);
+    const long by = src.dir[1] * static_cast<long>(NX) -
+                    static_cast<long>(j);
+    const long bz = src.dir[2] * static_cast<long>(NX) -
+                    static_cast<long>(k);
+    const bool self = src.dir[0] == 0 && src.dir[1] == 0 && src.dir[2] == 0;
+    for (std::size_t si = 0; si < NX; ++si) {
+      for (std::size_t sj = 0; sj < NX; ++sj) {
+        const std::size_t base =
+            table_index(bx + static_cast<long>(si),
+                        by + static_cast<long>(sj), bz);
+        const double* row =
+            rho + si * SubGrid::stride_i + sj * SubGrid::stride_j;
+        const bool self_row = self && si == i && sj == j;
+        for (std::size_t sk = 0; sk < NX; ++sk) {
+          if (self_row && sk == k) {
+            continue;  // no self-interaction of a cell with itself
+          }
+          const double r = row[sk];
+          const OffsetEntry& e = table[base + sk];
+          gx += fg * r * e.gx;
+          gy += fg * r * e.gy;
+          gz += fg * r * e.gz;
+          phi -= fp * r * e.inv_r;
+        }
+      }
+    }
+  }
+
+  const Vec3 p = target.cell_center(i, j, k);
+  for (const auto& pp : lists.p2p_coarse) {
+    const Vec3 d = pp.pos - p;
+    const double r2 = d.norm2();
+    const double r = std::sqrt(r2);
+    const double gm = G_newton * pp.mass;
+    const double f = gm / (r2 * r);
+    gx += f * d.x;
+    gy += f * d.y;
+    gz += f * d.z;
+    phi -= gm / r;
+  }
+
+  target.phi(i, j, k) = phi;
+  target.g(0, i, j, k) = gx;
+  target.g(1, i, j, k) = gy;
+  target.g(2, i, j, k) = gz;
+}
+
+/// Multipole (M2P) kernel body for one target cell.
+void multipole_cell(const SubGrid& target, const InteractionLists& lists,
+                    std::size_t i, std::size_t j, std::size_t k) {
+  const Vec3 p = target.cell_center(i, j, k);
+  double phi = target.phi(i, j, k);
+  Vec3 g{target.g(0, i, j, k), target.g(1, i, j, k), target.g(2, i, j, k)};
+  for (const TreeNode* node : lists.m2p) {
+    if (node->moments.mass > 0.0) {
+      evaluate(node->moments, p, phi, g);
+    }
+  }
+  target.phi(i, j, k) = phi;
+  target.g(0, i, j, k) = g.x;
+  target.g(1, i, j, k) = g.y;
+  target.g(2, i, j, k) = g.z;
+}
+
+template <typename CellBody>
+void run_kernel(mkk::KernelType kind, CellBody&& body) {
+  switch (kind) {
+    case mkk::KernelType::legacy:
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            body(i, j, k);
+          }
+        }
+      }
+      break;
+    case mkk::KernelType::kokkos_serial:
+      mkk::parallel_for(
+          mkk::MDRangePolicy3<mkk::Serial>({0, 0, 0}, {NX, NX, NX}), body);
+      break;
+    case mkk::KernelType::kokkos_hpx:
+      mkk::parallel_for(
+          mkk::MDRangePolicy3<mkk::Hpx>({0, 0, 0}, {NX, NX, NX}), body);
+      break;
+  }
+}
+
+}  // namespace
+
+double p2p_pair_flops() {
+  // One table pair: mass scale, three g FMAs, one phi FMA ~ 8 flops.
+  return 8.0;
+}
+
+double m2p_cell_flops() { return m2p_flops; }
+
+Multipole leaf_moments(const SubGrid& grid) {
+  Multipole m;
+  const double vol = grid.cell_volume();
+  Vec3 weighted{};
+  for (std::size_t i = 0; i < NX; ++i) {
+    for (std::size_t j = 0; j < NX; ++j) {
+      for (std::size_t k = 0; k < NX; ++k) {
+        const double cm = grid.u(f_rho, i, j, k) * vol;
+        m.mass += cm;
+        weighted = weighted + cm * grid.cell_center(i, j, k);
+      }
+    }
+  }
+  if (m.mass <= 0.0) {
+    m.com = grid.cell_center(NX / 2, NX / 2, NX / 2);
+    return m;
+  }
+  m.com = (1.0 / m.mass) * weighted;
+  for (std::size_t i = 0; i < NX; ++i) {
+    for (std::size_t j = 0; j < NX; ++j) {
+      for (std::size_t k = 0; k < NX; ++k) {
+        const double cm = grid.u(f_rho, i, j, k) * vol;
+        const Vec3 d = grid.cell_center(i, j, k) - m.com;
+        m.quad[0] += cm * d.x * d.x;
+        m.quad[1] += cm * d.y * d.y;
+        m.quad[2] += cm * d.z * d.z;
+        m.quad[3] += cm * d.x * d.y;
+        m.quad[4] += cm * d.x * d.z;
+        m.quad[5] += cm * d.y * d.z;
+      }
+    }
+  }
+  return m;
+}
+
+namespace {
+
+template <bool RecomputeLeaves>
+void upward_pass(TreeNode& node) {
+  if (node.is_leaf()) {
+    if constexpr (RecomputeLeaves) {
+      node.moments = leaf_moments(node.grid);
+    }
+    return;
+  }
+  Multipole m;
+  Vec3 weighted{};
+  for (auto& c : node.children) {
+    upward_pass<RecomputeLeaves>(*c);
+    m.mass += c->moments.mass;
+    weighted = weighted + c->moments.mass * c->moments.com;
+  }
+  m.com = m.mass > 0.0 ? (1.0 / m.mass) * weighted : node.center();
+  for (auto& c : node.children) {
+    c->moments.accumulate_into(m);
+  }
+  node.moments = m;
+}
+
+}  // namespace
+
+void compute_moments(TreeNode& node) { upward_pass<true>(node); }
+
+void combine_internal_moments(TreeNode& node) { upward_pass<false>(node); }
+
+SolveStats solve_leaf(const TreeNode& root, TreeNode& target, double theta,
+                      mkk::KernelType multipole_kind,
+                      mkk::KernelType monopole_kind) {
+  SubGrid& grid = target.grid;
+  for (std::size_t i = 0; i < NX; ++i) {
+    for (std::size_t j = 0; j < NX; ++j) {
+      for (std::size_t k = 0; k < NX; ++k) {
+        grid.phi(i, j, k) = 0.0;
+        grid.g(0, i, j, k) = 0.0;
+        grid.g(1, i, j, k) = 0.0;
+        grid.g(2, i, j, k) = 0.0;
+      }
+    }
+  }
+
+  InteractionLists lists;
+  walk(root, target, theta, lists);
+
+  // Multipole host kernel (M2P).
+  run_kernel(multipole_kind, [&](std::size_t i, std::size_t j, std::size_t k) {
+    multipole_cell(grid, lists, i, j, k);
+  });
+  // Monopole host kernel (P2P).
+  run_kernel(monopole_kind, [&](std::size_t i, std::size_t j, std::size_t k) {
+    monopole_cell(grid, lists, i, j, k);
+  });
+
+  SolveStats stats;
+  stats.m2p_nodes = lists.m2p.size();
+  stats.p2p_table_pairs =
+      lists.p2p_same.size() * CELLS_PER_GRID * CELLS_PER_GRID;
+  stats.p2p_coarse_pairs = lists.p2p_coarse.size() * CELLS_PER_GRID;
+
+  const double flops =
+      m2p_cell_flops() * static_cast<double>(stats.m2p_nodes) *
+          static_cast<double>(CELLS_PER_GRID) +
+      p2p_pair_flops() * static_cast<double>(stats.p2p_table_pairs) +
+      13.0 * static_cast<double>(stats.p2p_coarse_pairs);
+  // Effective memory traffic: source densities stream once per source leaf
+  // per target *leaf* thanks to cache reuse across the 512 target cells;
+  // plus the phi/g writes.
+  const double bytes =
+      8.0 * static_cast<double>(
+                (lists.p2p_same.size() + lists.m2p.size()) * CELLS_PER_GRID) +
+      8.0 * 4.0 * static_cast<double>(CELLS_PER_GRID);
+  mhpx::instrument::annotate(flops, bytes);
+  return stats;
+}
+
+void solve_all(Octree& tree, double theta, mkk::KernelType multipole_kind,
+               mkk::KernelType monopole_kind) {
+  compute_moments(tree.root());
+  for (TreeNode* leaf : tree.leaves()) {
+    solve_leaf(tree.root(), *leaf, theta, multipole_kind, monopole_kind);
+  }
+}
+
+void direct_solve(Octree& tree) {
+  std::vector<std::size_t> all(tree.leaf_count());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  direct_solve(tree, all);
+}
+
+void direct_solve(Octree& tree,
+                  const std::vector<std::size_t>& target_leaves) {
+  // Exact reference: direct cell-cell sums (no softening, self excluded).
+  struct SourceCell {
+    double mass;
+    Vec3 pos;
+  };
+  std::vector<SourceCell> sources;
+  sources.reserve(tree.total_cells());
+  for (const TreeNode* leaf : tree.leaves()) {
+    const SubGrid& g = leaf->grid;
+    const double vol = g.cell_volume();
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          sources.push_back(
+              SourceCell{g.u(f_rho, i, j, k) * vol, g.cell_center(i, j, k)});
+        }
+      }
+    }
+  }
+  for (const std::size_t l : target_leaves) {
+    SubGrid& g = tree.leaves().at(l)->grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const Vec3 p = g.cell_center(i, j, k);
+          double phi = 0.0;
+          Vec3 acc{};
+          for (const auto& s : sources) {
+            const Vec3 d = s.pos - p;
+            const double r2 = d.norm2();
+            if (r2 == 0.0) {
+              continue;  // the cell itself
+            }
+            const double r = std::sqrt(r2);
+            const double f = G_newton * s.mass / (r2 * r);
+            acc.x += f * d.x;
+            acc.y += f * d.y;
+            acc.z += f * d.z;
+            phi -= G_newton * s.mass / r;
+          }
+          g.phi(i, j, k) = phi;
+          g.g(0, i, j, k) = acc.x;
+          g.g(1, i, j, k) = acc.y;
+          g.g(2, i, j, k) = acc.z;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace octo::gravity

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file solver.hpp
+/// The grid-based fast-multipole gravity solver (paper §3.3): an upward
+/// moment pass (P2M/M2M) followed by one tree walk per target leaf that
+/// dispatches to the two host-kernel families of the paper's command line:
+///   - the *multipole kernel* (M2P): far-field evaluation of node moments
+///     at the target's cell centers;
+///   - the *monopole kernel* (P2P): near-field cell-cell interactions with
+///     face-adjacent same-level leaves via a precomputed offset table, and
+///     2x2x2-coarsened interactions across refinement-level jumps.
+/// Interaction selection uses the paper's theta opening criterion
+/// (--theta=0.5); adjacency fall-backs are documented in solver.cpp.
+///
+/// A direct O(N^2) reference solver validates the FMM in the test suite.
+
+#include <cstddef>
+
+#include "minikokkos/spaces.hpp"
+#include "octotiger/octree.hpp"
+#include "octotiger/options.hpp"
+
+namespace octo::gravity {
+
+/// P2M: moments of one leaf's cells.
+Multipole leaf_moments(const SubGrid& grid);
+
+/// Upward pass: fill TreeNode::moments for every node (P2M at leaves,
+/// M2M at internal nodes).
+void compute_moments(TreeNode& node);
+
+/// M2M-only upward pass: leaves' moments are taken as already set (the
+/// distributed driver applies remotely computed leaf moments first).
+void combine_internal_moments(TreeNode& node);
+
+/// Per-invocation statistics (used for flop accounting and tests).
+struct SolveStats {
+  std::size_t m2p_nodes = 0;       ///< multipole-kernel node evaluations
+  std::size_t p2p_table_pairs = 0; ///< same-level near-field cell pairs
+  std::size_t p2p_coarse_pairs = 0;///< cross-level coarsened pairs
+};
+
+/// Solve gravity for one target leaf: zero phi/g, walk the tree from
+/// \p root, run the multipole/monopole kernels in the requested flavours.
+/// Ghosts are not needed; only interior densities are read. The executing
+/// task is annotated with the analytic kernel cost.
+SolveStats solve_leaf(const TreeNode& root, TreeNode& target, double theta,
+                      mkk::KernelType multipole_kind,
+                      mkk::KernelType monopole_kind);
+
+/// Convenience: moments + solve for every leaf (sequential; the driver
+/// parallelises over leaves itself).
+void solve_all(Octree& tree, double theta, mkk::KernelType multipole_kind,
+               mkk::KernelType monopole_kind);
+
+/// O(N^2) reference: exact cell-cell sums into phi/g of every leaf.
+/// Only for validation (prohibitively slow beyond small trees).
+void direct_solve(Octree& tree);
+
+/// O(N x M) reference restricted to the given target leaves (sources are
+/// still all cells) — keeps validation affordable on deeper trees.
+void direct_solve(Octree& tree, const std::vector<std::size_t>& target_leaves);
+
+/// Analytic flop model of the kernels (per unit, documented in solver.cpp).
+double p2p_pair_flops();
+double m2p_cell_flops();
+
+}  // namespace octo::gravity

@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file grid.hpp
+/// One sub-grid: the 8x8x8 block of cells (plus ghost layers) every octree
+/// leaf carries. Fields live in minikokkos Views so both kernel flavours
+/// (legacy loops and Kokkos parallel dispatch) operate on the same storage.
+
+#include <array>
+#include <cmath>
+
+#include "minikokkos/view.hpp"
+#include "octotiger/defs.hpp"
+
+namespace octo {
+
+/// A 3-vector of doubles (cell-center coordinates etc.).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend Vec3 operator*(double s, Vec3 v) {
+    return {s * v.x, s * v.y, s * v.z};
+  }
+  [[nodiscard]] double norm2() const { return x * x + y * y + z * z; }
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Conserved state of one cell.
+struct Cons {
+  double rho = 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sz = 0.0;
+  double egas = 0.0;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& rho& sx& sy& sz& egas;
+  }
+};
+
+/// The per-leaf computational block.
+///
+/// Layout: U(field, i, j, k) on the *extended* index space
+/// [0, NXE)^3; interior cells are [GHOST, GHOST+NX). Gravity results
+/// (potential and acceleration) live on the interior only.
+class SubGrid {
+ public:
+  SubGrid() = default;
+
+  /// \p origin is the coordinate of the low corner of the *interior*
+  /// region; \p dx the cell width.
+  SubGrid(Vec3 origin, double dx)
+      : origin_(origin),
+        dx_(dx),
+        u_("U", NF, NXE, NXE, NXE),
+        u0_("U0", NF, NX, NX, NX),
+        rhs_("rhs", NF, NX, NX, NX),
+        phi_("phi", NX, NX, NX),
+        g_("g", 3, NX, NX, NX) {}
+
+  [[nodiscard]] bool allocated() const { return u_.allocated(); }
+  [[nodiscard]] double dx() const noexcept { return dx_; }
+  [[nodiscard]] Vec3 origin() const noexcept { return origin_; }
+
+  /// Conserved field on the extended grid (ghosts included), extended
+  /// indices in [0, NXE).
+  [[nodiscard]] double& ue(std::size_t f, std::size_t i, std::size_t j,
+                           std::size_t k) const {
+    return u_(f, i, j, k);
+  }
+
+  /// Conserved field at an interior cell, indices in [0, NX).
+  [[nodiscard]] double& u(std::size_t f, std::size_t i, std::size_t j,
+                          std::size_t k) const {
+    return u_(f, i + GHOST, j + GHOST, k + GHOST);
+  }
+
+  /// Gravitational potential / acceleration at an interior cell.
+  [[nodiscard]] double& phi(std::size_t i, std::size_t j,
+                            std::size_t k) const {
+    return phi_(i, j, k);
+  }
+  [[nodiscard]] double& g(std::size_t axis, std::size_t i, std::size_t j,
+                          std::size_t k) const {
+    return g_(axis, i, j, k);
+  }
+
+  /// Hydro RHS (flux divergence + sources) at an interior cell; written by
+  /// the hydro kernel, consumed by the Runge-Kutta update.
+  [[nodiscard]] double& rhs(std::size_t f, std::size_t i, std::size_t j,
+                            std::size_t k) const {
+    return rhs_(f, i, j, k);
+  }
+
+  /// Step-start snapshot of the interior state (for the RK2 combination).
+  [[nodiscard]] double& u0(std::size_t f, std::size_t i, std::size_t j,
+                           std::size_t k) const {
+    return u0_(f, i, j, k);
+  }
+
+  /// Snapshot interior state into u0.
+  void save_state() const {
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            u0_(f, i, j, k) = u(f, i, j, k);
+          }
+        }
+      }
+    }
+  }
+
+  /// Raw pointer to interior cell (0,0,0) of field \p f, for hot kernels:
+  /// element (i,j,k) lives at ptr[i*stride_i + j*stride_j + k].
+  [[nodiscard]] const double* interior_ptr(std::size_t f) const {
+    return &u_(f, GHOST, GHOST, GHOST);
+  }
+  static constexpr std::size_t stride_i = NXE * NXE;
+  static constexpr std::size_t stride_j = NXE;
+
+  /// Underlying views (for the Kokkos kernel flavours).
+  [[nodiscard]] const mkk::View<double, 4>& field_view() const { return u_; }
+  [[nodiscard]] const mkk::View<double, 4>& rhs_view() const { return rhs_; }
+  [[nodiscard]] const mkk::View<double, 3>& phi_view() const { return phi_; }
+  [[nodiscard]] const mkk::View<double, 4>& g_view() const { return g_; }
+
+  /// Center coordinate of interior cell (i, j, k).
+  [[nodiscard]] Vec3 cell_center(std::size_t i, std::size_t j,
+                                 std::size_t k) const {
+    return {origin_.x + (static_cast<double>(i) + 0.5) * dx_,
+            origin_.y + (static_cast<double>(j) + 0.5) * dx_,
+            origin_.z + (static_cast<double>(k) + 0.5) * dx_};
+  }
+
+  [[nodiscard]] double cell_volume() const { return dx_ * dx_ * dx_; }
+
+  /// Cell mass at an interior cell.
+  [[nodiscard]] double cell_mass(std::size_t i, std::size_t j,
+                                 std::size_t k) const {
+    return u(f_rho, i, j, k) * cell_volume();
+  }
+
+  /// Conserved totals over the interior (for conservation property tests).
+  [[nodiscard]] Cons totals() const {
+    Cons t;
+    const double vol = cell_volume();
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          t.rho += u(f_rho, i, j, k) * vol;
+          t.sx += u(f_sx, i, j, k) * vol;
+          t.sy += u(f_sy, i, j, k) * vol;
+          t.sz += u(f_sz, i, j, k) * vol;
+          t.egas += u(f_egas, i, j, k) * vol;
+        }
+      }
+    }
+    return t;
+  }
+
+ private:
+  Vec3 origin_{};
+  double dx_ = 0.0;
+  mkk::View<double, 4> u_;
+  mkk::View<double, 4> u0_;
+  mkk::View<double, 4> rhs_;
+  mkk::View<double, 3> phi_;
+  mkk::View<double, 4> g_;
+};
+
+}  // namespace octo

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file eos.hpp
+/// Ideal-gas equation of state and primitive/conserved conversions for the
+/// inviscid Euler (hydro) solver.
+
+#include <algorithm>
+#include <cmath>
+
+#include "octotiger/defs.hpp"
+#include "octotiger/grid.hpp"
+
+namespace octo::hydro {
+
+/// Primitive state of one cell.
+struct Prim {
+  double rho = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  double vz = 0.0;
+  double p = 0.0;
+
+  [[nodiscard]] double velocity(int axis) const {
+    return axis == 0 ? vx : (axis == 1 ? vy : vz);
+  }
+};
+
+/// Pressure from conserved state: p = (gamma-1) (E - |s|^2 / (2 rho)).
+[[nodiscard]] inline double pressure(double rho, double sx, double sy,
+                                     double sz, double egas) {
+  const double r = std::max(rho, rho_floor);
+  const double kin = 0.5 * (sx * sx + sy * sy + sz * sz) / r;
+  return std::max((gamma_gas - 1.0) * (egas - kin), p_floor);
+}
+
+/// Primitive from conserved.
+[[nodiscard]] inline Prim to_prim(double rho, double sx, double sy, double sz,
+                                  double egas) {
+  Prim q;
+  q.rho = std::max(rho, rho_floor);
+  q.vx = sx / q.rho;
+  q.vy = sy / q.rho;
+  q.vz = sz / q.rho;
+  q.p = pressure(rho, sx, sy, sz, egas);
+  return q;
+}
+
+/// Adiabatic sound speed.
+[[nodiscard]] inline double sound_speed(const Prim& q) {
+  return std::sqrt(gamma_gas * q.p / q.rho);
+}
+
+/// Total energy density of a primitive state.
+[[nodiscard]] inline double total_energy(const Prim& q) {
+  return q.p / (gamma_gas - 1.0) +
+         0.5 * q.rho * (q.vx * q.vx + q.vy * q.vy + q.vz * q.vz);
+}
+
+/// minmod slope limiter.
+[[nodiscard]] inline double minmod(double a, double b) {
+  if (a * b <= 0.0) {
+    return 0.0;
+  }
+  return std::abs(a) < std::abs(b) ? a : b;
+}
+
+}  // namespace octo::hydro

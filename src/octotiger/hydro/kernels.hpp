@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file kernels.hpp
+/// The hydro host kernel (one of the three kernel families the paper's
+/// command line selects via --hydro_host_kernel_type).
+///
+/// Scheme: finite volumes for the inviscid Euler equations — piecewise
+/// linear (minmod-limited) reconstruction, HLL Riemann fluxes, gravity
+/// source terms — per sub-grid, exactly one kernel invocation per leaf per
+/// Runge-Kutta stage. Two implementations share the cell-wise math:
+///   - legacy:  plain nested loops (the "old, purely HPX" kernels);
+///   - kokkos:  mkk::parallel_for over an MDRange, on the Serial or Hpx
+///              execution space.
+/// Both compute identical results cell for cell (a test asserts this).
+
+#include "minikokkos/spaces.hpp"
+#include "octotiger/grid.hpp"
+
+namespace octo::hydro {
+
+/// Compute the RHS (negative flux divergence + gravity sources) of one
+/// leaf's interior cells into grid.rhs(). Ghost layers must be filled and
+/// the gravity acceleration grid.g() current. The task executing this is
+/// annotated with the kernel's analytic FLOP/byte cost.
+void compute_rhs(const SubGrid& grid, mkk::KernelType kind);
+
+/// Largest |v| + c over the interior (for the CFL condition).
+double max_signal_speed(const SubGrid& grid);
+
+/// Analytic arithmetic cost per interior cell of one compute_rhs call
+/// (documented counting in kernels.cpp; priced by the simulator).
+double rhs_flops_per_cell();
+
+/// Analytic memory traffic per interior cell of one compute_rhs call.
+double rhs_bytes_per_cell();
+
+}  // namespace octo::hydro

@@ -1,0 +1,86 @@
+#include "octotiger/init/binary_star.hpp"
+
+#include <cmath>
+
+#include "octotiger/init/rotating_star.hpp"
+
+namespace octo::init {
+
+double binary_mass1(const BinaryParams& p) {
+  return polytrope_mass(p.radius1, p.rho_c1);
+}
+
+double binary_mass2(const BinaryParams& p) {
+  return polytrope_mass(p.radius2, p.rho_c2);
+}
+
+double binary_orbital_omega(const BinaryParams& p) {
+  const double m = binary_mass1(p) + binary_mass2(p);
+  return std::sqrt(G_newton * m /
+                   (p.separation * p.separation * p.separation));
+}
+
+Vec3 binary_center1(const BinaryParams& p) {
+  // Barycentre at the origin: x1 = -d m2 / (m1 + m2).
+  const double m1 = binary_mass1(p);
+  const double m2 = binary_mass2(p);
+  return {-p.separation * m2 / (m1 + m2), 0.0, 0.0};
+}
+
+Vec3 binary_center2(const BinaryParams& p) {
+  const double m1 = binary_mass1(p);
+  const double m2 = binary_mass2(p);
+  return {p.separation * m1 / (m1 + m2), 0.0, 0.0};
+}
+
+void binary_star(Octree& tree, const BinaryParams& p) {
+  const Vec3 c1 = binary_center1(p);
+  const Vec3 c2 = binary_center2(p);
+  const double omega = binary_orbital_omega(p);
+
+  tree.for_each_leaf([&](TreeNode& leaf) {
+    SubGrid& g = leaf.grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const Vec3 x = g.cell_center(i, j, k);
+          const double r1 = (x - c1).norm();
+          const double r2 = (x - c2).norm();
+          const double rho1 = polytrope_density(r1, p.radius1, p.rho_c1);
+          const double rho2 = polytrope_density(r2, p.radius2, p.rho_c2);
+          // The stars are detached (separation > R1 + R2 for sane params);
+          // take the dominant contribution, floor elsewhere.
+          const bool in1 = rho1 >= rho2 && rho1 > rho_floor;
+          const bool in2 = rho2 > rho1 && rho2 > rho_floor;
+          const double rho = std::max({rho1, rho2, rho_floor});
+          const double pres = in1 ? polytrope_pressure(rho, p.radius1)
+                              : in2 ? polytrope_pressure(rho, p.radius2)
+                                    : p_floor;
+          // Orbital (plus synchronous-spin) velocity: rigid rotation of
+          // the whole binary about the barycentre reproduces both the
+          // orbit and tidally locked spins at once.
+          double vx = 0.0;
+          double vy = 0.0;
+          if (in1 || in2) {
+            if (p.synchronous) {
+              vx = -omega * x.y;
+              vy = omega * x.x;
+            } else {
+              const Vec3 c = in1 ? c1 : c2;
+              vx = -omega * c.y;
+              vy = omega * c.x;
+            }
+          }
+          g.u(f_rho, i, j, k) = rho;
+          g.u(f_sx, i, j, k) = rho * vx;
+          g.u(f_sy, i, j, k) = rho * vy;
+          g.u(f_sz, i, j, k) = 0.0;
+          g.u(f_egas, i, j, k) =
+              pres / (gamma_gas - 1.0) + 0.5 * rho * (vx * vx + vy * vy);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace octo::init

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file binary_star.hpp
+/// Binary-star initial model — the workload class Octo-Tiger exists for
+/// (paper §3.3 / Fig. 1: "used to simulate and study binary star systems
+/// and their eventual outcomes"; the refinement maximises resolution
+/// "between the stars, where the mass transfer takes place").
+///
+/// Two n = 1 polytropes on the x axis in a circular Keplerian orbit about
+/// their barycentre (point-mass approximation — good at separations of a
+/// few stellar radii), each optionally spinning synchronously.
+
+#include "octotiger/octree.hpp"
+#include "octotiger/options.hpp"
+
+namespace octo::init {
+
+struct BinaryParams {
+  double separation = 0.8;   ///< centre-to-centre distance
+  double radius1 = 0.22;     ///< primary polytrope radius
+  double radius2 = 0.18;     ///< secondary (donor) radius
+  double rho_c1 = 1.0;       ///< primary central density
+  double rho_c2 = 0.6;       ///< secondary central density
+  bool synchronous = true;   ///< tidally locked spins
+};
+
+/// Masses of the two polytropes (analytic, M = 4 rho_c R^3 / pi).
+double binary_mass1(const BinaryParams& p);
+double binary_mass2(const BinaryParams& p);
+
+/// Circular-orbit angular velocity about the barycentre:
+/// omega^2 = G (M1 + M2) / d^3.
+double binary_orbital_omega(const BinaryParams& p);
+
+/// Positions of the two centres on the x axis (barycentre at the origin).
+Vec3 binary_center1(const BinaryParams& p);
+Vec3 binary_center2(const BinaryParams& p);
+
+/// Fill every leaf with the binary configuration.
+void binary_star(Octree& tree, const BinaryParams& p);
+
+}  // namespace octo::init

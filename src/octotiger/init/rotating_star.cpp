@@ -1,0 +1,65 @@
+#include "octotiger/init/rotating_star.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "octotiger/hydro/eos.hpp"
+
+namespace octo::init {
+
+namespace {
+constexpr double pi = std::numbers::pi;
+}
+
+double polytrope_density(double r, double radius, double rho_c) {
+  if (r >= radius) {
+    return rho_floor;
+  }
+  if (r < 1e-12) {
+    return rho_c;
+  }
+  const double xi = pi * r / radius;
+  return std::max(rho_c * std::sin(xi) / xi, rho_floor);
+}
+
+double polytrope_pressure(double rho, double radius) {
+  // n = 1 Lane-Emden: alpha = R/pi = sqrt(K / (2 pi G))
+  //   => K = 2 G R^2 / pi^2,   P = K rho^2.
+  const double k = 2.0 * G_newton * radius * radius / (pi * pi);
+  return std::max(k * rho * rho, p_floor);
+}
+
+double polytrope_mass(double radius, double rho_c) {
+  // M = int 4 pi r^2 rho dr = 4 rho_c R^3 / pi.
+  return 4.0 * rho_c * radius * radius * radius / pi;
+}
+
+void rotating_star(Octree& tree, const Options& opt) {
+  tree.for_each_leaf([&](TreeNode& leaf) {
+    SubGrid& g = leaf.grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const Vec3 p = g.cell_center(i, j, k);
+          const double r = p.norm();
+          const double rho =
+              polytrope_density(r, opt.star_radius, opt.star_rho_c);
+          const double pres = polytrope_pressure(rho, opt.star_radius);
+          // Rigid rotation about z: v = omega x r (only inside the star;
+          // the ambient stays at rest).
+          const bool inside = r < opt.star_radius;
+          const double vx = inside ? -opt.star_omega * p.y : 0.0;
+          const double vy = inside ? opt.star_omega * p.x : 0.0;
+          g.u(f_rho, i, j, k) = rho;
+          g.u(f_sx, i, j, k) = rho * vx;
+          g.u(f_sy, i, j, k) = rho * vy;
+          g.u(f_sz, i, j, k) = 0.0;
+          g.u(f_egas, i, j, k) =
+              pres / (gamma_gas - 1.0) + 0.5 * rho * (vx * vx + vy * vy);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace octo::init

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file rotating_star.hpp
+/// The paper's benchmark problem: "a single rotating star with gravity and
+/// hydro solvers enabled" (§6.2). The star is an n = 1 polytrope — the one
+/// Lane-Emden index with a closed-form solution —
+///   rho(r) = rho_c sin(xi)/xi,  xi = pi r / R,   P = K rho^2,
+///   K = 2 G R^2 / pi^2  (hydrostatic equilibrium),
+/// in rigid rotation omega about the z axis, embedded in a floor-density
+/// ambient medium.
+
+#include "octotiger/octree.hpp"
+#include "octotiger/options.hpp"
+
+namespace octo::init {
+
+/// Density of the n=1 polytrope at radius \p r (floor outside the star).
+double polytrope_density(double r, double radius, double rho_c);
+
+/// Pressure of the polytrope at density \p rho: P = K rho^2.
+double polytrope_pressure(double rho, double radius);
+
+/// Total mass of the analytic model: M = 4 rho_c R^3 / pi.
+double polytrope_mass(double radius, double rho_c);
+
+/// Fill every leaf of \p tree with the rotating-star initial condition.
+void rotating_star(Octree& tree, const Options& opt);
+
+}  // namespace octo::init

@@ -1,0 +1,123 @@
+#include "octotiger/octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace octo {
+
+double TreeNode::distance_to(Vec3 p) const {
+  const Vec3 l = low();
+  const double w = width();
+  const double dx = std::max({l.x - p.x, 0.0, p.x - (l.x + w)});
+  const double dy = std::max({l.y - p.y, 0.0, p.y - (l.y + w)});
+  const double dz = std::max({l.z - p.z, 0.0, p.z - (l.z + w)});
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+Octree::Octree(unsigned max_level, double refine_radius)
+    : Octree(max_level, [refine_radius](const TreeNode& node) {
+        return node.distance_to(Vec3{0, 0, 0}) < refine_radius;
+      }) {}
+
+Octree::Octree(unsigned max_level, const refine_predicate& refine) {
+  root_ = std::make_unique<TreeNode>();
+  build(*root_, max_level, refine);
+  collect_leaves(*root_);
+  for (std::size_t i = 0; i < leaves_.size(); ++i) {
+    leaves_[i]->leaf_id = i;
+  }
+}
+
+void Octree::build(TreeNode& node, unsigned max_level,
+                   const refine_predicate& refine_pred) {
+  const bool refine = node.level < max_level && refine_pred(node);
+  if (!refine) {
+    const double dx = node.width() / static_cast<double>(NX);
+    node.grid = SubGrid(node.low(), dx);
+    return;
+  }
+  for (std::size_t c = 0; c < 8; ++c) {
+    auto child = std::make_unique<TreeNode>();
+    child->level = node.level + 1;
+    child->index = {2 * node.index[0] + ((c >> 0) & 1u),
+                    2 * node.index[1] + ((c >> 1) & 1u),
+                    2 * node.index[2] + ((c >> 2) & 1u)};
+    build(*child, max_level, refine_pred);
+    node.children[c] = std::move(child);
+  }
+}
+
+void Octree::collect_leaves(TreeNode& node) {
+  if (node.is_leaf()) {
+    leaves_.push_back(&node);
+    return;
+  }
+  for (auto& c : node.children) {
+    collect_leaves(*c);
+  }
+}
+
+const TreeNode& Octree::leaf_containing(Vec3 p) const {
+  // Clamp into the domain interior (outflow-style sampling beyond edges).
+  const double eps = 1e-12;
+  p.x = std::clamp(p.x, -domain_half + eps, domain_half - eps);
+  p.y = std::clamp(p.y, -domain_half + eps, domain_half - eps);
+  p.z = std::clamp(p.z, -domain_half + eps, domain_half - eps);
+  const TreeNode* node = root_.get();
+  while (!node->is_leaf()) {
+    const Vec3 c = node->center();
+    const std::size_t child = (p.x >= c.x ? 1u : 0u) |
+                              (p.y >= c.y ? 2u : 0u) |
+                              (p.z >= c.z ? 4u : 0u);
+    node = node->children[child].get();
+  }
+  return *node;
+}
+
+double Octree::sample(std::size_t field, Vec3 p) const {
+  const TreeNode& leaf = leaf_containing(p);
+  const SubGrid& grid = leaf.grid;
+  const Vec3 o = grid.origin();
+  const double dx = grid.dx();
+  auto idx = [&](double coord, double org) {
+    const auto raw = static_cast<long>(std::floor((coord - org) / dx));
+    return static_cast<std::size_t>(
+        std::clamp<long>(raw, 0, static_cast<long>(NX) - 1));
+  };
+  return grid.u(field, idx(p.x, o.x), idx(p.y, o.y), idx(p.z, o.z));
+}
+
+void Octree::fill_ghosts(TreeNode& leaf) const {
+  SubGrid& grid = leaf.grid;
+  const Vec3 o = grid.origin();
+  const double dx = grid.dx();
+  const auto g = static_cast<long>(GHOST);
+  for (long i = -g; i < static_cast<long>(NX) + g; ++i) {
+    for (long j = -g; j < static_cast<long>(NX) + g; ++j) {
+      for (long k = -g; k < static_cast<long>(NX) + g; ++k) {
+        const bool interior = i >= 0 && i < static_cast<long>(NX) &&
+                              j >= 0 && j < static_cast<long>(NX) &&
+                              k >= 0 && k < static_cast<long>(NX);
+        if (interior) {
+          continue;
+        }
+        const Vec3 p{o.x + (static_cast<double>(i) + 0.5) * dx,
+                     o.y + (static_cast<double>(j) + 0.5) * dx,
+                     o.z + (static_cast<double>(k) + 0.5) * dx};
+        for (std::size_t f = 0; f < NF; ++f) {
+          grid.ue(f, static_cast<std::size_t>(i + g),
+                  static_cast<std::size_t>(j + g),
+                  static_cast<std::size_t>(k + g)) = sample(f, p);
+        }
+      }
+    }
+  }
+}
+
+void Octree::for_each_leaf(const std::function<void(TreeNode&)>& f) {
+  for (TreeNode* leaf : leaves_) {
+    f(*leaf);
+  }
+}
+
+}  // namespace octo

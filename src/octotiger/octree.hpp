@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file octree.hpp
+/// The adaptive octree (paper §3.3): a tree-based data structure whose
+/// leaves each carry an 8x8x8 sub-grid. Refinement maximises resolution in
+/// the star region; the rotating-star level-4 configuration reproduces the
+/// paper's workload shape (~1e3 leaves, ~6e5 cells).
+///
+/// Ghost exchange: each leaf fills its ghost layers by *sampling* the tree
+/// (piecewise-constant in the containing leaf's cell). For same-level
+/// neighbours this is an exact copy; across level jumps it is constant
+/// prolongation / injection — a documented miniapp simplification
+/// (DESIGN.md §6) that preserves the communication and task structure.
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "octotiger/defs.hpp"
+#include "octotiger/gravity/multipole.hpp"
+#include "octotiger/grid.hpp"
+
+namespace octo {
+
+/// Domain: the cube [-domain_half, +domain_half]^3.
+inline constexpr double domain_half = 1.0;
+
+struct TreeNode {
+  unsigned level = 0;
+  /// Node index within its level's uniform grid of 2^level nodes per axis.
+  std::array<std::size_t, 3> index{0, 0, 0};
+  std::array<std::unique_ptr<TreeNode>, 8> children;  // all null for a leaf
+  SubGrid grid;     ///< allocated for leaves only
+  std::size_t leaf_id = 0;  ///< dense id among leaves (set by the tree)
+  gravity::Multipole moments;  ///< filled by the gravity upward pass
+
+  [[nodiscard]] bool is_leaf() const { return children[0] == nullptr; }
+
+  /// Edge length of this node's region.
+  [[nodiscard]] double width() const {
+    return 2.0 * domain_half / static_cast<double>(1u << level);
+  }
+
+  /// Low corner of this node's region.
+  [[nodiscard]] Vec3 low() const {
+    const double w = width();
+    return {-domain_half + static_cast<double>(index[0]) * w,
+            -domain_half + static_cast<double>(index[1]) * w,
+            -domain_half + static_cast<double>(index[2]) * w};
+  }
+
+  /// Geometric center of the node.
+  [[nodiscard]] Vec3 center() const {
+    const double w = width();
+    const Vec3 l = low();
+    return {l.x + 0.5 * w, l.y + 0.5 * w, l.z + 0.5 * w};
+  }
+
+  /// Shortest distance from the node's box to a point (0 inside).
+  [[nodiscard]] double distance_to(Vec3 p) const;
+};
+
+class Octree {
+ public:
+  /// Node-refinement criterion: return true to split this node (called for
+  /// nodes below max_level only).
+  using refine_predicate = std::function<bool(const TreeNode&)>;
+
+  /// Build the tree: refine every node within \p refine_radius of the
+  /// origin until \p max_level; allocate leaf sub-grids.
+  Octree(unsigned max_level, double refine_radius);
+
+  /// Build with an arbitrary refinement predicate (e.g. around both stars
+  /// of a binary).
+  Octree(unsigned max_level, const refine_predicate& refine);
+
+  [[nodiscard]] TreeNode& root() { return *root_; }
+  [[nodiscard]] const TreeNode& root() const { return *root_; }
+
+  /// Dense leaf list (stable order: depth-first, z-major child order).
+  [[nodiscard]] const std::vector<TreeNode*>& leaves() const {
+    return leaves_;
+  }
+  [[nodiscard]] std::size_t leaf_count() const { return leaves_.size(); }
+  [[nodiscard]] std::size_t total_cells() const {
+    return leaves_.size() * CELLS_PER_GRID;
+  }
+
+  /// Leaf whose region contains \p p (positions are clamped into the
+  /// domain, giving outflow-style boundary sampling).
+  [[nodiscard]] const TreeNode& leaf_containing(Vec3 p) const;
+
+  /// Piecewise-constant sample of a conserved field at position \p p.
+  [[nodiscard]] double sample(std::size_t field, Vec3 p) const;
+
+  /// Fill the ghost layers of one leaf from the current interior values of
+  /// the tree (call for all leaves before running the hydro kernel).
+  void fill_ghosts(TreeNode& leaf) const;
+
+  /// Visit every leaf.
+  void for_each_leaf(const std::function<void(TreeNode&)>& f);
+
+ private:
+  void build(TreeNode& node, unsigned max_level,
+             const refine_predicate& refine);
+  void collect_leaves(TreeNode& node);
+
+  std::unique_ptr<TreeNode> root_;
+  std::vector<TreeNode*> leaves_;
+};
+
+}  // namespace octo

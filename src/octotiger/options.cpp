@@ -1,0 +1,185 @@
+#include "octotiger/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace octo {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    return "";
+  }
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+[[noreturn]] void bad_key(const std::string& context, const std::string& key) {
+  throw std::runtime_error("octo::Options: unknown key '" + key + "' in " +
+                           context);
+}
+
+}  // namespace
+
+mkk::KernelType Options::parse_kernel_type(const std::string& value) {
+  const std::string v = upper(trim(value));
+  if (v == "KOKKOS" || v == "KOKKOS_SERIAL") {
+    return mkk::KernelType::kokkos_serial;
+  }
+  if (v == "KOKKOS_HPX") {
+    return mkk::KernelType::kokkos_hpx;
+  }
+  if (v == "LEGACY" || v == "OLD") {
+    return mkk::KernelType::legacy;
+  }
+  throw std::runtime_error("octo::Options: unknown kernel type '" + value +
+                           "' (expected KOKKOS, KOKKOS_HPX or LEGACY)");
+}
+
+void Options::load_ini(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("octo::Options: cannot open config file " + path);
+  }
+  std::string section;
+  std::string line;
+  unsigned lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') {
+      continue;
+    }
+    if (t.front() == '[' && t.back() == ']') {
+      section = trim(t.substr(1, t.size() - 2));
+      continue;
+    }
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("octo::Options: malformed line " +
+                               std::to_string(lineno) + " in " + path);
+    }
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (section == "star") {
+      if (key == "radius") {
+        star_radius = std::stod(value);
+      } else if (key == "rho_c") {
+        star_rho_c = std::stod(value);
+      } else if (key == "omega") {
+        star_omega = std::stod(value);
+      } else {
+        bad_key("[star]", key);
+      }
+    } else if (section == "binary") {
+      if (key == "separation") {
+        binary_separation = std::stod(value);
+      } else if (key == "radius1") {
+        binary_radius1 = std::stod(value);
+      } else if (key == "radius2") {
+        binary_radius2 = std::stod(value);
+      } else if (key == "rho_c1") {
+        binary_rho_c1 = std::stod(value);
+      } else if (key == "rho_c2") {
+        binary_rho_c2 = std::stod(value);
+      } else {
+        bad_key("[binary]", key);
+      }
+      problem = Problem::binary_star;
+    } else if (section == "sim" || section.empty()) {
+      if (key == "max_level") {
+        max_level = static_cast<unsigned>(std::stoul(value));
+      } else if (key == "stop_step") {
+        stop_step = static_cast<unsigned>(std::stoul(value));
+      } else if (key == "theta") {
+        theta = std::stod(value);
+      } else if (key == "cfl") {
+        cfl = std::stod(value);
+      } else if (key == "refine_radius") {
+        refine_radius = std::stod(value);
+      } else {
+        bad_key("[sim]", key);
+      }
+    } else {
+      throw std::runtime_error("octo::Options: unknown section [" + section +
+                               "] in " + path);
+    }
+  }
+}
+
+void Options::parse_cli(const std::vector<std::string>& args) {
+  for (const auto& arg : args) {
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error("octo::Options: expected --key=value, got '" +
+                               arg + "'");
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("octo::Options: expected --key=value, got '" +
+                               arg + "'");
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "config_file") {
+      load_ini(value);
+    } else if (key == "problem") {
+      const std::string v = upper(value);
+      if (v == "ROTATING_STAR") {
+        problem = Problem::rotating_star;
+      } else if (v == "BINARY_STAR" || v == "BINARY") {
+        problem = Problem::binary_star;
+      } else {
+        throw std::runtime_error("octo::Options: unknown problem '" + value +
+                                 "'");
+      }
+    } else if (key == "max_level") {
+      max_level = static_cast<unsigned>(std::stoul(value));
+    } else if (key == "stop_step") {
+      stop_step = static_cast<unsigned>(std::stoul(value));
+    } else if (key == "theta") {
+      theta = std::stod(value);
+    } else if (key == "cfl") {
+      cfl = std::stod(value);
+    } else if (key == "refine_radius") {
+      refine_radius = std::stod(value);
+    } else if (key == "hydro_host_kernel_type") {
+      hydro_kernel = parse_kernel_type(value);
+    } else if (key == "multipole_host_kernel_type") {
+      multipole_kernel = parse_kernel_type(value);
+    } else if (key == "monopole_host_kernel_type") {
+      monopole_kernel = parse_kernel_type(value);
+    } else if (key == "hpx:threads") {
+      threads = static_cast<unsigned>(std::stoul(value));
+    } else if (key == "hpx:localities") {
+      localities = static_cast<unsigned>(std::stoul(value));
+    } else {
+      bad_key("command line", key);
+    }
+  }
+}
+
+std::string Options::summary() const {
+  std::ostringstream os;
+  os << (problem == Problem::binary_star ? "problem=binary_star "
+                                         : "problem=rotating_star ")
+     << "max_level=" << max_level << " stop_step=" << stop_step
+     << " theta=" << theta << " cfl=" << cfl
+     << " hydro=" << mkk::to_string(hydro_kernel)
+     << " multipole=" << mkk::to_string(multipole_kernel)
+     << " monopole=" << mkk::to_string(monopole_kernel)
+     << " threads=" << threads << " localities=" << localities;
+  return os.str();
+}
+
+}  // namespace octo

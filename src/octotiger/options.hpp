@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file options.hpp
+/// Run configuration: the analogue of Octo-Tiger's config file plus command
+/// line (paper Listings 2-3: --config_file=rotating_star.ini --max_level=4
+/// --stop_step=5 --theta=0.5 --xxx_host_kernel_type=KOKKOS ...).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "minikokkos/spaces.hpp"
+
+namespace octo {
+
+struct Options {
+  /// Which initial model to evolve.
+  enum class Problem { rotating_star, binary_star };
+  Problem problem = Problem::rotating_star;
+
+  // --- mesh ---
+  unsigned max_level = 3;      ///< --max_level (paper runs use 4)
+  double refine_radius = 0.45; ///< refine nodes within this radius of origin
+
+  // --- run control ---
+  unsigned stop_step = 5;  ///< --stop_step (paper: 5 time steps)
+  double cfl = 0.4;
+  double theta = 0.5;      ///< FMM opening criterion, --theta=0.5
+  bool gravity = true;     ///< disable for pure-hydro validation problems
+
+  // --- star model ([star] section of rotating_star.ini) ---
+  double star_radius = 0.35;
+  double star_rho_c = 1.0;
+  double star_omega = 0.2;  ///< rigid rotation rate around z
+
+  // --- binary model ([binary] section; problem = binary_star) ---
+  double binary_separation = 0.8;
+  double binary_radius1 = 0.22;
+  double binary_radius2 = 0.18;
+  double binary_rho_c1 = 1.0;
+  double binary_rho_c2 = 0.6;
+
+  // --- kernels (--xxx_host_kernel_type) ---
+  mkk::KernelType hydro_kernel = mkk::KernelType::kokkos_serial;
+  mkk::KernelType multipole_kernel = mkk::KernelType::kokkos_serial;
+  mkk::KernelType monopole_kernel = mkk::KernelType::kokkos_serial;
+
+  // --- runtime (--hpx:threads / --hpx:localities analogues) ---
+  unsigned threads = 4;
+  unsigned localities = 1;
+
+  /// Parse an INI-style config file ([sim]/[star] sections); throws
+  /// std::runtime_error with a line diagnostic on malformed input.
+  void load_ini(const std::string& path);
+
+  /// Parse --key=value command-line arguments over the current values.
+  /// Recognised keys mirror the paper's listings; unknown keys throw.
+  void parse_cli(const std::vector<std::string>& args);
+
+  /// Parse a kernel-type string (KOKKOS, KOKKOS_HPX, LEGACY).
+  static mkk::KernelType parse_kernel_type(const std::string& value);
+
+  /// One-line summary for logs.
+  [[nodiscard]] std::string summary() const;
+
+  /// Options travel inside component-creation parcels for distributed runs.
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& problem& max_level& refine_radius& stop_step& cfl& theta& gravity&
+        star_radius& star_rho_c& star_omega& binary_separation&
+        binary_radius1& binary_radius2& binary_rho_c1& binary_rho_c2&
+        hydro_kernel& multipole_kernel& monopole_kernel& threads& localities;
+  }
+};
+
+}  // namespace octo

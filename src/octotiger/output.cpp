@@ -1,0 +1,90 @@
+#include "octotiger/output.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "octotiger/hydro/eos.hpp"
+
+namespace octo {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("octo output: cannot open " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_midplane_slice(const Octree& tree, const std::string& path,
+                          std::size_t resolution) {
+  auto out = open_or_throw(path);
+  out << "x,y,rho,vx,vy,phi\n";
+  const double step = 2.0 * domain_half / static_cast<double>(resolution);
+  for (std::size_t iy = 0; iy < resolution; ++iy) {
+    for (std::size_t ix = 0; ix < resolution; ++ix) {
+      const double x = -domain_half + (static_cast<double>(ix) + 0.5) * step;
+      const double y = -domain_half + (static_cast<double>(iy) + 0.5) * step;
+      const Vec3 p{x, y, 0.0};
+      const double rho = tree.sample(f_rho, p);
+      const double vx = tree.sample(f_sx, p) / std::max(rho, rho_floor);
+      const double vy = tree.sample(f_sy, p) / std::max(rho, rho_floor);
+      // phi lives on the interior-only grid; sample via the leaf directly.
+      const TreeNode& leaf = tree.leaf_containing(p);
+      const SubGrid& g = leaf.grid;
+      const double dx = g.dx();
+      auto idx = [&](double coord, double org) {
+        const auto raw = static_cast<long>((coord - org) / dx);
+        return static_cast<std::size_t>(
+            std::clamp<long>(raw, 0, static_cast<long>(NX) - 1));
+      };
+      const double phi = g.phi(idx(p.x, g.origin().x), idx(p.y, g.origin().y),
+                               idx(p.z, g.origin().z));
+      out << x << ',' << y << ',' << rho << ',' << vx << ',' << vy << ','
+          << phi << '\n';
+    }
+  }
+}
+
+void write_radial_profile(const Octree& tree, const std::string& path,
+                          std::size_t bins) {
+  std::vector<double> sum(bins, 0.0);
+  std::vector<double> peak(bins, 0.0);
+  std::vector<std::size_t> count(bins, 0);
+  const double r_max = domain_half;
+  for (const TreeNode* leaf : tree.leaves()) {
+    const SubGrid& g = leaf->grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const double r = g.cell_center(i, j, k).norm();
+          if (r >= r_max) {
+            continue;
+          }
+          const auto bin = static_cast<std::size_t>(
+              r / r_max * static_cast<double>(bins));
+          const double rho = g.u(f_rho, i, j, k);
+          sum[bin] += rho;
+          peak[bin] = std::max(peak[bin], rho);
+          ++count[bin];
+        }
+      }
+    }
+  }
+  auto out = open_or_throw(path);
+  out << "r,rho_avg,rho_max\n";
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double r = (static_cast<double>(b) + 0.5) * r_max /
+                     static_cast<double>(bins);
+    const double avg =
+        count[b] != 0 ? sum[b] / static_cast<double>(count[b]) : 0.0;
+    out << r << ',' << avg << ',' << peak[b] << '\n';
+  }
+}
+
+}  // namespace octo

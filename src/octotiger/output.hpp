@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file output.hpp
+/// Field output for analysis/plotting — the miniapp's analogue of
+/// Octo-Tiger's silo output: CSV slices through the midplane and radial
+/// profiles (the natural views of a rotating star / binary).
+
+#include <string>
+
+#include "octotiger/octree.hpp"
+
+namespace octo {
+
+/// Write a CSV slice of the z ~ 0 midplane sampled on a uniform
+/// resolution x resolution grid: columns x, y, rho, vx, vy, phi.
+void write_midplane_slice(const Octree& tree, const std::string& path,
+                          std::size_t resolution = 64);
+
+/// Write a CSV radial profile (spherical averages about the origin):
+/// columns r, rho_avg, rho_max, p_implied. \p bins radial bins to the
+/// domain edge.
+void write_radial_profile(const Octree& tree, const std::string& path,
+                          std::size_t bins = 48);
+
+}  // namespace octo

@@ -1,0 +1,132 @@
+// Tests for the architecture models: the peak-performance values must
+// reproduce the paper's Table 2 to the printed digits, and the model inputs
+// must produce the paper's qualitative cross-architecture ordering.
+
+#include <gtest/gtest.h>
+
+#include "core/arch/cpu_model.hpp"
+#include "core/arch/network_model.hpp"
+
+namespace arch = rveval::arch;
+
+TEST(Table2, PeakPerformanceMatchesPaper) {
+  // Paper Table 2, last column (GFLOP/s).
+  EXPECT_DOUBLE_EQ(arch::a64fx().peak_gflops(), 2764.8);
+  EXPECT_DOUBLE_EQ(arch::epyc_7543().peak_gflops(), 2867.2);
+  EXPECT_DOUBLE_EQ(arch::xeon_gold_6140().peak_gflops(), 1324.8);
+  EXPECT_DOUBLE_EQ(arch::u74_mc().peak_gflops(), 9.6);
+}
+
+TEST(Table2, RowFieldsMatchPaper) {
+  const auto u74 = arch::u74_mc();
+  EXPECT_DOUBLE_EQ(u74.clock_ghz, 1.2);
+  EXPECT_EQ(u74.vector_length, 1u);  // "NA" in the paper
+  EXPECT_EQ(u74.fpu_per_core, 1u);
+  EXPECT_FALSE(u74.fma);  // FP64 FMA absent (32-bit only footnote)
+  EXPECT_EQ(u74.cores, 4u);
+
+  const auto fx = arch::a64fx();
+  EXPECT_EQ(fx.vector_length, 8u);
+  EXPECT_TRUE(fx.fma);
+  EXPECT_EQ(fx.cores, 48u);
+
+  const auto amd = arch::epyc_7543();
+  EXPECT_EQ(amd.vector_length, 4u);
+  EXPECT_EQ(amd.cores, 64u);
+
+  const auto intel = arch::xeon_gold_6140();
+  EXPECT_EQ(intel.vector_length, 8u);
+  EXPECT_EQ(intel.cores, 18u);
+}
+
+TEST(Table2, FourCpusInPaperOrder) {
+  const auto cpus = arch::table2_cpus();
+  ASSERT_EQ(cpus.size(), 4u);
+  EXPECT_EQ(cpus[0].name, "ARM A64FX");
+  EXPECT_EQ(cpus[1].name, "AMD EPYC 7543");
+  EXPECT_EQ(cpus[2].name, "Intel Xeon Gold 6140");
+  EXPECT_EQ(cpus[3].name, "RISC-V U74-MC(hifiveu)");
+}
+
+TEST(Table2, PeakScalesLinearlyWithCores) {
+  const auto amd = arch::epyc_7543();
+  EXPECT_DOUBLE_EQ(amd.peak_gflops(1) * 64.0, amd.peak_gflops(64));
+  EXPECT_DOUBLE_EQ(amd.peak_gflops(0), 0.0);
+}
+
+TEST(CpuModel, FindByName) {
+  auto m = arch::find_cpu("ARM A64FX");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->clock_ghz, 1.8);
+  EXPECT_TRUE(arch::find_cpu("RISC-V JH7110(visionfive2)").has_value());
+  EXPECT_FALSE(arch::find_cpu("MOS 6502").has_value());
+}
+
+TEST(CpuModel, ScalarRateOrderingMatchesPaperObservations) {
+  // Paper §6.1: AMD fastest, then Intel; RISC-V ~5x slower than A64FX.
+  const double amd = arch::epyc_7543().scalar_flops_per_core();
+  const double intel = arch::xeon_gold_6140().scalar_flops_per_core();
+  const double fx = arch::a64fx().scalar_flops_per_core();
+  const double rv = arch::u74_mc().scalar_flops_per_core();
+  EXPECT_GT(amd, intel);
+  EXPECT_GT(intel, fx);
+  EXPECT_GT(fx, rv);
+  const double ratio = fx / rv;
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 7.0);  // "around five times"
+}
+
+TEST(CpuModel, VisionFive2SharesU74Cores) {
+  const auto vf2 = arch::jh7110();
+  const auto u74 = arch::u74_mc();
+  EXPECT_EQ(vf2.cores, u74.cores);
+  EXPECT_EQ(vf2.vector_length, u74.vector_length);
+  EXPECT_DOUBLE_EQ(vf2.scalar_fp_ipc, u74.scalar_fp_ipc);
+  EXPECT_GT(vf2.clock_ghz, u74.clock_ghz);  // 1.5 vs 1.2 GHz
+}
+
+TEST(RuntimeOverheads, ScaleInverselyWithClock) {
+  const auto slow = arch::runtime_overheads(arch::u74_mc());
+  const auto fast = arch::runtime_overheads(arch::epyc_7543());
+  EXPECT_GT(slow.task_spawn_seconds, fast.task_spawn_seconds);
+  EXPECT_GT(slow.context_switch_seconds, fast.context_switch_seconds);
+  EXPECT_GT(slow.task_spawn_seconds, 0.0);
+  // U74 baseline: exactly the measured constants.
+  EXPECT_DOUBLE_EQ(slow.task_spawn_seconds, 1.5e-6);
+}
+
+TEST(NetworkModel, MessageCostDecomposition) {
+  const auto tcp = arch::gbe_tcp();
+  // Latency floor for a tiny message.
+  EXPECT_NEAR(tcp.message_seconds(0), 120e-6, 1e-9);
+  // Bandwidth term dominates for a big one.
+  const double t1mb = tcp.message_seconds(1 << 20);
+  EXPECT_GT(t1mb, (1 << 20) / 117.0e6);
+  EXPECT_LT(t1mb, (1 << 20) / 117.0e6 + 200e-6);
+}
+
+TEST(NetworkModel, MpiRendezvousKicksInAboveEagerLimit) {
+  const auto mpi = arch::gbe_mpi();
+  const double small = mpi.message_seconds(32 * 1024);
+  const double just_under = mpi.message_seconds(64 * 1024);
+  const double just_over = mpi.message_seconds(64 * 1024 + 1);
+  EXPECT_LT(small, just_under);
+  // The rendezvous round trip adds a discontinuity.
+  EXPECT_GT(just_over - just_under, mpi.rendezvous_rtt_seconds * 0.9);
+}
+
+TEST(NetworkModel, MpiSlowerThanTcpPerMessage) {
+  // The documented protocol hypothesis behind Fig. 8's TCP > MPI speed-up.
+  const auto tcp = arch::gbe_tcp();
+  const auto mpi = arch::gbe_mpi();
+  for (const std::size_t bytes : {64u, 4096u, 65536u, 1u << 20}) {
+    EXPECT_GT(mpi.message_seconds(bytes), tcp.message_seconds(bytes))
+        << "bytes=" << bytes;
+  }
+}
+
+TEST(NetworkModel, TofuDIsOrdersOfMagnitudeFaster) {
+  const auto tofu = arch::tofu_d();
+  const auto tcp = arch::gbe_tcp();
+  EXPECT_LT(tofu.message_seconds(1 << 16), tcp.message_seconds(1 << 16) / 20);
+}

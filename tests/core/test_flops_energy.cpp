@@ -1,0 +1,113 @@
+// Tests for FLOP accounting (the perf-measured count), the power models
+// (§7 readings), and the report tables.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/perf/flops.hpp"
+#include "core/power/energy.hpp"
+#include "core/report/table.hpp"
+
+namespace perf = rveval::perf;
+namespace power = rveval::power;
+
+TEST(Flops, ReproducesPaperPerfCount) {
+  // The paper: "measured to be 100000028581 ... for n = 1000000000".
+  EXPECT_DOUBLE_EQ(perf::maclaurin_flops(1'000'000'000ull), 100000028581.0);
+}
+
+TEST(Flops, LinearInTerms) {
+  const double f1 = perf::maclaurin_flops(1000);
+  const double f2 = perf::maclaurin_flops(2000);
+  EXPECT_DOUBLE_EQ(f2 - f1, 1000 * perf::term_flops_software);
+}
+
+TEST(Flops, HardwareExpCutsCount) {
+  // §8: hardware exponent support cuts pow from ~ceil(2e)+3 to 4 flops.
+  const std::uint64_t n = 1'000'000;
+  const double soft = perf::maclaurin_flops(n);
+  const double hard = perf::maclaurin_flops_hardware_exp(n);
+  EXPECT_LT(hard, soft);
+  EXPECT_NEAR(soft / hard, 100.0 / 7.0, 0.1);
+}
+
+TEST(Flops, SoftexpEstimateForm) {
+  // ceil(2e)+3 with e = Euler's number: ceil(5.436..) + 3 = 9.
+  EXPECT_DOUBLE_EQ(perf::softexp_flops_estimate(2.718281828), 9.0);
+}
+
+TEST(Flops, NormalizedPerformanceEq3) {
+  // 1 GFLOP/s on a 10 GFLOP/s peak = 0.1.
+  EXPECT_DOUBLE_EQ(perf::normalized_performance(1e9, 10.0), 0.1);
+}
+
+TEST(Power, VisionFive2ReproducesPaperReadings) {
+  const auto board = power::visionfive2_board();
+  // stress --cpu 4: pure ALU load on all four cores.
+  EXPECT_NEAR(board.watts(4, /*memory_bound=*/false), 3.19, 1e-9);
+  // Octo-Tiger on four cores: memory system active.
+  EXPECT_NEAR(board.watts(4, /*memory_bound=*/true), 3.22, 1e-9);
+  // Idle board.
+  EXPECT_NEAR(board.watts(0, false), 2.57, 1e-9);
+}
+
+TEST(Power, A64FxChipModelPlausible) {
+  const auto chip = power::a64fx_powerapi();
+  const double w4 = chip.watts(4);
+  EXPECT_GT(w4, 14.0);
+  EXPECT_LT(w4, 30.0);
+  EXPECT_GT(chip.watts(8), w4);
+}
+
+TEST(Power, RiscvLowerPowerButMoreEnergyWhenSlower) {
+  // The §7 punchline: the RISC-V board draws less *power*, but a ~7x longer
+  // runtime costs more *energy* than the A64FX slice.
+  const double rv_watts = power::visionfive2_board().watts(4, true);
+  const double fx_watts = power::a64fx_powerapi().watts(4);
+  EXPECT_LT(rv_watts, fx_watts);
+
+  const double fx_seconds = 100.0;
+  const double rv_seconds = 7.0 * fx_seconds;
+  power::PowerMeter rv_meter;
+  power::PowerMeter fx_meter;
+  rv_meter.record(rv_watts, rv_seconds);
+  fx_meter.record(fx_watts, fx_seconds);
+  EXPECT_GT(rv_meter.energy_joules(), fx_meter.energy_joules());
+}
+
+TEST(Power, MeterIntegratesAndAverages) {
+  power::PowerMeter m;
+  EXPECT_DOUBLE_EQ(m.average_watts(), 0.0);
+  m.record(2.0, 10.0);
+  m.record(4.0, 10.0);
+  EXPECT_DOUBLE_EQ(m.energy_joules(), 60.0);
+  EXPECT_DOUBLE_EQ(m.elapsed_seconds(), 20.0);
+  EXPECT_DOUBLE_EQ(m.average_watts(), 3.0);
+}
+
+TEST(Report, TableAlignsAndCounts) {
+  rveval::report::Table t("Demo");
+  t.headers({"cpu", "gflops"});
+  t.row({"A64FX", rveval::report::Table::num(2764.8, 1)});
+  t.row({"U74", rveval::report::Table::num(9.6, 1)});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("2764.8"), std::string::npos);
+  EXPECT_NE(s.find("9.6"), std::string::npos);
+}
+
+TEST(Report, CsvFormat) {
+  rveval::report::Table t("x");
+  t.headers({"a", "b"});
+  t.row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Report, NumberFormatting) {
+  EXPECT_EQ(rveval::report::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(rveval::report::Table::sci(12345.0, 2), "1.23e+04");
+}

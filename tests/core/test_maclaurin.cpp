@@ -1,0 +1,137 @@
+// Tests for the four Maclaurin benchmark implementations: all must compute
+// ln(1+x) to series accuracy and annotate their tasks consistently.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/bench/maclaurin.hpp"
+#include "core/perf/flops.hpp"
+#include "core/sim/trace.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace bench = rveval::bench;
+namespace sim = rveval::sim;
+
+namespace {
+
+using Runner = bench::MaclaurinResult (*)(const bench::MaclaurinConfig&);
+
+struct Variant {
+  const char* name;
+  Runner run;
+};
+
+class MaclaurinTest : public ::testing::TestWithParam<Variant> {
+ protected:
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST_P(MaclaurinTest, ConvergesToLog1p) {
+  bench::MaclaurinConfig cfg;
+  cfg.x = 0.5;
+  cfg.terms = 100'000;
+  cfg.tasks = 8;
+  const auto r = GetParam().run(cfg);
+  EXPECT_NEAR(r.sum, bench::reference(cfg.x), 1e-12);
+}
+
+TEST_P(MaclaurinTest, WorksForNegativeX) {
+  bench::MaclaurinConfig cfg;
+  cfg.x = -0.25;
+  cfg.terms = 50'000;
+  cfg.tasks = 5;
+  const auto r = GetParam().run(cfg);
+  EXPECT_NEAR(r.sum, bench::reference(cfg.x), 1e-12);
+}
+
+TEST_P(MaclaurinTest, SingleTask) {
+  bench::MaclaurinConfig cfg;
+  cfg.terms = 10'000;
+  cfg.tasks = 1;
+  const auto r = GetParam().run(cfg);
+  EXPECT_NEAR(r.sum, bench::reference(cfg.x), 1e-11);
+}
+
+TEST_P(MaclaurinTest, MoreTasksThanTerms) {
+  bench::MaclaurinConfig cfg;
+  cfg.terms = 5;
+  cfg.tasks = 64;
+  const auto r = GetParam().run(cfg);
+  // 5 terms of the series, not an exact log: check against a direct sum.
+  double direct = 0.0;
+  for (int n = 1; n <= 5; ++n) {
+    direct += ((n % 2 == 1) ? 1.0 : -1.0) *
+              std::pow(cfg.x, n) / static_cast<double>(n);
+  }
+  EXPECT_NEAR(r.sum, direct, 1e-15);
+}
+
+TEST_P(MaclaurinTest, AnalyticFlopsAreReported) {
+  bench::MaclaurinConfig cfg;
+  cfg.terms = 12'345;
+  const auto r = GetParam().run(cfg);
+  EXPECT_DOUBLE_EQ(r.analytic_flops, rveval::perf::maclaurin_flops(cfg.terms));
+}
+
+TEST_P(MaclaurinTest, TraceCapturesChunkAnnotations) {
+  sim::TraceCollector trace;
+  trace.map_scheduler(&runtime.scheduler(), 0);
+  bench::MaclaurinConfig cfg;
+  cfg.terms = 10'000;
+  cfg.tasks = 10;
+  (void)GetParam().run(cfg);
+  runtime.scheduler().wait_idle();
+  const auto phases = trace.finish();
+  ASSERT_FALSE(phases.empty());
+  double flops = 0.0;
+  for (const auto& p : phases) {
+    flops += p.total_flops();
+  }
+  // All chunk annotations together = per-term cost x executed terms.
+  EXPECT_DOUBLE_EQ(
+      flops, rveval::perf::term_flops_software * static_cast<double>(cfg.terms));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, MaclaurinTest,
+    ::testing::Values(Variant{"async", &bench::run_async},
+                      Variant{"parallel_algorithm",
+                              &bench::run_parallel_algorithm},
+                      Variant{"sender_receiver", &bench::run_sender_receiver},
+                      Variant{"coroutine", &bench::run_coroutine}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(MaclaurinChunk, MatchesDirectSum) {
+  mhpx::Runtime rt{{1, 64 * 1024}};
+  const double x = 0.3;
+  double direct = 0.0;
+  for (int n = 7; n < 23; ++n) {
+    direct += ((n % 2 == 1) ? 1.0 : -1.0) * std::pow(x, n) / n;
+  }
+  EXPECT_NEAR(bench::maclaurin_chunk(x, 7, 23), direct, 1e-15);
+}
+
+TEST(MaclaurinChunk, EmptyRangeIsZero) {
+  EXPECT_DOUBLE_EQ(bench::maclaurin_chunk(0.5, 10, 10), 0.0);
+}
+
+TEST(MaclaurinVariants, AllAgreeBitForBitOnSameChunking) {
+  mhpx::Runtime rt{{2, 64 * 1024}};
+  bench::MaclaurinConfig cfg;
+  cfg.terms = 40'000;
+  cfg.tasks = 8;
+  const double a = bench::run_async(cfg).sum;
+  const double b = bench::run_parallel_algorithm(cfg).sum;
+  const double c = bench::run_sender_receiver(cfg).sum;
+  const double d = bench::run_coroutine(cfg).sum;
+  // Same chunk boundaries + deterministic per-chunk summation order; only
+  // the final chunk-combination order could differ, and all four combine
+  // in ascending chunk order, so the sums must be identical.
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a, d);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Tests for the §8 future-work benchmarks: STREAM kernels compute the
+// right values and annotate the classic byte counts; GUPS is deterministic;
+// the LU factorisation actually solves linear systems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/arch/cpu_model.hpp"
+#include "core/bench/memory_benchmarks.hpp"
+#include "core/sim/trace.hpp"
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace {
+
+namespace rb = rveval::bench;
+
+struct MemoryBenchTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 128 * 1024}};
+};
+
+TEST_F(MemoryBenchTest, StreamKernelsComputeCorrectValues) {
+  rb::StreamArrays s(1000);  // a = 1, b = 2, c = 0
+  rb::stream_copy(s);        // c = a = 1
+  EXPECT_DOUBLE_EQ(s.c[123], 1.0);
+  rb::stream_scale(s, 3.0);  // b = 3c = 3
+  EXPECT_DOUBLE_EQ(s.b[500], 3.0);
+  rb::stream_add(s);  // c = a + b = 4
+  EXPECT_DOUBLE_EQ(s.c[999], 4.0);
+  rb::stream_triad(s, 2.0);  // a = b + 2c = 11
+  EXPECT_DOUBLE_EQ(s.a[0], 11.0);
+}
+
+TEST_F(MemoryBenchTest, StreamAnnotatesClassicByteCounts) {
+  rveval::sim::TraceCollector trace;
+  trace.map_scheduler(&runtime.scheduler(), 0);
+  constexpr std::size_t n = 50'000;
+  rb::StreamArrays s(n);
+  trace.begin_phase("triad");
+  rb::stream_triad(s, 3.0);
+  runtime.scheduler().wait_idle();
+  const auto phases = trace.finish();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(phases[0].total_task_bytes(),
+                   rb::stream_triad_bytes * static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(phases[0].total_flops(), 2.0 * static_cast<double>(n));
+}
+
+TEST_F(MemoryBenchTest, GupsIsDeterministicAndTouchesTable) {
+  const auto a = rb::gups_kernel(12, 10'000);
+  const auto b = rb::gups_kernel(12, 10'000);
+  EXPECT_EQ(a, b);  // same LCG stream
+  // A different update count must change the checksum (xor stream differs).
+  const auto c = rb::gups_kernel(12, 10'001);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(MemoryBenchTest, GupsAnnotatesTraffic) {
+  rveval::sim::TraceCollector trace;
+  trace.map_scheduler(&runtime.scheduler(), 0);
+  trace.begin_phase("gups");
+  mhpx::async([] { (void)rb::gups_kernel(12, 5'000); }).get();
+  runtime.scheduler().wait_idle();
+  const auto phases = trace.finish();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(phases[0].total_task_bytes(),
+                   rb::gups_bytes_per_update * 5'000.0);
+}
+
+TEST_F(MemoryBenchTest, LuFactorSolvesSystems) {
+  constexpr std::size_t n = 40;
+  mkk::View<double, 2> a("A", n, n);
+  mkk::View<double, 2> a0("A0", n, n);
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = dist(rng) + (i == j ? static_cast<double>(n) : 0.0);
+      a0(i, j) = a(i, j);
+    }
+  }
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = dist(rng);
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b[i] += a0(i, j) * x_true[j];
+    }
+  }
+  const auto pivots = rb::lu_factor(a);
+  const auto x = rb::lu_solve(a, pivots, b);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::abs(x[i] - x_true[i]));
+  }
+  EXPECT_LT(max_err, 1e-10);
+}
+
+TEST_F(MemoryBenchTest, LuRequiresPivoting) {
+  // A matrix with a zero leading pivot but full rank: only partial
+  // pivoting factorises it.
+  mkk::View<double, 2> a("A", 2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto pivots = rb::lu_factor(a);
+  const auto x = rb::lu_solve(a, pivots, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST_F(MemoryBenchTest, LuRejectsBadInput) {
+  mkk::View<double, 2> rect("R", 2, 3);
+  EXPECT_THROW((void)rb::lu_factor(rect), std::invalid_argument);
+  mkk::View<double, 2> zero("Z", 3, 3);  // all zeros: singular
+  EXPECT_THROW((void)rb::lu_factor(zero), std::runtime_error);
+}
+
+TEST_F(MemoryBenchTest, LuFlopsFormula) {
+  EXPECT_NEAR(rb::lu_flops(100), 2.0 / 3.0 * 1e6 + 2e4, 1.0);
+  EXPECT_GT(rb::lu_flops(200), 8 * rb::lu_flops(100) / 1.3);  // ~n^3 growth
+}
+
+TEST(Sg2042Model, AnticipatedPartIsPlausible) {
+  const auto sg = rveval::arch::sg2042();
+  EXPECT_EQ(sg.cores, 64u);  // "will have 64 cores" (§8)
+  EXPECT_GT(sg.scalar_flops_per_core(),
+            rveval::arch::u74_mc().scalar_flops_per_core());
+  EXPECT_GT(sg.mem_bw_gib, rveval::arch::jh7110().mem_bw_gib);
+  EXPECT_LT(sg.mem_bw_gib, rveval::arch::a64fx().mem_bw_gib);
+  EXPECT_TRUE(rveval::arch::find_cpu("RISC-V SG2042(milk-v pioneer)")
+                  .has_value());
+}
+
+}  // namespace

@@ -1,0 +1,288 @@
+// Tests for trace capture and the discrete-event core simulator, including
+// the property sweeps DESIGN.md §5 calls for (monotonicity, Amdahl limits).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/sim/core_simulator.hpp"
+#include "core/sim/trace.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace sim = rveval::sim;
+namespace arch = rveval::arch;
+
+namespace {
+
+sim::Phase uniform_phase(std::size_t tasks, double flops_each,
+                         double bytes_each = 0.0) {
+  sim::Phase p;
+  p.name = "uniform";
+  for (std::size_t i = 0; i < tasks; ++i) {
+    p.tasks.push_back(sim::TaskRecord{flops_each, bytes_each, 0});
+  }
+  return p;
+}
+
+sim::SimOptions with_cores(unsigned cores) {
+  sim::SimOptions o;
+  o.cores = cores;
+  o.charge_spawn_overhead = false;  // pure-compute pricing for exact checks
+  return o;
+}
+
+TEST(CoreSimulator, SingleTaskTimeIsFlopsOverRate) {
+  const auto cpu = arch::u74_mc();
+  sim::CoreSimulator s(cpu);
+  sim::TaskRecord t{cpu.scalar_flops_per_core(), 0.0, 0};  // 1 second of work
+  EXPECT_NEAR(s.task_seconds(t, with_cores(1)), 1.0, 1e-12);
+}
+
+TEST(CoreSimulator, SpawnOverheadChargedWhenEnabled) {
+  const auto cpu = arch::u74_mc();
+  sim::CoreSimulator s(cpu);
+  sim::TaskRecord t{0.0, 0.0, 0};
+  sim::SimOptions on;
+  on.cores = 1;
+  on.charge_spawn_overhead = true;
+  EXPECT_DOUBLE_EQ(s.task_seconds(t, on),
+                   arch::runtime_overheads(cpu).task_spawn_seconds);
+}
+
+TEST(CoreSimulator, MemoryBoundTaskPricedByBandwidth) {
+  const auto cpu = arch::jh7110();
+  sim::CoreSimulator s(cpu);
+  const double one_gib = 1024.0 * 1024.0 * 1024.0;
+  sim::TaskRecord t{0.0, cpu.mem_bw_gib * one_gib, 0};  // 1 s at full node bw
+  EXPECT_NEAR(s.task_seconds(t, with_cores(1)), 1.0, 1e-9);
+  // With 4 cores sharing the bus, a single task only gets 1/4 of it.
+  EXPECT_NEAR(s.task_seconds(t, with_cores(4)), 4.0, 1e-9);
+}
+
+TEST(CoreSimulator, PerfectScalingForManyUniformTasks) {
+  const auto cpu = arch::jh7110();
+  sim::CoreSimulator s(cpu);
+  const auto phase = uniform_phase(64, cpu.scalar_flops_per_core() / 64.0);
+  const double t1 = s.simulate(phase, with_cores(1)).total_seconds;
+  const double t4 = s.simulate(phase, with_cores(4)).total_seconds;
+  EXPECT_NEAR(t1 / t4, 4.0, 0.01);
+}
+
+TEST(CoreSimulator, SingleTaskDoesNotScale) {
+  // Amdahl: one big task gains nothing from more cores.
+  const auto cpu = arch::jh7110();
+  sim::CoreSimulator s(cpu);
+  const auto phase = uniform_phase(1, cpu.scalar_flops_per_core());
+  const double t1 = s.simulate(phase, with_cores(1)).total_seconds;
+  const double t4 = s.simulate(phase, with_cores(4)).total_seconds;
+  EXPECT_NEAR(t4, t1, 1e-12);
+}
+
+TEST(CoreSimulator, MemoryCeilingCapsScaling) {
+  // A phase that saturates the memory system cannot speed up with cores —
+  // the §6.2.1 observation ("the slow connection to the memory kicks in").
+  const auto cpu = arch::jh7110();
+  sim::CoreSimulator s(cpu);
+  const double one_gib = 1024.0 * 1024.0 * 1024.0;
+  sim::Phase phase;
+  for (int i = 0; i < 16; ++i) {
+    // Tiny compute, heavy traffic.
+    phase.tasks.push_back(
+        sim::TaskRecord{1.0, cpu.mem_bw_gib * one_gib / 16.0, 0});
+  }
+  const double t1 = s.simulate(phase, with_cores(1)).total_seconds;
+  const double t4 = s.simulate(phase, with_cores(4)).total_seconds;
+  EXPECT_NEAR(t1, 1.0, 1e-6);
+  EXPECT_NEAR(t4, 1.0, 1e-6);  // bandwidth-bound: no speed-up
+}
+
+TEST(CoreSimulator, FasterCpuYieldsShorterTime) {
+  const auto phase = uniform_phase(32, 1e9);
+  const double rv = sim::CoreSimulator(arch::u74_mc())
+                        .simulate(phase, with_cores(4))
+                        .total_seconds;
+  const double fx = sim::CoreSimulator(arch::a64fx())
+                        .simulate(phase, with_cores(4))
+                        .total_seconds;
+  const double amd = sim::CoreSimulator(arch::epyc_7543())
+                         .simulate(phase, with_cores(4))
+                         .total_seconds;
+  EXPECT_GT(rv, fx);
+  EXPECT_GT(fx, amd);
+  // The paper's headline gap: RISC-V about five times slower than A64FX.
+  EXPECT_GT(rv / fx, 3.0);
+  EXPECT_LT(rv / fx, 7.0);
+}
+
+TEST(CoreSimulator, SimdSpeedupScalesComputeTime) {
+  const auto phase = uniform_phase(32, 1e9);
+  // U74: no vector unit, its model factor is 1.0 — no change.
+  sim::CoreSimulator rv(arch::u74_mc());
+  sim::SimOptions rv_simd = with_cores(4);
+  rv_simd.simd_speedup = arch::u74_mc().simd_kernel_speedup;
+  EXPECT_DOUBLE_EQ(rv.simulate(phase, rv_simd).total_seconds,
+                   rv.simulate(phase, with_cores(4)).total_seconds);
+  // A64FX: SIMD-typed kernels run ~1.8x faster (the factor behind the
+  // paper's ~7x Octo-Tiger gap vs its ~5x Maclaurin gap).
+  sim::CoreSimulator fx(arch::a64fx());
+  sim::SimOptions fx_simd = with_cores(4);
+  fx_simd.simd_speedup = arch::a64fx().simd_kernel_speedup;
+  const double scalar = fx.simulate(phase, with_cores(4)).total_seconds;
+  const double simd = fx.simulate(phase, fx_simd).total_seconds;
+  EXPECT_NEAR(scalar / simd, arch::a64fx().simd_kernel_speedup, 1e-9);
+}
+
+TEST(CoreSimulator, DistributedCommAddsTime) {
+  const auto cpu = arch::jh7110();
+  sim::CoreSimulator s(cpu);
+  sim::Phase phase;
+  for (std::uint32_t loc = 0; loc < 2; ++loc) {
+    for (int i = 0; i < 8; ++i) {
+      phase.tasks.push_back(
+          sim::TaskRecord{cpu.scalar_flops_per_core() / 8.0, 0.0, loc});
+    }
+  }
+  const auto no_comm =
+      s.simulate_distributed(phase, 2, arch::gbe_tcp(), with_cores(4));
+  phase.parcels.push_back(sim::ParcelRecord{0, 1, 1 << 20});
+  phase.parcels.push_back(sim::ParcelRecord{1, 0, 1 << 20});
+  const auto comm =
+      s.simulate_distributed(phase, 2, arch::gbe_tcp(), with_cores(4));
+  EXPECT_GT(comm.total_seconds, no_comm.total_seconds);
+  EXPECT_GT(comm.comm_seconds, 0.0);
+}
+
+TEST(CoreSimulator, LocalParcelsAreFree) {
+  sim::CoreSimulator s(arch::jh7110());
+  sim::Phase phase = uniform_phase(4, 1e6);
+  phase.parcels.push_back(sim::ParcelRecord{0, 0, 1 << 20});  // local
+  const auto c = s.simulate_distributed(phase, 1, arch::gbe_tcp(),
+                                        with_cores(4));
+  EXPECT_DOUBLE_EQ(c.comm_seconds, 0.0);
+}
+
+TEST(CoreSimulator, MpiCommCostsMoreThanTcp) {
+  sim::CoreSimulator s(arch::jh7110());
+  sim::Phase phase;
+  for (std::uint32_t loc = 0; loc < 2; ++loc) {
+    for (int i = 0; i < 4; ++i) {
+      phase.tasks.push_back(sim::TaskRecord{1e6, 0.0, loc});
+    }
+    for (int m = 0; m < 20; ++m) {
+      phase.parcels.push_back(
+          sim::ParcelRecord{loc, 1 - loc, 100 * 1024});
+    }
+  }
+  const auto tcp =
+      s.simulate_distributed(phase, 2, arch::gbe_tcp(), with_cores(4));
+  const auto mpi =
+      s.simulate_distributed(phase, 2, arch::gbe_mpi(), with_cores(4));
+  EXPECT_GT(mpi.total_seconds, tcp.total_seconds);
+}
+
+TEST(CoreSimulator, PhasesAreSequential) {
+  sim::CoreSimulator s(arch::jh7110());
+  const auto p = uniform_phase(8, 1e8);
+  std::vector<sim::Phase> phases{p, p, p};
+  const double one = s.simulate(p, with_cores(2)).total_seconds;
+  EXPECT_NEAR(s.total_seconds(phases, with_cores(2)), 3.0 * one, 1e-9);
+}
+
+// Property sweep: makespan is monotone in cores, never better than the
+// perfect-speedup bound, and never worse than serial.
+class SimulatorProperties
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(SimulatorProperties, MakespanBounds) {
+  const auto [tasks, cores] = GetParam();
+  sim::CoreSimulator s(arch::jh7110());
+  const auto phase = uniform_phase(tasks, 1e7);
+  const double serial = s.simulate(phase, with_cores(1)).total_seconds;
+  const double par = s.simulate(phase, with_cores(cores)).total_seconds;
+  EXPECT_LE(par, serial * (1.0 + 1e-12));
+  EXPECT_GE(par * cores, serial * (1.0 - 1e-12));  // no superlinear speed-up
+}
+
+TEST_P(SimulatorProperties, MonotoneInCores) {
+  const auto [tasks, cores] = GetParam();
+  sim::CoreSimulator s(arch::jh7110());
+  const auto phase = uniform_phase(tasks, 1e7);
+  double prev = s.simulate(phase, with_cores(1)).total_seconds;
+  for (unsigned c = 2; c <= cores; ++c) {
+    const double t = s.simulate(phase, with_cores(c)).total_seconds;
+    EXPECT_LE(t, prev * (1.0 + 1e-12));
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TasksByCores, SimulatorProperties,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 4, 17, 64, 257),
+                       ::testing::Values<unsigned>(2, 3, 4, 8)));
+
+TEST(TraceCollector, CapturesAnnotatedTasks) {
+  sim::TraceCollector trace;
+  {
+    mhpx::Runtime rt{{2, 64 * 1024}};
+    trace.map_scheduler(&rt.scheduler(), 0);
+    for (int i = 0; i < 10; ++i) {
+      mhpx::post([] { mhpx::instrument::annotate(50.0, 8.0); });
+    }
+    rt.scheduler().wait_idle();
+  }
+  const auto phases = trace.finish();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].tasks.size(), 10u);
+  EXPECT_DOUBLE_EQ(phases[0].total_flops(), 500.0);
+  EXPECT_DOUBLE_EQ(phases[0].total_task_bytes(), 80.0);
+}
+
+TEST(TraceCollector, PhaseBoundariesSplitWork) {
+  sim::TraceCollector trace;
+  {
+    mhpx::Runtime rt{{1, 64 * 1024}};
+    trace.map_scheduler(&rt.scheduler(), 0);
+    trace.begin_phase("a");
+    mhpx::post([] { mhpx::instrument::annotate(1.0, 0.0); });
+    rt.scheduler().wait_idle();
+    trace.begin_phase("b");
+    mhpx::post([] { mhpx::instrument::annotate(2.0, 0.0); });
+    mhpx::post([] { mhpx::instrument::annotate(3.0, 0.0); });
+    rt.scheduler().wait_idle();
+  }
+  const auto phases = trace.finish();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].name, "a");
+  EXPECT_DOUBLE_EQ(phases[0].total_flops(), 1.0);
+  EXPECT_EQ(phases[1].name, "b");
+  EXPECT_DOUBLE_EQ(phases[1].total_flops(), 5.0);
+}
+
+TEST(TraceCollector, AttributesTasksToLocalities) {
+  sim::TraceCollector trace;
+  {
+    mhpx::threads::Scheduler s0({1, 64 * 1024});
+    mhpx::threads::Scheduler s1({1, 64 * 1024});
+    trace.map_scheduler(&s0, 0);
+    trace.map_scheduler(&s1, 1);
+    s0.post([] { mhpx::instrument::annotate(10.0, 0.0); });
+    s1.post([] { mhpx::instrument::annotate(20.0, 0.0); });
+    s1.post([] { mhpx::instrument::annotate(30.0, 0.0); });
+    s0.wait_idle();
+    s1.wait_idle();
+  }
+  const auto phases = trace.finish();
+  ASSERT_EQ(phases.size(), 1u);
+  const auto loc0 = phases[0].tasks_of(0);
+  const auto loc1 = phases[0].tasks_of(1);
+  ASSERT_EQ(loc0.size(), 1u);
+  ASSERT_EQ(loc1.size(), 2u);
+  EXPECT_DOUBLE_EQ(loc0[0].flops, 10.0);
+}
+
+TEST(TraceCollector, EmptyTraceYieldsNoPhases) {
+  sim::TraceCollector trace;
+  EXPECT_TRUE(trace.finish().empty());
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Property/fuzz test: deserialising arbitrary bytes must either produce a
+// value or throw archive_error — never crash, never allocate unboundedly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "minihpx/distributed/parcel.hpp"
+#include "minihpx/serialization/archive.hpp"
+
+namespace {
+
+namespace ser = mhpx::serialization;
+
+template <typename T>
+void try_decode(const std::vector<std::byte>& bytes) {
+  try {
+    (void)ser::from_bytes<T>(bytes);
+  } catch (const ser::archive_error&) {
+    // expected for malformed input
+  }
+}
+
+std::vector<std::byte> random_bytes(std::mt19937& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) {
+    b = static_cast<std::byte>(rng() & 0xFF);
+  }
+  return out;
+}
+
+TEST(ArchiveFuzz, RandomBuffersNeverCrash) {
+  std::mt19937 rng(20260707);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto bytes = random_bytes(rng, rng() % 256);
+    try_decode<std::string>(bytes);
+    try_decode<std::vector<double>>(bytes);
+    try_decode<std::vector<std::string>>(bytes);
+    try_decode<std::map<int, std::string>>(bytes);
+    try_decode<std::optional<std::vector<int>>>(bytes);
+    try {
+      (void)mhpx::dist::decode_parcel(bytes);
+    } catch (const ser::archive_error&) {
+    }
+  }
+}
+
+TEST(ArchiveFuzz, TruncationsOfValidBuffersNeverCrash) {
+  // Take a real serialized value and decode every prefix of it.
+  std::map<std::string, std::vector<double>> value{
+      {"alpha", {1.0, 2.0, 3.0}}, {"beta", {}}, {"gamma", {-4.5}}};
+  const auto full = ser::to_bytes(value);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::byte> prefix(full.begin(),
+                                  full.begin() + static_cast<long>(cut));
+    try_decode<std::map<std::string, std::vector<double>>>(prefix);
+  }
+  // The full buffer decodes exactly.
+  EXPECT_EQ((ser::from_bytes<std::map<std::string, std::vector<double>>>(
+                full)),
+            value);
+}
+
+TEST(ArchiveFuzz, BitFlipsOfValidParcelsNeverCrash) {
+  mhpx::dist::Parcel p;
+  p.header.kind = mhpx::dist::ParcelKind::call;
+  p.header.action = mhpx::dist::fnv1a("fuzz::action");
+  p.payload = ser::to_bytes(std::vector<double>(64, 3.14));
+  const auto frame = mhpx::dist::encode_parcel(p);
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = frame;
+    // Flip 1-4 random bits.
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t byte = rng() % mutated.size();
+      mutated[byte] ^= static_cast<std::byte>(1u << (rng() % 8));
+    }
+    try {
+      (void)mhpx::dist::decode_parcel(mutated);
+    } catch (const ser::archive_error&) {
+    }
+  }
+}
+
+}  // namespace

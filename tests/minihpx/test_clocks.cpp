@@ -1,0 +1,69 @@
+// Unit tests for the hardware/software timer split (the RDTIME analogue).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "minihpx/chrono/clocks.hpp"
+
+namespace mc = mhpx::chrono;
+
+TEST(HardwareClock, TicksAreMonotonic) {
+  const auto a = mc::hardware_clock::now_ticks();
+  const auto b = mc::hardware_clock::now_ticks();
+  EXPECT_LE(a, b);
+}
+
+TEST(HardwareClock, CalibratedRateIsPlausible) {
+  const double rate = mc::hardware_clock::ticks_per_second();
+  // Anything from a 32 kHz RTC-style counter to a 10 GHz TSC is plausible;
+  // zero or negative is not.
+  EXPECT_GT(rate, 1e3);
+  EXPECT_LT(rate, 1e11);
+}
+
+TEST(HardwareClock, MeasuresElapsedTime) {
+  const double t0 = mc::hardware_clock::now_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const double t1 = mc::hardware_clock::now_seconds();
+  EXPECT_GE(t1 - t0, 0.020);
+  EXPECT_LT(t1 - t0, 5.0);
+}
+
+TEST(SoftwareClock, MeasuresElapsedTime) {
+  const double t0 = mc::software_clock::now_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const double t1 = mc::software_clock::now_seconds();
+  EXPECT_GE(t1 - t0, 0.020);
+  EXPECT_LT(t1 - t0, 5.0);
+}
+
+TEST(SoftwareClock, AlwaysAvailable) {
+  EXPECT_TRUE(mc::software_clock::available());
+  EXPECT_GT(mc::software_clock::ticks_per_second(), 0.0);
+}
+
+TEST(Timer, MeasuresAndRestarts) {
+  mc::timer<> t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double first = t.elapsed_seconds();
+  EXPECT_GE(first, 0.010);
+  t.restart();
+  const double second = t.elapsed_seconds();
+  EXPECT_LT(second, first);
+}
+
+TEST(ClockAgreement, HardwareAndSoftwareAgreeOnDuration) {
+  const double h0 = mc::hardware_clock::now_seconds();
+  const double s0 = mc::software_clock::now_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double h1 = mc::hardware_clock::now_seconds();
+  const double s1 = mc::software_clock::now_seconds();
+  const double dh = h1 - h0;
+  const double ds = s1 - s0;
+  // Same order of magnitude: the calibration window is short and the build
+  // host is a loaded single-core box, so allow generous slack; the point is
+  // that the hardware path measures *time*, not garbage.
+  EXPECT_GT(dh, 0.25 * ds);
+  EXPECT_LT(dh, 4.0 * ds);
+}

@@ -1,0 +1,75 @@
+// Tests for the distributed collectives (gather/reduce/barrier).
+
+#include <gtest/gtest.h>
+
+#include "minihpx/distributed/collectives.hpp"
+#include "minihpx/distributed/runtime.hpp"
+
+namespace {
+
+namespace md = mhpx::dist;
+
+struct RankAction {
+  static constexpr std::string_view name = "collectives_test::rank";
+  static std::uint32_t invoke(md::Locality& here) { return here.id(); }
+};
+MHPX_REGISTER_ACTION(RankAction);
+
+struct SquareAction {
+  static constexpr std::string_view name = "collectives_test::square";
+  static long invoke(md::Locality& here) {
+    const auto r = static_cast<long>(here.id()) + 1;
+    return r * r;
+  }
+};
+MHPX_REGISTER_ACTION(SquareAction);
+
+class CollectivesTest : public ::testing::TestWithParam<md::FabricKind> {
+ protected:
+  md::DistributedRuntime::Config config(unsigned n) const {
+    md::DistributedRuntime::Config cfg;
+    cfg.num_localities = n;
+    cfg.threads_per_locality = 2;
+    cfg.stack_size = 64 * 1024;
+    cfg.fabric = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(CollectivesTest, GatherAllCollectsInOrder) {
+  md::DistributedRuntime rt(config(3));
+  const auto ranks = md::gather_all<std::uint32_t>(rt, [&](md::locality_id l) {
+    return rt.locality(0).call<RankAction>(md::locality_gid(l));
+  });
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_EQ(ranks[0], 0u);
+  EXPECT_EQ(ranks[1], 1u);
+  EXPECT_EQ(ranks[2], 2u);
+}
+
+TEST_P(CollectivesTest, ReduceAllSums) {
+  md::DistributedRuntime rt(config(4));
+  const long sum = md::reduce_all<long>(
+      rt,
+      [&](md::locality_id l) {
+        return rt.locality(0).call<SquareAction>(md::locality_gid(l));
+      },
+      0L, [](long a, long b) { return a + b; });
+  EXPECT_EQ(sum, 1 + 4 + 9 + 16);
+}
+
+TEST_P(CollectivesTest, BarrierCompletes) {
+  md::DistributedRuntime rt(config(3));
+  md::barrier(rt);  // must not hang
+  md::barrier(rt);  // reusable
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, CollectivesTest,
+                         ::testing::Values(md::FabricKind::inproc,
+                                           md::FabricKind::tcp,
+                                           md::FabricKind::mpisim),
+                         [](const auto& param_info) {
+                           return std::string(md::to_string(param_info.param));
+                         });
+
+}  // namespace

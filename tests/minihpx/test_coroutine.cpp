@@ -1,0 +1,100 @@
+// Unit tests for C++20 coroutine integration (future as coroutine return
+// type + co_await on futures) — the Fig. 5 "future + coroutine" model.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "minihpx/coroutine/task.hpp"
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace {
+
+struct CoroutineTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+mhpx::future<int> coro_return_immediate() { co_return 17; }
+
+mhpx::future<int> coro_await_ready() {
+  const int v = co_await mhpx::make_ready_future(20);
+  co_return v + 1;
+}
+
+mhpx::future<int> coro_await_async() {
+  const int a = co_await mhpx::async([] { return 10; });
+  const int b = co_await mhpx::async([a] { return a * 3; });
+  co_return a + b;
+}
+
+mhpx::future<void> coro_void(std::atomic<int>& out) {
+  const int v = co_await mhpx::async([] { return 5; });
+  out.store(v);
+  co_return;
+}
+
+mhpx::future<int> coro_throws() {
+  co_await mhpx::make_ready_future();
+  throw std::runtime_error("coro-fail");
+}
+
+mhpx::future<int> coro_await_throwing() {
+  const int v = co_await mhpx::async([]() -> int {
+    throw std::domain_error("awaited-fail");
+  });
+  co_return v;
+}
+
+mhpx::future<long> coro_loop(int n) {
+  long sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += co_await mhpx::async([i] { return i; });
+  }
+  co_return sum;
+}
+
+TEST_F(CoroutineTest, CoReturnImmediate) {
+  EXPECT_EQ(coro_return_immediate().get(), 17);
+}
+
+TEST_F(CoroutineTest, AwaitReadyFuture) {
+  EXPECT_EQ(coro_await_ready().get(), 21);
+}
+
+TEST_F(CoroutineTest, AwaitAsyncChain) {
+  EXPECT_EQ(coro_await_async().get(), 40);
+}
+
+TEST_F(CoroutineTest, VoidCoroutine) {
+  std::atomic<int> out{0};
+  coro_void(out).get();
+  EXPECT_EQ(out.load(), 5);
+}
+
+TEST_F(CoroutineTest, ExceptionInBodyPropagates) {
+  EXPECT_THROW(coro_throws().get(), std::runtime_error);
+}
+
+TEST_F(CoroutineTest, ExceptionInAwaitedFuturePropagates) {
+  EXPECT_THROW(coro_await_throwing().get(), std::domain_error);
+}
+
+TEST_F(CoroutineTest, LoopOfAwaits) {
+  EXPECT_EQ(coro_loop(50).get(), 1225);
+}
+
+TEST_F(CoroutineTest, ManyConcurrentCoroutines) {
+  std::vector<mhpx::future<long>> futs;
+  futs.reserve(20);
+  for (int i = 0; i < 20; ++i) {
+    futs.push_back(coro_loop(10));
+  }
+  for (auto& f : futs) {
+    EXPECT_EQ(f.get(), 45);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for dataflow (join-on-futures task launch), shared_future, and the
+// scheduler performance counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "minihpx/futures/dataflow.hpp"
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace {
+
+struct DataflowTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST_F(DataflowTest, JoinsTwoFutures) {
+  auto a = mhpx::async([] { return 40; });
+  auto b = mhpx::async([] { return 2; });
+  auto c = mhpx::dataflow([](int x, int y) { return x + y; }, std::move(a),
+                          std::move(b));
+  EXPECT_EQ(c.get(), 42);
+}
+
+TEST_F(DataflowTest, MixesFuturesAndValues) {
+  auto a = mhpx::async([] { return std::string("x="); });
+  auto c = mhpx::dataflow(
+      [](std::string s, int v) { return s + std::to_string(v); },
+      std::move(a), 7);
+  EXPECT_EQ(c.get(), "x=7");
+}
+
+TEST_F(DataflowTest, NoFutureArgsRunsImmediately) {
+  auto c = mhpx::dataflow([](int v) { return v * 2; }, 21);
+  EXPECT_EQ(c.get(), 42);
+}
+
+TEST_F(DataflowTest, VoidResult) {
+  std::atomic<int> seen{0};
+  auto a = mhpx::async([] { return 5; });
+  auto c = mhpx::dataflow([&](int v) { seen.store(v); }, std::move(a));
+  c.get();
+  EXPECT_EQ(seen.load(), 5);
+}
+
+TEST_F(DataflowTest, ErrorInInputPropagates) {
+  auto bad = mhpx::async([]() -> int { throw std::runtime_error("df"); });
+  auto c = mhpx::dataflow([](int v) { return v; }, std::move(bad));
+  EXPECT_THROW(c.get(), std::runtime_error);
+}
+
+TEST_F(DataflowTest, DoesNotRunUntilAllReady) {
+  mhpx::promise<int> gate;
+  std::atomic<bool> ran{false};
+  auto ready = mhpx::make_ready_future(1);
+  auto c = mhpx::dataflow(
+      [&](int a, int b) {
+        ran.store(true);
+        return a + b;
+      },
+      std::move(ready), gate.get_future());
+  EXPECT_FALSE(ran.load());
+  gate.set_value(2);
+  EXPECT_EQ(c.get(), 3);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST_F(DataflowTest, ChainsOfDataflows) {
+  auto a = mhpx::dataflow([] { return 1; });
+  auto b = mhpx::dataflow([](int x) { return x + 1; }, std::move(a));
+  auto c = mhpx::dataflow([](int x) { return x * 10; }, std::move(b));
+  EXPECT_EQ(c.get(), 20);
+}
+
+TEST_F(DataflowTest, WideJoin) {
+  std::vector<mhpx::future<int>> parts;
+  // dataflow is variadic; emulate a wide join with nested pairs.
+  auto f1 = mhpx::async([] { return 1; });
+  auto f2 = mhpx::async([] { return 2; });
+  auto f3 = mhpx::async([] { return 3; });
+  auto f4 = mhpx::async([] { return 4; });
+  auto c = mhpx::dataflow(
+      [](int a, int b, int x, int y) { return a + b + x + y; },
+      std::move(f1), std::move(f2), std::move(f3), std::move(f4));
+  EXPECT_EQ(c.get(), 10);
+}
+
+TEST_F(DataflowTest, SharedFutureMultipleGets) {
+  auto sf = mhpx::share(mhpx::async([] { return 11; }));
+  EXPECT_EQ(sf.get(), 11);
+  EXPECT_EQ(sf.get(), 11);  // not consumed
+  auto copy = sf;
+  EXPECT_EQ(copy.get(), 11);
+}
+
+TEST_F(DataflowTest, SharedFutureMultipleThens) {
+  auto sf = mhpx::share(mhpx::async([] { return 3; }));
+  auto a = sf.then([](int v) { return v + 1; });
+  auto b = sf.then([](int v) { return v * 10; });
+  EXPECT_EQ(a.get(), 4);
+  EXPECT_EQ(b.get(), 30);
+}
+
+TEST_F(DataflowTest, SharedFutureVoid) {
+  auto sf = mhpx::share(mhpx::async([] {}));
+  sf.get();
+  sf.get();
+}
+
+TEST_F(DataflowTest, SharedFutureInvalidThrows) {
+  mhpx::shared_future<int> sf;
+  EXPECT_FALSE(sf.valid());
+  EXPECT_THROW(sf.get(), std::runtime_error);
+}
+
+TEST(SchedulerCounters, CountsWork) {
+  mhpx::threads::Scheduler sched({2, 64 * 1024});
+  const auto before = sched.counters();
+  std::atomic<int> n{0};
+  for (int i = 0; i < 20; ++i) {
+    sched.post([&] { n.fetch_add(1); });
+  }
+  sched.wait_idle();
+  const auto after = sched.counters();
+  EXPECT_EQ(after.tasks_executed - before.tasks_executed, 20u);
+  // Posted from an external thread: they arrive through the inject queue.
+  EXPECT_GE(after.tasks_injected, before.tasks_injected);
+}
+
+TEST(SchedulerCounters, CountsSuspensionsAndYields) {
+  mhpx::threads::Scheduler sched({1, 64 * 1024});
+  sched.post([&] {
+    mhpx::threads::Scheduler::yield();
+    sched.suspend_current(
+        [&](mhpx::threads::TaskHandle h) { sched.resume(h); });
+  });
+  sched.wait_idle();
+  const auto c = sched.counters();
+  EXPECT_GE(c.yields, 1u);
+  EXPECT_GE(c.suspensions, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,241 @@
+// Integration tests for the distributed layer: localities, components,
+// actions and all three parcelports (inproc / tcp / mpisim).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "minihpx/distributed/runtime.hpp"
+#include "minihpx/futures/future.hpp"
+
+namespace {
+
+using namespace mhpx::dist;
+
+// ------------------------------------------------------------- test actions
+
+struct PingAction {
+  static constexpr std::string_view name = "test::ping";
+  static int invoke(Locality& /*here*/, int x) { return x + 1; }
+};
+MHPX_REGISTER_ACTION(PingAction);
+
+struct WhereAmIAction {
+  static constexpr std::string_view name = "test::where";
+  static std::uint32_t invoke(Locality& here) { return here.id(); }
+};
+MHPX_REGISTER_ACTION(WhereAmIAction);
+
+struct ThrowingAction {
+  static constexpr std::string_view name = "test::throws";
+  static int invoke(Locality&, int) {
+    throw std::runtime_error("remote boom");
+  }
+};
+MHPX_REGISTER_ACTION(ThrowingAction);
+
+struct SumVectorAction {
+  static constexpr std::string_view name = "test::sum_vector";
+  static double invoke(Locality&, std::vector<double> v) {
+    return std::accumulate(v.begin(), v.end(), 0.0);
+  }
+};
+MHPX_REGISTER_ACTION(SumVectorAction);
+
+// ----------------------------------------------------------- test component
+
+class Counter : public Component {
+ public:
+  static constexpr std::string_view type_name = "test::Counter";
+  using ctor_args = std::tuple<long>;
+
+  Counter(Locality& /*here*/, long initial) : value_(initial) {}
+
+  long add(long delta) { return value_ += delta; }
+  [[nodiscard]] long value() const { return value_; }
+
+ private:
+  long value_;
+};
+MHPX_REGISTER_COMPONENT(Counter);
+
+struct CounterAdd {
+  static constexpr std::string_view name = "test::Counter::add";
+  static long invoke(Locality&, Counter& self, long delta) {
+    return self.add(delta);
+  }
+};
+MHPX_REGISTER_ACTION(CounterAdd);
+
+struct CounterGet {
+  static constexpr std::string_view name = "test::Counter::get";
+  static long invoke(Locality&, Counter& self) { return self.value(); }
+};
+MHPX_REGISTER_ACTION(CounterGet);
+
+// -------------------------------------------------------- parameterised rig
+
+class DistributedTest : public ::testing::TestWithParam<FabricKind> {
+ protected:
+  DistributedRuntime::Config config(unsigned localities = 2) const {
+    DistributedRuntime::Config cfg;
+    cfg.num_localities = localities;
+    cfg.threads_per_locality = 2;
+    cfg.stack_size = 64 * 1024;
+    cfg.fabric = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(DistributedTest, LocalityBasics) {
+  DistributedRuntime rt(config());
+  EXPECT_EQ(rt.num_localities(), 2u);
+  EXPECT_EQ(rt.locality(0).id(), 0u);
+  EXPECT_EQ(rt.locality(1).id(), 1u);
+  EXPECT_EQ(rt.fabric().name(), to_string(GetParam()));
+}
+
+TEST_P(DistributedTest, RemoteActionRoundTrip) {
+  DistributedRuntime rt(config());
+  auto f = rt.locality(0).call<PingAction>(locality_gid(1), 41);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST_P(DistributedTest, LocalCallShortCircuits) {
+  DistributedRuntime rt(config());
+  const auto before = rt.fabric().stats().messages;
+  auto f = rt.locality(0).call<PingAction>(locality_gid(0), 1);
+  EXPECT_EQ(f.get(), 2);
+  // inproc counts local sends too only when routed via fabric; a local call
+  // must not touch the fabric at all.
+  EXPECT_EQ(rt.fabric().stats().messages, before);
+}
+
+TEST_P(DistributedTest, ActionRunsOnTargetLocality) {
+  DistributedRuntime rt(config());
+  EXPECT_EQ(rt.locality(0).call<WhereAmIAction>(locality_gid(1)).get(), 1u);
+  EXPECT_EQ(rt.locality(1).call<WhereAmIAction>(locality_gid(0)).get(), 0u);
+  EXPECT_EQ(rt.locality(0).call<WhereAmIAction>(locality_gid(0)).get(), 0u);
+}
+
+TEST_P(DistributedTest, RemoteExceptionPropagates) {
+  DistributedRuntime rt(config());
+  auto f = rt.locality(0).call<ThrowingAction>(locality_gid(1), 0);
+  try {
+    f.get();
+    FAIL() << "expected remote_error";
+  } catch (const remote_error& e) {
+    EXPECT_STREQ(e.what(), "remote boom");
+  }
+}
+
+TEST_P(DistributedTest, LargePayloadRoundTrip) {
+  DistributedRuntime rt(config());
+  std::vector<double> big(200000);  // 1.6 MB: exceeds the mpisim eager limit
+  std::iota(big.begin(), big.end(), 0.0);
+  const double expected = std::accumulate(big.begin(), big.end(), 0.0);
+  auto f = rt.locality(0).call<SumVectorAction>(locality_gid(1), big);
+  EXPECT_DOUBLE_EQ(f.get(), expected);
+}
+
+TEST_P(DistributedTest, ComponentCreateLocal) {
+  DistributedRuntime rt(config());
+  auto& loc = rt.locality(0);
+  const gid g = loc.create_local<Counter>(10L);
+  EXPECT_EQ(g.locality, 0u);
+  EXPECT_EQ(loc.local<Counter>(g).value(), 10);
+  EXPECT_EQ(loc.component_count(), 1u);
+  loc.destroy(g);
+  EXPECT_EQ(loc.component_count(), 0u);
+}
+
+TEST_P(DistributedTest, ComponentCreateRemote) {
+  DistributedRuntime rt(config());
+  auto g = rt.locality(0).create_on<Counter>(1, 100L).get();
+  EXPECT_EQ(g.locality, 1u);
+  EXPECT_EQ(rt.locality(1).component_count(), 1u);
+  EXPECT_EQ(rt.locality(0).call<CounterGet>(g).get(), 100);
+}
+
+TEST_P(DistributedTest, ComponentActionsMutateRemoteState) {
+  DistributedRuntime rt(config());
+  auto g = rt.locality(0).create_on<Counter>(1, 0L).get();
+  for (long i = 1; i <= 10; ++i) {
+    rt.locality(0).call<CounterAdd>(g, i).get();
+  }
+  EXPECT_EQ(rt.locality(0).call<CounterGet>(g).get(), 55);
+}
+
+TEST_P(DistributedTest, ManyConcurrentRemoteCalls) {
+  DistributedRuntime rt(config());
+  std::vector<mhpx::future<int>> futs;
+  futs.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(rt.locality(0).call<PingAction>(locality_gid(1), i));
+  }
+  long sum = 0;
+  for (auto& f : futs) {
+    sum += f.get();
+  }
+  EXPECT_EQ(sum, 5050);  // sum of 1..100
+}
+
+TEST_P(DistributedTest, BidirectionalTraffic) {
+  DistributedRuntime rt(config());
+  auto f01 = rt.locality(0).call<PingAction>(locality_gid(1), 1);
+  auto f10 = rt.locality(1).call<PingAction>(locality_gid(0), 2);
+  EXPECT_EQ(f01.get(), 2);
+  EXPECT_EQ(f10.get(), 3);
+}
+
+TEST_P(DistributedTest, FourLocalities) {
+  DistributedRuntime rt(config(4));
+  for (locality_id src = 0; src < 4; ++src) {
+    for (locality_id dst = 0; dst < 4; ++dst) {
+      auto v = rt.locality(src)
+                   .call<WhereAmIAction>(locality_gid(dst))
+                   .get();
+      EXPECT_EQ(v, dst);
+    }
+  }
+}
+
+TEST_P(DistributedTest, FabricCountsTraffic) {
+  DistributedRuntime rt(config());
+  rt.locality(0).call<PingAction>(locality_gid(1), 1).get();
+  const auto stats = rt.fabric().stats();
+  EXPECT_GE(stats.messages, 2u);  // request + reply
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFabrics, DistributedTest,
+                         ::testing::Values(FabricKind::inproc, FabricKind::tcp,
+                                           FabricKind::mpisim),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(DistributedMpiSim, RendezvousCountsLargeMessages) {
+  DistributedRuntime::Config cfg;
+  cfg.num_localities = 2;
+  cfg.threads_per_locality = 2;
+  cfg.stack_size = 64 * 1024;
+  cfg.fabric = FabricKind::mpisim;
+  DistributedRuntime rt(cfg);
+
+  // Small message: eager, no rendezvous.
+  rt.locality(0).call<PingAction>(locality_gid(1), 1).get();
+  EXPECT_EQ(rt.fabric().stats().rendezvous_messages, 0u);
+
+  // Large message: must pay the rendezvous round trip.
+  std::vector<double> big(20000);  // 160 KB > 64 KiB eager limit
+  rt.locality(0).call<SumVectorAction>(locality_gid(1), big).get();
+  const auto stats = rt.fabric().stats();
+  EXPECT_EQ(stats.rendezvous_messages, 1u);
+  EXPECT_EQ(stats.control_messages, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Failure-injection tests for the distributed layer: corrupted and
+// truncated frames, unknown actions, and hostile payload lengths must be
+// contained — dropped or surfaced as errors, never crashes.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "minihpx/distributed/runtime.hpp"
+
+namespace {
+
+namespace md = mhpx::dist;
+
+struct EchoIntAction {
+  static constexpr std::string_view name = "failtest::echo";
+  static int invoke(md::Locality&, int v) { return v; }
+};
+MHPX_REGISTER_ACTION(EchoIntAction);
+
+md::DistributedRuntime::Config config() {
+  md::DistributedRuntime::Config cfg;
+  cfg.num_localities = 2;
+  cfg.threads_per_locality = 2;
+  cfg.stack_size = 64 * 1024;
+  cfg.fabric = md::FabricKind::inproc;
+  return cfg;
+}
+
+TEST(FailureInjection, GarbageFrameIsDroppedNotFatal) {
+  md::DistributedRuntime rt(config());
+  // Inject random bytes straight into locality 1's delivery path.
+  std::vector<std::byte> garbage(37);
+  for (std::size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::byte>(i * 41 + 7);
+  }
+  rt.locality(1).deliver(0, garbage);
+  EXPECT_EQ(rt.locality(1).dropped_frames(), 1u);
+  // The locality still works.
+  EXPECT_EQ(rt.locality(0)
+                .call<EchoIntAction>(md::locality_gid(1), 9)
+                .get(),
+            9);
+}
+
+TEST(FailureInjection, TruncatedFrameIsDropped) {
+  md::DistributedRuntime rt(config());
+  // A real frame, cut short mid-payload.
+  md::Parcel p;
+  p.header.kind = md::ParcelKind::call;
+  p.header.destination = 1;
+  p.payload.assign(64, std::byte{0x5A});
+  auto frame = md::encode_parcel(p);
+  frame.resize(frame.size() / 2);
+  rt.locality(1).deliver(0, frame);
+  EXPECT_EQ(rt.locality(1).dropped_frames(), 1u);
+}
+
+TEST(FailureInjection, EmptyFrameIsDropped) {
+  md::DistributedRuntime rt(config());
+  rt.locality(1).deliver(0, {});
+  EXPECT_EQ(rt.locality(1).dropped_frames(), 1u);
+}
+
+TEST(FailureInjection, UnknownActionYieldsRemoteError) {
+  md::DistributedRuntime rt(config());
+  // Hand-craft a call parcel with an unregistered action hash. Route it
+  // through the real path with a fake pending request via a direct frame:
+  // easier: register nothing and call through the typed API with a bogus
+  // name is impossible, so build the frame manually.
+  md::Parcel p;
+  p.header.kind = md::ParcelKind::call;
+  p.header.source = 0;
+  p.header.destination = 1;
+  p.header.action = md::fnv1a("no::such::action");
+  p.header.request = 424242;  // no pending entry: the reply will be dropped
+  rt.locality(1).deliver(0, md::encode_parcel(p));
+  // Give the handler task a moment; the reply lands at locality 0 and is
+  // dropped (unknown request id) — no crash, no leak.
+  rt.wait_all_idle();
+  EXPECT_EQ(rt.locality(1).dropped_frames(), 0u);  // frame itself was valid
+}
+
+TEST(FailureInjection, CorruptKindByteIsDropped) {
+  md::DistributedRuntime rt(config());
+  md::Parcel p;
+  p.header.kind = static_cast<md::ParcelKind>(0xEE);
+  p.header.destination = 1;
+  rt.locality(1).deliver(0, md::encode_parcel(p));
+  rt.wait_all_idle();
+  EXPECT_EQ(rt.locality(1).dropped_frames(), 1u);
+}
+
+TEST(FailureInjection, HostilePayloadLengthIsContained) {
+  md::DistributedRuntime rt(config());
+  // Frame whose embedded payload length claims far more bytes than exist.
+  mhpx::serialization::OutputArchive ar;
+  md::ParcelHeader h;
+  h.kind = md::ParcelKind::call;
+  h.destination = 1;
+  ar& h;
+  const std::uint64_t huge = 1ull << 40;
+  ar& huge;  // payload length with no payload behind it
+  rt.locality(1).deliver(0, std::move(ar).take());
+  EXPECT_EQ(rt.locality(1).dropped_frames(), 1u);
+}
+
+TEST(FailureInjection, ManyGarbageFramesUnderLoad) {
+  md::DistributedRuntime rt(config());
+  std::vector<mhpx::future<int>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(rt.locality(0).call<EchoIntAction>(md::locality_gid(1), i));
+    std::vector<std::byte> junk(i + 1, std::byte{0xFF});
+    rt.locality(1).deliver(0, junk);
+  }
+  long sum = 0;
+  for (auto& f : futs) {
+    sum += f.get();
+  }
+  EXPECT_EQ(sum, 49 * 50 / 2);
+  EXPECT_EQ(rt.locality(1).dropped_frames(), 50u);
+}
+
+}  // namespace

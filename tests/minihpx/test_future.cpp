@@ -1,0 +1,227 @@
+// Unit tests for futures, promises, async, continuations and combinators.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace {
+
+struct RuntimeFixture : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+using FutureTest = RuntimeFixture;
+
+TEST(FutureNoRuntime, DefaultConstructedIsInvalid) {
+  mhpx::future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(FutureNoRuntime, MakeReadyFuture) {
+  auto f = mhpx::make_ready_future(7);
+  ASSERT_TRUE(f.valid());
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), 7);
+  EXPECT_FALSE(f.valid());  // get() consumes
+}
+
+TEST(FutureNoRuntime, MakeReadyFutureVoid) {
+  auto f = mhpx::make_ready_future();
+  EXPECT_TRUE(f.is_ready());
+  f.get();
+}
+
+TEST(FutureNoRuntime, ExceptionalFutureRethrows) {
+  auto f = mhpx::make_exceptional_future<int>(
+      std::make_exception_ptr(std::logic_error("boom")));
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(FutureNoRuntime, PromiseSetBeforeGet) {
+  mhpx::promise<std::string> p;
+  auto f = p.get_future();
+  p.set_value("hello");
+  EXPECT_EQ(f.get(), "hello");
+}
+
+TEST(FutureNoRuntime, PromiseDoubleFutureThrows) {
+  mhpx::promise<int> p;
+  auto f = p.get_future();
+  EXPECT_THROW((void)p.get_future(), std::runtime_error);
+}
+
+TEST(FutureNoRuntime, ThenRunsInlineWithoutRuntime) {
+  auto f = mhpx::make_ready_future(20).then([](int v) { return v + 1; });
+  EXPECT_EQ(f.get(), 21);
+}
+
+TEST_F(FutureTest, AsyncReturnsValue) {
+  auto f = mhpx::async([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(FutureTest, AsyncForwardsArguments) {
+  auto f = mhpx::async([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(FutureTest, AsyncVoid) {
+  std::atomic<bool> ran{false};
+  auto f = mhpx::async([&] { ran.store(true); });
+  f.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST_F(FutureTest, AsyncPropagatesException) {
+  auto f = mhpx::async([]() -> int { throw std::domain_error("bad"); });
+  EXPECT_THROW(f.get(), std::domain_error);
+}
+
+TEST_F(FutureTest, GetFromExternalThreadBlocks) {
+  mhpx::promise<int> p;
+  auto f = p.get_future();
+  std::thread setter([&p] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    p.set_value(5);
+  });
+  EXPECT_EQ(f.get(), 5);
+  setter.join();
+}
+
+TEST_F(FutureTest, GetInsideTaskSuspendsFiber) {
+  // Waiting inside a task must not wedge a 1-worker scheduler: the waiting
+  // fiber suspends and the worker runs the producer task.
+  mhpx::Runtime* rt = mhpx::Runtime::instance();
+  ASSERT_NE(rt, nullptr);
+  mhpx::promise<int> p;
+  auto consumer = mhpx::async([&p] {
+    auto f = p.get_future();
+    return f.get() + 1;
+  });
+  auto producer = mhpx::async([&p] { p.set_value(41); });
+  producer.get();
+  EXPECT_EQ(consumer.get(), 42);
+}
+
+TEST_F(FutureTest, ThenChainsValues) {
+  auto f = mhpx::async([] { return 10; })
+               .then([](int v) { return v * 2; })
+               .then([](int v) { return v + 2; });
+  EXPECT_EQ(f.get(), 22);
+}
+
+TEST_F(FutureTest, ThenVoidToValue) {
+  auto f = mhpx::async([] {}).then([] { return std::string("done"); });
+  EXPECT_EQ(f.get(), "done");
+}
+
+TEST_F(FutureTest, ThenValueToVoid) {
+  std::atomic<int> seen{0};
+  auto f = mhpx::async([] { return 9; }).then([&](int v) { seen.store(v); });
+  f.get();
+  EXPECT_EQ(seen.load(), 9);
+}
+
+TEST_F(FutureTest, ThenSkipsBodyOnException) {
+  std::atomic<bool> called{false};
+  auto f = mhpx::async([]() -> int { throw std::runtime_error("x"); })
+               .then([&](int v) {
+                 called.store(true);
+                 return v;
+               });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_FALSE(called.load());
+}
+
+TEST_F(FutureTest, WhenAllVector) {
+  std::vector<mhpx::future<int>> futs;
+  futs.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(mhpx::async([i] { return i * i; }));
+  }
+  auto all = mhpx::when_all(std::move(futs)).get();
+  int sum = 0;
+  for (auto& f : all) {
+    EXPECT_TRUE(f.is_ready());
+    sum += f.get();
+  }
+  EXPECT_EQ(sum, 1240);  // sum of squares 0..15
+}
+
+TEST_F(FutureTest, WhenAllEmptyVector) {
+  auto all = mhpx::when_all(std::vector<mhpx::future<int>>{}).get();
+  EXPECT_TRUE(all.empty());
+}
+
+TEST_F(FutureTest, WhenAllVariadic) {
+  auto a = mhpx::async([] { return 1; });
+  auto b = mhpx::async([] { return std::string("two"); });
+  auto tup = mhpx::when_all(std::move(a), std::move(b)).get();
+  EXPECT_EQ(std::get<0>(tup).get(), 1);
+  EXPECT_EQ(std::get<1>(tup).get(), "two");
+}
+
+TEST_F(FutureTest, WhenAnyReturnsFirstReady) {
+  mhpx::promise<int> blocked;
+  std::vector<mhpx::future<int>> futs;
+  futs.push_back(blocked.get_future());
+  futs.push_back(mhpx::make_ready_future(99));
+  auto any = mhpx::when_any(std::move(futs)).get();
+  EXPECT_EQ(any.index, 1u);
+  EXPECT_EQ(any.futures[1].get(), 99);
+  blocked.set_value(0);  // avoid leaking a never-set promise waiter
+}
+
+TEST_F(FutureTest, WhenAnyEmptyThrows) {
+  EXPECT_THROW(mhpx::when_any(std::vector<mhpx::future<int>>{}),
+               std::invalid_argument);
+}
+
+TEST_F(FutureTest, UnwrapCollapsesNestedFuture) {
+  auto outer = mhpx::async([] { return mhpx::make_ready_future(123); });
+  auto inner = mhpx::unwrap(std::move(outer));
+  EXPECT_EQ(inner.get(), 123);
+}
+
+TEST_F(FutureTest, UnwrapPropagatesInnerException) {
+  auto outer = mhpx::async([] {
+    return mhpx::make_exceptional_future<int>(
+        std::make_exception_ptr(std::logic_error("inner")));
+  });
+  auto inner = mhpx::unwrap(std::move(outer));
+  EXPECT_THROW(inner.get(), std::logic_error);
+}
+
+TEST_F(FutureTest, LargeFanOutCompletes) {
+  constexpr int kTasks = 500;
+  std::vector<mhpx::future<int>> futs;
+  futs.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futs.push_back(mhpx::async([i] { return i; }));
+  }
+  auto all = mhpx::when_all(std::move(futs)).get();
+  long sum = 0;
+  for (auto& f : all) {
+    sum += f.get();
+  }
+  EXPECT_EQ(sum, static_cast<long>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST_F(FutureTest, DeepThenChain) {
+  auto f = mhpx::make_ready_future(0);
+  for (int i = 0; i < 100; ++i) {
+    f = f.then([](int v) { return v + 1; });
+  }
+  EXPECT_EQ(f.get(), 100);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Tests for the wider parallel-algorithm surface and the serialization
+// additions (optional / map / unordered_map).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "minihpx/parallel/more_algorithms.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/serialization/archive.hpp"
+
+namespace {
+
+namespace ex = mhpx::execution;
+
+struct MoreAlgosTest : ::testing::Test {
+  mhpx::Runtime runtime{{3, 64 * 1024}};
+};
+
+TEST_F(MoreAlgosTest, TransformParMatchesSeq) {
+  std::vector<int> in(5000);
+  std::iota(in.begin(), in.end(), 0);
+  std::vector<int> a(in.size());
+  std::vector<int> b(in.size());
+  mhpx::transform(ex::seq, in.begin(), in.end(), a.begin(),
+                  [](int v) { return v * 3 + 1; });
+  auto end = mhpx::transform(ex::par, in.begin(), in.end(), b.begin(),
+                             [](int v) { return v * 3 + 1; });
+  EXPECT_EQ(end, b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(MoreAlgosTest, FillAndCopy) {
+  std::vector<double> v(1000, 0.0);
+  mhpx::fill(ex::par, v.begin(), v.end(), 2.5);
+  EXPECT_DOUBLE_EQ(v[17], 2.5);
+  EXPECT_DOUBLE_EQ(v[999], 2.5);
+  std::vector<double> w(v.size());
+  mhpx::copy(ex::par, v.begin(), v.end(), w.begin());
+  EXPECT_EQ(v, w);
+}
+
+TEST_F(MoreAlgosTest, CountIf) {
+  std::vector<int> v(10000);
+  std::iota(v.begin(), v.end(), 0);
+  const auto n = mhpx::count_if(ex::par, v.begin(), v.end(),
+                                [](int x) { return x % 7 == 0; });
+  EXPECT_EQ(n, 1429u);  // 0, 7, ..., 9996
+}
+
+TEST_F(MoreAlgosTest, PredicateAlgorithms) {
+  std::vector<int> v(2000, 2);
+  EXPECT_TRUE(mhpx::all_of(ex::par, v.begin(), v.end(),
+                           [](int x) { return x == 2; }));
+  EXPECT_FALSE(mhpx::any_of(ex::par, v.begin(), v.end(),
+                            [](int x) { return x == 3; }));
+  EXPECT_TRUE(mhpx::none_of(ex::par, v.begin(), v.end(),
+                            [](int x) { return x < 0; }));
+  v[1234] = -1;
+  EXPECT_FALSE(mhpx::all_of(ex::par, v.begin(), v.end(),
+                            [](int x) { return x == 2; }));
+  EXPECT_TRUE(mhpx::any_of(ex::par, v.begin(), v.end(),
+                           [](int x) { return x < 0; }));
+}
+
+TEST_F(MoreAlgosTest, MinMaxValues) {
+  std::vector<double> v(3000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(static_cast<double>(i));
+  }
+  const double lo = mhpx::min_value(ex::par, v.begin(), v.end());
+  const double hi = mhpx::max_value(ex::par, v.begin(), v.end());
+  EXPECT_DOUBLE_EQ(lo, *std::min_element(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(hi, *std::max_element(v.begin(), v.end()));
+}
+
+TEST_F(MoreAlgosTest, InclusiveScanMatchesStd) {
+  std::vector<long> v(4097);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<long>(i % 13) - 6;
+  }
+  std::vector<long> expect(v.size());
+  std::partial_sum(v.begin(), v.end(), expect.begin());
+  std::vector<long> got(v.size());
+  mhpx::inclusive_scan(ex::par, v.begin(), v.end(), got.begin());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(MoreAlgosTest, InclusiveScanInPlace) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  mhpx::inclusive_scan(ex::par.with_chunks(2), v.begin(), v.end(), v.begin());
+  EXPECT_EQ(v, (std::vector<int>{1, 3, 6, 10, 15}));
+}
+
+TEST_F(MoreAlgosTest, EmptyRanges) {
+  std::vector<int> v;
+  std::vector<int> out;
+  EXPECT_EQ(mhpx::transform(ex::par, v.begin(), v.end(), out.begin(),
+                            [](int x) { return x; }),
+            out.begin());
+  EXPECT_EQ(mhpx::count_if(ex::par, v.begin(), v.end(),
+                           [](int) { return true; }),
+            0u);
+  EXPECT_TRUE(mhpx::all_of(ex::par, v.begin(), v.end(),
+                           [](int) { return false; }));
+}
+
+// ------------------------------ serialization additions -----------------
+
+namespace ser = mhpx::serialization;
+
+template <typename T>
+T round_trip(const T& v) {
+  return ser::from_bytes<T>(ser::to_bytes(v));
+}
+
+TEST(SerializationMore, Optional) {
+  EXPECT_EQ(round_trip(std::optional<int>{42}), std::optional<int>{42});
+  EXPECT_EQ(round_trip(std::optional<int>{}), std::optional<int>{});
+  EXPECT_EQ(round_trip(std::optional<std::string>{"abc"}),
+            std::optional<std::string>{"abc"});
+}
+
+TEST(SerializationMore, Map) {
+  std::map<int, std::string> m{{1, "one"}, {2, "two"}, {-5, ""}};
+  EXPECT_EQ(round_trip(m), m);
+  EXPECT_EQ(round_trip(std::map<int, int>{}), (std::map<int, int>{}));
+}
+
+TEST(SerializationMore, UnorderedMap) {
+  std::unordered_map<std::string, double> m{{"pi", 3.14}, {"e", 2.72}};
+  EXPECT_EQ(round_trip(m), m);
+}
+
+TEST(SerializationMore, NestedContainers) {
+  std::map<std::string, std::vector<int>> m{{"a", {1, 2}}, {"b", {}}};
+  EXPECT_EQ(round_trip(m), m);
+  std::optional<std::map<int, int>> om{{{7, 8}}};
+  EXPECT_EQ(round_trip(om), om);
+}
+
+TEST(SerializationMore, HostileMapSizeThrows) {
+  ser::OutputArchive out;
+  const std::uint64_t huge = 1ull << 50;
+  out.write_bytes(&huge, sizeof(huge));
+  const auto bytes = std::move(out).take();
+  EXPECT_THROW((ser::from_bytes<std::map<int, int>>(bytes)),
+               ser::archive_error);
+}
+
+}  // namespace

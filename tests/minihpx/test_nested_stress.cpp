@@ -1,0 +1,73 @@
+// Regression stress for the FiberCv parking protocol.
+//
+// The Octo-Tiger level-4 + Kokkos-HPX configuration exposed a race in the
+// original FiberCv hand-off (the suspend hook manipulated the waiter's
+// unique_lock from the worker thread; under a thousand concurrent
+// outer-task latch waits with nested inner fan-outs, a waiter could be
+// observed before the cross-thread unlock completed). This test recreates
+// that shape — many outer tasks, each suspending on a latch joined by a
+// nested task fan-out — at a size that made the old protocol fail within a
+// few runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "minihpx/parallel/algorithms.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/latch.hpp"
+
+namespace {
+
+TEST(NestedFanOutStress, ManyOuterTasksWithInnerBulkJoins) {
+  mhpx::Runtime rt{{4, 128 * 1024}};
+  constexpr int kOuter = 600;
+  constexpr int kRounds = 3;
+  std::atomic<long> total{0};
+
+  for (int round = 0; round < kRounds; ++round) {
+    mhpx::sync::latch outer_done(kOuter);
+    for (int o = 0; o < kOuter; ++o) {
+      mhpx::post([&total, &outer_done] {
+        // Nested fan-out: the outer fiber suspends on the inner join
+        // (exactly the Kokkos-HPX execution-space shape).
+        std::atomic<long> local{0};
+        mhpx::for_loop(mhpx::execution::par.with_chunks(8), 0, 64,
+                       [&local](std::size_t i) {
+                         local.fetch_add(static_cast<long>(i));
+                       });
+        total.fetch_add(local.load());
+        outer_done.count_down();
+      });
+    }
+    outer_done.wait();
+  }
+  EXPECT_EQ(total.load(),
+            static_cast<long>(kRounds) * kOuter * (63 * 64 / 2));
+}
+
+TEST(NestedFanOutStress, RepeatedLatchReuseAtSameStackDepth) {
+  // Back-to-back nested joins from the same fiber: each round constructs a
+  // fresh latch at the same stack address — the reuse pattern of
+  // consecutive kernel launches inside one leaf task.
+  mhpx::Runtime rt{{3, 128 * 1024}};
+  std::atomic<int> done{0};
+  mhpx::sync::latch all(100);
+  for (int o = 0; o < 100; ++o) {
+    mhpx::post([&done, &all] {
+      for (int k = 0; k < 10; ++k) {
+        mhpx::sync::latch inner(4);
+        for (int i = 0; i < 4; ++i) {
+          mhpx::post([&inner] { inner.count_down(); });
+        }
+        inner.wait();
+      }
+      done.fetch_add(1);
+      all.count_down();
+    });
+  }
+  all.wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Unit and property tests for the parallel algorithms.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "minihpx/parallel/algorithms.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace {
+
+namespace ex = mhpx::execution;
+
+struct ParallelTest : ::testing::Test {
+  mhpx::Runtime runtime{{3, 64 * 1024}};
+};
+
+TEST_F(ParallelTest, ForEachSeq) {
+  std::vector<int> v(100, 1);
+  mhpx::for_each(ex::seq, v.begin(), v.end(), [](int& x) { x *= 2; });
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 200);
+}
+
+TEST_F(ParallelTest, ForEachPar) {
+  std::vector<int> v(10000, 1);
+  mhpx::for_each(ex::par, v.begin(), v.end(), [](int& x) { x += 1; });
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0L), 20000);
+}
+
+TEST_F(ParallelTest, ForEachParUnseq) {
+  std::vector<double> v(5000, 0.5);
+  mhpx::for_each(ex::par_unseq, v.begin(), v.end(),
+                 [](double& x) { x = x * x; });
+  EXPECT_NEAR(std::accumulate(v.begin(), v.end(), 0.0), 1250.0, 1e-9);
+}
+
+TEST_F(ParallelTest, ForEachEmptyRange) {
+  std::vector<int> v;
+  mhpx::for_each(ex::par, v.begin(), v.end(), [](int&) { FAIL(); });
+}
+
+TEST_F(ParallelTest, ForEachVisitsEachElementOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  std::vector<std::size_t> idx(1000);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  mhpx::for_each(ex::par, idx.begin(), idx.end(),
+                 [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST_F(ParallelTest, ForEachCustomChunks) {
+  std::atomic<int> sum{0};
+  std::vector<int> v(100, 1);
+  mhpx::for_each(ex::par.with_chunks(7), v.begin(), v.end(),
+                 [&](int x) { sum.fetch_add(x); });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+TEST_F(ParallelTest, ForEachPropagatesException) {
+  std::vector<int> v(100, 1);
+  EXPECT_THROW(mhpx::for_each(ex::par, v.begin(), v.end(),
+                              [](int x) {
+                                if (x == 1) {
+                                  throw std::runtime_error("boom");
+                                }
+                              }),
+               std::runtime_error);
+}
+
+TEST_F(ParallelTest, ForLoopSeqAndParAgree) {
+  std::vector<long> a(2000, 0);
+  std::vector<long> b(2000, 0);
+  mhpx::for_loop(ex::seq, 0, a.size(), [&](std::size_t i) {
+    a[i] = static_cast<long>(i) * 3;
+  });
+  mhpx::for_loop(ex::par, 0, b.size(), [&](std::size_t i) {
+    b[i] = static_cast<long>(i) * 3;
+  });
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ParallelTest, ForLoopSubRange) {
+  std::atomic<long> sum{0};
+  mhpx::for_loop(ex::par, 10, 20,
+                 [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST_F(ParallelTest, ReduceSum) {
+  std::vector<int> v(1000);
+  std::iota(v.begin(), v.end(), 1);
+  const long seq = mhpx::reduce(ex::seq, v.begin(), v.end(), 0L,
+                                [](long a, long b) { return a + b; });
+  const long par = mhpx::reduce(ex::par, v.begin(), v.end(), 0L,
+                                [](long a, long b) { return a + b; });
+  EXPECT_EQ(seq, 500500);
+  EXPECT_EQ(par, 500500);
+}
+
+TEST_F(ParallelTest, ReduceInitUsedExactlyOnce) {
+  std::vector<int> v(100, 0);
+  const long r = mhpx::reduce(ex::par.with_chunks(10), v.begin(), v.end(),
+                              1000L, [](long a, long b) { return a + b; });
+  EXPECT_EQ(r, 1000);
+}
+
+TEST_F(ParallelTest, TransformReduceMatchesManual) {
+  std::vector<double> v(500);
+  std::iota(v.begin(), v.end(), 1.0);
+  const double par = mhpx::transform_reduce(
+      ex::par, v.begin(), v.end(), 0.0,
+      [](double a, double b) { return a + b; },
+      [](double x) { return x * x; });
+  double expected = 0.0;
+  for (double x : v) {
+    expected += x * x;
+  }
+  EXPECT_NEAR(par, expected, expected * 1e-12);
+}
+
+TEST_F(ParallelTest, TransformReduceIdxMaclaurinShape) {
+  // sum over n of (-1)^(n+1) x^n / n converges to ln(1+x): the shape of the
+  // paper's benchmark kernel expressed through the parallel reduction.
+  const double x = 0.5;
+  const std::size_t terms = 200000;
+  const double total = mhpx::transform_reduce_idx(
+      ex::par, 1, terms + 1, 0.0,
+      [](double a, double b) { return a + b; },
+      [x](std::size_t n) {
+        const double sign = (n % 2 == 1) ? 1.0 : -1.0;
+        return sign * std::pow(x, static_cast<double>(n)) /
+               static_cast<double>(n);
+      });
+  EXPECT_NEAR(total, std::log1p(x), 1e-12);
+}
+
+TEST_F(ParallelTest, TransformReduceIdxEmpty) {
+  const double r = mhpx::transform_reduce_idx(
+      ex::par, 5, 5, 42.0, [](double a, double b) { return a + b; },
+      [](std::size_t) { return 1.0; });
+  EXPECT_EQ(r, 42.0);
+}
+
+// Property sweep: parallel results match sequential across sizes and chunk
+// counts.
+class ParallelSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {
+ protected:
+  mhpx::Runtime runtime{{3, 64 * 1024}};
+};
+
+TEST_P(ParallelSweep, ForLoopSumMatches) {
+  const auto [n, chunks] = GetParam();
+  std::atomic<long> par_sum{0};
+  mhpx::for_loop(ex::par.with_chunks(chunks), 0, n, [&](std::size_t i) {
+    par_sum.fetch_add(static_cast<long>(i));
+  });
+  long seq_sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    seq_sum += static_cast<long>(i);
+  }
+  EXPECT_EQ(par_sum.load(), seq_sum);
+}
+
+TEST_P(ParallelSweep, TransformReduceMatches) {
+  const auto [n, chunks] = GetParam();
+  const double par = mhpx::transform_reduce_idx(
+      ex::par.with_chunks(chunks), 0, n, 0.0,
+      [](double a, double b) { return a + b; },
+      [](std::size_t i) { return static_cast<double>(i % 7); });
+  double seq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    seq += static_cast<double>(i % 7);
+  }
+  EXPECT_DOUBLE_EQ(par, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndChunks, ParallelSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 17, 256, 4099),
+                       ::testing::Values<unsigned>(1, 2, 3, 8, 64)));
+
+}  // namespace

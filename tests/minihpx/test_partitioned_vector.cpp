@@ -1,0 +1,78 @@
+// Tests for the distributed partitioned vector.
+
+#include <gtest/gtest.h>
+
+#include "minihpx/distributed/partitioned_vector.hpp"
+
+namespace {
+
+namespace md = mhpx::dist;
+
+class PartitionedVectorTest : public ::testing::TestWithParam<md::FabricKind> {
+ protected:
+  md::DistributedRuntime::Config config(unsigned n = 3) const {
+    md::DistributedRuntime::Config cfg;
+    cfg.num_localities = n;
+    cfg.threads_per_locality = 2;
+    cfg.stack_size = 64 * 1024;
+    cfg.fabric = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(PartitionedVectorTest, SegmentsSplitAcrossLocalities) {
+  md::DistributedRuntime rt(config(3));
+  md::PartitionedVector v(rt, 10, 0.0);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.segment_count(), 3u);
+  // 10 over 3: segments of 3/4/3 (floor split): owners by index.
+  EXPECT_EQ(v.owner(0), 0u);
+  EXPECT_EQ(v.owner(9), 2u);
+  EXPECT_THROW((void)v.owner(10), std::out_of_range);
+}
+
+TEST_P(PartitionedVectorTest, GetSetRoundTrip) {
+  md::DistributedRuntime rt(config(2));
+  md::PartitionedVector v(rt, 8, 1.5);
+  EXPECT_DOUBLE_EQ(v.get(0).get(), 1.5);
+  EXPECT_DOUBLE_EQ(v.get(7).get(), 1.5);
+  v.set(5, 42.0).get();
+  EXPECT_DOUBLE_EQ(v.get(5).get(), 42.0);
+  EXPECT_DOUBLE_EQ(v.get(4).get(), 1.5);
+}
+
+TEST_P(PartitionedVectorTest, IotaAndSum) {
+  md::DistributedRuntime rt(config(3));
+  md::PartitionedVector v(rt, 100, 0.0);
+  v.iota(1.0);
+  EXPECT_DOUBLE_EQ(v.get(0).get(), 1.0);
+  EXPECT_DOUBLE_EQ(v.get(99).get(), 100.0);
+  // Cross-segment continuity.
+  EXPECT_DOUBLE_EQ(v.get(33).get(), 34.0);
+  EXPECT_DOUBLE_EQ(v.get(34).get(), 35.0);
+  EXPECT_DOUBLE_EQ(v.sum(), 5050.0);
+}
+
+TEST_P(PartitionedVectorTest, ScaleIsGlobal) {
+  md::DistributedRuntime rt(config(2));
+  md::PartitionedVector v(rt, 50, 2.0);
+  v.scale(3.0);
+  EXPECT_DOUBLE_EQ(v.sum(), 50 * 6.0);
+  EXPECT_DOUBLE_EQ(v.get(49).get(), 6.0);
+}
+
+TEST_P(PartitionedVectorTest, SingleLocalityDegenerateCase) {
+  md::DistributedRuntime rt(config(1));
+  md::PartitionedVector v(rt, 5, 7.0);
+  EXPECT_EQ(v.segment_count(), 1u);
+  EXPECT_DOUBLE_EQ(v.sum(), 35.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, PartitionedVectorTest,
+                         ::testing::Values(md::FabricKind::inproc,
+                                           md::FabricKind::tcp),
+                         [](const auto& param_info) {
+                           return std::string(md::to_string(param_info.param));
+                         });
+
+}  // namespace

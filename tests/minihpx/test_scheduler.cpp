@@ -1,0 +1,253 @@
+// Unit tests for the work-stealing fiber scheduler.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mt = mhpx::threads;
+
+TEST(Scheduler, RunsPostedTasks) {
+  mt::Scheduler sched({2, 64 * 1024});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    sched.post([&] { count.fetch_add(1); });
+  }
+  sched.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Scheduler, SingleWorkerRunsEverything) {
+  mt::Scheduler sched({1, 64 * 1024});
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    sched.post([&] { count.fetch_add(1); });
+  }
+  sched.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Scheduler, NestedPostsAreExecuted) {
+  mt::Scheduler sched({2, 64 * 1024});
+  std::atomic<int> count{0};
+  sched.post([&] {
+    for (int i = 0; i < 10; ++i) {
+      sched.post([&] { count.fetch_add(1); });
+    }
+  });
+  sched.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Scheduler, CurrentIsNullOutsideWorkers) {
+  EXPECT_EQ(mt::Scheduler::current(), nullptr);
+  EXPECT_FALSE(mt::Scheduler::inside_task());
+}
+
+TEST(Scheduler, CurrentIsSetInsideTasks) {
+  mt::Scheduler sched({1, 64 * 1024});
+  std::atomic<bool> inside{false};
+  std::atomic<mt::Scheduler*> seen{nullptr};
+  sched.post([&] {
+    inside.store(mt::Scheduler::inside_task());
+    seen.store(mt::Scheduler::current());
+  });
+  sched.wait_idle();
+  EXPECT_TRUE(inside.load());
+  EXPECT_EQ(seen.load(), &sched);
+}
+
+TEST(Scheduler, YieldInterleavesTasks) {
+  mt::Scheduler sched({1, 64 * 1024});
+  std::atomic<int> progress_a{0};
+  std::atomic<int> progress_b{0};
+  sched.post([&] {
+    for (int i = 0; i < 5; ++i) {
+      progress_a.fetch_add(1);
+      mt::Scheduler::yield();
+    }
+  });
+  sched.post([&] {
+    for (int i = 0; i < 5; ++i) {
+      progress_b.fetch_add(1);
+      mt::Scheduler::yield();
+    }
+  });
+  sched.wait_idle();
+  EXPECT_EQ(progress_a.load(), 5);
+  EXPECT_EQ(progress_b.load(), 5);
+}
+
+TEST(Scheduler, SuspendResumeFromAnotherThread) {
+  mt::Scheduler sched({1, 64 * 1024});
+  std::atomic<mt::TaskHandle> handle{nullptr};
+  std::atomic<bool> resumed{false};
+  sched.post([&] {
+    sched.suspend_current([&](mt::TaskHandle h) { handle.store(h); });
+    resumed.store(true);
+  });
+  // Wait for the task to park itself.
+  while (handle.load() == nullptr) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(resumed.load());
+  sched.resume(handle.load());
+  sched.wait_idle();
+  EXPECT_TRUE(resumed.load());
+}
+
+TEST(Scheduler, SuspendResumeImmediatelyFromHook) {
+  // The hook may resume the task before it even leaves the worker: the
+  // protocol must tolerate "resume raced ahead".
+  mt::Scheduler sched({2, 64 * 1024});
+  std::atomic<int> stage{0};
+  sched.post([&] {
+    stage.store(1);
+    sched.suspend_current([&](mt::TaskHandle h) { sched.resume(h); });
+    stage.store(2);
+  });
+  sched.wait_idle();
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(Scheduler, ManySuspensions) {
+  mt::Scheduler sched({2, 64 * 1024});
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    sched.post([&] {
+      for (int k = 0; k < 10; ++k) {
+        sched.suspend_current(
+            [&](mt::TaskHandle h) { sched.resume(h); });
+      }
+      done.fetch_add(1);
+    });
+  }
+  sched.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(Scheduler, FibersAreRecycled) {
+  mt::Scheduler sched({1, 64 * 1024});
+  for (int i = 0; i < 20; ++i) {
+    sched.post([] {});
+  }
+  sched.wait_idle();
+  EXPECT_GT(sched.recycled_fibers(), 0u);
+}
+
+TEST(Scheduler, LiveTaskCountDrainsToZero) {
+  mt::Scheduler sched({2, 64 * 1024});
+  for (int i = 0; i < 10; ++i) {
+    sched.post([] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); });
+  }
+  sched.wait_idle();
+  EXPECT_EQ(sched.live_tasks(), 0u);
+}
+
+TEST(Scheduler, PostFromExternalThread) {
+  mt::Scheduler sched({2, 64 * 1024});
+  std::atomic<int> count{0};
+  std::thread external([&] {
+    for (int i = 0; i < 25; ++i) {
+      sched.post([&] { count.fetch_add(1); });
+    }
+  });
+  external.join();
+  sched.wait_idle();
+  EXPECT_EQ(count.load(), 25);
+}
+
+TEST(Scheduler, TwoSchedulersCoexist) {
+  mt::Scheduler a({1, 64 * 1024});
+  mt::Scheduler b({1, 64 * 1024});
+  std::atomic<int> ca{0};
+  std::atomic<int> cb{0};
+  a.post([&] { ca.fetch_add(1); });
+  b.post([&] { cb.fetch_add(1); });
+  a.wait_idle();
+  b.wait_idle();
+  EXPECT_EQ(ca.load(), 1);
+  EXPECT_EQ(cb.load(), 1);
+}
+
+TEST(Scheduler, CrossSchedulerResume) {
+  // A worker of scheduler A resumes a task parked in scheduler B.
+  mt::Scheduler a({1, 64 * 1024});
+  mt::Scheduler b({1, 64 * 1024});
+  std::atomic<mt::TaskHandle> parked{nullptr};
+  std::atomic<bool> finished{false};
+  b.post([&] {
+    b.suspend_current([&](mt::TaskHandle h) { parked.store(h); });
+    finished.store(true);
+  });
+  while (parked.load() == nullptr) {
+    std::this_thread::yield();
+  }
+  a.post([&] { b.resume(parked.load()); });
+  a.wait_idle();
+  b.wait_idle();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(SchedulerInstrument, SpawnAndFinishHooksFire) {
+  struct Counters {
+    std::atomic<int> spawned{0};
+    std::atomic<int> finished{0};
+    std::atomic<double> flops{0.0};
+  } counters;
+  mhpx::instrument::Hooks hooks;
+  hooks.ctx = &counters;
+  hooks.on_task_spawn = [](void* ctx) {
+    static_cast<Counters*>(ctx)->spawned.fetch_add(1);
+  };
+  hooks.on_task_finish = [](void* ctx, const mhpx::instrument::TaskWork& w) {
+    auto* c = static_cast<Counters*>(ctx);
+    c->finished.fetch_add(1);
+    double old = c->flops.load();
+    while (!c->flops.compare_exchange_weak(old, old + w.flops)) {
+    }
+  };
+  mhpx::instrument::set_hooks(hooks);
+
+  {
+    mt::Scheduler sched({1, 64 * 1024});
+    for (int i = 0; i < 5; ++i) {
+      sched.post([] { mhpx::instrument::annotate(100.0, 800.0); });
+    }
+    sched.wait_idle();
+  }
+  mhpx::instrument::set_hooks({});
+
+  EXPECT_EQ(counters.spawned.load(), 5);
+  EXPECT_EQ(counters.finished.load(), 5);
+  EXPECT_DOUBLE_EQ(counters.flops.load(), 500.0);
+}
+
+TEST(SchedulerInstrument, WorkSurvivesSuspension) {
+  struct Ctx {
+    std::atomic<double> flops{0.0};
+  } ctx;
+  mhpx::instrument::Hooks hooks;
+  hooks.ctx = &ctx;
+  hooks.on_task_finish = [](void* c, const mhpx::instrument::TaskWork& w) {
+    auto* cc = static_cast<Ctx*>(c);
+    double old = cc->flops.load();
+    while (!cc->flops.compare_exchange_weak(old, old + w.flops)) {
+    }
+  };
+  mhpx::instrument::set_hooks(hooks);
+  {
+    mt::Scheduler sched({2, 64 * 1024});
+    sched.post([&] {
+      mhpx::instrument::annotate(10.0, 0.0);
+      sched.suspend_current([&](mt::TaskHandle h) { sched.resume(h); });
+      mhpx::instrument::annotate(32.0, 0.0);
+    });
+    sched.wait_idle();
+  }
+  mhpx::instrument::set_hooks({});
+  EXPECT_DOUBLE_EQ(ctx.flops.load(), 42.0);
+}

@@ -1,0 +1,147 @@
+// Unit tests for the senders & receivers layer (P2300-style).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minihpx/execution/sender_receiver.hpp"
+#include "minihpx/runtime.hpp"
+
+namespace {
+
+namespace ex = mhpx::ex;
+
+struct SenderTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST(SenderNoRuntime, JustThenSyncWait) {
+  auto s = ex::just(20) | ex::then([](int v) { return v + 1; });
+  auto r = ex::sync_wait_one<int>(std::move(s));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 21);
+}
+
+TEST(SenderNoRuntime, JustMultipleValues) {
+  auto s = ex::just(2, 3) | ex::then([](int a, int b) { return a * b; });
+  EXPECT_EQ(ex::sync_wait_one<int>(std::move(s)).value(), 6);
+}
+
+TEST(SenderNoRuntime, ThenChain) {
+  auto s = ex::just(std::string("a")) |
+           ex::then([](std::string v) { return v + "b"; }) |
+           ex::then([](std::string v) { return v + "c"; });
+  EXPECT_EQ(ex::sync_wait_one<std::string>(std::move(s)).value(), "abc");
+}
+
+TEST(SenderNoRuntime, ThenVoidResult) {
+  std::atomic<int> seen{0};
+  auto s = ex::just(5) | ex::then([&](int v) { seen.store(v); });
+  EXPECT_TRUE(ex::sync_wait_void(std::move(s)));
+  EXPECT_EQ(seen.load(), 5);
+}
+
+TEST(SenderNoRuntime, ErrorPropagates) {
+  auto s = ex::just(1) | ex::then([](int) -> int {
+             throw std::runtime_error("sr-fail");
+           }) |
+           ex::then([](int v) { return v; });
+  EXPECT_THROW(ex::sync_wait_one<int>(std::move(s)), std::runtime_error);
+}
+
+TEST_F(SenderTest, ScheduleRunsOnWorker) {
+  std::atomic<bool> on_worker{false};
+  auto s = ex::schedule(ex::ambient_sched()) | ex::then([&] {
+             on_worker.store(mhpx::threads::Scheduler::inside_task());
+             return 1;
+           });
+  EXPECT_EQ(ex::sync_wait_one<int>(std::move(s)).value(), 1);
+  EXPECT_TRUE(on_worker.load());
+}
+
+TEST_F(SenderTest, ScheduleWithoutRuntimeErrors) {
+  auto s = ex::schedule(ex::scheduler{nullptr});
+  EXPECT_THROW(ex::sync_wait_void(std::move(s)), std::runtime_error);
+}
+
+TEST_F(SenderTest, BulkVisitsFullShape) {
+  std::vector<std::atomic<int>> hits(500);
+  auto s = ex::schedule(ex::ambient_sched()) |
+           ex::bulk(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  EXPECT_TRUE(ex::sync_wait_void(std::move(s)));
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(SenderTest, BulkForwardsUpstreamValue) {
+  std::atomic<long> sum{0};
+  auto s = ex::just(10) | ex::bulk(5, [&](std::size_t i, int base) {
+             sum.fetch_add(base + static_cast<long>(i));
+           }) |
+           ex::then([](int base) { return base; });
+  EXPECT_EQ(ex::sync_wait_one<int>(std::move(s)).value(), 10);
+  EXPECT_EQ(sum.load(), 60);  // 10*5 + (0+1+2+3+4)
+}
+
+TEST_F(SenderTest, BulkZeroShape) {
+  auto s = ex::just(3) | ex::bulk(0, [](std::size_t, int) { FAIL(); });
+  EXPECT_EQ(ex::sync_wait_one<int>(std::move(s)).value(), 3);
+}
+
+TEST_F(SenderTest, BulkPropagatesBodyError) {
+  auto s = ex::schedule(ex::ambient_sched()) | ex::bulk(10, [](std::size_t i) {
+             if (i == 7) {
+               throw std::domain_error("bulk-fail");
+             }
+           });
+  EXPECT_THROW(ex::sync_wait_void(std::move(s)), std::domain_error);
+}
+
+TEST_F(SenderTest, TransferMovesExecution) {
+  std::atomic<bool> downstream_on_worker{false};
+  auto s = ex::just(4) | ex::transfer(ex::ambient_sched()) |
+           ex::then([&](int v) {
+             downstream_on_worker.store(
+                 mhpx::threads::Scheduler::inside_task());
+             return v * 2;
+           });
+  EXPECT_EQ(ex::sync_wait_one<int>(std::move(s)).value(), 8);
+  EXPECT_TRUE(downstream_on_worker.load());
+}
+
+TEST_F(SenderTest, WhenAllOfJoinsResults) {
+  auto s = ex::when_all_of<int>(
+      ex::schedule(ex::ambient_sched()) | ex::then([] { return 1; }),
+      ex::schedule(ex::ambient_sched()) | ex::then([] { return 2; }),
+      ex::just(3));
+  auto r = ex::sync_wait_one<std::vector<int>>(std::move(s));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SenderTest, WhenAllOfPropagatesError) {
+  auto s = ex::when_all_of<int>(
+      ex::just(1),
+      ex::just(0) | ex::then([](int) -> int {
+        throw std::runtime_error("child");
+      }));
+  EXPECT_THROW(ex::sync_wait_one<std::vector<int>>(std::move(s)),
+               std::runtime_error);
+}
+
+TEST_F(SenderTest, SyncWaitInsideTaskSuspends) {
+  // sync_wait from within a task must suspend the fiber, not deadlock the
+  // worker pool.
+  auto outer = ex::schedule(ex::ambient_sched()) | ex::then([] {
+                 auto inner = ex::schedule(ex::ambient_sched()) |
+                              ex::then([] { return 5; });
+                 return ex::sync_wait_one<int>(std::move(inner)).value();
+               });
+  EXPECT_EQ(ex::sync_wait_one<int>(std::move(outer)).value(), 5);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Unit tests for the serialization archives (parcel payload encoding).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "minihpx/distributed/gid.hpp"
+#include "minihpx/distributed/parcel.hpp"
+#include "minihpx/serialization/archive.hpp"
+
+namespace {
+
+namespace ser = mhpx::serialization;
+
+template <typename T>
+T round_trip(const T& value) {
+  return ser::from_bytes<T>(ser::to_bytes(value));
+}
+
+TEST(Serialization, Arithmetic) {
+  EXPECT_EQ(round_trip<int>(-42), -42);
+  EXPECT_EQ(round_trip<std::uint64_t>(0xDEADBEEFCAFEull), 0xDEADBEEFCAFEull);
+  EXPECT_DOUBLE_EQ(round_trip<double>(3.14159), 3.14159);
+  EXPECT_EQ(round_trip<bool>(true), true);
+  EXPECT_EQ(round_trip<char>('x'), 'x');
+}
+
+TEST(Serialization, Enum) {
+  enum class Color : std::uint8_t { red = 1, green = 2 };
+  EXPECT_EQ(round_trip(Color::green), Color::green);
+}
+
+TEST(Serialization, Strings) {
+  EXPECT_EQ(round_trip<std::string>(""), "");
+  EXPECT_EQ(round_trip<std::string>("hello world"), "hello world");
+  const std::string big(100000, 'q');
+  EXPECT_EQ(round_trip(big), big);
+}
+
+TEST(Serialization, VectorsOfArithmetic) {
+  std::vector<double> v{1.0, -2.5, 3.25};
+  EXPECT_EQ(round_trip(v), v);
+  EXPECT_EQ(round_trip(std::vector<int>{}), std::vector<int>{});
+}
+
+TEST(Serialization, NestedVectors) {
+  std::vector<std::vector<int>> v{{1, 2}, {}, {3}};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Serialization, VectorOfStrings) {
+  std::vector<std::string> v{"a", "", "long string here"};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Serialization, ArraysPairsTuples) {
+  std::array<double, 4> a{1, 2, 3, 4};
+  EXPECT_EQ(round_trip(a), a);
+  std::pair<int, std::string> p{7, "seven"};
+  EXPECT_EQ(round_trip(p), p);
+  std::tuple<int, double, std::string> t{1, 2.5, "three"};
+  EXPECT_EQ(round_trip(t), t);
+}
+
+struct CustomType {
+  int a = 0;
+  std::string b;
+  std::vector<double> c;
+
+  friend bool operator==(const CustomType&, const CustomType&) = default;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& a& b& c;
+  }
+};
+
+TEST(Serialization, CustomSerializableType) {
+  CustomType v{5, "name", {1.5, 2.5}};
+  EXPECT_EQ(round_trip(v), v);
+}
+
+TEST(Serialization, GidRoundTrip) {
+  const mhpx::dist::gid g{3, 12345};
+  EXPECT_EQ(round_trip(g), g);
+}
+
+TEST(Serialization, TruncatedBufferThrows) {
+  auto bytes = ser::to_bytes(std::string("hello"));
+  bytes.resize(bytes.size() - 2);
+  EXPECT_THROW(ser::from_bytes<std::string>(bytes), ser::archive_error);
+}
+
+TEST(Serialization, HostileLengthThrows) {
+  // A string header claiming more bytes than the buffer holds must throw,
+  // not allocate unbounded memory.
+  ser::OutputArchive out;
+  const std::uint64_t huge = 1ull << 40;
+  out.write_bytes(&huge, sizeof(huge));
+  const auto bytes = std::move(out).take();
+  EXPECT_THROW(ser::from_bytes<std::string>(bytes), ser::archive_error);
+  EXPECT_THROW(ser::from_bytes<std::vector<int>>(bytes), ser::archive_error);
+}
+
+TEST(Serialization, SequentialMixedValues) {
+  ser::OutputArchive out;
+  int i = 5;
+  std::string s = "mid";
+  double d = 9.5;
+  out& i& s& d;
+  ser::InputArchive in(out.buffer());
+  int i2 = 0;
+  std::string s2;
+  double d2 = 0;
+  in& i2& s2& d2;
+  EXPECT_EQ(i2, 5);
+  EXPECT_EQ(s2, "mid");
+  EXPECT_DOUBLE_EQ(d2, 9.5);
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(ParcelCodec, HeaderRoundTrip) {
+  mhpx::dist::Parcel p;
+  p.header.kind = mhpx::dist::ParcelKind::reply;
+  p.header.source = 1;
+  p.header.destination = 0;
+  p.header.action = mhpx::dist::fnv1a("some::action");
+  p.header.target = 99;
+  p.header.request = 12345;
+  p.header.status = 1;
+  p.payload = ser::to_bytes(std::string("payload"));
+
+  const auto frame = mhpx::dist::encode_parcel(p);
+  const auto q = mhpx::dist::decode_parcel(frame);
+  EXPECT_EQ(q.header.kind, p.header.kind);
+  EXPECT_EQ(q.header.source, p.header.source);
+  EXPECT_EQ(q.header.destination, p.header.destination);
+  EXPECT_EQ(q.header.action, p.header.action);
+  EXPECT_EQ(q.header.target, p.header.target);
+  EXPECT_EQ(q.header.request, p.header.request);
+  EXPECT_EQ(q.header.status, p.header.status);
+  EXPECT_EQ(q.payload, p.payload);
+}
+
+TEST(ParcelCodec, Fnv1aIsStableAndDistinct) {
+  constexpr auto h1 = mhpx::dist::fnv1a("action::one");
+  constexpr auto h2 = mhpx::dist::fnv1a("action::two");
+  static_assert(h1 != h2);
+  EXPECT_EQ(mhpx::dist::fnv1a("action::one"), h1);
+  EXPECT_NE(h1, 0u);
+}
+
+TEST(ParcelCodec, EmptyPayload) {
+  mhpx::dist::Parcel p;
+  const auto q = mhpx::dist::decode_parcel(mhpx::dist::encode_parcel(p));
+  EXPECT_TRUE(q.payload.empty());
+}
+
+}  // namespace

@@ -1,0 +1,290 @@
+// Unit tests for fiber-aware synchronisation primitives.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/channel.hpp"
+#include "minihpx/sync/latch.hpp"
+#include "minihpx/sync/mutex.hpp"
+
+namespace {
+
+struct SyncTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST_F(SyncTest, MutexProvidesMutualExclusion) {
+  mhpx::sync::mutex m;
+  long counter = 0;  // guarded by m
+  std::vector<mhpx::future<void>> futs;
+  for (int t = 0; t < 8; ++t) {
+    futs.push_back(mhpx::async([&] {
+      for (int i = 0; i < 200; ++i) {
+        std::lock_guard lk(m);
+        ++counter;
+      }
+    }));
+  }
+  for (auto& f : futs) {
+    f.get();
+  }
+  EXPECT_EQ(counter, 1600);
+}
+
+TEST_F(SyncTest, MutexTryLock) {
+  mhpx::sync::mutex m;
+  EXPECT_TRUE(m.try_lock());
+  EXPECT_FALSE(m.try_lock());
+  m.unlock();
+  EXPECT_TRUE(m.try_lock());
+  m.unlock();
+}
+
+TEST_F(SyncTest, MutexDoesNotBlockWorkerThreads) {
+  // With a single worker: task A holds the mutex and waits for task B to
+  // run. If lock() blocked the OS thread, B could never run -> deadlock.
+  mhpx::Runtime* outer = mhpx::Runtime::instance();
+  ASSERT_NE(outer, nullptr);
+  mhpx::sync::mutex m;
+  std::atomic<bool> b_ran{false};
+  mhpx::promise<void> b_done;
+
+  auto a = mhpx::async([&] {
+    std::lock_guard lk(m);
+    auto f = b_done.get_future();
+    f.get();  // suspends fiber A while holding m
+  });
+  auto b = mhpx::async([&] {
+    std::lock_guard lk(m);  // must suspend, not block the worker
+    b_ran.store(true);
+  });
+  // b cannot have the mutex yet; release A.
+  b_done.set_value();
+  a.get();
+  b.get();
+  EXPECT_TRUE(b_ran.load());
+}
+
+TEST_F(SyncTest, ConditionVariableAnySignals) {
+  mhpx::sync::mutex m;
+  mhpx::sync::condition_variable_any cv;
+  bool flag = false;  // guarded by m
+
+  auto waiter = mhpx::async([&] {
+    std::unique_lock lk(m);
+    cv.wait(lk, [&] { return flag; });
+    return 7;
+  });
+  auto signaler = mhpx::async([&] {
+    std::lock_guard lk(m);
+    flag = true;
+    cv.notify_all();
+  });
+  signaler.get();
+  EXPECT_EQ(waiter.get(), 7);
+}
+
+TEST_F(SyncTest, LatchCountsDown) {
+  mhpx::sync::latch l(3);
+  EXPECT_FALSE(l.try_wait());
+  l.count_down();
+  l.count_down(2);
+  EXPECT_TRUE(l.try_wait());
+  l.wait();  // returns immediately
+}
+
+TEST_F(SyncTest, LatchNegativeThrows) {
+  EXPECT_THROW(mhpx::sync::latch l(-1), std::invalid_argument);
+  mhpx::sync::latch l(1);
+  EXPECT_THROW(l.count_down(2), std::logic_error);
+}
+
+TEST_F(SyncTest, LatchJoinsTaskFanOut) {
+  constexpr int kTasks = 32;
+  mhpx::sync::latch done(kTasks);
+  std::atomic<int> count{0};
+  for (int i = 0; i < kTasks; ++i) {
+    mhpx::post([&] {
+      count.fetch_add(1);
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST_F(SyncTest, BarrierSynchronisesPhases) {
+  constexpr int kParties = 4;
+  mhpx::sync::barrier bar(kParties);
+  std::atomic<int> phase0{0};
+  std::atomic<int> phase1_saw_full_phase0{0};
+  std::vector<mhpx::future<void>> futs;
+  for (int t = 0; t < kParties; ++t) {
+    futs.push_back(mhpx::async([&] {
+      phase0.fetch_add(1);
+      bar.arrive_and_wait();
+      if (phase0.load() == kParties) {
+        phase1_saw_full_phase0.fetch_add(1);
+      }
+      bar.arrive_and_wait();  // reusable
+    }));
+  }
+  for (auto& f : futs) {
+    f.get();
+  }
+  EXPECT_EQ(phase1_saw_full_phase0.load(), kParties);
+}
+
+TEST_F(SyncTest, BarrierInvalidParties) {
+  EXPECT_THROW(mhpx::sync::barrier b(0), std::invalid_argument);
+}
+
+TEST_F(SyncTest, SemaphoreLimitsConcurrency) {
+  mhpx::sync::counting_semaphore sem(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<mhpx::future<void>> futs;
+  for (int t = 0; t < 10; ++t) {
+    futs.push_back(mhpx::async([&] {
+      sem.acquire();
+      const int now = inside.fetch_add(1) + 1;
+      int seen = max_inside.load();
+      while (now > seen && !max_inside.compare_exchange_weak(seen, now)) {
+      }
+      mhpx::threads::Scheduler::yield();
+      inside.fetch_sub(1);
+      sem.release();
+    }));
+  }
+  for (auto& f : futs) {
+    f.get();
+  }
+  EXPECT_LE(max_inside.load(), 2);
+  EXPECT_EQ(sem.value(), 2);
+}
+
+TEST_F(SyncTest, SemaphoreTryAcquire) {
+  mhpx::sync::counting_semaphore sem(1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+  sem.release();
+}
+
+TEST_F(SyncTest, ChannelRoundTrip) {
+  mhpx::sync::channel<int> ch(4);
+  auto producer = mhpx::async([&] {
+    for (int i = 0; i < 100; ++i) {
+      ch.send(i);
+    }
+    ch.close();
+  });
+  auto consumer = mhpx::async([&] {
+    long sum = 0;
+    while (auto v = ch.receive()) {
+      sum += *v;
+    }
+    return sum;
+  });
+  producer.get();
+  EXPECT_EQ(consumer.get(), 4950);
+}
+
+TEST_F(SyncTest, ChannelBackpressure) {
+  // Capacity-1 channel: the producer cannot run ahead of the consumer.
+  mhpx::sync::channel<int> ch(1);
+  std::atomic<int> sent{0};
+  auto producer = mhpx::async([&] {
+    for (int i = 0; i < 10; ++i) {
+      ch.send(i);
+      sent.fetch_add(1);
+    }
+    ch.close();
+  });
+  auto consumer = mhpx::async([&] {
+    int received = 0;
+    while (auto v = ch.receive()) {
+      // sent can exceed received by at most capacity + 1 in flight
+      EXPECT_LE(sent.load(), received + 2);
+      ++received;
+    }
+    return received;
+  });
+  producer.get();
+  EXPECT_EQ(consumer.get(), 10);
+}
+
+TEST_F(SyncTest, ChannelSendOnClosedThrows) {
+  mhpx::sync::channel<int> ch(2);
+  ch.close();
+  EXPECT_THROW(ch.send(1), mhpx::sync::channel_closed);
+  EXPECT_FALSE(ch.try_send(1));
+}
+
+TEST_F(SyncTest, ChannelDrainsAfterClose) {
+  mhpx::sync::channel<int> ch(4);
+  ch.send(1);
+  ch.send(2);
+  ch.close();
+  EXPECT_EQ(ch.receive(), std::optional<int>(1));
+  EXPECT_EQ(ch.receive(), std::optional<int>(2));
+  EXPECT_EQ(ch.receive(), std::nullopt);
+}
+
+TEST_F(SyncTest, ChannelTryOperations) {
+  mhpx::sync::channel<int> ch(1);
+  EXPECT_EQ(ch.try_receive(), std::nullopt);
+  EXPECT_TRUE(ch.try_send(5));
+  EXPECT_FALSE(ch.try_send(6));  // full
+  EXPECT_EQ(ch.try_receive(), std::optional<int>(5));
+}
+
+TEST_F(SyncTest, ChannelZeroCapacityThrows) {
+  EXPECT_THROW(mhpx::sync::channel<int> ch(0), std::invalid_argument);
+}
+
+TEST_F(SyncTest, ChannelMpmcStress) {
+  mhpx::sync::channel<int> ch(8);
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 50;
+  std::vector<mhpx::future<void>> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.push_back(mhpx::async([&] {
+      for (int i = 0; i < kItemsEach; ++i) {
+        ch.send(1);
+      }
+    }));
+  }
+  std::vector<mhpx::future<long>> consumers;
+  std::atomic<int> consumed{0};
+  for (int c = 0; c < 2; ++c) {
+    consumers.push_back(mhpx::async([&] {
+      long sum = 0;
+      while (consumed.fetch_add(1) < kProducers * kItemsEach) {
+        auto v = ch.receive();
+        if (!v) {
+          break;
+        }
+        sum += *v;
+      }
+      return sum;
+    }));
+  }
+  for (auto& f : producers) {
+    f.get();
+  }
+  long total = 0;
+  for (auto& f : consumers) {
+    total += f.get();
+  }
+  EXPECT_EQ(total, kProducers * kItemsEach);
+}
+
+}  // namespace

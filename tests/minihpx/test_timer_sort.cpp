@@ -1,0 +1,166 @@
+// Tests for timed fiber suspension and the parallel sort.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <vector>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/parallel/sort.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/timer_service.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+struct TimerTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST_F(TimerTest, SleepForWaitsApproximately) {
+  auto f = mhpx::async([] {
+    const auto t0 = std::chrono::steady_clock::now();
+    mhpx::sync::sleep_for(30ms);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  });
+  const double elapsed = f.get();
+  EXPECT_GE(elapsed, 25.0);
+  EXPECT_LT(elapsed, 500.0);
+}
+
+TEST_F(TimerTest, SleepingFiberDoesNotBlockWorker) {
+  // One worker: a sleeping task must not prevent other tasks from running.
+  mhpx::Runtime* rt = mhpx::Runtime::instance();
+  ASSERT_NE(rt, nullptr);
+  std::atomic<bool> other_ran{false};
+  auto sleeper = mhpx::async([&] {
+    mhpx::sync::sleep_for(50ms);
+    // By wake-up time the other task must have run.
+    return other_ran.load();
+  });
+  auto other = mhpx::async([&] { other_ran.store(true); });
+  other.get();
+  EXPECT_TRUE(sleeper.get());
+}
+
+TEST_F(TimerTest, ManyConcurrentSleepers) {
+  std::vector<mhpx::future<int>> futs;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(mhpx::async([i] {
+      mhpx::sync::sleep_for(std::chrono::milliseconds(10 + i % 5));
+      return i;
+    }));
+  }
+  long sum = 0;
+  for (auto& f : futs) {
+    sum += f.get();
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(sum, 49 * 50 / 2);
+  // 50 sleeps of ~10 ms on 2 workers: must overlap, not serialise (which
+  // would take >= 250 ms even on two workers blocking).
+  EXPECT_LT(elapsed_ms, 400.0);
+}
+
+TEST_F(TimerTest, SleepUntilPastDeadlineReturnsQuickly) {
+  auto f = mhpx::async([] {
+    mhpx::sync::sleep_until(std::chrono::steady_clock::now() - 1s);
+    return 1;
+  });
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST_F(TimerTest, PostAtFiresCallbacksInOrder) {
+  std::mutex m;
+  std::vector<int> order;  // guarded by m
+  mhpx::sync::latch done(2);
+  const auto now = std::chrono::steady_clock::now();
+  mhpx::sync::TimerService::instance().post_at(now + 40ms, [&] {
+    {
+      std::lock_guard lk(m);
+      order.push_back(2);
+    }
+    done.count_down();
+  });
+  mhpx::sync::TimerService::instance().post_at(now + 10ms, [&] {
+    {
+      std::lock_guard lk(m);
+      order.push_back(1);
+    }
+    done.count_down();
+  });
+  done.wait();
+  std::lock_guard lk(m);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+struct SortTest : ::testing::Test {
+  mhpx::Runtime runtime{{3, 64 * 1024}};
+};
+
+TEST_F(SortTest, SortsRandomData) {
+  std::vector<int> v(100'000);
+  std::mt19937 rng(7);
+  for (auto& x : v) {
+    x = static_cast<int>(rng());
+  }
+  std::vector<int> expect = v;
+  std::sort(expect.begin(), expect.end());
+  mhpx::sort(mhpx::execution::par, v.begin(), v.end());
+  EXPECT_EQ(v, expect);
+}
+
+TEST_F(SortTest, SortsWithCustomComparator) {
+  std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+  mhpx::sort(mhpx::execution::par, v.begin(), v.end(), std::greater<>());
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>()));
+}
+
+TEST_F(SortTest, HandlesPathologicalInputs) {
+  // Already sorted.
+  std::vector<int> sorted(50'000);
+  std::iota(sorted.begin(), sorted.end(), 0);
+  auto expect = sorted;
+  mhpx::sort(mhpx::execution::par, sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, expect);
+  // Reverse sorted.
+  std::vector<int> rev(50'000);
+  std::iota(rev.rbegin(), rev.rend(), 0);
+  mhpx::sort(mhpx::execution::par, rev.begin(), rev.end());
+  EXPECT_TRUE(std::is_sorted(rev.begin(), rev.end()));
+  // All equal (progress guarantee of the three-way partition).
+  std::vector<int> same(50'000, 42);
+  mhpx::sort(mhpx::execution::par, same.begin(), same.end());
+  EXPECT_EQ(same.front(), 42);
+  EXPECT_EQ(same.back(), 42);
+  // Empty and single-element.
+  std::vector<int> empty;
+  mhpx::sort(mhpx::execution::par, empty.begin(), empty.end());
+  std::vector<int> one{5};
+  mhpx::sort(mhpx::execution::par, one.begin(), one.end());
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST_F(SortTest, SortInsideTask) {
+  auto f = mhpx::async([] {
+    std::vector<double> v(20'000);
+    std::mt19937 rng(3);
+    for (auto& x : v) {
+      x = std::uniform_real_distribution<double>(-1, 1)(rng);
+    }
+    mhpx::sort(mhpx::execution::par, v.begin(), v.end());
+    return std::is_sorted(v.begin(), v.end());
+  });
+  EXPECT_TRUE(f.get());
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Tests for mkk::parallel_for / parallel_reduce across all execution spaces.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "minihpx/runtime.hpp"
+#include "minikokkos/minikokkos.hpp"
+
+namespace {
+
+struct KokkosParallelTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST_F(KokkosParallelTest, SerialRangeFor) {
+  std::vector<int> v(100, 0);
+  mkk::parallel_for(mkk::RangePolicy<mkk::Serial>(0, v.size()),
+                    [&](std::size_t i) { v[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v[i], static_cast<int>(i));
+  }
+}
+
+TEST_F(KokkosParallelTest, DefaultSpaceConvenience) {
+  std::atomic<int> sum{0};
+  mkk::parallel_for(50, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 50);
+}
+
+TEST_F(KokkosParallelTest, HpxRangeFor) {
+  std::vector<std::atomic<int>> hits(1000);
+  mkk::parallel_for(mkk::RangePolicy<mkk::Hpx>(mkk::Hpx{8}, 0, hits.size()),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(KokkosParallelTest, ThreadsRangeFor) {
+  std::vector<std::atomic<int>> hits(500);
+  mkk::parallel_for(
+      mkk::RangePolicy<mkk::Threads>(mkk::Threads{2}, 0, hits.size()),
+      [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(KokkosParallelTest, RangeSubInterval) {
+  std::atomic<long> sum{0};
+  mkk::parallel_for(mkk::RangePolicy<mkk::Hpx>(5, 15), [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 95);  // 5+..+14
+}
+
+TEST_F(KokkosParallelTest, EmptyRangeIsNoop) {
+  mkk::parallel_for(mkk::RangePolicy<mkk::Hpx>(3, 3),
+                    [&](std::size_t) { FAIL(); });
+  mkk::parallel_for(mkk::RangePolicy<mkk::Serial>(3, 3),
+                    [&](std::size_t) { FAIL(); });
+}
+
+TEST_F(KokkosParallelTest, MDRange3VisitsAllCells) {
+  mkk::View<int, 3> v("v", 8, 8, 8);
+  mkk::parallel_for(
+      mkk::MDRangePolicy3<mkk::Hpx>({0, 0, 0}, {8, 8, 8}),
+      [&](std::size_t i, std::size_t j, std::size_t k) { v(i, j, k) += 1; });
+  v.for_each_index([&](auto i, auto j, auto k) { EXPECT_EQ(v(i, j, k), 1); });
+}
+
+TEST_F(KokkosParallelTest, MDRange3SubBox) {
+  mkk::View<int, 3> v("v", 6, 6, 6);
+  mkk::parallel_for(mkk::MDRangePolicy3<mkk::Serial>({1, 2, 3}, {4, 5, 6}),
+                    [&](std::size_t i, std::size_t j, std::size_t k) {
+                      v(i, j, k) = 1;
+                    });
+  int count = 0;
+  v.for_each_index([&](auto i, auto j, auto k) { count += v(i, j, k); });
+  EXPECT_EQ(count, 27);
+}
+
+TEST_F(KokkosParallelTest, ReduceSumSerialAndHpxAgree) {
+  double serial = 0.0;
+  mkk::parallel_reduce(
+      mkk::RangePolicy<mkk::Serial>(0, 10000),
+      [](std::size_t i, double& acc) { acc += static_cast<double>(i); },
+      serial);
+  double hpx = 0.0;
+  mkk::parallel_reduce(
+      mkk::RangePolicy<mkk::Hpx>(0, 10000),
+      [](std::size_t i, double& acc) { acc += static_cast<double>(i); }, hpx);
+  EXPECT_DOUBLE_EQ(serial, 49995000.0);
+  EXPECT_DOUBLE_EQ(hpx, serial);
+}
+
+TEST_F(KokkosParallelTest, ReduceMDRange) {
+  mkk::View<double, 3> v("v", 4, 4, 4);
+  v.fill(0.5);
+  double sum = 0.0;
+  mkk::parallel_reduce(mkk::MDRangePolicy3<mkk::Hpx>({0, 0, 0}, {4, 4, 4}),
+                       [&](std::size_t i, std::size_t j, std::size_t k,
+                           double& acc) { acc += v(i, j, k); },
+                       sum);
+  EXPECT_DOUBLE_EQ(sum, 32.0);
+}
+
+TEST_F(KokkosParallelTest, ReduceEmptyRangeYieldsZero) {
+  double sum = 99.0;
+  mkk::parallel_reduce(mkk::RangePolicy<mkk::Hpx>(7, 7),
+                       [](std::size_t, double& acc) { acc += 1.0; }, sum);
+  EXPECT_DOUBLE_EQ(sum, 0.0);
+}
+
+TEST_F(KokkosParallelTest, AsyncParallelForReturnsFuture) {
+  std::vector<std::atomic<int>> hits(200);
+  auto f = mkk::async_parallel_for(
+      mkk::RangePolicy<mkk::Hpx>(0, hits.size()),
+      [&](std::size_t i) { hits[i].fetch_add(1); });
+  f.get();
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(KokkosParallelTest, AsyncParallelReduceCarriesResult) {
+  auto f = mkk::async_parallel_reduce<long>(
+      mkk::RangePolicy<mkk::Serial>(1, 101),
+      [](std::size_t i, long& acc) { acc += static_cast<long>(i); });
+  EXPECT_EQ(f.get(), 5050);
+}
+
+TEST_F(KokkosParallelTest, ConcurrentSerialKernelsUseTaskParallelism) {
+  // The paper's point about the Serial space: one kernel per sub-grid,
+  // many kernels in flight concurrently => multicore usage without an
+  // intra-kernel parallel space. Here: 16 serial kernels as futures.
+  std::vector<mhpx::future<void>> futs;
+  std::vector<std::atomic<int>> done(16);
+  for (int g = 0; g < 16; ++g) {
+    futs.push_back(mkk::async_parallel_for(
+        mkk::RangePolicy<mkk::Serial>(0, 100),
+        [&done, g](std::size_t) { done[static_cast<std::size_t>(g)] = 1; }));
+  }
+  for (auto& f : futs) {
+    f.get();
+  }
+  for (const auto& d : done) {
+    EXPECT_EQ(d.load(), 1);
+  }
+}
+
+TEST(KokkosNoRuntime, HpxSpaceWithoutRuntimeThrows) {
+  EXPECT_THROW(mkk::parallel_for(mkk::RangePolicy<mkk::Hpx>(0, 10),
+                                 [](std::size_t) {}),
+               std::runtime_error);
+}
+
+TEST(KernelType, ToStringCoversAll) {
+  EXPECT_EQ(mkk::to_string(mkk::KernelType::legacy), "legacy-hpx");
+  EXPECT_EQ(mkk::to_string(mkk::KernelType::kokkos_serial), "kokkos-serial");
+  EXPECT_EQ(mkk::to_string(mkk::KernelType::kokkos_hpx), "kokkos-hpx");
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for mkk::parallel_scan and the atomic update helpers.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+#include "minikokkos/scan_atomic.hpp"
+
+namespace {
+
+struct ScanAtomicTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST_F(ScanAtomicTest, SerialScanPrefixSums) {
+  std::vector<long> in(100);
+  std::iota(in.begin(), in.end(), 1);
+  std::vector<long> out(in.size());
+  const long total = mkk::parallel_scan(
+      mkk::RangePolicy<mkk::Serial>(0, in.size()),
+      [&](std::size_t i, long& acc, bool final) {
+        acc += in[i];
+        if (final) {
+          out[i] = acc;  // inclusive prefix
+        }
+      },
+      0L);
+  EXPECT_EQ(total, 5050);
+  std::vector<long> expect(in.size());
+  std::partial_sum(in.begin(), in.end(), expect.begin());
+  EXPECT_EQ(out, expect);
+}
+
+TEST_F(ScanAtomicTest, HpxScanMatchesSerial) {
+  std::vector<int> in(4099);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<int>(i % 11) - 5;
+  }
+  std::vector<int> serial_out(in.size());
+  std::vector<int> hpx_out(in.size());
+  auto body = [&](std::vector<int>& out) {
+    return [&in, &out](std::size_t i, int& acc, bool final) {
+      acc += in[i];
+      if (final) {
+        out[i] = acc;
+      }
+    };
+  };
+  const int t1 = mkk::parallel_scan(
+      mkk::RangePolicy<mkk::Serial>(0, in.size()), body(serial_out), 0);
+  const int t2 = mkk::parallel_scan(mkk::RangePolicy<mkk::Hpx>(0, in.size()),
+                                    body(hpx_out), 0);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(serial_out, hpx_out);
+}
+
+TEST_F(ScanAtomicTest, ScanWithInit) {
+  std::vector<int> out(10);
+  const int total = mkk::parallel_scan(
+      mkk::RangePolicy<mkk::Serial>(0, 10),
+      [&](std::size_t i, int& acc, bool final) {
+        acc += 1;
+        if (final) {
+          out[i] = acc;
+        }
+      },
+      100);
+  EXPECT_EQ(total, 110);
+  EXPECT_EQ(out[0], 101);
+  EXPECT_EQ(out[9], 110);
+}
+
+TEST_F(ScanAtomicTest, EmptyScan) {
+  const int total = mkk::parallel_scan(
+      mkk::RangePolicy<mkk::Hpx>(5, 5),
+      [](std::size_t, int&, bool) { FAIL(); }, 7);
+  EXPECT_EQ(total, 7);
+}
+
+TEST_F(ScanAtomicTest, ScanUseCaseStreamCompaction) {
+  // Classic Kokkos use: build output indices for a filtered set.
+  std::vector<int> in(1000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<int>(i);
+  }
+  std::vector<int> selected(in.size(), -1);
+  const int count = mkk::parallel_scan(
+      mkk::RangePolicy<mkk::Serial>(0, in.size()),
+      [&](std::size_t i, int& acc, bool final) {
+        const bool keep = in[i] % 3 == 0;
+        if (final && keep) {
+          selected[static_cast<std::size_t>(acc)] = in[i];
+        }
+        if (keep) {
+          acc += 1;
+        }
+      },
+      0);
+  EXPECT_EQ(count, 334);  // 0, 3, ..., 999
+  EXPECT_EQ(selected[0], 0);
+  EXPECT_EQ(selected[333], 999);
+  EXPECT_EQ(selected[334], -1);
+}
+
+TEST_F(ScanAtomicTest, AtomicAddDouble) {
+  double sum = 0.0;
+  mkk::parallel_for(mkk::RangePolicy<mkk::Hpx>(0, 10000),
+                    [&](std::size_t) { mkk::atomic_add(&sum, 0.5); });
+  EXPECT_DOUBLE_EQ(sum, 5000.0);
+}
+
+TEST_F(ScanAtomicTest, AtomicAddIntegral) {
+  long count = 0;
+  mkk::parallel_for(mkk::RangePolicy<mkk::Threads>(mkk::Threads{3}, 0, 9999),
+                    [&](std::size_t) { mkk::atomic_add(&count, 1L); });
+  EXPECT_EQ(count, 9999);
+}
+
+TEST_F(ScanAtomicTest, AtomicScatterAddHistogram) {
+  std::vector<double> histogram(16, 0.0);
+  mkk::parallel_for(mkk::RangePolicy<mkk::Hpx>(0, 16000),
+                    [&](std::size_t i) {
+                      mkk::atomic_add(&histogram[i % 16], 1.0);
+                    });
+  for (const double bin : histogram) {
+    EXPECT_DOUBLE_EQ(bin, 1000.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests for the portable SIMD types (scalar and native ABIs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "minikokkos/simd.hpp"
+
+namespace {
+
+template <typename Simd>
+class SimdTypedTest : public ::testing::Test {};
+
+using SimdWidths =
+    ::testing::Types<mkk::simd<double, 1>, mkk::simd<double, 2>,
+                     mkk::simd<double, 4>, mkk::simd<double, 8>,
+                     mkk::simd<float, 4>>;
+TYPED_TEST_SUITE(SimdTypedTest, SimdWidths);
+
+TYPED_TEST(SimdTypedTest, BroadcastAndIndex) {
+  TypeParam v(3);
+  for (int i = 0; i < TypeParam::size(); ++i) {
+    EXPECT_EQ(v[i], typename TypeParam::value_type(3));
+  }
+}
+
+TYPED_TEST(SimdTypedTest, Arithmetic) {
+  using T = typename TypeParam::value_type;
+  TypeParam a(6);
+  TypeParam b(2);
+  EXPECT_EQ((a + b)[0], T(8));
+  EXPECT_EQ((a - b)[0], T(4));
+  EXPECT_EQ((a * b)[0], T(12));
+  EXPECT_EQ((a / b)[0], T(3));
+  EXPECT_EQ((-a)[0], T(-6));
+}
+
+TYPED_TEST(SimdTypedTest, CompoundAssign) {
+  using T = typename TypeParam::value_type;
+  TypeParam a(1);
+  a += TypeParam(2);
+  a *= TypeParam(3);
+  a -= TypeParam(4);
+  a /= TypeParam(5);
+  EXPECT_EQ(a[TypeParam::size() - 1], T(1));
+}
+
+TYPED_TEST(SimdTypedTest, LoadStoreRoundTrip) {
+  using T = typename TypeParam::value_type;
+  std::vector<T> src(TypeParam::size());
+  for (int i = 0; i < TypeParam::size(); ++i) {
+    src[static_cast<std::size_t>(i)] = static_cast<T>(i + 1);
+  }
+  auto v = TypeParam::load(src.data());
+  std::vector<T> dst(TypeParam::size());
+  v.store(dst.data());
+  EXPECT_EQ(src, dst);
+}
+
+TYPED_TEST(SimdTypedTest, FmaMatchesScalar) {
+  using T = typename TypeParam::value_type;
+  TypeParam a(3);
+  TypeParam b(4);
+  TypeParam c(5);
+  auto r = fma(a, b, c);
+  for (int i = 0; i < TypeParam::size(); ++i) {
+    EXPECT_EQ(r[i], T(17));
+  }
+}
+
+TYPED_TEST(SimdTypedTest, MinMaxAbsSqrt) {
+  using T = typename TypeParam::value_type;
+  TypeParam a(-4);
+  TypeParam b(9);
+  EXPECT_EQ(max(a, b)[0], T(9));
+  EXPECT_EQ(min(a, b)[0], T(-4));
+  EXPECT_EQ(abs(a)[0], T(4));
+  EXPECT_EQ(sqrt(b)[0], T(3));
+}
+
+TYPED_TEST(SimdTypedTest, Reductions) {
+  using T = typename TypeParam::value_type;
+  std::vector<T> src(TypeParam::size());
+  for (int i = 0; i < TypeParam::size(); ++i) {
+    src[static_cast<std::size_t>(i)] = static_cast<T>(i + 1);
+  }
+  auto v = TypeParam::load(src.data());
+  const int n = TypeParam::size();
+  EXPECT_EQ(v.reduce_sum(), static_cast<T>(n * (n + 1) / 2));
+  EXPECT_EQ(v.reduce_max(), static_cast<T>(n));
+}
+
+TEST(SimdNative, WidthMatchesArchitecture) {
+  // On the x86-64 build host the native width must be >= 2; the scalar ABI
+  // is always width 1 (what a vectorless U74-MC would use).
+  EXPECT_GE(mkk::native_double_width, 1);
+  EXPECT_EQ(mkk::scalar_simd_double::size(), 1);
+#if defined(__AVX__)
+  EXPECT_GE(mkk::native_simd_double::size(), 4);
+#endif
+}
+
+TEST(SimdNative, VectorisedDotProductMatchesScalar) {
+  constexpr std::size_t n = 1024;
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = 0.5 + static_cast<double>(i % 13);
+    b[i] = 1.5 - static_cast<double>(i % 7);
+  }
+  double scalar = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scalar += a[i] * b[i];
+  }
+  using V = mkk::native_simd_double;
+  V acc(0.0);
+  const std::size_t w = static_cast<std::size_t>(V::size());
+  for (std::size_t i = 0; i < n; i += w) {
+    acc = fma(V::load(&a[i]), V::load(&b[i]), acc);
+  }
+  EXPECT_NEAR(acc.reduce_sum(), scalar, std::abs(scalar) * 1e-12);
+}
+
+}  // namespace

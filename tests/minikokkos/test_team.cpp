@@ -1,0 +1,114 @@
+// Tests for the hierarchical TeamPolicy subset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "minihpx/runtime.hpp"
+#include "minikokkos/team.hpp"
+
+namespace {
+
+struct TeamTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST_F(TeamTest, EveryTeamThreadPairRunsOnce) {
+  constexpr std::size_t league = 8;
+  constexpr unsigned team = 4;
+  std::vector<std::atomic<int>> hits(league * team);
+  mkk::parallel_for(mkk::TeamPolicy<mkk::Hpx>(league, team),
+                    [&](const mkk::TeamMember& m) {
+                      hits[m.league_rank() * team + m.team_rank()]
+                          .fetch_add(1);
+                    });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(TeamTest, MemberIdentities) {
+  mkk::parallel_for(mkk::TeamPolicy<mkk::Serial>(3, 2),
+                    [&](const mkk::TeamMember& m) {
+                      EXPECT_LT(m.league_rank(), 3u);
+                      EXPECT_LT(m.team_rank(), 2u);
+                      EXPECT_EQ(m.team_size(), 2u);
+                    });
+}
+
+TEST_F(TeamTest, TeamThreadRangeCoversExactly) {
+  constexpr std::size_t n = 37;
+  constexpr unsigned team = 4;
+  std::vector<std::atomic<int>> hits(n);
+  mkk::parallel_for(mkk::TeamPolicy<mkk::Serial>(1, team),
+                    [&](const mkk::TeamMember& m) {
+                      mkk::team_thread_range(m, n, [&](std::size_t i) {
+                        hits[i].fetch_add(1);
+                      });
+                    });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_F(TeamTest, TeamReduction) {
+  constexpr std::size_t league = 6;
+  constexpr unsigned team = 3;
+  std::vector<long> per_team(league, 0);
+  // Each team sums its slice of [0, 90): league r gets [15r, 15(r+1)).
+  mkk::parallel_for(
+      mkk::TeamPolicy<mkk::Hpx>(league, team),
+      [&](const mkk::TeamMember& m) {
+        long local = 0;
+        mkk::team_thread_range(m, 15, [&](std::size_t i) {
+          local += static_cast<long>(m.league_rank() * 15 + i);
+        });
+        mkk::team_reduce_add(m, local, per_team[m.league_rank()]);
+      });
+  long total = 0;
+  for (const long t : per_team) {
+    total += t;
+  }
+  EXPECT_EQ(total, 89 * 90 / 2);
+}
+
+TEST_F(TeamTest, NestedTeamsMatchFlatLoop) {
+  // A blocked matrix-vector product via teams equals the flat computation.
+  constexpr std::size_t rows = 32;
+  constexpr std::size_t cols = 16;
+  std::vector<double> a(rows * cols);
+  std::vector<double> x(cols);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<double>(i % 7) * 0.25;
+  }
+  for (std::size_t j = 0; j < cols; ++j) {
+    x[j] = 1.0 + static_cast<double>(j % 3);
+  }
+  std::vector<double> flat(rows, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      flat[i] += a[i * cols + j] * x[j];
+    }
+  }
+  std::vector<double> teamed(rows, 0.0);
+  mkk::parallel_for(mkk::TeamPolicy<mkk::Hpx>(rows, 4),
+                    [&](const mkk::TeamMember& m) {
+                      const std::size_t i = m.league_rank();
+                      double local = 0.0;
+                      mkk::team_thread_range(m, cols, [&](std::size_t j) {
+                        local += a[i * cols + j] * x[j];
+                      });
+                      mkk::team_reduce_add(m, local, teamed[i]);
+                    });
+  for (std::size_t i = 0; i < rows; ++i) {
+    EXPECT_NEAR(teamed[i], flat[i], 1e-12);
+  }
+}
+
+TEST_F(TeamTest, EmptyLeagueIsNoop) {
+  mkk::parallel_for(mkk::TeamPolicy<mkk::Hpx>(0, 4),
+                    [&](const mkk::TeamMember&) { FAIL(); });
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Unit tests for mkk::View (extents, layouts, subviews, deep_copy).
+
+#include <gtest/gtest.h>
+
+#include "minikokkos/view.hpp"
+
+namespace {
+
+TEST(View, Rank1Basics) {
+  mkk::View<double, 1> v("v", 10);
+  EXPECT_EQ(v.extent(0), 10u);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_TRUE(v.allocated());
+  EXPECT_EQ(v.label(), "v");
+  v(3) = 2.5;
+  EXPECT_DOUBLE_EQ(v(3), 2.5);
+  EXPECT_DOUBLE_EQ(v(0), 0.0);  // zero-initialised
+}
+
+TEST(View, DefaultConstructedIsUnallocated) {
+  mkk::View<int, 2> v;
+  EXPECT_FALSE(v.allocated());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(View, Rank3IndexingIsBijective) {
+  mkk::View<int, 3> v("v", 4, 5, 6);
+  int counter = 0;
+  v.for_each_index([&](auto i, auto j, auto k) { v(i, j, k) = counter++; });
+  counter = 0;
+  v.for_each_index([&](auto i, auto j, auto k) {
+    EXPECT_EQ(v(i, j, k), counter++);
+  });
+  EXPECT_EQ(counter, 4 * 5 * 6);
+}
+
+TEST(View, LayoutRightStrides) {
+  mkk::View<double, 3, mkk::LayoutRight> v("v", 2, 3, 4);
+  EXPECT_EQ(v.stride(0), 12u);
+  EXPECT_EQ(v.stride(1), 4u);
+  EXPECT_EQ(v.stride(2), 1u);
+  // Last index is contiguous.
+  EXPECT_EQ(&v(0, 0, 1) - &v(0, 0, 0), 1);
+}
+
+TEST(View, LayoutLeftStrides) {
+  mkk::View<double, 3, mkk::LayoutLeft> v("v", 2, 3, 4);
+  EXPECT_EQ(v.stride(0), 1u);
+  EXPECT_EQ(v.stride(1), 2u);
+  EXPECT_EQ(v.stride(2), 6u);
+  // First index is contiguous.
+  EXPECT_EQ(&v(1, 0, 0) - &v(0, 0, 0), 1);
+}
+
+TEST(View, LayoutsHoldSameLogicalData) {
+  mkk::View<int, 2, mkk::LayoutRight> r("r", 3, 4);
+  mkk::View<int, 2, mkk::LayoutLeft> l("l", 3, 4);
+  int c = 0;
+  r.for_each_index([&](auto i, auto j) {
+    r(i, j) = c;
+    l(i, j) = c;
+    ++c;
+  });
+  r.for_each_index([&](auto i, auto j) { EXPECT_EQ(r(i, j), l(i, j)); });
+}
+
+TEST(View, SharedOwnership) {
+  mkk::View<double, 1> a("a", 5);
+  mkk::View<double, 1> b = a;  // aliases
+  b(2) = 9.0;
+  EXPECT_DOUBLE_EQ(a(2), 9.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(View, Fill) {
+  mkk::View<double, 2> v("v", 3, 3);
+  v.fill(7.5);
+  v.for_each_index([&](auto i, auto j) { EXPECT_DOUBLE_EQ(v(i, j), 7.5); });
+}
+
+TEST(View, SubviewAliasesParent) {
+  mkk::View<double, 3> v("v", 4, 3, 2);
+  int c = 0;
+  v.for_each_index(
+      [&](auto i, auto j, auto k) { v(i, j, k) = static_cast<double>(c++); });
+  auto s = v.subview(2);
+  EXPECT_EQ(s.extent(0), 3u);
+  EXPECT_EQ(s.extent(1), 2u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_DOUBLE_EQ(s(j, k), v(2, j, k));
+    }
+  }
+  s(1, 1) = -5.0;
+  EXPECT_DOUBLE_EQ(v(2, 1, 1), -5.0);
+  EXPECT_TRUE(s.contiguous());
+}
+
+TEST(View, SubviewOutOfRangeThrows) {
+  mkk::View<double, 2> v("v", 2, 2);
+  EXPECT_THROW((void)v.subview(2), std::out_of_range);
+}
+
+TEST(View, DeepCopySameLayout) {
+  mkk::View<int, 2> a("a", 2, 3);
+  mkk::View<int, 2> b("b", 2, 3);
+  int c = 0;
+  a.for_each_index([&](auto i, auto j) { a(i, j) = c++; });
+  mkk::deep_copy(b, a);
+  a.for_each_index([&](auto i, auto j) { EXPECT_EQ(b(i, j), a(i, j)); });
+}
+
+TEST(View, DeepCopyAcrossLayouts) {
+  mkk::View<int, 2, mkk::LayoutRight> a("a", 3, 2);
+  mkk::View<int, 2, mkk::LayoutLeft> b("b", 3, 2);
+  int c = 0;
+  a.for_each_index([&](auto i, auto j) { a(i, j) = c++; });
+  mkk::deep_copy(b, a);
+  a.for_each_index([&](auto i, auto j) { EXPECT_EQ(b(i, j), a(i, j)); });
+}
+
+TEST(View, DeepCopyShapeMismatchThrows) {
+  mkk::View<int, 1> a("a", 3);
+  mkk::View<int, 1> b("b", 4);
+  EXPECT_THROW(mkk::deep_copy(b, a), std::invalid_argument);
+}
+
+TEST(View, DeepCopyScalarFill) {
+  mkk::View<double, 1> v("v", 4);
+  mkk::deep_copy(v, 1.25);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(v(i), 1.25);
+  }
+}
+
+TEST(View, Rank4) {
+  mkk::View<float, 4> v("v", 2, 2, 2, 2);
+  EXPECT_EQ(v.size(), 16u);
+  v(1, 1, 1, 1) = 3.0F;
+  EXPECT_FLOAT_EQ(v(1, 1, 1, 1), 3.0F);
+}
+
+}  // namespace

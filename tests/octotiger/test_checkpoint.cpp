@@ -1,0 +1,107 @@
+// Checkpoint/restart tests: a restored simulation continues bit-identically
+// to an uninterrupted one.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "minihpx/runtime.hpp"
+#include "octotiger/checkpoint.hpp"
+#include "octotiger/driver.hpp"
+
+namespace {
+
+using namespace octo;
+
+struct CheckpointTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 128 * 1024}};
+  void TearDown() override { std::remove("test_restart.chk"); }
+
+  static Options small() {
+    Options opt;
+    opt.max_level = 1;
+    opt.refine_radius = 10.0;
+    opt.stop_step = 4;
+    return opt;
+  }
+};
+
+TEST_F(CheckpointTest, RoundTripPreservesStateBitwise) {
+  Simulation sim(small());
+  sim.step();
+  sim.step();
+  save_checkpoint(sim, "test_restart.chk");
+  Simulation restored = load_checkpoint("test_restart.chk");
+
+  EXPECT_EQ(restored.stats().steps, 2u);
+  EXPECT_EQ(restored.stats().sim_time, sim.stats().sim_time);
+  EXPECT_EQ(restored.tree().leaf_count(), sim.tree().leaf_count());
+  for (std::size_t l = 0; l < sim.tree().leaf_count(); ++l) {
+    const auto& a = sim.tree().leaves()[l]->grid;
+    const auto& b = restored.tree().leaves()[l]->grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        EXPECT_EQ(a.u(f, i, i, i), b.u(f, i, i, i));
+      }
+    }
+  }
+}
+
+TEST_F(CheckpointTest, RestartContinuesBitIdentically) {
+  // Path A: 4 uninterrupted steps.
+  Simulation uninterrupted(small());
+  uninterrupted.run();
+
+  // Path B: 2 steps, checkpoint, restore, 2 more steps.
+  Simulation first_half(small());
+  first_half.step();
+  first_half.step();
+  save_checkpoint(first_half, "test_restart.chk");
+  Simulation second_half = load_checkpoint("test_restart.chk");
+  second_half.step();
+  second_half.step();
+
+  EXPECT_EQ(second_half.stats().steps, 4u);
+  EXPECT_EQ(second_half.stats().sim_time, uninterrupted.stats().sim_time);
+  for (std::size_t l = 0; l < uninterrupted.tree().leaf_count(); ++l) {
+    const auto& a = uninterrupted.tree().leaves()[l]->grid;
+    const auto& b = second_half.tree().leaves()[l]->grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            ASSERT_EQ(a.u(f, i, j, k), b.u(f, i, j, k))
+                << "leaf " << l << " field " << f;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CheckpointTest, RejectsCorruptFiles) {
+  {
+    std::FILE* f = std::fopen("test_restart.chk", "wb");
+    const char junk[] = "this is not a checkpoint";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)load_checkpoint("test_restart.chk"),
+               std::runtime_error);
+  EXPECT_THROW((void)load_checkpoint("/nonexistent/file.chk"),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointTest, BinaryProblemRoundTrips) {
+  Options opt = small();
+  opt.problem = Options::Problem::binary_star;
+  opt.max_level = 2;
+  Simulation sim(opt);
+  sim.step();
+  save_checkpoint(sim, "test_restart.chk");
+  Simulation restored = load_checkpoint("test_restart.chk");
+  EXPECT_EQ(restored.options().problem, Options::Problem::binary_star);
+  EXPECT_EQ(restored.totals().rho, sim.totals().rho);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Integration tests: distributed Octo-Tiger across simulated localities
+// must reproduce the single-locality results over every parcelport.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sim/trace.hpp"
+#include "octotiger/distributed/dist_driver.hpp"
+#include "octotiger/driver.hpp"
+
+namespace {
+
+using namespace octo;
+namespace md = mhpx::dist;
+
+Options small_star(unsigned localities) {
+  Options opt;
+  opt.max_level = 1;
+  opt.refine_radius = 10.0;  // uniform 8-leaf mesh
+  opt.stop_step = 2;
+  opt.threads = 2;
+  opt.localities = localities;
+  return opt;
+}
+
+class DistDriverTest : public ::testing::TestWithParam<md::FabricKind> {};
+
+TEST_P(DistDriverTest, PartitionsCoverAllLeaves) {
+  dist::DistSimulation sim(small_star(2), GetParam());
+  EXPECT_EQ(sim.num_localities(), 2u);
+  EXPECT_EQ(sim.total_cells(), 8 * CELLS_PER_GRID);
+}
+
+TEST_P(DistDriverTest, MatchesSingleLocalityRun) {
+  // Reference: the shared-memory driver.
+  double ref_mass = 0.0;
+  double ref_energy = 0.0;
+  double ref_dt = 0.0;
+  {
+    mhpx::Runtime rt{{2, 128 * 1024}};
+    Options opt = small_star(1);
+    Simulation ref(opt);
+    ref.run();
+    ref_mass = ref.totals().rho;
+    ref_energy = ref.totals().egas;
+    ref_dt = ref.stats().last_dt;
+  }
+
+  dist::DistSimulation sim(small_star(2), GetParam());
+  sim.run();
+  EXPECT_EQ(sim.stats().steps, 2u);
+  // Same physics on both drivers: conserved totals agree tightly. (Bitwise
+  // equality is not expected: summation orders differ across partitions.)
+  const Cons t = sim.totals();
+  EXPECT_NEAR(t.rho, ref_mass, 1e-10 * ref_mass);
+  EXPECT_NEAR(t.egas, ref_energy, 1e-8 * std::abs(ref_energy));
+  EXPECT_NEAR(sim.stats().last_dt, ref_dt, 1e-12);
+}
+
+TEST_P(DistDriverTest, MassConservedAcrossSteps) {
+  dist::DistSimulation sim(small_star(2), GetParam());
+  const double before = sim.totals().rho;
+  sim.run();
+  EXPECT_NEAR(sim.totals().rho, before, 1e-6 * before);
+}
+
+TEST_P(DistDriverTest, ParcelsFlowThroughFabric) {
+  dist::DistSimulation sim(small_star(2), GetParam());
+  sim.step();
+  const auto stats = sim.runtime().fabric().stats();
+  EXPECT_GT(stats.messages, 10u);   // moments + fields + stages + replies
+  EXPECT_GT(stats.bytes, 10000u);   // boundary fields are the bulk
+}
+
+INSTANTIATE_TEST_SUITE_P(Fabrics, DistDriverTest,
+                         ::testing::Values(md::FabricKind::inproc,
+                                           md::FabricKind::tcp,
+                                           md::FabricKind::mpisim),
+                         [](const auto& info) {
+                           return std::string(md::to_string(info.param));
+                         });
+
+TEST(DistDriver, FourLocalitiesAgreeWithTwo) {
+  Options opt2 = small_star(2);
+  dist::DistSimulation a(opt2, md::FabricKind::inproc);
+  a.run();
+  Options opt4 = small_star(4);
+  dist::DistSimulation b(opt4, md::FabricKind::inproc);
+  b.run();
+  EXPECT_NEAR(a.totals().rho, b.totals().rho, 1e-10 * a.totals().rho);
+  EXPECT_NEAR(a.stats().last_dt, b.stats().last_dt, 1e-12);
+}
+
+TEST(DistDriver, TraceAttributesTasksAndParcels) {
+  rveval::sim::TraceCollector trace;
+  {
+    dist::DistSimulation sim(small_star(2), md::FabricKind::inproc);
+    trace.map_scheduler(&sim.runtime().locality(0).scheduler(), 0);
+    trace.map_scheduler(&sim.runtime().locality(1).scheduler(), 1);
+    sim.set_phase_marker([&](const std::string& p) { trace.begin_phase(p); });
+    sim.step();
+    sim.runtime().wait_all_idle();
+  }
+  const auto phases = trace.finish();
+  ASSERT_FALSE(phases.empty());
+  double flops0 = 0.0;
+  double flops1 = 0.0;
+  std::size_t parcels = 0;
+  for (const auto& p : phases) {
+    for (const auto& t : p.tasks) {
+      (t.locality == 0 ? flops0 : flops1) += t.flops;
+    }
+    parcels += p.parcels.size();
+  }
+  // Both partitions did real kernel work, and parcels were recorded.
+  EXPECT_GT(flops0, 0.0);
+  EXPECT_GT(flops1, 0.0);
+  EXPECT_GT(parcels, 0u);
+  // The contiguous split of 8 uniform leaves is 4/4: kernel flops should
+  // be roughly balanced.
+  EXPECT_NEAR(flops0 / flops1, 1.0, 0.5);
+}
+
+}  // namespace

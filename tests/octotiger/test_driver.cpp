@@ -1,0 +1,203 @@
+// End-to-end tests of the Simulation driver: the rotating-star benchmark
+// problem, conservation properties, kernel-configuration equivalence and
+// run statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sim/trace.hpp"
+#include "minihpx/runtime.hpp"
+#include "octotiger/driver.hpp"
+#include "octotiger/init/rotating_star.hpp"
+
+namespace {
+
+using namespace octo;
+
+Options small_star() {
+  Options opt;
+  opt.max_level = 1;
+  opt.refine_radius = 10.0;  // uniform 8-leaf mesh, fast
+  opt.stop_step = 2;
+  return opt;
+}
+
+TEST(RotatingStar, PolytropeProfile) {
+  // n=1 polytrope closed form: rho(0) = rho_c, rho(R) = floor, monotone.
+  EXPECT_NEAR(init::polytrope_density(0.0, 0.35, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(init::polytrope_density(0.175, 0.35, 1.0), 2.0 / M_PI, 1e-9);
+  EXPECT_DOUBLE_EQ(init::polytrope_density(0.4, 0.35, 1.0), rho_floor);
+  EXPECT_GT(init::polytrope_density(0.1, 0.35, 1.0),
+            init::polytrope_density(0.2, 0.35, 1.0));
+}
+
+TEST(RotatingStar, AnalyticMassMatchesGridMass) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt = small_star();
+  Simulation sim(opt);
+  const double analytic = init::polytrope_mass(opt.star_radius, opt.star_rho_c);
+  // Level-1 grid is coarse (dx = 1/8); expect agreement within ~10%.
+  EXPECT_NEAR(sim.totals().rho, analytic, 0.1 * analytic);
+}
+
+TEST(RotatingStar, RotationVelocityField) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt = small_star();
+  opt.star_omega = 0.3;
+  Simulation sim(opt);
+  // v = omega x r: at (x, 0, 0), v = (0, omega x, 0).
+  const double x = 0.2;
+  const double sy = sim.tree().sample(f_sy, {x, 0.03, 0.03});
+  const double rho = sim.tree().sample(f_rho, {x, 0.03, 0.03});
+  EXPECT_GT(rho, 10 * rho_floor);
+  EXPECT_NEAR(sy / rho, opt.star_omega * x, 0.05);
+  // No vertical motion.
+  EXPECT_NEAR(sim.tree().sample(f_sz, {x, 0.03, 0.03}), 0.0, 1e-12);
+}
+
+TEST(Driver, DtIsPositiveAndCflBounded) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Simulation sim(small_star());
+  const double dt = sim.compute_dt();
+  EXPECT_GT(dt, 0.0);
+  // dt <= cfl * dx / c_min-ish: sanity upper bound with dx = 0.25/2... use
+  // loose cap: the sound speed in the star center is ~sqrt(gamma P/rho).
+  EXPECT_LT(dt, 1.0);
+}
+
+TEST(Driver, StepAdvancesStats) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Simulation sim(small_star());
+  const std::size_t cells = sim.tree().total_cells();
+  sim.run();
+  EXPECT_EQ(sim.stats().steps, 2u);
+  EXPECT_EQ(sim.stats().cells_processed, 2 * cells);
+  EXPECT_GT(sim.stats().sim_time, 0.0);
+  EXPECT_GT(sim.stats().last_dt, 0.0);
+}
+
+TEST(Driver, MassIsConserved) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt = small_star();
+  opt.stop_step = 3;
+  Simulation sim(opt);
+  const double before = sim.totals().rho;
+  sim.run();
+  const double after = sim.totals().rho;
+  // The star is compact; only floor-level flux crosses the boundary.
+  EXPECT_NEAR(after, before, 1e-6 * before);
+}
+
+TEST(Driver, MomentumStaysNearZero) {
+  // A centred, axisymmetric rotating star has zero net momentum; gravity
+  // and hydro must not create any (beyond truncation-level noise).
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt = small_star();
+  opt.stop_step = 3;
+  Simulation sim(opt);
+  sim.run();
+  const Cons t = sim.totals();
+  const double scale = t.rho;  // mass as the reference magnitude
+  EXPECT_NEAR(t.sx / scale, 0.0, 1e-3);
+  EXPECT_NEAR(t.sy / scale, 0.0, 1e-3);
+  EXPECT_NEAR(t.sz / scale, 0.0, 1e-3);
+}
+
+TEST(Driver, StarStaysBound) {
+  // After a few steps with gravity on, the star's center must still hold
+  // its central density (no explosion / collapse at this step count).
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt = small_star();
+  opt.stop_step = 3;
+  Simulation sim(opt);
+  const double rho0 = sim.tree().sample(f_rho, {0.03, 0.03, 0.03});
+  sim.run();
+  const double rho1 = sim.tree().sample(f_rho, {0.03, 0.03, 0.03});
+  EXPECT_GT(rho1, 0.3 * rho0);
+  EXPECT_LT(rho1, 3.0 * rho0);
+}
+
+TEST(Driver, KernelConfigurationsProduceSameState) {
+  // The three Fig. 7 configurations (legacy / kokkos-serial / kokkos-hpx)
+  // are different execution strategies of identical math: after a step the
+  // states must agree bitwise.
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  auto run_with = [&](mkk::KernelType k) {
+    Options opt = small_star();
+    opt.stop_step = 1;
+    opt.hydro_kernel = k;
+    opt.multipole_kernel = k;
+    opt.monopole_kernel = k;
+    Simulation sim(opt);
+    sim.run();
+    return sim;
+  };
+  const auto a = run_with(mkk::KernelType::legacy);
+  const auto b = run_with(mkk::KernelType::kokkos_serial);
+  const auto c = run_with(mkk::KernelType::kokkos_hpx);
+  for (std::size_t l = 0; l < a.tree().leaf_count(); ++l) {
+    const auto& ga = a.tree().leaves()[l]->grid;
+    const auto& gb = b.tree().leaves()[l]->grid;
+    const auto& gc = c.tree().leaves()[l]->grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      EXPECT_EQ(ga.u(f_rho, i, i, i), gb.u(f_rho, i, i, i));
+      EXPECT_EQ(ga.u(f_rho, i, i, i), gc.u(f_rho, i, i, i));
+      EXPECT_EQ(ga.u(f_egas, i, i, i), gb.u(f_egas, i, i, i));
+      EXPECT_EQ(ga.u(f_egas, i, i, i), gc.u(f_egas, i, i, i));
+    }
+  }
+}
+
+TEST(Driver, PhaseMarkersFireInOrder) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt = small_star();
+  opt.stop_step = 1;
+  Simulation sim(opt);
+  std::vector<std::string> phases;
+  sim.set_phase_marker([&](const std::string& p) { phases.push_back(p); });
+  sim.step();
+  ASSERT_GE(phases.size(), 6u);
+  EXPECT_EQ(phases[0], "gravity.moments");
+  EXPECT_EQ(phases[1], "gravity.kernels");
+  EXPECT_EQ(phases[2], "hydro.exchange");
+  EXPECT_EQ(phases[3], "hydro.kernels");
+  EXPECT_EQ(phases[4], "hydro.update");
+}
+
+TEST(Driver, TraceCapturesPerLeafTasks) {
+  rveval::sim::TraceCollector trace;
+  {
+    mhpx::Runtime rt{{2, 128 * 1024}};
+    trace.map_scheduler(&rt.scheduler(), 0);
+    Options opt = small_star();
+    opt.stop_step = 1;
+    Simulation sim(opt);
+    sim.set_phase_marker(
+        [&](const std::string& p) { trace.begin_phase(p); });
+    sim.step();
+    rt.scheduler().wait_idle();
+  }
+  const auto phases = trace.finish();
+  ASSERT_GE(phases.size(), 5u);
+  // The gravity and hydro kernel phases must contain one task per leaf
+  // with nonzero annotated flops.
+  bool found_gravity = false;
+  bool found_hydro = false;
+  for (const auto& p : phases) {
+    if (p.name == "gravity.kernels") {
+      found_gravity = true;
+      EXPECT_EQ(p.tasks.size(), 8u);  // one per leaf
+      EXPECT_GT(p.total_flops(), 0.0);
+    }
+    if (p.name == "hydro.kernels") {
+      found_hydro = true;
+      EXPECT_EQ(p.tasks.size(), 8u);
+      EXPECT_GT(p.total_flops(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found_gravity);
+  EXPECT_TRUE(found_hydro);
+}
+
+}  // namespace

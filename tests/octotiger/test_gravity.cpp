@@ -1,0 +1,303 @@
+// Gravity solver validation: multipole math against numerical gradients,
+// moments of known configurations, kernel-flavour equivalence, and the FMM
+// against the direct O(N^2) solver and the analytic uniform-sphere field.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "minihpx/runtime.hpp"
+#include "octotiger/gravity/solver.hpp"
+#include "octotiger/init/rotating_star.hpp"
+#include "octotiger/octree.hpp"
+#include "octotiger/options.hpp"
+
+namespace {
+
+using namespace octo;
+
+// ------------------------------------------------------ multipole algebra
+
+TEST(Multipole, MonopoleFieldOfPointMass) {
+  gravity::Multipole m;
+  m.mass = 2.0;
+  m.com = {0.1, -0.2, 0.3};
+  double phi = 0.0;
+  Vec3 g{};
+  gravity::evaluate(m, {1.1, -0.2, 0.3}, phi, g);  // distance 1 along +x
+  EXPECT_NEAR(phi, -2.0, 1e-12);
+  EXPECT_NEAR(g.x, -2.0, 1e-12);  // toward the mass
+  EXPECT_NEAR(g.y, 0.0, 1e-12);
+  EXPECT_NEAR(g.z, 0.0, 1e-12);
+}
+
+TEST(Multipole, GradientMatchesNumericalDerivative) {
+  gravity::Multipole m;
+  m.mass = 1.5;
+  m.com = {0, 0, 0};
+  m.quad = {0.02, 0.05, 0.01, 0.004, -0.003, 0.002};
+  const Vec3 p{0.8, -0.5, 0.6};
+  const double h = 1e-6;
+  auto phi_at = [&](Vec3 q) {
+    double phi = 0.0;
+    Vec3 g{};
+    gravity::evaluate(m, q, phi, g);
+    return phi;
+  };
+  double phi = 0.0;
+  Vec3 g{};
+  gravity::evaluate(m, p, phi, g);
+  const double gx = -(phi_at({p.x + h, p.y, p.z}) -
+                      phi_at({p.x - h, p.y, p.z})) / (2 * h);
+  const double gy = -(phi_at({p.x, p.y + h, p.z}) -
+                      phi_at({p.x, p.y - h, p.z})) / (2 * h);
+  const double gz = -(phi_at({p.x, p.y, p.z + h}) -
+                      phi_at({p.x, p.y, p.z - h})) / (2 * h);
+  EXPECT_NEAR(g.x, gx, 1e-6);
+  EXPECT_NEAR(g.y, gy, 1e-6);
+  EXPECT_NEAR(g.z, gz, 1e-6);
+}
+
+TEST(Multipole, QuadrupoleImprovesFarField) {
+  // Two equal point masses -> exact field; monopole-only truncation is
+  // worse than monopole+quadrupole at moderate distance.
+  const Vec3 a{0.1, 0, 0};
+  const Vec3 b{-0.1, 0, 0};
+  gravity::Multipole full;
+  full.mass = 2.0;
+  full.com = {0, 0, 0};
+  full.quad = {2 * 1.0 * 0.01, 0, 0, 0, 0, 0};
+  gravity::Multipole mono = full;
+  mono.quad = {};
+
+  const Vec3 p{0.8, 0.3, 0.0};
+  auto exact_phi = [&] {
+    return -1.0 / (p - a).norm() - 1.0 / (p - b).norm();
+  }();
+  double phi_full = 0.0;
+  double phi_mono = 0.0;
+  Vec3 g{};
+  gravity::evaluate(full, p, phi_full, g);
+  gravity::evaluate(mono, p, phi_mono, g);
+  EXPECT_LT(std::abs(phi_full - exact_phi), std::abs(phi_mono - exact_phi));
+}
+
+// ----------------------------------------------------------------- moments
+
+TEST(Moments, LeafMomentsOfUniformCube) {
+  SubGrid g({-0.5, -0.5, -0.5}, 1.0 / NX);
+  for (std::size_t i = 0; i < NX; ++i) {
+    for (std::size_t j = 0; j < NX; ++j) {
+      for (std::size_t k = 0; k < NX; ++k) {
+        g.u(f_rho, i, j, k) = 3.0;
+      }
+    }
+  }
+  const auto m = gravity::leaf_moments(g);
+  EXPECT_NEAR(m.mass, 3.0, 1e-12);  // rho * volume(1)
+  EXPECT_NEAR(m.com.x, 0.0, 1e-12);
+  EXPECT_NEAR(m.com.y, 0.0, 1e-12);
+  EXPECT_NEAR(m.com.z, 0.0, 1e-12);
+  // Uniform cube: diagonal quadrupole, off-diagonals vanish.
+  EXPECT_NEAR(m.quad[3], 0.0, 1e-12);
+  EXPECT_NEAR(m.quad[4], 0.0, 1e-12);
+  EXPECT_NEAR(m.quad[5], 0.0, 1e-12);
+  EXPECT_NEAR(m.quad[0], m.quad[1], 1e-12);
+  EXPECT_GT(m.quad[0], 0.0);
+}
+
+TEST(Moments, TreeMomentsSumLeafMasses) {
+  Octree t(1, 10.0);
+  double expected = 0.0;
+  for (TreeNode* leaf : t.leaves()) {
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          leaf->grid.u(f_rho, i, j, k) = 1.0 + leaf->grid.cell_center(i, j, k).x;
+        }
+      }
+    }
+    expected += gravity::leaf_moments(leaf->grid).mass;
+  }
+  gravity::compute_moments(t.root());
+  EXPECT_NEAR(t.root().moments.mass, expected, 1e-10);
+  // Parallel-axis combination must preserve the total quadrupole trace
+  // relative to a direct computation about the root com: check symmetry
+  // sanity instead (finite values, plausible sign).
+  EXPECT_GE(t.root().moments.quad[0], 0.0);
+}
+
+// -------------------------------------------------- solver vs direct sum
+
+void setup_star(Octree& tree, const Options& opt) {
+  init::rotating_star(tree, opt);
+}
+
+TEST(GravitySolver, MatchesDirectSolverOnStar) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt;
+  opt.max_level = 1;
+  opt.refine_radius = 10.0;  // uniform level-1 mesh: 8 leaves, 4096 cells
+  Octree fmm_tree(opt.max_level, opt.refine_radius);
+  Octree dir_tree(opt.max_level, opt.refine_radius);
+  setup_star(fmm_tree, opt);
+  setup_star(dir_tree, opt);
+
+  gravity::solve_all(fmm_tree, opt.theta, mkk::KernelType::legacy,
+                     mkk::KernelType::legacy);
+  gravity::direct_solve(dir_tree);
+
+  double max_rel_g = 0.0;
+  double max_rel_phi = 0.0;
+  for (std::size_t l = 0; l < fmm_tree.leaf_count(); ++l) {
+    const SubGrid& a = fmm_tree.leaves()[l]->grid;
+    const SubGrid& b = dir_tree.leaves()[l]->grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const Vec3 ga{a.g(0, i, j, k), a.g(1, i, j, k), a.g(2, i, j, k)};
+          const Vec3 gb{b.g(0, i, j, k), b.g(1, i, j, k), b.g(2, i, j, k)};
+          const double scale = std::max(gb.norm(), 1e-4);
+          max_rel_g = std::max(max_rel_g, (ga - gb).norm() / scale);
+          max_rel_phi = std::max(
+              max_rel_phi, std::abs(a.phi(i, j, k) - b.phi(i, j, k)) /
+                               std::max(std::abs(b.phi(i, j, k)), 1e-8));
+        }
+      }
+    }
+  }
+  // Level-1 uniform mesh: every pair is same-level adjacent, so the FMM
+  // path reduces to the exact offset-table P2P (plus mass pruning at the
+  // 1e-9 level).
+  EXPECT_LT(max_rel_g, 1e-6);
+  EXPECT_LT(max_rel_phi, 1e-6);
+}
+
+TEST(GravitySolver, MultipolePathAccuracyOnDeeperTree) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt;
+  opt.max_level = 2;
+  opt.refine_radius = 10.0;  // uniform level-2 mesh: 64 leaves
+  Octree fmm_tree(opt.max_level, opt.refine_radius);
+  Octree dir_tree(opt.max_level, opt.refine_radius);
+  setup_star(fmm_tree, opt);
+  setup_star(dir_tree, opt);
+
+  gravity::solve_all(fmm_tree, opt.theta, mkk::KernelType::legacy,
+                     mkk::KernelType::legacy);
+  // Direct reference only on three representative leaves (corner, center,
+  // far corner) to keep the O(N x M) cost bounded.
+  const std::vector<std::size_t> targets{0, fmm_tree.leaf_count() / 2,
+                                         fmm_tree.leaf_count() - 1};
+  gravity::direct_solve(dir_tree, targets);
+
+  double max_rel_g = 0.0;
+  for (const std::size_t l : targets) {
+    const SubGrid& a = fmm_tree.leaves()[l]->grid;
+    const SubGrid& b = dir_tree.leaves()[l]->grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const Vec3 ga{a.g(0, i, j, k), a.g(1, i, j, k), a.g(2, i, j, k)};
+          const Vec3 gb{b.g(0, i, j, k), b.g(1, i, j, k), b.g(2, i, j, k)};
+          const double scale = std::max(gb.norm(), 1e-3);
+          max_rel_g = std::max(max_rel_g, (ga - gb).norm() / scale);
+        }
+      }
+    }
+  }
+  // Quadrupole truncation at theta = 0.5 (with the documented same-level
+  // M2P fallback at theta_eff <~ 0.6): a few percent worst-case.
+  EXPECT_LT(max_rel_g, 0.05);
+}
+
+TEST(GravitySolver, UniformSphereInteriorFieldIsLinear) {
+  // Analytic check: inside a uniform sphere, g(r) = -(4/3) pi G rho r.
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt;
+  opt.max_level = 2;
+  opt.refine_radius = 10.0;
+  Octree tree(opt.max_level, opt.refine_radius);
+  const double R = 0.5;
+  const double rho0 = 1.0;
+  tree.for_each_leaf([&](TreeNode& leaf) {
+    SubGrid& g = leaf.grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          g.u(f_rho, i, j, k) =
+              g.cell_center(i, j, k).norm() < R ? rho0 : 0.0;
+        }
+      }
+    }
+  });
+  gravity::solve_all(tree, opt.theta, mkk::KernelType::kokkos_serial,
+                     mkk::KernelType::kokkos_serial);
+
+  const double c = 4.0 / 3.0 * M_PI * G_newton * rho0;
+  for (const double r : {0.15, 0.25, 0.35}) {
+    const Vec3 p{r, 0.0, 0.0};
+    const auto& leaf = tree.leaf_containing(p);
+    // Find the cell nearest p and compare |g| to the analytic line.
+    const SubGrid& g = leaf.grid;
+    const double dx = g.dx();
+    const auto i = static_cast<std::size_t>((p.x - g.origin().x) / dx);
+    const auto j = static_cast<std::size_t>((p.y - g.origin().y) / dx);
+    const auto k = static_cast<std::size_t>((p.z - g.origin().z) / dx);
+    const Vec3 cc = g.cell_center(i, j, k);
+    const double expect = c * cc.norm();
+    const Vec3 got{g.g(0, i, j, k), g.g(1, i, j, k), g.g(2, i, j, k)};
+    EXPECT_NEAR(got.norm(), expect, 0.08 * expect) << "r=" << r;
+    // Direction: toward the center.
+    EXPECT_LT(got.x, 0.0);
+  }
+}
+
+TEST(GravitySolver, KernelFlavoursAgree) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt;
+  opt.max_level = 1;
+  opt.refine_radius = 10.0;
+  Octree a(opt.max_level, opt.refine_radius);
+  Octree b(opt.max_level, opt.refine_radius);
+  Octree c(opt.max_level, opt.refine_radius);
+  setup_star(a, opt);
+  setup_star(b, opt);
+  setup_star(c, opt);
+  gravity::solve_all(a, opt.theta, mkk::KernelType::legacy,
+                     mkk::KernelType::legacy);
+  gravity::solve_all(b, opt.theta, mkk::KernelType::kokkos_serial,
+                     mkk::KernelType::kokkos_serial);
+  gravity::solve_all(c, opt.theta, mkk::KernelType::kokkos_hpx,
+                     mkk::KernelType::kokkos_hpx);
+  for (std::size_t l = 0; l < a.leaf_count(); ++l) {
+    for (std::size_t i = 0; i < NX; ++i) {
+      const auto& ga = a.leaves()[l]->grid;
+      const auto& gb = b.leaves()[l]->grid;
+      const auto& gc = c.leaves()[l]->grid;
+      EXPECT_EQ(ga.g(0, i, i, i), gb.g(0, i, i, i));
+      EXPECT_EQ(ga.g(0, i, i, i), gc.g(0, i, i, i));
+      EXPECT_EQ(ga.phi(i, i, i), gb.phi(i, i, i));
+      EXPECT_EQ(ga.phi(i, i, i), gc.phi(i, i, i));
+    }
+  }
+}
+
+TEST(GravitySolver, StatsCountInteractions) {
+  mhpx::Runtime rt{{1, 128 * 1024}};
+  Options opt;
+  opt.max_level = 2;
+  opt.refine_radius = 10.0;
+  Octree tree(opt.max_level, opt.refine_radius);
+  setup_star(tree, opt);
+  gravity::compute_moments(tree.root());
+  // A corner leaf: few neighbours, several far (M2P) nodes.
+  TreeNode* corner = tree.leaves().front();
+  const auto stats =
+      gravity::solve_leaf(tree.root(), *corner, opt.theta,
+                          mkk::KernelType::legacy, mkk::KernelType::legacy);
+  EXPECT_GT(stats.p2p_table_pairs, 0u);
+  EXPECT_GT(stats.m2p_nodes, 0u);
+}
+
+}  // namespace

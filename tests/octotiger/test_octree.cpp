@@ -1,0 +1,266 @@
+// Tests for the adaptive octree: construction, refinement, containment,
+// sampling, ghost filling, and options parsing.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "octotiger/octree.hpp"
+#include "octotiger/options.hpp"
+
+namespace {
+
+TEST(Octree, Level0IsSingleLeaf) {
+  octo::Octree t(0, 0.45);
+  EXPECT_EQ(t.leaf_count(), 1u);
+  EXPECT_EQ(t.total_cells(), octo::CELLS_PER_GRID);
+  EXPECT_TRUE(t.root().is_leaf());
+  EXPECT_TRUE(t.root().grid.allocated());
+}
+
+TEST(Octree, Level1RefinesCenterRegion) {
+  octo::Octree t(1, 0.45);
+  // The root intersects the refine sphere, so it splits into 8 children.
+  EXPECT_EQ(t.leaf_count(), 8u);
+  EXPECT_FALSE(t.root().is_leaf());
+}
+
+TEST(Octree, RefinementIsRadiusLimited) {
+  // Tiny refine radius: only nodes touching the origin keep refining.
+  // Level 1: all 8 children touch the origin -> refine. Level 2: exactly
+  // the 8 origin-adjacent of 64 refine. Leaves = (64 - 8) + 64 = 120.
+  octo::Octree t(3, 0.05);
+  EXPECT_EQ(t.leaf_count(), 120u);
+}
+
+TEST(Octree, LeafIdsAreDense) {
+  octo::Octree t(2, 0.45);
+  const auto& leaves = t.leaves();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(leaves[i]->leaf_id, i);
+  }
+}
+
+TEST(Octree, RotatingStarLevel4MeshShape) {
+  // The paper's level-4 rotating-star mesh has 1184 leaves / 606208 cells;
+  // refine_radius = 0.58 reproduces a 1240-leaf / 634880-cell mesh — the
+  // closest our radius criterion gets (within 5%; documented in
+  // EXPERIMENTS.md). This count is deterministic: pin it.
+  octo::Octree t(4, 0.58);
+  EXPECT_EQ(t.leaf_count(), 1240u);
+  EXPECT_EQ(t.total_cells(), 634880u);
+}
+
+TEST(Octree, NodeGeometry) {
+  octo::Octree t(1, 0.45);
+  const auto& root = t.root();
+  EXPECT_DOUBLE_EQ(root.width(), 2.0);
+  EXPECT_DOUBLE_EQ(root.low().x, -1.0);
+  EXPECT_DOUBLE_EQ(root.center().x, 0.0);
+  const auto& child = *root.children[7];  // (+x, +y, +z) octant
+  EXPECT_DOUBLE_EQ(child.width(), 1.0);
+  EXPECT_DOUBLE_EQ(child.low().x, 0.0);
+  EXPECT_DOUBLE_EQ(child.low().y, 0.0);
+  EXPECT_DOUBLE_EQ(child.low().z, 0.0);
+}
+
+TEST(Octree, DistanceToBox) {
+  octo::Octree t(1, 0.45);
+  const auto& child = *t.root().children[7];  // box [0,1]^3
+  EXPECT_DOUBLE_EQ(child.distance_to({0.5, 0.5, 0.5}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(child.distance_to({-1.0, 0.5, 0.5}), 1.0);
+  EXPECT_NEAR(child.distance_to({-1.0, -1.0, 0.5}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Octree, LeafContainingFindsCorrectOctant) {
+  octo::Octree t(1, 0.45);
+  const auto& l = t.leaf_containing({0.5, -0.5, 0.5});
+  EXPECT_EQ(l.level, 1u);
+  const octo::Vec3 lo = l.low();
+  EXPECT_DOUBLE_EQ(lo.x, 0.0);
+  EXPECT_DOUBLE_EQ(lo.y, -1.0);
+  EXPECT_DOUBLE_EQ(lo.z, 0.0);
+}
+
+TEST(Octree, LeafContainingClampsOutOfDomain) {
+  octo::Octree t(1, 0.45);
+  const auto& l = t.leaf_containing({5.0, 5.0, 5.0});
+  EXPECT_EQ(l.level, 1u);  // clamped to the (+,+,+) corner leaf
+}
+
+TEST(Octree, SampleReadsCellValue) {
+  octo::Octree t(1, 0.45);
+  // Tag every cell of every leaf with a recognisable value.
+  for (octo::TreeNode* leaf : t.leaves()) {
+    for (std::size_t i = 0; i < octo::NX; ++i) {
+      for (std::size_t j = 0; j < octo::NX; ++j) {
+        for (std::size_t k = 0; k < octo::NX; ++k) {
+          const octo::Vec3 c = leaf->grid.cell_center(i, j, k);
+          leaf->grid.u(octo::f_rho, i, j, k) = c.x + 10 * c.y + 100 * c.z;
+        }
+      }
+    }
+  }
+  const octo::Vec3 p{0.3, -0.7, 0.1};
+  const double v = t.sample(octo::f_rho, p);
+  // The containing cell center is within dx/2 = 1/16 of p per axis.
+  const auto& leaf = t.leaf_containing(p);
+  const double dx = leaf.grid.dx();
+  EXPECT_NEAR(v, p.x + 10 * p.y + 100 * p.z, (1 + 10 + 100) * dx);
+}
+
+TEST(Octree, GhostFillCopiesSameLevelNeighbors) {
+  octo::Octree t(1, 10.0);  // fully refined level 1: 8 uniform leaves
+  ASSERT_EQ(t.leaf_count(), 8u);
+  // Global linear field rho = x: ghost cells sampled from a neighbour must
+  // equal that neighbour's cell value exactly.
+  for (octo::TreeNode* leaf : t.leaves()) {
+    for (std::size_t i = 0; i < octo::NX; ++i) {
+      for (std::size_t j = 0; j < octo::NX; ++j) {
+        for (std::size_t k = 0; k < octo::NX; ++k) {
+          leaf->grid.u(octo::f_rho, i, j, k) =
+              leaf->grid.cell_center(i, j, k).x;
+        }
+      }
+    }
+  }
+  for (octo::TreeNode* leaf : t.leaves()) {
+    t.fill_ghosts(*leaf);
+  }
+  // Check the +x ghost layer of the (-,-,-) octant leaf: it must hold the
+  // first cells of the (+,-,-) neighbour, whose centers continue the
+  // linear x ramp with the same spacing.
+  const auto& leaf = t.leaf_containing({-0.5, -0.5, -0.5});
+  const double dx = leaf.grid.dx();
+  for (std::size_t g = 0; g < octo::GHOST; ++g) {
+    const std::size_t ext_i = octo::GHOST + octo::NX + g;
+    const double expect =
+        leaf.grid.origin().x + (static_cast<double>(octo::NX + g) + 0.5) * dx;
+    EXPECT_NEAR(leaf.grid.ue(octo::f_rho, ext_i, octo::GHOST, octo::GHOST),
+                expect, 1e-14);
+  }
+}
+
+TEST(Octree, GhostFillAtDomainBoundaryIsOutflow) {
+  octo::Octree t(0, 0.45);
+  auto& leaf = *t.leaves()[0];
+  for (std::size_t i = 0; i < octo::NX; ++i) {
+    for (std::size_t j = 0; j < octo::NX; ++j) {
+      for (std::size_t k = 0; k < octo::NX; ++k) {
+        leaf.grid.u(octo::f_rho, i, j, k) = static_cast<double>(i);
+      }
+    }
+  }
+  t.fill_ghosts(leaf);
+  // Ghosts beyond the -x domain face replicate the first interior cell.
+  EXPECT_DOUBLE_EQ(leaf.grid.ue(octo::f_rho, 0, octo::GHOST, octo::GHOST),
+                   0.0);
+  // Ghosts beyond +x replicate the last interior cell.
+  EXPECT_DOUBLE_EQ(leaf.grid.ue(octo::f_rho, octo::NXE - 1, octo::GHOST,
+                                octo::GHOST),
+                   7.0);
+}
+
+TEST(SubGrid, TotalsIntegrateFields) {
+  octo::SubGrid g({0, 0, 0}, 0.125);
+  for (std::size_t i = 0; i < octo::NX; ++i) {
+    for (std::size_t j = 0; j < octo::NX; ++j) {
+      for (std::size_t k = 0; k < octo::NX; ++k) {
+        g.u(octo::f_rho, i, j, k) = 2.0;
+      }
+    }
+  }
+  const auto t = g.totals();
+  // 512 cells x 2.0 x (0.125)^3
+  EXPECT_NEAR(t.rho, 512 * 2.0 * 0.001953125, 1e-12);
+  EXPECT_DOUBLE_EQ(t.sx, 0.0);
+}
+
+TEST(Options, DefaultsMatchPaperRun) {
+  octo::Options opt;
+  EXPECT_EQ(opt.stop_step, 5u);
+  EXPECT_DOUBLE_EQ(opt.theta, 0.5);
+}
+
+TEST(Options, CliParsesPaperListing) {
+  // The flags of the paper's Listing 2 (minus the network addresses).
+  octo::Options opt;
+  opt.parse_cli({"--max_level=4", "--stop_step=5", "--theta=0.5",
+                 "--multipole_host_kernel_type=KOKKOS",
+                 "--monopole_host_kernel_type=KOKKOS",
+                 "--hydro_host_kernel_type=KOKKOS", "--hpx:localities=2",
+                 "--hpx:threads=4"});
+  EXPECT_EQ(opt.max_level, 4u);
+  EXPECT_EQ(opt.stop_step, 5u);
+  EXPECT_DOUBLE_EQ(opt.theta, 0.5);
+  EXPECT_EQ(opt.hydro_kernel, mkk::KernelType::kokkos_serial);
+  EXPECT_EQ(opt.multipole_kernel, mkk::KernelType::kokkos_serial);
+  EXPECT_EQ(opt.monopole_kernel, mkk::KernelType::kokkos_serial);
+  EXPECT_EQ(opt.localities, 2u);
+  EXPECT_EQ(opt.threads, 4u);
+}
+
+TEST(Options, KernelTypeParsing) {
+  EXPECT_EQ(octo::Options::parse_kernel_type("KOKKOS"),
+            mkk::KernelType::kokkos_serial);
+  EXPECT_EQ(octo::Options::parse_kernel_type("kokkos_hpx"),
+            mkk::KernelType::kokkos_hpx);
+  EXPECT_EQ(octo::Options::parse_kernel_type("LEGACY"),
+            mkk::KernelType::legacy);
+  EXPECT_THROW(octo::Options::parse_kernel_type("CUDA"), std::runtime_error);
+}
+
+TEST(Options, UnknownCliKeyThrows) {
+  octo::Options opt;
+  EXPECT_THROW(opt.parse_cli({"--no_such_flag=1"}), std::runtime_error);
+  EXPECT_THROW(opt.parse_cli({"positional"}), std::runtime_error);
+}
+
+TEST(Options, IniRoundTrip) {
+  const char* path = "test_rotating_star.ini";
+  {
+    std::ofstream out(path);
+    out << "# rotating star configuration\n"
+        << "[sim]\n"
+        << "max_level = 2\n"
+        << "stop_step = 3\n"
+        << "theta = 0.6\n"
+        << "cfl = 0.3\n"
+        << "[star]\n"
+        << "radius = 0.3\n"
+        << "rho_c = 2.0\n"
+        << "omega = 0.1\n";
+  }
+  octo::Options opt;
+  opt.load_ini(path);
+  std::remove(path);
+  EXPECT_EQ(opt.max_level, 2u);
+  EXPECT_EQ(opt.stop_step, 3u);
+  EXPECT_DOUBLE_EQ(opt.theta, 0.6);
+  EXPECT_DOUBLE_EQ(opt.cfl, 0.3);
+  EXPECT_DOUBLE_EQ(opt.star_radius, 0.3);
+  EXPECT_DOUBLE_EQ(opt.star_rho_c, 2.0);
+  EXPECT_DOUBLE_EQ(opt.star_omega, 0.1);
+}
+
+TEST(Options, IniErrors) {
+  octo::Options opt;
+  EXPECT_THROW(opt.load_ini("/nonexistent/file.ini"), std::runtime_error);
+  const char* path = "test_bad.ini";
+  {
+    std::ofstream out(path);
+    out << "[star]\nbogus = 1\n";
+  }
+  EXPECT_THROW(opt.load_ini(path), std::runtime_error);
+  std::remove(path);
+}
+
+TEST(Options, SummaryMentionsKeySettings) {
+  octo::Options opt;
+  const std::string s = opt.summary();
+  EXPECT_NE(s.find("max_level"), std::string::npos);
+  EXPECT_NE(s.find("kokkos-serial"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for dynamic regridding: refinement follows the density field.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "minihpx/runtime.hpp"
+#include "octotiger/driver.hpp"
+#include "octotiger/init/rotating_star.hpp"
+
+namespace {
+
+using namespace octo;
+
+struct RegridTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 128 * 1024}};
+};
+
+TEST_F(RegridTest, RefinementFollowsTheStar) {
+  // Build with a refinement sphere that is *larger* than the star; after
+  // regrid, only star-bearing regions remain refined.
+  Options opt;
+  opt.max_level = 3;
+  opt.refine_radius = 0.9;  // over-refined initial mesh
+  Simulation sim(opt);
+  const std::size_t before = sim.tree().leaf_count();
+  const std::size_t after = sim.regrid(1e-4);
+  EXPECT_LT(after, before);  // ambient-only refined regions coarsened
+  // The star centre stays at max level; a far corner is coarse.
+  EXPECT_EQ(sim.tree().leaf_containing({0.0, 0.0, 0.0}).level, 3u);
+  EXPECT_LT(sim.tree().leaf_containing({0.9, 0.9, 0.9}).level, 3u);
+}
+
+TEST_F(RegridTest, StatePreservedToSamplingAccuracy) {
+  Options opt;
+  opt.max_level = 2;
+  opt.refine_radius = 0.45;
+  Simulation sim(opt);
+  const double mass_before = sim.totals().rho;
+  const double rho_c_before = sim.tree().sample(f_rho, {0.02, 0.02, 0.02});
+  sim.regrid(1e-4);
+  const double mass_after = sim.totals().rho;
+  const double rho_c_after = sim.tree().sample(f_rho, {0.02, 0.02, 0.02});
+  // Piecewise-constant resampling: mass preserved to a few percent, the
+  // central density (same-level region) exactly.
+  EXPECT_NEAR(mass_after, mass_before, 0.05 * mass_before);
+  EXPECT_NEAR(rho_c_after, rho_c_before, 1e-12);
+}
+
+TEST_F(RegridTest, SameLevelRegionsAreCopiedExactly) {
+  // If the regrid criterion reproduces the same mesh, the state must be
+  // bit-identical (sampling from equal-level cells is a plain copy).
+  Options opt;
+  opt.max_level = 1;
+  opt.refine_radius = 10.0;  // uniform mesh; density criterion keeps it
+  Simulation sim(opt);
+  const double probe_before = sim.tree().sample(f_egas, {0.1, -0.3, 0.2});
+  const std::size_t n = sim.regrid(1e-12);  // everything above threshold
+  EXPECT_EQ(n, 8u);  // same uniform mesh
+  EXPECT_EQ(sim.tree().sample(f_egas, {0.1, -0.3, 0.2}), probe_before);
+}
+
+TEST_F(RegridTest, RunContinuesAfterRegrid) {
+  Options opt;
+  opt.max_level = 2;
+  opt.refine_radius = 0.45;
+  opt.stop_step = 1;
+  Simulation sim(opt);
+  sim.step();
+  sim.regrid(1e-4);
+  const double dt = sim.step();  // full solver on the new mesh
+  EXPECT_GT(dt, 0.0);
+  EXPECT_EQ(sim.stats().steps, 2u);
+  // Star still bound after the regrid + step.
+  EXPECT_GT(sim.tree().sample(f_rho, {0.02, 0.02, 0.02}), 0.1);
+}
+
+}  // namespace
