@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/arch/network_model.hpp"
+#include "core/report/parcel_report.hpp"
 #include "core/report/table.hpp"
 #include "minihpx/distributed/runtime.hpp"
 
@@ -87,19 +88,12 @@ int main() {
   }
   t.print(std::cout);
 
-  rveval::report::Table model(
-      "modelled per-message cost on the boards' GbE link (Fig. 8 pricing)");
-  model.headers({"network", "64 B [us]", "64 KiB [us]", "1 MiB [us]"});
-  for (const auto& net : {rveval::arch::gbe_tcp(), rveval::arch::gbe_mpi(),
-                          rveval::arch::tofu_d()}) {
-    model.row({net.name,
-               rveval::report::Table::num(net.message_seconds(64) * 1e6, 1),
-               rveval::report::Table::num(
-                   net.message_seconds(64 * 1024) * 1e6, 1),
-               rveval::report::Table::num(
-                   net.message_seconds(1 << 20) * 1e6, 1)});
-  }
-  model.print(std::cout);
+  rveval::report::network_cost_table(
+      "modelled per-message cost on the boards' GbE link (Fig. 8 pricing)",
+      {rveval::arch::gbe_tcp(), rveval::arch::gbe_mpi(),
+       rveval::arch::tofu_d()},
+      {64, 64 * 1024, 1 << 20})
+      .print(std::cout);
 
   std::cout << "note: GbE/MPI > GbE/TCP per message at every size — the\n"
             << "protocol-cost hypothesis behind the paper's observation that\n"

@@ -1,0 +1,215 @@
+// Ablation A7: resilience overhead vs fault rate.
+//
+// The paper's target platform is a cluster of cheap SBC boards (two
+// VisionFive2 over GbE) — exactly the regime where transient faults,
+// flaky links and outright board lockups are operational reality rather
+// than tail risk. This ablation measures what the minihpx resilience
+// subsystem costs to tolerate them:
+//   1. task replay      (mhpx::resilience::async_replay)    vs fault rate,
+//   2. replicate+vote   (async_replicate_vote, 3 replicas)  vs silent-
+//      corruption rate,
+//   3. the self-healing distributed Octo-Tiger driver over the
+//      fault-injecting parcelport vs drop rate: cells/s plus the modelled
+//      extra time the retries would cost on the boards' real GbE link
+//      (VisionFive2 network model, same pricing as Fig. 8).
+// All fault injection is seeded, so every table is reproducible.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/arch/network_model.hpp"
+#include "core/report/parcel_report.hpp"
+#include "core/report/table.hpp"
+#include "minihpx/minihpx.hpp"
+#include "octotiger/distributed/dist_driver.hpp"
+
+namespace {
+
+namespace mres = mhpx::resilience;
+
+double wall_seconds(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A unit of work sized so retry overhead is visible but the whole series
+/// stays under a second.
+double work_unit(std::uint64_t salt) {
+  double acc = 0.0;
+  for (int i = 1; i <= 2000; ++i) {
+    acc += 1.0 / (static_cast<double>(i) + static_cast<double>(salt % 7));
+  }
+  return acc;
+}
+
+/// Per-task injector seed: tasks run concurrently, so a *shared* decision
+/// stream would hand out draws in scheduling order and the per-rate fault
+/// counts would wobble run to run. One stream per task keeps every table
+/// bit-reproducible.
+std::uint64_t task_seed(std::uint64_t base, std::uint64_t i) {
+  return base ^ (i * 0x9e3779b97f4a7c15ULL);
+}
+
+void replay_series() {
+  rveval::report::Table t(
+      "async_replay(n=4) overhead vs injected task-fault rate (1000 tasks)");
+  t.headers({"fault rate", "retries", "exhausted", "wall [ms]",
+             "overhead vs 0%"});
+  double base_ms = 0.0;
+  for (const double rate : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    mhpx::Runtime rt({4});
+    mhpx::instrument::reset_resilience_counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<mhpx::future<double>> futs;
+    futs.reserve(1000);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      auto inj = std::make_shared<mres::FaultInjector>(
+          mres::FaultInjector::Config{rate, 0.0, task_seed(0x5eed, i)});
+      futs.push_back(mres::async_replay(4, [inj, i] {
+        if (inj->inject_fault()) {
+          throw mres::injected_fault();
+        }
+        return work_unit(i);
+      }));
+    }
+    for (auto& f : futs) {
+      try {
+        f.get();
+      } catch (const mres::injected_fault&) {
+        // All 4 attempts failed — counted in the "exhausted" column.
+      }
+    }
+    const double ms = wall_seconds(t0) * 1e3;
+    if (rate == 0.0) {
+      base_ms = ms;
+    }
+    const auto c = mhpx::instrument::resilience_counters();
+    t.row({rveval::report::Table::num(rate * 100, 0) + " %",
+           std::to_string(c.task_retries), std::to_string(c.replays_exhausted),
+           rveval::report::Table::num(ms, 1),
+           rveval::report::Table::num(ms / base_ms, 2) + "x"});
+  }
+  t.print(std::cout);
+}
+
+void replicate_series() {
+  rveval::report::Table t(
+      "async_replicate_vote(n=3) overhead vs silent-corruption rate "
+      "(300 tasks)");
+  t.headers({"corrupt rate", "votes", "vote failures", "wall [ms]",
+             "overhead vs 0%"});
+  double base_ms = 0.0;
+  for (const double rate : {0.0, 0.02, 0.05, 0.10}) {
+    mhpx::Runtime rt({4});
+    mhpx::instrument::reset_resilience_counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<mhpx::future<double>> futs;
+    futs.reserve(300);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      auto inj = std::make_shared<mres::FaultInjector>(
+          mres::FaultInjector::Config{0.0, rate, task_seed(0xfeed, i)});
+      futs.push_back(mres::async_replicate_vote(3, [inj, i] {
+        double v = work_unit(i);
+        if (inj->inject_corruption()) {
+          mres::corrupt_value(v, inj->corruption_mask());
+        }
+        return v;
+      }));
+    }
+    for (auto& f : futs) {
+      try {
+        f.get();
+      } catch (const mres::vote_failed&) {
+        // 2 of 3 replicas corrupted differently — "vote failures" column.
+      }
+    }
+    const double ms = wall_seconds(t0) * 1e3;
+    if (rate == 0.0) {
+      base_ms = ms;
+    }
+    const auto c = mhpx::instrument::resilience_counters();
+    t.row({rveval::report::Table::num(rate * 100, 0) + " %",
+           std::to_string(c.replicate_votes),
+           std::to_string(c.replicate_vote_failures),
+           rveval::report::Table::num(ms, 1),
+           rveval::report::Table::num(ms / base_ms, 2) + "x"});
+  }
+  t.print(std::cout);
+}
+
+void distributed_series() {
+  // Small rotating star, 2 localities — the paper's two-board setup.
+  octo::Options opt;
+  opt.max_level = 1;
+  opt.refine_radius = 10.0;
+  opt.stop_step = 2;
+  opt.threads = 2;
+  opt.localities = 2;
+
+  const auto net = rveval::arch::gbe_tcp();  // VisionFive2 GbE link model
+  // A boundary-exchange parcel: one leaf's interior fields.
+  const std::size_t parcel_bytes =
+      octo::NF * octo::CELLS_PER_GRID * sizeof(double);
+
+  rveval::report::Table t(
+      "self-healing distributed driver vs parcel drop rate "
+      "(2 localities, seeded faults)");
+  t.headers({"drop rate", "dropped", "retries", "cells/s",
+             "modelled retry cost [ms]", "sim-time overhead"});
+  double base_wall = 0.0;
+  for (const double rate : {0.0, 0.01, 0.03}) {
+    octo::dist::ResilienceConfig res;
+    res.enabled = true;
+    res.rpc_timeout_s = 0.05;
+    mhpx::instrument::reset_resilience_counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    octo::dist::DistSimulation sim(
+        opt, mhpx::dist::FabricKind::inproc, res, [rate] {
+          mres::FaultConfig fc;
+          fc.drop_rate = rate;
+          fc.seed = 0xd15c;
+          return mres::make_faulty_fabric(mhpx::dist::FabricKind::inproc, fc);
+        });
+    sim.run();
+    const double wall = wall_seconds(t0);
+    if (rate == 0.0) {
+      base_wall = wall;
+    }
+    const auto c = mhpx::instrument::resilience_counters();
+    // What the retries would cost on the boards' real link: each retry is
+    // one extra request/reply exchange of a boundary-sized parcel.
+    const double modelled_ms =
+        static_cast<double>(c.task_retries) *
+        (2.0 * net.message_seconds(parcel_bytes)) * 1e3;
+    t.row({rveval::report::Table::num(rate * 100, 0) + " %",
+           std::to_string(c.parcels_dropped), std::to_string(c.task_retries),
+           rveval::report::Table::num(
+               static_cast<double>(sim.stats().cells_processed) / wall, 0),
+           rveval::report::Table::num(modelled_ms, 2),
+           rveval::report::Table::num(wall / base_wall, 2) + "x"});
+  }
+  t.print(std::cout);
+
+  rveval::report::network_cost_table(
+      "modelled per-message cost on the boards' GbE link (shared with A4)",
+      {net, rveval::arch::gbe_mpi()}, {64, parcel_bytes, 64 * 1024})
+      .print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "### Ablation A7: resilience overhead vs fault rate\n\n";
+  replay_series();
+  replicate_series();
+  distributed_series();
+  std::cout << "note: replay costs nothing at 0% fault rate and grows\n"
+            << "linearly with it; replicate pays ~n x up front but masks\n"
+            << "silent corruption replay cannot see. The distributed driver\n"
+            << "turns parcel loss into bounded retry latency instead of a\n"
+            << "hung run.\n";
+  return 0;
+}

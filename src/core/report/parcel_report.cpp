@@ -1,0 +1,34 @@
+#include "core/report/parcel_report.hpp"
+
+namespace rveval::report {
+
+std::string format_message_size(std::size_t bytes) {
+  if (bytes >= (std::size_t{1} << 20) && bytes % (std::size_t{1} << 20) == 0) {
+    return std::to_string(bytes >> 20) + " MiB";
+  }
+  if (bytes >= (std::size_t{1} << 10) && bytes % (std::size_t{1} << 10) == 0) {
+    return std::to_string(bytes >> 10) + " KiB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+Table network_cost_table(const std::string& title,
+                         const std::vector<arch::NetworkModel>& nets,
+                         const std::vector<std::size_t>& sizes) {
+  Table t(title);
+  std::vector<std::string> headers{"network"};
+  for (const std::size_t s : sizes) {
+    headers.push_back(format_message_size(s) + " [us]");
+  }
+  t.headers(headers);
+  for (const auto& net : nets) {
+    std::vector<std::string> row{net.name};
+    for (const std::size_t s : sizes) {
+      row.push_back(Table::num(net.message_seconds(s) * 1e6, 1));
+    }
+    t.row(row);
+  }
+  return t;
+}
+
+}  // namespace rveval::report

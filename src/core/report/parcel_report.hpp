@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file parcel_report.hpp
+/// Shared parcel-latency reporting: the "modelled per-message cost" table
+/// that bench/ablation_parcelport.cpp and bench/ablation_resilience.cpp
+/// both print. One implementation keeps the two ablations' numbers (and
+/// headers) consistent.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/arch/network_model.hpp"
+#include "core/report/table.hpp"
+
+namespace rveval::report {
+
+/// Human-readable message size: "64 B", "64 KiB", "1 MiB".
+[[nodiscard]] std::string format_message_size(std::size_t bytes);
+
+/// Build the per-message cost table: one row per network model, one column
+/// per message size, entries in microseconds from
+/// NetworkModel::message_seconds.
+[[nodiscard]] Table network_cost_table(
+    const std::string& title, const std::vector<arch::NetworkModel>& nets,
+    const std::vector<std::size_t>& sizes);
+
+}  // namespace rveval::report

@@ -55,6 +55,9 @@ TraceCollector::TraceCollector() : previous_(mhpx::instrument::hooks()) {
   hooks.ctx = this;
   hooks.on_task_finish = &TraceCollector::hook_task_finish;
   hooks.on_parcel = &TraceCollector::hook_parcel;
+  hooks.on_task_retry = &TraceCollector::hook_task_retry;
+  hooks.on_parcel_dropped = &TraceCollector::hook_parcel_dropped;
+  hooks.on_recovery = &TraceCollector::hook_recovery;
   mhpx::instrument::set_hooks(hooks);
 }
 
@@ -125,6 +128,31 @@ void TraceCollector::on_parcel(std::uint32_t src, std::uint32_t dst,
   std::lock_guard lk(mutex_);
   current_.parcels.push_back(ParcelRecord{src, dst, bytes});
   ++parcel_count_;
+}
+
+void TraceCollector::hook_task_retry(void* ctx, std::uint32_t attempt) {
+  (void)attempt;
+  auto* self = static_cast<TraceCollector*>(ctx);
+  std::lock_guard lk(self->mutex_);
+  ++self->current_.task_retries;
+}
+
+void TraceCollector::hook_parcel_dropped(void* ctx, std::uint32_t src,
+                                         std::uint32_t dst,
+                                         std::size_t bytes) {
+  (void)src;
+  (void)dst;
+  (void)bytes;
+  auto* self = static_cast<TraceCollector*>(ctx);
+  std::lock_guard lk(self->mutex_);
+  ++self->current_.parcels_dropped;
+}
+
+void TraceCollector::hook_recovery(void* ctx, std::uint32_t locality) {
+  (void)locality;
+  auto* self = static_cast<TraceCollector*>(ctx);
+  std::lock_guard lk(self->mutex_);
+  ++self->current_.recoveries;
 }
 
 }  // namespace rveval::sim

@@ -44,6 +44,13 @@ struct Phase {
   std::string name;
   std::vector<TaskRecord> tasks;
   std::vector<ParcelRecord> parcels;
+  /// Resilience events inside the phase: how much of its task count was
+  /// re-execution (replay/backoff), how many parcels the fault layer ate,
+  /// and whether a locality recovery ran — the trace-level view of
+  /// resilience overhead.
+  std::uint64_t task_retries = 0;
+  std::uint64_t parcels_dropped = 0;
+  std::uint64_t recoveries = 0;
 
   [[nodiscard]] double total_flops() const;
   [[nodiscard]] double total_task_bytes() const;
@@ -83,6 +90,10 @@ class TraceCollector {
   static void hook_task_finish(void* ctx, const mhpx::instrument::TaskWork& w);
   static void hook_parcel(void* ctx, std::uint32_t src, std::uint32_t dst,
                           std::size_t bytes);
+  static void hook_task_retry(void* ctx, std::uint32_t attempt);
+  static void hook_parcel_dropped(void* ctx, std::uint32_t src,
+                                  std::uint32_t dst, std::size_t bytes);
+  static void hook_recovery(void* ctx, std::uint32_t locality);
 
   void on_task_finish(const mhpx::instrument::TaskWork& w);
   void on_parcel(std::uint32_t src, std::uint32_t dst, std::size_t bytes);

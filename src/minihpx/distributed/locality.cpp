@@ -1,6 +1,7 @@
 #include "minihpx/distributed/locality.hpp"
 
 #include "minihpx/distributed/runtime.hpp"
+#include "minihpx/instrument.hpp"
 
 namespace mhpx::dist {
 
@@ -65,7 +66,7 @@ void Locality::deliver(locality_id src, std::vector<std::byte> frame) {
     p = decode_parcel(frame);
   } catch (const std::exception&) {
     dropped_frames_.fetch_add(1, std::memory_order_relaxed);
-    (void)src;
+    instrument::detail::notify_parcel_dropped(src, id_, frame.size());
     return;
   }
   scheduler_.post(
@@ -131,8 +132,16 @@ void Locality::handle_parcel(Parcel p) {
         resolver = std::move(it->second);
         pending_.erase(it);
       }
-      serialization::InputArchive in(p.payload);
-      resolver(p.header.status, in);
+      try {
+        serialization::InputArchive in(p.payload);
+        resolver(p.header.status, in);
+      } catch (const std::exception&) {
+        // A corrupted reply payload that survived framing: the caller's
+        // future stays unresolved, exactly as if the reply had been lost.
+        dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+        instrument::detail::notify_parcel_dropped(p.header.source, id_,
+                                                  p.payload.size());
+      }
       break;
     }
     case ParcelKind::shutdown:
@@ -140,6 +149,8 @@ void Locality::handle_parcel(Parcel p) {
     default:
       // Corrupted kind byte that survived framing: drop, like deliver().
       dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+      instrument::detail::notify_parcel_dropped(p.header.source, id_,
+                                                p.payload.size());
       break;
   }
 }

@@ -6,7 +6,7 @@
 namespace mhpx::dist {
 
 DistributedRuntime::DistributedRuntime(Config cfg) {
-  fabric_ = make_fabric(cfg.fabric);
+  fabric_ = cfg.fabric_factory ? cfg.fabric_factory() : make_fabric(cfg.fabric);
   localities_.reserve(cfg.num_localities);
   for (locality_id i = 0; i < cfg.num_localities; ++i) {
     localities_.push_back(

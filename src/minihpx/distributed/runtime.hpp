@@ -5,6 +5,7 @@
 /// the analogue of launching octotiger with --hpx:localities=2 on the
 /// two-board cluster (paper Listings 2–3).
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,10 @@ class DistributedRuntime {
     unsigned threads_per_locality = 4;  ///< --hpx:threads analogue
     std::size_t stack_size = default_stack_size;
     FabricKind fabric = FabricKind::tcp;  ///< parcelport selection
+    /// When set, used instead of make_fabric(fabric) — the hook that lets
+    /// tests and resilient drivers wrap any parcelport in a fault-injecting
+    /// decorator (minihpx/resilience/fabric_faulty.hpp).
+    std::function<std::unique_ptr<Fabric>()> fabric_factory;
   };
 
   explicit DistributedRuntime(Config cfg);

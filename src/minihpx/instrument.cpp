@@ -1,24 +1,88 @@
 #include "minihpx/instrument.hpp"
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
 namespace mhpx::instrument {
 
 namespace {
-Hooks g_hooks{};
+
+/// Hook tables are immutable once published. set_hooks() allocates a fresh
+/// table and swaps the pointer; old tables are retired (kept alive, never
+/// freed) so a reader that loaded the pointer just before a swap can still
+/// call through it. Installs happen once per traced region, so the retired
+/// list stays tiny.
+const Hooks g_initial_hooks{};
+std::atomic<const Hooks*> g_hooks{&g_initial_hooks};
+std::mutex g_install_mutex;
+std::vector<std::unique_ptr<const Hooks>>& retired_tables() {
+  static std::vector<std::unique_ptr<const Hooks>> tables;
+  return tables;
+}
 
 struct ThreadScope {
   TaskWork work{};
   bool active = false;
 };
 thread_local ThreadScope t_scope;
+
+// Resilience event totals (monotonic; see resilience_counters()).
+std::atomic<std::uint64_t> g_task_retries{0};
+std::atomic<std::uint64_t> g_replays_exhausted{0};
+std::atomic<std::uint64_t> g_votes{0};
+std::atomic<std::uint64_t> g_vote_failures{0};
+std::atomic<std::uint64_t> g_parcels_dropped{0};
+std::atomic<std::uint64_t> g_parcels_corrupted{0};
+std::atomic<std::uint64_t> g_parcels_delayed{0};
+std::atomic<std::uint64_t> g_recoveries{0};
+/// Stored as nanoseconds so it can be a lock-free integer.
+std::atomic<std::uint64_t> g_delay_nanos{0};
+
 }  // namespace
 
-void set_hooks(const Hooks& h) noexcept { g_hooks = h; }
+void set_hooks(const Hooks& h) noexcept {
+  std::lock_guard lk(g_install_mutex);
+  retired_tables().push_back(std::make_unique<const Hooks>(h));
+  g_hooks.store(retired_tables().back().get(), std::memory_order_release);
+}
 
-const Hooks& hooks() noexcept { return g_hooks; }
+const Hooks& hooks() noexcept {
+  return *g_hooks.load(std::memory_order_acquire);
+}
 
 void annotate(double flops, double bytes) noexcept {
   t_scope.work.flops += flops;
   t_scope.work.bytes += bytes;
+}
+
+ResilienceCounters resilience_counters() noexcept {
+  ResilienceCounters c;
+  c.task_retries = g_task_retries.load(std::memory_order_relaxed);
+  c.replays_exhausted = g_replays_exhausted.load(std::memory_order_relaxed);
+  c.replicate_votes = g_votes.load(std::memory_order_relaxed);
+  c.replicate_vote_failures = g_vote_failures.load(std::memory_order_relaxed);
+  c.parcels_dropped = g_parcels_dropped.load(std::memory_order_relaxed);
+  c.parcels_corrupted = g_parcels_corrupted.load(std::memory_order_relaxed);
+  c.parcels_delayed = g_parcels_delayed.load(std::memory_order_relaxed);
+  c.recoveries = g_recoveries.load(std::memory_order_relaxed);
+  c.injected_delay_seconds =
+      static_cast<double>(g_delay_nanos.load(std::memory_order_relaxed)) *
+      1e-9;
+  return c;
+}
+
+void reset_resilience_counters() noexcept {
+  g_task_retries.store(0, std::memory_order_relaxed);
+  g_replays_exhausted.store(0, std::memory_order_relaxed);
+  g_votes.store(0, std::memory_order_relaxed);
+  g_vote_failures.store(0, std::memory_order_relaxed);
+  g_parcels_dropped.store(0, std::memory_order_relaxed);
+  g_parcels_corrupted.store(0, std::memory_order_relaxed);
+  g_parcels_delayed.store(0, std::memory_order_relaxed);
+  g_recoveries.store(0, std::memory_order_relaxed);
+  g_delay_nanos.store(0, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -36,24 +100,73 @@ TaskWork task_scope_end() noexcept {
 }
 
 void notify_spawn() noexcept {
-  if (g_hooks.on_task_spawn != nullptr) {
-    g_hooks.on_task_spawn(g_hooks.ctx);
+  const Hooks& h = hooks();
+  if (h.on_task_spawn != nullptr) {
+    h.on_task_spawn(h.ctx);
   }
 }
 
 void notify_finish(const TaskWork& work) noexcept {
-  if (g_hooks.on_task_finish != nullptr) {
-    g_hooks.on_task_finish(g_hooks.ctx, work);
+  const Hooks& h = hooks();
+  if (h.on_task_finish != nullptr) {
+    h.on_task_finish(h.ctx, work);
   }
 }
 
 void notify_parcel(std::uint32_t src, std::uint32_t dst,
                    std::size_t bytes) noexcept {
-  if (g_hooks.on_parcel != nullptr) {
-    g_hooks.on_parcel(g_hooks.ctx, src, dst, bytes);
+  const Hooks& h = hooks();
+  if (h.on_parcel != nullptr) {
+    h.on_parcel(h.ctx, src, dst, bytes);
+  }
+}
+
+void notify_task_retry(std::uint32_t attempt) noexcept {
+  g_task_retries.fetch_add(1, std::memory_order_relaxed);
+  const Hooks& h = hooks();
+  if (h.on_task_retry != nullptr) {
+    h.on_task_retry(h.ctx, attempt);
+  }
+}
+
+void notify_replay_exhausted() noexcept {
+  g_replays_exhausted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void notify_vote(bool majority_found) noexcept {
+  g_votes.fetch_add(1, std::memory_order_relaxed);
+  if (!majority_found) {
+    g_vote_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void notify_parcel_dropped(std::uint32_t src, std::uint32_t dst,
+                           std::size_t bytes) noexcept {
+  g_parcels_dropped.fetch_add(1, std::memory_order_relaxed);
+  const Hooks& h = hooks();
+  if (h.on_parcel_dropped != nullptr) {
+    h.on_parcel_dropped(h.ctx, src, dst, bytes);
+  }
+}
+
+void notify_parcel_corrupted() noexcept {
+  g_parcels_corrupted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void notify_parcel_delayed(double seconds) noexcept {
+  g_parcels_delayed.fetch_add(1, std::memory_order_relaxed);
+  g_delay_nanos.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                          std::memory_order_relaxed);
+}
+
+void notify_recovery(std::uint32_t locality) noexcept {
+  g_recoveries.fetch_add(1, std::memory_order_relaxed);
+  const Hooks& h = hooks();
+  if (h.on_recovery != nullptr) {
+    h.on_recovery(h.ctx, locality);
   }
 }
 
 }  // namespace detail
 
-}  // namespace instrument mhpx::instrument
+}  // namespace mhpx::instrument

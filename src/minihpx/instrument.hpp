@@ -9,6 +9,12 @@
 /// boundaries. The runtime must not depend on the harness, so the coupling
 /// is inverted: the harness installs a Hooks table here and the runtime
 /// calls through it. All hooks are optional and default to no-ops.
+///
+/// The resilience subsystem (minihpx/resilience, minikokkos/resilience.hpp,
+/// octotiger/distributed) reports its events — task retries, dropped or
+/// corrupted parcels, locality recoveries, injected latency — through the
+/// same table plus a set of global counters, so core/sim can price the
+/// overhead of a resilient run honestly.
 
 #include <cstddef>
 #include <cstdint>
@@ -32,12 +38,25 @@ struct Hooks {
   /// A parcel of \p bytes was sent from \p src to \p dst locality.
   void (*on_parcel)(void* ctx, std::uint32_t src, std::uint32_t dst,
                     std::size_t bytes) = nullptr;
+  /// A resilient task execution failed (exception or invalid result) and is
+  /// being re-executed; \p attempt is 1 for the first retry.
+  void (*on_task_retry)(void* ctx, std::uint32_t attempt) = nullptr;
+  /// A parcel was dropped: a malformed frame at delivery, or a frame the
+  /// fault-injecting fabric discarded (lossy link / dead locality).
+  void (*on_parcel_dropped)(void* ctx, std::uint32_t src, std::uint32_t dst,
+                            std::size_t bytes) = nullptr;
+  /// A presumed-dead locality was recovered (revived and restored from a
+  /// checkpoint) by a resilient driver.
+  void (*on_recovery)(void* ctx, std::uint32_t locality) = nullptr;
   void* ctx = nullptr;
 };
 
-/// Install (or clear, by passing {}) the global hook table.
-/// Not thread-safe with respect to concurrently running tasks; install
-/// before starting a traced region.
+/// Install (or clear, by passing {}) the global hook table. Thread-safe:
+/// the table is published with an atomic pointer swap, so concurrently
+/// running tasks observe either the previous table or the new one in full,
+/// never a torn mix. Retired tables stay alive for the process lifetime
+/// (installs are rare — once per traced region), so a hook loaded just
+/// before a swap remains safe to call through.
 void set_hooks(const Hooks& hooks) noexcept;
 
 /// Current hook table (never null-dereferenced; fields may be null).
@@ -48,6 +67,27 @@ const Hooks& hooks() noexcept;
 /// per-thread bucket that on_task_finish never sees (and tests can query).
 void annotate(double flops, double bytes) noexcept;
 
+/// Monotonic global totals of resilience events, accumulated regardless of
+/// which hook table is installed. Benchmarks snapshot these around a run to
+/// report retry/drop/vote overhead (see bench/ablation_resilience.cpp).
+struct ResilienceCounters {
+  std::uint64_t task_retries = 0;        ///< replay/backoff re-executions
+  std::uint64_t replays_exhausted = 0;   ///< replay gave up after n attempts
+  std::uint64_t replicate_votes = 0;     ///< majority votes held
+  std::uint64_t replicate_vote_failures = 0;  ///< votes with no majority
+  std::uint64_t parcels_dropped = 0;     ///< injected drops + malformed frames
+  std::uint64_t parcels_corrupted = 0;   ///< injected silent bit flips
+  std::uint64_t parcels_delayed = 0;     ///< injected latency events
+  std::uint64_t recoveries = 0;          ///< locality death recoveries
+  double injected_delay_seconds = 0.0;   ///< total injected parcel latency
+};
+
+/// Snapshot of the global resilience counters.
+[[nodiscard]] ResilienceCounters resilience_counters() noexcept;
+
+/// Zero the global resilience counters (benchmarks call this per series).
+void reset_resilience_counters() noexcept;
+
 namespace detail {
 /// Scheduler internals: begin/end the accumulation scope of one task.
 void task_scope_begin() noexcept;
@@ -56,6 +96,15 @@ void notify_spawn() noexcept;
 void notify_finish(const TaskWork& work) noexcept;
 void notify_parcel(std::uint32_t src, std::uint32_t dst,
                    std::size_t bytes) noexcept;
+/// Resilience internals: count the event and invoke the matching hook.
+void notify_task_retry(std::uint32_t attempt) noexcept;
+void notify_replay_exhausted() noexcept;
+void notify_vote(bool majority_found) noexcept;
+void notify_parcel_dropped(std::uint32_t src, std::uint32_t dst,
+                           std::size_t bytes) noexcept;
+void notify_parcel_corrupted() noexcept;
+void notify_parcel_delayed(double seconds) noexcept;
+void notify_recovery(std::uint32_t locality) noexcept;
 }  // namespace detail
 
 }  // namespace mhpx::instrument

@@ -1,0 +1,146 @@
+#include "minihpx/resilience/fabric_faulty.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "minihpx/instrument.hpp"
+
+namespace mhpx::resilience {
+
+FaultyFabric::FaultyFabric(std::unique_ptr<dist::Fabric> inner,
+                           FaultConfig cfg)
+    : inner_(std::move(inner)),
+      name_("faulty+" + std::string(inner_->name())),
+      cfg_(cfg),
+      rng_(cfg.seed) {}
+
+void FaultyFabric::connect(std::vector<receive_fn> receivers) {
+  {
+    std::lock_guard lk(mutex_);
+    if (dead_.size() < receivers.size()) {
+      dead_.resize(receivers.size(), false);
+    }
+  }
+  inner_->connect(std::move(receivers));
+}
+
+void FaultyFabric::send(dist::locality_id src, dist::locality_id dst,
+                        std::vector<std::byte> frame) {
+  const std::uint64_t frame_no = frames_.fetch_add(1) + 1;
+
+  bool drop = false;
+  bool corrupt = false;
+  bool delay = false;
+  std::size_t flip_at = 0;
+  std::byte flip_with{};
+  {
+    std::lock_guard lk(mutex_);
+    if (cfg_.kill_after_frames != 0 && frame_no == cfg_.kill_after_frames) {
+      if (dead_.size() <= cfg_.kill_target) {
+        dead_.resize(cfg_.kill_target + 1, false);
+      }
+      dead_[cfg_.kill_target] = true;
+    }
+    const bool endpoint_dead = (src < dead_.size() && dead_[src]) ||
+                               (dst < dead_.size() && dead_[dst]);
+    if (endpoint_dead) {
+      drop = true;
+    } else {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      if (cfg_.drop_rate > 0.0 && u(rng_) < cfg_.drop_rate) {
+        drop = true;
+      } else {
+        if (cfg_.corrupt_rate > 0.0 && u(rng_) < cfg_.corrupt_rate) {
+          corrupt = true;
+          // Flip a byte in the back half of the frame (payload region for
+          // any non-trivial parcel): often survives framing — the silent
+          // corruption that only checksums / replication can catch.
+          flip_at = frame.empty() ? 0 : frame.size() / 2 + rng_() %
+                        ((frame.size() + 1) / 2);
+          flip_with = static_cast<std::byte>(1 + rng_() % 255);
+        }
+        if (cfg_.delay_rate > 0.0 && u(rng_) < cfg_.delay_rate) {
+          delay = true;
+        }
+      }
+    }
+  }
+
+  if (drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    instrument::detail::notify_parcel_dropped(src, dst, frame.size());
+    return;
+  }
+  if (corrupt && !frame.empty()) {
+    if (flip_at >= frame.size()) {
+      flip_at = frame.size() - 1;
+    }
+    frame[flip_at] ^= flip_with;
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+    instrument::detail::notify_parcel_corrupted();
+  }
+  if (delay) {
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+    instrument::detail::notify_parcel_delayed(cfg_.delay_seconds);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg_.delay_seconds));
+  }
+  inner_->send(src, dst, std::move(frame));
+}
+
+void FaultyFabric::shutdown() { inner_->shutdown(); }
+
+dist::Fabric::Stats FaultyFabric::stats() const { return inner_->stats(); }
+
+void FaultyFabric::kill(dist::locality_id victim) {
+  std::lock_guard lk(mutex_);
+  if (dead_.size() <= victim) {
+    dead_.resize(victim + 1, false);
+  }
+  dead_[victim] = true;
+}
+
+void FaultyFabric::revive(dist::locality_id victim) {
+  std::lock_guard lk(mutex_);
+  if (victim < dead_.size()) {
+    dead_[victim] = false;
+  }
+  // Disarm a pending scheduled kill of the same target so the board does
+  // not immediately "die" again from the stale plan.
+  if (cfg_.kill_target == victim) {
+    cfg_.kill_after_frames = 0;
+  }
+}
+
+bool FaultyFabric::is_dead(dist::locality_id l) const {
+  std::lock_guard lk(mutex_);
+  return l < dead_.size() && dead_[l];
+}
+
+void FaultyFabric::set_rates(double drop, double corrupt, double delay) {
+  std::lock_guard lk(mutex_);
+  cfg_.drop_rate = drop;
+  cfg_.corrupt_rate = corrupt;
+  cfg_.delay_rate = delay;
+}
+
+FaultyFabric::FaultStats FaultyFabric::fault_stats() const {
+  FaultStats s;
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.corrupted = corrupted_.load(std::memory_order_relaxed);
+  s.delayed = delayed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::unique_ptr<dist::Fabric> make_faulty_fabric(dist::FabricKind kind,
+                                                 FaultConfig cfg) {
+  return std::make_unique<FaultyFabric>(dist::make_fabric(kind), cfg);
+}
+
+std::unique_ptr<dist::Fabric> make_faulty_fabric(
+    std::unique_ptr<dist::Fabric> inner, FaultConfig cfg) {
+  return std::make_unique<FaultyFabric>(std::move(inner), cfg);
+}
+
+}  // namespace mhpx::resilience

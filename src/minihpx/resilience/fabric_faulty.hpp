@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file fabric_faulty.hpp
+/// Fault-injecting parcelport decorator.
+///
+/// Wraps any of the three real fabrics (inproc, tcp, mpisim) and injects,
+/// deterministically from a seed, the failure modes of the paper's cheap
+/// SBC cluster operating regime:
+///   - parcel drops       (flaky GbE link / switch buffer overruns),
+///   - parcel corruption  (bit flips that survive framing — silent unless a
+///                         validation layer catches them),
+///   - parcel delays      (congested link; added latency is accounted so
+///                         core/sim can price it),
+///   - locality death     ("board lockup": every frame to or from the dead
+///                         locality vanishes until revive() — the reboot).
+///
+/// The decorator sits below Locality::deliver, so everything above it (the
+/// pending-request maps, the resilient drivers) experiences exactly what a
+/// lossy physical wire would produce.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "minihpx/distributed/fabric.hpp"
+
+namespace mhpx::resilience {
+
+struct FaultConfig {
+  double drop_rate = 0.0;     ///< P(frame silently discarded)
+  double corrupt_rate = 0.0;  ///< P(one byte of the frame is flipped)
+  double delay_rate = 0.0;    ///< P(frame delayed by delay_seconds)
+  double delay_seconds = 0.0005;
+  std::uint64_t seed = 0x0bad;
+  /// When nonzero: after this many frames have entered send(), locality
+  /// \p kill_target dies (as if the board locked up mid-run).
+  std::uint64_t kill_after_frames = 0;
+  std::uint32_t kill_target = 0;
+};
+
+/// Decorating parcelport: applies the fault plan, then forwards surviving
+/// frames to the wrapped fabric. Drops/corruptions/delays are counted here
+/// and reported through mhpx::instrument.
+class FaultyFabric final : public dist::Fabric {
+ public:
+  FaultyFabric(std::unique_ptr<dist::Fabric> inner, FaultConfig cfg);
+
+  // ---- Fabric interface ----
+  void connect(std::vector<receive_fn> receivers) override;
+  void send(dist::locality_id src, dist::locality_id dst,
+            std::vector<std::byte> frame) override;
+  void shutdown() override;
+  [[nodiscard]] Stats stats() const override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  // ---- fault plan control ----
+
+  /// Kill a locality: from now on every frame to or from it is dropped.
+  void kill(dist::locality_id victim);
+  /// Revive a dead locality (the simulated board reboot).
+  void revive(dist::locality_id victim);
+  [[nodiscard]] bool is_dead(dist::locality_id l) const;
+
+  /// Adjust the stochastic rates mid-run (tests switch faults on and off).
+  void set_rates(double drop, double corrupt, double delay);
+
+  /// Snapshot of the current fault plan (rates may have been adjusted and
+  /// a pending kill disarmed since construction).
+  [[nodiscard]] FaultConfig config() const {
+    std::lock_guard lk(mutex_);
+    return cfg_;
+  }
+
+  struct FaultStats {
+    std::uint64_t frames = 0;     ///< frames that entered send()
+    std::uint64_t dropped = 0;    ///< lossy-link + dead-locality drops
+    std::uint64_t corrupted = 0;
+    std::uint64_t delayed = 0;
+  };
+  [[nodiscard]] FaultStats fault_stats() const;
+
+ private:
+  std::unique_ptr<dist::Fabric> inner_;
+  std::string name_;
+  mutable std::mutex mutex_;  // guards cfg_ rates, rng_ and dead_
+  FaultConfig cfg_;
+  std::mt19937_64 rng_;
+  std::vector<bool> dead_;
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+};
+
+/// Convenience: wrap a freshly constructed fabric of the given kind.
+std::unique_ptr<dist::Fabric> make_faulty_fabric(dist::FabricKind kind,
+                                                 FaultConfig cfg);
+std::unique_ptr<dist::Fabric> make_faulty_fabric(
+    std::unique_ptr<dist::Fabric> inner, FaultConfig cfg);
+
+}  // namespace mhpx::resilience

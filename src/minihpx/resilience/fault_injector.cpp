@@ -1,0 +1,65 @@
+#include "minihpx/resilience/fault_injector.hpp"
+
+namespace mhpx::resilience {
+
+FaultInjector::FaultInjector(Config cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+bool FaultInjector::inject_fault() {
+  std::lock_guard lk(mutex_);
+  ++fault_calls_;
+  bool fire = false;
+  if (cfg_.fault_every != 0) {
+    fire = fault_calls_ % cfg_.fault_every == 0;
+  } else if (cfg_.task_fault_rate > 0.0) {
+    fire = std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+           cfg_.task_fault_rate;
+  }
+  if (fire) {
+    ++faults_;
+  }
+  return fire;
+}
+
+bool FaultInjector::inject_corruption() {
+  std::lock_guard lk(mutex_);
+  ++corrupt_calls_;
+  bool fire = false;
+  if (cfg_.corrupt_every != 0) {
+    fire = corrupt_calls_ % cfg_.corrupt_every == 0;
+  } else if (cfg_.corrupt_rate > 0.0) {
+    fire = std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+           cfg_.corrupt_rate;
+  }
+  if (fire) {
+    ++corruptions_;
+  }
+  return fire;
+}
+
+std::uint64_t FaultInjector::corruption_mask() {
+  std::lock_guard lk(mutex_);
+  // Never zero: a corruption must actually change the bit pattern.
+  const std::uint64_t mask = rng_();
+  return mask != 0 ? mask : 0xDEADBEEFull;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard lk(mutex_);
+  rng_.seed(cfg_.seed);
+  fault_calls_ = 0;
+  corrupt_calls_ = 0;
+  faults_ = 0;
+  corruptions_ = 0;
+}
+
+std::uint64_t FaultInjector::faults_injected() const {
+  std::lock_guard lk(mutex_);
+  return faults_;
+}
+
+std::uint64_t FaultInjector::corruptions_injected() const {
+  std::lock_guard lk(mutex_);
+  return corruptions_;
+}
+
+}  // namespace mhpx::resilience

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file fault_injector.hpp
+/// Deterministic, seeded fault injection for the resilience subsystem.
+///
+/// Tests and ablations need *reproducible* failures: the same seed must
+/// produce the same sequence of injected task exceptions and silent result
+/// corruptions, so a resilient run can be replayed bit-for-bit. Two modes:
+///
+///   - counted: `fault_every` / `corrupt_every` fire on every Nth wrapped
+///     call — fully deterministic regardless of probability;
+///   - stochastic: `task_fault_rate` / `corrupt_rate` draw from a seeded
+///     mt19937_64; the *sequence* of decisions is fixed by the seed (the
+///     assignment of decisions to tasks depends on call order).
+///
+/// Wrap any callable with faulty() to make it throw injected_fault, or
+/// with corrupting() to silently flip bits in its (arithmetic) result —
+/// the failure model replicate-vote exists to defeat.
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+namespace mhpx::resilience {
+
+/// The exception thrown by faulty()-wrapped callables.
+struct injected_fault : std::runtime_error {
+  injected_fault() : std::runtime_error("injected task fault") {}
+};
+
+class FaultInjector {
+ public:
+  struct Config {
+    double task_fault_rate = 0.0;  ///< P(wrapped call throws)
+    double corrupt_rate = 0.0;     ///< P(wrapped result is bit-flipped)
+    std::uint64_t seed = 0x5eed;
+    /// Counted mode (overrides the rates when nonzero): fire on calls
+    /// N, 2N, 3N, ... of the respective decision stream.
+    std::uint64_t fault_every = 0;
+    std::uint64_t corrupt_every = 0;
+  };
+
+  explicit FaultInjector(Config cfg);
+
+  /// Decide whether the current call should throw. Thread-safe; decisions
+  /// form one deterministic sequence per injector.
+  bool inject_fault();
+
+  /// Decide whether the current result should be corrupted.
+  bool inject_corruption();
+
+  /// Deterministic nonzero bit mask for the next corruption.
+  std::uint64_t corruption_mask();
+
+  /// Restart the decision sequences (same seed).
+  void reset();
+
+  [[nodiscard]] std::uint64_t faults_injected() const;
+  [[nodiscard]] std::uint64_t corruptions_injected() const;
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  Config cfg_;
+  mutable std::mutex mutex_;  // guards everything below
+  std::mt19937_64 rng_;
+  std::uint64_t fault_calls_ = 0;
+  std::uint64_t corrupt_calls_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t corruptions_ = 0;
+};
+
+/// XOR \p mask into the low bytes of an arithmetic value — the "silent FP
+/// misbehaviour" model: the bit pattern changes, no exception is raised.
+template <typename T>
+void corrupt_value(T& value, std::uint64_t mask) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "corrupt_value needs a trivially copyable type");
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  const std::size_t n = sizeof(T) < sizeof(mask) ? sizeof(T) : sizeof(mask);
+  unsigned char mask_bytes[sizeof(mask)];
+  std::memcpy(mask_bytes, &mask, sizeof(mask));
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes[i] ^= mask_bytes[i];
+  }
+  std::memcpy(&value, bytes, sizeof(T));
+}
+
+/// Wrap \p f so each call first consults the injector and may throw
+/// injected_fault. The injector must outlive the wrapper.
+template <typename F>
+auto faulty(FaultInjector& injector, F f) {
+  return [&injector, fn = std::move(f)](auto&&... args) mutable {
+    if (injector.inject_fault()) {
+      throw injected_fault();
+    }
+    return fn(std::forward<decltype(args)>(args)...);
+  };
+}
+
+/// Wrap \p f so its (non-void, trivially copyable) result is silently
+/// bit-flipped whenever the injector fires. The injector must outlive the
+/// wrapper.
+template <typename F>
+auto corrupting(FaultInjector& injector, F f) {
+  return [&injector, fn = std::move(f)](auto&&... args) mutable {
+    auto result = fn(std::forward<decltype(args)>(args)...);
+    if (injector.inject_corruption()) {
+      corrupt_value(result, injector.corruption_mask());
+    }
+    return result;
+  };
+}
+
+}  // namespace mhpx::resilience

@@ -1,0 +1,267 @@
+#pragma once
+
+/// \file resilience.hpp
+/// Replay / replicate resilient task execution — the minihpx analogue of
+/// hpx::resiliency (and of the hkr replay/replicate execution spaces this
+/// reproduction's minikokkos layer mirrors).
+///
+/// The paper's target regime is clusters of cheap RISC-V SBCs, where task
+/// failures (board lockups) and silent result corruption (flaky memory, FP
+/// misbehaviour) are expected. Two classic software schemes cover them:
+///
+///   - *replay*   — run the task; if it throws, or a validation predicate
+///                  rejects its result, run it again, up to n attempts
+///                  (`async_replay`, `async_replay_validate`);
+///   - *replicate* — run n independent copies concurrently and pick a valid
+///                  result (`async_replicate`, `async_replicate_validate`),
+///                  or bit-compare the copies and take the majority
+///                  (`async_replicate_vote`) to defeat silent corruption.
+///
+/// All functions return ordinary mhpx::future<R>s, so resilient calls
+/// compose with .then / when_all / dataflow exactly like plain async calls.
+/// Every retry and vote is reported through mhpx::instrument so the
+/// discrete-event simulator can price the resilience overhead.
+
+#include <cstddef>
+#include <exception>
+#include <stdexcept>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/instrument.hpp"
+
+namespace mhpx::resilience {
+
+/// Replay gave up: every one of the n attempts threw or failed validation.
+struct replay_exhausted : std::runtime_error {
+  explicit replay_exhausted(std::size_t attempts)
+      : std::runtime_error("mhpx::resilience: replay exhausted after " +
+                           std::to_string(attempts) + " attempts") {}
+};
+
+/// Replicate gave up: no replica produced a valid result.
+struct replicate_failed : std::runtime_error {
+  explicit replicate_failed(std::size_t replicas)
+      : std::runtime_error("mhpx::resilience: all " +
+                           std::to_string(replicas) + " replicas failed") {}
+};
+
+/// Replicate-vote gave up: no strict majority among the replica results.
+struct vote_failed : std::runtime_error {
+  explicit vote_failed(std::size_t replicas)
+      : std::runtime_error("mhpx::resilience: no majority among " +
+                           std::to_string(replicas) + " replicas") {}
+};
+
+namespace detail {
+
+template <typename F, typename... Ts>
+using invoke_result_t =
+    std::invoke_result_t<std::decay_t<F>, std::decay_t<Ts>...>;
+
+/// One replay loop, executed inside a single task: attempts run back to
+/// back on the same worker (HPX's async_replay does the same — the retry
+/// happens where the failure was observed, without a round trip through the
+/// scheduler).
+template <typename Pred, typename F, typename Tuple>
+auto replay_loop(std::size_t n, Pred& pred, F& f, Tuple& tup) {
+  using R = decltype(std::apply(f, tup));
+  std::exception_ptr last;
+  for (std::size_t attempt = 0; attempt < n; ++attempt) {
+    if (attempt != 0) {
+      instrument::detail::notify_task_retry(
+          static_cast<std::uint32_t>(attempt));
+    }
+    try {
+      if constexpr (std::is_void_v<R>) {
+        std::apply(f, tup);
+        return;
+      } else {
+        R result = std::apply(f, tup);
+        if (pred(result)) {
+          return result;
+        }
+        last = nullptr;  // invalid result, not an exception
+      }
+    } catch (...) {
+      last = std::current_exception();
+    }
+  }
+  instrument::detail::notify_replay_exhausted();
+  if (last != nullptr) {
+    std::rethrow_exception(last);
+  }
+  throw replay_exhausted(n);
+}
+
+struct accept_any {
+  template <typename T>
+  bool operator()(const T&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// Run f(ts...) as one task; if it throws, re-run it, up to \p n attempts
+/// in total. The future holds the first successful result, or the last
+/// attempt's exception.
+template <typename F, typename... Ts>
+auto async_replay(std::size_t n, F&& f, Ts&&... ts)
+    -> future<detail::invoke_result_t<F, Ts...>> {
+  if (n == 0) {
+    throw std::invalid_argument("async_replay: n must be >= 1");
+  }
+  return mhpx::async(
+      [n, fn = std::forward<F>(f),
+       tup = std::make_tuple(std::forward<Ts>(ts)...)]() mutable {
+        detail::accept_any pred;
+        return detail::replay_loop(n, pred, fn, tup);
+      });
+}
+
+/// Like async_replay, but a result only counts as success when
+/// pred(result) is true — the guard against silently corrupted results.
+/// Throws replay_exhausted if every attempt produced an invalid value.
+template <typename Pred, typename F, typename... Ts>
+auto async_replay_validate(std::size_t n, Pred&& pred, F&& f, Ts&&... ts)
+    -> future<detail::invoke_result_t<F, Ts...>> {
+  static_assert(!std::is_void_v<detail::invoke_result_t<F, Ts...>>,
+                "async_replay_validate requires a non-void result to validate");
+  if (n == 0) {
+    throw std::invalid_argument("async_replay_validate: n must be >= 1");
+  }
+  return mhpx::async(
+      [n, p = std::forward<Pred>(pred), fn = std::forward<F>(f),
+       tup = std::make_tuple(std::forward<Ts>(ts)...)]() mutable {
+        return detail::replay_loop(n, p, fn, tup);
+      });
+}
+
+namespace detail {
+
+/// Launch n independent copies of f(ts...), then hand the vector of settled
+/// futures to \p harvest, which picks (or throws). Returns a future that
+/// never blocks a worker: the harvest runs as a continuation of when_all.
+template <typename F, typename Tuple, typename Harvest>
+auto replicate_impl(std::size_t n, F&& f, Tuple&& tup, Harvest&& harvest) {
+  using R = decltype(std::apply(f, tup));
+  std::vector<future<R>> replicas;
+  replicas.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    replicas.push_back(mhpx::async(
+        [fn = f, t = tup]() mutable { return std::apply(fn, t); }));
+  }
+  return mhpx::when_all(std::move(replicas))
+      .then([h = std::forward<Harvest>(harvest)](
+                std::vector<future<R>> settled) mutable {
+        return h(std::move(settled));
+      });
+}
+
+}  // namespace detail
+
+/// Run n copies of f(ts...) concurrently; the future holds the first (by
+/// index) copy that completed without throwing. Tolerates up to n-1 crashed
+/// replicas; throws replicate_failed if all crashed.
+template <typename F, typename... Ts>
+auto async_replicate(std::size_t n, F&& f, Ts&&... ts)
+    -> future<detail::invoke_result_t<F, Ts...>> {
+  using R = detail::invoke_result_t<F, Ts...>;
+  static_assert(!std::is_void_v<R>,
+                "async_replicate requires a non-void result");
+  if (n == 0) {
+    throw std::invalid_argument("async_replicate: n must be >= 1");
+  }
+  return detail::replicate_impl(
+      n, std::forward<F>(f), std::make_tuple(std::forward<Ts>(ts)...),
+      [n](std::vector<future<R>> settled) -> R {
+        std::uint32_t failures = 0;
+        for (auto& fut : settled) {
+          try {
+            return fut.get();
+          } catch (...) {
+            instrument::detail::notify_task_retry(++failures);
+          }
+        }
+        throw replicate_failed(n);
+      });
+}
+
+/// Run n copies concurrently; the future holds the first copy whose result
+/// passes pred. Throws replicate_failed when no replica produced a valid
+/// result.
+template <typename Pred, typename F, typename... Ts>
+auto async_replicate_validate(std::size_t n, Pred&& pred, F&& f, Ts&&... ts)
+    -> future<detail::invoke_result_t<F, Ts...>> {
+  using R = detail::invoke_result_t<F, Ts...>;
+  static_assert(!std::is_void_v<R>,
+                "async_replicate_validate requires a non-void result");
+  if (n == 0) {
+    throw std::invalid_argument("async_replicate_validate: n must be >= 1");
+  }
+  return detail::replicate_impl(
+      n, std::forward<F>(f), std::make_tuple(std::forward<Ts>(ts)...),
+      [n, p = std::forward<Pred>(pred)](std::vector<future<R>> settled) -> R {
+        std::uint32_t rejected = 0;
+        for (auto& fut : settled) {
+          try {
+            R value = fut.get();
+            if (p(value)) {
+              return value;
+            }
+            instrument::detail::notify_task_retry(++rejected);
+          } catch (...) {
+            instrument::detail::notify_task_retry(++rejected);
+          }
+        }
+        throw replicate_failed(n);
+      });
+}
+
+/// Run n copies concurrently and majority-vote their results (compared with
+/// operator==): the future holds the value produced by a strict majority
+/// (> n/2) of the surviving replicas. One silently corrupted replica out of
+/// three is outvoted. Throws vote_failed when no strict majority exists.
+template <typename F, typename... Ts>
+auto async_replicate_vote(std::size_t n, F&& f, Ts&&... ts)
+    -> future<detail::invoke_result_t<F, Ts...>> {
+  using R = detail::invoke_result_t<F, Ts...>;
+  static_assert(!std::is_void_v<R>,
+                "async_replicate_vote requires a non-void result");
+  if (n == 0) {
+    throw std::invalid_argument("async_replicate_vote: n must be >= 1");
+  }
+  return detail::replicate_impl(
+      n, std::forward<F>(f), std::make_tuple(std::forward<Ts>(ts)...),
+      [n](std::vector<future<R>> settled) -> R {
+        std::vector<R> values;
+        values.reserve(settled.size());
+        for (auto& fut : settled) {
+          try {
+            values.push_back(fut.get());
+          } catch (...) {
+            // A crashed replica simply loses its vote.
+          }
+        }
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          std::size_t agree = 1;
+          for (std::size_t j = 0; j < values.size(); ++j) {
+            if (j != i && values[j] == values[i]) {
+              ++agree;
+            }
+          }
+          if (2 * agree > n) {
+            instrument::detail::notify_vote(true);
+            return values[i];
+          }
+        }
+        instrument::detail::notify_vote(false);
+        throw vote_failed(n);
+      });
+}
+
+}  // namespace mhpx::resilience

@@ -1,0 +1,232 @@
+#pragma once
+
+/// \file resilience.hpp
+/// Resilient execution spaces — the minikokkos analogue of the hkr
+/// (hpx-kokkos-resilience) ResilientReplay/ResilientReplicate spaces.
+///
+/// A kernel dispatched on one of these spaces re-executes or votes at
+/// *chunk* granularity, transparently to the kernel body:
+///
+///   - ReplayHpx: each chunk that throws (an injected task fault, a
+///     transient hardware trap surfaced as an exception) or fails the
+///     space's optional range validator is re-executed, up to `replays`
+///     attempts, before the failure propagates. The hkr equivalent is
+///     Kokkos::ResilientReplay<ExecSpace, Validator>.
+///   - ReplicateHpx: each chunk runs `replicas` times. parallel_reduce
+///     bit-compares the replica partials (the checksum) and takes the
+///     strict-majority value — one silently corrupted replica out of three
+///     is outvoted. parallel_for accepts the chunk once any replica
+///     completes without throwing. The hkr equivalent is
+///     ResilientReplicate with its majority-vote comparator.
+///
+/// Both spaces assume the usual Kokkos contract that the functor is
+/// idempotent per index (each index writes only its own outputs from
+/// chunk-invariant inputs) — exactly what the Octo-Tiger kernels satisfy —
+/// so re-execution is safe. Every retry and vote is reported through
+/// mhpx::instrument, keeping the simulator's overhead pricing honest.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "minihpx/instrument.hpp"
+#include "minihpx/resilience/resilience.hpp"
+#include "minikokkos/parallel.hpp"
+#include "minikokkos/spaces.hpp"
+
+namespace mkk {
+
+/// Replay space: re-execute a failed or invalid chunk on the Hpx space.
+struct ReplayHpx {
+  Hpx base{};           ///< underlying Hpx space (chunk-count knob)
+  unsigned replays = 3; ///< total attempts per chunk
+  /// Optional post-chunk check over [b, e): return false to force a
+  /// re-execution (e.g. a checksum over the chunk's outputs found NaNs).
+  std::function<bool(std::size_t, std::size_t)> validator;
+  static constexpr std::string_view name() { return "ReplayHpx"; }
+};
+
+/// Replicate space: run each chunk n times; vote on reduce partials.
+struct ReplicateHpx {
+  Hpx base{};            ///< underlying Hpx space (chunk-count knob)
+  unsigned replicas = 3; ///< copies per chunk (use an odd count)
+  static constexpr std::string_view name() { return "ReplicateHpx"; }
+};
+
+namespace detail {
+
+template <>
+struct is_execution_space<ReplayHpx> : std::true_type {};
+template <>
+struct is_execution_space<ReplicateHpx> : std::true_type {};
+
+/// Run body(b, e) with replay semantics: rethrow only after the last
+/// attempt failed; count each re-execution.
+template <typename Body>
+void replay_chunk(const ReplayHpx& space, std::size_t b, std::size_t e,
+                  Body& body) {
+  const unsigned attempts = space.replays != 0 ? space.replays : 1;
+  for (unsigned attempt = 0;; ++attempt) {
+    bool ok = false;
+    try {
+      body(b, e);
+      ok = !space.validator || space.validator(b, e);
+    } catch (...) {
+      if (attempt + 1 >= attempts) {
+        mhpx::instrument::detail::notify_replay_exhausted();
+        throw;
+      }
+    }
+    if (ok) {
+      return;
+    }
+    if (attempt + 1 >= attempts) {
+      mhpx::instrument::detail::notify_replay_exhausted();
+      throw mhpx::resilience::replay_exhausted(attempts);
+    }
+    mhpx::instrument::detail::notify_task_retry(attempt + 1);
+  }
+}
+
+}  // namespace detail
+
+// --------------------------------------------------------------- ReplayHpx
+
+template <typename F>
+void parallel_for(const RangePolicy<ReplayHpx>& policy, F&& f) {
+  detail::dispatch_blocks(policy.space.base, policy.begin, policy.end,
+                          [&](std::size_t b, std::size_t e) {
+                            auto chunk = [&](std::size_t bb, std::size_t ee) {
+                              for (std::size_t i = bb; i < ee; ++i) {
+                                f(i);
+                              }
+                            };
+                            detail::replay_chunk(policy.space, b, e, chunk);
+                          });
+}
+
+template <typename F>
+void parallel_for(const MDRangePolicy3<ReplayHpx>& policy, F&& f) {
+  const std::size_t n = policy.count();
+  detail::dispatch_blocks(policy.space.base, 0, n,
+                          [&](std::size_t b, std::size_t e) {
+                            auto chunk = [&](std::size_t bb, std::size_t ee) {
+                              for (std::size_t flat = bb; flat < ee; ++flat) {
+                                std::size_t i = 0;
+                                std::size_t j = 0;
+                                std::size_t k = 0;
+                                policy.unflatten(flat, i, j, k);
+                                f(i, j, k);
+                              }
+                            };
+                            detail::replay_chunk(policy.space, b, e, chunk);
+                          });
+}
+
+template <typename F, typename T>
+void parallel_reduce(const RangePolicy<ReplayHpx>& policy, F&& f, T& result) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) {
+    result = T{};
+    return;
+  }
+  std::mutex combine_mutex;  // guards total
+  T total{};
+  detail::dispatch_blocks(
+      policy.space.base, policy.begin, policy.end,
+      [&](std::size_t b, std::size_t e) {
+        // The partial combines into the total only after the chunk's final
+        // successful attempt, so a replayed chunk is never double-counted.
+        auto chunk = [&](std::size_t bb, std::size_t ee) {
+          T local{};
+          for (std::size_t i = bb; i < ee; ++i) {
+            f(i, local);
+          }
+          std::lock_guard lk(combine_mutex);
+          total += local;
+        };
+        detail::replay_chunk(policy.space, b, e, chunk);
+      });
+  result = total;
+}
+
+// ------------------------------------------------------------ ReplicateHpx
+
+template <typename F>
+void parallel_for(const RangePolicy<ReplicateHpx>& policy, F&& f) {
+  const unsigned replicas =
+      policy.space.replicas != 0 ? policy.space.replicas : 1;
+  detail::dispatch_blocks(
+      policy.space.base, policy.begin, policy.end,
+      [&](std::size_t b, std::size_t e) {
+        unsigned survived = 0;
+        std::exception_ptr last;
+        for (unsigned r = 0; r < replicas; ++r) {
+          try {
+            for (std::size_t i = b; i < e; ++i) {
+              f(i);
+            }
+            ++survived;
+          } catch (...) {
+            last = std::current_exception();
+            mhpx::instrument::detail::notify_task_retry(r + 1);
+          }
+        }
+        if (survived == 0) {
+          std::rethrow_exception(last);
+        }
+      });
+}
+
+template <typename F, typename T>
+void parallel_reduce(const RangePolicy<ReplicateHpx>& policy, F&& f,
+                     T& result) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) {
+    result = T{};
+    return;
+  }
+  const unsigned replicas =
+      policy.space.replicas != 0 ? policy.space.replicas : 1;
+  std::mutex combine_mutex;  // guards total
+  T total{};
+  detail::dispatch_blocks(
+      policy.space.base, policy.begin, policy.end,
+      [&](std::size_t b, std::size_t e) {
+        // Compute each replica's partial, then majority-vote on equality
+        // (the bitwise checksum): silent corruption of a minority of the
+        // replicas cannot reach the total.
+        std::vector<T> partials;
+        partials.reserve(replicas);
+        for (unsigned r = 0; r < replicas; ++r) {
+          try {
+            T local{};
+            for (std::size_t i = b; i < e; ++i) {
+              f(i, local);
+            }
+            partials.push_back(local);
+          } catch (...) {
+            mhpx::instrument::detail::notify_task_retry(r + 1);
+          }
+        }
+        for (const T& candidate : partials) {
+          unsigned agree = 0;
+          for (const T& other : partials) {
+            if (other == candidate) {
+              ++agree;
+            }
+          }
+          if (2 * agree > replicas) {
+            mhpx::instrument::detail::notify_vote(true);
+            std::lock_guard lk(combine_mutex);
+            total += candidate;
+            return;
+          }
+        }
+        mhpx::instrument::detail::notify_vote(false);
+        throw mhpx::resilience::vote_failed(replicas);
+      });
+  result = total;
+}
+
+}  // namespace mkk

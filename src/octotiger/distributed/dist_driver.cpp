@@ -1,10 +1,18 @@
 #include "octotiger/distributed/dist_driver.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <limits>
+#include <thread>
 
 #include "minihpx/futures/future.hpp"
+#include "minihpx/instrument.hpp"
+#include "minihpx/resilience/fabric_faulty.hpp"
 #include "minihpx/sync/latch.hpp"
+#include "octotiger/checkpoint.hpp"
 #include "octotiger/gravity/solver.hpp"
 #include "octotiger/hydro/kernels.hpp"
 #include "octotiger/init/rotating_star.hpp"
@@ -183,7 +191,18 @@ void DistOcto::apply_fields(const std::vector<std::uint64_t>& ids,
   }
 }
 
-void DistOcto::run_stage(double dt, std::uint32_t stage) {
+void DistOcto::run_stage(double dt, std::uint32_t stage, std::uint64_t token) {
+  // At-least-once delivery guard: a retried RunStageAction whose first
+  // attempt executed (only the reply was lost) re-arrives with the same
+  // token and must not re-run — stage 0 would re-snapshot updated state.
+  // The mutex also serializes a straggler first attempt against its retry.
+  std::unique_lock lk(stage_mutex_, std::defer_lock);
+  if (token != 0) {
+    lk.lock();
+    if (token == last_stage_token_) {
+      return;
+    }
+  }
   if (stage == 0) {
     for (std::size_t l = owned_begin_; l < owned_end_; ++l) {
       tree_.leaves()[l]->grid.save_state();
@@ -229,6 +248,9 @@ void DistOcto::run_stage(double dt, std::uint32_t stage) {
       }
     }
   });
+  if (token != 0) {
+    last_stage_token_ = token;
+  }
 }
 
 Cons DistOcto::partition_totals() const {
@@ -305,12 +327,19 @@ MHPX_REGISTER_ACTION(ApplyFieldsAction);
 struct RunStageAction {
   static constexpr std::string_view name = "octo::dist::run_stage";
   static int invoke(md::Locality&, DistOcto& self, double dt,
-                    std::uint32_t stage) {
-    self.run_stage(dt, stage);
+                    std::uint32_t stage, std::uint64_t token) {
+    self.run_stage(dt, stage, token);
     return 0;
   }
 };
 MHPX_REGISTER_ACTION(RunStageAction);
+
+/// Component-less heartbeat: answered by any live locality's scheduler.
+struct PingAction {
+  static constexpr std::string_view name = "octo::dist::ping";
+  static int invoke(md::Locality&, int v) { return v; }
+};
+MHPX_REGISTER_ACTION(PingAction);
 
 struct PartitionTotalsAction {
   static constexpr std::string_view name = "octo::dist::partition_totals";
@@ -322,15 +351,88 @@ MHPX_REGISTER_ACTION(PartitionTotalsAction);
 
 // ------------------------------------------------------------ orchestrator
 
+namespace {
+
+/// Pack the interior fields of the given leaves of a (shadow) Simulation in
+/// exactly the wire format of DistOcto::pack_fields, so a restored
+/// checkpoint can be pushed to replicas through ApplyFieldsAction.
+std::vector<double> pack_sim_fields(const Simulation& sim,
+                                    const std::vector<std::uint64_t>& ids) {
+  std::vector<double> out;
+  out.reserve(ids.size() * NF * CELLS_PER_GRID);
+  for (const std::uint64_t id : ids) {
+    const SubGrid& g =
+        sim.tree().leaves().at(static_cast<std::size_t>(id))->grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            out.push_back(g.u(f, i, j, k));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Inverse of pack_sim_fields: write packed leaf fields into the shadow.
+void unpack_sim_fields(Simulation& sim, const std::vector<std::uint64_t>& ids,
+                       const std::vector<double>& data) {
+  std::size_t o = 0;
+  for (const std::uint64_t id : ids) {
+    const SubGrid& g =
+        sim.tree().leaves().at(static_cast<std::size_t>(id))->grid;
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            g.u(f, i, j, k) = data.at(o++);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Leaf-id range owned by partition p (the same contiguous split DistOcto
+/// computes in its constructor).
+std::pair<std::size_t, std::size_t> partition_range(std::uint32_t p,
+                                                    std::uint32_t parts,
+                                                    std::size_t leaves) {
+  return {static_cast<std::size_t>(p) * leaves / parts,
+          static_cast<std::size_t>(p + 1) * leaves / parts};
+}
+
+}  // namespace
+
 DistSimulation::DistSimulation(Options opt, md::FabricKind fabric)
+    : DistSimulation(std::move(opt), fabric, ResilienceConfig{}, {}) {}
+
+DistSimulation::DistSimulation(
+    Options opt, md::FabricKind fabric, ResilienceConfig res,
+    std::function<std::unique_ptr<md::Fabric>()> fabric_factory)
     : opt_(std::move(opt)),
+      res_(std::move(res)),
       runtime_([&] {
         md::DistributedRuntime::Config cfg;
         cfg.num_localities = opt_.localities;
         cfg.threads_per_locality = opt_.threads;
         cfg.fabric = fabric;
+        cfg.fabric_factory = std::move(fabric_factory);
         return cfg;
       }()) {
+  rng_.seed(res_.seed);
+  // Component creation is not idempotent, so construction must run without
+  // injected faults: stash the faulty fabric's rates and zero them until
+  // the wish-list gather below is done.
+  auto* faulty =
+      dynamic_cast<mhpx::resilience::FaultyFabric*>(&runtime_.fabric());
+  mhpx::resilience::FaultConfig stashed;
+  if (faulty != nullptr) {
+    stashed = faulty->config();
+    faulty->set_rates(0.0, 0.0, 0.0);
+  }
   const auto n = runtime_.num_localities();
   components_.reserve(n);
   for (md::locality_id l = 0; l < n; ++l) {
@@ -356,6 +458,36 @@ DistSimulation::DistSimulation(Options opt, md::FabricKind fabric)
                           .call<NeededFromAction>(components_[c], p)
                           .get();
     }
+  }
+  if (res_.enabled) {
+    // The shadow replica stages checkpoints. Built from the same options it
+    // is bitwise identical to every locality's fresh tree, so writing the
+    // step-0 restart file needs no gather — recovery is possible even if a
+    // board dies during the very first checkpoint gather.
+    shadow_ = std::make_unique<Simulation>(opt_);
+    all_ids_.resize(shadow_->tree().leaf_count());
+    for (std::size_t i = 0; i < all_ids_.size(); ++i) {
+      all_ids_[i] = i;
+    }
+    if (res_.checkpoint_path.empty()) {
+      ckpt_path_ = "octo_resilient_" + std::to_string(::getpid()) + "_" +
+                   std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                   ".ckpt";
+      owns_ckpt_file_ = true;
+    } else {
+      ckpt_path_ = res_.checkpoint_path;
+    }
+    save_checkpoint(*shadow_, ckpt_path_);
+  }
+  if (faulty != nullptr) {
+    faulty->set_rates(stashed.drop_rate, stashed.corrupt_rate,
+                      stashed.delay_rate);
+  }
+}
+
+DistSimulation::~DistSimulation() {
+  if (owns_ckpt_file_) {
+    std::remove(ckpt_path_.c_str());
   }
 }
 
@@ -388,6 +520,26 @@ void DistSimulation::exchange_fields() {
 }
 
 double DistSimulation::step() {
+  if (!res_.enabled) {
+    return plain_step();
+  }
+  for (;;) {
+    try {
+      if (res_.checkpoint_every != 0 &&
+          stats_.steps % res_.checkpoint_every == 0) {
+        take_checkpoint();
+      }
+      return resilient_step();
+    } catch (const locality_dead& e) {
+      if (++recoveries_ > res_.max_recoveries) {
+        throw;
+      }
+      recover(e.locality);
+    }
+  }
+}
+
+double DistSimulation::plain_step() {
   const auto n = runtime_.num_localities();
 
   mark("dist.dt");
@@ -439,7 +591,7 @@ double DistSimulation::step() {
     std::vector<mhpx::future<int>> futs;
     for (md::locality_id l = 0; l < n; ++l) {
       futs.push_back(runtime_.locality(0).call<RunStageAction>(
-          components_[l], dt, std::uint32_t{0}));
+          components_[l], dt, std::uint32_t{0}, std::uint64_t{0}));
     }
     for (auto& f : futs) {
       f.get();
@@ -454,7 +606,7 @@ double DistSimulation::step() {
     std::vector<mhpx::future<int>> futs;
     for (md::locality_id l = 0; l < n; ++l) {
       futs.push_back(runtime_.locality(0).call<RunStageAction>(
-          components_[l], dt, std::uint32_t{1}));
+          components_[l], dt, std::uint32_t{1}, std::uint64_t{0}));
     }
     for (auto& f : futs) {
       f.get();
@@ -469,9 +621,210 @@ double DistSimulation::step() {
 }
 
 void DistSimulation::run() {
-  for (unsigned s = 0; s < opt_.stop_step; ++s) {
+  // Loop on the counter, not an index: a recovery rolls stats_.steps back
+  // to the last checkpoint, and the rolled-back steps must be redone.
+  while (stats_.steps < opt_.stop_step) {
     step();
   }
+}
+
+// ------------------------------------------------------- resilient path
+
+void DistSimulation::backoff_sleep(unsigned attempt) {
+  // Exponential backoff with multiplicative jitter, capped.
+  double delay = res_.backoff_initial_s;
+  for (unsigned a = 1; a < attempt; ++a) {
+    delay *= res_.backoff_factor;
+  }
+  delay = std::min(delay, res_.backoff_cap_s);
+  if (res_.backoff_jitter > 0.0) {
+    std::uniform_real_distribution<double> u(1.0 - res_.backoff_jitter,
+                                             1.0 + res_.backoff_jitter);
+    delay *= u(rng_);
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+}
+
+bool DistSimulation::probe(md::locality_id l) {
+  // Heartbeat: a component-less echo through the fabric. A dead locality's
+  // frames are black-holed, so the future simply never resolves.
+  auto fut = runtime_.locality(0).call<PingAction>(md::locality_gid(l), 1);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(res_.heartbeat_timeout_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (fut.is_ready()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return fut.is_ready();
+}
+
+template <typename Action, typename R, typename... Args>
+R DistSimulation::resilient_call(md::locality_id src, md::locality_id dst,
+                                 md::gid target, const Args&... args) {
+  for (unsigned attempt = 0; attempt <= res_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      mhpx::instrument::detail::notify_task_retry(attempt);
+      backoff_sleep(attempt);
+    }
+    auto fut = runtime_.locality(src).call<Action>(target, args...);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(res_.rpc_timeout_s));
+    while (!fut.is_ready() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    if (fut.is_ready()) {
+      try {
+        return fut.get();
+      } catch (const md::remote_error&) {
+        // Transient remote failure (e.g. an injected task fault): retry.
+      }
+    }
+    // Timed out: the request or its reply was lost. The abandoned future's
+    // pending entry is harmless; retry the (idempotent or token-guarded)
+    // action.
+  }
+  // Retries exhausted — decide which endpoint went silent.
+  if (!probe(dst)) {
+    throw locality_dead(dst);
+  }
+  if (src != 0 && !probe(src)) {
+    throw locality_dead(src);
+  }
+  // Both endpoints answer pings yet the call keeps failing (e.g. an
+  // extremely lossy link): treat the destination as dead so recovery's
+  // full restore-and-redo still makes forward progress.
+  throw locality_dead(dst);
+}
+
+void DistSimulation::resilient_exchange_fields() {
+  const auto n = runtime_.num_localities();
+  for (md::locality_id c = 0; c < n; ++c) {
+    for (md::locality_id p = 0; p < n; ++p) {
+      if (c == p || wanted_[c][p].empty()) {
+        continue;
+      }
+      auto data = resilient_call<PackFieldsAction, std::vector<double>>(
+          c, p, components_[p], wanted_[c][p]);
+      resilient_call<ApplyFieldsAction, int>(p, c, components_[c],
+                                             wanted_[c][p], std::move(data));
+    }
+  }
+}
+
+double DistSimulation::resilient_step() {
+  const auto n = runtime_.num_localities();
+
+  mark("dist.dt");
+  double smax = 0.0;
+  for (md::locality_id l = 0; l < n; ++l) {
+    smax = std::max(smax, resilient_call<SignalMaxAction, double>(
+                              0, l, components_[l]));
+  }
+  auto& local = runtime_.locality(0).local<DistOcto>(components_[0]);
+  double min_dx = std::numeric_limits<double>::max();
+  for (const TreeNode* leaf : local.tree().leaves()) {
+    min_dx = std::min(min_dx, leaf->grid.dx());
+  }
+  const double dt = opt_.cfl * min_dx / std::max(smax, 1e-30);
+
+  mark("dist.moments");
+  for (md::locality_id p = 0; p < n; ++p) {
+    auto packed = resilient_call<PackMomentsAction, std::vector<double>>(
+        0, p, components_[p]);
+    for (md::locality_id c = 0; c < n; ++c) {
+      if (c != p) {
+        resilient_call<ApplyMomentsAction, int>(0, c, components_[c], packed);
+      }
+    }
+  }
+
+  mark("dist.exchange1");
+  resilient_exchange_fields();
+
+  // Stage tokens: unique per (recovery epoch, step, stage) and never zero,
+  // so a duplicate delivery within one attempt is suppressed while the
+  // post-recovery redo of the same step re-executes.
+  const auto token_base = (static_cast<std::uint64_t>(epoch_ + 1) << 40) |
+                          (static_cast<std::uint64_t>(stats_.steps) << 1);
+
+  mark("dist.stage1");
+  for (md::locality_id l = 0; l < n; ++l) {
+    resilient_call<RunStageAction, int>(0, l, components_[l], dt,
+                                        std::uint32_t{0}, token_base);
+  }
+
+  mark("dist.exchange2");
+  resilient_exchange_fields();
+
+  mark("dist.stage2");
+  for (md::locality_id l = 0; l < n; ++l) {
+    resilient_call<RunStageAction, int>(0, l, components_[l], dt,
+                                        std::uint32_t{1}, token_base | 1u);
+  }
+
+  ++stats_.steps;
+  stats_.sim_time += dt;
+  stats_.last_dt = dt;
+  stats_.cells_processed += total_cells_;
+  return dt;
+}
+
+void DistSimulation::take_checkpoint() {
+  // Gather each partition's owned (step-start) fields into the shadow
+  // replica, stamp the current statistics, write the restart file.
+  const auto n = runtime_.num_localities();
+  const std::size_t leaves = shadow_->tree().leaf_count();
+  for (md::locality_id p = 0; p < n; ++p) {
+    const auto [b, e] = partition_range(p, n, leaves);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(e - b);
+    for (std::size_t i = b; i < e; ++i) {
+      ids.push_back(i);
+    }
+    auto data = resilient_call<PackFieldsAction, std::vector<double>>(
+        0, p, components_[p], ids);
+    unpack_sim_fields(*shadow_, ids, data);
+  }
+  shadow_->restore_stats(stats_);
+  save_checkpoint(*shadow_, ckpt_path_);
+}
+
+void DistSimulation::recover(md::locality_id dead) {
+  // 1. "Reboot the board": when running over the fault-injecting fabric,
+  //    revive the victim so frames flow again (this also disarms a pending
+  //    scheduled kill of the same target).
+  if (auto* faulty = dynamic_cast<mhpx::resilience::FaultyFabric*>(
+          &runtime_.fabric())) {
+    faulty->revive(dead);
+  }
+  // 2. Quiesce: let straggling action handlers finish so the restore below
+  //    is not racing a half-done stage. DistOcto handlers never block on
+  //    remote calls, so this cannot deadlock.
+  for (md::locality_id l = 0; l < runtime_.num_localities(); ++l) {
+    runtime_.locality(l).wait_idle();
+  }
+  // 3. New epoch: stage tokens change, so the redone step re-executes on
+  //    replicas that already ran it before the failure.
+  ++epoch_;
+  // 4. Roll every replica back to the last restart file.
+  Simulation restored = load_checkpoint(ckpt_path_);
+  const auto packed = pack_sim_fields(restored, all_ids_);
+  const auto n = runtime_.num_localities();
+  for (md::locality_id l = 0; l < n; ++l) {
+    resilient_call<ApplyFieldsAction, int>(0, l, components_[l], all_ids_,
+                                           packed);
+  }
+  stats_ = restored.stats();
+  // shadow_ needs no update: the next take_checkpoint overwrites every
+  // leaf's fields, and the tree structure is options-deterministic.
+  mhpx::instrument::detail::notify_recovery(dead);
 }
 
 Cons DistSimulation::totals() {

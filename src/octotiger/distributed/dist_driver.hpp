@@ -26,15 +26,55 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <random>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "minihpx/distributed/runtime.hpp"
+#include "minihpx/sync/mutex.hpp"
 #include "octotiger/driver.hpp"
 #include "octotiger/octree.hpp"
 #include "octotiger/options.hpp"
 
 namespace octo::dist {
+
+/// Self-healing knobs for DistSimulation. With enabled=false the driver
+/// behaves exactly as before (no retries, no checkpoints, no probes).
+struct ResilienceConfig {
+  bool enabled = false;
+  /// Remote-call retry policy: exponential backoff with decorrelating
+  /// jitter, capped (the classic AWS architecture-blog scheme; see
+  /// DESIGN.md "Resilience" for the constants' provenance).
+  unsigned max_retries = 6;
+  double rpc_timeout_s = 0.25;     ///< per-attempt reply deadline
+  double backoff_initial_s = 0.002;
+  double backoff_factor = 2.0;
+  double backoff_cap_s = 0.1;
+  double backoff_jitter = 0.25;    ///< +/- fraction applied to each delay
+  /// After retries are exhausted, the suspect locality is probed with a
+  /// ping; no pong within this window declares it dead.
+  double heartbeat_timeout_s = 0.5;
+  /// Gather + write a restart file every N steps (0 = only the one taken
+  /// at construction). Recovery rolls back to the last file written.
+  unsigned checkpoint_every = 1;
+  /// Restart-file path; empty = a per-process temp-style name that the
+  /// driver deletes on destruction.
+  std::string checkpoint_path;
+  unsigned max_recoveries = 8;   ///< give up (rethrow) beyond this
+  std::uint64_t seed = 0xc0ffee; ///< backoff-jitter RNG seed
+};
+
+/// Thrown (internally) when a locality stops answering both its pending
+/// call and a heartbeat probe; step() catches it and runs recovery.
+struct locality_dead : std::runtime_error {
+  explicit locality_dead(mhpx::dist::locality_id l)
+      : std::runtime_error("octo::dist: locality " + std::to_string(l) +
+                           " presumed dead (heartbeat timeout)"),
+        locality(l) {}
+  mhpx::dist::locality_id locality;
+};
 
 /// The per-locality component: tree replica + owned partition.
 class DistOcto : public mhpx::dist::Component {
@@ -78,7 +118,14 @@ class DistOcto : public mhpx::dist::Component {
 
   /// Run one hydro stage on the owned partition (stage 0 also snapshots
   /// state and solves gravity).
-  void run_stage(double dt, std::uint32_t stage);
+  ///
+  /// \p token makes the action safe under at-least-once delivery: a
+  /// nonzero token equal to the previous one marks a duplicate (a resilient
+  /// retry whose first attempt did execute but whose reply was lost) and
+  /// the stage is skipped. Unlike pack/apply, run_stage is not idempotent —
+  /// stage 0 re-snapshots state — so the guard is required for exactly-once
+  /// effects. token 0 (the non-resilient path) disables the guard.
+  void run_stage(double dt, std::uint32_t stage, std::uint64_t token = 0);
 
   /// Conserved totals over the owned partition.
   [[nodiscard]] Cons partition_totals() const;
@@ -96,12 +143,32 @@ class DistOcto : public mhpx::dist::Component {
   std::size_t owned_end_ = 0;
   /// needed_[p] = ids owned by partition p that this partition reads.
   std::vector<std::vector<std::uint64_t>> needed_;
+  /// Duplicate-suppression for run_stage under resilient retries. The
+  /// fiber-aware mutex also serializes a straggler first attempt against
+  /// its own retry.
+  mhpx::sync::mutex stage_mutex_;
+  std::uint64_t last_stage_token_ = 0;
 };
 
 /// Orchestrates a distributed rotating-star run and accounts statistics.
+///
+/// In resilient mode (ResilienceConfig::enabled) every remote interaction
+/// goes through replay-with-backoff, a heartbeat probe demotes a silent
+/// locality to "dead", and recovery revives it (when the fabric is the
+/// fault-injecting decorator), restores every replica from the last
+/// checkpoint and redoes the interrupted step — so a run that suffered
+/// parcel loss and a mid-run board death still finishes with conservation
+/// diagnostics bit-identical to a fault-free run.
 class DistSimulation {
  public:
   DistSimulation(Options opt, mhpx::dist::FabricKind fabric);
+  /// Resilient-mode constructor. \p fabric_factory (optional) builds the
+  /// parcelport — pass a make_faulty_fabric thunk to inject faults; when
+  /// empty, make_fabric(fabric) is used.
+  DistSimulation(
+      Options opt, mhpx::dist::FabricKind fabric, ResilienceConfig res,
+      std::function<std::unique_ptr<mhpx::dist::Fabric>()> fabric_factory);
+  ~DistSimulation();
 
   [[nodiscard]] mhpx::dist::DistributedRuntime& runtime() { return runtime_; }
   [[nodiscard]] const RunStats& stats() const { return stats_; }
@@ -109,10 +176,18 @@ class DistSimulation {
     return runtime_.num_localities();
   }
   [[nodiscard]] std::size_t total_cells() const { return total_cells_; }
+  [[nodiscard]] unsigned recoveries() const { return recoveries_; }
+  /// Handle of the DistOcto component hosted on locality \p l.
+  [[nodiscard]] mhpx::dist::gid component(unsigned l) const {
+    return components_.at(l);
+  }
 
-  /// Advance one time step across all localities. Returns dt.
+  /// Advance one time step across all localities. Returns dt. In resilient
+  /// mode this checkpoints first, then retries the whole step through
+  /// recovery until it completes.
   double step();
-  /// Run opt.stop_step steps.
+  /// Run until opt.stop_step steps have completed (recovery can roll the
+  /// step counter back, so this loops on the counter, not an index).
   void run();
 
   /// Conserved totals over all partitions.
@@ -126,8 +201,29 @@ class DistSimulation {
  private:
   void mark(const std::string& phase);
   void exchange_fields();
+  double plain_step();
+
+  // ---- resilient path ----
+  double resilient_step();
+  void resilient_exchange_fields();
+  /// Issue Action from locality \p src to the component/gid on \p dst and
+  /// wait; on timeout or remote error retry with jittered exponential
+  /// backoff; after max_retries probe the endpoints and throw
+  /// locality_dead for whichever stops answering.
+  template <typename Action, typename R, typename... Args>
+  R resilient_call(mhpx::dist::locality_id src, mhpx::dist::locality_id dst,
+                   mhpx::dist::gid target, const Args&... args);
+  [[nodiscard]] bool probe(mhpx::dist::locality_id l);
+  void backoff_sleep(unsigned attempt);
+  /// Gather every partition's owned fields into the shadow Simulation and
+  /// write the restart file.
+  void take_checkpoint();
+  /// Revive \p dead (fault-injecting fabrics only), reload the restart
+  /// file, push the restored fields to every replica and roll stats back.
+  void recover(mhpx::dist::locality_id dead);
 
   Options opt_;
+  ResilienceConfig res_;
   mhpx::dist::DistributedRuntime runtime_;
   std::vector<mhpx::dist::gid> components_;
   /// wanted_[consumer][producer] = leaf ids consumer reads from producer.
@@ -135,6 +231,15 @@ class DistSimulation {
   std::size_t total_cells_ = 0;
   RunStats stats_;
   std::function<void(const std::string&)> phase_marker_;
+
+  // Resilient-mode state.
+  std::unique_ptr<Simulation> shadow_;  ///< checkpoint staging replica
+  std::string ckpt_path_;
+  bool owns_ckpt_file_ = false;
+  std::vector<std::uint64_t> all_ids_;  ///< every leaf id, for full restore
+  std::uint32_t epoch_ = 0;   ///< bumped per recovery; keys stage tokens
+  unsigned recoveries_ = 0;
+  std::mt19937_64 rng_{0};    ///< backoff jitter (seeded from res_.seed)
 };
 
 }  // namespace octo::dist

@@ -1,0 +1,181 @@
+// ReplayHpx / ReplicateHpx execution spaces: minikokkos kernels that
+// transparently re-execute failed chunks or majority-vote replica partials
+// (the hpx-kokkos-resilience model).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "minihpx/resilience/fault_injector.hpp"
+#include "minihpx/runtime.hpp"
+#include "minikokkos/resilience.hpp"
+
+namespace {
+
+namespace mres = mhpx::resilience;
+
+struct ResilientSpacesTest : ::testing::Test {
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+};
+
+TEST_F(ResilientSpacesTest, ReplayForRecoversFromChunkFaults) {
+  mhpx::instrument::reset_resilience_counters();
+  constexpr std::size_t n = 1024;
+  std::vector<double> out(n, 0.0);
+  std::atomic<int> faults_left{3};
+  mkk::ReplayHpx space;
+  space.base.chunks = 8;
+  space.replays = 5;
+  mkk::parallel_for(mkk::RangePolicy<mkk::ReplayHpx>(space, 0, n),
+                    [&](std::size_t i) {
+                      // The first three chunk executions abort mid-chunk;
+                      // their replays rewrite the same indices (idempotent).
+                      if (i % 128 == 60 && faults_left.load() > 0 &&
+                          faults_left.fetch_sub(1) > 0) {
+                        throw mres::injected_fault();
+                      }
+                      out[i] = 2.0 * static_cast<double>(i);
+                    });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], 2.0 * static_cast<double>(i));
+  }
+  EXPECT_GE(mhpx::instrument::resilience_counters().task_retries, 1u);
+}
+
+TEST_F(ResilientSpacesTest, ReplayForExhaustionPropagates) {
+  mkk::ReplayHpx space;
+  space.base.chunks = 4;
+  space.replays = 2;
+  EXPECT_THROW(
+      mkk::parallel_for(mkk::RangePolicy<mkk::ReplayHpx>(space, 0, 64),
+                        [&](std::size_t) {
+                          throw mres::injected_fault();
+                        }),
+      mres::injected_fault);
+  EXPECT_GE(mhpx::instrument::resilience_counters().replays_exhausted, 1u);
+}
+
+TEST_F(ResilientSpacesTest, ReplayValidatorForcesReexecution) {
+  constexpr std::size_t n = 256;
+  std::vector<double> out(n, -1.0);
+  std::atomic<bool> sabotage{true};
+  mkk::ReplayHpx space;
+  space.base.chunks = 1;  // one chunk covers the whole range
+  space.replays = 3;
+  space.validator = [&out, &sabotage](std::size_t b, std::size_t e) {
+    (void)b;
+    (void)e;
+    return !sabotage.exchange(false);  // reject the first execution
+  };
+  mkk::parallel_for(mkk::RangePolicy<mkk::ReplayHpx>(space, 0, n),
+                    [&](std::size_t i) { out[i] = 1.0; });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], 1.0);
+  }
+}
+
+TEST_F(ResilientSpacesTest, ReplayReduceIsExactDespiteRetries) {
+  constexpr std::size_t n = 4096;
+  std::atomic<int> faults_left{2};
+  mkk::ReplayHpx space;
+  space.base.chunks = 16;
+  space.replays = 4;
+  double sum = 0.0;
+  mkk::parallel_reduce(
+      mkk::RangePolicy<mkk::ReplayHpx>(space, 0, n),
+      [&](std::size_t i, double& acc) {
+        if (i % 512 == 100 && faults_left.load() > 0 &&
+            faults_left.fetch_sub(1) > 0) {
+          throw mres::injected_fault();
+        }
+        acc += static_cast<double>(i);
+      },
+      sum);
+  // A replayed chunk must contribute exactly once: the partial is only
+  // merged after the chunk's final successful attempt.
+  EXPECT_EQ(sum, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST_F(ResilientSpacesTest, ReplayMDRangeCoversAllCells) {
+  mkk::ReplayHpx space;
+  space.base.chunks = 4;
+  std::vector<int> hits(8 * 8 * 8, 0);
+  mkk::parallel_for(
+      mkk::MDRangePolicy3<mkk::ReplayHpx>(space, {0, 0, 0}, {8, 8, 8}),
+      [&](std::size_t i, std::size_t j, std::size_t k) {
+        hits[(i * 8 + j) * 8 + k] += 1;
+      });
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST_F(ResilientSpacesTest, ReplicateForSurvivesMinorityFailures) {
+  constexpr std::size_t n = 512;
+  std::vector<double> out(n, 0.0);
+  std::atomic<int> crashes{1};
+  mkk::ReplicateHpx space;
+  space.base.chunks = 2;
+  space.replicas = 3;
+  mkk::parallel_for(mkk::RangePolicy<mkk::ReplicateHpx>(space, 0, n),
+                    [&](std::size_t i) {
+                      if (i == 17 && crashes.fetch_sub(1) > 0) {
+                        throw mres::injected_fault();
+                      }
+                      out[i] = std::sqrt(static_cast<double>(i));
+                    });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], std::sqrt(static_cast<double>(i)));
+  }
+}
+
+TEST_F(ResilientSpacesTest, ReplicateReduceOutvotesSilentCorruption) {
+  mhpx::instrument::reset_resilience_counters();
+  constexpr std::size_t n = 1024;
+  // Exactly one replica execution of one chunk produces a corrupted
+  // partial; the equality vote across 3 replicas discards it.
+  std::atomic<int> corruptions{1};
+  mkk::ReplicateHpx space;
+  space.base.chunks = 4;
+  space.replicas = 3;
+  double sum = 0.0;
+  mkk::parallel_reduce(
+      mkk::RangePolicy<mkk::ReplicateHpx>(space, 0, n),
+      [&](std::size_t i, double& acc) {
+        double v = static_cast<double>(i);
+        if (i == 333 && corruptions.fetch_sub(1) > 0) {
+          mres::corrupt_value(v, 0xdeadbeef);  // silent bit flip
+        }
+        acc += v;
+      },
+      sum);
+  EXPECT_EQ(sum, static_cast<double>(n) * (n - 1) / 2.0);
+  const auto c = mhpx::instrument::resilience_counters();
+  EXPECT_EQ(c.replicate_votes, 4u);  // one vote per chunk
+  EXPECT_EQ(c.replicate_vote_failures, 0u);
+}
+
+TEST_F(ResilientSpacesTest, ReplicateReduceNoMajorityThrows) {
+  // Every replica of every chunk produces a different partial: no majority.
+  std::atomic<int> salt{0};
+  mkk::ReplicateHpx space;
+  space.base.chunks = 1;
+  space.replicas = 3;
+  double sum = 0.0;
+  EXPECT_THROW(mkk::parallel_reduce(
+                   mkk::RangePolicy<mkk::ReplicateHpx>(space, 0, 16),
+                   [&](std::size_t i, double& acc) {
+                     if (i == 0) {
+                       acc += 1000.0 * salt.fetch_add(1);
+                     }
+                     acc += static_cast<double>(i);
+                   },
+                   sum),
+               mres::vote_failed);
+  EXPECT_GE(mhpx::instrument::resilience_counters().replicate_vote_failures,
+            1u);
+}
+
+}  // namespace
