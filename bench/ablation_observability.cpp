@@ -1,0 +1,253 @@
+// Ablation A8: observability overhead and what the trace buys.
+//
+// The paper's community tunes HPX applications with APEX: counter
+// sampling, task timelines, critical-path analysis. mhpx::apex is the
+// miniapp analogue, and this ablation answers the two questions any
+// always-on observability layer must: (1) what does tracing cost
+// end-to-end (target: < 5% on the rotating-star workload), and (2) what
+// does the captured task DAG reveal — the critical path, its per-category
+// attribution, and the Brent's-theorem speedup ceiling it implies
+// (rveval::sim::span_lower_bound).
+//
+// Workload: rotating star, max_level=2, 5 steps, Kokkos-HPX kernels — one
+// task per sub-grid per solver stage, phases marked by the driver. The
+// traced run also exercises the counter registry and the background
+// sampler, and the emitted Chrome trace is validated in-process (JSON
+// parses; every GUID's B/E events balance) before it is written for
+// Perfetto.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "minihpx/apex/apex.hpp"
+#include "octotiger/driver.hpp"
+
+namespace {
+
+namespace apex = mhpx::apex;
+
+octo::Options workload_options() {
+  octo::Options opt;
+  opt.max_level = 2;
+  opt.stop_step = 5;
+  opt.threads = 4;
+  opt.hydro_kernel = mkk::KernelType::kokkos_hpx;
+  opt.multipole_kernel = mkk::KernelType::kokkos_hpx;
+  opt.monopole_kernel = mkk::KernelType::kokkos_hpx;
+  return opt;
+}
+
+/// One full run; returns wall seconds (runtime construction excluded —
+/// both arms pay it identically, and the question is tracing overhead on
+/// the solve itself).
+double run_once(const octo::Options& opt) {
+  mhpx::Runtime rt{{opt.threads, 256 * 1024}};
+  octo::Simulation sim(opt);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  rt.scheduler().wait_idle();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double min_of_reps(const octo::Options& opt, int reps) {
+  double best = std::numeric_limits<double>::max();
+  for (int r = 0; r < reps; ++r) {
+    apex::trace::clear();
+    best = std::min(best, run_once(opt));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_common::banner(
+      "A8", "observability ablation: tracing overhead, critical path, "
+            "counter registry (rotating star, level 2, 5 steps)");
+
+  octo::Options opt = workload_options();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const auto io =
+      bench_common::parse_io(args, "BENCH_A8_observability.json",
+                             "TRACE_A8_observability.json");
+  opt.parse_cli(args);
+
+  constexpr int reps = 5;
+
+  // --- 1. Overhead: tracing off vs on, min over reps. -------------------
+  apex::trace::enable(false);
+  const double wall_off = min_of_reps(opt, reps);
+
+  apex::trace::enable(true);
+  const double wall_on = min_of_reps(opt, reps);
+  // The last traced rep's events stay buffered for the analysis below.
+
+  const double overhead_pct = (wall_on - wall_off) / wall_off * 100.0;
+  rveval::report::Table t_over("A8.1: end-to-end tracing overhead (min of " +
+                               std::to_string(reps) + " reps)");
+  t_over.headers({"tracing", "wall [ms]", "overhead"});
+  t_over.row({"off", rveval::report::Table::num(wall_off * 1e3, 2), "-"});
+  t_over.row({"on", rveval::report::Table::num(wall_on * 1e3, 2),
+              rveval::report::Table::num(overhead_pct, 2) + "%"});
+  t_over.print(std::cout);
+  std::cout << "check: overhead < 5%: "
+            << (overhead_pct < 5.0 ? "yes" : "NO") << "\n\n";
+
+  // --- 2. Validate the captured trace. ----------------------------------
+  const auto events = apex::trace::snapshot();
+  std::map<std::uint64_t, std::pair<std::size_t, std::size_t>> be_counts;
+  std::size_t tasks_with_parent = 0;
+  std::size_t task_events = 0;
+  for (const auto& ev : events) {
+    if (ev.ph == apex::trace::EventPhase::begin) {
+      ++be_counts[ev.guid].first;
+      if (std::string_view(ev.category) == "task") {
+        ++task_events;
+        if (ev.parent != 0) {
+          ++tasks_with_parent;
+        }
+      }
+    } else if (ev.ph == apex::trace::EventPhase::end) {
+      ++be_counts[ev.guid].second;
+    }
+  }
+  std::size_t unbalanced = 0;
+  for (const auto& [guid, counts] : be_counts) {
+    if (counts.first != counts.second) {
+      ++unbalanced;
+    }
+  }
+  bool json_valid = false;
+  std::size_t parsed_events = 0;
+  try {
+    const auto doc = rveval::report::json::parse(apex::trace::chrome_json());
+    const auto* te = doc.find("traceEvents");
+    json_valid = te != nullptr && te->is_array();
+    if (json_valid) {
+      parsed_events = te->size();
+    }
+  } catch (const std::exception& e) {
+    std::cout << "chrome JSON FAILED to parse: " << e.what() << "\n";
+  }
+
+  rveval::report::Table t_trace("A8.2: trace validity (last traced rep)");
+  t_trace.headers({"check", "value", "ok"});
+  auto yes = [](bool b) { return std::string(b ? "yes" : "NO"); };
+  t_trace.row({"events recorded", std::to_string(events.size()),
+               yes(!events.empty())});
+  t_trace.row({"events dropped",
+               std::to_string(apex::trace::dropped_count()),
+               yes(apex::trace::dropped_count() == 0)});
+  t_trace.row({"chrome JSON parses", std::to_string(parsed_events),
+               yes(json_valid && parsed_events == events.size())});
+  t_trace.row({"GUIDs with unbalanced B/E", std::to_string(unbalanced),
+               yes(unbalanced == 0)});
+  t_trace.row({"task slices traced", std::to_string(task_events),
+               yes(task_events > 0)});
+  t_trace.row({"task slices with a parent", std::to_string(tasks_with_parent),
+               yes(tasks_with_parent > 0)});
+  t_trace.print(std::cout);
+
+  // --- 3. Critical path and the speedup ceiling it implies. -------------
+  const auto cp = apex::analyze(events, opt.threads);
+  std::cout << "\n";
+  cp.print(std::cout);
+  std::cout << "check: critical path <= traced wall: "
+            << (cp.critical_path_seconds <= cp.wall_seconds + 1e-9 ? "yes"
+                                                                   : "NO")
+            << "\n\n";
+
+  rveval::report::Table t_span(
+      "A8.3: Brent's-theorem wall-time floor from the measured trace "
+      "(T1 = busy, T_inf = critical path)");
+  t_span.headers({"cores", "floor [ms]", "speedup ceiling"});
+  for (const unsigned cores : {1u, 2u, 4u, 8u, 16u}) {
+    const double floor = rveval::sim::span_lower_bound(
+        cp.busy_seconds, cp.critical_path_seconds, cores);
+    t_span.row({std::to_string(cores),
+                rveval::report::Table::num(floor * 1e3, 2),
+                rveval::report::Table::num(
+                    floor > 0.0 ? cp.busy_seconds / floor : 0.0, 2)});
+  }
+  t_span.print(std::cout);
+
+  // --- 4. Counter registry + sampler, on a live traced run. -------------
+  rveval::report::Table t_counters("A8.4: counter registry after one run");
+  t_counters.headers({"counter", "kind", "value"});
+  rveval::report::Table t_sampler("A8.5: sampled counter timeseries");
+  t_sampler.headers({"counter", "samples", "last value"});
+  std::size_t n_counters = 0;
+  {
+    mhpx::Runtime rt{{opt.threads, 256 * 1024}};
+    apex::Sampler sampler;
+    apex::SamplerConfig scfg;
+    scfg.interval_seconds = 0.002;
+    scfg.patterns = {"/threads/default/**", "/threads/default/idle-rate"};
+    scfg.emit_trace_counters = true;
+    sampler.start(scfg);
+    octo::Simulation sim(opt);
+    sim.run();
+    rt.scheduler().wait_idle();
+    sampler.stop();
+
+    for (const auto& [name, value] :
+         apex::CounterRegistry::instance().read_matching("**")) {
+      const auto infos = apex::CounterRegistry::instance().discover(name);
+      const char* kind =
+          !infos.empty() && infos.front().kind == apex::CounterKind::gauge
+              ? "gauge"
+              : "monotonic";
+      t_counters.row({name, kind, rveval::report::Table::num(value, 3)});
+      ++n_counters;
+    }
+    for (const auto& s : sampler.series()) {
+      t_sampler.row({s.name, std::to_string(s.v.size()),
+                     rveval::report::Table::num(
+                         s.v.empty() ? 0.0 : s.v.back(), 3)});
+    }
+  }
+  t_counters.print(std::cout);
+  t_sampler.print(std::cout);
+
+  // --- Report. -----------------------------------------------------------
+  rveval::report::BenchReport report(
+      "ablation_observability",
+      "A8: apex observability — tracing overhead, trace validity, critical "
+      "path, counters");
+  report.metric("wall_off_seconds", wall_off)
+      .metric("wall_on_seconds", wall_on)
+      .metric("overhead_percent", overhead_pct)
+      .metric("events", static_cast<double>(events.size()))
+      .metric("unbalanced_guids", static_cast<double>(unbalanced))
+      .metric("task_slices", static_cast<double>(task_events))
+      .metric("task_slices_with_parent",
+              static_cast<double>(tasks_with_parent))
+      .metric("critical_path_seconds", cp.critical_path_seconds)
+      .metric("traced_wall_seconds", cp.wall_seconds)
+      .metric("busy_seconds", cp.busy_seconds)
+      .metric("utilization", cp.utilization)
+      .metric("counters_registered", static_cast<double>(n_counters))
+      .add_table(t_over)
+      .add_table(t_trace)
+      .add_table(t_span)
+      .add_table(t_counters)
+      .add_table(t_sampler);
+  {
+    std::ostringstream cp_note;
+    cp.print(cp_note);
+    report.note(cp_note.str());
+  }
+  bench_common::finish_io(io, report);
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/rveval.hpp"
+#include "minihpx/apex/task_trace.hpp"
 #include "minihpx/runtime.hpp"
 
 namespace bench_common {
@@ -33,6 +34,65 @@ std::vector<rveval::sim::Phase> capture_trace(unsigned threads,
 /// GFLOP/s of an analytic FLOP total over a simulated duration.
 inline double gflops(double flops, double seconds) {
   return flops / seconds / 1e9;
+}
+
+/// Machine-readable output destinations shared by every bench binary.
+struct BenchIo {
+  std::string json_out;   ///< bench report path ("" = don't write)
+  std::string trace_out;  ///< Chrome-trace path ("" = don't write)
+};
+
+/// Consume `--json-out=<path>` / `--trace-out=<path>` from \p args (so the
+/// strict octo::Options::parse_cli never sees them) and fill the defaults.
+/// A value of "none" disables that output. When a trace path is requested,
+/// tracing is switched on so there is something to export.
+inline BenchIo parse_io(std::vector<std::string>& args,
+                        std::string default_json = "",
+                        std::string default_trace = "") {
+  BenchIo io{std::move(default_json), std::move(default_trace)};
+  auto consume = [&args](const std::string& prefix, std::string& slot) {
+    for (auto it = args.begin(); it != args.end();) {
+      if (it->rfind(prefix, 0) == 0) {
+        slot = it->substr(prefix.size());
+        it = args.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  consume("--json-out=", io.json_out);
+  consume("--trace-out=", io.trace_out);
+  if (io.json_out == "none") {
+    io.json_out.clear();
+  }
+  if (io.trace_out == "none") {
+    io.trace_out.clear();
+  }
+  if (!io.trace_out.empty()) {
+    mhpx::apex::trace::enable(true);
+  }
+  return io;
+}
+
+/// Write the report and/or trace selected by \p io; prints one line per
+/// artifact so bench_output.txt records where they went.
+inline void finish_io(const BenchIo& io,
+                      const rveval::report::BenchReport& report) {
+  if (!io.json_out.empty()) {
+    if (report.write(io.json_out)) {
+      std::cout << "\nwrote report: " << io.json_out << "\n";
+    } else {
+      std::cout << "\nFAILED to write report: " << io.json_out << "\n";
+    }
+  }
+  if (!io.trace_out.empty()) {
+    if (mhpx::apex::trace::export_chrome_file(io.trace_out)) {
+      std::cout << "wrote trace:  " << io.trace_out << " ("
+                << mhpx::apex::trace::event_count() << " events)\n";
+    } else {
+      std::cout << "FAILED to write trace: " << io.trace_out << "\n";
+    }
+  }
 }
 
 /// Print the standard bench banner so every binary's output is

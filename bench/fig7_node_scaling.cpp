@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   base.stop_step = 5;
   base.threads = 4;
   std::vector<std::string> args(argv + 1, argv + argc);
+  const auto io = bench_common::parse_io(args, "BENCH_fig7.json");
   base.parse_cli(args);
   std::cout << "mesh: max_level=" << base.max_level << "\n";
 
@@ -102,5 +103,18 @@ int main(int argc, char** argv) {
             << "  legacy ~ Kokkos-Serial at 4 cores (miniapp shares the "
                "kernel math): "
             << legacy4 / serial4 << "\n";
+
+  rveval::report::BenchReport report(
+      "fig7_node_scaling",
+      "Octo-Tiger node-level scaling (rotating star, 5 steps) on the "
+      "VisionFive2 model");
+  report.metric("max_level", static_cast<double>(base.max_level))
+      .metric("stop_step", static_cast<double>(base.stop_step))
+      .metric("cpu_model", cpu.name)
+      .metric("scaling_1_to_4_kokkos_serial", all_rates[1][3] / all_rates[1][0])
+      .metric("serial_over_hpx_at_4", serial4 / hpx4)
+      .metric("legacy_over_serial_at_4", legacy4 / serial4)
+      .add_table(t);
+  bench_common::finish_io(io, report);
   return 0;
 }

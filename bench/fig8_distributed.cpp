@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
   base.stop_step = 5;
   base.threads = 4;
   std::vector<std::string> args(argv + 1, argv + argc);
+  const auto io = bench_common::parse_io(args, "BENCH_fig8.json");
   base.parse_cli(args);
   std::cout << "mesh: max_level=" << base.max_level << "\n";
 
@@ -135,5 +136,16 @@ int main(int argc, char** argv) {
             << "\n"
             << "  A64FX / RISC-V (1 node): " << fx1 / rv1 << "x\n";
 
+  rveval::report::BenchReport report(
+      "fig8_distributed",
+      "distributed scaling: 1 vs 2 boards (TCP/MPI) and 1 vs 2 Fugaku "
+      "nodes at 4 cores");
+  report.metric("max_level", static_cast<double>(base.max_level))
+      .metric("stop_step", static_cast<double>(base.stop_step))
+      .metric("tcp_speedup", rv2_tcp / rv1)
+      .metric("mpi_speedup", rv2_mpi / rv1)
+      .metric("a64fx_over_riscv_1node", fx1 / rv1)
+      .add_table(t);
+  bench_common::finish_io(io, report);
   return 0;
 }

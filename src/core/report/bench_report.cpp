@@ -1,0 +1,90 @@
+#include "core/report/bench_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace rveval::report {
+
+namespace {
+
+/// Emit numeric-looking cells as numbers so downstream tooling needn't
+/// reparse strings ("12", "3.5e-2" → numbers; "tcp", "8x8x8" → strings).
+json::Value cell_value(const std::string& cell) {
+  if (cell.empty()) {
+    return json::Value(cell);
+  }
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (end != nullptr && *end == '\0') {
+    return json::Value(v);
+  }
+  return json::Value(cell);
+}
+
+}  // namespace
+
+json::Value to_json(const Table& table) {
+  json::Value t = json::Value::object();
+  t.set("title", json::Value(table.title()));
+  json::Value headers = json::Value::array();
+  for (const std::string& h : table.header_cells()) {
+    headers.push(json::Value(h));
+  }
+  t.set("headers", std::move(headers));
+  json::Value rows = json::Value::array();
+  for (const auto& r : table.row_cells()) {
+    json::Value row = json::Value::array();
+    for (const std::string& cell : r) {
+      row.push(cell_value(cell));
+    }
+    rows.push(std::move(row));
+  }
+  t.set("rows", std::move(rows));
+  return t;
+}
+
+BenchReport::BenchReport(std::string bench_id, std::string title)
+    : bench_id_(std::move(bench_id)), title_(std::move(title)) {}
+
+BenchReport& BenchReport::metric(const std::string& name, double value) {
+  metrics_.set(name, json::Value(value));
+  return *this;
+}
+
+BenchReport& BenchReport::metric(const std::string& name,
+                                 const std::string& value) {
+  metrics_.set(name, json::Value(value));
+  return *this;
+}
+
+BenchReport& BenchReport::add_table(const Table& table) {
+  tables_.push(to_json(table));
+  return *this;
+}
+
+BenchReport& BenchReport::note(std::string text) {
+  notes_.push(json::Value(std::move(text)));
+  return *this;
+}
+
+std::string BenchReport::dump() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema", json::Value("rveval-bench-v1"));
+  doc.set("bench", json::Value(bench_id_));
+  doc.set("title", json::Value(title_));
+  doc.set("metrics", metrics_);
+  doc.set("tables", tables_);
+  doc.set("notes", notes_);
+  return doc.dump(2) + "\n";
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << dump();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rveval::report

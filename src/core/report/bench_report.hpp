@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file bench_report.hpp
+/// Machine-readable bench reports: every bench binary can emit its tables
+/// and headline metrics as one JSON document (schema "rveval-bench-v1"),
+/// so plotting/regression tooling consumes structured output instead of
+/// scraping the aligned text tables.
+///
+/// Document shape:
+///   {
+///     "schema":  "rveval-bench-v1",
+///     "bench":   "fig7_node_scaling",
+///     "title":   "Fig. 7 — ...",
+///     "metrics": { name: number-or-string, ... },
+///     "tables":  [ {"title":..., "headers":[...], "rows":[[...]]}, ... ],
+///     "notes":   [ "...", ... ]
+///   }
+/// Numeric-looking table cells are emitted as JSON numbers.
+
+#include <string>
+
+#include "core/report/json.hpp"
+#include "core/report/table.hpp"
+
+namespace rveval::report {
+
+/// A Table as a JSON object (title/headers/rows, numeric cells as numbers).
+[[nodiscard]] json::Value to_json(const Table& table);
+
+/// Builder for one bench's JSON report.
+class BenchReport {
+ public:
+  /// \p bench_id is the stable machine name (e.g. "fig7_node_scaling"),
+  /// \p title the human headline.
+  BenchReport(std::string bench_id, std::string title);
+
+  /// Add a headline metric (flat key → number or string).
+  BenchReport& metric(const std::string& name, double value);
+  BenchReport& metric(const std::string& name, const std::string& value);
+
+  /// Append a table (converted via to_json).
+  BenchReport& add_table(const Table& table);
+
+  /// Append a free-form note line.
+  BenchReport& note(std::string text);
+
+  /// The document, pretty-printed.
+  [[nodiscard]] std::string dump() const;
+
+  /// Write to \p path; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  json::Value metrics_ = json::Value::object();
+  json::Value tables_ = json::Value::array();
+  json::Value notes_ = json::Value::array();
+  std::string bench_id_;
+  std::string title_;
+};
+
+}  // namespace rveval::report

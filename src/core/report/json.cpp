@@ -1,0 +1,475 @@
+#include "core/report/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rveval::report::json {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("json: " + what);
+}
+
+void dump_number(std::string& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out += "null";  // JSON has no NaN/Inf; null is the conventional stand-in
+    return;
+  }
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 9.0e15 &&
+      v > -9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.15g", v);
+  }
+  out += buf;
+}
+
+void dump_value(std::string& out, const Value& v, int indent, int depth);
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent >= 0) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(depth),
+               ' ');
+  }
+}
+
+void dump_value(std::string& out, const Value& v, int indent, int depth) {
+  switch (v.kind()) {
+    case Value::Kind::null:
+      out += "null";
+      break;
+    case Value::Kind::boolean:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::number:
+      dump_number(out, v.as_number());
+      break;
+    case Value::Kind::string:
+      out += '"';
+      out += escape(v.as_string());
+      out += '"';
+      break;
+    case Value::Kind::array: {
+      if (v.items().empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        dump_value(out, item, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Value::Kind::object: {
+      if (v.members().empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, item] : v.members()) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        out += '"';
+        out += escape(key);
+        out += indent >= 0 ? "\": " : "\":";
+        dump_value(out, item, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& what) const {
+    fail(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      error("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Value(string());
+      case 't':
+        if (consume_literal("true")) {
+          return Value(true);
+        }
+        error("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return Value(false);
+        }
+        error("invalid literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return Value();
+        }
+        error("invalid literal");
+      default:
+        return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.push(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        error("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        error("unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate halves pass through
+          // encoded individually; see header caveat).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          error("invalid escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      error("expected a value");
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("invalid number '" + tok + "' at offset " + std::to_string(start));
+    }
+    return Value(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::boolean) {
+    fail("not a boolean");
+  }
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::number) {
+    fail("not a number");
+  }
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::string) {
+    fail("not a string");
+  }
+  return str_;
+}
+
+Value& Value::push(Value v) {
+  if (kind_ == Kind::null) {
+    kind_ = Kind::array;
+  }
+  if (kind_ != Kind::array) {
+    fail("push on a non-array");
+  }
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::array) {
+    return arr_.size();
+  }
+  if (kind_ == Kind::object) {
+    return obj_.size();
+  }
+  fail("size of a non-container");
+}
+
+const Value& Value::at(std::size_t i) const {
+  if (kind_ != Kind::array) {
+    fail("at() on a non-array");
+  }
+  if (i >= arr_.size()) {
+    fail("array index out of range");
+  }
+  return arr_[i];
+}
+
+const std::vector<Value>& Value::items() const {
+  if (kind_ != Kind::array) {
+    fail("items() on a non-array");
+  }
+  return arr_;
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (kind_ == Kind::null) {
+    kind_ = Kind::object;
+  }
+  if (kind_ != Kind::object) {
+    fail("set on a non-object");
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::object) {
+    return nullptr;
+  }
+  const Value* found = nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) {
+      found = &v;  // last duplicate wins
+    }
+  }
+  return found;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::members() const {
+  if (kind_ != Kind::object) {
+    fail("members() on a non-object");
+  }
+  return obj_;
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(out, *this, indent, 0);
+  return out;
+}
+
+Value parse(std::string_view text) { return Parser(text).document(); }
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace rveval::report::json

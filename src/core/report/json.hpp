@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON value, emitter and parser for machine-readable bench
+/// reports (bench_report.hpp) and for validating emitted Chrome traces in
+/// tests. Self-contained by design: the container ships no JSON library
+/// and the repo adds no dependencies.
+///
+/// Deliberate simplifications (fine for our own reports and traces):
+///   - objects preserve insertion order and allow duplicate keys on build
+///     (parse keeps the last duplicate when queried via find);
+///   - numbers are doubles, printed without a fraction part when integral;
+///   - \uXXXX escapes outside the BMP are not combined into surrogate
+///     pairs on parse (each half decodes to U+FFFD-style raw bytes).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rveval::report::json {
+
+/// A JSON value: null, bool, number, string, array or object.
+class Value {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  Value() = default;  // null
+  Value(bool b) : kind_(Kind::boolean), bool_(b) {}
+  Value(double v) : kind_(Kind::number), num_(v) {}
+  Value(int v) : Value(static_cast<double>(v)) {}
+  Value(long v) : Value(static_cast<double>(v)) {}
+  Value(long long v) : Value(static_cast<double>(v)) {}
+  Value(unsigned v) : Value(static_cast<double>(v)) {}
+  Value(unsigned long v) : Value(static_cast<double>(v)) {}
+  Value(unsigned long long v) : Value(static_cast<double>(v)) {}
+  Value(std::string s) : kind_(Kind::string), str_(std::move(s)) {}
+  Value(std::string_view s) : Value(std::string(s)) {}
+  Value(const char* s) : Value(std::string(s)) {}
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::object;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::array; }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array ops. push throws when not an array (null upgrades to array).
+  Value& push(Value v);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Value& at(std::size_t i) const;
+  [[nodiscard]] const std::vector<Value>& items() const;
+
+  /// Object ops. set throws when not an object (null upgrades to object);
+  /// it appends — callers manage key uniqueness.
+  Value& set(std::string key, Value v);
+  /// Last value for \p key, or nullptr.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;
+
+  /// Serialize. indent < 0: compact one-line; otherwise pretty-printed
+  /// with \p indent spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Parse a complete JSON document (trailing non-whitespace is an error).
+/// Throws std::runtime_error with a byte offset on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escape \p s as the contents of a JSON string literal (no quotes).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace rveval::report::json

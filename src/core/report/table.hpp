@@ -34,6 +34,15 @@ class Table {
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
   [[nodiscard]] const std::string& title() const noexcept { return title_; }
 
+  /// Raw cells, for structured re-emission (see bench_report.hpp).
+  [[nodiscard]] const std::vector<std::string>& header_cells() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_cells()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::string title_;
   std::vector<std::string> headers_;

@@ -9,6 +9,8 @@
 #include "core/bench/maclaurin.hpp"
 #include "core/perf/flops.hpp"
 #include "core/power/energy.hpp"
+#include "core/report/bench_report.hpp"
+#include "core/report/json.hpp"
 #include "core/report/table.hpp"
 #include "core/sim/core_simulator.hpp"
 #include "core/sim/trace.hpp"

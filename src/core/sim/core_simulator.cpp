@@ -9,6 +9,13 @@ namespace {
 constexpr double gib = 1024.0 * 1024.0 * 1024.0;
 }
 
+double span_lower_bound(double total_seconds, double span_seconds,
+                        unsigned cores) noexcept {
+  const double work = std::max(0.0, total_seconds);
+  const double span = std::max(0.0, span_seconds);
+  return std::max(work / static_cast<double>(std::max(1u, cores)), span);
+}
+
 double CoreSimulator::task_seconds(const TaskRecord& task,
                                    const SimOptions& opt) const {
   const double rate = cpu_.scalar_flops_per_core() * opt.simd_speedup;

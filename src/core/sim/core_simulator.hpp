@@ -31,6 +31,15 @@
 
 namespace rveval::sim {
 
+/// Brent's-theorem floor on a run's wall time: with total work T1 (seconds
+/// of busy task time) and span T_inf (the observed critical path, from
+/// mhpx::apex::analyze), no schedule on \p cores cores beats
+/// max(T1/cores, T_inf). The observability bench (A8) prices its measured
+/// trace through this to report the speedup ceiling tracing reveals.
+[[nodiscard]] double span_lower_bound(double total_seconds,
+                                      double span_seconds,
+                                      unsigned cores) noexcept;
+
 /// Options for pricing one phase.
 struct SimOptions {
   unsigned cores = 1;  ///< cores used per locality

@@ -1,0 +1,14 @@
+#pragma once
+
+/// \file apex.hpp
+/// Umbrella header for mhpx::apex — the observability layer (the minihpx
+/// analogue of the APEX profiler the paper's community pairs with HPX):
+///   - counters.hpp:      hierarchical performance-counter registry
+///   - sampler.hpp:       background counter sampling into timeseries
+///   - task_trace.hpp:    task-timeline tracing with Chrome-trace export
+///   - critical_path.hpp: critical-path analysis over the task DAG
+
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/critical_path.hpp"
+#include "minihpx/apex/sampler.hpp"
+#include "minihpx/apex/task_trace.hpp"

@@ -1,0 +1,261 @@
+#include "minihpx/apex/counters.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/instrument.hpp"
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mhpx::apex {
+
+CounterRegistry& CounterRegistry::instance() {
+  static CounterRegistry* registry = new CounterRegistry();  // leaked:
+  return *registry;  // process lifetime — outlives static-destruction races
+}
+
+bool CounterRegistry::add(std::string name, std::string description,
+                          CounterKind kind, read_fn read) {
+  if (name.empty() || !read) {
+    return false;
+  }
+  std::lock_guard lk(mutex_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (!inserted) {
+    return false;
+  }
+  it->second.info = CounterInfo{std::move(name), std::move(description), kind};
+  it->second.read = std::move(read);
+  return true;
+}
+
+bool CounterRegistry::remove(const std::string& name) {
+  std::lock_guard lk(mutex_);
+  return counters_.erase(name) > 0;
+}
+
+std::vector<CounterInfo> CounterRegistry::discover(
+    std::string_view pattern) const {
+  std::vector<CounterInfo> out;
+  std::lock_guard lk(mutex_);
+  for (const auto& [name, entry] : counters_) {
+    if (pattern_match(pattern, name)) {
+      out.push_back(entry.info);
+    }
+  }
+  return out;  // std::map iterates in name order already
+}
+
+std::optional<double> CounterRegistry::read(const std::string& name) const {
+  read_fn reader;
+  double baseline = 0.0;
+  {
+    std::lock_guard lk(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      return std::nullopt;
+    }
+    reader = it->second.read;  // copy: read outside the lock — a reader may
+    baseline = it->second.baseline;  // itself query the registry
+  }
+  return reader() - baseline;
+}
+
+std::vector<std::pair<std::string, double>> CounterRegistry::read_matching(
+    std::string_view pattern) const {
+  std::vector<std::tuple<std::string, read_fn, double>> matched;
+  {
+    std::lock_guard lk(mutex_);
+    for (const auto& [name, entry] : counters_) {
+      if (pattern_match(pattern, name)) {
+        matched.emplace_back(name, entry.read, entry.baseline);
+      }
+    }
+  }
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(matched.size());
+  for (auto& [name, reader, baseline] : matched) {
+    out.emplace_back(std::move(name), reader() - baseline);
+  }
+  return out;
+}
+
+std::size_t CounterRegistry::reset(std::string_view pattern) {
+  // Two phases so source reads happen without the registry lock held.
+  std::vector<std::pair<std::string, read_fn>> targets;
+  {
+    std::lock_guard lk(mutex_);
+    for (const auto& [name, entry] : counters_) {
+      if (entry.info.kind == CounterKind::monotonic &&
+          pattern_match(pattern, name)) {
+        targets.emplace_back(name, entry.read);
+      }
+    }
+  }
+  std::size_t n = 0;
+  for (auto& [name, reader] : targets) {
+    const double raw = reader();
+    std::lock_guard lk(mutex_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) {  // may have been removed meanwhile
+      it->second.baseline = raw;
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t CounterRegistry::size() const {
+  std::lock_guard lk(mutex_);
+  return counters_.size();
+}
+
+bool CounterRegistry::pattern_match(std::string_view pattern,
+                                    std::string_view name) {
+  // Classic backtracking glob with two wildcard strengths. O(n·m) worst
+  // case — patterns here are short counter paths, not adversarial input.
+  std::size_t p = 0;
+  std::size_t n = 0;
+  std::size_t star_p = std::string_view::npos;
+  std::size_t star_n = 0;
+  bool star_cross = false;  // the saved star was '**'
+  while (n < name.size()) {
+    if (p < pattern.size() && pattern[p] == '*') {
+      star_cross = p + 1 < pattern.size() && pattern[p + 1] == '*';
+      p += star_cross ? 2 : 1;
+      star_p = p;
+      star_n = n;
+      continue;
+    }
+    if (p < pattern.size() && pattern[p] == name[n]) {
+      ++p;
+      ++n;
+      continue;
+    }
+    if (star_p != std::string_view::npos &&
+        (star_cross || name[star_n] != '/')) {
+      ++star_n;  // grow the wildcard's span by one character
+      p = star_p;
+      n = star_n;
+      continue;
+    }
+    return false;
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+bool CounterBlock::add(std::string name, std::string description,
+                       CounterKind kind, CounterRegistry::read_fn read) {
+  CounterRegistry& reg =
+      registry_ != nullptr ? *registry_ : CounterRegistry::instance();
+  registry_ = &reg;
+  std::string key = name;
+  if (!reg.add(std::move(name), std::move(description), kind,
+               std::move(read))) {
+    return false;
+  }
+  names_.push_back(std::move(key));
+  return true;
+}
+
+void CounterBlock::clear() {
+  if (registry_ != nullptr) {
+    for (const std::string& name : names_) {
+      registry_->remove(name);
+    }
+  }
+  names_.clear();
+}
+
+void register_scheduler_counters(CounterBlock& block,
+                                 const threads::Scheduler& sched,
+                                 const std::string& pool) {
+  const std::string base = "/threads/" + pool;
+  const threads::Scheduler* s = &sched;
+  auto count = [&](const char* leaf, const char* desc, auto getter) {
+    block.add(base + "/count/" + leaf, desc, CounterKind::monotonic,
+              [s, getter] { return static_cast<double>(getter(s->counters())); });
+  };
+  count("executed", "tasks run to completion",
+        [](const threads::Scheduler::Counters& c) { return c.tasks_executed; });
+  count("stolen", "tasks taken from another worker's queue",
+        [](const threads::Scheduler::Counters& c) { return c.tasks_stolen; });
+  count("injected", "tasks arriving from non-worker threads",
+        [](const threads::Scheduler::Counters& c) { return c.tasks_injected; });
+  count("suspensions", "fiber park operations",
+        [](const threads::Scheduler::Counters& c) { return c.suspensions; });
+  count("yields", "cooperative reschedules",
+        [](const threads::Scheduler::Counters& c) { return c.yields; });
+  block.add(base + "/count/workers", "worker OS threads in the pool",
+            CounterKind::gauge,
+            [s] { return static_cast<double>(s->num_workers()); });
+  block.add(base + "/time/busy", "seconds spent executing task slices",
+            CounterKind::monotonic, [s] {
+              return static_cast<double>(s->counters().busy_ns) * 1e-9;
+            });
+  block.add(base + "/time/idle", "seconds spent parked waiting for work",
+            CounterKind::monotonic, [s] {
+              return static_cast<double>(s->counters().idle_ns) * 1e-9;
+            });
+  block.add(base + "/idle-rate",
+            "fraction of accounted worker time spent idle [0,1]",
+            CounterKind::gauge, [s] { return s->counters().idle_rate(); });
+}
+
+void register_fabric_counters(CounterBlock& block, const dist::Fabric& fabric) {
+  const std::string base = "/parcels/" + std::string(fabric.name());
+  const dist::Fabric* f = &fabric;
+  block.add(base + "/count/sent", "parcels sent across the fabric",
+            CounterKind::monotonic,
+            [f] { return static_cast<double>(f->stats().messages); });
+  block.add(base + "/count/bytes", "payload bytes sent across the fabric",
+            CounterKind::monotonic,
+            [f] { return static_cast<double>(f->stats().bytes); });
+  block.add(base + "/count/rendezvous",
+            "messages that paid the rendezvous round-trip (mpisim)",
+            CounterKind::monotonic, [f] {
+              return static_cast<double>(f->stats().rendezvous_messages);
+            });
+  block.add(base + "/count/control",
+            "simulated protocol control messages (mpisim RTS/CTS)",
+            CounterKind::monotonic, [f] {
+              return static_cast<double>(f->stats().control_messages);
+            });
+}
+
+void register_resilience_counters(CounterBlock& block) {
+  auto count = [&](const char* leaf, const char* desc, auto getter) {
+    block.add(std::string("/resilience/count/") + leaf, desc,
+              CounterKind::monotonic, [getter] {
+                return static_cast<double>(
+                    getter(instrument::resilience_counters()));
+              });
+  };
+  using RC = instrument::ResilienceCounters;
+  count("retries", "replay/backoff task re-executions",
+        [](const RC& c) { return c.task_retries; });
+  count("replays-exhausted", "replay gave up after max attempts",
+        [](const RC& c) { return c.replays_exhausted; });
+  count("votes", "replicate majority votes held",
+        [](const RC& c) { return c.replicate_votes; });
+  count("vote-failures", "replicate votes with no majority",
+        [](const RC& c) { return c.replicate_vote_failures; });
+  count("parcels-dropped", "injected drops plus malformed frames",
+        [](const RC& c) { return c.parcels_dropped; });
+  count("parcels-corrupted", "injected silent bit flips",
+        [](const RC& c) { return c.parcels_corrupted; });
+  count("parcels-delayed", "injected latency events",
+        [](const RC& c) { return c.parcels_delayed; });
+  count("recoveries", "locality death recoveries",
+        [](const RC& c) { return c.recoveries; });
+  block.add("/resilience/time/injected-delay",
+            "total injected parcel latency [seconds]", CounterKind::monotonic,
+            [] {
+              return instrument::resilience_counters().injected_delay_seconds;
+            });
+}
+
+}  // namespace mhpx::apex

@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file counters.hpp
+/// Hierarchical performance-counter registry (APEX / HPX counter analogue).
+///
+/// HPX exposes runtime state as a tree of named counters
+/// (`/threads{pool}/idle-rate`, `/parcels/count/sent`, ...) that tools like
+/// APEX sample and users query with `--hpx:print-counter`. This registry is
+/// the minihpx analogue: one discover/read/reset API over every counter
+/// source in the process — scheduler counters, parcelport traffic stats,
+/// resilience event totals, and anything a test or bench registers ad hoc.
+///
+/// Counters are pull-based: registration stores a closure that reads the
+/// live source on demand; nothing is sampled until someone asks (the
+/// Sampler in sampler.hpp turns pull into periodic push). reset() never
+/// mutates the underlying source — for monotonic counters it records a
+/// baseline that subsequent reads subtract, so two observers can reset
+/// independently without stealing each other's deltas... as long as they
+/// use separate registries; the process-global instance() shares baselines.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mhpx::apex {
+
+/// How a counter's value evolves — determines reset semantics.
+enum class CounterKind {
+  monotonic,  ///< non-decreasing total; reset() re-baselines it to 0
+  gauge,      ///< instantaneous level (idle-rate, queue depth); reset no-ops
+};
+
+/// Registration record returned by discovery.
+struct CounterInfo {
+  std::string name;         ///< hierarchical path, e.g. "/threads/default/idle-rate"
+  std::string description;  ///< one-line meaning, units included
+  CounterKind kind = CounterKind::monotonic;
+};
+
+/// Thread-safe name → reader map with glob discovery and baseline reset.
+class CounterRegistry {
+ public:
+  using read_fn = std::function<double()>;
+
+  CounterRegistry() = default;
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+
+  /// The process-global registry every subsystem registers into.
+  static CounterRegistry& instance();
+
+  /// Register \p name. Returns false (and changes nothing) when the name is
+  /// already taken. \p read must be callable until remove(name).
+  bool add(std::string name, std::string description, CounterKind kind,
+           read_fn read);
+
+  /// Unregister; returns false when \p name was not registered.
+  bool remove(const std::string& name);
+
+  /// Counters whose names match \p pattern, sorted by name.
+  /// Pattern language: `*` matches any run of characters except '/',
+  /// `**` matches any run including '/'; everything else is literal.
+  [[nodiscard]] std::vector<CounterInfo> discover(
+      std::string_view pattern = "**") const;
+
+  /// Read one counter (baseline-adjusted); nullopt when not registered.
+  [[nodiscard]] std::optional<double> read(const std::string& name) const;
+
+  /// Read every counter matching \p pattern, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> read_matching(
+      std::string_view pattern) const;
+
+  /// Re-baseline all monotonic counters matching \p pattern so they read 0
+  /// now; gauges are unaffected. Returns the number of counters reset.
+  std::size_t reset(std::string_view pattern);
+
+  /// Number of registered counters.
+  [[nodiscard]] std::size_t size() const;
+
+  /// The glob matcher used by discover/read_matching/reset, exposed so
+  /// tests can pin its semantics.
+  [[nodiscard]] static bool pattern_match(std::string_view pattern,
+                                          std::string_view name);
+
+ private:
+  struct Entry {
+    CounterInfo info;
+    read_fn read;
+    double baseline = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> counters_;
+};
+
+/// RAII bundle of registrations: every add() through a block is removed
+/// when the block is destroyed, so scoped runtimes (benches, tests,
+/// per-locality setups) can't leak dangling readers into the registry.
+class CounterBlock {
+ public:
+  CounterBlock() = default;
+  explicit CounterBlock(CounterRegistry& registry) : registry_(&registry) {}
+  ~CounterBlock() { clear(); }
+  CounterBlock(CounterBlock&& other) noexcept
+      : registry_(other.registry_), names_(std::move(other.names_)) {
+    other.names_.clear();
+  }
+  CounterBlock& operator=(CounterBlock&& other) noexcept {
+    if (this != &other) {
+      clear();
+      registry_ = other.registry_;
+      names_ = std::move(other.names_);
+      other.names_.clear();
+    }
+    return *this;
+  }
+  CounterBlock(const CounterBlock&) = delete;
+  CounterBlock& operator=(const CounterBlock&) = delete;
+
+  /// add() on the underlying registry, tracking the name for removal.
+  bool add(std::string name, std::string description, CounterKind kind,
+           CounterRegistry::read_fn read);
+
+  /// Remove all counters added through this block (idempotent).
+  void clear();
+
+  /// Names currently owned by this block.
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+ private:
+  CounterRegistry* registry_ = nullptr;  // null → instance() at first add
+  std::vector<std::string> names_;
+};
+
+}  // namespace mhpx::apex
+
+// ---------------------------------------------------------------------------
+// Standard counter sets. Each helper registers the canonical names for one
+// subsystem into a CounterBlock; the caller owns the block's lifetime (the
+// sources must outlive it).
+// ---------------------------------------------------------------------------
+
+namespace mhpx::threads {
+class Scheduler;
+}
+namespace mhpx::dist {
+class Fabric;
+}
+
+namespace mhpx::apex {
+
+/// `/threads/{pool}/count/{executed,stolen,injected,suspensions,yields,workers}`,
+/// `/threads/{pool}/time/{busy,idle}` [seconds], `/threads/{pool}/idle-rate`.
+void register_scheduler_counters(CounterBlock& block,
+                                 const threads::Scheduler& sched,
+                                 const std::string& pool = "default");
+
+/// `/parcels/{fabric}/count/{sent,bytes,rendezvous,control}` where {fabric}
+/// is the parcelport's name() (inproc, tcp, mpisim).
+void register_fabric_counters(CounterBlock& block, const dist::Fabric& fabric);
+
+/// `/resilience/count/{retries,replays-exhausted,votes,vote-failures,
+/// parcels-dropped,parcels-corrupted,parcels-delayed,recoveries}` and
+/// `/resilience/time/injected-delay` [seconds], over the global
+/// instrument::resilience_counters() totals.
+void register_resilience_counters(CounterBlock& block);
+
+}  // namespace mhpx::apex

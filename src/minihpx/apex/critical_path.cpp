@@ -1,0 +1,210 @@
+#include "minihpx/apex/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+
+namespace mhpx::apex {
+
+namespace {
+
+/// Per-GUID aggregate built from its B/E events.
+struct Node {
+  double first_b = -1.0;  ///< earliest begin (−1: never began)
+  double last_e = -1.0;   ///< latest end (−1: never ended)
+  double busy = 0.0;      ///< summed B→E slice durations
+  std::uint64_t parent = 0;
+  const char* category = "";
+  const char* name = "";
+};
+
+}  // namespace
+
+CriticalPathReport analyze(const std::vector<trace::Event>& events,
+                           unsigned workers) {
+  CriticalPathReport rep;
+  rep.events = events.size();
+
+  std::unordered_map<std::uint64_t, Node> nodes;
+  // Open-begin stack per guid is unnecessary: slices of one guid never
+  // overlap (a task runs one slice at a time; regions are scoped), so
+  // pairing each E with the guid's most recent unmatched B is exact.
+  std::unordered_map<std::uint64_t, double> open_begin;
+
+  double first_b = -1.0;
+  double last_e = -1.0;
+  for (const trace::Event& ev : events) {
+    if (ev.ph == trace::EventPhase::begin && ev.guid != 0) {
+      Node& n = nodes[ev.guid];
+      if (n.first_b < 0.0 || ev.ts < n.first_b) {
+        n.first_b = ev.ts;
+      }
+      if (n.parent == 0) {
+        n.parent = ev.parent;
+      }
+      n.category = ev.category;
+      n.name = ev.name;
+      open_begin[ev.guid] = ev.ts;
+      if (first_b < 0.0 || ev.ts < first_b) {
+        first_b = ev.ts;
+      }
+    } else if (ev.ph == trace::EventPhase::end && ev.guid != 0) {
+      auto it = open_begin.find(ev.guid);
+      if (it == open_begin.end()) {
+        continue;  // E without B: tolerate (trace enabled mid-slice)
+      }
+      Node& n = nodes[ev.guid];
+      n.busy += std::max(0.0, ev.ts - it->second);
+      open_begin.erase(it);
+      if (ev.ts > n.last_e) {
+        n.last_e = ev.ts;
+      }
+      if (ev.ts > last_e) {
+        last_e = ev.ts;
+      }
+    }
+  }
+  rep.tasks = nodes.size();
+  if (first_b < 0.0 || last_e < 0.0) {
+    return rep;  // nothing measurable
+  }
+  rep.wall_seconds = std::max(0.0, last_e - first_b);
+  for (const auto& [guid, n] : nodes) {
+    rep.busy_seconds += n.busy;
+  }
+
+  // Root resolution with path memoization. A parent GUID that never
+  // produced a B (e.g. an untraced external spawner) terminates the chain
+  // at its child.
+  std::unordered_map<std::uint64_t, std::uint64_t> root_of;
+  auto find_root = [&](std::uint64_t guid) {
+    std::vector<std::uint64_t> chain;
+    std::uint64_t cur = guid;
+    while (true) {
+      auto memo = root_of.find(cur);
+      if (memo != root_of.end()) {
+        cur = memo->second;
+        break;
+      }
+      auto it = nodes.find(cur);
+      if (it == nodes.end()) {
+        break;  // not a traced node: previous element is the root
+      }
+      chain.push_back(cur);
+      const std::uint64_t up = it->second.parent;
+      if (up == 0 || up == cur || nodes.find(up) == nodes.end()) {
+        break;
+      }
+      cur = up;
+      if (chain.size() > nodes.size()) {
+        break;  // defensive: parent cycle in a corrupted trace
+      }
+    }
+    const std::uint64_t root = chain.empty() ? guid : chain.back();
+    const std::uint64_t resolved =
+        root_of.count(root) != 0 ? root_of[root] : root;
+    for (std::uint64_t g : chain) {
+      root_of[g] = resolved;
+    }
+    return resolved;
+  };
+
+  // Critical path: max over nodes of lastE(n) − firstB(root(n)). Both
+  // endpooints lie inside [first_b, last_e], so the result ≤ wall.
+  double best = 0.0;
+  std::uint64_t best_leaf = 0;
+  for (const auto& [guid, n] : nodes) {
+    if (n.last_e < 0.0) {
+      continue;  // never ended: no measurable chain tip
+    }
+    const std::uint64_t root = find_root(guid);
+    auto rit = nodes.find(root);
+    if (rit == nodes.end() || rit->second.first_b < 0.0) {
+      continue;
+    }
+    const double len = n.last_e - rit->second.first_b;
+    if (len > best) {
+      best = len;
+      best_leaf = guid;
+    }
+  }
+  rep.critical_path_seconds = std::max(0.0, best);
+
+  if (best_leaf != 0) {
+    // Reconstruct the winning chain root→leaf.
+    std::vector<std::uint64_t> chain;
+    std::uint64_t cur = best_leaf;
+    while (true) {
+      chain.push_back(cur);
+      auto it = nodes.find(cur);
+      const std::uint64_t up =
+          it != nodes.end() ? it->second.parent : std::uint64_t{0};
+      if (up == 0 || up == cur || nodes.find(up) == nodes.end() ||
+          chain.size() > nodes.size()) {
+        break;
+      }
+      cur = up;
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    // Telescoping attribution: segment firstB(child) − firstB(parent) goes
+    // to the parent's category; the leaf keeps lastE − firstB. Segments
+    // clamp at 0 (a child can begin before its parent's first B when the
+    // parent is a later-restarted slice), so sums can only undershoot the
+    // chain length; the leftover is charged to the leaf's category.
+    std::map<std::string, double> by_cat;
+    double attributed = 0.0;
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      const Node& a = nodes[chain[i]];
+      const Node& b = nodes[chain[i + 1]];
+      const double seg = std::max(0.0, b.first_b - a.first_b);
+      by_cat[a.category] += seg;
+      attributed += seg;
+    }
+    const Node& leaf = nodes[chain.back()];
+    by_cat[leaf.category] += std::max(0.0, best - attributed);
+
+    rep.category_seconds.assign(by_cat.begin(), by_cat.end());
+    std::sort(rep.category_seconds.begin(), rep.category_seconds.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    rep.path.reserve(chain.size());
+    for (std::uint64_t g : chain) {
+      rep.path.emplace_back(g, std::string(nodes[g].name));
+    }
+  }
+
+  if (workers > 0 && rep.wall_seconds > 0.0) {
+    rep.utilization =
+        rep.busy_seconds / (rep.wall_seconds * static_cast<double>(workers));
+  }
+  return rep;
+}
+
+void CriticalPathReport::print(std::ostream& os) const {
+  os << "critical-path analysis: " << tasks << " nodes, " << events
+     << " events\n"
+     << "  wall          " << wall_seconds << " s\n"
+     << "  busy          " << busy_seconds << " s\n"
+     << "  critical path " << critical_path_seconds << " s\n"
+     << "  utilization   " << utilization << "\n";
+  if (!category_seconds.empty()) {
+    os << "  path attribution:\n";
+    for (const auto& [cat, sec] : category_seconds) {
+      os << "    " << cat << ": " << sec << " s\n";
+    }
+  }
+  if (!path.empty()) {
+    os << "  chain (" << path.size() << " nodes):";
+    const std::size_t show = std::min<std::size_t>(path.size(), 8);
+    for (std::size_t i = 0; i < show; ++i) {
+      os << " " << path[i].second << "#" << path[i].first;
+    }
+    if (path.size() > show) {
+      os << " ...";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace mhpx::apex

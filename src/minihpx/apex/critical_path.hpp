@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file critical_path.hpp
+/// Critical-path analysis over the captured task DAG.
+///
+/// The trace records every task slice and region as B/E events carrying a
+/// GUID and a parent GUID, which together form a spawn forest. The
+/// critical path reported here is the longest elapsed chain through that
+/// forest: the maximum over all nodes of (node's last end − its root's
+/// first begin) following parent links. Because every chain is an elapsed
+/// interval inside the traced run, the result can never exceed the traced
+/// wall time — it is the span T_inf of Brent's theorem as observed, the
+/// floor no amount of added parallelism can beat (compare
+/// rveval::sim::span_lower_bound, which prices exactly this bound).
+///
+/// Attribution telescopes along the winning chain: the segment from a
+/// parent's first begin to its child's first begin is charged to the
+/// parent's category, and the final node keeps its whole duration, so the
+/// per-category seconds sum to the critical-path length exactly.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minihpx/apex/task_trace.hpp"
+
+namespace mhpx::apex {
+
+/// Result of analyze(): the observed span plus utilization bookkeeping.
+struct CriticalPathReport {
+  double wall_seconds = 0.0;           ///< last E − first B over all events
+  double busy_seconds = 0.0;           ///< sum of all B→E slice durations
+  double critical_path_seconds = 0.0;  ///< longest root→leaf elapsed chain
+  double utilization = 0.0;  ///< busy / (wall × workers), 0 when unknown
+  std::size_t tasks = 0;     ///< distinct traced GUIDs
+  std::size_t events = 0;    ///< events consumed
+  /// Seconds of the critical path attributed per category (task, kernel,
+  /// phase, ...), descending; sums to critical_path_seconds.
+  std::vector<std::pair<std::string, double>> category_seconds;
+  /// The winning chain, root first: (guid, name) per node.
+  std::vector<std::pair<std::uint64_t, std::string>> path;
+
+  /// Human-readable summary (benches print this under their tables).
+  void print(std::ostream& os) const;
+};
+
+/// Analyze a snapshot of trace events. \p workers sizes the utilization
+/// denominator (0 leaves utilization at 0). Events with unmatched B/E are
+/// tolerated: a B without E contributes no duration; an E without B is
+/// ignored.
+[[nodiscard]] CriticalPathReport analyze(
+    const std::vector<trace::Event>& events, unsigned workers = 0);
+
+}  // namespace mhpx::apex

@@ -1,0 +1,112 @@
+#include "minihpx/apex/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "minihpx/apex/task_trace.hpp"
+
+namespace mhpx::apex {
+
+void Sampler::start(SamplerConfig cfg) {
+  {
+    std::lock_guard lk(mutex_);
+    if (running_) {
+      return;
+    }
+    running_ = true;
+    stopping_ = false;
+    samples_ = 0;
+    names_.clear();
+    series_.clear();
+    for (const std::string& pattern : cfg.patterns) {
+      for (const CounterInfo& info : registry_.discover(pattern)) {
+        if (std::find(names_.begin(), names_.end(), info.name) ==
+            names_.end()) {
+          names_.push_back(info.name);
+        }
+      }
+    }
+    std::sort(names_.begin(), names_.end());
+    series_.reserve(names_.size());
+    for (const std::string& name : names_) {
+      series_.push_back(Series{name, {}, {}});
+    }
+    emit_trace_ = cfg.emit_trace_counters;
+  }
+  thread_ = std::thread([this, cfg] { run(cfg); });
+}
+
+void Sampler::stop() {
+  {
+    std::lock_guard lk(mutex_);
+    if (!running_) {
+      return;
+    }
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  std::lock_guard lk(mutex_);
+  running_ = false;
+}
+
+bool Sampler::running() const {
+  std::lock_guard lk(mutex_);
+  return running_;
+}
+
+std::size_t Sampler::samples() const {
+  std::lock_guard lk(mutex_);
+  return samples_;
+}
+
+std::vector<Series> Sampler::series() const {
+  std::lock_guard lk(mutex_);
+  return series_;
+}
+
+void Sampler::sample_once() {
+  // Read sources outside the sampler lock (a reader may block briefly),
+  // then append the row under it.
+  const double now = trace::now_seconds();
+  std::vector<double> row;
+  row.reserve(names_.size());
+  for (const std::string& name : names_) {
+    row.push_back(registry_.read(name).value_or(0.0));
+  }
+  if (emit_trace_ && trace::enabled()) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      trace::counter_sample(trace::intern(names_[i]), row[i]);
+    }
+  }
+  std::lock_guard lk(mutex_);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    series_[i].t.push_back(now);
+    series_[i].v.push_back(row[i]);
+  }
+  ++samples_;
+}
+
+void Sampler::run(SamplerConfig cfg) {
+  const auto interval = std::chrono::duration<double>(
+      cfg.interval_seconds > 0.0 ? cfg.interval_seconds : 0.01);
+  while (true) {
+    sample_once();
+    {
+      std::lock_guard lk(mutex_);
+      if (stopping_ ||
+          (cfg.max_samples != 0 && samples_ >= cfg.max_samples)) {
+        return;
+      }
+    }
+    std::unique_lock lk(mutex_);
+    cv_.wait_for(lk, interval, [this] { return stopping_; });
+    if (stopping_) {
+      return;
+    }
+  }
+}
+
+}  // namespace mhpx::apex

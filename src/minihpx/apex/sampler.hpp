@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file sampler.hpp
+/// Background counter sampler: turns the pull-based CounterRegistry into
+/// periodic timeseries, the way APEX periodically samples HPX counters.
+///
+/// A Sampler resolves its counter patterns once at start() (registrations
+/// after that are not picked up — restart to see them), then snapshots the
+/// matched counters on a dedicated OS thread every interval until stop().
+/// Optionally each sample is also emitted into the apex trace as a Chrome
+/// 'C' (counter) event, laying the timeseries under the task timeline in
+/// Perfetto.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minihpx/apex/counters.hpp"
+
+namespace mhpx::apex {
+
+struct SamplerConfig {
+  /// Seconds between samples.
+  double interval_seconds = 0.01;
+  /// Counter patterns (CounterRegistry glob) to sample; resolved at start().
+  std::vector<std::string> patterns = {"**"};
+  /// Stop sampling after this many rounds (0 = unbounded until stop()).
+  std::size_t max_samples = 0;
+  /// Also record each sample as a trace counter event when tracing is on.
+  bool emit_trace_counters = false;
+};
+
+/// One counter's sampled timeseries.
+struct Series {
+  std::string name;
+  std::vector<double> t;  ///< seconds since the trace epoch
+  std::vector<double> v;  ///< counter values (baseline-adjusted)
+};
+
+/// Periodic counter snapshotter. Not thread-safe to start/stop concurrently
+/// from multiple threads; the sampling thread itself is internal.
+class Sampler {
+ public:
+  explicit Sampler(CounterRegistry& registry = CounterRegistry::instance())
+      : registry_(registry) {}
+  ~Sampler() { stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Resolve patterns and launch the sampling thread. No-op when running.
+  void start(SamplerConfig cfg = {});
+
+  /// Stop sampling promptly (wakes the thread mid-interval) and join.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// Sampling rounds completed so far.
+  [[nodiscard]] std::size_t samples() const;
+
+  /// Copy of the captured series, one per matched counter, sorted by name.
+  [[nodiscard]] std::vector<Series> series() const;
+
+ private:
+  void sample_once();
+  void run(SamplerConfig cfg);
+
+  CounterRegistry& registry_;
+
+  mutable std::mutex mutex_;  // guards series_, samples_, stopping_
+  std::condition_variable cv_;
+  std::vector<std::string> names_;  // resolved at start(); fixed while running
+  std::vector<Series> series_;
+  std::size_t samples_ = 0;
+  bool stopping_ = false;
+  bool running_ = false;
+  bool emit_trace_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mhpx::apex

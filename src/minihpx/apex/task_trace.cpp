@@ -1,0 +1,412 @@
+#include "minihpx/apex/task_trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+namespace mhpx::apex::trace {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+/// Events are recorded into per-thread shards: each recording thread owns
+/// a buffer with its own (in practice uncontended) mutex, so four workers
+/// tracing 10k task slices each never serialize on one lock. snapshot()
+/// locks every shard and merges by timestamp. Shards outlive their threads
+/// (the registry keeps them for the process lifetime), so events survive
+/// worker shutdown.
+struct Shard {
+  std::mutex mutex;  // guards events; contended only by snapshot/clear
+  std::vector<Event> events;
+};
+
+std::mutex g_registry_mutex;  // guards the shard list itself
+std::vector<std::unique_ptr<Shard>>& shards() {
+  static std::vector<std::unique_ptr<Shard>>& list =
+      *new std::vector<std::unique_ptr<Shard>>();  // leaked: threads may
+  return list;  // record during static destruction
+}
+
+Shard& local_shard() {
+  thread_local Shard* shard = [] {
+    auto owned = std::make_unique<Shard>();
+    Shard* raw = owned.get();
+    std::lock_guard lk(g_registry_mutex);
+    shards().push_back(std::move(owned));
+    return raw;
+  }();
+  return *shard;
+}
+
+/// Aggregate accounting, kept atomic so record() never takes a global lock.
+std::atomic<std::size_t> g_count{0};
+std::atomic<std::size_t> g_limit{std::size_t{4} << 20};
+std::atomic<std::size_t> g_dropped{0};
+
+/// Trace epoch: fixed by the first enable() so all timestamps across
+/// schedulers, fabrics and drivers share one origin.
+std::mutex g_epoch_mutex;
+std::atomic<bool> g_epoch_set{false};
+steady::time_point g_epoch{};
+
+steady::time_point epoch() {
+  if (!g_epoch_set.load(std::memory_order_acquire)) {
+    std::lock_guard lk(g_epoch_mutex);
+    if (!g_epoch_set.load(std::memory_order_relaxed)) {
+      g_epoch = steady::now();
+      g_epoch_set.store(true, std::memory_order_release);
+    }
+  }
+  return g_epoch;
+}
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void record(Event ev) {
+  ev.ts = std::chrono::duration<double>(steady::now() - epoch()).count();
+  ev.tid = thread_ordinal();
+  if (g_count.fetch_add(1, std::memory_order_relaxed) >=
+      g_limit.load(std::memory_order_relaxed)) {
+    g_count.fetch_sub(1, std::memory_order_relaxed);
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Shard& shard = local_shard();
+  std::lock_guard lk(shard.mutex);
+  shard.events.push_back(ev);
+}
+
+/// JSON string escaping for names (control chars, quotes, backslash).
+void escape_to(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Compact number formatting: integers without a fraction part.
+void number_to(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v < 9.0e15 && v > -9.0e15) {
+    os << static_cast<long long>(v);
+  } else {
+    const auto prev = os.precision(15);
+    os << v;
+    os.precision(prev);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void enable(bool on) {
+  if (on) {
+    epoch();  // fix the time origin before the first event
+  }
+  detail::g_enabled.store(on, std::memory_order_release);
+}
+
+void autostart_if_configured() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    bool on = false;
+#if defined(MHPX_APEX_AUTOSTART) && MHPX_APEX_AUTOSTART
+    on = true;
+#endif
+    if (const char* env = std::getenv("RVEVAL_TRACE")) {
+      on = env[0] != '0';
+    }
+    if (on) {
+      enable(true);
+    }
+  });
+}
+
+void clear() {
+  std::lock_guard registry_lk(g_registry_mutex);
+  for (auto& shard : shards()) {
+    std::lock_guard lk(shard->mutex);
+    shard->events.clear();
+  }
+  g_count.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::size_t event_count() {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+std::size_t dropped_count() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void set_event_limit(std::size_t max_events) {
+  if (max_events == 0) {
+    return;
+  }
+  g_limit.store(max_events, std::memory_order_relaxed);
+}
+
+std::vector<Event> snapshot() {
+  std::vector<Event> out;
+  {
+    std::lock_guard registry_lk(g_registry_mutex);
+    for (auto& shard : shards()) {
+      std::lock_guard lk(shard->mutex);
+      out.insert(out.end(), shard->events.begin(), shard->events.end());
+    }
+  }
+  // Merge the shards into one timeline. Stable so same-timestamp events
+  // from one thread keep their record order (B before E of an instant
+  // region).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  return out;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(steady::now() - epoch()).count();
+}
+
+const char* intern(std::string_view name) {
+  static std::mutex mutex;
+  static std::unordered_set<std::string>& table =
+      *new std::unordered_set<std::string>();  // leaked: process lifetime
+  std::lock_guard lk(mutex);
+  return table.emplace(name).first->c_str();
+}
+
+void instant(const char* category, const char* name, double arg0, double arg1,
+             double arg2) {
+  if (!enabled()) {
+    return;
+  }
+  Event ev;
+  ev.ph = EventPhase::instant;
+  ev.category = category;
+  ev.name = name;
+  ev.arg0 = arg0;
+  ev.arg1 = arg1;
+  ev.arg2 = arg2;
+  record(ev);
+}
+
+void counter_sample(const char* name, double value) {
+  if (!enabled()) {
+    return;
+  }
+  Event ev;
+  ev.ph = EventPhase::counter;
+  ev.category = "counter";
+  ev.name = name;
+  ev.arg0 = value;
+  record(ev);
+}
+
+std::uint64_t region_begin(const char* category, std::string_view name) {
+  if (!enabled()) {
+    return 0;
+  }
+  Event ev;
+  ev.ph = EventPhase::begin;
+  ev.category = category;
+  ev.name = intern(name);
+  ev.guid = instrument::next_trace_guid();
+  ev.parent = instrument::spawn_parent();
+  record(ev);
+  return ev.guid;
+}
+
+void region_end(std::uint64_t guid, const char* category, const char* name) {
+  if (guid == 0) {
+    return;
+  }
+  Event ev;
+  ev.ph = EventPhase::end;
+  ev.category = category;
+  ev.name = name;
+  ev.guid = guid;
+  record(ev);
+}
+
+ScopedRegion::ScopedRegion(const char* category, std::string_view name)
+    : category_(category) {
+  if (!enabled()) {
+    return;
+  }
+  name_ = intern(name);
+  guid_ = region_begin(category_, name_);
+  saved_ambient_ = instrument::exchange_ambient_parent(guid_);
+}
+
+ScopedRegion::~ScopedRegion() {
+  if (guid_ == 0) {
+    return;
+  }
+  instrument::exchange_ambient_parent(saved_ambient_);
+  region_end(guid_, category_, name_);
+}
+
+void PhaseSeries::begin(std::string_view name) {
+  close();
+  if (!enabled()) {
+    return;
+  }
+  name_ = intern(name);
+  guid_ = region_begin("phase", name_);
+  saved_ambient_ = instrument::exchange_ambient_parent(guid_);
+}
+
+void PhaseSeries::close() {
+  if (guid_ == 0) {
+    return;
+  }
+  instrument::exchange_ambient_parent(saved_ambient_);
+  region_end(guid_, "phase", name_);
+  guid_ = 0;
+  saved_ambient_ = 0;
+}
+
+void export_chrome(std::ostream& os, const std::vector<Event>& events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& ev : events) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n{\"name\":\"";
+    escape_to(os, ev.name);
+    os << "\",\"cat\":\"";
+    escape_to(os, ev.category);
+    os << "\",\"ph\":\"" << static_cast<char>(ev.ph) << "\",\"ts\":";
+    number_to(os, ev.ts * 1e6);  // Chrome wants microseconds
+    os << ",\"pid\":0,\"tid\":" << ev.tid;
+    if (ev.ph == EventPhase::instant) {
+      os << ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    os << ",\"args\":{";
+    if (ev.ph == EventPhase::counter) {
+      os << "\"value\":";
+      number_to(os, ev.arg0);
+    } else if (ev.ph == EventPhase::instant) {
+      os << "\"arg0\":";
+      number_to(os, ev.arg0);
+      os << ",\"arg1\":";
+      number_to(os, ev.arg1);
+      os << ",\"arg2\":";
+      number_to(os, ev.arg2);
+    } else {
+      os << "\"guid\":" << ev.guid << ",\"parent\":" << ev.parent;
+      if (ev.ph == EventPhase::end) {
+        os << ",\"flops\":";
+        number_to(os, ev.arg0);
+        os << ",\"bytes\":";
+        number_to(os, ev.arg1);
+      }
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+std::string chrome_json() {
+  std::ostringstream os;
+  export_chrome(os, snapshot());
+  return os.str();
+}
+
+bool export_chrome_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  export_chrome(out, snapshot());
+  return static_cast<bool>(out);
+}
+
+namespace detail {
+
+void record_task_begin(std::uint64_t guid, std::uint64_t parent) {
+  Event ev;
+  ev.ph = EventPhase::begin;
+  ev.category = "task";
+  ev.name = "task";
+  ev.guid = guid;
+  ev.parent = parent;
+  record(ev);
+}
+
+void record_task_end(std::uint64_t guid, const instrument::TaskWork& slice,
+                     bool finished) {
+  Event ev;
+  ev.ph = EventPhase::end;
+  ev.category = "task";
+  ev.name = "task";
+  ev.guid = guid;
+  ev.arg0 = slice.flops;
+  ev.arg1 = slice.bytes;
+  ev.arg2 = finished ? 1.0 : 0.0;
+  record(ev);
+}
+
+void record_parcel(std::uint32_t src, std::uint32_t dst, std::size_t bytes) {
+  instant("parcel", "parcel", static_cast<double>(src),
+          static_cast<double>(dst), static_cast<double>(bytes));
+}
+
+void record_parcel_dropped(std::uint32_t src, std::uint32_t dst,
+                           std::size_t bytes) {
+  instant("resilience", "parcel-dropped", static_cast<double>(src),
+          static_cast<double>(dst), static_cast<double>(bytes));
+}
+
+void record_task_retry(std::uint32_t attempt) {
+  instant("resilience", "task-retry", static_cast<double>(attempt));
+}
+
+void record_recovery(std::uint32_t locality) {
+  instant("resilience", "recovery", static_cast<double>(locality));
+}
+
+}  // namespace detail
+
+}  // namespace mhpx::apex::trace

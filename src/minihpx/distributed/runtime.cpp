@@ -22,6 +22,12 @@ DistributedRuntime::DistributedRuntime(Config cfg) {
     });
   }
   fabric_->connect(std::move(receivers));
+  apex::register_fabric_counters(counters_, *fabric_);
+  for (auto& loc : localities_) {
+    apex::register_scheduler_counters(
+        counters_, loc->scheduler(),
+        "locality" + std::to_string(loc->id()));
+  }
 }
 
 DistributedRuntime::~DistributedRuntime() {

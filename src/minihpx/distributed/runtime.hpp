@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "minihpx/apex/counters.hpp"
 #include "minihpx/config.hpp"
 #include "minihpx/distributed/fabric.hpp"
 #include "minihpx/distributed/locality.hpp"
@@ -49,6 +50,9 @@ class DistributedRuntime {
 
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<Locality>> localities_;
+  /// /parcels/{fabric}/... and /threads/locality<i>/... counters; declared
+  /// last so they unregister before the sources they read are destroyed.
+  apex::CounterBlock counters_;
 };
 
 }  // namespace mhpx::dist

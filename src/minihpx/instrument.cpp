@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "minihpx/apex/task_trace.hpp"
+
 namespace mhpx::instrument {
 
 namespace {
@@ -25,8 +27,13 @@ std::vector<std::unique_ptr<const Hooks>>& retired_tables() {
 struct ThreadScope {
   TaskWork work{};
   bool active = false;
+  std::uint64_t task_guid = 0;     ///< executing task's trace identity
+  std::uint64_t ambient_parent = 0;  ///< innermost open apex region
 };
 thread_local ThreadScope t_scope;
+
+/// Trace-GUID allocator; 0 is reserved for "no parent".
+std::atomic<std::uint64_t> g_next_guid{1};
 
 // Resilience event totals (monotonic; see resilience_counters()).
 std::atomic<std::uint64_t> g_task_retries{0};
@@ -55,6 +62,23 @@ const Hooks& hooks() noexcept {
 void annotate(double flops, double bytes) noexcept {
   t_scope.work.flops += flops;
   t_scope.work.bytes += bytes;
+}
+
+std::uint64_t next_trace_guid() noexcept {
+  return g_next_guid.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t current_task_guid() noexcept { return t_scope.task_guid; }
+
+std::uint64_t exchange_ambient_parent(std::uint64_t guid) noexcept {
+  const std::uint64_t prev = t_scope.ambient_parent;
+  t_scope.ambient_parent = guid;
+  return prev;
+}
+
+std::uint64_t spawn_parent() noexcept {
+  return t_scope.ambient_parent != 0 ? t_scope.ambient_parent
+                                     : t_scope.task_guid;
 }
 
 ResilienceCounters resilience_counters() noexcept {
@@ -87,13 +111,15 @@ void reset_resilience_counters() noexcept {
 
 namespace detail {
 
-void task_scope_begin() noexcept {
+void task_scope_begin(std::uint64_t guid) noexcept {
   t_scope.work = TaskWork{};
   t_scope.active = true;
+  t_scope.task_guid = guid;
 }
 
 TaskWork task_scope_end() noexcept {
   t_scope.active = false;
+  t_scope.task_guid = 0;
   TaskWork w = t_scope.work;
   t_scope.work = TaskWork{};
   return w;
@@ -113,8 +139,32 @@ void notify_finish(const TaskWork& work) noexcept {
   }
 }
 
+void notify_task_begin(std::uint64_t guid, std::uint64_t parent) noexcept {
+  if (apex::trace::enabled()) {
+    apex::trace::detail::record_task_begin(guid, parent);
+  }
+  const Hooks& h = hooks();
+  if (h.on_task_begin != nullptr) {
+    h.on_task_begin(h.ctx, guid, parent);
+  }
+}
+
+void notify_task_end(std::uint64_t guid, const TaskWork& slice,
+                     bool finished) noexcept {
+  if (apex::trace::enabled()) {
+    apex::trace::detail::record_task_end(guid, slice, finished);
+  }
+  const Hooks& h = hooks();
+  if (h.on_task_end != nullptr) {
+    h.on_task_end(h.ctx, guid, slice, finished);
+  }
+}
+
 void notify_parcel(std::uint32_t src, std::uint32_t dst,
                    std::size_t bytes) noexcept {
+  if (apex::trace::enabled()) {
+    apex::trace::detail::record_parcel(src, dst, bytes);
+  }
   const Hooks& h = hooks();
   if (h.on_parcel != nullptr) {
     h.on_parcel(h.ctx, src, dst, bytes);
@@ -123,6 +173,9 @@ void notify_parcel(std::uint32_t src, std::uint32_t dst,
 
 void notify_task_retry(std::uint32_t attempt) noexcept {
   g_task_retries.fetch_add(1, std::memory_order_relaxed);
+  if (apex::trace::enabled()) {
+    apex::trace::detail::record_task_retry(attempt);
+  }
   const Hooks& h = hooks();
   if (h.on_task_retry != nullptr) {
     h.on_task_retry(h.ctx, attempt);
@@ -143,6 +196,9 @@ void notify_vote(bool majority_found) noexcept {
 void notify_parcel_dropped(std::uint32_t src, std::uint32_t dst,
                            std::size_t bytes) noexcept {
   g_parcels_dropped.fetch_add(1, std::memory_order_relaxed);
+  if (apex::trace::enabled()) {
+    apex::trace::detail::record_parcel_dropped(src, dst, bytes);
+  }
   const Hooks& h = hooks();
   if (h.on_parcel_dropped != nullptr) {
     h.on_parcel_dropped(h.ctx, src, dst, bytes);
@@ -161,6 +217,9 @@ void notify_parcel_delayed(double seconds) noexcept {
 
 void notify_recovery(std::uint32_t locality) noexcept {
   g_recoveries.fetch_add(1, std::memory_order_relaxed);
+  if (apex::trace::enabled()) {
+    apex::trace::detail::record_recovery(locality);
+  }
   const Hooks& h = hooks();
   if (h.on_recovery != nullptr) {
     h.on_recovery(h.ctx, locality);

@@ -35,6 +35,16 @@ struct Hooks {
   void (*on_task_spawn)(void* ctx) = nullptr;
   /// A task finished; \p work holds its accumulated annotations.
   void (*on_task_finish)(void* ctx, const TaskWork& work) = nullptr;
+  /// A task execution slice began on the calling worker. \p guid is the
+  /// task's process-unique trace identity, \p parent the GUID of the task
+  /// or apex region that spawned it (0 = external code). A task that
+  /// suspends and resumes produces one begin/end pair per slice.
+  void (*on_task_begin)(void* ctx, std::uint64_t guid,
+                        std::uint64_t parent) = nullptr;
+  /// The slice ended; \p slice holds this slice's work annotations and
+  /// \p finished is true when the task retired (vs suspended).
+  void (*on_task_end)(void* ctx, std::uint64_t guid, const TaskWork& slice,
+                      bool finished) = nullptr;
   /// A parcel of \p bytes was sent from \p src to \p dst locality.
   void (*on_parcel)(void* ctx, std::uint32_t src, std::uint32_t dst,
                     std::size_t bytes) = nullptr;
@@ -67,6 +77,25 @@ const Hooks& hooks() noexcept;
 /// per-thread bucket that on_task_finish never sees (and tests can query).
 void annotate(double flops, double bytes) noexcept;
 
+/// Allocate a process-unique trace GUID (never 0). Used by the scheduler
+/// for tasks and by mhpx::apex for regions, so both draw identities from
+/// one namespace and parent links can cross the two.
+[[nodiscard]] std::uint64_t next_trace_guid() noexcept;
+
+/// Trace GUID of the task executing on this thread (0 outside tasks).
+[[nodiscard]] std::uint64_t current_task_guid() noexcept;
+
+/// Swap this thread's ambient spawn parent, returning the previous value.
+/// apex regions (solver phases, kernel dispatches) set themselves as the
+/// ambient parent so tasks spawned under them — even from non-task code —
+/// are attributed to them in the trace DAG.
+std::uint64_t exchange_ambient_parent(std::uint64_t guid) noexcept;
+
+/// Parent GUID a task spawned from the current context should record: the
+/// ambient parent when one is set (innermost open apex region), otherwise
+/// the current task's GUID, otherwise 0.
+[[nodiscard]] std::uint64_t spawn_parent() noexcept;
+
 /// Monotonic global totals of resilience events, accumulated regardless of
 /// which hook table is installed. Benchmarks snapshot these around a run to
 /// report retry/drop/vote overhead (see bench/ablation_resilience.cpp).
@@ -89,11 +118,18 @@ struct ResilienceCounters {
 void reset_resilience_counters() noexcept;
 
 namespace detail {
-/// Scheduler internals: begin/end the accumulation scope of one task.
-void task_scope_begin() noexcept;
+/// Scheduler internals: begin/end the accumulation scope of one task
+/// execution slice. \p guid is published as current_task_guid() for the
+/// duration of the slice.
+void task_scope_begin(std::uint64_t guid) noexcept;
 TaskWork task_scope_end() noexcept;
 void notify_spawn() noexcept;
 void notify_finish(const TaskWork& work) noexcept;
+/// A task slice started/ended; dispatches the matching hooks and feeds the
+/// apex task timeline when tracing is enabled.
+void notify_task_begin(std::uint64_t guid, std::uint64_t parent) noexcept;
+void notify_task_end(std::uint64_t guid, const TaskWork& slice,
+                     bool finished) noexcept;
 void notify_parcel(std::uint32_t src, std::uint32_t dst,
                    std::size_t bytes) noexcept;
 /// Resilience internals: count the event and invoke the matching hook.

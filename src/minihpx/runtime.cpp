@@ -3,6 +3,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "minihpx/apex/task_trace.hpp"
+
 namespace mhpx {
 
 namespace {
@@ -10,12 +12,15 @@ std::atomic<Runtime*> g_runtime{nullptr};
 }
 
 Runtime::Runtime(Config cfg) {
+  apex::trace::autostart_if_configured();
   scheduler_ = std::make_unique<threads::Scheduler>(
       threads::Scheduler::Config{cfg.num_threads, cfg.stack_size});
   Runtime* expected = nullptr;
   if (!g_runtime.compare_exchange_strong(expected, this)) {
     throw std::runtime_error("mhpx::Runtime: a runtime is already active");
   }
+  apex::register_scheduler_counters(counters_, *scheduler_, "default");
+  apex::register_resilience_counters(counters_);
 }
 
 Runtime::~Runtime() {

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "minihpx/apex/counters.hpp"
 #include "minihpx/config.hpp"
 #include "minihpx/threads/scheduler.hpp"
 
@@ -39,6 +40,9 @@ class Runtime {
 
  private:
   std::unique_ptr<threads::Scheduler> scheduler_;
+  /// Declared after scheduler_ so the /threads/default/... counters are
+  /// unregistered before the scheduler they read is destroyed.
+  apex::CounterBlock counters_;
 };
 
 namespace detail {

@@ -1,6 +1,7 @@
 #include "minihpx/threads/scheduler.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace mhpx::threads {
@@ -88,7 +89,10 @@ std::size_t Scheduler::recycled_fibers() const {
 void Scheduler::post(std::function<void()> task) {
   live_.fetch_add(1, std::memory_order_acq_rel);
   instrument::detail::notify_spawn();
-  enqueue(make_task(std::move(task)));
+  TaskCtx* ctx = make_task(std::move(task));
+  ctx->guid = instrument::next_trace_guid();
+  ctx->parent = instrument::spawn_parent();
+  enqueue(ctx);
 }
 
 void Scheduler::enqueue(TaskCtx* task) {
@@ -162,6 +166,7 @@ void Scheduler::worker_loop(Worker& self) {
       task = try_steal(self);
     }
     if (task == nullptr) {
+      const auto idle_from = std::chrono::steady_clock::now();
       std::unique_lock lock(sleep_mutex_);
       if (stopping_.load(std::memory_order_acquire)) {
         break;
@@ -169,6 +174,13 @@ void Scheduler::worker_loop(Worker& self) {
       ++sleepers_;
       work_cv_.wait_for(lock, std::chrono::milliseconds(5));
       --sleepers_;
+      lock.unlock();
+      idle_ns_.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - idle_from)
+                  .count()),
+          std::memory_order_relaxed);
       continue;
     }
     run_task(self, task);
@@ -178,11 +190,21 @@ void Scheduler::worker_loop(Worker& self) {
 void Scheduler::run_task(Worker& self, TaskCtx* task) {
   (void)self;
   t_current_task = task;
-  instrument::detail::task_scope_begin();
+  instrument::detail::task_scope_begin(task->guid);
+  instrument::detail::notify_task_begin(task->guid, task->parent);
+  const auto busy_from = std::chrono::steady_clock::now();
   task->fib->resume();
+  busy_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - busy_from)
+              .count()),
+      std::memory_order_relaxed);
   // Accumulate this execution slice's work annotations into the task, so
   // tasks that suspend and migrate across workers are still priced fully.
   const auto slice = instrument::detail::task_scope_end();
+  instrument::detail::notify_task_end(
+      task->guid, slice, task->fib->state() == fiber::FiberState::finished);
   task->work.flops += slice.flops;
   task->work.bytes += slice.bytes;
   t_current_task = nullptr;
@@ -260,6 +282,8 @@ Scheduler::Counters Scheduler::counters() const {
   c.tasks_injected = n_injected_.load(std::memory_order_relaxed);
   c.suspensions = n_suspended_.load(std::memory_order_relaxed);
   c.yields = n_yielded_.load(std::memory_order_relaxed);
+  c.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  c.idle_ns = idle_ns_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -41,6 +41,10 @@ struct TaskCtx {
   std::unique_ptr<fiber::Fiber> fib;
   instrument::TaskWork work{};
   Scheduler* owner = nullptr;
+  /// Trace identity (instrument::next_trace_guid) and spawning task/region
+  /// — the APEX-style GUID/parent pair the apex timeline records.
+  std::uint64_t guid = 0;
+  std::uint64_t parent = 0;
   /// One-shot hook run by the worker after the fiber has switched out.
   std::function<void(TaskCtx*)> pending_suspend;
 };
@@ -111,6 +115,15 @@ class Scheduler {
     std::uint64_t tasks_injected = 0;   ///< tasks arriving from non-workers
     std::uint64_t suspensions = 0;      ///< fiber park operations
     std::uint64_t yields = 0;           ///< cooperative reschedules
+    std::uint64_t busy_ns = 0;          ///< nanoseconds executing task slices
+    std::uint64_t idle_ns = 0;          ///< nanoseconds parked waiting for work
+    /// Fraction of accounted worker time spent idle — the analogue of HPX's
+    /// /threads/{pool}/idle-rate counter (0 when nothing is accounted yet).
+    [[nodiscard]] double idle_rate() const noexcept {
+      const double total =
+          static_cast<double>(busy_ns) + static_cast<double>(idle_ns);
+      return total > 0.0 ? static_cast<double>(idle_ns) / total : 0.0;
+    }
   };
 
   /// Snapshot of the counters (aggregated over all workers).
@@ -159,6 +172,8 @@ class Scheduler {
   std::atomic<std::uint64_t> n_injected_{0};
   std::atomic<std::uint64_t> n_suspended_{0};
   std::atomic<std::uint64_t> n_yielded_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> idle_ns_{0};
 };
 
 }  // namespace mhpx::threads

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "minihpx/apex/task_trace.hpp"
 #include "minihpx/parallel/algorithms.hpp"
 #include "minihpx/runtime.hpp"
 #include "minikokkos/spaces.hpp"
@@ -122,11 +123,29 @@ void dispatch_blocks(Hpx space, std::size_t begin, std::size_t end,
       });
 }
 
+/// Per-space interned trace labels ("mkk::parallel_for<Hpx>"), built once
+/// per instantiation so tracing a dispatch costs no string construction.
+template <typename Space>
+struct KernelLabels {
+  static const char* parallel_for() {
+    static const char* label = mhpx::apex::trace::intern(
+        "mkk::parallel_for<" + std::string(Space::name()) + ">");
+    return label;
+  }
+  static const char* parallel_reduce() {
+    static const char* label = mhpx::apex::trace::intern(
+        "mkk::parallel_reduce<" + std::string(Space::name()) + ">");
+    return label;
+  }
+};
+
 }  // namespace detail
 
 /// parallel_for over a 1-D range: f(i).
 template <typename Space, typename F>
 void parallel_for(const RangePolicy<Space>& policy, F&& f) {
+  mhpx::apex::trace::ScopedRegion region(
+      "kernel", detail::KernelLabels<Space>::parallel_for());
   detail::dispatch_blocks(policy.space, policy.begin, policy.end,
                           [&](std::size_t b, std::size_t e) {
                             for (std::size_t i = b; i < e; ++i) {
@@ -144,6 +163,8 @@ void parallel_for(std::size_t n, F&& f) {
 /// parallel_for over a rank-3 range: f(i, j, k).
 template <typename Space, typename F>
 void parallel_for(const MDRangePolicy3<Space>& policy, F&& f) {
+  mhpx::apex::trace::ScopedRegion region(
+      "kernel", detail::KernelLabels<Space>::parallel_for());
   const std::size_t n = policy.count();
   detail::dispatch_blocks(policy.space, 0, n,
                           [&](std::size_t b, std::size_t e) {
@@ -161,6 +182,8 @@ void parallel_for(const MDRangePolicy3<Space>& policy, F&& f) {
 /// partials combine with += (Kokkos' default Sum reducer).
 template <typename Space, typename F, typename T>
 void parallel_reduce(const RangePolicy<Space>& policy, F&& f, T& result) {
+  mhpx::apex::trace::ScopedRegion region(
+      "kernel", detail::KernelLabels<Space>::parallel_reduce());
   const std::size_t n = policy.end - policy.begin;
   if (n == 0) {
     result = T{};
@@ -183,6 +206,8 @@ void parallel_reduce(const RangePolicy<Space>& policy, F&& f, T& result) {
 /// parallel_reduce over a rank-3 range: f(i, j, k, acc).
 template <typename Space, typename F, typename T>
 void parallel_reduce(const MDRangePolicy3<Space>& policy, F&& f, T& result) {
+  mhpx::apex::trace::ScopedRegion region(
+      "kernel", detail::KernelLabels<Space>::parallel_reduce());
   const std::size_t n = policy.count();
   if (n == 0) {
     result = T{};

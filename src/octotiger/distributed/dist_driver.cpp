@@ -492,6 +492,7 @@ DistSimulation::~DistSimulation() {
 }
 
 void DistSimulation::mark(const std::string& phase) {
+  trace_phases_.begin(phase);
   if (phase_marker_) {
     phase_marker_(phase);
   }
@@ -612,6 +613,7 @@ double DistSimulation::plain_step() {
       f.get();
     }
   }
+  trace_phases_.close();
 
   ++stats_.steps;
   stats_.sim_time += dt;
@@ -768,6 +770,7 @@ double DistSimulation::resilient_step() {
     resilient_call<RunStageAction, int>(0, l, components_[l], dt,
                                         std::uint32_t{1}, token_base | 1u);
   }
+  trace_phases_.close();
 
   ++stats_.steps;
   stats_.sim_time += dt;

@@ -231,6 +231,8 @@ class DistSimulation {
   std::size_t total_cells_ = 0;
   RunStats stats_;
   std::function<void(const std::string&)> phase_marker_;
+  /// Apex phase timeline mirroring mark(), as in octo::Simulation.
+  mhpx::apex::trace::PhaseSeries trace_phases_;
 
   // Resilient-mode state.
   std::unique_ptr<Simulation> shadow_;  ///< checkpoint staging replica

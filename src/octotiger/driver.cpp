@@ -60,6 +60,7 @@ Simulation::Simulation(Options opt)
 }
 
 void Simulation::mark(const std::string& phase) {
+  trace_phases_.begin(phase);
   if (phase_marker_) {
     phase_marker_(phase);
   }
@@ -168,6 +169,7 @@ double Simulation::step() {
 
   hydro_stage(dt, /*second_stage=*/false);
   hydro_stage(dt, /*second_stage=*/true);
+  trace_phases_.close();
 
   ++stats_.steps;
   stats_.sim_time += dt;
@@ -183,6 +185,7 @@ void Simulation::run() {
 }
 
 std::size_t Simulation::regrid(double rho_threshold) {
+  mhpx::apex::trace::ScopedRegion region("phase", "regrid");
   // Refinement criterion from the *current* solution: split a node when
   // any probe of its region (center + the 8 region corners, pulled
   // slightly inward) sees density above the threshold.

@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 
+#include "minihpx/apex/task_trace.hpp"
 #include "octotiger/octree.hpp"
 #include "octotiger/options.hpp"
 
@@ -76,6 +77,9 @@ class Simulation {
   Octree tree_;
   RunStats stats_;
   std::function<void(const std::string&)> phase_marker_;
+  /// Apex phase timeline: every mark() opens the next solver phase as a
+  /// trace region so tasks spawned within it are attributed to it.
+  mhpx::apex::trace::PhaseSeries trace_phases_;
 };
 
 }  // namespace octo

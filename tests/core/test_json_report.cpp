@@ -1,0 +1,172 @@
+// rveval::report::json Value build/dump/parse round-trips, escape and
+// number-formatting rules, parser error reporting, and the BenchReport
+// emitter consumed by plot/CI tooling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/report/bench_report.hpp"
+#include "core/report/json.hpp"
+#include "core/report/table.hpp"
+
+namespace json = rveval::report::json;
+
+TEST(JsonValue, BuildAndDumpCompact) {
+  auto doc = json::Value::object();
+  doc.set("name", "octo");
+  doc.set("count", 3);
+  doc.set("ratio", 0.5);
+  doc.set("ok", true);
+  doc.set("none", json::Value());
+  auto arr = json::Value::array();
+  arr.push(1).push(2).push(3);
+  doc.set("xs", std::move(arr));
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"octo\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"none\":null,\"xs\":[1,2,3]}");
+}
+
+TEST(JsonValue, IntegralNumbersDumpWithoutFraction) {
+  EXPECT_EQ(json::Value(42.0).dump(), "42");
+  EXPECT_EQ(json::Value(-7.0).dump(), "-7");
+  EXPECT_EQ(json::Value(0.0).dump(), "0");
+  EXPECT_EQ(json::Value(2.5).dump(), "2.5");
+  // Non-finite values have no JSON spelling; they degrade to null.
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(JsonValue, EscapeRules) {
+  EXPECT_EQ(json::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json::Value("\x01").dump(), "\"\\u0001\"");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(json::Value("héllo").dump(), "\"héllo\"");
+}
+
+TEST(JsonParse, RoundTripNestedDocument) {
+  auto doc = json::Value::object();
+  doc.set("s", "a \"quoted\" line\nwith\tescapes\\");
+  doc.set("n", -12.75);
+  doc.set("i", 1234567);
+  auto inner = json::Value::object();
+  inner.set("flag", false);
+  auto arr = json::Value::array();
+  arr.push(inner);
+  arr.push("x");
+  arr.push(json::Value());
+  doc.set("arr", std::move(arr));
+
+  const auto reparsed = json::parse(doc.dump());
+  EXPECT_EQ(reparsed.dump(), doc.dump());
+  const auto pretty = json::parse(doc.dump(2));
+  EXPECT_EQ(pretty.dump(), doc.dump());
+  EXPECT_EQ(reparsed.find("s")->as_string(),
+            "a \"quoted\" line\nwith\tescapes\\");
+  EXPECT_DOUBLE_EQ(reparsed.find("n")->as_number(), -12.75);
+  EXPECT_FALSE(
+      reparsed.find("arr")->at(0).find("flag")->as_bool());
+  EXPECT_TRUE(reparsed.find("arr")->at(2).is_null());
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  const auto v = json::parse("\"\\u0041\\u00e9\\u20ac\"");
+  EXPECT_EQ(v.as_string(), "Aé€");  // 1-, 2- and 3-byte UTF-8 encodings
+}
+
+TEST(JsonParse, NumbersAndLiterals) {
+  EXPECT_DOUBLE_EQ(json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(json::parse("-0.5E-1").as_number(), -0.05);
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_TRUE(json::parse(" null ").is_null());
+  EXPECT_EQ(json::parse("[]").size(), 0u);
+  EXPECT_TRUE(json::parse("{}").is_object());
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  const auto v = json::parse("{\"k\":1,\"k\":2}");
+  EXPECT_DOUBLE_EQ(v.find("k")->as_number(), 2.0);
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW(json::parse(""), std::runtime_error);
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json::parse("\"bad \\q escape\""), std::runtime_error);
+  EXPECT_THROW(json::parse("\"\\u12\""), std::runtime_error);
+  EXPECT_THROW(json::parse("troo"), std::runtime_error);
+  EXPECT_THROW(json::parse("1 2"), std::runtime_error);  // trailing content
+  EXPECT_THROW(json::parse("nul"), std::runtime_error);  // truncated literal
+}
+
+TEST(JsonParse, TypeMismatchThrows) {
+  const auto v = json::parse("[1]");
+  EXPECT_THROW(v.as_number(), std::runtime_error);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_EQ(v.find("k"), nullptr);  // not an object: nothing to find
+  EXPECT_THROW(json::parse("3").at(0), std::runtime_error);
+}
+
+TEST(TableToJson, NumericCellsBecomeNumbers) {
+  rveval::report::Table t("demo table");
+  t.headers({"label", "value", "note"});
+  t.row({"alpha", "1.25", "free text"});
+  t.row({"beta", "-3", "12 monkeys"});  // "12 monkeys" is not numeric
+
+  const auto v = rveval::report::to_json(t);
+  EXPECT_EQ(v.find("title")->as_string(), "demo table");
+  const auto* rows = v.find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_DOUBLE_EQ(rows->at(0).at(1).as_number(), 1.25);
+  EXPECT_EQ(rows->at(0).at(2).as_string(), "free text");
+  EXPECT_DOUBLE_EQ(rows->at(1).at(1).as_number(), -3.0);
+  EXPECT_EQ(rows->at(1).at(2).as_string(), "12 monkeys");
+}
+
+TEST(BenchReport, DumpHasSchemaAndParses) {
+  rveval::report::BenchReport report("test_bench", "a test report");
+  report.metric("speedup", 3.5)
+      .metric("cpu", std::string("VisionFive2"))
+      .note("one note");
+  rveval::report::Table t("t");
+  t.headers({"a"});
+  t.row({"1"});
+  report.add_table(t);
+
+  const auto doc = json::parse(report.dump());
+  EXPECT_EQ(doc.find("schema")->as_string(), "rveval-bench-v1");
+  EXPECT_EQ(doc.find("bench")->as_string(), "test_bench");
+  EXPECT_EQ(doc.find("title")->as_string(), "a test report");
+  const auto* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_DOUBLE_EQ(metrics->find("speedup")->as_number(), 3.5);
+  EXPECT_EQ(metrics->find("cpu")->as_string(), "VisionFive2");
+  EXPECT_EQ(doc.find("tables")->size(), 1u);
+  EXPECT_EQ(doc.find("notes")->at(0).as_string(), "one note");
+}
+
+TEST(BenchReport, WriteProducesParseableFile) {
+  const std::string path = "test_json_report_tmp.json";
+  rveval::report::BenchReport report("write_bench", "written to disk");
+  report.metric("x", 1.0);
+  ASSERT_TRUE(report.write(path));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = json::parse(buf.str());
+  EXPECT_EQ(doc.find("bench")->as_string(), "write_bench");
+  in.close();
+  std::remove(path.c_str());
+}

@@ -1,0 +1,208 @@
+// mhpx::apex counter registry: glob semantics, discover/read/reset,
+// RAII registration blocks, the standard scheduler/resilience counter
+// sets, and the background sampler.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/sampler.hpp"
+#include "minihpx/instrument.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/latch.hpp"
+
+namespace apex = mhpx::apex;
+
+TEST(CounterPattern, StarStopsAtSlash) {
+  EXPECT_TRUE(apex::CounterRegistry::pattern_match("/threads/*/idle-rate",
+                                                   "/threads/default/idle-rate"));
+  EXPECT_FALSE(apex::CounterRegistry::pattern_match(
+      "/threads/*", "/threads/default/idle-rate"));
+  EXPECT_TRUE(
+      apex::CounterRegistry::pattern_match("/threads/*", "/threads/default"));
+  EXPECT_FALSE(apex::CounterRegistry::pattern_match("/a/*/c", "/a/b/x/c"));
+}
+
+TEST(CounterPattern, DoubleStarCrossesSlash) {
+  EXPECT_TRUE(apex::CounterRegistry::pattern_match(
+      "/threads/**", "/threads/default/idle-rate"));
+  EXPECT_TRUE(apex::CounterRegistry::pattern_match("**", "/anything/at/all"));
+  EXPECT_TRUE(apex::CounterRegistry::pattern_match("/a/**/d", "/a/b/c/d"));
+  EXPECT_FALSE(apex::CounterRegistry::pattern_match("/b/**", "/a/b/c"));
+}
+
+TEST(CounterPattern, LiteralAndEdgeCases) {
+  EXPECT_TRUE(apex::CounterRegistry::pattern_match("/exact", "/exact"));
+  EXPECT_FALSE(apex::CounterRegistry::pattern_match("/exact", "/exact/more"));
+  EXPECT_FALSE(apex::CounterRegistry::pattern_match("/exact/more", "/exact"));
+  EXPECT_TRUE(apex::CounterRegistry::pattern_match("*", ""));
+  EXPECT_TRUE(apex::CounterRegistry::pattern_match("/a/*-rate", "/a/idle-rate"));
+}
+
+TEST(CounterRegistry, AddDiscoverReadRemove) {
+  apex::CounterRegistry reg;
+  double raw = 41.0;
+  ASSERT_TRUE(reg.add("/test/value", "a test counter",
+                      apex::CounterKind::monotonic, [&raw] { return raw; }));
+  // Duplicate names are rejected.
+  EXPECT_FALSE(reg.add("/test/value", "again", apex::CounterKind::gauge,
+                       [] { return 0.0; }));
+  EXPECT_EQ(reg.size(), 1u);
+
+  const auto found = reg.discover("/test/**");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].name, "/test/value");
+  EXPECT_EQ(found[0].description, "a test counter");
+  EXPECT_EQ(found[0].kind, apex::CounterKind::monotonic);
+
+  raw = 42.0;
+  const auto v = reg.read("/test/value");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 42.0);
+  EXPECT_FALSE(reg.read("/test/missing").has_value());
+
+  EXPECT_TRUE(reg.remove("/test/value"));
+  EXPECT_FALSE(reg.remove("/test/value"));
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(CounterRegistry, ResetBaselinesMonotonicOnly) {
+  apex::CounterRegistry reg;
+  double mono = 100.0;
+  double level = 0.7;
+  reg.add("/t/count/x", "", apex::CounterKind::monotonic,
+          [&mono] { return mono; });
+  reg.add("/t/gauge/x", "", apex::CounterKind::gauge,
+          [&level] { return level; });
+
+  EXPECT_EQ(reg.reset("/t/**"), 1u);  // only the monotonic one
+  EXPECT_DOUBLE_EQ(*reg.read("/t/count/x"), 0.0);
+  EXPECT_DOUBLE_EQ(*reg.read("/t/gauge/x"), 0.7);
+
+  mono = 130.0;  // source keeps counting; reads are deltas from baseline
+  EXPECT_DOUBLE_EQ(*reg.read("/t/count/x"), 30.0);
+
+  const auto all = reg.read_matching("/t/**");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "/t/count/x");  // sorted by name
+  EXPECT_DOUBLE_EQ(all[0].second, 30.0);
+}
+
+TEST(CounterBlock, RemovesOnDestruction) {
+  apex::CounterRegistry reg;
+  {
+    apex::CounterBlock block(reg);
+    EXPECT_TRUE(block.add("/b/one", "", apex::CounterKind::gauge,
+                          [] { return 1.0; }));
+    EXPECT_TRUE(block.add("/b/two", "", apex::CounterKind::gauge,
+                          [] { return 2.0; }));
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(block.names().size(), 2u);
+  }
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(CounterBlock, MoveTransfersOwnership) {
+  apex::CounterRegistry reg;
+  apex::CounterBlock outer(reg);
+  {
+    apex::CounterBlock inner(reg);
+    inner.add("/m/x", "", apex::CounterKind::gauge, [] { return 0.0; });
+    outer = std::move(inner);
+  }
+  // inner destroyed but ownership moved: still registered.
+  EXPECT_EQ(reg.size(), 1u);
+  outer.clear();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(RuntimeCounters, SchedulerCountersAppearAndCount) {
+  // Runtime registers /threads/default/... into the global registry.
+  auto& reg = apex::CounterRegistry::instance();
+  {
+    mhpx::Runtime rt({2});
+    const auto found = reg.discover("/threads/default/**");
+    EXPECT_GE(found.size(), 9u);
+
+    reg.reset("/threads/default/count/**");
+    constexpr int n = 100;
+    mhpx::sync::latch done(n);
+    for (int i = 0; i < n; ++i) {
+      mhpx::post([&done] { done.count_down(); });
+    }
+    done.wait();
+    rt.scheduler().wait_idle();
+
+    EXPECT_GE(*reg.read("/threads/default/count/executed"), double(n));
+    EXPECT_DOUBLE_EQ(*reg.read("/threads/default/count/workers"), 2.0);
+    const double idle_rate = *reg.read("/threads/default/idle-rate");
+    EXPECT_GE(idle_rate, 0.0);
+    EXPECT_LE(idle_rate, 1.0);
+    EXPECT_GT(*reg.read("/threads/default/time/busy"), 0.0);
+  }
+  // Runtime destruction unregisters its block.
+  EXPECT_TRUE(reg.discover("/threads/default/**").empty());
+}
+
+TEST(RuntimeCounters, ResilienceCountersReadGlobalTotals) {
+  mhpx::Runtime rt({1});
+  auto& reg = apex::CounterRegistry::instance();
+  mhpx::instrument::reset_resilience_counters();
+  reg.reset("/resilience/**");
+  mhpx::instrument::detail::notify_task_retry(1);
+  mhpx::instrument::detail::notify_task_retry(2);
+  EXPECT_DOUBLE_EQ(*reg.read("/resilience/count/retries"), 2.0);
+  mhpx::instrument::reset_resilience_counters();
+}
+
+TEST(Sampler, CapturesGrowingSeries) {
+  apex::CounterRegistry reg;
+  std::atomic<double> source{0.0};
+  reg.add("/s/progress", "", apex::CounterKind::monotonic,
+          [&source] { return source.load(); });
+
+  apex::Sampler sampler(reg);
+  apex::SamplerConfig cfg;
+  cfg.interval_seconds = 0.001;
+  cfg.patterns = {"/s/**"};
+  sampler.start(cfg);
+  for (int i = 0; i < 50; ++i) {
+    source.store(source.load() + 1.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GT(sampler.samples(), 2u);
+
+  const auto series = sampler.series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].name, "/s/progress");
+  ASSERT_EQ(series[0].t.size(), series[0].v.size());
+  ASSERT_GT(series[0].v.size(), 2u);
+  // Time and a monotonic counter both never decrease across samples.
+  for (std::size_t i = 1; i < series[0].v.size(); ++i) {
+    EXPECT_GE(series[0].t[i], series[0].t[i - 1]);
+    EXPECT_GE(series[0].v[i], series[0].v[i - 1]);
+  }
+  EXPECT_GT(series[0].v.back(), series[0].v.front());
+}
+
+TEST(Sampler, MaxSamplesStops) {
+  apex::CounterRegistry reg;
+  reg.add("/s/x", "", apex::CounterKind::gauge, [] { return 1.0; });
+  apex::Sampler sampler(reg);
+  apex::SamplerConfig cfg;
+  cfg.interval_seconds = 0.0005;
+  cfg.patterns = {"/s/x"};
+  cfg.max_samples = 3;
+  sampler.start(cfg);
+  // The thread stops itself at max_samples; stop() just joins.
+  for (int i = 0; i < 200 && sampler.samples() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+  EXPECT_EQ(sampler.samples(), 3u);
+}

@@ -1,0 +1,259 @@
+// mhpx::apex::trace: the task timeline. Disabled tracing records nothing;
+// enabled tracing produces balanced B/E pairs whose GUID/parent links form
+// the spawn DAG (region -> task -> child task), kernel annotations flow
+// into task end events, the Chrome export parses as JSON, and the critical
+// path derived from the events is bounded by the traced wall time.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <utility>
+
+#include "core/report/json.hpp"
+#include "minihpx/apex/critical_path.hpp"
+#include "minihpx/apex/task_trace.hpp"
+#include "minihpx/instrument.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/latch.hpp"
+
+namespace apex = mhpx::apex;
+namespace trace = mhpx::apex::trace;
+
+namespace {
+
+/// Every trace test owns the global buffer: start clean, leave clean.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::enable(false);
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::enable(false);
+    trace::clear();
+  }
+};
+
+std::map<std::uint64_t, std::pair<int, int>> be_counts(
+    const std::vector<trace::Event>& events) {
+  std::map<std::uint64_t, std::pair<int, int>> counts;
+  for (const auto& ev : events) {
+    if (ev.ph == trace::EventPhase::begin) {
+      ++counts[ev.guid].first;
+    } else if (ev.ph == trace::EventPhase::end) {
+      ++counts[ev.guid].second;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(trace::enabled());
+  EXPECT_EQ(trace::region_begin("test", "ignored"), 0u);
+  trace::instant("test", "ignored");
+  trace::counter_sample("/x", 1.0);
+  {
+    trace::ScopedRegion region("test", "ignored");
+    EXPECT_EQ(region.guid(), 0u);
+  }
+  mhpx::Runtime rt({2});
+  mhpx::sync::latch done(10);
+  for (int i = 0; i < 10; ++i) {
+    mhpx::post([&done] { done.count_down(); });
+  }
+  done.wait();
+  rt.scheduler().wait_idle();
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_TRUE(trace::snapshot().empty());
+}
+
+TEST_F(TraceTest, RegionTaskChildParentChain) {
+  mhpx::Runtime rt({2});
+  trace::enable(true);
+
+  std::uint64_t region_guid = 0;
+  {
+    trace::ScopedRegion region("phase", "outer");
+    region_guid = region.guid();
+    ASSERT_NE(region_guid, 0u);
+
+    // Task A spawned under the open region, child B spawned from inside A.
+    mhpx::sync::latch done(2);
+    mhpx::post([&done] {
+      mhpx::post([&done] { done.count_down(); });
+      done.count_down();
+    });
+    done.wait();
+    rt.scheduler().wait_idle();
+  }
+  trace::enable(false);
+
+  const auto events = trace::snapshot();
+  // Region B/E plus two tasks (one slice each): at least 6 events.
+  ASSERT_GE(events.size(), 6u);
+  for (const auto& [guid, counts] : be_counts(events)) {
+    EXPECT_EQ(counts.first, counts.second) << "guid " << guid;
+  }
+
+  // Reconstruct the chain from the begin events.
+  std::uint64_t task_a = 0, task_b = 0;
+  std::uint64_t parent_a = 0, parent_b = 0;
+  for (const auto& ev : events) {
+    if (ev.ph != trace::EventPhase::begin ||
+        std::string_view(ev.category) != "task") {
+      continue;
+    }
+    if (ev.parent == region_guid) {
+      task_a = ev.guid;
+      parent_a = ev.parent;
+    } else {
+      task_b = ev.guid;
+      parent_b = ev.parent;
+    }
+  }
+  ASSERT_NE(task_a, 0u) << "no task recorded the region as its parent";
+  ASSERT_NE(task_b, 0u);
+  EXPECT_EQ(parent_a, region_guid);
+  EXPECT_EQ(parent_b, task_a) << "child task must record its spawner";
+  EXPECT_NE(task_a, task_b);
+  EXPECT_NE(task_a, region_guid);
+}
+
+TEST_F(TraceTest, AnnotationsFlowIntoTaskEnd) {
+  mhpx::Runtime rt({1});
+  trace::enable(true);
+  mhpx::sync::latch done(1);
+  mhpx::post([&done] {
+    mhpx::instrument::annotate(123.0, 456.0);
+    mhpx::instrument::annotate(1.0, 4.0);
+    done.count_down();
+  });
+  done.wait();
+  rt.scheduler().wait_idle();
+  trace::enable(false);
+
+  bool found = false;
+  for (const auto& ev : trace::snapshot()) {
+    if (ev.ph == trace::EventPhase::end &&
+        std::string_view(ev.category) == "task" && ev.arg0 == 124.0) {
+      EXPECT_DOUBLE_EQ(ev.arg1, 460.0);
+      EXPECT_DOUBLE_EQ(ev.arg2, 1.0);  // finished, not suspended
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no task end event carried the annotated work";
+}
+
+TEST_F(TraceTest, ChromeJsonParsesWithMatchingEventCount) {
+  mhpx::Runtime rt({2});
+  trace::enable(true);
+  trace::instant("test", "a \"quoted\"\nname", 1.5, 2.0, 3.0);
+  trace::counter_sample("/test/counter", 42.0);
+  mhpx::sync::latch done(5);
+  for (int i = 0; i < 5; ++i) {
+    mhpx::post([&done] { done.count_down(); });
+  }
+  done.wait();
+  rt.scheduler().wait_idle();
+  trace::enable(false);
+
+  const auto events = trace::snapshot();
+  ASSERT_FALSE(events.empty());
+  const auto doc = rveval::report::json::parse(trace::chrome_json());
+  const auto* te = doc.find("traceEvents");
+  ASSERT_NE(te, nullptr);
+  ASSERT_TRUE(te->is_array());
+  EXPECT_EQ(te->size(), events.size());
+
+  // Spot-check one entry's shape.
+  const auto& first = te->at(0);
+  ASSERT_NE(first.find("name"), nullptr);
+  ASSERT_NE(first.find("ph"), nullptr);
+  ASSERT_NE(first.find("ts"), nullptr);
+  ASSERT_NE(first.find("args"), nullptr);
+  EXPECT_NO_THROW(first.find("name")->as_string());
+  EXPECT_NO_THROW(first.find("ts")->as_number());
+  EXPECT_TRUE(first.find("args")->is_object());
+}
+
+TEST_F(TraceTest, SnapshotIsTimeSorted) {
+  mhpx::Runtime rt({4});
+  trace::enable(true);
+  mhpx::sync::latch done(200);
+  for (int i = 0; i < 200; ++i) {
+    mhpx::post([&done] { done.count_down(); });
+  }
+  done.wait();
+  rt.scheduler().wait_idle();
+  trace::enable(false);
+
+  const auto events = trace::snapshot();
+  ASSERT_GE(events.size(), 400u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts, events[i].ts);
+  }
+}
+
+TEST_F(TraceTest, EventLimitDropsInsteadOfGrowing) {
+  trace::set_event_limit(8);
+  trace::enable(true);
+  for (int i = 0; i < 100; ++i) {
+    trace::instant("test", "spam");
+  }
+  trace::enable(false);
+  EXPECT_EQ(trace::event_count(), 8u);
+  EXPECT_EQ(trace::dropped_count(), 92u);
+  EXPECT_EQ(trace::snapshot().size(), 8u);
+  trace::set_event_limit(std::size_t{4} << 20);  // restore the default
+}
+
+TEST_F(TraceTest, CriticalPathBoundedByWall) {
+  mhpx::Runtime rt({2});
+  trace::enable(true);
+  {
+    trace::ScopedRegion region("phase", "work");
+    mhpx::sync::latch done(50);
+    for (int i = 0; i < 50; ++i) {
+      mhpx::post([&done] {
+        volatile double x = 0.0;
+        for (int k = 0; k < 20000; ++k) {
+          x = x + 1.0;
+        }
+        done.count_down();
+      });
+    }
+    done.wait();
+    rt.scheduler().wait_idle();
+  }
+  trace::enable(false);
+
+  const auto events = trace::snapshot();
+  const auto cp = apex::analyze(events, 2);
+  EXPECT_GT(cp.tasks, 0u);
+  EXPECT_EQ(cp.events, events.size());
+  EXPECT_GT(cp.wall_seconds, 0.0);
+  EXPECT_GT(cp.critical_path_seconds, 0.0);
+  EXPECT_LE(cp.critical_path_seconds, cp.wall_seconds + 1e-9);
+  EXPECT_GE(cp.utilization, 0.0);
+
+  // Telescoped attribution covers the whole path, no more.
+  double attributed = 0.0;
+  for (const auto& [category, seconds] : cp.category_seconds) {
+    EXPECT_GE(seconds, 0.0) << category;
+    attributed += seconds;
+  }
+  EXPECT_NEAR(attributed, cp.critical_path_seconds,
+              1e-9 + 1e-6 * cp.critical_path_seconds);
+  EXPECT_FALSE(cp.path.empty());
+}
+
+TEST_F(TraceTest, AnalyzeEmptyTraceIsSane) {
+  const auto cp = apex::analyze({}, 4);
+  EXPECT_EQ(cp.tasks, 0u);
+  EXPECT_DOUBLE_EQ(cp.wall_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(cp.critical_path_seconds, 0.0);
+}

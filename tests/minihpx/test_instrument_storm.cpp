@@ -1,0 +1,141 @@
+// instrument::set_hooks under fire: while a task storm runs on the
+// scheduler, the main thread swaps the hook table between two counting
+// tables thousands of times. The atomic-pointer publication contract says
+// a concurrently running task observes either table in full, never a torn
+// mix — so every callback must see one of the two magic ctx values, and
+// spawn/finish totals across both tables must account for every task
+// exactly once.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "minihpx/instrument.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/latch.hpp"
+
+namespace {
+
+struct HookCtx {
+  std::uint64_t magic = 0;
+  std::atomic<std::uint64_t> spawns{0};
+  std::atomic<std::uint64_t> finishes{0};
+  std::atomic<std::uint64_t> begins{0};
+  std::atomic<std::uint64_t> ends{0};
+};
+
+constexpr std::uint64_t kMagicA = 0xA11CE5ED00000001ull;
+constexpr std::uint64_t kMagicB = 0xB0BCA7C800000002ull;
+
+HookCtx g_ctx_a;
+HookCtx g_ctx_b;
+std::atomic<std::uint64_t> g_torn{0};
+
+HookCtx* checked(void* ctx) {
+  auto* c = static_cast<HookCtx*>(ctx);
+  if (c == nullptr || (c->magic != kMagicA && c->magic != kMagicB)) {
+    g_torn.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return c;
+}
+
+void on_spawn(void* ctx) {
+  if (auto* c = checked(ctx)) {
+    c->spawns.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void on_finish(void* ctx, const mhpx::instrument::TaskWork&) {
+  if (auto* c = checked(ctx)) {
+    c->finishes.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void on_begin(void* ctx, std::uint64_t guid, std::uint64_t) {
+  if (auto* c = checked(ctx)) {
+    c->begins.fetch_add(1, std::memory_order_relaxed);
+    if (guid == 0) {
+      g_torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void on_end(void* ctx, std::uint64_t, const mhpx::instrument::TaskWork&,
+            bool) {
+  if (auto* c = checked(ctx)) {
+    c->ends.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+mhpx::instrument::Hooks make_hooks(HookCtx& ctx) {
+  mhpx::instrument::Hooks hooks;
+  hooks.on_task_spawn = on_spawn;
+  hooks.on_task_finish = on_finish;
+  hooks.on_task_begin = on_begin;
+  hooks.on_task_end = on_end;
+  hooks.ctx = &ctx;
+  return hooks;
+}
+
+}  // namespace
+
+TEST(InstrumentStorm, HookSwapsAreNeverTorn) {
+  g_ctx_a.magic = kMagicA;
+  g_ctx_b.magic = kMagicB;
+
+  mhpx::Runtime rt({4});
+  const auto before = rt.scheduler().counters();
+
+  // Install table A before any storm task exists, so every callback lands
+  // in exactly one of the two tables.
+  mhpx::instrument::set_hooks(make_hooks(g_ctx_a));
+
+  constexpr int kTasks = 20000;
+  constexpr int kSwaps = 4000;
+  mhpx::sync::latch done(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    mhpx::post([&done] {
+      volatile int x = 0;
+      for (int k = 0; k < 50; ++k) {
+        x = x + 1;
+      }
+      done.count_down();
+    });
+    if (i % (kTasks / kSwaps) == 0) {
+      mhpx::instrument::set_hooks(make_hooks((i / (kTasks / kSwaps)) % 2 == 0
+                                                 ? g_ctx_b
+                                                 : g_ctx_a));
+    }
+  }
+  done.wait();
+  rt.scheduler().wait_idle();
+
+  // Keep swapping after quiescence too — installs must stay safe when no
+  // tasks run, and the retired-table guarantee means these cheap swaps
+  // cannot invalidate a pointer a late callback already loaded.
+  for (int i = 0; i < 100; ++i) {
+    mhpx::instrument::set_hooks(make_hooks(i % 2 == 0 ? g_ctx_a : g_ctx_b));
+  }
+  mhpx::instrument::set_hooks({});
+
+  EXPECT_EQ(g_torn.load(), 0u) << "a callback observed a torn hook table";
+
+  const auto spawns = g_ctx_a.spawns.load() + g_ctx_b.spawns.load();
+  const auto finishes = g_ctx_a.finishes.load() + g_ctx_b.finishes.load();
+  const auto begins = g_ctx_a.begins.load() + g_ctx_b.begins.load();
+  const auto ends = g_ctx_a.ends.load() + g_ctx_b.ends.load();
+  EXPECT_EQ(spawns, std::uint64_t{kTasks});
+  EXPECT_EQ(finishes, std::uint64_t{kTasks});
+  // These tasks never suspend: one slice each.
+  EXPECT_EQ(begins, std::uint64_t{kTasks});
+  EXPECT_EQ(ends, begins);
+  // Both tables were actually exercised, not just one.
+  EXPECT_GT(g_ctx_a.spawns.load(), 0u);
+  EXPECT_GT(g_ctx_b.spawns.load(), 0u);
+
+  const auto after = rt.scheduler().counters();
+  EXPECT_EQ(after.tasks_executed - before.tasks_executed,
+            std::uint64_t{kTasks});
+}

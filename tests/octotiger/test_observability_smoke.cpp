@@ -1,0 +1,114 @@
+// End-to-end observability smoke test (CI gate for the profiling preset):
+// a short rotating-star run with tracing on must emit a Chrome trace that
+// parses as JSON, with balanced B/E events, task GUIDs carrying parents,
+// the driver's solver phases present, and a critical path bounded by the
+// traced wall time.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "core/report/json.hpp"
+#include "minihpx/apex/apex.hpp"
+#include "minihpx/runtime.hpp"
+#include "octotiger/driver.hpp"
+
+namespace apex = mhpx::apex;
+namespace trace = mhpx::apex::trace;
+
+namespace {
+
+octo::Options smoke_options() {
+  octo::Options opt;
+  opt.max_level = 2;
+  opt.stop_step = 2;
+  opt.threads = 4;
+  opt.hydro_kernel = mkk::KernelType::kokkos_hpx;
+  opt.multipole_kernel = mkk::KernelType::kokkos_hpx;
+  opt.monopole_kernel = mkk::KernelType::kokkos_hpx;
+  return opt;
+}
+
+}  // namespace
+
+TEST(ObservabilitySmoke, TracedRunEmitsValidChromeTrace) {
+  trace::enable(false);
+  trace::clear();
+
+  const octo::Options opt = smoke_options();
+  {
+    mhpx::Runtime rt{{opt.threads, 256 * 1024}};
+    trace::enable(true);
+    octo::Simulation sim(opt);
+    sim.run();
+    rt.scheduler().wait_idle();
+    trace::enable(false);
+  }
+
+  const auto events = trace::snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(trace::dropped_count(), 0u);
+
+  // Balanced B/E per GUID, tasks carry parents, phases are present.
+  std::map<std::uint64_t, std::pair<int, int>> be;
+  std::size_t task_slices = 0;
+  std::size_t task_slices_with_parent = 0;
+  std::set<std::string> phases;
+  std::set<std::string> kernels;
+  for (const auto& ev : events) {
+    if (ev.ph == trace::EventPhase::begin) {
+      ++be[ev.guid].first;
+      const std::string_view cat(ev.category);
+      if (cat == "task") {
+        ++task_slices;
+        if (ev.parent != 0) {
+          ++task_slices_with_parent;
+        }
+      } else if (cat == "phase") {
+        phases.insert(ev.name);
+      } else if (cat == "kernel") {
+        kernels.insert(ev.name);
+      }
+    } else if (ev.ph == trace::EventPhase::end) {
+      ++be[ev.guid].second;
+    }
+  }
+  for (const auto& [guid, counts] : be) {
+    ASSERT_EQ(counts.first, counts.second) << "unbalanced guid " << guid;
+  }
+  EXPECT_GT(task_slices, 0u);
+  EXPECT_GT(task_slices_with_parent, 0u);
+  EXPECT_TRUE(phases.count("hydro.kernels")) << "driver phases not traced";
+  EXPECT_TRUE(phases.count("gravity.kernels"));
+  EXPECT_FALSE(kernels.empty()) << "minikokkos dispatches not traced";
+
+  // The exported file is valid JSON with one entry per event.
+  const std::string path = "observability_smoke_trace.json";
+  ASSERT_TRUE(trace::export_chrome_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  in.close();
+  const auto doc = rveval::report::json::parse(buf.str());
+  const auto* te = doc.find("traceEvents");
+  ASSERT_NE(te, nullptr);
+  ASSERT_TRUE(te->is_array());
+  EXPECT_EQ(te->size(), events.size());
+  std::remove(path.c_str());
+
+  // Critical path is a lower bound on the traced wall time.
+  const auto cp = apex::analyze(events, opt.threads);
+  EXPECT_GT(cp.tasks, 0u);
+  EXPECT_GT(cp.critical_path_seconds, 0.0);
+  EXPECT_LE(cp.critical_path_seconds, cp.wall_seconds + 1e-9);
+
+  trace::clear();
+}
