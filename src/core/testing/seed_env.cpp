@@ -1,0 +1,40 @@
+#include "core/testing/seed_env.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "minihpx/testing/det.hpp"
+
+namespace rveval::testing {
+
+SeedEnv seed_env() {
+  SeedEnv env;
+  env.fault_seed = mhpx::testing::detail::env_u64("RVEVAL_FAULT_SEED", 0x5eed);
+  env.sched_seed = mhpx::testing::detail::env_u64("RVEVAL_SCHED_SEED", 0x5eed);
+  env.sched_seed_set = std::getenv("RVEVAL_SCHED_SEED") != nullptr;
+  env.sched_preempts =
+      mhpx::testing::detail::env_u64_list("RVEVAL_SCHED_PREEMPTS");
+  env.simtest_budget = static_cast<unsigned>(
+      mhpx::testing::detail::env_u64("RVEVAL_SIMTEST_BUDGET", 64));
+  return env;
+}
+
+std::string SeedEnv::repro_line() const {
+  std::ostringstream os;
+  os << "RVEVAL_FAULT_SEED=" << fault_seed
+     << " RVEVAL_SCHED_SEED=" << sched_seed;
+  if (!sched_preempts.empty()) {
+    os << " RVEVAL_SCHED_PREEMPTS=";
+    for (std::size_t i = 0; i < sched_preempts.size(); ++i) {
+      os << (i != 0 ? "," : "") << sched_preempts[i];
+    }
+  }
+  os << " RVEVAL_SIMTEST_BUDGET=" << simtest_budget;
+  return os.str();
+}
+
+std::uint64_t fault_seed() { return seed_env().fault_seed; }
+std::uint64_t sched_seed() { return seed_env().sched_seed; }
+unsigned simtest_budget() { return seed_env().simtest_budget; }
+
+}  // namespace rveval::testing

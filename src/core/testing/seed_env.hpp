@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file seed_env.hpp
+/// One place that knows every RVEVAL_* seed variable.
+///
+/// PR 1 introduced RVEVAL_FAULT_SEED (fault-injection RNG), the testing
+/// subsystem adds RVEVAL_SCHED_SEED / RVEVAL_SCHED_PREEMPTS (deterministic
+/// scheduling replay), RVEVAL_SIMTEST_BUDGET (interleavings per explorer
+/// run) and RVEVAL_PROP_SEED (single property-case replay). Tests read
+/// them through this helper and, on failure, print repro_line() so the
+/// exact schedule/fault plan can be replayed with one copy-pasted env line.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rveval::testing {
+
+/// Snapshot of the seed-bearing environment, with the defaults every test
+/// assumes when a variable is unset.
+struct SeedEnv {
+  std::uint64_t fault_seed = 0x5eed;        ///< RVEVAL_FAULT_SEED
+  std::uint64_t sched_seed = 0x5eed;        ///< RVEVAL_SCHED_SEED
+  bool sched_seed_set = false;              ///< was RVEVAL_SCHED_SEED given?
+  std::vector<std::uint64_t> sched_preempts;  ///< RVEVAL_SCHED_PREEMPTS
+  unsigned simtest_budget = 64;             ///< RVEVAL_SIMTEST_BUDGET
+
+  /// "RVEVAL_FAULT_SEED=... RVEVAL_SCHED_SEED=..." — everything needed to
+  /// replay the current run, including variables left at their defaults.
+  [[nodiscard]] std::string repro_line() const;
+};
+
+/// Read all seed variables from the environment (defaults where unset).
+[[nodiscard]] SeedEnv seed_env();
+
+/// Shorthands for the individual variables.
+[[nodiscard]] std::uint64_t fault_seed();
+[[nodiscard]] std::uint64_t sched_seed();
+[[nodiscard]] unsigned simtest_budget();
+
+/// Multiplier for wall-clock deadlines in tests: 1 in plain builds, large
+/// under sanitizers. ASan/UBSan slow the solver 5-10x, so timeouts tuned
+/// for native runs would declare a merely-instrumented locality dead.
+[[nodiscard]] constexpr double timeout_scale() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return 20.0;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return 20.0;
+#else
+  return 1.0;
+#endif
+#else
+  return 1.0;
+#endif
+}
+
+}  // namespace rveval::testing

@@ -82,4 +82,12 @@ class Fabric {
 /// Construct a fabric of the given kind.
 std::unique_ptr<Fabric> make_fabric(FabricKind kind);
 
+/// Wrap \p inner so frames are delivered in global send order, whatever the
+/// inner transport reorders across (src, dst) pairs: every frame is stamped
+/// with a process-wide sequence number on send and held in a receive-side
+/// reorder buffer until all earlier frames have been delivered. Used by the
+/// testing subsystem to make multi-locality runs schedule-reproducible over
+/// any fabric, including real TCP sockets.
+std::unique_ptr<Fabric> make_deterministic_fabric(std::unique_ptr<Fabric> inner);
+
 }  // namespace mhpx::dist

@@ -1,0 +1,131 @@
+/// \file fabric_det.cpp
+/// Deterministic delivery-order decorator over any Fabric.
+///
+/// Send side: an atomic process-wide counter stamps every frame with an
+/// 8-byte sequence number (little-endian, prepended). Receive side: frames
+/// are parked in a reorder buffer and handed to the real receivers strictly
+/// in sequence order, so delivery order equals send order no matter how the
+/// inner transport (threads, sockets, per-pair queues) interleaves them.
+/// With all localities running deterministic schedulers, the whole
+/// distributed run becomes a function of the seeds alone.
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "minihpx/distributed/fabric.hpp"
+
+namespace mhpx::dist {
+
+namespace {
+
+constexpr std::size_t seq_bytes = 8;
+
+class DetFabric final : public Fabric {
+ public:
+  explicit DetFabric(std::unique_ptr<Fabric> inner)
+      : inner_(std::move(inner)),
+        name_("det+" + std::string(inner_->name())) {}
+
+  void connect(std::vector<receive_fn> receivers) override {
+    receivers_ = std::move(receivers);
+    std::vector<receive_fn> wrapped;
+    wrapped.reserve(receivers_.size());
+    for (std::size_t i = 0; i < receivers_.size(); ++i) {
+      wrapped.push_back([this, i](locality_id src,
+                                  std::vector<std::byte> frame) {
+        on_frame(i, src, std::move(frame));
+      });
+    }
+    inner_->connect(std::move(wrapped));
+  }
+
+  void send(locality_id src, locality_id dst,
+            std::vector<std::byte> frame) override {
+    std::vector<std::byte> stamped(frame.size() + seq_bytes);
+    std::uint64_t seq;
+    {
+      // Stamp and hand to the inner fabric under one lock so the global
+      // sequence matches the inner submission order exactly.
+      std::lock_guard lock(send_mutex_);
+      seq = next_seq_++;
+      for (std::size_t b = 0; b < seq_bytes; ++b) {
+        stamped[b] = static_cast<std::byte>((seq >> (8 * b)) & 0xFF);
+      }
+      std::memcpy(stamped.data() + seq_bytes, frame.data(), frame.size());
+      inner_->send(src, dst, std::move(stamped));
+    }
+  }
+
+  void shutdown() override { inner_->shutdown(); }
+
+  [[nodiscard]] Stats stats() const override { return inner_->stats(); }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  struct Parked {
+    std::size_t dst;
+    locality_id src;
+    std::vector<std::byte> frame;
+  };
+
+  void on_frame(std::size_t dst, locality_id src,
+                std::vector<std::byte> frame) {
+    if (frame.size() < seq_bytes) {
+      throw std::runtime_error("DetFabric: short frame (no sequence stamp)");
+    }
+    std::uint64_t seq = 0;
+    for (std::size_t b = 0; b < seq_bytes; ++b) {
+      seq |= static_cast<std::uint64_t>(frame[b]) << (8 * b);
+    }
+    frame.erase(frame.begin(),
+                frame.begin() + static_cast<std::ptrdiff_t>(seq_bytes));
+
+    std::unique_lock lock(reorder_mutex_);
+    parked_.emplace(seq, Parked{dst, src, std::move(frame)});
+    if (draining_) {
+      return;  // the draining thread will pick this frame up in order
+    }
+    draining_ = true;
+    while (true) {
+      auto it = parked_.find(next_deliver_);
+      if (it == parked_.end()) {
+        break;
+      }
+      Parked p = std::move(it->second);
+      parked_.erase(it);
+      ++next_deliver_;
+      // Deliver outside the lock: receivers post tasks and may re-enter
+      // send()/on_frame() (inproc delivers inline on this very thread).
+      lock.unlock();
+      receivers_[p.dst](p.src, std::move(p.frame));
+      lock.lock();
+    }
+    draining_ = false;
+  }
+
+  std::unique_ptr<Fabric> inner_;
+  std::string name_;
+  std::vector<receive_fn> receivers_;
+
+  std::mutex send_mutex_;  // orders stamping + inner submission
+  std::uint64_t next_seq_ = 0;
+
+  std::mutex reorder_mutex_;  // guards parked_/next_deliver_/draining_
+  std::map<std::uint64_t, Parked> parked_;
+  std::uint64_t next_deliver_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Fabric> make_deterministic_fabric(
+    std::unique_ptr<Fabric> inner) {
+  return std::make_unique<DetFabric>(std::move(inner));
+}
+
+}  // namespace mhpx::dist

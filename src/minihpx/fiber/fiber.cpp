@@ -5,6 +5,10 @@
 #include <cstdlib>
 #include <exception>
 
+#if defined(MHPX_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace mhpx::fiber {
 
 Fiber::Fiber(entry_t entry, Stack stack)
@@ -38,6 +42,12 @@ void Fiber::trampoline(unsigned int hi, unsigned int lo) {
 }
 
 void Fiber::run_entry() {
+#if defined(MHPX_ASAN_FIBERS)
+  // First arrival on this stack: tell ASan the switch completed and learn
+  // the resuming worker's stack bounds for the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &asan_owner_bottom_,
+                                  &asan_owner_size_);
+#endif
   for (;;) {
     // The entry function owns its exceptions: a task that lets one escape
     // would otherwise unwind off the fiber stack into undefined behaviour.
@@ -61,19 +71,38 @@ void Fiber::resume() {
   state_ = FiberState::running;
   ucontext_t caller{};
   return_context_ = &caller;
+#if defined(MHPX_ASAN_FIBERS)
+  void* caller_fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&caller_fake_stack, stack_.base(),
+                                 stack_.size());
+#endif
   if (::swapcontext(&caller, &context_) != 0) {
     std::perror("swapcontext(resume)");
     std::abort();
   }
+#if defined(MHPX_ASAN_FIBERS)
+  // Back on the worker stack; the fiber side reported its own bounds.
+  __sanitizer_finish_switch_fiber(caller_fake_stack, nullptr, nullptr);
+#endif
 }
 
 void Fiber::suspend_to_owner() {
   assert(return_context_ != nullptr);
   ucontext_t* ret = return_context_;
+#if defined(MHPX_ASAN_FIBERS)
+  // Keep the fake-stack handle: pooled fibers are resumed again after
+  // reset(), re-entering right below.
+  __sanitizer_start_switch_fiber(&asan_fake_stack_, asan_owner_bottom_,
+                                 asan_owner_size_);
+#endif
   if (::swapcontext(&context_, ret) != 0) {
     std::perror("swapcontext(suspend)");
     std::abort();
   }
+#if defined(MHPX_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, &asan_owner_bottom_,
+                                  &asan_owner_size_);
+#endif
 }
 
 Stack Fiber::take_stack() {

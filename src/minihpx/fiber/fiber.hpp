@@ -17,6 +17,18 @@
 
 #include "minihpx/fiber/stack.hpp"
 
+// AddressSanitizer tracks one stack per thread. Every context switch must be
+// announced via __sanitizer_start/finish_switch_fiber, or the fake-stack
+// bookkeeping (and __asan_handle_no_return, which every `throw` invokes)
+// operates on the wrong stack bounds and reports phantom overflows.
+#if defined(__SANITIZE_ADDRESS__)
+#define MHPX_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MHPX_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace mhpx::fiber {
 
 /// Execution state of a fiber.
@@ -69,6 +81,11 @@ class Fiber {
   ucontext_t context_{};         // the fiber's own context
   ucontext_t* return_context_ = nullptr;  // worker context to return to
   FiberState state_ = FiberState::ready;
+#if defined(MHPX_ASAN_FIBERS)
+  void* asan_fake_stack_ = nullptr;  // fake-stack saved when switching out
+  const void* asan_owner_bottom_ = nullptr;  // resuming worker's stack
+  std::size_t asan_owner_size_ = 0;
+#endif
 };
 
 }  // namespace mhpx::fiber

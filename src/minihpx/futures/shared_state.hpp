@@ -18,6 +18,7 @@
 #include <variant>
 #include <vector>
 
+#include "minihpx/testing/annotate.hpp"
 #include "minihpx/threads/scheduler.hpp"
 
 namespace mhpx::detail {
@@ -55,6 +56,8 @@ class shared_state {
       if (status_ != Status::empty) {
         std::terminate();  // double-set is a programming error
       }
+      testing::hb_release(this);
+      testing::hb_acquire(this);  // order continuation registrants before us
       value_.emplace(std::move(value));
       status_ = Status::value;
       conts = std::move(continuations_);
@@ -75,6 +78,8 @@ class shared_state {
       if (status_ != Status::empty) {
         std::terminate();
       }
+      testing::hb_release(this);
+      testing::hb_acquire(this);  // order continuation registrants before us
       error_ = std::move(error);
       status_ = Status::error;
       conts = std::move(continuations_);
@@ -91,6 +96,7 @@ class shared_state {
     {
       std::lock_guard lock(mutex_);
       if (status_ != Status::empty) {
+        testing::hb_acquire(this);
         return;
       }
     }
@@ -110,15 +116,18 @@ class shared_state {
           sched->resume(h);
         }
       });
+      testing::hb_acquire(this);
     } else {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return status_ != Status::empty; });
+      testing::hb_acquire(this);
     }
   }
 
   /// Precondition: ready. Throws the stored exception, if any.
   storage_t& value() {
     std::lock_guard lock(mutex_);
+    testing::hb_acquire(this);
     if (status_ == Status::error) {
       std::rethrow_exception(error_);
     }
@@ -142,8 +151,10 @@ class shared_state {
     {
       std::lock_guard lock(mutex_);
       if (status_ != Status::empty) {
+        testing::hb_acquire(this);
         run_now = true;
       } else {
+        testing::hb_release(this);
         continuations_.push_back(std::move(f));
       }
     }

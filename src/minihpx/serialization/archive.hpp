@@ -162,8 +162,10 @@ class InputArchive {
     if (n > remaining()) {
       throw archive_error("mhpx archive: read past end of buffer");
     }
-    std::memcpy(out, data_ + offset_, n);
-    offset_ += n;
+    if (n != 0) {  // an empty vector's data() may be null; memcpy forbids it
+      std::memcpy(out, data_ + offset_, n);
+      offset_ += n;
+    }
   }
 
   template <typename T>

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "minihpx/sync/fiber_cv.hpp"
+#include "minihpx/testing/annotate.hpp"
 
 namespace mhpx::sync {
 
@@ -41,6 +42,7 @@ class channel {
     if (closed_) {
       throw channel_closed{};
     }
+    testing::hb_release(this);
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
   }
@@ -51,6 +53,7 @@ class channel {
     if (closed_ || queue_.size() >= capacity_) {
       return false;
     }
+    testing::hb_release(this);
     queue_.push_back(std::move(value));
     not_empty_.notify_one();
     return true;
@@ -63,6 +66,7 @@ class channel {
     if (queue_.empty()) {
       return std::nullopt;  // closed and drained
     }
+    testing::hb_acquire(this);
     T value = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();
@@ -75,6 +79,7 @@ class channel {
     if (queue_.empty()) {
       return std::nullopt;
     }
+    testing::hb_acquire(this);
     T value = std::move(queue_.front());
     queue_.pop_front();
     not_full_.notify_one();

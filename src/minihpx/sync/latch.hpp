@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "minihpx/sync/fiber_cv.hpp"
+#include "minihpx/testing/annotate.hpp"
 
 namespace mhpx::sync {
 
@@ -25,6 +26,7 @@ class latch {
 
   void count_down(std::ptrdiff_t n = 1) {
     std::lock_guard lk(guard_);
+    testing::hb_release(this);
     count_ -= n;
     if (count_ < 0) {
       throw std::logic_error("mhpx::sync::latch: counted below zero");
@@ -36,25 +38,32 @@ class latch {
 
   [[nodiscard]] bool try_wait() const {
     std::lock_guard lk(guard_);
-    return count_ == 0;
+    if (count_ == 0) {
+      testing::hb_acquire(this);
+      return true;
+    }
+    return false;
   }
 
   void wait() const {
     std::unique_lock lk(guard_);
     cv_.wait(lk, [this] { return count_ == 0; });
+    testing::hb_acquire(this);
   }
 
   void arrive_and_wait(std::ptrdiff_t n = 1) {
     std::unique_lock lk(guard_);
+    testing::hb_release(this);
     count_ -= n;
     if (count_ < 0) {
       throw std::logic_error("mhpx::sync::latch: counted below zero");
     }
-    if (count_ == 0) {
+    if (count_ != 0) {
+      cv_.wait(lk, [this] { return count_ == 0; });
+    } else {
       cv_.notify_all();
-      return;
     }
-    cv_.wait(lk, [this] { return count_ == 0; });
+    testing::hb_acquire(this);
   }
 
  private:
@@ -78,14 +87,16 @@ class barrier {
   /// the barrier immediately reusable for the next phase.
   void arrive_and_wait() {
     std::unique_lock lk(guard_);
+    testing::hb_release(this);
     const std::uint64_t my_gen = generation_;
     if (++arrived_ == parties_) {
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();
-      return;
+    } else {
+      cv_.wait(lk, [this, my_gen] { return generation_ != my_gen; });
     }
-    cv_.wait(lk, [this, my_gen] { return generation_ != my_gen; });
+    testing::hb_acquire(this);
   }
 
  private:
@@ -105,6 +116,7 @@ class counting_semaphore {
 
   void release(std::ptrdiff_t n = 1) {
     std::lock_guard lk(guard_);
+    testing::hb_release(this);
     count_ += n;
     for (std::ptrdiff_t i = 0; i < n; ++i) {
       cv_.notify_one();
@@ -115,12 +127,14 @@ class counting_semaphore {
     std::unique_lock lk(guard_);
     cv_.wait(lk, [this] { return count_ > 0; });
     --count_;
+    testing::hb_acquire(this);
   }
 
   bool try_acquire() {
     std::lock_guard lk(guard_);
     if (count_ > 0) {
       --count_;
+      testing::hb_acquire(this);
       return true;
     }
     return false;

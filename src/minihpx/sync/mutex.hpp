@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "minihpx/sync/fiber_cv.hpp"
+#include "minihpx/testing/annotate.hpp"
 
 namespace mhpx::sync {
 
@@ -22,6 +23,7 @@ class mutex {
     std::unique_lock lk(guard_);
     cv_.wait(lk, [this] { return !locked_; });
     locked_ = true;
+    testing::hb_acquire(this);
   }
 
   bool try_lock() {
@@ -30,11 +32,13 @@ class mutex {
       return false;
     }
     locked_ = true;
+    testing::hb_acquire(this);
     return true;
   }
 
   void unlock() {
     std::lock_guard lk(guard_);
+    testing::hb_release(this);
     locked_ = false;
     cv_.notify_one();
   }

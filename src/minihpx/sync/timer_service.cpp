@@ -1,5 +1,7 @@
 #include "minihpx/sync/timer_service.hpp"
 
+#include "minihpx/testing/det.hpp"
+
 namespace mhpx::sync {
 
 TimerService& TimerService::instance() {
@@ -72,6 +74,24 @@ void sleep_until(std::chrono::steady_clock::time_point deadline) {
     return;
   }
   auto* sched = threads::Scheduler::current();
+  if (testing::det_active() && sched->deterministic()) {
+    // Deterministic run: park on the virtual clock instead of wall time.
+    // The det worker fires the timer (advancing virtual time) as soon as
+    // it runs out of ready tasks, so sleeps cost nothing and order only
+    // by deadline — the discrete-event property det_run guarantees.
+    const auto delay = deadline - std::chrono::steady_clock::now();
+    const auto delay_ns =
+        delay.count() > 0
+            ? static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(delay)
+                      .count())
+            : 0;
+    sched->suspend_current([delay_ns, sched](threads::TaskHandle h) {
+      testing::detail::schedule_virtual(delay_ns,
+                                        [sched, h] { sched->resume(h); });
+    });
+    return;
+  }
   sched->suspend_current([deadline, sched](threads::TaskHandle h) {
     TimerService::instance().post_at(
         deadline, [sched, h] { sched->resume(h); });

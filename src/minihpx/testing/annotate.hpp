@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file annotate.hpp
+/// Zero-cost-when-off instrumentation points for the deterministic
+/// simulation-testing subsystem (mhpx::testing).
+///
+/// This header is included by hot code (sync primitives, shared_state,
+/// mkk::View element access), so everything here is a relaxed atomic flag
+/// test followed by an out-of-line call. When no deterministic run or race
+/// checker is active the cost is one predictable branch.
+///
+/// Three families of hooks:
+///  - annotate_read / annotate_write: report a shared-memory access to the
+///    happens-before race checker, and give the schedule-permutation
+///    explorer a *preemption point* (a place where it may force a yield);
+///  - hb_release / hb_acquire: synchronisation edges published by the sync
+///    primitives (latch, mutex, channel, future shared state) that the
+///    race checker turns into vector-clock joins;
+///  - preemption_point: a bare explorer hook for code that wants
+///    interleaving coverage without memory-access semantics.
+
+#include <atomic>
+#include <cstdint>
+
+namespace mhpx::testing {
+
+namespace detail {
+
+/// Bit set of active testing modes (det run / race check / view annotation).
+inline constexpr unsigned mode_det = 1u;    ///< a DetRun is active
+inline constexpr unsigned mode_race = 2u;   ///< race checker recording
+inline constexpr unsigned mode_views = 4u;  ///< mkk::View access annotation
+
+extern std::atomic<unsigned> g_mode;
+
+[[nodiscard]] inline unsigned mode() noexcept {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+// Out-of-line slow paths (race.cpp / det.cpp).
+void annotate_slow(const void* addr, bool is_write, const char* what);
+void hb_release_slow(const void* sync_obj);
+void hb_acquire_slow(const void* sync_obj);
+void preemption_point_slow(std::uint64_t point_tag);
+
+}  // namespace detail
+
+/// True when any testing machinery is live (used by tests/diagnostics).
+[[nodiscard]] inline bool testing_active() noexcept {
+  return detail::mode() != 0;
+}
+
+/// Report a read of \p addr. Under the race checker this participates in
+/// happens-before analysis; under an explorer run it is a preemption point.
+inline void annotate_read(const void* addr, const char* what = "") {
+  if (detail::mode() != 0) {
+    detail::annotate_slow(addr, false, what);
+  }
+}
+
+/// Report a write of \p addr (see annotate_read).
+inline void annotate_write(const void* addr, const char* what = "") {
+  if (detail::mode() != 0) {
+    detail::annotate_slow(addr, true, what);
+  }
+}
+
+/// View element access hook: only active when view annotation was opted in
+/// (race::enable(..., annotate_views=true)). Element access through a View
+/// yields a mutable reference, so it is conservatively treated as a write.
+inline void annotate_view_access(const void* addr) {
+  if ((detail::mode() & detail::mode_views) != 0) {
+    detail::annotate_slow(addr, true, "mkk::View access");
+  }
+}
+
+/// Happens-before edge: the calling context releases its knowledge into
+/// \p sync_obj (called by notifying/unlocking/fulfilling primitives).
+inline void hb_release(const void* sync_obj) {
+  if ((detail::mode() & detail::mode_race) != 0) {
+    detail::hb_release_slow(sync_obj);
+  }
+}
+
+/// Happens-before edge: the calling context acquires the knowledge stored
+/// in \p sync_obj (called on wait-return/lock/get).
+inline void hb_acquire(const void* sync_obj) {
+  if ((detail::mode() & detail::mode_race) != 0) {
+    detail::hb_acquire_slow(sync_obj);
+  }
+}
+
+/// Explorer hook: under a deterministic run the active schedule strategy
+/// may force a cooperative yield here. No-op otherwise. \p point_tag lets
+/// callers distinguish sites in a preemption trace (0 = anonymous).
+inline void preemption_point(std::uint64_t point_tag = 0) {
+  if ((detail::mode() & detail::mode_det) != 0) {
+    detail::preemption_point_slow(point_tag);
+  }
+}
+
+}  // namespace mhpx::testing

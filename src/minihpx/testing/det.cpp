@@ -1,0 +1,283 @@
+#include "minihpx/testing/det.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <queue>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mhpx::testing {
+
+namespace {
+
+/// All mutable state of the active deterministic run. One worker thread
+/// consumes it, the constructing thread reads the result afterwards; the
+/// mutex also covers rare external-thread check() calls.
+struct DetContext {
+  explicit DetContext(const DetConfig& c)
+      : cfg(c),
+        pick_rng(c.seed),
+        preempt_rng(c.seed ^ 0x9E3779B97F4A7C15ull) {}
+
+  DetConfig cfg;
+  std::minstd_rand pick_rng;
+  std::minstd_rand preempt_rng;
+
+  std::mutex mutex;  // guards everything below
+  std::vector<std::string> failures;
+  std::vector<Preemption> preempts_taken;
+  std::uint64_t points_visited = 0;
+  unsigned budget_left = 0;
+  std::uint32_t rr_counter = 0;
+
+  // Virtual clock: deadline-ordered one-shot callbacks, fired by the det
+  // worker whenever it runs out of ready tasks.
+  struct Timer {
+    std::uint64_t deadline_ns;
+    std::uint64_t seq;  // FIFO among equal deadlines
+    std::function<void()> fn;
+    friend bool operator>(const Timer& a, const Timer& b) {
+      return a.deadline_ns != b.deadline_ns ? a.deadline_ns > b.deadline_ns
+                                            : a.seq > b.seq;
+    }
+  };
+  std::uint64_t virtual_ns = 0;
+  std::uint64_t timer_seq = 0;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
+};
+
+std::atomic<DetContext*> g_ctx{nullptr};
+
+// ScopedDetScheduling state.
+std::atomic<int> g_det_default{0};
+std::atomic<std::uint64_t> g_det_seed_base{0};
+std::atomic<std::uint64_t> g_det_seed_counter{0};
+
+std::size_t ctx_pick(DetContext& ctx, std::size_t n) {
+  std::lock_guard lk(ctx.mutex);
+  if (ctx.cfg.pick_mode == DetConfig::PickMode::round_robin) {
+    return (ctx.cfg.rr_offset + ctx.rr_counter++) % n;
+  }
+  return static_cast<std::size_t>(ctx.pick_rng()) % n;
+}
+
+bool ctx_fire_timer(DetContext& ctx) {
+  std::function<void()> fn;
+  {
+    std::lock_guard lk(ctx.mutex);
+    if (ctx.timers.empty()) {
+      return false;
+    }
+    // Discrete-event step: jump the clock to the earliest deadline.
+    auto& top = const_cast<DetContext::Timer&>(ctx.timers.top());
+    if (top.deadline_ns > ctx.virtual_ns) {
+      ctx.virtual_ns = top.deadline_ns;
+    }
+    fn = std::move(top.fn);
+    ctx.timers.pop();
+  }
+  fn();  // typically a resume: enqueues the sleeper on the det worker
+  return true;
+}
+
+}  // namespace
+
+std::string DetResult::replay_env() const {
+  std::ostringstream os;
+  os << "RVEVAL_SCHED_SEED=" << seed;
+  if (!preempts_taken.empty()) {
+    os << " RVEVAL_SCHED_PREEMPTS=";
+    for (std::size_t i = 0; i < preempts_taken.size(); ++i) {
+      os << (i != 0 ? "," : "") << preempts_taken[i].visit;
+    }
+  }
+  return os.str();
+}
+
+bool det_active() noexcept {
+  return g_ctx.load(std::memory_order_acquire) != nullptr;
+}
+
+std::uint64_t virtual_now_ns() noexcept {
+  DetContext* ctx = g_ctx.load(std::memory_order_acquire);
+  if (ctx == nullptr) {
+    return 0;
+  }
+  std::lock_guard lk(ctx->mutex);
+  return ctx->virtual_ns;
+}
+
+void check(bool cond, const std::string& msg) {
+  if (cond) {
+    return;
+  }
+  fail(msg);
+}
+
+void fail(const std::string& msg) {
+  DetContext* ctx = g_ctx.load(std::memory_order_acquire);
+  if (ctx == nullptr) {
+    throw std::logic_error("mhpx::testing::check failed outside det_run: " +
+                           msg);
+  }
+  std::lock_guard lk(ctx->mutex);
+  ctx->failures.push_back(msg);
+}
+
+DetResult det_run(const DetConfig& cfg, const std::function<void()>& body) {
+  DetContext ctx(cfg);
+  ctx.budget_left = cfg.preempt_budget;
+
+  DetContext* expected = nullptr;
+  if (!g_ctx.compare_exchange_strong(expected, &ctx,
+                                     std::memory_order_acq_rel)) {
+    throw std::logic_error("mhpx::testing::det_run: a det run is already "
+                           "active (nested runs are not supported)");
+  }
+  if (cfg.race_check) {
+    race::enable(cfg.annotate_views);
+  }
+  detail::g_mode.fetch_or(detail::mode_det, std::memory_order_relaxed);
+
+  DetResult result;
+  result.seed = cfg.seed;
+  {
+    threads::Scheduler::Config scfg;
+    scfg.num_workers = 1;
+    scfg.stack_size = cfg.stack_size;
+    scfg.deterministic = true;
+    scfg.det_seed = cfg.seed;
+    threads::Scheduler sched(scfg);
+    sched.set_det_hooks(
+        {[&ctx](std::size_t n) { return ctx_pick(ctx, n); },
+         [&ctx] { return ctx_fire_timer(ctx); }});
+    sched.post([&body] {
+      try {
+        body();
+      } catch (const std::exception& e) {
+        fail(std::string("body threw: ") + e.what());
+      } catch (...) {
+        fail("body threw a non-std exception");
+      }
+    });
+    sched.wait_idle();
+    // Scheduler destructor joins the worker: past this scope no det
+    // callback can run, so the context can be dismantled safely.
+  }
+
+  detail::g_mode.fetch_and(~detail::mode_det, std::memory_order_relaxed);
+  if (cfg.race_check) {
+    result.races = race::take_reports();
+    race::disable();
+  }
+  g_ctx.store(nullptr, std::memory_order_release);
+
+  result.failures = std::move(ctx.failures);
+  result.preempts_taken = std::move(ctx.preempts_taken);
+  result.points_visited = ctx.points_visited;
+  result.virtual_ns = ctx.virtual_ns;
+  result.failed = !result.failures.empty() || !result.races.empty();
+  return result;
+}
+
+ScopedDetScheduling::ScopedDetScheduling(std::uint64_t seed) {
+  if (g_det_default.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    g_det_seed_base.store(seed, std::memory_order_relaxed);
+    g_det_seed_counter.store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedDetScheduling::~ScopedDetScheduling() {
+  g_det_default.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+namespace detail {
+
+bool det_schedulers_default() noexcept {
+  return g_det_default.load(std::memory_order_acquire) > 0;
+}
+
+std::uint64_t next_derived_seed() noexcept {
+  // Distinct, reproducible seed per scheduler creation order.
+  return g_det_seed_base.load(std::memory_order_relaxed) +
+         0x9E3779B97F4A7C15ull *
+             (1 + g_det_seed_counter.fetch_add(1, std::memory_order_acq_rel));
+}
+
+void schedule_virtual(std::uint64_t delay_ns, std::function<void()> fn) {
+  DetContext* ctx = g_ctx.load(std::memory_order_acquire);
+  if (ctx == nullptr) {
+    throw std::logic_error(
+        "mhpx::testing: virtual timer requested outside a det run");
+  }
+  std::lock_guard lk(ctx->mutex);
+  ctx->timers.push(DetContext::Timer{ctx->virtual_ns + delay_ns,
+                                     ctx->timer_seq++, std::move(fn)});
+}
+
+void preemption_point_slow(std::uint64_t point_tag) {
+  DetContext* ctx = g_ctx.load(std::memory_order_acquire);
+  if (ctx == nullptr || !threads::Scheduler::inside_task()) {
+    return;
+  }
+  bool do_preempt = false;
+  {
+    std::lock_guard lk(ctx->mutex);
+    const std::uint64_t visit = ctx->points_visited++;
+    if (!ctx->cfg.preempts.empty()) {
+      for (const std::uint64_t v : ctx->cfg.preempts) {
+        if (v == visit) {
+          do_preempt = true;
+          break;
+        }
+      }
+    } else if (ctx->budget_left > 0 && ctx->cfg.preempt_period > 0 &&
+               ctx->preempt_rng() % ctx->cfg.preempt_period == 0) {
+      --ctx->budget_left;
+      do_preempt = true;
+    }
+    if (do_preempt) {
+      ctx->preempts_taken.push_back(Preemption{visit, point_tag});
+    }
+  }
+  if (do_preempt) {
+    // Yield outside the lock: the fiber switches out here and the strategy
+    // picks who runs next — the explorer's schedule perturbation.
+    threads::Scheduler::yield();
+  }
+}
+
+std::uint64_t env_u64(const char* var, std::uint64_t fallback) {
+  const char* env = std::getenv(var);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  return std::strtoull(env, nullptr, 0);
+}
+
+std::vector<std::uint64_t> env_u64_list(const char* var) {
+  std::vector<std::uint64_t> out;
+  const char* env = std::getenv(var);
+  if (env == nullptr) {
+    return out;
+  }
+  const char* p = env;
+  while (*p != '\0') {
+    char* end = nullptr;
+    out.push_back(std::strtoull(p, &end, 0));
+    if (end == p) {
+      break;  // malformed tail; keep what parsed
+    }
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace mhpx::testing

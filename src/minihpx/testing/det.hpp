@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file det.hpp
+/// Deterministic simulation runs (DetScheduler mode).
+///
+/// det_run() executes a test body on a single-worker scheduler whose every
+/// scheduling decision — which ready task runs next, whether a preemption
+/// point forces a yield — is drawn from a seeded PRNG or an explicit replay
+/// plan. Timers and sleeps advance a *virtual clock* instead of wall time:
+/// a body full of sleep_for(100ms) calls completes in microseconds, in an
+/// order fixed solely by the seed. The same (seed, preemption plan) pair
+/// therefore reproduces an execution bit-for-bit, which is what makes the
+/// schedule-permutation explorer's shrunk failure traces replayable.
+///
+/// Environment contract (shared with rveval::testing::seed_env):
+///   RVEVAL_SCHED_SEED      seed for det runs / explorer base seed
+///   RVEVAL_SCHED_PREEMPTS  comma-separated preemption-visit indices
+///   RVEVAL_SIMTEST_BUDGET  explorer schedule budget override
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "minihpx/config.hpp"
+#include "minihpx/testing/annotate.hpp"
+#include "minihpx/testing/race.hpp"
+
+namespace mhpx::testing {
+
+/// One forced preemption: the explorer's unit of schedule perturbation.
+struct Preemption {
+  std::uint64_t visit = 0;  ///< index in the run's preemption-point sequence
+  std::uint64_t tag = 0;    ///< site tag (annotated address or user tag)
+};
+
+/// Configuration of one deterministic run.
+struct DetConfig {
+  std::uint64_t seed = 0x5eed;
+
+  /// How the scheduler chooses among ready tasks.
+  enum class PickMode {
+    random,       ///< seeded PRNG draw per dispatch
+    round_robin,  ///< rotate through the ready list (offset by rr_offset)
+  };
+  PickMode pick_mode = PickMode::random;
+  std::uint32_t rr_offset = 0;
+
+  /// Explicit preemption plan: force a yield at exactly these visit
+  /// indices of the preemption-point sequence (replay / shrinking mode).
+  std::vector<std::uint64_t> preempts;
+
+  /// When `preempts` is empty: probabilistic preemption with a bounded
+  /// budget (PCT-style) — at each point, yield with probability
+  /// 1/preempt_period until preempt_budget yields have been spent.
+  unsigned preempt_budget = 0;
+  unsigned preempt_period = 3;
+
+  bool race_check = false;     ///< run the happens-before checker
+  bool annotate_views = false; ///< treat mkk::View element access as writes
+
+  std::size_t stack_size = default_stack_size;
+};
+
+/// Outcome of one deterministic run.
+struct DetResult {
+  bool failed = false;
+  std::vector<std::string> failures;   ///< check()/fail() messages + throws
+  std::vector<race::Report> races;     ///< from the checker, when enabled
+  std::vector<Preemption> preempts_taken;
+  std::uint64_t seed = 0;
+  std::uint64_t points_visited = 0;    ///< preemption points encountered
+  std::uint64_t virtual_ns = 0;        ///< final virtual-clock reading
+
+  /// The exact environment line that replays this run.
+  [[nodiscard]] std::string replay_env() const;
+};
+
+/// Run \p body as the root task of a fresh deterministic scheduler and
+/// drain it. Reentrant runs (det_run inside det_run) are not supported.
+DetResult det_run(const DetConfig& cfg, const std::function<void()>& body);
+
+/// True while a det_run is executing (any thread).
+[[nodiscard]] bool det_active() noexcept;
+
+/// Virtual-clock reading of the active det run (ns since run start); 0
+/// when no run is active.
+[[nodiscard]] std::uint64_t virtual_now_ns() noexcept;
+
+/// Record a failure in the active det run when \p cond is false. Unlike a
+/// gtest EXPECT, this is safe to call from any task of the run (failures
+/// are collected, not thrown across fibers). Outside a det run a failed
+/// check throws std::logic_error.
+void check(bool cond, const std::string& msg);
+
+/// Unconditionally record a failure (see check()).
+void fail(const std::string& msg);
+
+/// While alive, every threads::Scheduler constructed — including the ones
+/// inside a DistributedRuntime's localities — comes up in deterministic
+/// mode with a seed derived from \p seed. This is how multi-locality
+/// drivers are pinned to one schedule without plumbing a flag through
+/// every constructor. (Virtual time needs a det_run; schedulers made under
+/// this guard alone still sleep in wall time.)
+class ScopedDetScheduling {
+ public:
+  explicit ScopedDetScheduling(std::uint64_t seed);
+  ~ScopedDetScheduling();
+  ScopedDetScheduling(const ScopedDetScheduling&) = delete;
+  ScopedDetScheduling& operator=(const ScopedDetScheduling&) = delete;
+};
+
+namespace detail {
+
+/// Scheduler ctor support for ScopedDetScheduling.
+[[nodiscard]] bool det_schedulers_default() noexcept;
+[[nodiscard]] std::uint64_t next_derived_seed() noexcept;
+
+/// Virtual-timer registration used by sync::sleep_until under a det run.
+/// \p fn runs on the det worker when the virtual clock reaches now+delay.
+void schedule_virtual(std::uint64_t delay_ns, std::function<void()> fn);
+
+/// Env parsing shared with rveval::testing::seed_env.
+[[nodiscard]] std::uint64_t env_u64(const char* var, std::uint64_t fallback);
+[[nodiscard]] std::vector<std::uint64_t> env_u64_list(const char* var);
+
+}  // namespace detail
+
+}  // namespace mhpx::testing

@@ -1,0 +1,144 @@
+#include "minihpx/testing/explorer.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace mhpx::testing {
+
+namespace {
+
+DetConfig base_config(const ExploreConfig& cfg) {
+  DetConfig d;
+  d.race_check = cfg.race_check;
+  d.annotate_views = cfg.annotate_views;
+  d.stack_size = cfg.stack_size;
+  return d;
+}
+
+std::string describe_failure(const DetResult& r) {
+  std::ostringstream os;
+  for (const auto& f : r.failures) {
+    os << "  failure: " << f << "\n";
+  }
+  for (const auto& race : r.races) {
+    os << "  race: " << race.to_string() << "\n";
+  }
+  return os.str();
+}
+
+/// Greedily drop forced preemptions while the failure still reproduces.
+DetResult shrink_failure(const ExploreConfig& cfg, DetConfig failing_cfg,
+                         DetResult failing,
+                         const std::function<void()>& body,
+                         unsigned& schedules_run) {
+  // Re-express the failing schedule as (seed, explicit plan) first: the
+  // probabilistic decisions that were actually taken become the plan.
+  failing_cfg.preempts.clear();
+  failing_cfg.preempts.reserve(failing.preempts_taken.size());
+  for (const auto& p : failing.preempts_taken) {
+    failing_cfg.preempts.push_back(p.visit);
+  }
+  failing_cfg.preempt_budget = 0;
+
+  bool removed = true;
+  while (removed && failing_cfg.preempts.size() > 0) {
+    removed = false;
+    for (std::size_t i = 0; i < failing_cfg.preempts.size(); ++i) {
+      DetConfig trial = failing_cfg;
+      trial.preempts.erase(trial.preempts.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      DetResult r = det_run(trial, body);
+      ++schedules_run;
+      if (r.failed) {
+        failing_cfg = std::move(trial);
+        failing = std::move(r);
+        removed = true;
+        break;  // restart the scan over the smaller plan
+      }
+    }
+  }
+  (void)cfg;
+  return failing;
+}
+
+}  // namespace
+
+ExploreResult explore(const ExploreConfig& cfg,
+                      const std::function<void()>& body) {
+  ExploreResult out;
+
+  // Replay mode: the environment names one exact schedule.
+  if (std::getenv("RVEVAL_SCHED_SEED") != nullptr) {
+    DetConfig d = base_config(cfg);
+    d.seed = detail::env_u64("RVEVAL_SCHED_SEED", cfg.base_seed);
+    d.preempts = detail::env_u64_list("RVEVAL_SCHED_PREEMPTS");
+    DetResult r = det_run(d, body);
+    out.schedules_run = 1;
+    out.failed = r.failed;
+    if (r.failed) {
+      std::ostringstream os;
+      os << "replayed schedule failed (" << r.replay_env() << ")\n"
+         << describe_failure(r);
+      out.replay_recipe = os.str();
+    }
+    out.failing = std::move(r);
+    return out;
+  }
+
+  DetConfig failing_cfg;
+  DetResult failing;
+  bool found = false;
+
+  const unsigned systematic = cfg.schedules / 2;
+  for (unsigned i = 0; i < cfg.schedules && !found; ++i) {
+    DetConfig d = base_config(cfg);
+    if (i < systematic) {
+      // Systematic sweep: one forced preemption at visit i, fixed seed.
+      d.seed = cfg.base_seed;
+      d.preempts = {i};
+    } else {
+      // Random walk: new seed, bounded probabilistic preemptions.
+      d.seed = cfg.base_seed + 1000 + i;
+      d.preempt_budget = cfg.preempt_budget;
+    }
+    DetResult r = det_run(d, body);
+    ++out.schedules_run;
+    if (r.failed) {
+      failing_cfg = std::move(d);
+      failing = std::move(r);
+      found = true;
+    }
+  }
+
+  if (!found) {
+    return out;
+  }
+
+  if (cfg.shrink) {
+    failing = shrink_failure(cfg, failing_cfg, std::move(failing), body,
+                             out.schedules_run);
+  }
+
+  out.failed = true;
+  std::ostringstream os;
+  os << "schedule exploration found a failure after " << out.schedules_run
+     << " schedules\n"
+     << describe_failure(failing) << "  minimal preemption trace:";
+  if (failing.preempts_taken.empty()) {
+    os << " (none — fails under task-order choice alone)";
+  }
+  for (const auto& p : failing.preempts_taken) {
+    os << " visit " << p.visit;
+    if (p.tag != 0) {
+      os << " (tag 0x" << std::hex << p.tag << std::dec << ")";
+    }
+    os << ";";
+  }
+  os << "\n  replay with: " << failing.replay_env() << "\n";
+  out.replay_recipe = os.str();
+  out.failing = std::move(failing);
+  return out;
+}
+
+}  // namespace mhpx::testing

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file explorer.hpp
+/// Schedule-permutation explorer: rerun a test body under many distinct
+/// deterministic interleavings and shrink the first failure to a minimal,
+/// replayable preemption trace.
+///
+/// Two phases, splitting the schedule budget:
+///   1. systematic sweep — a fixed seed with exactly one forced preemption,
+///      moved across the body's preemption points one visit at a time (the
+///      context-bound-1 part of bounded-preemption search);
+///   2. random walk — fresh seeds with a PCT-style bounded preemption
+///      budget, covering orderings the sweep's single-preemption schedules
+///      cannot reach.
+///
+/// A failure (testing::check, an escaped exception, or a happens-before
+/// race report) stops the search. The failing schedule is then *shrunk*:
+/// forced preemptions are removed greedily while the failure reproduces,
+/// and the survivors — plus the seed — form a replay recipe of the form
+///   RVEVAL_SCHED_SEED=<seed> RVEVAL_SCHED_PREEMPTS=<v1,v2,...>
+/// which det_run (and any test calling explore()) honours from the
+/// environment, so the exact failing interleaving replays bit-identically.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "minihpx/testing/det.hpp"
+
+namespace mhpx::testing {
+
+struct ExploreConfig {
+  /// Total interleavings to try (the "64-interleaving budget").
+  unsigned schedules = 64;
+  /// Preemption budget per random-walk schedule.
+  unsigned preempt_budget = 2;
+  /// Base seed; typically rveval::testing::sched_seed().
+  std::uint64_t base_seed = 0x5eed;
+  bool race_check = true;
+  bool annotate_views = false;
+  /// Shrink the failing preemption plan before reporting.
+  bool shrink = true;
+  std::size_t stack_size = default_stack_size;
+};
+
+struct ExploreResult {
+  bool failed = false;
+  unsigned schedules_run = 0;
+  /// The minimal failing run (post-shrink); meaningful when failed.
+  DetResult failing;
+  /// Human-readable failure + replay recipe (empty on success).
+  std::string replay_recipe;
+};
+
+/// Explore \p body under cfg.schedules interleavings. When the
+/// RVEVAL_SCHED_SEED environment variable is set, only that recorded
+/// schedule (with RVEVAL_SCHED_PREEMPTS, if present) is replayed.
+ExploreResult explore(const ExploreConfig& cfg,
+                      const std::function<void()>& body);
+
+}  // namespace mhpx::testing

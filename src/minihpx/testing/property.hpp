@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file property.hpp
+/// Property-based and metamorphic test library.
+///
+/// A seeded generator (Gen) plus a for_all driver: a property is run over
+/// N generated cases, each case derives its own seed from the base seed,
+/// and a failing case reports the exact RVEVAL_PROP_SEED line that replays
+/// it alone. Properties signal failure by throwing (prop::require), so
+/// they compose with gtest (ASSERT on the ForAllResult) and with det_run
+/// bodies alike.
+///
+/// Domain generators for the common minihpx shapes live here too: fault
+/// plans (FaultInjector configs) and parcel traces. Octo-Tiger octree
+/// shapes are generated in tests/support/octo_gen.hpp, above this layer.
+
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "minihpx/resilience/fault_injector.hpp"
+
+namespace mhpx::testing::prop {
+
+/// Thrown by require() to mark a property violation.
+struct property_failed : std::runtime_error {
+  explicit property_failed(const std::string& msg)
+      : std::runtime_error(msg) {}
+};
+
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) {
+    throw property_failed(msg);
+  }
+}
+
+/// Seeded case generator. Every draw is deterministic in the seed.
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  std::uint64_t u64() { return rng_(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t int_in(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng_);
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    return n == 0 ? 0
+                  : std::uniform_int_distribution<std::size_t>(0, n - 1)(rng_);
+  }
+
+  double real_in(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng_);
+  }
+
+  /// True with probability p.
+  bool chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& options) {
+    return options.at(index(options.size()));
+  }
+
+  /// A vector of size in [n_min, n_max], each element from \p make(*this).
+  template <typename F>
+  auto vec(std::size_t n_min, std::size_t n_max, F&& make)
+      -> std::vector<decltype(make(*this))> {
+    const auto n = static_cast<std::size_t>(
+        int_in(static_cast<std::int64_t>(n_min),
+               static_cast<std::int64_t>(n_max)));
+    std::vector<decltype(make(*this))> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(make(*this));
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+};
+
+struct ForAllResult {
+  bool ok = true;
+  unsigned cases_run = 0;
+  std::uint64_t failing_seed = 0;
+  std::string message;  ///< violation text + replay line
+
+  /// gtest-friendly: ASSERT_TRUE(result.ok) << result.message;
+  explicit operator bool() const noexcept { return ok; }
+};
+
+namespace detail {
+inline std::uint64_t mix_case_seed(std::uint64_t base, unsigned i) {
+  // splitmix64 step keeps case seeds decorrelated from consecutive bases.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (i + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+/// Run \p property (callable taking Gen&) over \p n_cases generated cases.
+/// RVEVAL_PROP_SEED in the environment narrows the run to that one case.
+template <typename Property>
+ForAllResult for_all(std::uint64_t base_seed, unsigned n_cases,
+                     Property&& property) {
+  ForAllResult result;
+  const char* env = std::getenv("RVEVAL_PROP_SEED");
+  for (unsigned i = 0; i < (env != nullptr ? 1u : n_cases); ++i) {
+    const std::uint64_t case_seed =
+        env != nullptr ? std::strtoull(env, nullptr, 0)
+                       : detail::mix_case_seed(base_seed, i);
+    Gen gen(case_seed);
+    try {
+      property(gen);
+      ++result.cases_run;
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.failing_seed = case_seed;
+      std::ostringstream os;
+      os << "property failed on case " << i << ": " << e.what()
+         << "\n  replay this case alone with: RVEVAL_PROP_SEED=" << case_seed;
+      result.message = os.str();
+      return result;
+    }
+  }
+  return result;
+}
+
+// ---- domain generators ---------------------------------------------------
+
+/// A randomized fault plan: counted or stochastic injection, always with a
+/// case-derived seed so the plan is reproducible from the case line.
+inline resilience::FaultInjector::Config gen_fault_plan(Gen& g) {
+  resilience::FaultInjector::Config cfg;
+  cfg.seed = g.u64();
+  if (g.chance(0.5)) {
+    cfg.fault_every = static_cast<std::uint64_t>(g.int_in(1, 5));
+  } else {
+    cfg.task_fault_rate = g.real_in(0.0, 0.6);
+  }
+  if (g.chance(0.3)) {
+    cfg.corrupt_every = static_cast<std::uint64_t>(g.int_in(2, 6));
+  }
+  return cfg;
+}
+
+/// One logical parcel of a generated trace.
+struct ParcelEvent {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::size_t bytes = 0;
+};
+
+/// A random parcel trace over \p localities endpoints (src != dst), with
+/// sizes spanning the eager/rendezvous regimes.
+inline std::vector<ParcelEvent> gen_parcel_trace(Gen& g,
+                                                 std::uint32_t localities,
+                                                 std::size_t max_events = 64) {
+  return g.vec(1, max_events, [localities](Gen& gen) {
+    ParcelEvent e;
+    e.src = static_cast<std::uint32_t>(gen.index(localities));
+    e.dst = static_cast<std::uint32_t>(
+        (e.src + 1 + gen.index(localities - 1)) % localities);
+    e.bytes = static_cast<std::size_t>(
+        gen.chance(0.2) ? gen.int_in(64 * 1024 + 1, 256 * 1024)
+                        : gen.int_in(1, 64 * 1024));
+    return e;
+  });
+}
+
+}  // namespace mhpx::testing::prop

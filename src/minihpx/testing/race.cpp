@@ -1,0 +1,297 @@
+#include "minihpx/testing/race.hpp"
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "minihpx/testing/annotate.hpp"
+#include "minihpx/testing/det.hpp"
+
+namespace mhpx::testing {
+
+namespace detail {
+std::atomic<unsigned> g_mode{0};
+}  // namespace detail
+
+namespace race {
+
+namespace {
+
+/// Sparse vector clock: thread-index -> logical time. Task counts in a
+/// det test are small, so a flat map keeps joins simple and exact.
+using Clock = std::map<std::uint32_t, std::uint64_t>;
+
+void join_into(Clock& dst, const Clock& src) {
+  for (const auto& [tid, t] : src) {
+    auto& slot = dst[tid];
+    if (slot < t) {
+      slot = t;
+    }
+  }
+}
+
+/// happens-before: did the access at (tid, t) complete before everything
+/// the current context (clock \p c) knows about?
+bool ordered_before(const Clock& c, std::uint32_t tid, std::uint64_t t) {
+  const auto it = c.find(tid);
+  return it != c.end() && it->second >= t;
+}
+
+struct Access {
+  std::uint32_t tid = 0;
+  std::uint64_t time = 0;
+  std::uint64_t guid = 0;
+  bool valid = false;
+};
+
+struct AddrState {
+  Access last_write;
+  /// Last read per thread index (reads racing reads are fine; each must be
+  /// checked against later writes).
+  std::map<std::uint32_t, Access> reads;
+};
+
+struct Checker {
+  std::mutex mutex;
+  bool on = false;
+  std::uint32_t next_tid = 1;  // 0 reserved: "unknown external"
+  /// Per-context clocks, indexed by tid.
+  std::unordered_map<std::uint32_t, Clock> clocks;
+  /// Task GUID -> tid (tasks may run slices on different OS threads).
+  std::unordered_map<std::uint64_t, std::uint32_t> task_tids;
+  /// GUID for each tid, for reporting (0 for external threads).
+  std::unordered_map<std::uint32_t, std::uint64_t> tid_guids;
+  /// Sync-object clocks (latches, mutexes, channels, shared states).
+  std::unordered_map<const void*, Clock> sync_clocks;
+  std::unordered_map<const void*, AddrState> addrs;
+  std::vector<Report> found;
+  /// One report per address keeps a racy loop from flooding the output.
+  std::set<const void*> reported_addrs;
+};
+
+Checker& checker() {
+  static Checker c;
+  return c;
+}
+
+thread_local std::uint32_t t_tid = 0;        // current context's tid
+thread_local std::uint32_t t_thread_tid = 0; // the OS thread's own tid
+
+// All helpers below run with checker().mutex held.
+
+std::uint32_t external_tid(Checker& c) {
+  if (t_thread_tid == 0) {
+    t_thread_tid = c.next_tid++;
+    c.clocks[t_thread_tid][t_thread_tid] = 1;
+    c.tid_guids[t_thread_tid] = 0;
+  }
+  return t_thread_tid;
+}
+
+std::uint32_t current_tid(Checker& c) {
+  return t_tid != 0 ? t_tid : external_tid(c);
+}
+
+void advance(Checker& c, std::uint32_t tid) { ++c.clocks[tid][tid]; }
+
+void report(Checker& c, const void* addr, const Access& first,
+            std::uint32_t second_tid, bool first_write, bool second_write,
+            const char* what) {
+  if (!c.reported_addrs.insert(addr).second) {
+    return;
+  }
+  Report r;
+  r.addr = addr;
+  r.first_task = first.guid;
+  r.second_task = c.tid_guids[second_tid];
+  r.first_write = first_write;
+  r.second_write = second_write;
+  r.what = what;
+  c.found.push_back(std::move(r));
+}
+
+}  // namespace
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  os << "data race on " << addr << ": task#" << first_task
+     << (first_write ? " wrote" : " read") << ", task#" << second_task
+     << (second_write ? " wrote" : " read")
+     << " with no happens-before edge";
+  if (!what.empty()) {
+    os << " [" << what << "]";
+  }
+  return os.str();
+}
+
+void enable(bool annotate_views) {
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  c.on = true;
+  c.clocks.clear();
+  c.task_tids.clear();
+  c.tid_guids.clear();
+  c.sync_clocks.clear();
+  c.addrs.clear();
+  c.found.clear();
+  c.reported_addrs.clear();
+  c.next_tid = 1;
+  unsigned bits = detail::mode_race;
+  if (annotate_views) {
+    bits |= detail::mode_views;
+  }
+  detail::g_mode.fetch_or(bits, std::memory_order_relaxed);
+}
+
+void disable() {
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  c.on = false;
+  detail::g_mode.fetch_and(
+      ~(detail::mode_race | detail::mode_views),
+      std::memory_order_relaxed);
+}
+
+bool enabled() noexcept {
+  return (detail::mode() & detail::mode_race) != 0;
+}
+
+std::vector<Report> reports() {
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  return c.found;
+}
+
+std::vector<Report> take_reports() {
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  auto out = std::move(c.found);
+  c.found.clear();
+  c.reported_addrs.clear();
+  return out;
+}
+
+void reset_history() {
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  c.addrs.clear();
+  c.sync_clocks.clear();
+}
+
+void on_task_post(std::uint64_t child_guid) {
+  if (!enabled()) {
+    return;
+  }
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  const std::uint32_t parent = current_tid(c);
+  const std::uint32_t child = c.next_tid++;
+  c.task_tids[child_guid] = child;
+  c.tid_guids[child] = child_guid;
+  Clock child_clock = c.clocks[parent];  // fork: child sees parent's past
+  child_clock[child] = 1;
+  c.clocks[child] = std::move(child_clock);
+  advance(c, parent);
+}
+
+void on_task_begin(std::uint64_t guid) {
+  if (!enabled()) {
+    return;
+  }
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  const auto it = c.task_tids.find(guid);
+  if (it == c.task_tids.end()) {
+    // Task posted before enable(); give it a fresh context.
+    const std::uint32_t tid = c.next_tid++;
+    c.task_tids[guid] = tid;
+    c.tid_guids[tid] = guid;
+    c.clocks[tid][tid] = 1;
+    t_tid = tid;
+    return;
+  }
+  t_tid = it->second;
+}
+
+void on_task_slice_end() { t_tid = 0; }
+
+}  // namespace race
+
+namespace detail {
+
+void annotate_slow(const void* addr, bool is_write, const char* what) {
+  using namespace race;
+  if ((mode() & mode_race) != 0) {
+    Checker& c = checker();
+    {
+      std::lock_guard lk(c.mutex);
+      if (c.on) {
+        const std::uint32_t tid = current_tid(c);
+        const Clock& my = c.clocks[tid];
+        AddrState& st = c.addrs[addr];
+        if (is_write) {
+          // A write must be ordered after the previous write and after
+          // every previous read.
+          if (st.last_write.valid && st.last_write.tid != tid &&
+              !ordered_before(my, st.last_write.tid, st.last_write.time)) {
+            report(c, addr, st.last_write, tid, true, true, what);
+          }
+          for (const auto& [rtid, acc] : st.reads) {
+            if (rtid != tid && !ordered_before(my, rtid, acc.time)) {
+              report(c, addr, acc, tid, false, true, what);
+            }
+          }
+          st.reads.clear();
+          st.last_write =
+              Access{tid, my.at(tid), c.tid_guids[tid], true};
+        } else {
+          // A read must be ordered after the previous write.
+          if (st.last_write.valid && st.last_write.tid != tid &&
+              !ordered_before(my, st.last_write.tid, st.last_write.time)) {
+            report(c, addr, st.last_write, tid, true, false, what);
+          }
+          st.reads[tid] = Access{tid, my.at(tid), c.tid_guids[tid], true};
+        }
+        advance(c, tid);
+      }
+    }
+  }
+  // Every annotated access is also a potential preemption point for the
+  // schedule explorer.
+  if ((mode() & mode_det) != 0) {
+    preemption_point_slow(reinterpret_cast<std::uintptr_t>(addr));
+  }
+}
+
+void hb_release_slow(const void* sync_obj) {
+  using namespace race;
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  if (!c.on) {
+    return;
+  }
+  const std::uint32_t tid = current_tid(c);
+  join_into(c.sync_clocks[sync_obj], c.clocks[tid]);
+  advance(c, tid);
+}
+
+void hb_acquire_slow(const void* sync_obj) {
+  using namespace race;
+  Checker& c = checker();
+  std::lock_guard lk(c.mutex);
+  if (!c.on) {
+    return;
+  }
+  const std::uint32_t tid = current_tid(c);
+  const auto it = c.sync_clocks.find(sync_obj);
+  if (it != c.sync_clocks.end()) {
+    join_into(c.clocks[tid], it->second);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace mhpx::testing

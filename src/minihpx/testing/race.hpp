@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file race.hpp
+/// Happens-before race checker over minihpx tasks and sync primitives.
+///
+/// A vector-clock (DJIT+/FastTrack-style) detector specialised for the
+/// deterministic test harness: accesses are *registered explicitly* through
+/// mhpx::testing::annotate_read/annotate_write (or mkk::View element access
+/// in annotating builds), and synchronisation edges arrive from the sync
+/// primitives via hb_release/hb_acquire plus the scheduler's task
+/// fork edges. Two conflicting accesses (same address, at least one write)
+/// with no happens-before path between them are reported as a race — even
+/// when the serialized deterministic execution happened to order them.
+///
+/// The checker is exact for the edges it is told about: mutex unlock->lock,
+/// latch count_down->wait, channel send->receive, promise set->future get,
+/// and task spawn. It runs under one global mutex — it is a test-time tool,
+/// not a production sanitizer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mhpx::testing::race {
+
+/// One detected race: two accesses to \p addr with no ordering edge.
+struct Report {
+  const void* addr = nullptr;
+  std::uint64_t first_task = 0;   ///< scheduler GUID (0 = external thread)
+  std::uint64_t second_task = 0;
+  bool first_write = false;
+  bool second_write = false;
+  std::string what;  ///< annotation label of the second (racing) access
+
+  /// Human-readable one-liner for failure messages.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Start recording. \p annotate_views additionally turns every mkk::View
+/// element access into a (write) annotation. Clears previous state.
+void enable(bool annotate_views = false);
+
+/// Stop recording and drop all per-address metadata.
+void disable();
+
+/// True while enable() is in effect.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Races found since enable(); leaves them recorded.
+[[nodiscard]] std::vector<Report> reports();
+
+/// Races found since enable(), removing them from the checker.
+std::vector<Report> take_reports();
+
+/// Forget all access history but keep recording (e.g. between explorer
+/// schedules, where each schedule is an independent execution).
+void reset_history();
+
+// ---- scheduler integration (called by threads::Scheduler) ----------------
+
+/// A context just posted task \p child_guid: the child inherits the
+/// poster's clock (fork edge).
+void on_task_post(std::uint64_t child_guid);
+
+/// Worker is about to run a slice of \p guid.
+void on_task_begin(std::uint64_t guid);
+
+/// Worker finished a slice (suspension or completion).
+void on_task_slice_end();
+
+}  // namespace mhpx::testing::race

@@ -4,6 +4,10 @@
 #include <chrono>
 #include <utility>
 
+#include "minihpx/testing/annotate.hpp"
+#include "minihpx/testing/det.hpp"
+#include "minihpx/testing/race.hpp"
+
 namespace mhpx::threads {
 
 namespace {
@@ -15,7 +19,19 @@ thread_local unsigned t_worker_id = 0;
 
 Scheduler::Scheduler(Config cfg)
     : stacks_(cfg.stack_size, stack_pool_limit) {
-  unsigned n = cfg.num_workers;
+  if (!cfg.deterministic && testing::detail::det_schedulers_default()) {
+    // A testing::ScopedDetScheduling guard is active: every scheduler in
+    // scope (including ones buried in distributed runtimes) becomes
+    // deterministic with a reproducible derived seed.
+    cfg.deterministic = true;
+    cfg.det_seed = testing::detail::next_derived_seed();
+  }
+  deterministic_ = cfg.deterministic;
+  if (deterministic_) {
+    det_rng_.seed(static_cast<std::uint32_t>(cfg.det_seed ^
+                                             (cfg.det_seed >> 32) ^ 1u));
+  }
+  unsigned n = deterministic_ ? 1u : cfg.num_workers;
   if (n == 0) {
     n = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -86,12 +102,20 @@ std::size_t Scheduler::recycled_fibers() const {
   return free_list_.size();
 }
 
+void Scheduler::set_det_hooks(DetHooks hooks) {
+  assert(deterministic_ && "det hooks on a non-deterministic scheduler");
+  det_hooks_ = std::move(hooks);
+}
+
 void Scheduler::post(std::function<void()> task) {
   live_.fetch_add(1, std::memory_order_acq_rel);
   instrument::detail::notify_spawn();
   TaskCtx* ctx = make_task(std::move(task));
   ctx->guid = instrument::next_trace_guid();
   ctx->parent = instrument::spawn_parent();
+  if ((testing::detail::mode() & testing::detail::mode_race) != 0) {
+    testing::race::on_task_post(ctx->guid);  // fork edge poster -> child
+  }
   enqueue(ctx);
 }
 
@@ -132,6 +156,29 @@ TaskCtx* Scheduler::pop_inject() {
   return task;
 }
 
+TaskCtx* Scheduler::det_next(Worker& self) {
+  // Deterministic dispatch: merge externally injected tasks (in arrival
+  // order) into the single worker's queue, then let the strategy choose.
+  {
+    std::scoped_lock lock(self.mutex, inject_mutex_);
+    while (!inject_queue_.empty()) {
+      self.queue.push_back(inject_queue_.front());
+      inject_queue_.pop_front();
+      n_injected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (self.queue.empty()) {
+      return nullptr;
+    }
+    const std::size_t n = self.queue.size();
+    const std::size_t idx =
+        det_hooks_.pick ? det_hooks_.pick(n) % n
+                        : static_cast<std::size_t>(det_rng_()) % n;
+    TaskCtx* task = self.queue[idx];
+    self.queue.erase(self.queue.begin() + static_cast<std::ptrdiff_t>(idx));
+    return task;
+  }
+}
+
 TaskCtx* Scheduler::try_steal(Worker& self) {
   const auto n = workers_.size();
   if (n <= 1) {
@@ -161,9 +208,19 @@ void Scheduler::worker_loop(Worker& self) {
   t_worker_of = this;
   t_worker_id = self.id;
   while (true) {
-    TaskCtx* task = try_pop(self);
-    if (task == nullptr) {
-      task = try_steal(self);
+    TaskCtx* task = nullptr;
+    if (deterministic_) {
+      task = det_next(self);
+      if (task == nullptr && det_hooks_.idle &&
+          live_.load(std::memory_order_acquire) > 0 && det_hooks_.idle()) {
+        // A virtual timer fired and (typically) resumed a sleeper.
+        continue;
+      }
+    } else {
+      task = try_pop(self);
+      if (task == nullptr) {
+        task = try_steal(self);
+      }
     }
     if (task == nullptr) {
       const auto idle_from = std::chrono::steady_clock::now();
@@ -192,8 +249,16 @@ void Scheduler::run_task(Worker& self, TaskCtx* task) {
   t_current_task = task;
   instrument::detail::task_scope_begin(task->guid);
   instrument::detail::notify_task_begin(task->guid, task->parent);
+  const bool race_on =
+      (testing::detail::mode() & testing::detail::mode_race) != 0;
+  if (race_on) {
+    testing::race::on_task_begin(task->guid);
+  }
   const auto busy_from = std::chrono::steady_clock::now();
   task->fib->resume();
+  if (race_on) {
+    testing::race::on_task_slice_end();
+  }
   busy_ns_.fetch_add(
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -60,6 +60,21 @@ class Scheduler {
     /// Number of worker OS threads; 0 means hardware_concurrency().
     unsigned num_workers = 0;
     std::size_t stack_size = default_stack_size;
+    /// Deterministic (simulation-testing) mode: exactly one worker, and
+    /// the next ready task is chosen by a seeded PRNG or the installed
+    /// det hooks instead of LIFO-pop/steal — see mhpx::testing::det_run.
+    /// Also forced on while a testing::ScopedDetScheduling guard is alive.
+    bool deterministic = false;
+    std::uint64_t det_seed = 0;
+  };
+
+  /// Strategy hooks consulted in deterministic mode (testing subsystem).
+  struct DetHooks {
+    /// Choose which of the n ready tasks runs next (0-based index).
+    std::function<std::size_t(std::size_t)> pick;
+    /// Called when no task is ready but live tasks remain: fire a virtual
+    /// timer and return true, or return false when none is pending.
+    std::function<bool()> idle;
   };
 
   Scheduler() : Scheduler(Config{}) {}
@@ -107,6 +122,13 @@ class Scheduler {
   /// Fibers (and their stacks) currently pooled for reuse.
   [[nodiscard]] std::size_t recycled_fibers() const;
 
+  /// True when this scheduler runs in deterministic mode.
+  [[nodiscard]] bool deterministic() const noexcept { return deterministic_; }
+
+  /// Install the deterministic-mode strategy hooks. Must be called before
+  /// any work is posted; only meaningful when deterministic() is true.
+  void set_det_hooks(DetHooks hooks);
+
   /// Scheduler performance counters — the analogue of HPX's
   /// /threads/count/... counters the paper's community uses for tuning.
   struct Counters {
@@ -142,6 +164,7 @@ class Scheduler {
   void run_task(Worker& self, TaskCtx* task);
   void enqueue(TaskCtx* task);
   TaskCtx* try_pop(Worker& self);
+  TaskCtx* det_next(Worker& self);
   TaskCtx* try_steal(Worker& self);
   TaskCtx* pop_inject();
   TaskCtx* make_task(std::function<void()> fn);
@@ -166,6 +189,10 @@ class Scheduler {
 
   std::atomic<std::size_t> live_{0};
   std::atomic<bool> stopping_{false};
+
+  bool deterministic_ = false;
+  std::minstd_rand det_rng_;  // det-mode default task selection
+  DetHooks det_hooks_;        // optional testing-subsystem strategy
 
   std::atomic<std::uint64_t> n_executed_{0};
   std::atomic<std::uint64_t> n_stolen_{0};

@@ -21,6 +21,10 @@
 #include <string>
 #include <utility>
 
+#if !defined(NDEBUG)
+#include "minihpx/testing/annotate.hpp"
+#endif
+
 namespace mkk {
 
 /// C ordering: the last index is stride-1.
@@ -124,6 +128,11 @@ class View {
       assert(idx[d] < dims_[d] && "mkk::View: index out of bounds");
       offset += idx[d] * strides_[d];
     }
+#if !defined(NDEBUG)
+    // Feed the happens-before race checker; no-op unless a det_run with
+    // annotate_views is active (one relaxed atomic load otherwise).
+    mhpx::testing::annotate_view_access(data() + offset);
+#endif
     return data()[offset];
   }
 

@@ -187,16 +187,20 @@ void Simulation::run() {
 std::size_t Simulation::regrid(double rho_threshold) {
   mhpx::apex::trace::ScopedRegion region("phase", "regrid");
   // Refinement criterion from the *current* solution: split a node when
-  // any probe of its region (center + the 8 region corners, pulled
-  // slightly inward) sees density above the threshold.
+  // any probe of its region sees density above the threshold. The probe
+  // lattice must be dense enough that a compact feature cannot slip
+  // between probes: 5 points per axis resolves anything wider than a
+  // quarter of the node (a 3-point lattice coarsened away off-centre
+  // binary lobes and cost ~15% of the total mass in one regrid).
   const Octree& old = tree_;
   auto pred = [&old, rho_threshold](const TreeNode& node) {
     const Vec3 lo = node.low();
     const double w = node.width();
     const double eps = 0.05 * w;
-    for (const double fx : {eps, 0.5 * w, w - eps}) {
-      for (const double fy : {eps, 0.5 * w, w - eps}) {
-        for (const double fz : {eps, 0.5 * w, w - eps}) {
+    const double probes[] = {eps, 0.25 * w, 0.5 * w, 0.75 * w, w - eps};
+    for (const double fx : probes) {
+      for (const double fy : probes) {
+        for (const double fz : probes) {
           const Vec3 p{lo.x + fx, lo.y + fy, lo.z + fz};
           if (old.sample(f_rho, p) > rho_threshold) {
             return true;

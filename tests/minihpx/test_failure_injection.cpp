@@ -5,9 +5,10 @@
 // fault injector and the fault-injecting parcelport decorator across all
 // three fabrics.
 //
-// Seeds honour the RVEVAL_FAULT_SEED environment variable (set by the
-// RVEVAL_STRESS_SEEDS CMake option) so CI can re-run the stochastic tests
-// across many seeds.
+// Seeds come from the unified rveval::testing::seed_env() (which honours
+// RVEVAL_FAULT_SEED, set by the RVEVAL_STRESS_SEEDS CMake option) so CI can
+// re-run the stochastic tests across many seeds — and a failing test's
+// output carries the exact environment line to replay it.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +16,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "core/testing/seed_env.hpp"
 #include "minihpx/distributed/runtime.hpp"
 #include "minihpx/resilience/fabric_faulty.hpp"
 #include "minihpx/resilience/fault_injector.hpp"
@@ -138,15 +140,13 @@ TEST(FailureInjection, ManyGarbageFramesUnderLoad) {
 
 namespace mres = mhpx::resilience;
 
-std::uint64_t fault_seed() {
-  if (const char* env = std::getenv("RVEVAL_FAULT_SEED")) {
-    return std::strtoull(env, nullptr, 10);
-  }
-  return 0x5eed;
-}
+using rveval::testing::fault_seed;
 
 struct ResilienceTest : ::testing::Test {
   mhpx::Runtime runtime{{2, 64 * 1024}};
+  /// On any failure, gtest prints the exact env line replaying this seed.
+  ::testing::ScopedTrace repro{__FILE__, __LINE__,
+                               rveval::testing::seed_env().repro_line()};
 };
 
 TEST_F(ResilienceTest, ReplaySucceedsAfterTransientFaults) {
@@ -300,7 +300,10 @@ md::DistributedRuntime::Config faulty_config(md::FabricKind kind,
 }
 
 class FaultyFabricAllPorts
-    : public ::testing::TestWithParam<md::FabricKind> {};
+    : public ::testing::TestWithParam<md::FabricKind> {
+  ::testing::ScopedTrace repro_{__FILE__, __LINE__,
+                                rveval::testing::seed_env().repro_line()};
+};
 
 TEST_P(FaultyFabricAllPorts, DropsAreCountedAndNonFatal) {
   mhpx::instrument::reset_resilience_counters();
@@ -410,6 +413,7 @@ INSTANTIATE_TEST_SUITE_P(AllParcelports, FaultyFabricAllPorts,
                          });
 
 TEST(FaultyFabricDeterminism, SameSeedSameDropPattern) {
+  SCOPED_TRACE(rveval::testing::seed_env().repro_line());
   // Drive two same-seeded decorators with an identical frame sequence and
   // compare which frames each dropped — they must match exactly.
   auto drop_pattern = [](std::uint64_t seed) {
@@ -450,6 +454,7 @@ TEST(FaultyFabricDeterminism, SameSeedSameDropPattern) {
 }
 
 TEST(FaultyFabricDeterminism, ScheduledKillFiresAtExactFrame) {
+  SCOPED_TRACE(rveval::testing::seed_env().repro_line());
   mres::FaultConfig fc;
   fc.seed = fault_seed();
   fc.kill_after_frames = 5;

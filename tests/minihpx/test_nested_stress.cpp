@@ -4,35 +4,46 @@
 // original FiberCv hand-off (the suspend hook manipulated the waiter's
 // unique_lock from the worker thread; under a thousand concurrent
 // outer-task latch waits with nested inner fan-outs, a waiter could be
-// observed before the cross-thread unlock completed). This test recreates
-// that shape — many outer tasks, each suspending on a latch joined by a
-// nested task fan-out — at a size that made the old protocol fail within a
-// few runs.
+// observed before the cross-thread unlock completed).
+//
+// Ported onto the deterministic harness: instead of brute-forcing the shape
+// with thousands of wall-clock tasks and hoping the bad interleaving shows
+// up, the explorer drives many adversarial schedules of a much smaller
+// nested-join graph — deterministic, seed-replayable, and an order of
+// magnitude faster. A reduced wall-clock smoke keeps the genuinely
+// cross-thread hand-off covered.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 
 #include "minihpx/parallel/algorithms.hpp"
 #include "minihpx/runtime.hpp"
 #include "minihpx/sync/latch.hpp"
+#include "minihpx/testing/explorer.hpp"
 
 namespace {
 
-TEST(NestedFanOutStress, ManyOuterTasksWithInnerBulkJoins) {
-  mhpx::Runtime rt{{4, 128 * 1024}};
-  constexpr int kOuter = 600;
-  constexpr int kRounds = 3;
-  std::atomic<long> total{0};
+using mhpx::testing::ExploreConfig;
+using mhpx::testing::explore;
 
-  for (int round = 0; round < kRounds; ++round) {
+TEST(NestedFanOutStress, ExploredNestedBulkJoins) {
+  ExploreConfig cfg;
+  cfg.schedules = 12;
+  cfg.race_check = false;  // the counters are atomics by design
+  const auto result = explore(cfg, [] {
+    constexpr int kOuter = 12;
+    constexpr long kInner = 16;
+    std::atomic<long> total{0};
     mhpx::sync::latch outer_done(kOuter);
     for (int o = 0; o < kOuter; ++o) {
       mhpx::post([&total, &outer_done] {
         // Nested fan-out: the outer fiber suspends on the inner join
         // (exactly the Kokkos-HPX execution-space shape).
+        mhpx::testing::preemption_point(0x51);
         std::atomic<long> local{0};
-        mhpx::for_loop(mhpx::execution::par.with_chunks(8), 0, 64,
+        mhpx::for_loop(mhpx::execution::par.with_chunks(4), 0, kInner,
                        [&local](std::size_t i) {
                          local.fetch_add(static_cast<long>(i));
                        });
@@ -41,33 +52,68 @@ TEST(NestedFanOutStress, ManyOuterTasksWithInnerBulkJoins) {
       });
     }
     outer_done.wait();
-  }
-  EXPECT_EQ(total.load(),
-            static_cast<long>(kRounds) * kOuter * (63 * 64 / 2));
+    const long want = kOuter * ((kInner - 1) * kInner / 2);
+    mhpx::testing::check(total.load() == want,
+                         "nested joins lost work: " +
+                             std::to_string(total.load()) + " != " +
+                             std::to_string(want));
+  });
+  EXPECT_FALSE(result.failed) << result.replay_recipe;
 }
 
-TEST(NestedFanOutStress, RepeatedLatchReuseAtSameStackDepth) {
+TEST(NestedFanOutStress, ExploredLatchReuseAtSameStackDepth) {
   // Back-to-back nested joins from the same fiber: each round constructs a
   // fresh latch at the same stack address — the reuse pattern of
-  // consecutive kernel launches inside one leaf task.
-  mhpx::Runtime rt{{3, 128 * 1024}};
-  std::atomic<int> done{0};
-  mhpx::sync::latch all(100);
-  for (int o = 0; o < 100; ++o) {
-    mhpx::post([&done, &all] {
-      for (int k = 0; k < 10; ++k) {
-        mhpx::sync::latch inner(4);
-        for (int i = 0; i < 4; ++i) {
-          mhpx::post([&inner] { inner.count_down(); });
+  // consecutive kernel launches inside one leaf task. The explorer slices
+  // between rounds so stale-waiter bugs get their window.
+  ExploreConfig cfg;
+  cfg.schedules = 12;
+  cfg.race_check = false;
+  const auto result = explore(cfg, [] {
+    constexpr int kOuter = 8;
+    std::atomic<int> done{0};
+    mhpx::sync::latch all(kOuter);
+    for (int o = 0; o < kOuter; ++o) {
+      mhpx::post([&done, &all] {
+        for (int k = 0; k < 4; ++k) {
+          mhpx::sync::latch inner(3);
+          for (int i = 0; i < 3; ++i) {
+            mhpx::post([&inner] { inner.count_down(); });
+          }
+          mhpx::testing::preemption_point(0x52);
+          inner.wait();
         }
-        inner.wait();
-      }
-      done.fetch_add(1);
-      all.count_down();
+        done.fetch_add(1);
+        all.count_down();
+      });
+    }
+    all.wait();
+    mhpx::testing::check(done.load() == kOuter, "a reused latch lost a round");
+  });
+  EXPECT_FALSE(result.failed) << result.replay_recipe;
+}
+
+TEST(NestedFanOutStress, WallClockSmokeKeepsCrossThreadHandOff) {
+  // The original cross-thread unlock race needs real worker threads; keep a
+  // slimmed wall-clock run of the historical reproducer shape.
+  mhpx::Runtime rt{{4, 128 * 1024}};
+  constexpr int kOuter = 60;
+  std::atomic<long> total{0};
+
+  mhpx::sync::latch outer_done(kOuter);
+  for (int o = 0; o < kOuter; ++o) {
+    mhpx::post([&total, &outer_done] {
+      std::atomic<long> local{0};
+      mhpx::for_loop(mhpx::execution::par.with_chunks(8), 0, 64,
+                     [&local](std::size_t i) {
+                       local.fetch_add(static_cast<long>(i));
+                     });
+      total.fetch_add(local.load());
+      outer_done.count_down();
     });
   }
-  all.wait();
-  EXPECT_EQ(done.load(), 100);
+  outer_done.wait();
+  EXPECT_EQ(total.load(), static_cast<long>(kOuter) * (63 * 64 / 2));
 }
 
 }  // namespace

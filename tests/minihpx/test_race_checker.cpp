@@ -1,0 +1,199 @@
+// Happens-before race checker (mhpx::testing::race).
+//
+// Each test runs a small task graph under det_run with race checking on and
+// asserts the checker's verdict: unsynchronized conflicting accesses are
+// reported; accesses ordered through any minihpx sync primitive (mutex,
+// latch, channel, future/promise) or the task fork edge are not.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "minihpx/futures/future.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/channel.hpp"
+#include "minihpx/sync/latch.hpp"
+#include "minihpx/sync/mutex.hpp"
+#include "minihpx/testing/det.hpp"
+#include "minikokkos/view.hpp"
+
+namespace {
+
+using mhpx::testing::DetConfig;
+using mhpx::testing::det_run;
+
+DetConfig race_cfg() {
+  DetConfig cfg;
+  cfg.race_check = true;
+  return cfg;
+}
+
+TEST(RaceChecker, UnorderedWriteWriteIsReported) {
+  static int shared;
+  const auto r = det_run(race_cfg(), [] {
+    mhpx::sync::latch done(2);
+    for (int t = 0; t < 2; ++t) {
+      mhpx::post([&done, t] {
+        mhpx::testing::annotate_write(&shared, "unguarded store");
+        shared = t;
+        done.count_down();
+      });
+    }
+    done.wait();
+  });
+  ASSERT_TRUE(r.failed);
+  ASSERT_EQ(r.races.size(), 1u);  // deduplicated per address
+  EXPECT_EQ(r.races[0].addr, static_cast<const void*>(&shared));
+  EXPECT_TRUE(r.races[0].second_write);
+  EXPECT_NE(r.races[0].to_string().find("data race"), std::string::npos);
+}
+
+TEST(RaceChecker, UnorderedReadAfterWriteIsReported) {
+  static int shared;
+  const auto r = det_run(race_cfg(), [] {
+    mhpx::sync::latch done(2);
+    mhpx::post([&done] {
+      mhpx::testing::annotate_write(&shared, "producer store");
+      shared = 7;
+      done.count_down();
+    });
+    mhpx::post([&done] {
+      mhpx::testing::annotate_read(&shared, "consumer load");
+      (void)shared;
+      done.count_down();
+    });
+    done.wait();
+  });
+  ASSERT_TRUE(r.failed);
+  ASSERT_EQ(r.races.size(), 1u);
+}
+
+TEST(RaceChecker, ForkEdgeOrdersParentWritesBeforeChild) {
+  static int shared;
+  const auto r = det_run(race_cfg(), [] {
+    mhpx::testing::annotate_write(&shared, "parent init");
+    shared = 1;
+    mhpx::sync::latch done(1);
+    mhpx::post([&done] {
+      // The child inherits the parent's clock at post(): ordered.
+      mhpx::testing::annotate_read(&shared, "child load");
+      (void)shared;
+      done.count_down();
+    });
+    done.wait();
+  });
+  EXPECT_FALSE(r.failed) << (r.races.empty() ? "" : r.races[0].to_string());
+}
+
+TEST(RaceChecker, MutexOrdersCriticalSections) {
+  static int shared;
+  static mhpx::sync::mutex guard;
+  const auto r = det_run(race_cfg(), [] {
+    shared = 0;
+    mhpx::sync::latch done(2);
+    for (int t = 0; t < 2; ++t) {
+      mhpx::post([&done] {
+        guard.lock();
+        mhpx::testing::annotate_write(&shared, "guarded store");
+        shared += 1;
+        guard.unlock();
+        done.count_down();
+      });
+    }
+    done.wait();
+  });
+  EXPECT_FALSE(r.failed) << (r.races.empty() ? "" : r.races[0].to_string());
+}
+
+TEST(RaceChecker, LatchOrdersWriterBeforeWaiter) {
+  static int shared;
+  const auto r = det_run(race_cfg(), [] {
+    mhpx::sync::latch ready(1);
+    mhpx::post([&ready] {
+      mhpx::testing::annotate_write(&shared, "writer store");
+      shared = 42;
+      ready.count_down();
+    });
+    ready.wait();
+    mhpx::testing::annotate_read(&shared, "waiter load");
+    mhpx::testing::check(shared == 42, "latch-published value lost");
+  });
+  EXPECT_FALSE(r.failed) << (r.races.empty() ? "" : r.races[0].to_string());
+}
+
+TEST(RaceChecker, ChannelOrdersSenderBeforeReceiver) {
+  static int shared;
+  const auto r = det_run(race_cfg(), [] {
+    mhpx::sync::channel<int> ch(1);
+    mhpx::sync::latch done(1);
+    mhpx::post([&ch, &done] {
+      mhpx::testing::annotate_write(&shared, "sender store");
+      shared = 9;
+      ch.send(1);
+      done.count_down();
+    });
+    (void)ch.receive();
+    mhpx::testing::annotate_read(&shared, "receiver load");
+    mhpx::testing::check(shared == 9, "channel-published value lost");
+    done.wait();
+  });
+  EXPECT_FALSE(r.failed) << (r.races.empty() ? "" : r.races[0].to_string());
+}
+
+TEST(RaceChecker, FutureOrdersProducerBeforeConsumer) {
+  static int shared;
+  const auto r = det_run(race_cfg(), [] {
+    auto fut = mhpx::async([] {
+      mhpx::testing::annotate_write(&shared, "async producer store");
+      shared = 11;
+      return 11;
+    });
+    const int got = fut.get();
+    mhpx::testing::annotate_read(&shared, "consumer load");
+    mhpx::testing::check(shared == got, "future-published value lost");
+  });
+  EXPECT_FALSE(r.failed) << (r.races.empty() ? "" : r.races[0].to_string());
+}
+
+TEST(RaceChecker, ViewAnnotationCatchesOverlappingKernelWrites) {
+#if defined(NDEBUG)
+  GTEST_SKIP() << "mkk::View access annotations are compiled out with "
+                  "NDEBUG; covered by the asan-ubsan (Debug) preset";
+#else
+  DetConfig cfg = race_cfg();
+  cfg.annotate_views = true;
+  const auto r = det_run(cfg, [] {
+    mkk::View<double, 1> field("field", 8);
+    mhpx::sync::latch done(2);
+    for (int t = 0; t < 2; ++t) {
+      mhpx::post([&field, &done] {
+        field(3) = 1.0;  // same element from two unordered tasks
+        done.count_down();
+      });
+    }
+    done.wait();
+  });
+  ASSERT_TRUE(r.failed);
+  ASSERT_FALSE(r.races.empty());
+  EXPECT_NE(r.races[0].to_string().find("mkk::View"), std::string::npos);
+#endif
+}
+
+TEST(RaceChecker, ViewAnnotationAcceptsDisjointKernelWrites) {
+  DetConfig cfg = race_cfg();
+  cfg.annotate_views = true;
+  const auto r = det_run(cfg, [] {
+    mkk::View<double, 1> field("field", 8);
+    mhpx::sync::latch done(2);
+    for (int t = 0; t < 2; ++t) {
+      mhpx::post([&field, &done, t] {
+        field(static_cast<std::size_t>(t)) = 1.0;  // disjoint elements
+        done.count_down();
+      });
+    }
+    done.wait();
+  });
+  EXPECT_FALSE(r.failed) << (r.races.empty() ? "" : r.races[0].to_string());
+}
+
+}  // namespace

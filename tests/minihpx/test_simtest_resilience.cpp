@@ -1,0 +1,177 @@
+// Interleaving-explorer regression suites (ctest label: simtest).
+//
+// mhpx::resilience and mhpx::apex both promise invariants that must hold
+// under *every* schedule, not just the one a wall-clock run happens to
+// produce. These tests re-run each scenario under the explorer's
+// interleaving budget: replay/replicate-vote must mask injected faults at
+// every explored preemption point, and the counter registry must keep its
+// registration/reset invariants when two tasks hammer it concurrently.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/testing/seed_env.hpp"
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/resilience/fault_injector.hpp"
+#include "minihpx/resilience/resilience.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/sync/latch.hpp"
+#include "minihpx/testing/explorer.hpp"
+
+namespace {
+
+using mhpx::testing::ExploreConfig;
+using mhpx::testing::explore;
+
+ExploreConfig simtest_cfg() {
+  ExploreConfig cfg;
+  cfg.schedules = rveval::testing::simtest_budget();
+  cfg.base_seed = rveval::testing::sched_seed();
+  cfg.race_check = false;  // the subsystems under test use raw atomics too
+  return cfg;
+}
+
+TEST(SimtestResilience, ReplayMasksInjectedFaultsAtEveryPreemptionPoint) {
+  const auto result = explore(simtest_cfg(), [] {
+    // Every second wrapped call throws; three attempts must still succeed
+    // no matter where the explorer slices the replay loop.
+    mhpx::resilience::FaultInjector injector({0.0, 0.0, 77, 2, 0});
+    // Burn decision 1 (a pass) so the replay's first attempt lands on the
+    // firing call 2 and the retry path actually runs.
+    injector.inject_fault();
+    auto work = [] {
+      mhpx::testing::preemption_point(0xA1);
+      return 42;
+    };
+    auto fut = mhpx::resilience::async_replay(
+        3, mhpx::resilience::faulty(injector, work));
+    mhpx::testing::preemption_point(0xA2);
+    const int got = fut.get();
+    mhpx::testing::check(got == 42, "replay returned a wrong value: " +
+                                        std::to_string(got));
+    mhpx::testing::check(injector.faults_injected() >= 1,
+                         "the injector never fired");
+  });
+  EXPECT_FALSE(result.failed)
+      << result.replay_recipe
+      << "\nrepro: " << rveval::testing::seed_env().repro_line();
+}
+
+TEST(SimtestResilience, ReplicateVoteOutvotesCorruptionInEverySchedule) {
+  const auto result = explore(simtest_cfg(), [] {
+    // One of three replicas is silently corrupted (call 3 of the decision
+    // stream); the 2-vs-1 majority must win under every interleaving of
+    // the replica tasks.
+    mhpx::resilience::FaultInjector injector({0.0, 0.0, 77, 0, 3});
+    auto work = [] {
+      mhpx::testing::preemption_point(0xB1);
+      return 1234;
+    };
+    auto fut = mhpx::resilience::async_replicate_vote(
+        3, mhpx::resilience::corrupting(injector, work));
+    const int got = fut.get();
+    mhpx::testing::check(got == 1234,
+                         "vote elected a corrupted value: " +
+                             std::to_string(got));
+  });
+  EXPECT_FALSE(result.failed)
+      << result.replay_recipe
+      << "\nrepro: " << rveval::testing::seed_env().repro_line();
+}
+
+TEST(SimtestResilience, ReplicateToleratesACrashedReplicaInEverySchedule) {
+  const auto result = explore(simtest_cfg(), [] {
+    mhpx::resilience::FaultInjector injector({0.0, 0.0, 77, 2, 0});
+    auto work = [] {
+      mhpx::testing::preemption_point(0xB2);
+      return 7;
+    };
+    auto fut = mhpx::resilience::async_replicate(
+        3, mhpx::resilience::faulty(injector, work));
+    mhpx::testing::check(fut.get() == 7, "replicate lost the good result");
+  });
+  EXPECT_FALSE(result.failed)
+      << result.replay_recipe
+      << "\nrepro: " << rveval::testing::seed_env().repro_line();
+}
+
+TEST(SimtestApex, CounterRegistrationIsExactlyOnceUnderContention) {
+  const auto result = explore(simtest_cfg(), [] {
+    mhpx::apex::CounterRegistry reg;
+    mhpx::apex::CounterBlock block_a(reg);
+    mhpx::apex::CounterBlock block_b(reg);
+    bool a_won = false;
+    bool b_won = false;
+    mhpx::sync::latch done(2);
+    mhpx::post([&] {
+      mhpx::testing::preemption_point(0xD1);
+      a_won = block_a.add("/sim/dup", "contended name",
+                          mhpx::apex::CounterKind::monotonic,
+                          [] { return 1.0; });
+      done.count_down();
+    });
+    mhpx::post([&] {
+      mhpx::testing::preemption_point(0xD2);
+      b_won = block_b.add("/sim/dup", "contended name",
+                          mhpx::apex::CounterKind::monotonic,
+                          [] { return 2.0; });
+      done.count_down();
+    });
+    done.wait();
+    mhpx::testing::check(a_won != b_won,
+                         "duplicate name registered twice (or never)");
+    mhpx::testing::check(reg.size() == 1, "registry size drifted");
+    // The loser's block must not remove the winner's counter.
+    if (a_won) {
+      block_b.clear();
+    } else {
+      block_a.clear();
+    }
+    mhpx::testing::check(reg.read("/sim/dup").has_value(),
+                         "loser's cleanup removed the winner's counter");
+  });
+  EXPECT_FALSE(result.failed)
+      << result.replay_recipe
+      << "\nrepro: " << rveval::testing::seed_env().repro_line();
+}
+
+TEST(SimtestApex, ResetNeverProducesNegativeReadsUnderContention) {
+  const auto result = explore(simtest_cfg(), [] {
+    mhpx::apex::CounterRegistry reg;
+    mhpx::apex::CounterBlock block(reg);
+    std::uint64_t hits = 0;
+    block.add("/sim/hits", "events observed",
+              mhpx::apex::CounterKind::monotonic,
+              [&hits] { return static_cast<double>(hits); });
+    mhpx::sync::latch done(2);
+    mhpx::post([&] {
+      for (int i = 0; i < 3; ++i) {
+        ++hits;
+        mhpx::testing::preemption_point(0xE1);
+        const auto v = reg.read("/sim/hits");
+        mhpx::testing::check(v.has_value(), "counter vanished mid-run");
+        mhpx::testing::check(*v >= 0.0,
+                             "monotonic counter read a negative delta");
+      }
+      done.count_down();
+    });
+    mhpx::post([&] {
+      for (int i = 0; i < 2; ++i) {
+        mhpx::testing::preemption_point(0xE2);
+        reg.reset("/sim/**");
+      }
+      done.count_down();
+    });
+    done.wait();
+    const auto v = reg.read("/sim/hits");
+    mhpx::testing::check(v.has_value() && *v >= 0.0 && *v <= 3.0,
+                         "final baseline-adjusted read out of range");
+  });
+  EXPECT_FALSE(result.failed)
+      << result.replay_recipe
+      << "\nrepro: " << rveval::testing::seed_env().repro_line();
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/testing/seed_env.hpp"
 #include "minihpx/instrument.hpp"
 #include "minihpx/resilience/fabric_faulty.hpp"
 #include "octotiger/distributed/dist_driver.hpp"
@@ -30,9 +31,11 @@ dist::ResilienceConfig fast_resilience() {
   dist::ResilienceConfig res;
   res.enabled = true;
   // Tight timeouts keep the test quick; the fabrics are in-process, so a
-  // healthy reply arrives in well under a millisecond.
-  res.rpc_timeout_s = 0.05;
-  res.heartbeat_timeout_s = 0.1;
+  // healthy reply arrives in well under a millisecond. Sanitized builds
+  // stretch the deadlines so a slow-but-live locality is not declared dead.
+  const double scale = rveval::testing::timeout_scale();
+  res.rpc_timeout_s = 0.05 * scale;
+  res.heartbeat_timeout_s = 0.1 * scale;
   res.backoff_initial_s = 0.001;
   res.backoff_cap_s = 0.01;
   return res;

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file octo_gen.hpp
+/// Octree-shape generator for property-based Octo-Tiger tests: random but
+/// always-valid run configurations spanning uniform meshes, partially
+/// refined rotating stars and binary stars. Shapes are sized for tier-1
+/// test budgets (at most two refinement levels, two workers).
+
+#include "minihpx/testing/property.hpp"
+#include "octotiger/options.hpp"
+
+namespace octo::testing {
+
+inline Options gen_octree_shape(mhpx::testing::prop::Gen& g) {
+  Options opt;
+  opt.max_level = 1 + static_cast<unsigned>(g.index(2));
+  // A third of the shapes are uniform meshes (the refinement sphere covers
+  // the whole domain); the rest refine a band around the star. The lower
+  // bound keeps the origin inside the refined region, so rotating-star
+  // centres sit at max_level both before and after a regrid.
+  opt.refine_radius = g.chance(1.0 / 3.0) ? 10.0 : g.real_in(0.25, 0.9);
+  opt.stop_step = 1 + static_cast<unsigned>(g.index(2));
+  opt.threads = 2;
+  if (g.chance(0.25)) {
+    opt.problem = Options::Problem::binary_star;
+  }
+  return opt;
+}
+
+}  // namespace octo::testing
