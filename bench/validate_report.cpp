@@ -1,0 +1,50 @@
+// CLI wrapper around rveval::report::validate_bench_v1: check that every
+// BENCH_*.json given on the command line is a well-formed rveval-bench-v1
+// document. Exit 0 when all pass; nonzero with one line per violation
+// otherwise. CI chains this after the bench smoke runs (FIXTURES_REQUIRED)
+// so a malformed report fails the pipeline at the producer, not in the
+// plotting scripts.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report/bench_report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_report <report.json> [more.json ...]\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << path << ": cannot open\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    std::vector<std::string> problems;
+    try {
+      const auto doc = rveval::report::json::parse(text.str());
+      problems = rveval::report::validate_bench_v1(doc);
+    } catch (const std::exception& e) {
+      problems.push_back(std::string("JSON parse error: ") + e.what());
+    }
+    if (problems.empty()) {
+      std::cout << path << ": ok\n";
+    } else {
+      for (const auto& p : problems) {
+        std::cerr << path << ": " << p << "\n";
+      }
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

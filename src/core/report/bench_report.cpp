@@ -87,4 +87,115 @@ bool BenchReport::write(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+std::vector<std::string> validate_bench_v1(const json::Value& doc) {
+  std::vector<std::string> problems;
+  auto bad = [&problems](std::string what) {
+    problems.push_back(std::move(what));
+  };
+
+  if (!doc.is_object()) {
+    bad("document is not a JSON object");
+    return problems;
+  }
+  auto require_string = [&](const char* key) -> const json::Value* {
+    const json::Value* v = doc.find(key);
+    if (v == nullptr) {
+      bad(std::string("missing required key \"") + key + "\"");
+      return nullptr;
+    }
+    if (v->kind() != json::Value::Kind::string) {
+      bad(std::string("\"") + key + "\" is not a string");
+      return nullptr;
+    }
+    return v;
+  };
+  if (const json::Value* schema = require_string("schema")) {
+    if (schema->as_string() != "rveval-bench-v1") {
+      bad("schema is \"" + schema->as_string() +
+          "\", expected \"rveval-bench-v1\"");
+    }
+  }
+  if (const json::Value* bench = require_string("bench")) {
+    if (bench->as_string().empty()) {
+      bad("\"bench\" is empty");
+    }
+  }
+  if (const json::Value* title = require_string("title")) {
+    if (title->as_string().empty()) {
+      bad("\"title\" is empty");
+    }
+  }
+
+  if (const json::Value* metrics = doc.find("metrics")) {
+    if (!metrics->is_object()) {
+      bad("\"metrics\" is not an object");
+    } else {
+      for (const auto& [name, value] : metrics->members()) {
+        if (value.kind() != json::Value::Kind::number &&
+            value.kind() != json::Value::Kind::string) {
+          bad("metric \"" + name + "\" is neither a number nor a string");
+        }
+      }
+    }
+  } else {
+    bad("missing required key \"metrics\"");
+  }
+
+  if (const json::Value* tables = doc.find("tables")) {
+    if (!tables->is_array()) {
+      bad("\"tables\" is not an array");
+    } else {
+      for (std::size_t i = 0; i < tables->size(); ++i) {
+        const json::Value& t = tables->at(i);
+        const std::string where = "tables[" + std::to_string(i) + "]";
+        if (!t.is_object()) {
+          bad(where + " is not an object");
+          continue;
+        }
+        const json::Value* title = t.find("title");
+        if (title == nullptr || title->kind() != json::Value::Kind::string) {
+          bad(where + " has no string \"title\"");
+        }
+        const json::Value* headers = t.find("headers");
+        const json::Value* rows = t.find("rows");
+        if (headers == nullptr || !headers->is_array()) {
+          bad(where + " has no array \"headers\"");
+        }
+        if (rows == nullptr || !rows->is_array()) {
+          bad(where + " has no array \"rows\"");
+        }
+        if (headers != nullptr && headers->is_array() && rows != nullptr &&
+            rows->is_array()) {
+          for (std::size_t r = 0; r < rows->size(); ++r) {
+            if (!rows->at(r).is_array() ||
+                rows->at(r).size() != headers->size()) {
+              bad(where + ".rows[" + std::to_string(r) + "] width " +
+                  std::to_string(rows->at(r).is_array() ? rows->at(r).size()
+                                                        : 0) +
+                  " != headers width " + std::to_string(headers->size()));
+            }
+          }
+        }
+      }
+    }
+  } else {
+    bad("missing required key \"tables\"");
+  }
+
+  if (const json::Value* notes = doc.find("notes")) {
+    if (!notes->is_array()) {
+      bad("\"notes\" is not an array");
+    } else {
+      for (std::size_t i = 0; i < notes->size(); ++i) {
+        if (notes->at(i).kind() != json::Value::Kind::string) {
+          bad("notes[" + std::to_string(i) + "] is not a string");
+        }
+      }
+    }
+  } else {
+    bad("missing required key \"notes\"");
+  }
+  return problems;
+}
+
 }  // namespace rveval::report

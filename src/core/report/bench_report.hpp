@@ -18,6 +18,7 @@
 /// Numeric-looking table cells are emitted as JSON numbers.
 
 #include <string>
+#include <vector>
 
 #include "core/report/json.hpp"
 #include "core/report/table.hpp"
@@ -57,5 +58,13 @@ class BenchReport {
   std::string bench_id_;
   std::string title_;
 };
+
+/// Structural validation of an rveval-bench-v1 document: schema tag, bench
+/// id, title, metrics object (numbers/strings only), tables each with
+/// title/headers/rows of matching width, notes as strings. Returns every
+/// violation found (empty = valid). CI runs this over emitted BENCH_*.json
+/// so a report regression fails the build, not the plotting pipeline.
+[[nodiscard]] std::vector<std::string> validate_bench_v1(
+    const json::Value& doc);
 
 }  // namespace rveval::report

@@ -268,32 +268,35 @@ class Parser {
           out += '\t';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            error("truncated \\u escape");
-          }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
+          unsigned code = hex4();
+          // A high surrogate must combine with the following \uXXXX low
+          // surrogate into one supplementary-plane code point; encoding
+          // the halves separately would emit CESU-8, which strict UTF-8
+          // consumers reject. An unpaired half stays as-is (raw 3-byte
+          // encoding) so lenient round-trips still work.
+          if (code >= 0xD800 && code <= 0xDBFF && pos_ + 1 < text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            const std::size_t rewind = pos_;
+            pos_ += 2;
+            const unsigned lo = hex4();
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
             } else {
-              error("invalid \\u escape");
+              pos_ = rewind;  // not a low surrogate: reparse it on its own
             }
           }
-          // UTF-8 encode the BMP code point (surrogate halves pass through
-          // encoded individually; see header caveat).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }
@@ -303,6 +306,29 @@ class Parser {
           error("invalid escape");
       }
     }
+  }
+
+  /// Consume exactly four hex digits of a \uXXXX escape (the "\u" is
+  /// already consumed) and return the code unit.
+  unsigned hex4() {
+    if (pos_ + 4 > text_.size()) {
+      error("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        error("invalid \\u escape");
+      }
+    }
+    return code;
   }
 
   Value number() {

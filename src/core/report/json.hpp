@@ -10,8 +10,9 @@
 ///   - objects preserve insertion order and allow duplicate keys on build
 ///     (parse keeps the last duplicate when queried via find);
 ///   - numbers are doubles, printed without a fraction part when integral;
-///   - \uXXXX escapes outside the BMP are not combined into surrogate
-///     pairs on parse (each half decodes to U+FFFD-style raw bytes).
+///   - \uXXXX surrogate pairs combine into one supplementary-plane code
+///     point on parse (proper 4-byte UTF-8); an unpaired surrogate half
+///     passes through as its raw 3-byte encoding rather than erroring.
 
 #include <cstddef>
 #include <optional>

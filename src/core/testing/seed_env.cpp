@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "minihpx/distributed/parcel_pipeline.hpp"
 #include "minihpx/testing/det.hpp"
 
 namespace rveval::testing {
@@ -16,6 +17,10 @@ SeedEnv seed_env() {
       mhpx::testing::detail::env_u64_list("RVEVAL_SCHED_PREEMPTS");
   env.simtest_budget = static_cast<unsigned>(
       mhpx::testing::detail::env_u64("RVEVAL_SIMTEST_BUDGET", 64));
+  const auto coalesce = mhpx::dist::coalesce_config_from_env();
+  env.coalesce = coalesce.enabled;
+  env.coalesce_max_bytes = coalesce.max_bytes;
+  env.coalesce_max_frames = coalesce.max_frames;
   return env;
 }
 
@@ -30,6 +35,11 @@ std::string SeedEnv::repro_line() const {
     }
   }
   os << " RVEVAL_SIMTEST_BUDGET=" << simtest_budget;
+  os << " RVEVAL_COALESCE=" << (coalesce ? 1 : 0);
+  if (coalesce) {
+    os << " RVEVAL_COALESCE_MAX_BYTES=" << coalesce_max_bytes
+       << " RVEVAL_COALESCE_MAX_FRAMES=" << coalesce_max_frames;
+  }
   return os.str();
 }
 

@@ -6,9 +6,13 @@
 /// PR 1 introduced RVEVAL_FAULT_SEED (fault-injection RNG), the testing
 /// subsystem adds RVEVAL_SCHED_SEED / RVEVAL_SCHED_PREEMPTS (deterministic
 /// scheduling replay), RVEVAL_SIMTEST_BUDGET (interleavings per explorer
-/// run) and RVEVAL_PROP_SEED (single property-case replay). Tests read
-/// them through this helper and, on failure, print repro_line() so the
-/// exact schedule/fault plan can be replayed with one copy-pasted env line.
+/// run) and RVEVAL_PROP_SEED (single property-case replay). The parcelport
+/// adds RVEVAL_COALESCE / RVEVAL_COALESCE_MAX_BYTES /
+/// RVEVAL_COALESCE_MAX_FRAMES (send-side batching; see
+/// minihpx/distributed/parcel_pipeline.hpp). Tests read them through this
+/// helper and, on failure, print repro_line() so the exact
+/// schedule/fault/batching plan can be replayed with one copy-pasted env
+/// line.
 
 #include <cstdint>
 #include <string>
@@ -24,6 +28,9 @@ struct SeedEnv {
   bool sched_seed_set = false;              ///< was RVEVAL_SCHED_SEED given?
   std::vector<std::uint64_t> sched_preempts;  ///< RVEVAL_SCHED_PREEMPTS
   unsigned simtest_budget = 64;             ///< RVEVAL_SIMTEST_BUDGET
+  bool coalesce = true;                     ///< RVEVAL_COALESCE
+  std::uint64_t coalesce_max_bytes = 128 * 1024;  ///< RVEVAL_COALESCE_MAX_BYTES
+  std::uint64_t coalesce_max_frames = 64;   ///< RVEVAL_COALESCE_MAX_FRAMES
 
   /// "RVEVAL_FAULT_SEED=... RVEVAL_SCHED_SEED=..." — everything needed to
   /// replay the current run, including variables left at their defaults.

@@ -224,6 +224,28 @@ void register_fabric_counters(CounterBlock& block, const dist::Fabric& fabric) {
             CounterKind::monotonic, [f] {
               return static_cast<double>(f->stats().control_messages);
             });
+  block.add(base + "/flushes", "wire-level flushes (batches put on the wire)",
+            CounterKind::monotonic,
+            [f] { return static_cast<double>(f->stats().flushes); });
+  block.add(base + "/coalesced-frames",
+            "frames that shared a flush with at least one other frame",
+            CounterKind::monotonic,
+            [f] { return static_cast<double>(f->stats().coalesced_frames); });
+  block.add(base + "/bytes-per-flush",
+            "mean frame bytes per wire-level flush", CounterKind::gauge, [f] {
+              const auto s = f->stats();
+              return s.flushes == 0 ? 0.0
+                                    : static_cast<double>(s.flushed_bytes) /
+                                          static_cast<double>(s.flushes);
+            });
+  block.add(base + "/recv-errors",
+            "receive failures that were real errors (not orderly peer close)",
+            CounterKind::monotonic,
+            [f] { return static_cast<double>(f->stats().recv_errors); });
+  block.add(base + "/send-errors",
+            "send failures that marked a peer connection dead",
+            CounterKind::monotonic,
+            [f] { return static_cast<double>(f->stats().send_errors); });
 }
 
 void register_resilience_counters(CounterBlock& block) {

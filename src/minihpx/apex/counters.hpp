@@ -163,8 +163,10 @@ void register_scheduler_counters(CounterBlock& block,
                                  const threads::Scheduler& sched,
                                  const std::string& pool = "default");
 
-/// `/parcels/{fabric}/count/{sent,bytes,rendezvous,control}` where {fabric}
-/// is the parcelport's name() (inproc, tcp, mpisim).
+/// `/parcels/{fabric}/count/{sent,bytes,rendezvous,control}` plus the
+/// coalescing/error set `/parcels/{fabric}/{flushes,coalesced-frames,
+/// bytes-per-flush,recv-errors,send-errors}`, where {fabric} is the
+/// parcelport's name() (inproc, tcp, mpisim).
 void register_fabric_counters(CounterBlock& block, const dist::Fabric& fabric);
 
 /// `/resilience/count/{retries,replays-exhausted,votes,vote-failures,

@@ -17,11 +17,59 @@
 #include <functional>
 #include <memory>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "minihpx/distributed/gid.hpp"
 
 namespace mhpx::dist {
+
+/// One logical frame as two scatter-gather segments: a small framing `head`
+/// (serialized parcel header, sequence stamps, ...) and the possibly large
+/// `body` (the serialized payload). Keeping them separate lets the
+/// serialization layer hand its buffer to the fabric by move instead of
+/// memcpy, and lets socket fabrics put both segments on the wire with one
+/// scatter-gather syscall instead of gluing them first.
+struct WireFrame {
+  std::vector<std::byte> head;
+  std::vector<std::byte> body;
+
+  WireFrame() = default;
+  /// A flat frame travels as a body-only WireFrame (no extra copy).
+  explicit WireFrame(std::vector<std::byte> flat) : body(std::move(flat)) {}
+  WireFrame(std::vector<std::byte> h, std::vector<std::byte> b)
+      : head(std::move(h)), body(std::move(b)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return head.size() + body.size();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return head.empty() && body.empty();
+  }
+
+  /// Byte at logical offset \p i across both segments.
+  [[nodiscard]] std::byte& at(std::size_t i) {
+    return i < head.size() ? head[i] : body[i - head.size()];
+  }
+
+  /// Grow the head segment by prepending \p n bytes (decorator stamps).
+  void prepend(const std::byte* data, std::size_t n) {
+    head.insert(head.begin(), data, data + n);
+  }
+
+  /// Glue both segments into one contiguous buffer. Body-only frames move
+  /// through without a copy — the common fast path for in-memory fabrics.
+  [[nodiscard]] std::vector<std::byte> flatten() && {
+    if (head.empty()) {
+      return std::move(body);
+    }
+    std::vector<std::byte> flat;
+    flat.reserve(size());
+    flat.insert(flat.end(), head.begin(), head.end());
+    flat.insert(flat.end(), body.begin(), body.end());
+    return flat;
+  }
+};
 
 /// Which parcelport implementation to use.
 enum class FabricKind {
@@ -59,6 +107,17 @@ class Fabric {
     std::uint64_t rendezvous_messages = 0;
     /// mpisim only: simulated protocol control messages (RTS/CTS).
     std::uint64_t control_messages = 0;
+    /// Wire-level sends (coalesced batches). For TCP one flush is one
+    /// sendmsg(); messages/flushes is the coalescing factor.
+    std::uint64_t flushes = 0;
+    /// Frames that shared a flush with at least one other frame.
+    std::uint64_t coalesced_frames = 0;
+    /// Bytes that left through flushes (logical frame bytes incl. heads).
+    std::uint64_t flushed_bytes = 0;
+    /// tcp only: recv() failures that were real errors, not peer close.
+    std::uint64_t recv_errors = 0;
+    /// tcp only: send failures (EPIPE/ECONNRESET -> peer treated as dead).
+    std::uint64_t send_errors = 0;
   };
 
   virtual ~Fabric() = default;
@@ -71,12 +130,56 @@ class Fabric {
   virtual void send(locality_id src, locality_id dst,
                     std::vector<std::byte> frame) = 0;
 
+  /// Scatter-gather send: head + body go out as one logical frame without
+  /// being glued by the caller. Default glues and uses the flat overload;
+  /// the real fabrics override this with a zero-copy path.
+  virtual void send(locality_id src, locality_id dst, WireFrame frame) {
+    send(src, dst, std::move(frame).flatten());
+  }
+
+  /// Explicit barrier: block until every frame accepted by send() so far
+  /// has left through the transport (it may still be in flight to the
+  /// receiver). No-op for fabrics without a coalescing queue.
+  virtual void flush() {}
+
+  /// TCP_CORK at the parcel layer: between cork() and the matching
+  /// uncork(), frames are held in the coalescing queues (full batches
+  /// still leave on overflow), so a burst of sends issued back-to-back
+  /// shares wire messages deterministically. Callers must not block on a
+  /// reply while corked — replies ride the same queues. No-op for fabrics
+  /// without a coalescing queue and when RVEVAL_COALESCE=0. Decorators
+  /// forward to the wrapped fabric. Prefer CorkScope over calling these
+  /// directly.
+  virtual void cork() {}
+  virtual void uncork() {}
+
+  /// Test hook: forcibly sever locality \p victim's transport connectivity
+  /// (the "board yanked mid-run" case — for TCP this closes its sockets so
+  /// peers observe real EPIPE/ECONNRESET). Returns false when the fabric
+  /// has no such failure mode. Decorators forward to the wrapped fabric.
+  virtual bool debug_kill_endpoint(locality_id victim) {
+    (void)victim;
+    return false;
+  }
+
   /// Stop background threads and release sockets. Idempotent; called by
   /// the distributed runtime before localities are destroyed.
   virtual void shutdown() = 0;
 
   [[nodiscard]] virtual Stats stats() const = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// RAII cork: holds the fabric corked for the scope of a send burst.
+class CorkScope {
+ public:
+  explicit CorkScope(Fabric& fabric) : fabric_(fabric) { fabric_.cork(); }
+  ~CorkScope() { fabric_.uncork(); }
+  CorkScope(const CorkScope&) = delete;
+  CorkScope& operator=(const CorkScope&) = delete;
+
+ private:
+  Fabric& fabric_;
 };
 
 /// Construct a fabric of the given kind.

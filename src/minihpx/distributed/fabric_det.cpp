@@ -45,19 +45,33 @@ class DetFabric final : public Fabric {
 
   void send(locality_id src, locality_id dst,
             std::vector<std::byte> frame) override {
-    std::vector<std::byte> stamped(frame.size() + seq_bytes);
-    std::uint64_t seq;
+    send(src, dst, WireFrame(std::move(frame)));
+  }
+
+  void send(locality_id src, locality_id dst, WireFrame frame) override {
+    std::byte stamp[seq_bytes];
     {
       // Stamp and hand to the inner fabric under one lock so the global
-      // sequence matches the inner submission order exactly.
+      // sequence matches the inner submission order exactly. The stamp
+      // grows the frame's head segment; the payload is never copied, and
+      // an inner coalescing fabric batches the stamped frame as usual.
       std::lock_guard lock(send_mutex_);
-      seq = next_seq_++;
+      const std::uint64_t seq = next_seq_++;
       for (std::size_t b = 0; b < seq_bytes; ++b) {
-        stamped[b] = static_cast<std::byte>((seq >> (8 * b)) & 0xFF);
+        stamp[b] = static_cast<std::byte>((seq >> (8 * b)) & 0xFF);
       }
-      std::memcpy(stamped.data() + seq_bytes, frame.data(), frame.size());
-      inner_->send(src, dst, std::move(stamped));
+      frame.prepend(stamp, seq_bytes);
+      inner_->send(src, dst, std::move(frame));
     }
+  }
+
+  void flush() override { inner_->flush(); }
+
+  void cork() override { inner_->cork(); }
+  void uncork() override { inner_->uncork(); }
+
+  bool debug_kill_endpoint(locality_id victim) override {
+    return inner_->debug_kill_endpoint(victim);
   }
 
   void shutdown() override { inner_->shutdown(); }

@@ -1,18 +1,22 @@
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/parcel_pipeline.hpp"
 #include "minihpx/instrument.hpp"
 
 namespace mhpx::dist {
 
 namespace {
 
-/// Direct handoff: send() invokes the destination's receiver on the calling
-/// thread. The receiver (Locality::deliver) only posts a task, so this is
-/// cheap and cannot recurse unboundedly.
+/// Direct handoff through the shared send pipeline: a lone send() flushes
+/// inline on the calling thread (the receiver — Locality::deliver — only
+/// posts a task, so this is cheap and cannot recurse unboundedly);
+/// concurrent sends to the same peer coalesce into the active flusher's
+/// next batch, exercising the same batching logic the socket fabrics use.
 class InprocFabric final : public Fabric {
  public:
   void connect(std::vector<receive_fn> receivers) override {
@@ -21,30 +25,68 @@ class InprocFabric final : public Fabric {
       throw std::logic_error("inproc fabric: connect() called twice");
     }
     receivers_ = std::move(receivers);
+    pipeline_ = std::make_unique<SendPipeline>(
+        coalesce_config_from_env(),
+        [this](locality_id src, locality_id dst, FrameBatch batch) {
+          for (WireFrame& f : batch.frames) {
+            receivers_[dst](src, std::move(f).flatten());
+          }
+        });
+    pipeline_->connect(receivers_.size());
   }
 
   void send(locality_id src, locality_id dst,
             std::vector<std::byte> frame) override {
-    receive_fn* target = nullptr;
+    send(src, dst, WireFrame(std::move(frame)));
+  }
+
+  void send(locality_id src, locality_id dst, WireFrame frame) override {
     {
       std::lock_guard lk(mutex_);
       if (dst >= receivers_.size()) {
         throw std::out_of_range("inproc fabric: bad destination locality");
       }
-      target = &receivers_[dst];
     }
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
     instrument::detail::notify_parcel(src, dst, frame.size());
-    (*target)(src, std::move(frame));
+    pipeline_->submit(src, dst, std::move(frame));
   }
 
-  void shutdown() override {}
+  void flush() override {
+    if (pipeline_) {
+      pipeline_->flush_all();
+    }
+  }
+
+  void cork() override {
+    if (pipeline_) {
+      pipeline_->cork();
+    }
+  }
+
+  void uncork() override {
+    if (pipeline_) {
+      pipeline_->uncork();
+    }
+  }
+
+  void shutdown() override {
+    if (pipeline_) {
+      pipeline_->flush_all();
+    }
+  }
 
   [[nodiscard]] Stats stats() const override {
     Stats s;
     s.messages = messages_.load(std::memory_order_relaxed);
     s.bytes = bytes_.load(std::memory_order_relaxed);
+    if (pipeline_) {
+      const auto p = pipeline_->stats();
+      s.flushes = p.flushes;
+      s.coalesced_frames = p.coalesced;
+      s.flushed_bytes = p.flushed_bytes;
+    }
     return s;
   }
 
@@ -53,6 +95,7 @@ class InprocFabric final : public Fabric {
  private:
   mutable std::mutex mutex_;  // guards receivers_
   std::vector<receive_fn> receivers_;
+  std::unique_ptr<SendPipeline> pipeline_;
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
 };

@@ -2,20 +2,43 @@
 //
 // Every locality gets a listening socket on 127.0.0.1 with a kernel-chosen
 // port; connect() establishes a full mesh (locality j dials every i < j) and
-// then starts one reader thread per connection. Frames are length-prefixed:
-//   uint32 frame_size | uint32 source_locality | frame bytes.
-// This exercises the same syscall path a two-board GbE cluster would, which
-// is what makes the TCP-vs-MPI comparison of Fig. 8 meaningful.
+// then starts one reader thread per connection. This exercises the same
+// syscall path a two-board GbE cluster would, which is what makes the
+// TCP-vs-MPI comparison of Fig. 8 meaningful.
+//
+// Frames travel in *bundles*: the shared SendPipeline coalesces frames bound
+// for the same peer, and one sendmsg() puts the whole batch on the wire with
+// scatter-gather iovecs — header, per-frame lengths and every frame's
+// head/body segments leave without being glued into a flat buffer first.
+// Bundle wire format (all little-endian host order; both ends are this
+// process):
+//   uint32 source_locality | uint32 nframes | uint32 total_bytes
+//   uint32 frame_len * nframes
+//   frame bytes, concatenated in order
+//
+// Failure semantics (the two bugs this file used to have):
+//   - recv() errors are distinguished from orderly peer close: real errors
+//     are counted (/parcels/tcp/recv-errors) and logged, not silently
+//     folded into "peer hung up";
+//   - send() failures (EPIPE/ECONNRESET — the peer board died) no longer
+//     throw std::system_error through the caller: the connection is marked
+//     dead and the frames are dropped with the same accounting
+//     FaultyFabric's board-death uses, so the resilience layer's replay
+//     timeout sees a lost message instead of the driver crashing.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <system_error>
@@ -23,6 +46,7 @@
 #include <utility>
 
 #include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/parcel_pipeline.hpp"
 #include "minihpx/instrument.hpp"
 
 namespace mhpx::dist {
@@ -41,32 +65,44 @@ void write_all(int fd, const void* data, std::size_t n) {
       if (errno == EINTR) {
         continue;
       }
-      throw_errno("tcp parcelport: send");
+      throw_errno("tcp parcelport: handshake send");
     }
     p += w;
     n -= static_cast<std::size_t>(w);
   }
 }
 
-/// Returns false on orderly shutdown (peer closed).
-bool read_all(int fd, void* out, std::size_t n) {
+/// Outcome of a blocking read: data, orderly peer close, or a real error
+/// (errno preserved for the caller's diagnostics).
+enum class IoStatus { ok, closed, error };
+
+IoStatus read_all(int fd, void* out, std::size_t n) {
   char* p = static_cast<char*>(out);
   while (n > 0) {
     const ssize_t r = ::recv(fd, p, n, 0);
     if (r == 0) {
-      return false;
+      return IoStatus::closed;  // orderly shutdown: peer closed the socket
     }
     if (r < 0) {
       if (errno == EINTR) {
         continue;
       }
-      return false;  // socket torn down during shutdown
+      return IoStatus::error;  // real failure — NOT an orderly close
     }
     p += r;
     n -= static_cast<std::size_t>(r);
   }
-  return true;
+  return IoStatus::ok;
 }
+
+/// Largest number of frames one sendmsg() carries: 2 iovecs per frame plus
+/// the bundle header stay far below IOV_MAX (POSIX floor 1024).
+constexpr std::size_t max_wire_frames = 120;
+constexpr std::size_t bundle_header_words = 3;  // src, nframes, total_bytes
+/// Reader-side sanity bounds; in-process both ends speak this protocol, so
+/// violations mean a torn stream, not a hostile peer.
+constexpr std::uint32_t max_sane_frames = 1u << 20;
+constexpr std::uint32_t max_sane_bytes = 1u << 30;
 
 class TcpFabric final : public Fabric {
  public:
@@ -75,7 +111,16 @@ class TcpFabric final : public Fabric {
   void connect(std::vector<receive_fn> receivers) override {
     const auto n = static_cast<locality_id>(receivers.size());
     receivers_ = std::move(receivers);
-    sockets_.assign(n, std::vector<int>(n, -1));
+    conns_ = std::vector<std::vector<Conn>>(n);
+    for (auto& row : conns_) {
+      row = std::vector<Conn>(n);
+    }
+    pipeline_ = std::make_unique<SendPipeline>(
+        coalesce_config_from_env(),
+        [this](locality_id src, locality_id dst, FrameBatch batch) {
+          wire_flush(src, dst, std::move(batch));
+        });
+    pipeline_->connect(n);
 
     // One listener per locality on a kernel-chosen loopback port.
     std::vector<int> listeners(n, -1);
@@ -129,13 +174,13 @@ class TcpFabric final : public Fabric {
           throw_errno("tcp parcelport: accept");
         }
         std::uint32_t peer = 0;
-        if (!read_all(afd, &peer, sizeof(peer))) {
+        if (read_all(afd, &peer, sizeof(peer)) != IoStatus::ok) {
           throw std::runtime_error("tcp parcelport: handshake failed");
         }
         configure(fd);
         configure(afd);
-        sockets_[j][i] = fd;   // j -> i uses the dialled socket
-        sockets_[i][peer] = afd;  // i -> j uses the accepted socket
+        conns_[j][i].fd.store(fd);      // j -> i uses the dialled socket
+        conns_[i][peer].fd.store(afd);  // i -> j uses the accepted socket
       }
     }
     for (const int fd : listeners) {
@@ -153,33 +198,70 @@ class TcpFabric final : public Fabric {
         readers_.emplace_back([this, d, s] { reader_loop(d, s); });
       }
     }
-    send_mutexes_ = std::vector<std::mutex>(static_cast<std::size_t>(n) * n);
   }
 
   void send(locality_id src, locality_id dst,
             std::vector<std::byte> frame) override {
+    send(src, dst, WireFrame(std::move(frame)));
+  }
+
+  void send(locality_id src, locality_id dst, WireFrame frame) override {
     if (src == dst) {
-      deliver_local(src, dst, std::move(frame));
+      deliver_local(src, dst, std::move(frame).flatten());
       return;
     }
-    const int fd = sockets_[src][dst];
-    if (fd < 0) {
+    if (conns_[src][dst].fd.load(std::memory_order_acquire) < 0 &&
+        !conns_[src][dst].dead.load(std::memory_order_acquire)) {
       throw std::logic_error("tcp parcelport: no connection");
-    }
-    const auto size = static_cast<std::uint32_t>(frame.size());
-    const std::uint32_t who = src;
-    {
-      // Serialise writers per directed connection so frames never interleave.
-      std::lock_guard lk(send_mutexes_[static_cast<std::size_t>(src) *
-                                           sockets_.size() +
-                                       dst]);
-      write_all(fd, &size, sizeof(size));
-      write_all(fd, &who, sizeof(who));
-      write_all(fd, frame.data(), frame.size());
     }
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
     instrument::detail::notify_parcel(src, dst, frame.size());
+    pipeline_->submit(src, dst, std::move(frame));
+  }
+
+  void flush() override {
+    if (pipeline_) {
+      pipeline_->flush_all();
+    }
+  }
+
+  void cork() override {
+    if (pipeline_) {
+      pipeline_->cork();
+    }
+  }
+
+  void uncork() override {
+    if (pipeline_) {
+      pipeline_->uncork();
+    }
+  }
+
+  bool debug_kill_endpoint(locality_id victim) override {
+    if (victim >= conns_.size()) {
+      return false;
+    }
+    // Sever both directions of every connection touching the victim. The
+    // fds stay open (readers may be blocked in recv on them; close() would
+    // race fd reuse) — shutdown() wakes blocked readers with EOF. Only the
+    // victim's own outbound connections are pre-marked dead: survivors must
+    // *discover* the death the way a real cluster does, through EPIPE /
+    // ECONNRESET on their next send — that exercises the send-error ->
+    // board-death path instead of bypassing it.
+    for (locality_id p = 0; p < conns_.size(); ++p) {
+      if (p == victim) {
+        continue;
+      }
+      for (Conn* c : {&conns_[victim][p], &conns_[p][victim]}) {
+        const int fd = c->fd.load(std::memory_order_acquire);
+        if (fd >= 0) {
+          ::shutdown(fd, SHUT_RDWR);
+        }
+      }
+      conns_[victim][p].dead.store(true, std::memory_order_release);
+    }
+    return true;
   }
 
   void shutdown() override {
@@ -187,8 +269,12 @@ class TcpFabric final : public Fabric {
     if (!running_.compare_exchange_strong(expected, false)) {
       // Not started or already shut down; still join any stray readers.
     }
-    for (auto& row : sockets_) {
-      for (int& fd : row) {
+    if (pipeline_) {
+      pipeline_->flush_all();  // give queued frames their shot at the wire
+    }
+    for (auto& row : conns_) {
+      for (Conn& c : row) {
+        const int fd = c.fd.load(std::memory_order_acquire);
         if (fd >= 0) {
           ::shutdown(fd, SHUT_RDWR);
         }
@@ -200,11 +286,11 @@ class TcpFabric final : public Fabric {
       }
     }
     readers_.clear();
-    for (auto& row : sockets_) {
-      for (int& fd : row) {
+    for (auto& row : conns_) {
+      for (Conn& c : row) {
+        const int fd = c.fd.exchange(-1);
         if (fd >= 0) {
           ::close(fd);
-          fd = -1;
         }
       }
     }
@@ -214,12 +300,26 @@ class TcpFabric final : public Fabric {
     Stats s;
     s.messages = messages_.load(std::memory_order_relaxed);
     s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.recv_errors = recv_errors_.load(std::memory_order_relaxed);
+    s.send_errors = send_errors_.load(std::memory_order_relaxed);
+    if (pipeline_) {
+      const auto p = pipeline_->stats();
+      s.flushes = p.flushes;
+      s.coalesced_frames = p.coalesced;
+      s.flushed_bytes = p.flushed_bytes;
+    }
     return s;
   }
 
   [[nodiscard]] std::string_view name() const override { return "tcp"; }
 
  private:
+  struct Conn {
+    std::atomic<int> fd{-1};
+    std::atomic<bool> dead{false};
+    std::atomic<bool> error_logged{false};
+  };
+
   static void configure(int fd) {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -232,33 +332,180 @@ class TcpFabric final : public Fabric {
     receivers_[dst](src, std::move(frame));
   }
 
+  /// Report one connection failure (first failure per connection only —
+  /// a dead board would otherwise flood the log once per queued frame).
+  void log_conn_error(Conn& c, const char* op, locality_id src,
+                      locality_id dst, int err) {
+    if (!c.error_logged.exchange(true)) {
+      std::fprintf(stderr,
+                   "minihpx tcp parcelport: %s %u->%u failed: %s; treating "
+                   "peer as dead\n",
+                   op, static_cast<unsigned>(src), static_cast<unsigned>(dst),
+                   std::strerror(err));
+    }
+  }
+
+  /// Account a batch that will never reach the wire — the same signal
+  /// FaultyFabric emits for board-death drops, which is what the
+  /// resilience replay/heartbeat layer keys on.
+  void drop_batch(locality_id src, locality_id dst, const FrameBatch& batch) {
+    for (const auto& f : batch.frames) {
+      instrument::detail::notify_parcel_dropped(src, dst, f.size());
+    }
+  }
+
+  /// Put one batch on the wire: sub-bundles of <= max_wire_frames frames,
+  /// each sent with a single scatter-gather sendmsg() when possible.
+  void wire_flush(locality_id src, locality_id dst, FrameBatch batch) {
+    Conn& c = conns_[src][dst];
+    if (c.dead.load(std::memory_order_acquire)) {
+      drop_batch(src, dst, batch);
+      return;
+    }
+    const int fd = c.fd.load(std::memory_order_acquire);
+    if (fd < 0) {
+      drop_batch(src, dst, batch);
+      return;
+    }
+    std::size_t first = 0;
+    while (first < batch.frames.size()) {
+      const std::size_t count =
+          std::min(batch.frames.size() - first, max_wire_frames);
+      if (!send_bundle(c, fd, src, dst, &batch.frames[first], count)) {
+        // Connection died mid-batch: everything from `first` on is lost.
+        FrameBatch rest;
+        for (std::size_t i = first; i < batch.frames.size(); ++i) {
+          rest.frames.push_back(std::move(batch.frames[i]));
+        }
+        drop_batch(src, dst, rest);
+        return;
+      }
+      first += count;
+    }
+  }
+
+  /// One bundle -> one sendmsg (looped only on partial writes / EINTR).
+  /// Returns false when the connection failed; the caller owns accounting.
+  bool send_bundle(Conn& c, int fd, locality_id src, locality_id dst,
+                   WireFrame* frames, std::size_t count) {
+    // Bundle header + frame length table, then 2 iovecs per frame.
+    std::vector<std::uint32_t> header(bundle_header_words + count);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      header[bundle_header_words + i] =
+          static_cast<std::uint32_t>(frames[i].size());
+      total += frames[i].size();
+    }
+    header[0] = src;
+    header[1] = static_cast<std::uint32_t>(count);
+    header[2] = static_cast<std::uint32_t>(total);
+
+    std::vector<iovec> iov;
+    iov.reserve(1 + 2 * count);
+    iov.push_back({header.data(), header.size() * sizeof(std::uint32_t)});
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!frames[i].head.empty()) {
+        iov.push_back({frames[i].head.data(), frames[i].head.size()});
+      }
+      if (!frames[i].body.empty()) {
+        iov.push_back({frames[i].body.data(), frames[i].body.size()});
+      }
+    }
+
+    std::size_t iov_index = 0;
+    while (iov_index < iov.size()) {
+      msghdr msg{};
+      msg.msg_iov = iov.data() + iov_index;
+      msg.msg_iovlen = iov.size() - iov_index;
+      const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        // EPIPE/ECONNRESET: the peer board died under us. Anything else
+        // (EBADF after a shutdown race, ...) gets the same treatment —
+        // surviving a flaky wire beats crashing the driver.
+        send_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (running_.load(std::memory_order_acquire)) {
+          log_conn_error(c, "send", src, dst, errno);
+        }
+        c.dead.store(true, std::memory_order_release);
+        return false;
+      }
+      // Advance past fully-written iovecs; trim a partially written one.
+      std::size_t written = static_cast<std::size_t>(w);
+      while (written > 0 && iov_index < iov.size()) {
+        iovec& v = iov[iov_index];
+        if (written >= v.iov_len) {
+          written -= v.iov_len;
+          ++iov_index;
+        } else {
+          v.iov_base = static_cast<char*>(v.iov_base) + written;
+          v.iov_len -= written;
+          written = 0;
+        }
+      }
+    }
+    return true;
+  }
+
   void reader_loop(locality_id self, locality_id peer) {
-    const int fd = sockets_[self][peer];
+    const int fd = conns_[self][peer].fd.load(std::memory_order_acquire);
     if (fd < 0) {
       return;
     }
     while (running_.load(std::memory_order_acquire)) {
-      std::uint32_t size = 0;
-      std::uint32_t who = 0;
-      if (!read_all(fd, &size, sizeof(size)) ||
-          !read_all(fd, &who, sizeof(who))) {
+      std::uint32_t header[bundle_header_words] = {0, 0, 0};
+      IoStatus st = read_all(fd, header, sizeof(header));
+      if (st != IoStatus::ok) {
+        on_read_end(self, peer, st);
         return;
       }
-      std::vector<std::byte> frame(size);
-      if (!read_all(fd, frame.data(), frame.size())) {
+      const std::uint32_t who = header[0];
+      const std::uint32_t nframes = header[1];
+      const std::uint32_t total = header[2];
+      if (nframes == 0 || nframes > max_sane_frames ||
+          total > max_sane_bytes) {
+        on_read_end(self, peer, IoStatus::error);  // torn stream
         return;
       }
-      receivers_[self](static_cast<locality_id>(who), std::move(frame));
+      std::vector<std::uint32_t> lens(nframes);
+      st = read_all(fd, lens.data(), nframes * sizeof(std::uint32_t));
+      if (st != IoStatus::ok) {
+        on_read_end(self, peer, st);
+        return;
+      }
+      for (std::uint32_t i = 0; i < nframes; ++i) {
+        std::vector<std::byte> frame(lens[i]);
+        st = read_all(fd, frame.data(), frame.size());
+        if (st != IoStatus::ok) {
+          on_read_end(self, peer, st);
+          return;
+        }
+        receivers_[self](static_cast<locality_id>(who), std::move(frame));
+      }
     }
   }
 
+  /// The reader stopped: orderly close is business as usual; a real recv
+  /// error is surfaced (counter + log) instead of masquerading as a close.
+  void on_read_end(locality_id self, locality_id peer, IoStatus st) {
+    if (st != IoStatus::error || !running_.load(std::memory_order_acquire)) {
+      return;  // peer closed, or our own shutdown tore the socket down
+    }
+    recv_errors_.fetch_add(1, std::memory_order_relaxed);
+    log_conn_error(conns_[self][peer], "recv", peer, self, errno);
+  }
+
   std::vector<receive_fn> receivers_;
-  std::vector<std::vector<int>> sockets_;  // [src][dst] -> fd
-  std::vector<std::mutex> send_mutexes_;
+  std::vector<std::vector<Conn>> conns_;  // [src][dst]
+  std::unique_ptr<SendPipeline> pipeline_;
   std::vector<std::thread> readers_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> recv_errors_{0};
+  std::atomic<std::uint64_t> send_errors_{0};
 };
 
 }  // namespace

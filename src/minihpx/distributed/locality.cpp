@@ -49,7 +49,8 @@ std::size_t Locality::component_count() const {
 }
 
 void Locality::send_parcel(Parcel p) {
-  runtime_.fabric().send(id_, p.header.destination, encode_parcel(p));
+  const locality_id dst = p.header.destination;
+  runtime_.fabric().send(id_, dst, encode_parcel_frame(std::move(p)));
 }
 
 void Locality::deliver(locality_id src, std::vector<std::byte> frame) {

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "minihpx/distributed/fabric.hpp"
 #include "minihpx/distributed/gid.hpp"
 #include "minihpx/serialization/archive.hpp"
 
@@ -58,7 +60,20 @@ constexpr std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
-/// Flatten a parcel into one frame.
+/// Encode a parcel as a scatter-gather wire frame: the serialized header
+/// becomes the head segment and the payload buffer *moves* into the body —
+/// the zero-copy hot path. The payload is never memcpy'd; socket fabrics
+/// put both segments on the wire with one scatter-gather syscall.
+inline WireFrame encode_parcel_frame(Parcel&& p) {
+  serialization::OutputArchive head;
+  head& p.header;
+  const auto n = static_cast<std::uint64_t>(p.payload.size());
+  head& n;
+  return WireFrame{std::move(head).take(), std::move(p.payload)};
+}
+
+/// Flatten a parcel into one contiguous frame (copies the payload; tests
+/// and non-hot paths only — the runtime sends encode_parcel_frame()).
 inline std::vector<std::byte> encode_parcel(const Parcel& p) {
   serialization::OutputArchive ar;
   ar& p.header;

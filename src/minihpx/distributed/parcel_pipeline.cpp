@@ -1,0 +1,131 @@
+#include "minihpx/distributed/parcel_pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "minihpx/testing/det.hpp"
+
+namespace mhpx::dist {
+
+CoalesceConfig coalesce_config_from_env() {
+  namespace td = mhpx::testing::detail;
+  CoalesceConfig cfg;
+  cfg.enabled = td::env_u64("RVEVAL_COALESCE", 1) != 0;
+  cfg.max_bytes = static_cast<std::size_t>(td::env_u64(
+      "RVEVAL_COALESCE_MAX_BYTES", CoalesceConfig::default_max_bytes));
+  cfg.max_frames = static_cast<std::size_t>(td::env_u64(
+      "RVEVAL_COALESCE_MAX_FRAMES", CoalesceConfig::default_max_frames));
+  if (cfg.max_frames == 0) {
+    cfg.max_frames = 1;
+  }
+  if (cfg.max_bytes == 0) {
+    cfg.max_bytes = 1;
+  }
+  return cfg;
+}
+
+SendPipeline::SendPipeline(CoalesceConfig cfg, flush_fn flush)
+    : cfg_(cfg), flush_(std::move(flush)) {}
+
+void SendPipeline::connect(std::size_t n) {
+  n_ = n;
+  peers_.clear();
+  peers_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    peers_.push_back(std::make_unique<Peer>());
+  }
+}
+
+void SendPipeline::submit(locality_id src, locality_id dst, WireFrame frame) {
+  if (src >= n_ || dst >= n_) {
+    throw std::out_of_range("parcel pipeline: bad locality id");
+  }
+  Peer& p = peer(src, dst);
+  std::unique_lock lk(p.mutex);
+  p.queued_bytes += frame.size();
+  p.queue.push_back(std::move(frame));
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (p.flushing) {
+    return;  // the active flusher picks this frame up — that's coalescing
+  }
+  if (cfg_.enabled && cork_depth_.load(std::memory_order_acquire) > 0) {
+    // Corked: hold the frame for the uncork drain, but never buffer more
+    // than one full batch — overflow leaves as a complete batch now.
+    if (p.queue.size() < cfg_.max_frames && p.queued_bytes < cfg_.max_bytes) {
+      return;
+    }
+    p.flushing = true;
+    drain(p, lk, src, dst, /*only_full_batches=*/true);
+    return;
+  }
+  p.flushing = true;
+  drain(p, lk, src, dst);
+}
+
+void SendPipeline::drain(Peer& p, std::unique_lock<std::mutex>& lk,
+                         locality_id src, locality_id dst,
+                         bool only_full_batches) {
+  // Invariant: lk held, p.flushing set by this thread.
+  const std::size_t batch_frames = cfg_.enabled ? cfg_.max_frames : 1;
+  const std::size_t batch_bytes = cfg_.enabled ? cfg_.max_bytes : 1;
+  while (only_full_batches
+             ? (p.queue.size() >= batch_frames ||
+                p.queued_bytes >= batch_bytes)
+             : !p.queue.empty()) {
+    FrameBatch batch;
+    do {  // always take one; cut the batch at the size/frame limits
+      WireFrame f = std::move(p.queue.front());
+      p.queue.pop_front();
+      const std::size_t sz = f.size();
+      p.queued_bytes -= sz;
+      batch.bytes += sz;
+      batch.frames.push_back(std::move(f));
+    } while (!p.queue.empty() && batch.frames.size() < batch_frames &&
+             batch.bytes < batch_bytes);
+    lk.unlock();
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    flushed_bytes_.fetch_add(batch.bytes, std::memory_order_relaxed);
+    if (batch.frames.size() > 1) {
+      coalesced_.fetch_add(batch.frames.size(), std::memory_order_relaxed);
+    }
+    flush_(src, dst, std::move(batch));
+    lk.lock();
+  }
+  p.flushing = false;
+  p.idle.notify_all();
+}
+
+void SendPipeline::flush_all() {
+  for (locality_id src = 0; src < n_; ++src) {
+    for (locality_id dst = 0; dst < n_; ++dst) {
+      Peer& p = peer(src, dst);
+      std::unique_lock lk(p.mutex);
+      if (!p.flushing && !p.queue.empty()) {
+        p.flushing = true;
+        drain(p, lk, src, dst);
+      }
+      p.idle.wait(lk, [&] { return !p.flushing && p.queue.empty(); });
+    }
+  }
+}
+
+void SendPipeline::cork() {
+  cork_depth_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SendPipeline::uncork() {
+  if (cork_depth_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    flush_all();
+  }
+}
+
+SendPipeline::Stats SendPipeline::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.flushed_bytes = flushed_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mhpx::dist

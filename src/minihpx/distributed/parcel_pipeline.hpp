@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file parcel_pipeline.hpp
+/// Shared parcel send pipeline: per-peer outgoing queues with adaptive
+/// coalescing, used by all three fabrics (inproc, tcp, mpisim).
+///
+/// The paper's distributed headline (Fig. 8) is dominated by per-message
+/// protocol cost on the boards' GbE link; the follow-up study "Preparing
+/// for HPC on RISC-V" (Diehl et al., 2024) confirms small-message overhead
+/// rules these clusters. Real HPX parcelports therefore batch: frames bound
+/// for the same peer ride one wire message. This pipeline is the minihpx
+/// analogue, built as a *combiner*: the first thread to hit an idle peer
+/// queue becomes its flusher and drains it; frames submitted while a flush
+/// is in progress coalesce into the next batch. That yields
+///   - flush on queue-empty: a lone frame leaves immediately (no added
+///     latency, no timers),
+///   - flush on size: a draining flusher cuts a batch when it reaches the
+///     configured byte/frame limits,
+///   - flush on explicit barrier: flush_all() drains every queue and waits
+///     for in-flight flushers.
+/// Per-(src,dst) FIFO is preserved because exactly one flusher drains a
+/// queue at a time, in submission order.
+///
+/// Tunables come from the environment (read through rveval's seed_env so
+/// repro lines capture them): RVEVAL_COALESCE (0 disables batching),
+/// RVEVAL_COALESCE_MAX_BYTES and RVEVAL_COALESCE_MAX_FRAMES (batch cut
+/// limits).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "minihpx/distributed/fabric.hpp"
+
+namespace mhpx::dist {
+
+/// Coalescing knobs; see coalesce_config_from_env().
+struct CoalesceConfig {
+  static constexpr std::size_t default_max_bytes = 128 * 1024;
+  static constexpr std::size_t default_max_frames = 64;
+
+  bool enabled = true;                        ///< RVEVAL_COALESCE
+  std::size_t max_bytes = default_max_bytes;  ///< RVEVAL_COALESCE_MAX_BYTES
+  std::size_t max_frames = default_max_frames;  ///< RVEVAL_COALESCE_MAX_FRAMES
+};
+
+/// Read the RVEVAL_COALESCE* variables (defaults where unset).
+[[nodiscard]] CoalesceConfig coalesce_config_from_env();
+
+/// What one flush hands to the transport: >= 1 frames for one (src, dst)
+/// pair, in submission order.
+struct FrameBatch {
+  std::vector<WireFrame> frames;
+  std::size_t bytes = 0;  ///< sum of logical frame sizes
+};
+
+/// Per-peer combining send queue shared by every fabric backend. The fabric
+/// supplies the wire-level flush function; the pipeline owns batching,
+/// ordering and the coalescing counters.
+class SendPipeline {
+ public:
+  /// Puts one batch on the wire. Called outside the peer lock, serialized
+  /// per (src, dst) pair; distinct pairs may flush concurrently.
+  using flush_fn =
+      std::function<void(locality_id src, locality_id dst, FrameBatch batch)>;
+
+  SendPipeline(CoalesceConfig cfg, flush_fn flush);
+
+  /// Size the per-peer queue table for \p n localities. Must be called
+  /// before the first submit (fabrics call it from connect()).
+  void connect(std::size_t n);
+
+  /// Enqueue one frame; the calling thread flushes it unless another
+  /// thread is already draining this peer's queue.
+  void submit(locality_id src, locality_id dst, WireFrame frame);
+
+  /// Barrier: returns once every previously submitted frame has been
+  /// handed to the flush function.
+  void flush_all();
+
+  /// TCP_CORK for parcels: while corked, submitted frames are held in their
+  /// peer queues (full batches still flush on overflow) so a burst of sends
+  /// issued back-to-back coalesces deterministically instead of depending
+  /// on flush-timing luck. uncork() drains everything once the cork count
+  /// returns to zero; flush_all() remains an unconditional barrier. Both
+  /// are no-ops with coalescing disabled, so RVEVAL_COALESCE=0 still pays
+  /// one wire send per frame.
+  ///
+  /// The caller MUST NOT block on anything delivered through this pipeline
+  /// while corked (e.g. awaiting a reply to a corked request): replies ride
+  /// the same queues and would be held too.
+  void cork();
+  void uncork();
+
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< frames that entered the pipeline
+    std::uint64_t flushes = 0;    ///< flush_fn invocations (wire sends)
+    std::uint64_t coalesced = 0;  ///< frames sharing a flush with others
+    std::uint64_t flushed_bytes = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const CoalesceConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Peer {
+    std::mutex mutex;
+    std::condition_variable idle;  ///< signalled when a drain completes
+    std::deque<WireFrame> queue;
+    std::size_t queued_bytes = 0;
+    bool flushing = false;
+  };
+
+  Peer& peer(locality_id src, locality_id dst) {
+    return *peers_[static_cast<std::size_t>(src) * n_ + dst];
+  }
+  /// Drain \p p (caller holds \p lk and has set flushing). With
+  /// \p only_full_batches, stop once less than one full batch remains
+  /// (the corked-overflow case) instead of emptying the queue.
+  void drain(Peer& p, std::unique_lock<std::mutex>& lk, locality_id src,
+             locality_id dst, bool only_full_batches = false);
+
+  CoalesceConfig cfg_;
+  flush_fn flush_;
+  std::size_t n_ = 0;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::atomic<int> cork_depth_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> flushed_bytes_{0};
+};
+
+}  // namespace mhpx::dist

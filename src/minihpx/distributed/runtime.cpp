@@ -22,6 +22,15 @@ DistributedRuntime::DistributedRuntime(Config cfg) {
     });
   }
   fabric_->connect(std::move(receivers));
+  // Background-flush wiring: a worker draining a burst of action handlers
+  // corks the fabric and uncorks when it runs out of ready work, so the
+  // replies the burst produced leave as one coalesced batch instead of one
+  // wire send each. Held frames stop new work from arriving, so every
+  // burst ends and the uncork (a full flush) always comes.
+  for (auto& loc : localities_) {
+    loc->scheduler().set_burst_hooks([f = fabric_.get()] { f->cork(); },
+                                     [f = fabric_.get()] { f->uncork(); });
+  }
   apex::register_fabric_counters(counters_, *fabric_);
   for (auto& loc : localities_) {
     apex::register_scheduler_counters(
@@ -40,6 +49,9 @@ void DistributedRuntime::wait_all_idle() {
   // A reply parcel can re-awaken a locality that already looked idle, so
   // sweep until one pass observes every locality quiescent.
   for (;;) {
+    // Barrier the send pipeline first: every frame submitted so far must be
+    // on the wire before a locality's emptiness means anything.
+    fabric_->flush();
     bool all_idle = true;
     for (auto& loc : localities_) {
       if (loc->scheduler().live_tasks() != 0) {

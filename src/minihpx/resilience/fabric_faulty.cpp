@@ -26,6 +26,11 @@ void FaultyFabric::connect(std::vector<receive_fn> receivers) {
 
 void FaultyFabric::send(dist::locality_id src, dist::locality_id dst,
                         std::vector<std::byte> frame) {
+  send(src, dst, dist::WireFrame(std::move(frame)));
+}
+
+void FaultyFabric::send(dist::locality_id src, dist::locality_id dst,
+                        dist::WireFrame frame) {
   const std::uint64_t frame_no = frames_.fetch_add(1) + 1;
 
   bool drop = false;
@@ -75,7 +80,7 @@ void FaultyFabric::send(dist::locality_id src, dist::locality_id dst,
     if (flip_at >= frame.size()) {
       flip_at = frame.size() - 1;
     }
-    frame[flip_at] ^= flip_with;
+    frame.at(flip_at) ^= flip_with;
     corrupted_.fetch_add(1, std::memory_order_relaxed);
     instrument::detail::notify_parcel_corrupted();
   }
@@ -86,6 +91,16 @@ void FaultyFabric::send(dist::locality_id src, dist::locality_id dst,
         std::chrono::duration<double>(cfg_.delay_seconds));
   }
   inner_->send(src, dst, std::move(frame));
+}
+
+void FaultyFabric::flush() { inner_->flush(); }
+
+void FaultyFabric::cork() { inner_->cork(); }
+
+void FaultyFabric::uncork() { inner_->uncork(); }
+
+bool FaultyFabric::debug_kill_endpoint(dist::locality_id victim) {
+  return inner_->debug_kill_endpoint(victim);
 }
 
 void FaultyFabric::shutdown() { inner_->shutdown(); }

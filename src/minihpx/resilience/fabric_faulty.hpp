@@ -53,6 +53,16 @@ class FaultyFabric final : public dist::Fabric {
   void connect(std::vector<receive_fn> receivers) override;
   void send(dist::locality_id src, dist::locality_id dst,
             std::vector<std::byte> frame) override;
+  /// The fault plan is applied per *logical* frame, before any coalescing
+  /// in the wrapped fabric — a drop removes one parcel (never a whole
+  /// batch) and a corruption flips one byte of one frame, so the injected
+  /// failure modes are independent of the batching configuration.
+  void send(dist::locality_id src, dist::locality_id dst,
+            dist::WireFrame frame) override;
+  void flush() override;
+  void cork() override;
+  void uncork() override;
+  bool debug_kill_endpoint(dist::locality_id victim) override;
   void shutdown() override;
   [[nodiscard]] Stats stats() const override;
   [[nodiscard]] std::string_view name() const override { return name_; }

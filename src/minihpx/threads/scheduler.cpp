@@ -207,20 +207,29 @@ TaskCtx* Scheduler::try_steal(Worker& self) {
 void Scheduler::worker_loop(Worker& self) {
   t_worker_of = this;
   t_worker_id = self.id;
+  bool bursting = false;
   while (true) {
     TaskCtx* task = nullptr;
     if (deterministic_) {
       task = det_next(self);
-      if (task == nullptr && det_hooks_.idle &&
-          live_.load(std::memory_order_acquire) > 0 && det_hooks_.idle()) {
-        // A virtual timer fired and (typically) resumed a sleeper.
-        continue;
-      }
     } else {
       task = try_pop(self);
       if (task == nullptr) {
         task = try_steal(self);
       }
+    }
+    if (task == nullptr && bursting) {
+      // Out of ready work: background-flush point (parcels buffered by the
+      // burst of handlers just executed go on the wire now).
+      bursting = false;
+      if (burst_end_) {
+        burst_end_();
+      }
+    }
+    if (deterministic_ && task == nullptr && det_hooks_.idle &&
+        live_.load(std::memory_order_acquire) > 0 && det_hooks_.idle()) {
+      // A virtual timer fired and (typically) resumed a sleeper.
+      continue;
     }
     if (task == nullptr) {
       const auto idle_from = std::chrono::steady_clock::now();
@@ -240,8 +249,18 @@ void Scheduler::worker_loop(Worker& self) {
           std::memory_order_relaxed);
       continue;
     }
+    if (!bursting && burst_begin_) {
+      burst_begin_();
+      bursting = true;
+    }
     run_task(self, task);
   }
+}
+
+void Scheduler::set_burst_hooks(std::function<void()> begin,
+                                std::function<void()> end) {
+  burst_begin_ = std::move(begin);
+  burst_end_ = std::move(end);
 }
 
 void Scheduler::run_task(Worker& self, TaskCtx* task) {

@@ -129,6 +129,15 @@ class Scheduler {
   /// any work is posted; only meaningful when deterministic() is true.
   void set_det_hooks(DetHooks hooks);
 
+  /// Background-flush hooks (parcel coalescing): \p begin fires when a
+  /// worker starts draining consecutive ready tasks, \p end when that
+  /// worker runs out of work — the point where HPX-style background work
+  /// puts buffered parcels on the wire. The distributed runtime installs
+  /// the fabric's cork()/uncork() here so replies produced by a burst of
+  /// action handlers leave as one coalesced batch. Calls are strictly
+  /// paired per worker. Install before any work is posted.
+  void set_burst_hooks(std::function<void()> begin, std::function<void()> end);
+
   /// Scheduler performance counters — the analogue of HPX's
   /// /threads/count/... counters the paper's community uses for tuning.
   struct Counters {
@@ -193,6 +202,8 @@ class Scheduler {
   bool deterministic_ = false;
   std::minstd_rand det_rng_;  // det-mode default task selection
   DetHooks det_hooks_;        // optional testing-subsystem strategy
+  std::function<void()> burst_begin_;  // see set_burst_hooks
+  std::function<void()> burst_end_;
 
   std::atomic<std::uint64_t> n_executed_{0};
   std::atomic<std::uint64_t> n_stolen_{0};

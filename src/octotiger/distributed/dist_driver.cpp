@@ -404,6 +404,12 @@ std::pair<std::size_t, std::size_t> partition_range(std::uint32_t p,
           static_cast<std::size_t>(p + 1) * leaves / parts};
 }
 
+/// Leaves per field-exchange parcel. Deliberately small: HPX-style
+/// fine-grained parcels keep every peer queue deep enough for send-side
+/// coalescing to batch them, and RVEVAL_COALESCE=0 then pays one wire send
+/// per chunk — the delta bench/ablation_parcelport measures.
+constexpr std::size_t kExchangeChunkLeaves = 1;
+
 }  // namespace
 
 DistSimulation::DistSimulation(Options opt, md::FabricKind fabric)
@@ -447,16 +453,24 @@ DistSimulation::DistSimulation(
         runtime_.locality(0).local<DistOcto>(components_[0]);
     total_cells_ = local.tree().total_cells();
   }
-  // Gather the adjacency wish-lists: wanted_[consumer][producer].
+  // Gather the adjacency wish-lists: wanted_[consumer][producer]. All
+  // n*(n-1) queries go out before the first reply is awaited.
   wanted_.assign(n, std::vector<std::vector<std::uint64_t>>(n));
-  for (md::locality_id c = 0; c < n; ++c) {
-    for (md::locality_id p = 0; p < n; ++p) {
-      if (c == p) {
-        continue;
+  {
+    std::vector<std::pair<md::locality_id, md::locality_id>> pairs;
+    std::vector<mhpx::future<std::vector<std::uint64_t>>> gathers;
+    for (md::locality_id c = 0; c < n; ++c) {
+      for (md::locality_id p = 0; p < n; ++p) {
+        if (c == p) {
+          continue;
+        }
+        pairs.emplace_back(c, p);
+        gathers.push_back(
+            runtime_.locality(0).call<NeededFromAction>(components_[c], p));
       }
-      wanted_[c][p] = runtime_.locality(0)
-                          .call<NeededFromAction>(components_[c], p)
-                          .get();
+    }
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      wanted_[pairs[i].first][pairs[i].second] = gathers[i].get();
     }
   }
   if (res_.enabled) {
@@ -502,17 +516,60 @@ void DistSimulation::exchange_fields() {
   const auto n = runtime_.num_localities();
   // For every (consumer, producer) pair: fetch the producer's boundary
   // leaves and apply them at the consumer. Both hops are real parcels.
-  std::vector<mhpx::future<int>> applies;
+  //
+  // The boundary is cut into chunks of a couple of leaves and every pack
+  // request is posted before any reply is awaited, so each peer queue holds
+  // many small parcels at once — the shape the send pipeline coalesces onto
+  // shared wire flushes (one leaf is NF * CELLS_PER_GRID doubles ≈ 20 KiB,
+  // so a handful of chunks fit under the pipeline's 128 KiB batch budget).
+  // Chunks cover disjoint leaves, so applying them in any completion order
+  // is bit-identical to the former one-parcel-per-pair exchange.
+  struct Chunk {
+    md::locality_id consumer;
+    md::locality_id producer;
+    std::vector<std::uint64_t> ids;
+  };
+  std::vector<Chunk> chunks;
   for (md::locality_id c = 0; c < n; ++c) {
     for (md::locality_id p = 0; p < n; ++p) {
       if (c == p || wanted_[c][p].empty()) {
         continue;
       }
-      auto data = runtime_.locality(c)
-                      .call<PackFieldsAction>(components_[p], wanted_[c][p])
-                      .get();
-      applies.push_back(runtime_.locality(p).call<ApplyFieldsAction>(
-          components_[c], wanted_[c][p], std::move(data)));
+      const auto& want = wanted_[c][p];
+      for (std::size_t b = 0; b < want.size(); b += kExchangeChunkLeaves) {
+        const std::size_t e = std::min(b + kExchangeChunkLeaves, want.size());
+        chunks.push_back(Chunk{
+            c, p, std::vector<std::uint64_t>(want.begin() + b,
+                                             want.begin() + e)});
+      }
+    }
+  }
+  // Each burst of requests goes out under a cork so the small parcels
+  // share wire flushes; the cork is released before any future is awaited
+  // (replies ride the same pipeline and must not be held back).
+  std::vector<mhpx::future<std::vector<double>>> packs;
+  packs.reserve(chunks.size());
+  {
+    md::CorkScope cork(runtime_.fabric());
+    for (const Chunk& ch : chunks) {
+      packs.push_back(runtime_.locality(ch.consumer)
+                          .call<PackFieldsAction>(components_[ch.producer],
+                                                  ch.ids));
+    }
+  }
+  std::vector<std::vector<double>> data;
+  data.reserve(chunks.size());
+  for (auto& f : packs) {
+    data.push_back(f.get());
+  }
+  std::vector<mhpx::future<int>> applies;
+  applies.reserve(chunks.size());
+  {
+    md::CorkScope cork(runtime_.fabric());
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const Chunk& ch = chunks[i];
+      applies.push_back(runtime_.locality(ch.producer).call<ApplyFieldsAction>(
+          components_[ch.consumer], ch.ids, std::move(data[i])));
     }
   }
   for (auto& f : applies) {
@@ -566,12 +623,20 @@ double DistSimulation::plain_step() {
 
   mark("dist.moments");
   {
-    // All-to-all moment exchange.
+    // All-to-all moment exchange: post every pack before awaiting any, so
+    // the requests share wire flushes, then fan each packed blob out.
+    std::vector<mhpx::future<std::vector<double>>> packs;
+    packs.reserve(n);
+    {
+      md::CorkScope cork(runtime_.fabric());
+      for (md::locality_id p = 0; p < n; ++p) {
+        packs.push_back(
+            runtime_.locality(0).call<PackMomentsAction>(components_[p]));
+      }
+    }
     std::vector<mhpx::future<int>> applies;
     for (md::locality_id p = 0; p < n; ++p) {
-      auto packed = runtime_.locality(0)
-                        .call<PackMomentsAction>(components_[p])
-                        .get();
+      auto packed = packs[p].get();
       for (md::locality_id c = 0; c < n; ++c) {
         if (c != p) {
           applies.push_back(runtime_.locality(0).call<ApplyMomentsAction>(

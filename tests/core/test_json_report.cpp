@@ -80,6 +80,48 @@ TEST(JsonParse, UnicodeEscapes) {
   EXPECT_EQ(v.as_string(), "Aé€");  // 1-, 2- and 3-byte UTF-8 encodings
 }
 
+TEST(JsonParse, SurrogatePairsCombine) {
+  // U+1D11E (musical G clef) is \uD834\uDD1E in JSON; the pair must decode
+  // to ONE 4-byte UTF-8 code point, not two 3-byte CESU-8 halves.
+  const auto v = json::parse("\"\\uD834\\uDD1E\"");
+  EXPECT_EQ(v.as_string(), "\xF0\x9D\x84\x9E");
+
+  // U+1F600 (emoji), lower-case hex, surrounded by ASCII.
+  const auto w = json::parse("\"ok \\ud83d\\ude00!\"");
+  EXPECT_EQ(w.as_string(), "ok \xF0\x9F\x98\x80!");
+
+  // Highest code point: U+10FFFF = \uDBFF\uDFFF.
+  const auto m = json::parse("\"\\uDBFF\\uDFFF\"");
+  EXPECT_EQ(m.as_string(), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(JsonParse, LoneSurrogateHalvesPassThrough) {
+  // A high surrogate NOT followed by a low one keeps its raw 3-byte
+  // encoding (lenient, like the emitter side), and the follower — BMP
+  // escape or plain text — is decoded independently.
+  const auto lone = json::parse("\"\\uD834x\"");
+  EXPECT_EQ(lone.as_string(), "\xED\xA0\xB4x");
+
+  const auto high_then_bmp = json::parse("\"\\uD834\\u0041\"");
+  EXPECT_EQ(high_then_bmp.as_string(), "\xED\xA0\xB4\x41");
+
+  // An unpaired low surrogate likewise decodes alone.
+  const auto low = json::parse("\"\\uDD1E\"");
+  EXPECT_EQ(low.as_string(), "\xED\xB4\x9E");
+
+  // A high surrogate at the very end of input must not read past it.
+  const auto tail = json::parse("\"\\uD834\"");
+  EXPECT_EQ(tail.as_string(), "\xED\xA0\xB4");
+}
+
+TEST(JsonParse, SurrogatePairRoundTripsThroughDump) {
+  // dump() escapes control characters only, so the 4-byte sequence is
+  // emitted raw; reparsing must preserve it byte for byte.
+  const std::string clef = "\xF0\x9D\x84\x9E";
+  const auto v = json::parse(json::Value(clef).dump());
+  EXPECT_EQ(v.as_string(), clef);
+}
+
 TEST(JsonParse, NumbersAndLiterals) {
   EXPECT_DOUBLE_EQ(json::parse("1e3").as_number(), 1000.0);
   EXPECT_DOUBLE_EQ(json::parse("-0.5E-1").as_number(), -0.05);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -39,9 +41,16 @@ std::vector<std::vector<double>> read_csv(const std::string& path,
 }
 
 struct OutputTest : ::testing::Test {
+  // Per-process filenames: ctest runs each TEST_F as its own process, all
+  // in the same working directory, so a shared name races under -j.
+  std::string slice_path =
+      "test_slice_" + std::to_string(::getpid()) + ".csv";
+  std::string profile_path =
+      "test_profile_" + std::to_string(::getpid()) + ".csv";
+
   void TearDown() override {
-    std::remove("test_slice.csv");
-    std::remove("test_profile.csv");
+    std::remove(slice_path.c_str());
+    std::remove(profile_path.c_str());
   }
 };
 
@@ -49,10 +58,10 @@ TEST_F(OutputTest, MidplaneSliceShapeAndContent) {
   Octree tree(1, 10.0);
   Options opt;
   init::rotating_star(tree, opt);
-  write_midplane_slice(tree, "test_slice.csv", 16);
+  write_midplane_slice(tree, slice_path, 16);
 
   std::string header;
-  const auto rows = read_csv("test_slice.csv", &header);
+  const auto rows = read_csv(slice_path, &header);
   EXPECT_EQ(header, "x,y,rho,vx,vy,phi");
   ASSERT_EQ(rows.size(), 16u * 16u);
   // Find the sample nearest the origin: density near rho_c there.
@@ -75,8 +84,8 @@ TEST_F(OutputTest, SliceVelocityShowsRotation) {
   Options opt;
   opt.star_omega = 0.5;
   init::rotating_star(tree, opt);
-  write_midplane_slice(tree, "test_slice.csv", 32);
-  const auto rows = read_csv("test_slice.csv", nullptr);
+  write_midplane_slice(tree, slice_path, 32);
+  const auto rows = read_csv(slice_path, nullptr);
   // At a point on +x inside the star, vy ~ omega * x and vx ~ 0.
   for (const auto& r : rows) {
     if (std::abs(r[0] - 0.2) < 0.04 && std::abs(r[1]) < 0.04 && r[2] > 0.1) {
@@ -92,9 +101,9 @@ TEST_F(OutputTest, RadialProfileIsMonotoneForPolytrope) {
   Octree tree(2, 10.0);
   Options opt;
   init::rotating_star(tree, opt);
-  write_radial_profile(tree, "test_profile.csv", 12);
+  write_radial_profile(tree, profile_path, 12);
   std::string header;
-  const auto rows = read_csv("test_profile.csv", &header);
+  const auto rows = read_csv(profile_path, &header);
   EXPECT_EQ(header, "r,rho_avg,rho_max");
   ASSERT_EQ(rows.size(), 12u);
   // Density decreases outward through the star region (bin width 0.083:
