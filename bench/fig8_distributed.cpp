@@ -11,10 +11,15 @@
 // A64FX models with the GbE-TCP / GbE-MPI / Tofu-D network models.
 
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/power/attribution.hpp"
+#include "core/power/energy.hpp"
+#include "minihpx/apex/remote.hpp"
 #include "octotiger/distributed/dist_driver.hpp"
 #include "octotiger/driver.hpp"
 
@@ -25,6 +30,13 @@ namespace md = mhpx::dist;
 struct Captured {
   std::vector<rveval::sim::Phase> phases;
   std::size_t cells = 0;
+};
+
+/// What the federated sampler saw during a run: final value of every
+/// sampled "/loc<i>..." counter, read from locality 0 via apex::remote.
+struct FederationSnapshot {
+  std::vector<std::pair<std::string, double>> finals;
+  std::size_t rounds = 0;
 };
 
 Captured run_single(const octo::Options& base) {
@@ -39,7 +51,8 @@ Captured run_single(const octo::Options& base) {
   return out;
 }
 
-Captured run_distributed(const octo::Options& base, md::FabricKind fabric) {
+Captured run_distributed(const octo::Options& base, md::FabricKind fabric,
+                         FederationSnapshot* federation = nullptr) {
   Captured out;
   rveval::sim::TraceCollector trace;
   {
@@ -50,9 +63,39 @@ Captured run_distributed(const octo::Options& base, md::FabricKind fabric) {
     trace.map_scheduler(&sim.runtime().locality(1).scheduler(), 1);
     sim.set_phase_marker(
         [&trace](const std::string& p) { trace.begin_phase(p); });
+
+    std::unique_ptr<mhpx::apex::remote::FederatedSampler> sampler;
+    if (federation != nullptr) {
+      // Per-board power counters in each locality's own registry, so the
+      // federation reads modelled joules the way the paper reads one wall
+      // meter per board; the sampler mirrors every sample into the trace
+      // as a counter lane on the owning locality's pid.
+      const auto board = rveval::power::visionfive2_board();
+      for (unsigned i = 0; i < sim.runtime().num_localities(); ++i) {
+        auto& loc = sim.runtime().locality(i);
+        rveval::power::register_power_counters(loc.counters_block(),
+                                               loc.scheduler(), board, i);
+      }
+      sampler =
+          std::make_unique<mhpx::apex::remote::FederatedSampler>(sim.runtime());
+      mhpx::apex::remote::FederatedSamplerConfig cfg;
+      cfg.interval_seconds = 0.005;
+      cfg.patterns = {"/threads/**", "/parcels/**", "/power/**"};
+      cfg.emit_trace_counters = true;
+      sampler->start(cfg);
+    }
+
     sim.run();
     out.cells = sim.stats().cells_processed;
     sim.runtime().wait_all_idle();
+    if (sampler != nullptr) {
+      sampler->stop();
+      federation->rounds = sampler->samples();
+      for (const mhpx::apex::Series& s : sampler->series()) {
+        federation->finals.emplace_back(s.name,
+                                        s.v.empty() ? 0.0 : s.v.back());
+      }
+    }
   }
   out.phases = trace.finish();
   return out;
@@ -99,7 +142,17 @@ int main(int argc, char** argv) {
   // (the TCP one sends real loopback-socket parcels; mpisim models the MPI
   // protocol — see DESIGN.md).
   const Captured single = run_single(base);
-  const Captured dist_tcp = run_distributed(base, md::FabricKind::tcp);
+  if (mhpx::apex::trace::enabled()) {
+    // Start the exported trace at the distributed runs: the merged fig8
+    // Perfetto file tells the cross-locality story (two pids, parcel flow
+    // arrows, per-locality counter lanes).
+    mhpx::apex::trace::clear();
+  }
+  FederationSnapshot federation;
+  const Captured dist_tcp =
+      run_distributed(base, md::FabricKind::tcp, &federation);
+  const std::vector<mhpx::apex::trace::Event> tcp_events =
+      mhpx::apex::trace::snapshot();
   const Captured dist_mpi = run_distributed(base, md::FabricKind::mpisim);
 
   const auto rv = rveval::arch::jh7110();
@@ -136,6 +189,51 @@ int main(int argc, char** argv) {
             << "\n"
             << "  A64FX / RISC-V (1 node): " << fx1 / rv1 << "x\n";
 
+  // Federated-counter digest: the final sample of every power counter plus
+  // the headline scheduler/parcelport state, all read from locality 0
+  // through the apex::remote protocol during the TCP run.
+  rveval::report::Table fed(
+      "federated counters (TCP run; locality 0 reads every locality via "
+      "apex::remote)");
+  fed.headers({"counter", "final value"});
+  for (const auto& [name, value] : federation.finals) {
+    if (name.find("/power/") != std::string::npos ||
+        name.find("idle-rate") != std::string::npos ||
+        name.find("count/sent") != std::string::npos ||
+        name.find("count/executed") != std::string::npos) {
+      fed.row({name, rveval::report::Table::num(value, 3)});
+    }
+  }
+  fed.print(std::cout);
+  std::cout << "federation rounds: " << federation.rounds << "\n";
+
+  // Per-phase energy attribution over the traced TCP run: each phase
+  // window priced on the board model from the per-locality busy time the
+  // trace recorded (empty when run without --trace-out).
+  const auto board = rveval::power::visionfive2_board();
+  const auto phase_energy =
+      rveval::power::attribute_phase_energy(tcp_events, board, 2);
+  rveval::report::Table en(
+      "per-phase energy attribution (TCP run, 2x VisionFive2 board model)");
+  en.headers({"phase", "time [s]", "busy core-s loc0", "busy core-s loc1",
+              "energy [J]"});
+  double tcp_joules = 0.0;
+  for (const rveval::power::PhaseEnergy& pe : phase_energy) {
+    tcp_joules += pe.joules;
+    en.row({pe.phase, rveval::report::Table::num(pe.seconds, 4),
+            rveval::report::Table::num(
+                pe.busy_core_seconds.empty() ? 0.0 : pe.busy_core_seconds[0],
+                4),
+            rveval::report::Table::num(pe.busy_core_seconds.size() > 1
+                                           ? pe.busy_core_seconds[1]
+                                           : 0.0,
+                                       4),
+            rveval::report::Table::num(pe.joules, 3)});
+  }
+  if (!phase_energy.empty()) {
+    en.print(std::cout);
+  }
+
   rveval::report::BenchReport report(
       "fig8_distributed",
       "distributed scaling: 1 vs 2 boards (TCP/MPI) and 1 vs 2 Fugaku "
@@ -145,7 +243,15 @@ int main(int argc, char** argv) {
       .metric("tcp_speedup", rv2_tcp / rv1)
       .metric("mpi_speedup", rv2_mpi / rv1)
       .metric("a64fx_over_riscv_1node", fx1 / rv1)
-      .add_table(t);
+      .metric("federation_rounds", static_cast<double>(federation.rounds))
+      .metric("tcp_run_energy_j_host_attributed", tcp_joules)
+      .add_table(t)
+      .add_table(fed)
+      .add_table(en);
+  report.note(
+      "federated counters sampled via apex::remote from locality 0; "
+      "per-phase joules attribute the host-side traced busy time on the "
+      "VisionFive2 board model (modelled instrument, not silicon)");
   bench_common::finish_io(io, report);
   return 0;
 }

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
   base.stop_step = 5;
   base.threads = 4;
   std::vector<std::string> args(argv + 1, argv + argc);
+  const auto io = bench_common::parse_io(args, "BENCH_fig9.json");
   base.parse_cli(args);
 
   const auto board = rveval::power::visionfive2_board();
@@ -116,5 +117,42 @@ int main(int argc, char** argv) {
             << "  RISC-V energy > A64FX energy (1 node): "
             << (e_rv1 > e_fx1 ? "yes" : "NO") << " (" << e_rv1 / e_fx1
             << "x)\n";
+
+  // Per-phase P×t: price every single-node phase on both instruments, so
+  // the energy trade-off is visible phase by phase instead of only
+  // end-to-end (the apex energy-attribution story of DESIGN.md
+  // §observability, on modelled time).
+  rveval::report::Table pp("Fig 9: energy per phase (1 node, modelled time)");
+  pp.headers({"phase", "RISC-V [s]", "RISC-V [J]", "A64FX [s]", "A64FX [J]"});
+  const rveval::sim::CoreSimulator rv_sim(rv);
+  const rveval::sim::CoreSimulator fx_sim(fx);
+  const double rv_watts = board.watts(4, true);
+  const double fx_watts = chip.watts(4);
+  for (const rveval::sim::Phase& phase : single) {
+    const double t_rv = rv_sim.simulate(phase, rv_opt).total_seconds;
+    const double t_fx = fx_sim.simulate(phase, fx_opt).total_seconds;
+    pp.row({phase.name, rveval::report::Table::num(t_rv, 3),
+            rveval::report::Table::num(rv_watts * t_rv, 1),
+            rveval::report::Table::num(t_fx, 4),
+            rveval::report::Table::num(fx_watts * t_fx, 2)});
+  }
+  pp.print(std::cout);
+
+  rveval::report::BenchReport report(
+      "fig9_energy", "energy consumption, RISC-V vs A64FX");
+  report.metric("max_level", static_cast<double>(base.max_level))
+      .metric("stop_step", static_cast<double>(base.stop_step))
+      .metric("riscv_watts_model", rv_watts)
+      .metric("a64fx_watts_model", fx_watts)
+      .metric("riscv_energy_j_1node", e_rv1)
+      .metric("a64fx_energy_j_1node", e_fx1)
+      .metric("riscv_over_a64fx_energy", e_rv1 / e_fx1)
+      .add_table(pw)
+      .add_table(t)
+      .add_table(pp);
+  report.note(
+      "power values are instrument models (wall meter / PowerAPI); run "
+      "times priced on the Table-2 architecture models from real traces");
+  bench_common::finish_io(io, report);
   return 0;
 }

@@ -1,0 +1,112 @@
+// Chrome-trace post-processing CLI over core/report/trace_tools:
+//
+//   trace_tool lint <trace.json> [--min-pids=N]
+//     Structural gate for CI: span balance, flow s/f pairing, parent/id
+//     resolution, minimum distinct-pid count. Exit 1 on any violation.
+//
+//   trace_tool merge <out.json> <in1.json> [in2.json ...]
+//     Clock-skew-corrected merge: estimates each input's clock offset from
+//     cross-trace parcel flow pairs, shifts, concatenates and re-emits one
+//     Perfetto-loadable file.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report/trace_tools.hpp"
+
+namespace {
+
+namespace tt = rveval::report::tracetools;
+
+int usage() {
+  std::cerr << "usage: trace_tool lint <trace.json> [--min-pids=N]\n"
+            << "       trace_tool merge <out.json> <in.json> [in.json ...]\n";
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int run_lint(const std::vector<std::string>& args) {
+  std::string path;
+  std::size_t min_pids = 1;
+  for (const std::string& a : args) {
+    if (a.rfind("--min-pids=", 0) == 0) {
+      min_pids = static_cast<std::size_t>(std::stoul(a.substr(11)));
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) {
+    return usage();
+  }
+  const tt::ParsedTrace trace = tt::parse_chrome(slurp(path));
+  const std::vector<std::string> errors = tt::lint(trace, min_pids);
+  if (errors.empty()) {
+    std::cout << "trace_tool: " << path << " clean (" << trace.events.size()
+              << " events)\n";
+    return 0;
+  }
+  std::cerr << "trace_tool: " << path << ": " << errors.size()
+            << " violation(s)\n";
+  for (const std::string& e : errors) {
+    std::cerr << "  " << e << "\n";
+  }
+  return 1;
+}
+
+int run_merge(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return usage();
+  }
+  const std::string& out_path = args[0];
+  std::vector<tt::ParsedTrace> traces;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    traces.push_back(tt::parse_chrome(slurp(args[i])));
+  }
+  const tt::ParsedTrace merged = tt::merge(traces);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "trace_tool: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << tt::to_chrome_json(merged);
+  std::cout << "trace_tool: merged " << (args.size() - 1) << " trace(s), "
+            << merged.events.size() << " events -> " << out_path << "\n";
+  return out ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    return usage();
+  }
+  const std::string cmd = args.front();
+  args.erase(args.begin());
+  try {
+    if (cmd == "lint") {
+      return run_lint(args);
+    }
+    if (cmd == "merge") {
+      return run_merge(args);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "trace_tool: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,152 @@
+#include "core/power/attribution.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "minihpx/threads/scheduler.hpp"
+
+namespace rveval::power {
+
+namespace {
+
+/// Shared integration state for one locality's live power counters. The
+/// closures the registry stores copy the shared_ptr, so the state lives as
+/// long as any registered reader.
+struct PowerState {
+  const mhpx::threads::Scheduler* sched = nullptr;
+  BoardPowerModel model;
+  bool memory_bound = true;
+  std::chrono::steady_clock::time_point start;
+  std::uint64_t busy_ns_base = 0;  ///< busy time already spent at register
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  [[nodiscard]] double busy_core_seconds() const {
+    const std::uint64_t busy = sched->counters().busy_ns;
+    return busy > busy_ns_base
+               ? static_cast<double>(busy - busy_ns_base) * 1e-9
+               : 0.0;
+  }
+
+  [[nodiscard]] double energy_joules() const {
+    const double elapsed = elapsed_seconds();
+    const double floor =
+        model.idle_watts + (memory_bound ? model.mem_active_watts : 0.0);
+    return floor * elapsed + model.per_core_watts * busy_core_seconds();
+  }
+};
+
+}  // namespace
+
+void register_power_counters(mhpx::apex::CounterBlock& block,
+                             const mhpx::threads::Scheduler& sched,
+                             const BoardPowerModel& model,
+                             std::uint32_t locality, bool memory_bound) {
+  auto state = std::make_shared<PowerState>();
+  state->sched = &sched;
+  state->model = model;
+  state->memory_bound = memory_bound;
+  state->start = std::chrono::steady_clock::now();
+  state->busy_ns_base = sched.counters().busy_ns;
+  const std::string prefix = "/power/" + std::to_string(locality);
+  block.add(prefix + "/energy-j",
+            "modelled board energy since registration [J] (" + model.name +
+                ")",
+            mhpx::apex::CounterKind::monotonic,
+            [state] { return state->energy_joules(); });
+  block.add(prefix + "/avg-watts",
+            "modelled average board power since registration [W] (" +
+                model.name + ")",
+            mhpx::apex::CounterKind::gauge, [state] {
+              const double elapsed = state->elapsed_seconds();
+              return elapsed > 0.0 ? state->energy_joules() / elapsed : 0.0;
+            });
+}
+
+std::vector<PhaseEnergy> attribute_phase_energy(
+    const std::vector<mhpx::apex::trace::Event>& events,
+    const BoardPowerModel& model, unsigned num_localities,
+    bool memory_bound) {
+  using mhpx::apex::trace::Event;
+  using mhpx::apex::trace::EventPhase;
+
+  // Phase windows: "phase"-category B/E pairs matched by guid, in begin
+  // order. A phase left open at snapshot time is closed at the last event.
+  double last_ts = 0.0;
+  for (const Event& ev : events) {
+    last_ts = std::max(last_ts, ev.ts);
+  }
+  struct Window {
+    std::string name;
+    double begin = 0.0;
+    double end = 0.0;
+  };
+  std::vector<Window> windows;
+  std::map<std::uint64_t, std::size_t> open_phase;  // guid → windows index
+  // Task slices per locality: [pid] → list of (begin, end).
+  std::map<std::uint32_t, std::vector<std::pair<double, double>>> slices;
+  std::map<std::uint64_t, std::pair<std::uint32_t, double>> open_task;
+
+  for (const Event& ev : events) {
+    const bool is_phase = std::strcmp(ev.category, "phase") == 0;
+    const bool is_task = std::strcmp(ev.category, "task") == 0;
+    if (is_phase && ev.ph == EventPhase::begin) {
+      open_phase[ev.guid] = windows.size();
+      windows.push_back(Window{ev.name, ev.ts, last_ts});
+    } else if (is_phase && ev.ph == EventPhase::end) {
+      const auto it = open_phase.find(ev.guid);
+      if (it != open_phase.end()) {
+        windows[it->second].end = ev.ts;
+        open_phase.erase(it);
+      }
+    } else if (is_task && ev.ph == EventPhase::begin) {
+      open_task[ev.guid] = {ev.pid, ev.ts};
+    } else if (is_task && ev.ph == EventPhase::end) {
+      const auto it = open_task.find(ev.guid);
+      if (it != open_task.end()) {
+        slices[it->second.first].emplace_back(it->second.second, ev.ts);
+        open_task.erase(it);
+      }
+    }
+  }
+
+  std::vector<PhaseEnergy> out;
+  out.reserve(windows.size());
+  const double floor_watts =
+      model.idle_watts + (memory_bound ? model.mem_active_watts : 0.0);
+  for (const Window& w : windows) {
+    PhaseEnergy pe;
+    pe.phase = w.name;
+    pe.seconds = std::max(0.0, w.end - w.begin);
+    pe.busy_core_seconds.assign(num_localities, 0.0);
+    for (const auto& [pid, list] : slices) {
+      if (pid >= pe.busy_core_seconds.size()) {
+        pe.busy_core_seconds.resize(pid + 1, 0.0);
+      }
+      for (const auto& [b, e] : list) {
+        const double overlap = std::min(e, w.end) - std::max(b, w.begin);
+        if (overlap > 0.0) {
+          pe.busy_core_seconds[pid] += overlap;
+        }
+      }
+    }
+    double busy_total = 0.0;
+    for (const double s : pe.busy_core_seconds) {
+      busy_total += s;
+    }
+    pe.joules = floor_watts * pe.seconds *
+                    static_cast<double>(num_localities) +
+                model.per_core_watts * busy_total;
+    out.push_back(std::move(pe));
+  }
+  return out;
+}
+
+}  // namespace rveval::power

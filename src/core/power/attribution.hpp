@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file attribution.hpp
+/// Energy attribution: route the §7 power models through the apex
+/// observability layer, so joules become a first-class counter and a
+/// per-phase quantity instead of one end-to-end number.
+///
+/// Two mechanisms:
+///   - live counters: register_power_counters() integrates a board model
+///     over a scheduler's busy time and exposes
+///     /power/<locality>/{energy-j,avg-watts} in a CounterRegistry —
+///     typically each dist::Locality's own registry, so locality 0 reads a
+///     remote board's modelled joules through apex::remote (the way the
+///     paper reads a wall meter per board);
+///   - post-hoc attribution: attribute_phase_energy() intersects the traced
+///     per-locality task slices with the driver's phase windows and prices
+///     each phase on the board model, making fig9's P×t trade-off visible
+///     per solver phase.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/power/energy.hpp"
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/task_trace.hpp"
+
+namespace mhpx::threads {
+class Scheduler;
+}
+
+namespace rveval::power {
+
+/// Register /power/<locality>/energy-j (monotonic, modelled joules since
+/// registration) and /power/<locality>/avg-watts (gauge) into \p block's
+/// registry. The model integrates live: board floor (+ memory-system
+/// increment when \p memory_bound) over wall time plus the per-core
+/// increment over the scheduler's accumulated busy core-seconds — the same
+/// decomposition BoardPowerModel::watts applies instantaneously. \p sched
+/// must outlive the block.
+void register_power_counters(mhpx::apex::CounterBlock& block,
+                             const mhpx::threads::Scheduler& sched,
+                             const BoardPowerModel& model,
+                             std::uint32_t locality,
+                             bool memory_bound = true);
+
+/// Modelled energy of one driver phase.
+struct PhaseEnergy {
+  std::string phase;     ///< phase name (trace category "phase")
+  double seconds = 0.0;  ///< phase window length
+  /// Traced busy core-seconds inside the window, indexed by locality pid.
+  std::vector<double> busy_core_seconds;
+  double joules = 0.0;  ///< modelled board energy over all localities
+};
+
+/// Price every traced phase on \p model: for each "phase"-category B/E
+/// window, sum the overlap of "task"-category slices per locality pid, then
+/// charge num_localities boards' floor power for the window plus the
+/// per-core increment for the busy core-seconds. Phases are returned in
+/// begin order. \p num_localities fixes the board count (pids beyond it
+/// still accumulate busy time into their slot, growing the vector).
+[[nodiscard]] std::vector<PhaseEnergy> attribute_phase_energy(
+    const std::vector<mhpx::apex::trace::Event>& events,
+    const BoardPowerModel& model, unsigned num_localities,
+    bool memory_bound = true);
+
+}  // namespace rveval::power

@@ -1,0 +1,345 @@
+#include "core/report/trace_tools.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace rveval::report::tracetools {
+
+namespace {
+
+double number_or(const json::Value* v, double fallback) {
+  return (v != nullptr && v->kind() == json::Value::Kind::number)
+             ? v->as_number()
+             : fallback;
+}
+
+std::string string_or(const json::Value* v, std::string fallback) {
+  return (v != nullptr && v->kind() == json::Value::Kind::string)
+             ? v->as_string()
+             : std::move(fallback);
+}
+
+TraceEvent parse_event(const json::Value& obj) {
+  if (!obj.is_object()) {
+    throw std::runtime_error("trace: event is not an object");
+  }
+  TraceEvent ev;
+  ev.name = string_or(obj.find("name"), "");
+  ev.cat = string_or(obj.find("cat"), "");
+  const std::string ph = string_or(obj.find("ph"), "");
+  if (ph.size() != 1) {
+    throw std::runtime_error("trace: event missing one-char \"ph\"");
+  }
+  ev.ph = ph[0];
+  if (const json::Value* ts = obj.find("ts");
+      ts != nullptr && ts->kind() == json::Value::Kind::number) {
+    ev.ts_us = ts->as_number();
+    ev.has_ts = true;
+  } else if (ev.ph != 'M') {
+    throw std::runtime_error("trace: non-metadata event missing \"ts\"");
+  }
+  ev.pid = static_cast<std::uint32_t>(number_or(obj.find("pid"), 0.0));
+  ev.tid = static_cast<std::uint32_t>(number_or(obj.find("tid"), 0.0));
+  ev.flow_id = static_cast<std::uint64_t>(number_or(obj.find("id"), 0.0));
+  ev.bp = string_or(obj.find("bp"), "");
+  ev.scope = string_or(obj.find("s"), "");
+  if (const json::Value* args = obj.find("args");
+      args != nullptr && args->is_object()) {
+    ev.args = *args;
+    ev.guid = static_cast<std::uint64_t>(number_or(args->find("guid"), 0.0));
+    ev.parent =
+        static_cast<std::uint64_t>(number_or(args->find("parent"), 0.0));
+  }
+  return ev;
+}
+
+}  // namespace
+
+ParsedTrace parse_chrome(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  const json::Value* array = nullptr;
+  if (doc.is_array()) {
+    array = &doc;
+  } else if (doc.is_object()) {
+    array = doc.find("traceEvents");
+  }
+  if (array == nullptr || !array->is_array()) {
+    throw std::runtime_error("trace: no traceEvents array");
+  }
+  ParsedTrace out;
+  out.events.reserve(array->size());
+  for (const json::Value& item : array->items()) {
+    out.events.push_back(parse_event(item));
+  }
+  return out;
+}
+
+std::vector<std::string> lint(const ParsedTrace& trace,
+                              std::size_t min_pids) {
+  std::vector<std::string> errors;
+  const auto fail = [&errors](std::string msg) {
+    if (errors.size() < 50) {  // enough to diagnose, bounded output
+      errors.push_back(std::move(msg));
+    }
+  };
+
+  // Pass 1: span balance per guid, collected guid universe, pid set, flows.
+  struct SpanState {
+    int open = 0;  // 0 = closed, 1 = inside a B..E
+    double last_ts = 0.0;
+  };
+  std::map<std::uint64_t, SpanState> spans;
+  std::set<std::uint64_t> guids_opened;
+  std::set<std::uint32_t> pids;
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> flow_s;
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> flow_f;
+
+  // Events may be interleaved across threads; sort a copy of pointers by ts
+  // so per-guid alternation is checked in timeline order.
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(trace.events.size());
+  for (const TraceEvent& ev : trace.events) {
+    ordered.push_back(&ev);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->ts_us < b->ts_us;
+                   });
+
+  for (const TraceEvent* ev : ordered) {
+    if (ev->ph != 'M') {
+      pids.insert(ev->pid);
+    }
+    switch (ev->ph) {
+      case 'B': {
+        SpanState& st = spans[ev->guid];
+        if (ev->guid != 0 && st.open != 0) {
+          fail("span guid " + std::to_string(ev->guid) +
+               ": 'B' while already open (ts=" + std::to_string(ev->ts_us) +
+               ")");
+        }
+        st.open = 1;
+        st.last_ts = ev->ts_us;
+        guids_opened.insert(ev->guid);
+        break;
+      }
+      case 'E': {
+        auto it = spans.find(ev->guid);
+        if (it == spans.end() || it->second.open == 0) {
+          fail("span guid " + std::to_string(ev->guid) +
+               ": orphan 'E' (ts=" + std::to_string(ev->ts_us) + ")");
+        } else {
+          if (ev->ts_us + 1e-9 < it->second.last_ts) {
+            fail("span guid " + std::to_string(ev->guid) +
+                 ": 'E' before its 'B'");
+          }
+          it->second.open = 0;
+        }
+        break;
+      }
+      case 's':
+        flow_s[ev->flow_id].push_back(ev);
+        break;
+      case 'f':
+        flow_f[ev->flow_id].push_back(ev);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [guid, st] : spans) {
+    if (st.open != 0) {
+      fail("span guid " + std::to_string(guid) + ": dangling 'B' (no 'E')");
+    }
+  }
+
+  // Flow pairing: every 's' needs an 'f' with the same id at ts >= s.ts,
+  // and vice versa.
+  for (const auto& [id, sends] : flow_s) {
+    const auto it = flow_f.find(id);
+    if (it == flow_f.end()) {
+      fail("flow " + std::to_string(id) + ": 's' with no matching 'f'");
+      continue;
+    }
+    for (const TraceEvent* s : sends) {
+      const bool ok = std::any_of(
+          it->second.begin(), it->second.end(),
+          [s](const TraceEvent* f) { return f->ts_us + 1e-6 >= s->ts_us; });
+      if (!ok) {
+        fail("flow " + std::to_string(id) + ": 'f' precedes its 's'");
+      }
+    }
+  }
+  for (const auto& [id, recvs] : flow_f) {
+    if (flow_s.find(id) == flow_s.end()) {
+      fail("flow " + std::to_string(id) + ": 'f' with no matching 's'");
+    }
+    (void)recvs;
+  }
+
+  // Parent resolution: every nonzero parent must name a span that opened.
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.parent != 0 && (ev.ph == 'B' || ev.ph == 'f') &&
+        guids_opened.find(ev.parent) == guids_opened.end()) {
+      fail("event guid " + std::to_string(ev.guid) + " (ph '" +
+           std::string(1, ev.ph) + "'): parent " +
+           std::to_string(ev.parent) + " never opened a span");
+    }
+  }
+
+  if (pids.size() < min_pids) {
+    fail("trace has " + std::to_string(pids.size()) + " pid(s), expected >= " +
+         std::to_string(min_pids));
+  }
+  return errors;
+}
+
+std::vector<double> estimate_offsets(const std::vector<ParsedTrace>& traces) {
+  const std::size_t n = traces.size();
+  std::vector<double> offsets(n, 0.0);
+  if (n < 2) {
+    return offsets;
+  }
+
+  // Which trace recorded each half of every flow id.
+  struct Half {
+    std::size_t trace = 0;
+    double ts_us = 0.0;
+  };
+  std::map<std::uint64_t, std::vector<Half>> sends;
+  std::map<std::uint64_t, std::vector<Half>> recvs;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const TraceEvent& ev : traces[i].events) {
+      if (ev.ph == 's') {
+        sends[ev.flow_id].push_back(Half{i, ev.ts_us});
+      } else if (ev.ph == 'f') {
+        recvs[ev.flow_id].push_back(Half{i, ev.ts_us});
+      }
+    }
+  }
+
+  // Minimum observed send→recv delta per ordered trace pair.
+  std::map<std::pair<std::size_t, std::size_t>, double> min_delta;
+  for (const auto& [id, ss] : sends) {
+    const auto it = recvs.find(id);
+    if (it == recvs.end()) {
+      continue;
+    }
+    for (const Half& s : ss) {
+      for (const Half& r : it->second) {
+        if (s.trace == r.trace) {
+          continue;  // same clock: no skew information
+        }
+        const double d = r.ts_us - s.ts_us;
+        const auto key = std::make_pair(s.trace, r.trace);
+        const auto found = min_delta.find(key);
+        if (found == min_delta.end() || d < found->second) {
+          min_delta[key] = d;
+        }
+      }
+    }
+  }
+
+  // Relative offsets where both directions were observed:
+  // offset(b) − offset(a) = (min_ab − min_ba) / 2.
+  std::map<std::size_t, std::vector<std::pair<std::size_t, double>>> edges;
+  for (const auto& [key, d_ab] : min_delta) {
+    const auto back = min_delta.find({key.second, key.first});
+    if (back == min_delta.end()) {
+      continue;
+    }
+    const double rel = (d_ab - back->second) / 2.0;
+    edges[key.first].emplace_back(key.second, rel);
+    edges[key.second].emplace_back(key.first, -rel);
+  }
+
+  // Propagate from trace 0 (anchor) breadth-first.
+  std::vector<bool> known(n, false);
+  known[0] = true;
+  std::deque<std::size_t> queue{0};
+  while (!queue.empty()) {
+    const std::size_t a = queue.front();
+    queue.pop_front();
+    for (const auto& [b, rel] : edges[a]) {
+      if (!known[b]) {
+        offsets[b] = offsets[a] + rel;
+        known[b] = true;
+        queue.push_back(b);
+      }
+    }
+  }
+  return offsets;
+}
+
+ParsedTrace merge(const std::vector<ParsedTrace>& traces) {
+  const std::vector<double> offsets = estimate_offsets(traces);
+  ParsedTrace out;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (const TraceEvent& ev : traces[i].events) {
+      if (ev.ph == 'M') {
+        continue;  // re-synthesized on export
+      }
+      TraceEvent shifted = ev;
+      shifted.ts_us -= offsets[i];
+      out.events.push_back(std::move(shifted));
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::string to_chrome_json(const ParsedTrace& trace) {
+  json::Value events = json::Value::array();
+  std::set<std::uint32_t> pids;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.ph != 'M') {
+      pids.insert(ev.pid);
+    }
+  }
+  for (const std::uint32_t pid : pids) {
+    json::Value meta = json::Value::object();
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", pid);
+    json::Value args = json::Value::object();
+    args.set("name", "locality " + std::to_string(pid));
+    meta.set("args", std::move(args));
+    events.push(std::move(meta));
+  }
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.ph == 'M') {
+      continue;
+    }
+    json::Value obj = json::Value::object();
+    obj.set("name", ev.name);
+    obj.set("cat", ev.cat);
+    obj.set("ph", std::string(1, ev.ph));
+    obj.set("ts", ev.ts_us);
+    obj.set("pid", ev.pid);
+    obj.set("tid", ev.tid);
+    if (ev.ph == 's' || ev.ph == 'f') {
+      obj.set("id", static_cast<unsigned long long>(ev.flow_id));
+      if (!ev.bp.empty()) {
+        obj.set("bp", ev.bp);
+      }
+    }
+    if (!ev.scope.empty()) {
+      obj.set("s", ev.scope);
+    }
+    obj.set("args", ev.args);
+    events.push(std::move(obj));
+  }
+  json::Value doc = json::Value::object();
+  doc.set("displayTimeUnit", "ms");
+  doc.set("traceEvents", std::move(events));
+  return doc.dump(1);
+}
+
+}  // namespace rveval::report::tracetools

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file trace_tools.hpp
+/// Chrome-trace post-processing: parse, lint, clock-skew estimation and
+/// multi-trace merge.
+///
+/// The apex tracer exports one Chrome-trace JSON per process with one pid
+/// per locality. These tools close the loop:
+///   - lint() is the CI gate over the fig8 smoke trace — span balance,
+///     flow s/f pairing, id resolution, a minimum pid count;
+///   - estimate_offsets()/merge() combine traces recorded by *separate*
+///     processes (separate clocks) into one Perfetto file, estimating each
+///     clock's offset from parcel flow pairs: for traces a and b, the
+///     minimum observed send→recv delta in each direction brackets the true
+///     one-way latency, and (min_ab − min_ba)/2 is b's offset relative to a
+///     (the classic NTP symmetric-latency argument; NetworkModel gives the
+///     latency floor the minima converge to).
+///
+/// In-process runs (our fig8) share one clock, so offsets come out ~0 and
+/// merge degenerates to concatenation — the estimator is exercised with
+/// synthetic skews in tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report/json.hpp"
+
+namespace rveval::report::tracetools {
+
+/// One Chrome trace event, with the fields the tools inspect extracted and
+/// the full "args" object retained for faithful re-emission.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'i';
+  double ts_us = 0.0;  ///< absent for 'M' metadata events (kept as 0)
+  bool has_ts = false;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t flow_id = 0;  ///< "id" field of 's'/'f' events
+  std::string bp;             ///< flow binding point ("e" on our 'f')
+  std::string scope;          ///< "s" field of instants
+  /// Extracted from args when present (0 otherwise).
+  std::uint64_t guid = 0;
+  std::uint64_t parent = 0;
+  json::Value args = json::Value::object();
+};
+
+struct ParsedTrace {
+  std::vector<TraceEvent> events;
+};
+
+/// Parse a Chrome trace document ({"traceEvents":[...]} or a bare array).
+/// Throws std::runtime_error on malformed JSON or missing required fields.
+[[nodiscard]] ParsedTrace parse_chrome(std::string_view text);
+
+/// Structural lint. Checks, returning every violation (empty = clean):
+///   - duration spans balance: per guid, 'B' and 'E' alternate in time
+///     order and close (no dangling 'B', no orphan 'E');
+///   - flows pair: every 's' has a matching 'f' with the same id and
+///     f.ts >= s.ts, and every 'f' has its 's';
+///   - ids resolve: every nonzero parent names a guid that opened a span;
+///   - at least \p min_pids distinct pids appear.
+[[nodiscard]] std::vector<std::string> lint(const ParsedTrace& trace,
+                                            std::size_t min_pids = 1);
+
+/// Per-trace clock offsets in microseconds (index-aligned with \p traces;
+/// traces[0] anchors at 0). Estimated pairwise from cross-trace flow pairs
+/// (same flow id, 's' in one trace, 'f' in another) and propagated
+/// breadth-first; a trace unreachable through any flow keeps offset 0.
+[[nodiscard]] std::vector<double> estimate_offsets(
+    const std::vector<ParsedTrace>& traces);
+
+/// Merge traces into one timeline: subtract each trace's estimated offset
+/// from its timestamps, concatenate, sort by timestamp. Pids are locality
+/// ids and share one namespace across traces (each rank records its own
+/// localities), so they are kept as-is.
+[[nodiscard]] ParsedTrace merge(const std::vector<ParsedTrace>& traces);
+
+/// Serialize back to Chrome trace JSON (with process_name metadata for
+/// every pid), loadable in Perfetto.
+[[nodiscard]] std::string to_chrome_json(const ParsedTrace& trace);
+
+}  // namespace rveval::report::tracetools

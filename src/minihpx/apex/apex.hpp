@@ -7,8 +7,10 @@
 ///   - sampler.hpp:       background counter sampling into timeseries
 ///   - task_trace.hpp:    task-timeline tracing with Chrome-trace export
 ///   - critical_path.hpp: critical-path analysis over the task DAG
+///   - remote.hpp:        cross-locality counter federation + sampler
 
 #include "minihpx/apex/counters.hpp"
 #include "minihpx/apex/critical_path.hpp"
+#include "minihpx/apex/remote.hpp"
 #include "minihpx/apex/sampler.hpp"
 #include "minihpx/apex/task_trace.hpp"

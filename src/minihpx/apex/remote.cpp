@@ -1,0 +1,231 @@
+#include "minihpx/apex/remote.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "minihpx/apex/task_trace.hpp"
+#include "minihpx/distributed/locality.hpp"
+#include "minihpx/distributed/runtime.hpp"
+
+namespace mhpx::apex::remote {
+
+namespace {
+
+/// Wire twin of CounterInfo (the registry type is not serializable — it
+/// carries an enum the archive would happily truncate silently elsewhere).
+struct WireCounterInfo {
+  std::string name;
+  std::string description;
+  std::uint8_t kind = 0;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& name& description& kind;
+  }
+};
+
+// ------------------------------------------------------------- the protocol
+// Component-less actions targeting "the locality itself" (gid{where, 0}).
+// Each reads the destination locality's own registry.
+
+struct DiscoverCountersAction {
+  static constexpr std::string_view name = "apex::counters::discover";
+  static std::vector<WireCounterInfo> invoke(dist::Locality& here,
+                                             std::string pattern) {
+    std::vector<WireCounterInfo> out;
+    for (const CounterInfo& info : here.counters().discover(pattern)) {
+      out.push_back(WireCounterInfo{
+          info.name, info.description,
+          static_cast<std::uint8_t>(info.kind)});
+    }
+    return out;
+  }
+};
+
+struct ReadCounterAction {
+  static constexpr std::string_view name = "apex::counters::read";
+  static std::optional<double> invoke(dist::Locality& here,
+                                      std::string counter) {
+    return here.counters().read(counter);
+  }
+};
+
+struct ReadMatchingAction {
+  static constexpr std::string_view name = "apex::counters::read-matching";
+  static std::vector<std::pair<std::string, double>> invoke(
+      dist::Locality& here, std::string pattern) {
+    return here.counters().read_matching(pattern);
+  }
+};
+
+struct ResetCountersAction {
+  static constexpr std::string_view name = "apex::counters::reset";
+  static std::uint64_t invoke(dist::Locality& here, std::string pattern) {
+    return static_cast<std::uint64_t>(here.counters().reset(pattern));
+  }
+};
+
+}  // namespace
+
+}  // namespace mhpx::apex::remote
+
+MHPX_REGISTER_ACTION(mhpx::apex::remote::DiscoverCountersAction);
+MHPX_REGISTER_ACTION(mhpx::apex::remote::ReadCounterAction);
+MHPX_REGISTER_ACTION(mhpx::apex::remote::ReadMatchingAction);
+MHPX_REGISTER_ACTION(mhpx::apex::remote::ResetCountersAction);
+
+namespace mhpx::apex::remote {
+
+std::vector<CounterInfo> discover(dist::Locality& from,
+                                  dist::locality_id where,
+                                  const std::string& pattern) {
+  auto wire = from.call<DiscoverCountersAction>(dist::locality_gid(where),
+                                                pattern)
+                  .get();
+  std::vector<CounterInfo> out;
+  out.reserve(wire.size());
+  for (WireCounterInfo& w : wire) {
+    out.push_back(CounterInfo{std::move(w.name), std::move(w.description),
+                              static_cast<CounterKind>(w.kind)});
+  }
+  return out;
+}
+
+std::optional<double> read(dist::Locality& from, dist::locality_id where,
+                           const std::string& name) {
+  return from.call<ReadCounterAction>(dist::locality_gid(where), name).get();
+}
+
+std::vector<std::pair<std::string, double>> read_matching(
+    dist::Locality& from, dist::locality_id where,
+    const std::string& pattern) {
+  return from.call<ReadMatchingAction>(dist::locality_gid(where), pattern)
+      .get();
+}
+
+std::size_t reset(dist::Locality& from, dist::locality_id where,
+                  const std::string& pattern) {
+  return static_cast<std::size_t>(
+      from.call<ResetCountersAction>(dist::locality_gid(where), pattern)
+          .get());
+}
+
+// -------------------------------------------------------- FederatedSampler
+
+void FederatedSampler::start(FederatedSamplerConfig cfg) {
+  if (running()) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();  // reap a round that ended via max_samples
+  }
+  {
+    std::lock_guard lk(mutex_);
+    running_ = true;
+    stopping_ = false;
+    samples_ = 0;
+    names_.clear();
+    series_.clear();
+    emit_trace_ = cfg.emit_trace_counters;
+    const unsigned n = runtime_.num_localities();
+    names_.resize(n);
+    dist::Locality& vantage = runtime_.locality(0);
+    for (unsigned loc = 0; loc < n; ++loc) {
+      for (const std::string& pattern : cfg.patterns) {
+        for (CounterInfo& info : discover(vantage, loc, pattern)) {
+          if (std::find(names_[loc].begin(), names_[loc].end(), info.name) ==
+              names_[loc].end()) {
+            names_[loc].push_back(std::move(info.name));
+          }
+        }
+      }
+      std::sort(names_[loc].begin(), names_[loc].end());
+      for (const std::string& name : names_[loc]) {
+        series_.push_back(
+            Series{"/loc" + std::to_string(loc) + name, {}, {}});
+      }
+    }
+  }
+  thread_ = std::thread([this, cfg] { run(cfg); });
+}
+
+void FederatedSampler::stop() {
+  {
+    std::lock_guard lk(mutex_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  std::lock_guard lk(mutex_);
+  running_ = false;
+}
+
+bool FederatedSampler::running() const {
+  std::lock_guard lk(mutex_);
+  return running_;
+}
+
+std::size_t FederatedSampler::samples() const {
+  std::lock_guard lk(mutex_);
+  return samples_;
+}
+
+std::vector<Series> FederatedSampler::series() const {
+  std::lock_guard lk(mutex_);
+  return series_;
+}
+
+void FederatedSampler::sample_once() {
+  // One federation round: poll every locality through the remote protocol
+  // (locality 0 is the vantage point, as HPX's console node would be).
+  // Remote reads block on reply parcels, so do them outside the lock.
+  const double now = trace::now_seconds();
+  dist::Locality& vantage = runtime_.locality(0);
+  std::vector<double> row;
+  for (unsigned loc = 0; loc < runtime_.num_localities(); ++loc) {
+    for (const std::string& name : names_[loc]) {
+      const double v = remote::read(vantage, loc, name).value_or(0.0);
+      row.push_back(v);
+      if (emit_trace_ && trace::enabled()) {
+        trace::counter_sample_at(trace::intern(name), v, now, loc);
+      }
+    }
+  }
+  std::lock_guard lk(mutex_);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    series_[i].t.push_back(now);
+    series_[i].v.push_back(row[i]);
+  }
+  ++samples_;
+}
+
+void FederatedSampler::run(FederatedSamplerConfig cfg) {
+  const auto interval = std::chrono::duration<double>(
+      cfg.interval_seconds > 0.0 ? cfg.interval_seconds : 0.01);
+  while (true) {
+    sample_once();
+    std::unique_lock lk(mutex_);
+    if (cfg.max_samples != 0 && samples_ >= cfg.max_samples) {
+      running_ = false;
+      return;
+    }
+    if (stopping_) {
+      running_ = false;
+      return;
+    }
+    cv_.wait_for(lk, interval, [this] { return stopping_; });
+    if (stopping_) {
+      lk.unlock();
+      // Final flush: the tail interval between the last periodic sample
+      // and stop() still makes it into the series.
+      sample_once();
+      std::lock_guard lk2(mutex_);
+      running_ = false;
+      return;
+    }
+  }
+}
+
+}  // namespace mhpx::apex::remote

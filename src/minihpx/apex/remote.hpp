@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file remote.hpp
+/// Counter federation: discover/read/reset any locality's counters from any
+/// other locality, HPX performance-counter style.
+///
+/// HPX exposes every locality's counters through AGAS — `--hpx:print-counter
+/// /threads{locality#1/total}/idle-rate` works from the console node. The
+/// minihpx analogue: each dist::Locality owns a CounterRegistry (the runtime
+/// registers the canonical /threads and /parcels sets, benches add /power),
+/// and four registered actions expose it. The blocking client wrappers here
+/// hide the action plumbing, so locality 0 reads a remote board's idle-rate
+/// or energy counter with one call.
+///
+/// The FederatedSampler turns the pull protocol into push: a background
+/// thread polls every locality's matched counters from one vantage locality
+/// and accumulates per-locality timeseries (optionally mirrored into the
+/// trace as per-pid counter lanes — the energy lane of the merged fig8
+/// trace). Its snapshot() feeds the BenchReport federated-counters table.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/sampler.hpp"
+#include "minihpx/distributed/gid.hpp"
+
+namespace mhpx::dist {
+class Locality;
+class DistributedRuntime;
+}  // namespace mhpx::dist
+
+namespace mhpx::apex::remote {
+
+/// Counters registered on locality \p where whose names match \p pattern
+/// (CounterRegistry glob), sorted by name. Blocks until the reply arrives;
+/// callable from external threads and worker tasks alike. \p from is the
+/// observing locality the request is issued through (its id may equal
+/// \p where — the call short-circuits locally then).
+[[nodiscard]] std::vector<CounterInfo> discover(dist::Locality& from,
+                                                dist::locality_id where,
+                                                const std::string& pattern =
+                                                    "**");
+
+/// Read one counter on locality \p where; nullopt when not registered.
+[[nodiscard]] std::optional<double> read(dist::Locality& from,
+                                         dist::locality_id where,
+                                         const std::string& name);
+
+/// Read every counter on \p where matching \p pattern, sorted by name.
+[[nodiscard]] std::vector<std::pair<std::string, double>> read_matching(
+    dist::Locality& from, dist::locality_id where, const std::string& pattern);
+
+/// Re-baseline monotonic counters matching \p pattern on \p where; returns
+/// the number of counters reset.
+std::size_t reset(dist::Locality& from, dist::locality_id where,
+                  const std::string& pattern);
+
+struct FederatedSamplerConfig {
+  /// Seconds between federation rounds (every round polls all localities).
+  double interval_seconds = 0.01;
+  /// Counter patterns, resolved per locality at start().
+  std::vector<std::string> patterns = {"**"};
+  /// Stop after this many rounds (0 = until stop()).
+  std::size_t max_samples = 0;
+  /// Mirror each sample into the trace as a 'C' event on the owning
+  /// locality's pid (counter lanes under each process in Perfetto).
+  bool emit_trace_counters = false;
+};
+
+/// Periodic cross-locality counter snapshotter, polling every locality of a
+/// DistributedRuntime through the apex::remote protocol from locality 0.
+/// Series names are prefixed "/loc<i>" (e.g. "/loc1/threads/default/
+/// idle-rate"). stop() is idempotent and flushes one final sample so short
+/// runs keep their last interval.
+class FederatedSampler {
+ public:
+  explicit FederatedSampler(dist::DistributedRuntime& runtime)
+      : runtime_(runtime) {}
+  ~FederatedSampler() { stop(); }
+  FederatedSampler(const FederatedSampler&) = delete;
+  FederatedSampler& operator=(const FederatedSampler&) = delete;
+
+  /// Resolve patterns on every locality and launch the polling thread.
+  /// No-op when already running.
+  void start(FederatedSamplerConfig cfg = {});
+
+  /// Stop promptly, flush a final federation round, join. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// Federation rounds completed so far.
+  [[nodiscard]] std::size_t samples() const;
+
+  /// Copy of the captured series ("/loc<i>..." names), sorted by name.
+  [[nodiscard]] std::vector<Series> series() const;
+
+ private:
+  void sample_once();
+  void run(FederatedSamplerConfig cfg);
+
+  dist::DistributedRuntime& runtime_;
+
+  mutable std::mutex mutex_;  // guards series_, samples_, flags
+  std::condition_variable cv_;
+  /// Resolved at start(): per-locality counter names, fixed while running.
+  std::vector<std::vector<std::string>> names_;  // [locality][counter]
+  std::vector<Series> series_;
+  std::size_t samples_ = 0;
+  bool stopping_ = false;
+  bool running_ = false;
+  bool emit_trace_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mhpx::apex::remote

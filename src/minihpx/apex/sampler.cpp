@@ -8,11 +8,14 @@
 namespace mhpx::apex {
 
 void Sampler::start(SamplerConfig cfg) {
+  if (running()) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();  // reap a round that ended via max_samples
+  }
   {
     std::lock_guard lk(mutex_);
-    if (running_) {
-      return;
-    }
     running_ = true;
     stopping_ = false;
     samples_ = 0;
@@ -37,11 +40,10 @@ void Sampler::start(SamplerConfig cfg) {
 }
 
 void Sampler::stop() {
+  // Idempotent: a second stop() finds the thread already joined and the
+  // flags settled, and changes nothing.
   {
     std::lock_guard lk(mutex_);
-    if (!running_) {
-      return;
-    }
     stopping_ = true;
     cv_.notify_all();
   }
@@ -94,16 +96,24 @@ void Sampler::run(SamplerConfig cfg) {
       cfg.interval_seconds > 0.0 ? cfg.interval_seconds : 0.01);
   while (true) {
     sample_once();
-    {
-      std::lock_guard lk(mutex_);
-      if (stopping_ ||
-          (cfg.max_samples != 0 && samples_ >= cfg.max_samples)) {
-        return;
-      }
-    }
     std::unique_lock lk(mutex_);
+    if (cfg.max_samples != 0 && samples_ >= cfg.max_samples) {
+      running_ = false;  // a later start() may begin a fresh round
+      return;
+    }
+    if (stopping_) {
+      // stop() raced the sample just taken: it is the final one.
+      running_ = false;
+      return;
+    }
     cv_.wait_for(lk, interval, [this] { return stopping_; });
     if (stopping_) {
+      lk.unlock();
+      // Final flush on stop(): capture the partial interval between the
+      // last periodic sample and stop(), so short runs keep their tail.
+      sample_once();
+      std::lock_guard lk2(mutex_);
+      running_ = false;
       return;
     }
   }

@@ -74,9 +74,8 @@ std::uint32_t thread_ordinal() {
   return id;
 }
 
-void record(Event ev) {
-  ev.ts = std::chrono::duration<double>(steady::now() - epoch()).count();
-  ev.tid = thread_ordinal();
+/// Append a fully stamped event to the calling thread's shard.
+void record_stamped(const Event& ev) {
   if (g_count.fetch_add(1, std::memory_order_relaxed) >=
       g_limit.load(std::memory_order_relaxed)) {
     g_count.fetch_sub(1, std::memory_order_relaxed);
@@ -86,6 +85,22 @@ void record(Event ev) {
   Shard& shard = local_shard();
   std::lock_guard lk(shard.mutex);
   shard.events.push_back(ev);
+}
+
+void record(Event ev) {
+  ev.ts = std::chrono::duration<double>(steady::now() - epoch()).count();
+  ev.tid = thread_ordinal();
+  ev.pid = instrument::thread_locality();
+  record_stamped(ev);
+}
+
+/// Record with a caller-chosen pid (flow events name the locality a parcel
+/// travels to/from, which is not always the recording thread's locality).
+void record_with_pid(Event ev, std::uint32_t pid) {
+  ev.ts = std::chrono::duration<double>(steady::now() - epoch()).count();
+  ev.tid = thread_ordinal();
+  ev.pid = pid;
+  record_stamped(ev);
 }
 
 /// JSON string escaping for names (control chars, quotes, backslash).
@@ -241,6 +256,55 @@ void counter_sample(const char* name, double value) {
   record(ev);
 }
 
+void counter_sample_at(const char* name, double value, double ts,
+                       std::uint32_t pid) {
+  if (!enabled()) {
+    return;
+  }
+  Event ev;
+  ev.ph = EventPhase::counter;
+  ev.category = "counter";
+  ev.name = name;
+  ev.arg0 = value;
+  ev.ts = ts;
+  ev.tid = thread_ordinal();
+  ev.pid = pid;
+  record_stamped(ev);
+}
+
+void flow_send(std::uint32_t src, std::uint32_t dst, std::uint64_t flow_id,
+               double bytes) {
+  if (!enabled()) {
+    return;
+  }
+  Event ev;
+  ev.ph = EventPhase::flow_start;
+  ev.category = "parcel";
+  ev.name = "parcel";
+  ev.guid = flow_id;
+  ev.parent = instrument::spawn_parent();
+  ev.arg0 = static_cast<double>(src);
+  ev.arg1 = static_cast<double>(dst);
+  ev.arg2 = bytes;
+  record_with_pid(ev, src);
+}
+
+void flow_recv(std::uint32_t src, std::uint32_t dst, std::uint64_t flow_id,
+               std::uint64_t remote_parent) {
+  if (!enabled()) {
+    return;
+  }
+  Event ev;
+  ev.ph = EventPhase::flow_end;
+  ev.category = "parcel";
+  ev.name = "parcel";
+  ev.guid = flow_id;
+  ev.parent = remote_parent;
+  ev.arg0 = static_cast<double>(src);
+  ev.arg1 = static_cast<double>(dst);
+  record_with_pid(ev, dst);
+}
+
 std::uint64_t region_begin(const char* category, std::string_view name) {
   if (!enabled()) {
     return 0;
@@ -308,6 +372,23 @@ void PhaseSeries::close() {
 void export_chrome(std::ostream& os, const std::vector<Event>& events) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  // One process_name metadata record per pid so Perfetto labels each
+  // locality's track.
+  std::vector<std::uint32_t> pids;
+  for (const Event& ev : events) {
+    if (std::find(pids.begin(), pids.end(), ev.pid) == pids.end()) {
+      pids.push_back(ev.pid);
+    }
+  }
+  std::sort(pids.begin(), pids.end());
+  for (const std::uint32_t pid : pids) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"locality " << pid << "\"}}";
+  }
   for (const Event& ev : events) {
     if (!first) {
       os << ",";
@@ -319,9 +400,15 @@ void export_chrome(std::ostream& os, const std::vector<Event>& events) {
     escape_to(os, ev.category);
     os << "\",\"ph\":\"" << static_cast<char>(ev.ph) << "\",\"ts\":";
     number_to(os, ev.ts * 1e6);  // Chrome wants microseconds
-    os << ",\"pid\":0,\"tid\":" << ev.tid;
+    os << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
     if (ev.ph == EventPhase::instant) {
       os << ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (ev.ph == EventPhase::flow_start || ev.ph == EventPhase::flow_end) {
+      os << ",\"id\":" << ev.guid;
+      if (ev.ph == EventPhase::flow_end) {
+        os << ",\"bp\":\"e\"";  // bind to the enclosing handler slice
+      }
     }
     os << ",\"args\":{";
     if (ev.ph == EventPhase::counter) {
@@ -334,6 +421,16 @@ void export_chrome(std::ostream& os, const std::vector<Event>& events) {
       number_to(os, ev.arg1);
       os << ",\"arg2\":";
       number_to(os, ev.arg2);
+    } else if (ev.ph == EventPhase::flow_start ||
+               ev.ph == EventPhase::flow_end) {
+      os << "\"parent\":" << ev.parent << ",\"src\":";
+      number_to(os, ev.arg0);
+      os << ",\"dst\":";
+      number_to(os, ev.arg1);
+      if (ev.ph == EventPhase::flow_start) {
+        os << ",\"bytes\":";
+        number_to(os, ev.arg2);
+      }
     } else {
       os << "\"guid\":" << ev.guid << ",\"parent\":" << ev.parent;
       if (ev.ph == EventPhase::end) {

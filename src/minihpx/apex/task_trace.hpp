@@ -39,10 +39,13 @@ namespace mhpx::apex::trace {
 
 /// Chrome trace-event phase of one event.
 enum class EventPhase : char {
-  begin = 'B',    ///< duration slice opens (task slice / region)
-  end = 'E',      ///< duration slice closes
-  instant = 'i',  ///< point event (parcel, retry, recovery)
-  counter = 'C',  ///< sampled counter value
+  begin = 'B',       ///< duration slice opens (task slice / region)
+  end = 'E',         ///< duration slice closes
+  instant = 'i',     ///< point event (parcel, retry, recovery)
+  counter = 'C',     ///< sampled counter value
+  flow_start = 's',  ///< cross-locality flow opens (parcel leaves src)
+  flow_end = 'f',    ///< flow closes (parcel handled on dst; binds to the
+                     ///< enclosing handler slice via "bp":"e")
 };
 
 /// One recorded event. `name` and `category` point into the process-wide
@@ -50,9 +53,11 @@ enum class EventPhase : char {
 /// tracer is cleared or disabled.
 struct Event {
   double ts = 0.0;  ///< seconds since the trace epoch (first enable())
-  std::uint64_t guid = 0;    ///< task/region identity (0: none)
-  std::uint64_t parent = 0;  ///< spawning task/region (0: external)
+  std::uint64_t guid = 0;    ///< task/region identity; flow id for 's'/'f'
+  std::uint64_t parent = 0;  ///< spawning task/region (0: external); for
+                             ///< 'f' the *remote* sending task's GUID
   std::uint32_t tid = 0;     ///< small per-thread ordinal
+  std::uint32_t pid = 0;     ///< locality (Chrome-trace process id)
   EventPhase ph = EventPhase::instant;
   const char* category = "";
   const char* name = "";
@@ -60,6 +65,8 @@ struct Event {
   ///   task 'E':    arg0=flops, arg1=bytes, arg2=finished(1)/suspended(0)
   ///   parcel 'i':  arg0=src locality, arg1=dst locality, arg2=bytes
   ///   counter 'C': arg0=value
+  ///   flow 's':    arg0=src locality, arg1=dst locality, arg2=bytes
+  ///   flow 'f':    arg0=src locality, arg1=dst locality
   double arg0 = 0.0;
   double arg1 = 0.0;
   double arg2 = 0.0;
@@ -116,6 +123,27 @@ void instant(const char* category, const char* name, double arg0 = 0.0,
 /// Record a counter sample (Chrome 'C' event; the sampler and benches use
 /// this to lay counter timeseries under the task timeline).
 void counter_sample(const char* name, double value);
+
+/// Counter sample with an explicit timestamp (seconds since the trace
+/// epoch) and locality pid — the federated sampler records one lane per
+/// locality this way (energy counters, remote scheduler state).
+void counter_sample_at(const char* name, double value, double ts,
+                       std::uint32_t pid);
+
+/// Record the source half of a cross-locality flow: a parcel identified by
+/// \p flow_id left locality \p src for \p dst. The event's parent is the
+/// sending task/region (spawn_parent of the caller); its pid is \p src —
+/// explicit, because replies are sent from the destination's worker and
+/// orchestration code sends from external threads.
+void flow_send(std::uint32_t src, std::uint32_t dst, std::uint64_t flow_id,
+               double bytes);
+
+/// Record the destination half of flow \p flow_id: the parcel is being
+/// handled on locality \p dst. \p remote_parent is the sending task's GUID
+/// carried in the parcel header — the cross-locality parent link. Call from
+/// inside the handler task so the 'f' event binds to its slice.
+void flow_recv(std::uint32_t src, std::uint32_t dst, std::uint64_t flow_id,
+               std::uint64_t remote_parent);
 
 /// Open a region: allocates a GUID, records a 'B' event whose parent is the
 /// innermost enclosing region or task. Returns 0 (and records nothing)

@@ -1,5 +1,6 @@
 #include "minihpx/distributed/locality.hpp"
 
+#include "minihpx/apex/task_trace.hpp"
 #include "minihpx/distributed/runtime.hpp"
 #include "minihpx/instrument.hpp"
 
@@ -15,7 +16,11 @@ Locality::Locality(locality_id id, DistributedRuntime& runtime,
                    unsigned num_threads, std::size_t stack_size)
     : id_(id),
       runtime_(runtime),
-      scheduler_(threads::Scheduler::Config{num_threads, stack_size}) {}
+      scheduler_(threads::Scheduler::Config{
+          num_threads, stack_size, /*deterministic=*/false, /*det_seed=*/0,
+          /*trace_locality=*/id}) {
+  apex::register_scheduler_counters(counters_block_, scheduler_);
+}
 
 Locality::~Locality() = default;
 
@@ -50,6 +55,16 @@ std::size_t Locality::component_count() const {
 
 void Locality::send_parcel(Parcel p) {
   const locality_id dst = p.header.destination;
+  if (apex::trace::enabled()) {
+    // Stamp the trace context into the wire header: the sending task (or
+    // open region) becomes the receiving handler's remote parent, and the
+    // flow id pairs this send ('s') with its handling ('f') on dst. The
+    // fields travel even when 0, so tracing never changes frame sizes.
+    p.header.trace_parent = instrument::spawn_parent();
+    p.header.trace_flow = instrument::next_trace_guid();
+    apex::trace::flow_send(id_, dst, p.header.trace_flow,
+                           static_cast<double>(p.payload.size()));
+  }
   runtime_.fabric().send(id_, dst, encode_parcel_frame(std::move(p)));
 }
 
@@ -75,6 +90,12 @@ void Locality::deliver(locality_id src, std::vector<std::byte> frame) {
 }
 
 void Locality::handle_parcel(Parcel p) {
+  if (apex::trace::enabled() && p.header.trace_flow != 0) {
+    // Running inside this locality's handler task: the 'f' event binds to
+    // the enclosing task slice and records the remote sender as parent.
+    apex::trace::flow_recv(p.header.source, id_, p.header.trace_flow,
+                           p.header.trace_parent);
+  }
   switch (p.header.kind) {
     case ParcelKind::call: {
       Parcel reply;

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "minihpx/apex/counters.hpp"
 #include "minihpx/distributed/action.hpp"
 #include "minihpx/distributed/component.hpp"
 #include "minihpx/distributed/fabric.hpp"
@@ -43,6 +44,19 @@ class Locality {
 
   [[nodiscard]] locality_id id() const noexcept { return id_; }
   [[nodiscard]] threads::Scheduler& scheduler() noexcept { return scheduler_; }
+
+  /// This locality's own counter registry — the namespace apex::remote
+  /// federates. The runtime registers the canonical /threads and /parcels
+  /// sets here; benches and tests add locality-scoped extras (/power/...).
+  [[nodiscard]] apex::CounterRegistry& counters() noexcept {
+    return counters_registry_;
+  }
+
+  /// Registration block tied to this locality's lifetime; counters added
+  /// through it are removed before the registry (and scheduler) die.
+  [[nodiscard]] apex::CounterBlock& counters_block() noexcept {
+    return counters_block_;
+  }
 
   // ----------------------------------------------------------- components
 
@@ -228,6 +242,12 @@ class Locality {
       pending_;
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> dropped_frames_{0};
+
+  /// Declared after scheduler_ and before counters_block_ so the block's
+  /// readers (which pull scheduler/fabric state) unregister before either
+  /// the registry or the sources they read are destroyed.
+  apex::CounterRegistry counters_registry_;
+  apex::CounterBlock counters_block_{counters_registry_};
 };
 
 }  // namespace mhpx::dist

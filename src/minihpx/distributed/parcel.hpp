@@ -38,10 +38,18 @@ struct ParcelHeader {
   std::uint64_t request = 0;
   /// 0 = success; nonzero = remote error, payload is the message string.
   std::uint8_t status = 0;
+  /// Trace context (apex distributed tracing): GUID of the task/region that
+  /// sent this parcel, and the flow id linking the send to its handling on
+  /// the destination (Chrome "s"/"f" flow events). Both 0 when tracing is
+  /// off — the fields always travel, so frame sizes are identical with and
+  /// without tracing (the metamorphic bit-identity guard relies on this).
+  std::uint64_t trace_parent = 0;
+  std::uint64_t trace_flow = 0;
 
   template <typename Ar>
   void serialize(Ar& ar) {
-    ar& kind& source& destination& action& target& request& status;
+    ar& kind& source& destination& action& target& request& status&
+        trace_parent& trace_flow;
   }
 };
 

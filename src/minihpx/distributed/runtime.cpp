@@ -36,6 +36,10 @@ DistributedRuntime::DistributedRuntime(Config cfg) {
     apex::register_scheduler_counters(
         counters_, loc->scheduler(),
         "locality" + std::to_string(loc->id()));
+    // Each locality's own registry (the apex::remote federation namespace)
+    // also sees the shared fabric: remote observers read /parcels/* through
+    // any locality. Scheduler counters were registered by the Locality ctor.
+    apex::register_fabric_counters(loc->counters_block(), *fabric_);
   }
 }
 

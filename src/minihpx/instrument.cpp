@@ -81,6 +81,16 @@ std::uint64_t spawn_parent() noexcept {
                                      : t_scope.task_guid;
 }
 
+namespace {
+thread_local std::uint32_t t_locality = 0;
+}  // namespace
+
+void set_thread_locality(std::uint32_t locality) noexcept {
+  t_locality = locality;
+}
+
+std::uint32_t thread_locality() noexcept { return t_locality; }
+
 ResilienceCounters resilience_counters() noexcept {
   ResilienceCounters c;
   c.task_retries = g_task_retries.load(std::memory_order_relaxed);

@@ -96,6 +96,15 @@ std::uint64_t exchange_ambient_parent(std::uint64_t guid) noexcept;
 /// the current task's GUID, otherwise 0.
 [[nodiscard]] std::uint64_t spawn_parent() noexcept;
 
+/// Bind the calling thread to a locality for trace attribution. Scheduler
+/// workers of a distributed runtime call this once at startup so every
+/// event they record carries their locality as its Chrome-trace pid;
+/// threads that never call it report locality 0 (external/driver code).
+void set_thread_locality(std::uint32_t locality) noexcept;
+
+/// Locality the calling thread is bound to (0 when unbound).
+[[nodiscard]] std::uint32_t thread_locality() noexcept;
+
 /// Monotonic global totals of resilience events, accumulated regardless of
 /// which hook table is installed. Benchmarks snapshot these around a run to
 /// report retry/drop/vote overhead (see bench/ablation_resilience.cpp).

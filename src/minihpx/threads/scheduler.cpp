@@ -27,6 +27,7 @@ Scheduler::Scheduler(Config cfg)
     cfg.det_seed = testing::detail::next_derived_seed();
   }
   deterministic_ = cfg.deterministic;
+  trace_locality_ = cfg.trace_locality;
   if (deterministic_) {
     det_rng_.seed(static_cast<std::uint32_t>(cfg.det_seed ^
                                              (cfg.det_seed >> 32) ^ 1u));
@@ -207,6 +208,7 @@ TaskCtx* Scheduler::try_steal(Worker& self) {
 void Scheduler::worker_loop(Worker& self) {
   t_worker_of = this;
   t_worker_id = self.id;
+  instrument::set_thread_locality(trace_locality_);
   bool bursting = false;
   while (true) {
     TaskCtx* task = nullptr;

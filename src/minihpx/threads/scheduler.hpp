@@ -66,6 +66,10 @@ class Scheduler {
     /// Also forced on while a testing::ScopedDetScheduling guard is alive.
     bool deterministic = false;
     std::uint64_t det_seed = 0;
+    /// Locality this pool belongs to, bound to every worker thread via
+    /// instrument::set_thread_locality so trace events carry the right
+    /// Chrome-trace pid. 0 for single-node schedulers (the default).
+    std::uint32_t trace_locality = 0;
   };
 
   /// Strategy hooks consulted in deterministic mode (testing subsystem).
@@ -200,6 +204,7 @@ class Scheduler {
   std::atomic<bool> stopping_{false};
 
   bool deterministic_ = false;
+  std::uint32_t trace_locality_ = 0;  // see Config::trace_locality
   std::minstd_rand det_rng_;  // det-mode default task selection
   DetHooks det_hooks_;        // optional testing-subsystem strategy
   std::function<void()> burst_begin_;  // see set_burst_hooks

@@ -1,0 +1,222 @@
+// rveval::report::tracetools: Chrome-trace parsing, the structural linter
+// that gates CI trace artifacts, and the clock-skew-corrected multi-trace
+// merge (offsets recovered from paired parcel flow events).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report/json.hpp"
+#include "core/report/trace_tools.hpp"
+
+namespace tt = rveval::report::tracetools;
+
+namespace {
+
+tt::TraceEvent ev(char ph, double ts_us, std::uint32_t pid,
+                  std::uint64_t guid = 0, std::uint64_t parent = 0) {
+  tt::TraceEvent e;
+  e.name = std::string("ev-") + ph;
+  e.cat = "test";
+  e.ph = ph;
+  e.ts_us = ts_us;
+  e.has_ts = true;
+  e.pid = pid;
+  e.guid = guid;
+  e.parent = parent;
+  if (ph == 's' || ph == 'f') {
+    e.flow_id = guid;
+  }
+  if (ph == 'f') {
+    e.bp = "e";  // as the apex writer emits: bind to the enclosing slice
+  }
+  return e;
+}
+
+}  // namespace
+
+TEST(TraceParse, AcceptsBothTopLevelShapes) {
+  const char* object_form =
+      R"({"traceEvents":[{"name":"a","ph":"i","ts":1,"pid":0,"tid":0}]})";
+  const char* array_form = R"([{"name":"a","ph":"i","ts":1}])";
+  EXPECT_EQ(tt::parse_chrome(object_form).events.size(), 1u);
+  EXPECT_EQ(tt::parse_chrome(array_form).events.size(), 1u);
+}
+
+TEST(TraceParse, RejectsMalformedInput) {
+  EXPECT_THROW(tt::parse_chrome("not json"), std::runtime_error);
+  EXPECT_THROW(tt::parse_chrome(R"({"noTraceEvents":1})"), std::runtime_error);
+  EXPECT_THROW(tt::parse_chrome(R"({"traceEvents":[{"name":"x"}]})"),
+               std::runtime_error);  // no "ph"
+  EXPECT_THROW(tt::parse_chrome(R"({"traceEvents":[{"ph":"i"}]})"),
+               std::runtime_error);  // non-metadata event without "ts"
+}
+
+TEST(TraceLint, CleanTracePasses) {
+  tt::ParsedTrace trace;
+  trace.events = {ev('B', 0.0, 0, 1),     ev('s', 1.0, 0, 9),
+                  ev('f', 2.0, 1, 9, 1),  ev('B', 2.5, 1, 2, 1),
+                  ev('E', 3.0, 1, 2),     ev('E', 4.0, 0, 1)};
+  EXPECT_TRUE(tt::lint(trace, 2).empty());
+}
+
+TEST(TraceLint, FlagsEveryViolationClass) {
+  {
+    tt::ParsedTrace t;
+    t.events = {ev('B', 0.0, 0, 1)};  // never closed
+    const auto errors = tt::lint(t, 1);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("dangling 'B'"), std::string::npos);
+  }
+  {
+    tt::ParsedTrace t;
+    t.events = {ev('E', 1.0, 0, 1)};  // never opened
+    const auto errors = tt::lint(t, 1);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("orphan 'E'"), std::string::npos);
+  }
+  {
+    tt::ParsedTrace t;
+    t.events = {ev('s', 1.0, 0, 9)};  // flow never lands
+    const auto errors = tt::lint(t, 1);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("no matching 'f'"), std::string::npos);
+  }
+  {
+    tt::ParsedTrace t;
+    t.events = {ev('f', 1.0, 1, 9)};  // flow from nowhere
+    const auto errors = tt::lint(t, 1);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("no matching 's'"), std::string::npos);
+  }
+  {
+    tt::ParsedTrace t;
+    t.events = {ev('s', 5.0, 0, 9), ev('f', 1.0, 1, 9)};  // arrives early
+    const auto errors = tt::lint(t, 1);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("precedes"), std::string::npos);
+  }
+  {
+    tt::ParsedTrace t;  // parent guid 7 never opened a span
+    t.events = {ev('B', 0.0, 0, 2, 7), ev('E', 1.0, 0, 2)};
+    const auto errors = tt::lint(t, 1);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("never opened"), std::string::npos);
+  }
+  {
+    tt::ParsedTrace t;
+    t.events = {ev('i', 0.0, 0)};
+    const auto errors = tt::lint(t, 2);  // only pid 0 present
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("pid"), std::string::npos);
+  }
+}
+
+TEST(TraceMerge, RecoversClockSkewFromFlowPairs) {
+  // Two per-locality traces whose clocks disagree by exactly 1000 us; one
+  // flow in each direction, both with a true one-way latency of 50 us.
+  tt::ParsedTrace t0;
+  t0.events = {ev('s', 100.0, 0, 11), ev('f', 250.0, 0, 12)};
+  tt::ParsedTrace t1;
+  t1.events = {ev('f', 1150.0, 1, 11), ev('s', 1200.0, 1, 12)};
+
+  const auto offsets = tt::estimate_offsets({t0, t1});
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_DOUBLE_EQ(offsets[0], 0.0);  // trace 0 anchors the merged timeline
+  EXPECT_DOUBLE_EQ(offsets[1], 1000.0);
+
+  const tt::ParsedTrace merged = tt::merge({t0, t1});
+  ASSERT_EQ(merged.events.size(), 4u);
+  // Corrected timeline: s@100 -> f@150, s@200 -> f@250, time-sorted.
+  EXPECT_DOUBLE_EQ(merged.events[0].ts_us, 100.0);
+  EXPECT_DOUBLE_EQ(merged.events[1].ts_us, 150.0);
+  EXPECT_DOUBLE_EQ(merged.events[2].ts_us, 200.0);
+  EXPECT_DOUBLE_EQ(merged.events[3].ts_us, 250.0);
+  // Without the correction flow 12 would arrive 950 us before it was sent;
+  // after it, the merged trace passes the linter's causality checks.
+  EXPECT_TRUE(tt::lint(merged, 2).empty());
+}
+
+TEST(TraceMerge, SingleTraceIsUntouched) {
+  tt::ParsedTrace t0;
+  t0.events = {ev('B', 1.0, 0, 1), ev('E', 2.0, 0, 1)};
+  const tt::ParsedTrace merged = tt::merge({t0});
+  ASSERT_EQ(merged.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.events[0].ts_us, 1.0);
+}
+
+TEST(TraceRoundTrip, ExportReparsesWithPerPidMetadata) {
+  tt::ParsedTrace trace;
+  trace.events = {ev('B', 0.0, 0, 1), ev('s', 1.0, 0, 9),
+                  ev('f', 2.0, 1, 9), ev('E', 3.0, 0, 1)};
+  const std::string json = tt::to_chrome_json(trace);
+
+  // Oracle parse: valid JSON with one process_name record per pid.
+  const auto doc = rveval::report::json::parse(json);
+  const auto* te = doc.find("traceEvents");
+  ASSERT_NE(te, nullptr);
+  ASSERT_TRUE(te->is_array());
+  int meta = 0;
+  for (std::size_t i = 0; i < te->size(); ++i) {
+    if (te->at(i).find("ph")->as_string() == "M") {
+      ++meta;
+      EXPECT_EQ(te->at(i).find("name")->as_string(), "process_name");
+    }
+  }
+  EXPECT_EQ(meta, 2);
+
+  // And tracetools reads its own output back, flows intact.
+  const tt::ParsedTrace again = tt::parse_chrome(json);
+  ASSERT_EQ(again.events.size(), trace.events.size() + 2);  // + metadata
+  int flows = 0;
+  for (const auto& e : again.events) {
+    if (e.ph == 's' || e.ph == 'f') {
+      ++flows;
+      EXPECT_EQ(e.flow_id, 9u);
+      if (e.ph == 'f') {
+        EXPECT_EQ(e.bp, "e");
+      }
+    }
+  }
+  EXPECT_EQ(flows, 2);
+}
+
+TEST(TraceRoundTrip, MergedFig8StyleTraceStaysLintClean) {
+  // A miniature fig8 shape: two localities, request/reply flows, handler
+  // spans parented across the boundary, a counter lane — split by pid into
+  // two "files", merged back, linted.
+  tt::ParsedTrace full;
+  full.events = {
+      ev('B', 0.0, 0, 1),         // sender task on locality 0
+      ev('s', 1.0, 0, 100),       // request leaves
+      ev('E', 2.0, 0, 1),         //
+      ev('f', 3.0, 1, 100, 1),    // request lands; remote parent = task 1
+      ev('B', 3.0, 1, 2, 1),      // handler span
+      ev('s', 4.0, 1, 101),       // reply leaves
+      ev('E', 5.0, 1, 2),         //
+      ev('f', 6.0, 0, 101, 2),    // reply lands
+      ev('C', 6.5, 0),            // counter lane sample
+  };
+  tt::ParsedTrace part0;
+  tt::ParsedTrace part1;
+  for (const auto& e : full.events) {
+    (e.pid == 0 ? part0 : part1).events.push_back(e);
+  }
+  const tt::ParsedTrace merged = tt::merge({part0, part1});
+  EXPECT_EQ(merged.events.size(), full.events.size());
+  EXPECT_TRUE(tt::lint(merged, 2).empty());
+}
+
+TEST(TraceRoundTrip, RealExportLintsThroughTheCli) {
+  // to_chrome_json -> parse_chrome is exactly what `trace_tool lint` and
+  // `trace_tool merge` do; ensure a merge result re-exports cleanly.
+  tt::ParsedTrace t0;
+  t0.events = {ev('s', 100.0, 0, 11), ev('f', 250.0, 0, 12)};
+  tt::ParsedTrace t1;
+  t1.events = {ev('f', 1150.0, 1, 11), ev('s', 1200.0, 1, 12)};
+  const tt::ParsedTrace merged = tt::merge({t0, t1});
+  const tt::ParsedTrace reparsed = tt::parse_chrome(tt::to_chrome_json(merged));
+  EXPECT_TRUE(tt::lint(reparsed, 2).empty());
+}

@@ -206,3 +206,67 @@ TEST(Sampler, MaxSamplesStops) {
   sampler.stop();
   EXPECT_EQ(sampler.samples(), 3u);
 }
+
+// Regression: stop() must take one final sample before joining, so the
+// series always ends with the counters' values at shutdown — a sampler
+// stopped mid-interval used to lose everything after the last tick.
+TEST(Sampler, StopFlushesAFinalSample) {
+  apex::CounterRegistry reg;
+  std::atomic<double> source{0.0};
+  reg.add("/s/final", "", apex::CounterKind::gauge,
+          [&source] { return source.load(); });
+  apex::Sampler sampler(reg);
+  apex::SamplerConfig cfg;
+  cfg.interval_seconds = 60.0;  // next periodic tick is far in the future
+  cfg.patterns = {"/s/final"};
+  sampler.start(cfg);
+  // Let the immediate start-of-run sample land first, so the value below is
+  // only observable through the flush-on-stop path.
+  for (int i = 0; i < 2000 && sampler.samples() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(sampler.samples(), 1u);
+  source.store(7.0);
+  sampler.stop();
+
+  const auto series = sampler.series();
+  ASSERT_EQ(series.size(), 1u);
+  ASSERT_FALSE(series[0].v.empty());
+  EXPECT_DOUBLE_EQ(series[0].v.back(), 7.0)
+      << "stop() must flush the post-update value";
+  EXPECT_GE(sampler.samples(), 1u);
+}
+
+// Regression: a sampler whose thread exited on its own (max_samples) used
+// to be stuck — running() stayed true, so a later start() refused to run
+// and restarting would std::terminate on the still-joinable thread.
+TEST(Sampler, RestartsAfterMaxSamplesAndStopIsIdempotent) {
+  apex::CounterRegistry reg;
+  reg.add("/s/x", "", apex::CounterKind::gauge, [] { return 1.0; });
+  apex::Sampler sampler(reg);
+  apex::SamplerConfig cfg;
+  cfg.interval_seconds = 0.0005;
+  cfg.patterns = {"/s/x"};
+  cfg.max_samples = 2;
+  sampler.start(cfg);
+  for (int i = 0; i < 400 && sampler.samples() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(sampler.samples(), 2u);
+  EXPECT_FALSE(sampler.running()) << "self-stopped sampler must not report "
+                                     "running";
+
+  // stop() on a not-running sampler is a no-op, any number of times.
+  sampler.stop();
+  sampler.stop();
+
+  // And the same object can go again.
+  sampler.start(cfg);
+  for (int i = 0; i < 400 && sampler.samples() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.stop();
+  sampler.stop();
+  EXPECT_EQ(sampler.samples(), 2u);
+  EXPECT_FALSE(sampler.running());
+}

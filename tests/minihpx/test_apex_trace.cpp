@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
+#include <string>
 #include <string_view>
 #include <utility>
 
@@ -167,10 +169,18 @@ TEST_F(TraceTest, ChromeJsonParsesWithMatchingEventCount) {
   const auto* te = doc.find("traceEvents");
   ASSERT_NE(te, nullptr);
   ASSERT_TRUE(te->is_array());
-  EXPECT_EQ(te->size(), events.size());
+  // The export prepends one process_name metadata record per distinct pid.
+  std::set<std::uint32_t> pids;
+  for (const auto& ev : events) {
+    pids.insert(ev.pid);
+  }
+  EXPECT_EQ(te->size(), events.size() + pids.size());
+  const auto& meta = te->at(0);
+  ASSERT_NE(meta.find("ph"), nullptr);
+  EXPECT_EQ(meta.find("ph")->as_string(), "M");
 
-  // Spot-check one entry's shape.
-  const auto& first = te->at(0);
+  // Spot-check the first real entry's shape.
+  const auto& first = te->at(pids.size());
   ASSERT_NE(first.find("name"), nullptr);
   ASSERT_NE(first.find("ph"), nullptr);
   ASSERT_NE(first.find("ts"), nullptr);
@@ -178,6 +188,108 @@ TEST_F(TraceTest, ChromeJsonParsesWithMatchingEventCount) {
   EXPECT_NO_THROW(first.find("name")->as_string());
   EXPECT_NO_THROW(first.find("ts")->as_number());
   EXPECT_TRUE(first.find("args")->is_object());
+}
+
+TEST_F(TraceTest, EscapingRoundTripsThroughJsonOracle) {
+  trace::enable(true);
+  // Control chars, the JSON-special set, and multi-byte UTF-8 (u-umlaut,
+  // CJK, a 4-byte emoji) must all survive export -> parse unchanged.
+  const std::string nasty =
+      "ctrl:\x01\x02\x1f del:\x7f tab:\t nl:\n cr:\r quote:\" back:\\ "
+      "slash:/ utf8:\xc3\xbc\xe4\xb8\xad\xf0\x9f\x9a\x80 end";
+  trace::instant("test", trace::intern(nasty), 1.0, 2.0, 3.0);
+  trace::instant(trace::intern("c\x01t"), trace::intern("plain"));
+  trace::enable(false);
+
+  const std::string json = trace::chrome_json();
+  const auto doc = rveval::report::json::parse(json);  // oracle: must parse
+  const auto* te = doc.find("traceEvents");
+  ASSERT_NE(te, nullptr);
+  bool found_name = false;
+  bool found_cat = false;
+  for (std::size_t i = 0; i < te->size(); ++i) {
+    const auto* n = te->at(i).find("name");
+    const auto* c = te->at(i).find("cat");
+    if (n != nullptr && n->as_string() == nasty) {
+      found_name = true;
+    }
+    if (c != nullptr && c->as_string() == "c\x01t") {
+      found_cat = true;
+    }
+  }
+  EXPECT_TRUE(found_name) << "escaped name did not round-trip";
+  EXPECT_TRUE(found_cat) << "escaped category did not round-trip";
+}
+
+TEST_F(TraceTest, FlowEventsExportPairedAcrossPids) {
+  trace::enable(true);
+  {
+    // A handler-side slice so the 'f' has a span to bind to.
+    trace::ScopedRegion handler("task", "handler");
+    trace::flow_send(0, 1, 77, 64.0);
+    trace::flow_recv(0, 1, 77, /*remote_parent=*/0);
+  }
+  trace::enable(false);
+
+  const auto events = trace::snapshot();
+  const trace::Event* s = nullptr;
+  const trace::Event* f = nullptr;
+  for (const auto& ev : events) {
+    if (ev.ph == trace::EventPhase::flow_start) {
+      s = &ev;
+    } else if (ev.ph == trace::EventPhase::flow_end) {
+      f = &ev;
+    }
+  }
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(s->guid, 77u);  // guid doubles as the Chrome flow id
+  EXPECT_EQ(f->guid, 77u);
+  EXPECT_EQ(s->pid, 0u);  // 's' lands on the sender's track...
+  EXPECT_EQ(f->pid, 1u);  // ...'f' on the receiver's
+  EXPECT_DOUBLE_EQ(s->arg2, 64.0);
+
+  // Chrome export: both carry "id", the 'f' binds to the enclosing slice,
+  // and both localities got a process_name metadata record.
+  const auto doc = rveval::report::json::parse(trace::chrome_json());
+  const auto* te = doc.find("traceEvents");
+  ASSERT_NE(te, nullptr);
+  int meta = 0;
+  bool saw_s = false;
+  bool saw_f = false;
+  for (std::size_t i = 0; i < te->size(); ++i) {
+    const auto& ev = te->at(i);
+    const std::string ph = ev.find("ph")->as_string();
+    if (ph == "M") {
+      ++meta;
+    } else if (ph == "s") {
+      saw_s = true;
+      ASSERT_NE(ev.find("id"), nullptr);
+      EXPECT_EQ(ev.find("id")->as_number(), 77.0);
+    } else if (ph == "f") {
+      saw_f = true;
+      ASSERT_NE(ev.find("id"), nullptr);
+      ASSERT_NE(ev.find("bp"), nullptr);
+      EXPECT_EQ(ev.find("bp")->as_string(), "e");
+    }
+  }
+  EXPECT_EQ(meta, 2) << "one process_name record per locality pid";
+  EXPECT_TRUE(saw_s);
+  EXPECT_TRUE(saw_f);
+}
+
+TEST_F(TraceTest, EventsStampTheWorkerLocalityAsPid) {
+  trace::enable(true);
+  mhpx::instrument::set_thread_locality(3);
+  trace::instant("test", "on-loc3");
+  mhpx::instrument::set_thread_locality(0);
+  trace::instant("test", "on-loc0");
+  trace::enable(false);
+
+  const auto events = trace::snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].pid, 3u);
+  EXPECT_EQ(events[1].pid, 0u);
 }
 
 TEST_F(TraceTest, SnapshotIsTimeSorted) {

@@ -1,0 +1,149 @@
+// Cross-locality trace propagation (ctest label: disttrace).
+//
+// Every parcel is stamped with the sending task's GUID and a fresh flow id
+// in its wire header; the receiving locality records the flow's 'f' half
+// with the *remote* parent. The acceptance shape for the distributed-
+// observability PR: a traced two-locality run yields at least two pids,
+// every flow 's' has its matching 'f', and the trace passes the structural
+// linter that gates the fig8 artifact in CI.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/report/trace_tools.hpp"
+#include "minihpx/apex/task_trace.hpp"
+#include "minihpx/distributed/runtime.hpp"
+
+namespace {
+
+using namespace mhpx::dist;
+namespace trace = mhpx::apex::trace;
+namespace tt = rveval::report::tracetools;
+
+struct EchoAction {
+  static constexpr std::string_view name = "disttrace::echo";
+  static int invoke(Locality& /*here*/, int x) { return x * 2; }
+};
+MHPX_REGISTER_ACTION(EchoAction);
+
+class DistTraceTest : public ::testing::TestWithParam<FabricKind> {
+ protected:
+  void SetUp() override {
+    trace::enable(false);
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::enable(false);
+    trace::clear();
+  }
+
+  DistributedRuntime::Config config() const {
+    DistributedRuntime::Config cfg;
+    cfg.num_localities = 2;
+    cfg.threads_per_locality = 2;
+    cfg.stack_size = 64 * 1024;
+    cfg.fabric = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(DistTraceTest, ParcelsProduceFlowEventsOnBothPids) {
+  DistributedRuntime rt(config());
+  trace::enable(true);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(rt.locality(0).call<EchoAction>(locality_gid(1), i).get(),
+              2 * i);
+  }
+  rt.wait_all_idle();
+  trace::enable(false);
+
+  const auto events = trace::snapshot();
+  std::set<std::uint32_t> pids;
+  std::map<std::uint64_t, int> starts;
+  std::map<std::uint64_t, int> ends;
+  for (const auto& ev : events) {
+    pids.insert(ev.pid);
+    if (ev.ph == trace::EventPhase::flow_start) {
+      ++starts[ev.guid];
+    } else if (ev.ph == trace::EventPhase::flow_end) {
+      ++ends[ev.guid];
+    }
+  }
+  EXPECT_GE(pids.size(), 2u) << "a two-locality run must span two pids";
+  // Request + reply per call: at least 16 flows, every one paired.
+  EXPECT_GE(starts.size(), 16u);
+  for (const auto& [id, n] : starts) {
+    EXPECT_EQ(ends[id], n) << "flow " << id << " has unpaired halves";
+  }
+  for (const auto& [id, n] : ends) {
+    EXPECT_EQ(starts[id], n) << "flow " << id << " 'f' without 's'";
+  }
+}
+
+TEST_P(DistTraceTest, FlowCarriesTheRemoteParentGuid) {
+  DistributedRuntime rt(config());
+  trace::enable(true);
+  std::uint64_t sender_guid = 0;
+  {
+    // The send happens under this region, so the parcel header carries its
+    // GUID as the trace parent (ambient-parent propagation on the calling
+    // thread) and the receiving locality's 'f' event must surface it.
+    trace::ScopedRegion region("phase", "sender-side");
+    sender_guid = region.guid();
+    ASSERT_NE(sender_guid, 0u);
+    EXPECT_EQ(rt.locality(0).call<EchoAction>(locality_gid(1), 21).get(), 42);
+  }
+  rt.wait_all_idle();
+  trace::enable(false);
+
+  bool found = false;
+  for (const auto& ev : trace::snapshot()) {
+    if (ev.ph == trace::EventPhase::flow_end && ev.parent == sender_guid) {
+      EXPECT_EQ(ev.pid, 1u) << "request 'f' must land on the destination";
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "no flow end carried the sending region's GUID as remote parent";
+}
+
+TEST_P(DistTraceTest, ChromeExportPassesTheTraceLinter) {
+  DistributedRuntime rt(config());
+  trace::enable(true);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rt.locality(1).call<EchoAction>(locality_gid(0), i).get(),
+              2 * i);
+  }
+  rt.wait_all_idle();
+  trace::enable(false);
+
+  // Same pipeline CI runs on the fig8 artifact: export, reparse, lint with
+  // the two-pid floor.
+  const tt::ParsedTrace parsed = tt::parse_chrome(trace::chrome_json());
+  const std::vector<std::string> errors = tt::lint(parsed, /*min_pids=*/2);
+  EXPECT_TRUE(errors.empty()) << errors.front() << " (+"
+                              << (errors.size() - 1) << " more)";
+}
+
+TEST_P(DistTraceTest, TracingOffStampsNoFlowFields) {
+  DistributedRuntime rt(config());
+  ASSERT_FALSE(trace::enabled());
+  EXPECT_EQ(rt.locality(0).call<EchoAction>(locality_gid(1), 5).get(), 10);
+  rt.wait_all_idle();
+  EXPECT_EQ(trace::event_count(), 0u)
+      << "disabled tracing must record nothing, parcels included";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFabrics, DistTraceTest,
+                         ::testing::Values(FabricKind::inproc, FabricKind::tcp,
+                                           FabricKind::mpisim),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/testing/seed_env.hpp"
+#include "minihpx/apex/task_trace.hpp"
 #include "minihpx/distributed/fabric.hpp"
 #include "minihpx/runtime.hpp"
 #include "minihpx/testing/det.hpp"
@@ -85,6 +86,35 @@ TEST(Metamorphic, StarRunIsReproducibleRunToRun) {
   EXPECT_EQ(a.egas, b.egas);
   EXPECT_EQ(a.last_dt, b.last_dt);
   EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(Metamorphic, TracingIsInvisibleToThePhysics) {
+  // Observability must observe, not perturb: with distributed tracing
+  // enabled (trace-context-stamped parcels, flow events, per-pid spans) the
+  // physics is bit-identical to the tracing-off run on every fabric. The
+  // parcel header carries its trace fields unconditionally, so frame sizes
+  // — and therefore every transport decision — cannot depend on the switch.
+  const std::uint64_t seed = rveval::testing::sched_seed();
+  for (const md::FabricKind kind :
+       {md::FabricKind::inproc, md::FabricKind::tcp, md::FabricKind::mpisim}) {
+    const bool was_enabled = mhpx::apex::trace::enabled();
+    mhpx::apex::trace::enable(false);
+    const auto off = run_star(kind, seed);
+
+    mhpx::apex::trace::enable(true);
+    const auto on = run_star(kind, seed);
+    mhpx::apex::trace::enable(false);
+    EXPECT_GT(mhpx::apex::trace::event_count(), 0u)
+        << "tracing-on run recorded nothing";
+    mhpx::apex::trace::clear();
+    mhpx::apex::trace::enable(was_enabled);
+
+    EXPECT_EQ(off.rho, on.rho)
+        << md::to_string(kind) << " " << rveval::testing::seed_env().repro_line();
+    EXPECT_EQ(off.egas, on.egas) << md::to_string(kind);
+    EXPECT_EQ(off.last_dt, on.last_dt) << md::to_string(kind);
+    EXPECT_EQ(off.steps, on.steps) << md::to_string(kind);
+  }
 }
 
 TEST(Metamorphic, DeterministicHarnessPreservesThePhysics) {

@@ -101,7 +101,12 @@ TEST(ObservabilitySmoke, TracedRunEmitsValidChromeTrace) {
   const auto* te = doc.find("traceEvents");
   ASSERT_NE(te, nullptr);
   ASSERT_TRUE(te->is_array());
-  EXPECT_EQ(te->size(), events.size());
+  // One entry per event plus one process_name metadata record per pid.
+  std::set<std::uint32_t> pids;
+  for (const auto& ev : events) {
+    pids.insert(ev.pid);
+  }
+  EXPECT_EQ(te->size(), events.size() + pids.size());
   std::remove(path.c_str());
 
   // Critical path is a lower bound on the traced wall time.
