@@ -1,98 +1,361 @@
-// Ablation A3 (paper §3.2/§6.2.1): Kokkos Serial vs HPX execution space.
+// Ablation A3 (paper §3.2/§6.2.1): execution-space sweep for one fixed
+// kernel workload.
 //
 // The paper's reasoning: with one kernel per sub-grid, concurrent Serial
 // kernels already use all cores; the HPX space (splitting each kernel into
 // tasks) only pays off when there are too few concurrent kernels to fill
-// the machine. This microbenchmark runs the same total work as
-//   (a) many concurrent Serial kernels,
-//   (b) many concurrent HPX-space kernels (extra task overhead),
-//   (c) one big Serial kernel (single core),
-//   (d) one big HPX-space kernel (intra-kernel parallelism).
+// the machine. This ablation runs the same cell-update work through every
+// minikokkos space — Serial, Threads (the conflicting-pool anti-pattern),
+// Hpx, and the modelled Device streams — in both shapes the paper cares
+// about: many concurrent small kernels vs one big fused kernel.
+//
+// The Device rows add the axis DESIGN.md §9 models: device kernels are
+// *priced*, not timed, so their wall column is just dispatch cost and the
+// story moves to the modelled makespan/energy columns — and to how the
+// makespan shrinks when launches spread across streams.
+//
+// Gate (exercised by the bench_exec_space_smoke ctest entry): an
+// async_deep_copy must overlap host compute on the modelled timeline. The
+// copy's modelled [begin, end] and a host compute's wall [begin, end] are
+// laid on the shared trace clock and must intersect; exit 1 if not.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstddef>
+#include <functional>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench/common.hpp"
+#include "core/report/bench_report.hpp"
+#include "minihpx/apex/task_trace.hpp"
 #include "minihpx/futures/future.hpp"
 #include "minihpx/runtime.hpp"
 #include "minikokkos/minikokkos.hpp"
 
 namespace {
 
-constexpr std::size_t kCellsPerKernel = 4096;
-constexpr int kKernels = 32;
+using mkk::device::Device;
+using mkk::device::OpRecord;
+using rveval::report::Table;
 
+struct Shape {
+  std::size_t kernels = 32;     ///< concurrent launches ("sub-grids")
+  std::size_t cells = 4096;     ///< cells per kernel
+  double device_flops = 3.0e8;  ///< modelled work hint per device launch
+  int reps = 3;                 ///< wall-time repetitions (best-of)
+  [[nodiscard]] std::size_t total_cells() const { return kernels * cells; }
+};
+
+// The per-cell update — the same body across every space, so the sweep
+// isolates dispatch cost. Pure assignment: idempotent under device replay.
 double cell_work(std::size_t i) {
   return std::sqrt(static_cast<double>(i) + 1.5) * 1.0000001;
 }
 
-template <typename Space>
-void one_kernel(Space space, std::vector<double>& out, std::size_t n) {
-  mkk::parallel_for(mkk::RangePolicy<Space>(space, 0, n),
-                    [&](std::size_t i) { out[i] = cell_work(i); });
+double wall_seconds(const std::function<void()>& body, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
 }
 
-void BM_ManyConcurrentSerialKernels(benchmark::State& state) {
-  mhpx::Runtime rt{{4, 128 * 1024}};
-  std::vector<std::vector<double>> outs(
-      kKernels, std::vector<double>(kCellsPerKernel));
-  for (auto _ : state) {
-    std::vector<mhpx::future<void>> futs;
-    futs.reserve(kKernels);
-    for (int k = 0; k < kKernels; ++k) {
-      futs.push_back(mkk::async_parallel_for(
-          mkk::RangePolicy<mkk::Serial>(0, kCellsPerKernel),
-          [&outs, k](std::size_t i) { outs[k][i] = cell_work(i); }));
-    }
-    for (auto& f : futs) {
-      f.get();
-    }
+/// Modelled makespan of everything currently on the device timeline.
+double device_makespan() {
+  const auto ops = Device::instance().timeline();
+  if (ops.empty()) {
+    return 0.0;
   }
-  state.SetLabel("one task per kernel; cores fill via concurrency");
+  double lo = 1e300;
+  double hi = 0.0;
+  for (const auto& op : ops) {
+    lo = std::min(lo, op.model_begin);
+    hi = std::max(hi, op.model_end);
+  }
+  return hi - lo;
 }
-BENCHMARK(BM_ManyConcurrentSerialKernels)->UseRealTime();
 
-void BM_ManyConcurrentHpxKernels(benchmark::State& state) {
-  mhpx::Runtime rt{{4, 128 * 1024}};
-  std::vector<std::vector<double>> outs(
-      kKernels, std::vector<double>(kCellsPerKernel));
-  for (auto _ : state) {
-    std::vector<mhpx::future<void>> futs;
-    futs.reserve(kKernels);
-    for (int k = 0; k < kKernels; ++k) {
-      futs.push_back(mkk::async_parallel_for(
-          mkk::RangePolicy<mkk::Hpx>(mkk::Hpx{4}, 0, kCellsPerKernel),
-          [&outs, k](std::size_t i) { outs[k][i] = cell_work(i); }));
-    }
-    for (auto& f : futs) {
-      f.get();
-    }
-  }
-  state.SetLabel("each kernel split into HPX tasks (extra overhead)");
-}
-BENCHMARK(BM_ManyConcurrentHpxKernels)->UseRealTime();
-
-void BM_OneBigSerialKernel(benchmark::State& state) {
-  mhpx::Runtime rt{{4, 128 * 1024}};
-  std::vector<double> out(kCellsPerKernel * kKernels);
-  for (auto _ : state) {
-    one_kernel(mkk::Serial{}, out, out.size());
-  }
-  state.SetLabel("single kernel, single core (no concurrency to exploit)");
-}
-BENCHMARK(BM_OneBigSerialKernel)->UseRealTime();
-
-void BM_OneBigHpxKernel(benchmark::State& state) {
-  mhpx::Runtime rt{{4, 128 * 1024}};
-  std::vector<double> out(kCellsPerKernel * kKernels);
-  for (auto _ : state) {
-    one_kernel(mkk::Hpx{16}, out, out.size());
-  }
-  state.SetLabel("single kernel split across workers (HPX space pays off)");
-}
-BENCHMARK(BM_OneBigHpxKernel)->UseRealTime();
+struct SpaceRow {
+  std::string config;
+  std::size_t launches = 0;
+  double wall_s = 0.0;
+  double model_s = -1.0;   ///< < 0: host space, no modelled clock
+  double energy_j = -1.0;  ///< < 0: host space
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench_common::banner(
+      "Ablation A3",
+      "execution spaces: Serial vs Threads vs Hpx vs modelled Device");
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const auto io =
+      bench_common::parse_io(args, "BENCH_ablation_exec_space.json");
+  Shape shape;
+  for (const auto& a : args) {
+    if (a == "--quick") {
+      shape.kernels = 8;
+      shape.cells = 1024;
+      shape.reps = 1;
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return 2;
+    }
+  }
+
+  rveval::report::BenchReport report(
+      "ablation_exec_space",
+      "Ablation A3 — execution spaces and modelled device streams");
+  std::vector<double> out(shape.total_cells(), 0.0);
+  auto body_for = [&out, &shape](std::size_t k) {
+    const std::size_t base = k * shape.cells;
+    return [&out, base](std::size_t i) { out[base + i] = cell_work(i); };
+  };
+
+  // ------------------------------------------------ part 1: space sweep
+  std::vector<SpaceRow> rows;
+
+  {  // Host spaces need the ambient runtime (Hpx space, concurrent tasks).
+    mhpx::Runtime rt{{4, 256 * 1024}};
+
+    rows.push_back({"Serial, one big kernel", 1,
+                    wall_seconds(
+                        [&] {
+                          mkk::parallel_for(
+                              mkk::RangePolicy<mkk::Serial>(
+                                  mkk::Serial{}, 0, shape.total_cells()),
+                              [&out](std::size_t i) { out[i] = cell_work(i); });
+                        },
+                        shape.reps)});
+
+    rows.push_back({"Serial kernels, concurrent HPX tasks", shape.kernels,
+                    wall_seconds(
+                        [&] {
+                          std::vector<mhpx::future<void>> futs;
+                          futs.reserve(shape.kernels);
+                          for (std::size_t k = 0; k < shape.kernels; ++k) {
+                            futs.push_back(mkk::async_parallel_for(
+                                mkk::RangePolicy<mkk::Serial>(
+                                    mkk::Serial{}, 0, shape.cells),
+                                body_for(k)));
+                          }
+                          for (auto& f : futs) {
+                            f.get();
+                          }
+                        },
+                        shape.reps)});
+
+    rows.push_back({"Threads space (conflicting pool), per kernel",
+                    shape.kernels,
+                    wall_seconds(
+                        [&] {
+                          for (std::size_t k = 0; k < shape.kernels; ++k) {
+                            mkk::parallel_for(
+                                mkk::RangePolicy<mkk::Threads>(
+                                    mkk::Threads{2}, 0, shape.cells),
+                                body_for(k));
+                          }
+                        },
+                        shape.reps)});
+
+    rows.push_back({"Hpx space, one big kernel", 1,
+                    wall_seconds(
+                        [&] {
+                          mkk::async_parallel_for(
+                              mkk::RangePolicy<mkk::Hpx>(
+                                  mkk::Hpx{16}, 0, shape.total_cells()),
+                              [&out](std::size_t i) { out[i] = cell_work(i); })
+                              .get();
+                        },
+                        shape.reps)});
+
+    rows.push_back({"Hpx space, concurrent kernels", shape.kernels,
+                    wall_seconds(
+                        [&] {
+                          std::vector<mhpx::future<void>> futs;
+                          futs.reserve(shape.kernels);
+                          for (std::size_t k = 0; k < shape.kernels; ++k) {
+                            futs.push_back(mkk::async_parallel_for(
+                                mkk::RangePolicy<mkk::Hpx>(mkk::Hpx{4}, 0,
+                                                           shape.cells),
+                                body_for(k)));
+                          }
+                          for (auto& f : futs) {
+                            f.get();
+                          }
+                        },
+                        shape.reps)});
+  }
+
+  // Device rows run without an ambient runtime: streams execute inline at
+  // enqueue, so the wall column is pure dispatch cost and the modelled
+  // columns carry the accelerator story. One rep — the modelled clock is
+  // deterministic, repetition adds nothing.
+  auto run_device = [&](const std::string& label, unsigned streams_used,
+                        std::size_t launches) {
+    auto& dev = Device::instance();
+    dev.reset();
+    const double wall = wall_seconds(
+        [&] {
+          for (std::size_t k = 0; k < launches; ++k) {
+            const mkk::DeviceExec space{
+                static_cast<unsigned>(k % streams_used), shape.device_flops,
+                0.0, "ablation.cell_update"};
+            mkk::parallel_for(
+                mkk::RangePolicy<mkk::DeviceExec>(space, 0, shape.cells),
+                body_for(k % shape.kernels));
+          }
+          dev.fence();
+        },
+        1);
+    rows.push_back({label, launches, wall, device_makespan(),
+                    dev.totals().energy_joules});
+  };
+  run_device("Device, one big kernel", 1, 1);
+  run_device("Device, concurrent kernels on 4 streams", 4, shape.kernels);
+
+  Table sweep("A3 — same workload through every execution space (" +
+              std::to_string(shape.kernels) + " kernels x " +
+              std::to_string(shape.cells) + " cells)");
+  sweep.headers(
+      {"configuration", "launches", "wall [ms]", "model [ms]", "energy [mJ]"});
+  for (const auto& r : rows) {
+    sweep.row({r.config, std::to_string(r.launches),
+               Table::num(r.wall_s * 1e3),
+               r.model_s < 0.0 ? "-" : Table::num(r.model_s * 1e3),
+               r.energy_j < 0.0 ? "-" : Table::num(r.energy_j * 1e3)});
+    if (r.config == "Hpx space, concurrent kernels") {
+      report.metric("hpx_concurrent_wall_ms", r.wall_s * 1e3);
+    } else if (r.config == "Serial, one big kernel") {
+      report.metric("serial_one_big_wall_ms", r.wall_s * 1e3);
+    }
+  }
+  sweep.print(std::cout);
+  report.add_table(sweep);
+
+  // ------------------------------------- part 2: device stream scaling
+  // The same launches spread over more streams: modelled busy time is
+  // invariant, the makespan shrinks — the cross-stream concurrency the
+  // FIFO/event machinery exists to preserve.
+  Table scaling("A3 — device stream scaling (" +
+                std::to_string(shape.kernels) + " launches)");
+  scaling.headers(
+      {"streams", "busy [ms]", "makespan [ms]", "speedup", "energy [mJ]"});
+  double makespan1 = 0.0;
+  double makespan_wide = 0.0;
+  const unsigned max_streams = Device::instance().num_streams();
+  for (unsigned s = 1; s <= max_streams; s *= 2) {
+    auto& dev = Device::instance();
+    dev.reset();
+    for (std::size_t k = 0; k < shape.kernels; ++k) {
+      const mkk::DeviceExec space{static_cast<unsigned>(k % s),
+                                  shape.device_flops, 0.0,
+                                  "ablation.cell_update"};
+      mkk::parallel_for(
+          mkk::RangePolicy<mkk::DeviceExec>(space, 0, shape.cells),
+          body_for(k % shape.kernels));
+    }
+    dev.fence();
+    const double makespan = device_makespan();
+    if (s == 1) {
+      makespan1 = makespan;
+    }
+    makespan_wide = makespan;
+    scaling.row({std::to_string(s),
+                 Table::num(dev.totals().kernel_seconds * 1e3),
+                 Table::num(makespan * 1e3),
+                 Table::num(makespan1 / makespan, 2),
+                 Table::num(dev.totals().energy_joules * 1e3)});
+  }
+  std::cout << "\n";
+  scaling.print(std::cout);
+  report.metric("device_stream_speedup", makespan1 / makespan_wide);
+  report.add_table(scaling);
+
+  // -------------------------------------- part 3: async-copy overlap gate
+  // Enqueue one large h2d transfer, then do host compute while the copy is
+  // in flight on the modelled link. Under an ambient runtime the copy body
+  // runs on a worker, so its modelled interval starts while the host loop
+  // is running; both intervals sit on the shared trace clock and must
+  // intersect, or async mirroring buys nothing.
+  auto& dev = Device::instance();
+  dev.reset();
+  constexpr std::size_t copy_n = std::size_t{2} << 20;  // 16 MiB of doubles
+  mkk::View<double, 1> host_buf("overlap.src", copy_n);
+  host_buf.fill(1.25);
+  auto dev_buf = mkk::create_mirror_view(mkk::DeviceSpace{}, host_buf);
+
+  double host_begin = 0.0;
+  double host_end = 0.0;
+  double acc = 0.0;
+  {
+    mhpx::Runtime rt{{2, 256 * 1024}};
+    auto copy_done =
+        mkk::async_deep_copy(mkk::DeviceExec{0}, dev_buf, host_buf);
+    host_begin = mhpx::apex::trace::now_seconds();
+    // Keep the host window tens of milliseconds even in --quick mode, so
+    // worker pickup latency under load cannot push the copy past it.
+    const std::size_t host_iters =
+        std::max(shape.total_cells() * 64, std::size_t{4} << 20);
+    for (std::size_t i = 0; i < host_iters; ++i) {
+      acc += cell_work(i & 0xffff);
+    }
+    host_end = mhpx::apex::trace::now_seconds();
+    copy_done.get();
+    dev.fence();
+  }
+  if (acc < 0.0) {  // keep the compute loop observable
+    std::cout << acc;
+  }
+
+  double copy_begin = 0.0;
+  double copy_end = 0.0;
+  for (const auto& op : dev.timeline()) {
+    if (op.kind == OpRecord::Kind::copy_h2d) {
+      copy_begin = op.model_begin;
+      copy_end = op.model_end;
+    }
+  }
+  const double copy_ms = (copy_end - copy_begin) * 1e3;
+  const double host_ms = (host_end - host_begin) * 1e3;
+  const double overlap_s =
+      std::min(copy_end, host_end) - std::max(copy_begin, host_begin);
+  const double overlap_ms = std::max(0.0, overlap_s) * 1e3;
+  const bool gate_ok = overlap_s > 0.0;
+
+  Table overlap("A3 — async deep_copy vs host compute (shared trace clock)");
+  overlap.headers({"interval", "begin [ms]", "end [ms]", "length [ms]"});
+  overlap.row({"modelled h2d copy (16 MiB)", Table::num(copy_begin * 1e3),
+               Table::num(copy_end * 1e3), Table::num(copy_ms)});
+  overlap.row({"host compute (wall)", Table::num(host_begin * 1e3),
+               Table::num(host_end * 1e3), Table::num(host_ms)});
+  std::cout << "\n";
+  overlap.print(std::cout);
+  std::cout << "\noverlap: " << Table::num(overlap_ms) << " ms ("
+            << (gate_ok ? "PASS" : "FAIL")
+            << ": async copy must overlap host compute)\n";
+
+  report.metric("copy_model_ms", copy_ms);
+  report.metric("host_compute_ms", host_ms);
+  report.metric("overlap_ms", overlap_ms);
+  report.metric("overlap_gate", gate_ok ? "pass" : "fail");
+  report.add_table(overlap);
+  report.note(
+      "Device rows are priced on the modelled V100-class accelerator "
+      "(DESIGN.md §9); host rows are wall clocks on the build host.");
+  report.note(
+      "Gate: the async h2d copy's modelled interval must intersect the "
+      "host compute's wall interval on the shared trace clock.");
+
+  bench_common::finish_io(io, report);
+  dev.reset();
+  return gate_ok ? 0 : 1;
+}

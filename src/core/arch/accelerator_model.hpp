@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file accelerator_model.hpp
+/// Modelled accelerator (GPU-class) architectures for the device execution
+/// axis (DESIGN.md §9).
+///
+/// The paper evaluates host-only RISC-V, but real Octo-Tiger's production
+/// story runs the hydro/gravity kernels through Kokkos CUDA backends
+/// ("From Merging Frameworks to Merging Stars", PAPERS.md). The build host
+/// has no GPU, so — exactly like the Table-2 CPU models in cpu_model.hpp —
+/// device execution is *priced*, never timed: kernels really run (on host
+/// silicon, bit-identical to the Serial space), and the model translates
+/// their analytic flop/byte counts into modelled device seconds and joules.
+///
+/// The model is a two-ceiling roofline plus a fixed launch cost:
+///   kernel_seconds = launch_latency
+///                  + max(flops / sustained_gflops, bytes / hbm_bandwidth)
+/// and host<->device transfers are priced on a separate link (PCIe-class):
+///   copy_seconds = link_latency + bytes / link_bandwidth.
+/// All constants are documented inputs, in the same spirit as the CpuModel
+/// rows: peak numbers from vendor sheets, sustained fractions chosen to
+/// match the public Octo-Tiger GPU-port observations rather than fitted.
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rveval::arch {
+
+/// Static description of one modelled accelerator.
+struct AcceleratorModel {
+  std::string name;
+  unsigned sm_count = 1;       ///< streaming multiprocessors (CUs)
+  double clock_ghz = 1.0;      ///< sustained SM clock
+  /// FP64 lanes per SM (doubles retired per cycle per SM, pre-FMA).
+  unsigned lanes_per_sm = 1;
+  bool fma = true;             ///< FP64 FMA capable (factor 2 in peak)
+  /// Fixed cost of one kernel launch as seen from the stream (driver +
+  /// hardware dispatch). The dominant term for Octo-Tiger's many small
+  /// per-sub-grid kernels — why the real port batches work per launch.
+  double launch_latency_s = 5.0e-6;
+  /// Effective on-device memory bandwidth in GiB/s (HBM, STREAM-class).
+  double hbm_bw_gib = 1.0;
+  /// Fraction of peak FLOP/s sustained on stencil/FMM kernels (occupancy,
+  /// divergence, latency-bound tails).
+  double sustained_fraction = 0.5;
+  /// Host<->device link (PCIe-class), GiB/s effective.
+  double link_bw_gib = 1.0;
+  /// Per-transfer link latency in seconds (DMA setup + driver).
+  double link_latency_s = 10.0e-6;
+
+  /// Peak FP64 in GFLOP/s: (fma ? 2 : 1) x clock x lanes x SMs.
+  [[nodiscard]] double peak_gflops() const {
+    return (fma ? 2.0 : 1.0) * clock_ghz *
+           static_cast<double>(lanes_per_sm) * static_cast<double>(sm_count);
+  }
+
+  /// Sustained compute rate in FLOP/s.
+  [[nodiscard]] double sustained_flops() const {
+    return peak_gflops() * 1e9 * sustained_fraction;
+  }
+
+  /// Modelled duration of one kernel launch doing \p flops FP64 operations
+  /// over \p bytes of device-memory traffic (two-ceiling roofline).
+  [[nodiscard]] double kernel_seconds(double flops, double bytes) const {
+    const double compute_s = flops / sustained_flops();
+    const double memory_s = bytes / (hbm_bw_gib * 1024.0 * 1024.0 * 1024.0);
+    return launch_latency_s + std::max(compute_s, memory_s);
+  }
+
+  /// Modelled duration of one host<->device transfer of \p bytes.
+  [[nodiscard]] double copy_seconds(double bytes) const {
+    return link_latency_s + bytes / (link_bw_gib * 1024.0 * 1024.0 * 1024.0);
+  }
+};
+
+/// V100-class model (the GPU of the published Octo-Tiger CUDA-port runs):
+/// 80 SMs x 32 FP64 lanes at 1.38 GHz -> 7.07 TFLOP/s peak; ~810 GiB/s
+/// effective HBM2; PCIe 3.0 x16 link (~12 GiB/s effective).
+inline AcceleratorModel modelled_v100() {
+  AcceleratorModel m;
+  m.name = "V100-class (modelled)";
+  m.sm_count = 80;
+  m.clock_ghz = 1.38;
+  m.lanes_per_sm = 32;
+  m.fma = true;
+  m.launch_latency_s = 5.0e-6;
+  m.hbm_bw_gib = 810.0;
+  m.sustained_fraction = 0.40;
+  m.link_bw_gib = 12.0;
+  m.link_latency_s = 10.0e-6;
+  return m;
+}
+
+/// A100-class model: 108 SMs x 32 FP64 lanes at 1.41 GHz -> 9.7 TFLOP/s
+/// peak; ~1.5 TiB/s effective HBM2e; PCIe 4.0 x16 (~24 GiB/s effective).
+inline AcceleratorModel modelled_a100() {
+  AcceleratorModel m;
+  m.name = "A100-class (modelled)";
+  m.sm_count = 108;
+  m.clock_ghz = 1.41;
+  m.lanes_per_sm = 32;
+  m.fma = true;
+  m.launch_latency_s = 4.0e-6;
+  m.hbm_bw_gib = 1500.0;
+  m.sustained_fraction = 0.45;
+  m.link_bw_gib = 24.0;
+  m.link_latency_s = 8.0e-6;
+  return m;
+}
+
+/// Small integrated-accelerator model in the spirit of the paper's §8
+/// outlook (RISC-V SoCs growing vector/accelerator blocks): few compute
+/// units, modest bandwidth, but a cheap on-package link — the interesting
+/// placement trade-off for energy studies on low-power boards.
+inline AcceleratorModel modelled_riscv_soc_accel() {
+  AcceleratorModel m;
+  m.name = "RISC-V SoC accelerator (modelled)";
+  m.sm_count = 4;
+  m.clock_ghz = 0.8;
+  m.lanes_per_sm = 8;
+  m.fma = true;
+  m.launch_latency_s = 2.0e-6;
+  m.hbm_bw_gib = 12.0;
+  m.sustained_fraction = 0.60;
+  m.link_bw_gib = 6.0;
+  m.link_latency_s = 2.0e-6;
+  return m;
+}
+
+/// All canned accelerator models.
+inline std::vector<AcceleratorModel> modelled_accelerators() {
+  return {modelled_v100(), modelled_a100(), modelled_riscv_soc_accel()};
+}
+
+/// Look up a model by name; empty if unknown.
+inline std::optional<AcceleratorModel> find_accelerator(
+    std::string_view name) {
+  for (AcceleratorModel& m : modelled_accelerators()) {
+    if (m.name == name) {
+      return std::move(m);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rveval::arch

@@ -59,6 +59,35 @@ inline ChipPowerModel a64fx_powerapi() {
   return ChipPowerModel{"A64FX (PowerAPI)", 14.0, 1.1};
 }
 
+/// Accelerator power model for the modelled device execution axis
+/// (DESIGN.md §9). Board-level, like the wall-meter model: an idle floor
+/// (HBM refresh, fans, regulators) plus distinct busy levels for compute
+/// and for link transfers. Per-kernel energy is busy watts x the kernel's
+/// *modelled* seconds — the device analogue of the paper's P x t method.
+struct DevicePowerModel {
+  std::string name;
+  double idle_watts = 0.0;  ///< device powered but idle
+  double busy_watts = 0.0;  ///< additional draw while a kernel runs
+  double copy_watts = 0.0;  ///< additional draw during host<->device DMA
+
+  [[nodiscard]] double kernel_watts() const { return idle_watts + busy_watts; }
+  [[nodiscard]] double transfer_watts() const {
+    return idle_watts + copy_watts;
+  }
+};
+
+/// V100-class board power: ~40 W idle, ~250 W TDP under FP64 compute,
+/// ~15 W increment for PCIe DMA bursts.
+inline DevicePowerModel v100_board_power() {
+  return DevicePowerModel{"V100-class board", 40.0, 210.0, 15.0};
+}
+
+/// Integrated RISC-V SoC accelerator block (paper §8 outlook): a few watts,
+/// sharing the board budget the wall meter already sees.
+inline DevicePowerModel riscv_soc_accel_power() {
+  return DevicePowerModel{"RISC-V SoC accelerator block", 0.4, 2.2, 0.3};
+}
+
 /// Simulated power meter: integrates a power model over (simulated) time.
 /// Mirrors the paper's measurement procedure — average watts over the run,
 /// energy = average power x duration.

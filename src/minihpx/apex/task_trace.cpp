@@ -272,6 +272,57 @@ void counter_sample_at(const char* name, double value, double ts,
   record_stamped(ev);
 }
 
+void span_at(const char* category, const char* name, double ts_begin,
+             double ts_end, std::uint32_t pid, std::uint32_t tid, double arg0,
+             double arg1, double arg2) {
+  if (!enabled()) {
+    return;
+  }
+  Event b;
+  b.ph = EventPhase::begin;
+  b.category = category;
+  b.name = name;
+  b.guid = instrument::next_trace_guid();
+  b.parent = instrument::spawn_parent();
+  b.ts = ts_begin;
+  b.tid = tid;
+  b.pid = pid;
+  record_stamped(b);
+  Event e;
+  e.ph = EventPhase::end;
+  e.category = category;
+  e.name = name;
+  e.guid = b.guid;
+  e.ts = ts_end;
+  e.tid = tid;
+  e.pid = pid;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.arg2 = arg2;
+  record_stamped(e);
+}
+
+namespace {
+std::mutex g_process_label_mutex;
+std::vector<std::pair<std::uint32_t, const char*>>& process_labels() {
+  static auto& labels =
+      *new std::vector<std::pair<std::uint32_t, const char*>>();
+  return labels;
+}
+}  // namespace
+
+void set_process_label(std::uint32_t pid, std::string_view label) {
+  const char* interned = intern(label);
+  std::lock_guard lk(g_process_label_mutex);
+  for (auto& entry : process_labels()) {
+    if (entry.first == pid) {
+      entry.second = interned;
+      return;
+    }
+  }
+  process_labels().emplace_back(pid, interned);
+}
+
 void flow_send(std::uint32_t src, std::uint32_t dst, std::uint64_t flow_id,
                double bytes) {
   if (!enabled()) {
@@ -386,8 +437,24 @@ void export_chrome(std::ostream& os, const std::vector<Event>& events) {
       os << ",";
     }
     first = false;
+    const char* label = nullptr;
+    {
+      std::lock_guard lk(g_process_label_mutex);
+      for (const auto& entry : process_labels()) {
+        if (entry.first == pid) {
+          label = entry.second;
+          break;
+        }
+      }
+    }
     os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
-       << ",\"args\":{\"name\":\"locality " << pid << "\"}}";
+       << ",\"args\":{\"name\":\"";
+    if (label != nullptr) {
+      escape_to(os, label);
+    } else {
+      os << "locality " << pid;
+    }
+    os << "\"}}";
   }
   for (const Event& ev : events) {
     if (!first) {

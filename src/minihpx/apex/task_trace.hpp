@@ -130,6 +130,21 @@ void counter_sample(const char* name, double value);
 void counter_sample_at(const char* name, double value, double ts,
                        std::uint32_t pid);
 
+/// Record a complete B/E span with explicit timestamps, pid and tid — the
+/// modelled-timeline entry point: the device subsystem lays its kernels
+/// and transfers into their own pid lane (one tid per stream) at *modelled*
+/// begin/end times rather than the recording thread's wall clock. The E
+/// event carries (arg0, arg1, arg2) = (flops, bytes, extra), matching the
+/// task-slice payload convention.
+void span_at(const char* category, const char* name, double ts_begin,
+             double ts_end, std::uint32_t pid, std::uint32_t tid,
+             double arg0 = 0.0, double arg1 = 0.0, double arg2 = 0.0);
+
+/// Override the Chrome-trace process_name of \p pid (default "locality N").
+/// The device subsystem labels its pid lane this way. Interned; process
+/// lifetime.
+void set_process_label(std::uint32_t pid, std::string_view label);
+
 /// Record the source half of a cross-locality flow: a parcel identified by
 /// \p flow_id left locality \p src for \p dst. The event's parent is the
 /// sending task/region (spawn_parent of the caller); its pid is \p src —

@@ -1,0 +1,1075 @@
+#pragma once
+
+/// \file device.hpp
+/// mkk::Device — modelled device execution: streams, mirrors, resilience.
+///
+/// The paper's outlook (§8) is RISC-V nodes with attached accelerators;
+/// Octo-Tiger itself runs its Kokkos kernels on CUDA/HIP/SYCL devices
+/// through the hpx-kokkos executor bridge. This subsystem reproduces that
+/// programming model — without requiring a GPU — the same way core/arch
+/// models CPUs: kernels *really execute* (on host-resident memory, so
+/// results are bit-identical to the Serial space and every test can assert
+/// on them) while their cost is *priced* on an AcceleratorModel and laid
+/// onto a modelled device timeline.
+///
+/// The pieces, mirroring the CUDA/Kokkos vocabulary:
+///
+///   - DeviceExec: an asynchronous execution space. Dispatches enqueue onto
+///     one of a fixed set of *streams*; ops on one stream run FIFO, ops on
+///     different streams are unordered (and their modelled intervals
+///     overlap). Completion is observed with events and fences, CUDA-style.
+///   - DeviceSpace views + create_mirror_view + deep_copy/async_deep_copy
+///     (the SNIPPETS §3 shape): cross-space copies are priced on the
+///     modelled PCIe/link bandwidth; the async overload returns an
+///     mhpx::future so transfers overlap host compute.
+///   - ReplayDevice / ReplicateDevice: resilient device spaces composing
+///     with mhpx::resilience::FaultInjector. Injected device faults
+///     (corrupted launch, stuck stream) are detected and the launch
+///     replayed — bit-identically, because the body re-executes the same
+///     serial loop over the same inputs.
+///
+/// Error model: a failed op never poisons its stream's FIFO chain; the
+/// first failure is latched and rethrown from the next fence() — the
+/// cudaDeviceSynchronize error-reporting convention.
+///
+/// Energy: every op accrues modelled joules (DevicePowerModel watts x
+/// modelled seconds), exported through the /power/<loc>/device-energy-j
+/// counter and the per-op timeline the fig9 bench prices kernels from.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/arch/accelerator_model.hpp"
+#include "core/power/energy.hpp"
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/task_trace.hpp"
+#include "minihpx/futures/future.hpp"
+#include "minihpx/instrument.hpp"
+#include "minihpx/resilience/fault_injector.hpp"
+#include "minihpx/resilience/resilience.hpp"
+#include "minikokkos/parallel.hpp"
+#include "minikokkos/view.hpp"
+
+namespace mkk {
+
+// ------------------------------------------------------------- spaces
+
+/// Asynchronous device execution space: dispatches enqueue on `stream` and
+/// return immediately; order is FIFO per stream, concurrent across streams.
+/// `flops`/`bytes` are optional per-launch work hints for the cost model
+/// (0 = a conservative per-iteration heuristic).
+struct DeviceExec {
+  unsigned stream = 0;
+  double flops = 0.0;  ///< modelled work of one launch; 0 = heuristic
+  double bytes = 0.0;  ///< modelled traffic of one launch; 0 = heuristic
+  /// Optional interned timeline label (e.g. "hydro.rhs"); null uses the
+  /// generic "mkk::parallel_for<Device>" label.
+  const char* label = nullptr;
+  static constexpr std::string_view name() { return "Device"; }
+};
+
+/// Resilient device space: replay a faulted launch up to `replays` attempts
+/// (the device analogue of ReplayHpx — hkr's ResilientReplay on a device
+/// executor). The optional validator runs after each attempt; returning
+/// false forces a re-launch.
+struct ReplayDevice {
+  DeviceExec base{};
+  unsigned replays = 3;  ///< total attempts per launch
+  std::function<bool()> validator;
+  static constexpr std::string_view name() { return "ReplayDevice"; }
+};
+
+/// Resilient device space: launch each kernel `replicas` times and (for
+/// reductions) take the bitwise-majority result — silent device-side
+/// corruption of a minority of replicas is outvoted.
+struct ReplicateDevice {
+  DeviceExec base{};
+  unsigned replicas = 3;  ///< copies per launch (use an odd count)
+  static constexpr std::string_view name() { return "ReplicateDevice"; }
+};
+
+namespace detail {
+template <>
+struct is_execution_space<DeviceExec> : std::true_type {};
+template <>
+struct is_execution_space<ReplayDevice> : std::true_type {};
+template <>
+struct is_execution_space<ReplicateDevice> : std::true_type {};
+}  // namespace detail
+
+namespace device {
+
+/// An injected device-side failure, surfaced as an exception from the op
+/// body so the replay machinery treats it like any other task fault.
+struct device_fault : std::runtime_error {
+  enum class Kind {
+    corrupted_launch,  ///< launch never ran (bad descriptor / ECC trap)
+    stuck_stream,      ///< kernel hung; watchdog killed it after a stall
+  };
+  Kind kind;
+  explicit device_fault(Kind k)
+      : std::runtime_error(k == Kind::corrupted_launch
+                               ? "device fault: corrupted kernel launch"
+                               : "device fault: stuck stream (watchdog)"),
+        kind(k) {}
+};
+
+/// One completed op on the modelled device timeline.
+struct OpRecord {
+  enum class Kind { kernel, copy_h2d, copy_d2h, event, wait };
+  Kind kind = Kind::kernel;
+  const char* name = "";
+  unsigned stream = 0;
+  double model_begin = 0.0;  ///< seconds since the trace epoch
+  double model_end = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;
+  double energy_j = 0.0;   ///< modelled joules accrued by this op
+  unsigned attempts = 1;   ///< body executions (replays and replicas > 1)
+  unsigned faults = 0;     ///< injected device faults hit
+};
+
+/// Per-stream monotonic totals, exported as /device/<stream>/... counters.
+struct StreamStats {
+  std::uint64_t launches = 0;  ///< kernel launches (attempts included)
+  std::uint64_t replays = 0;   ///< re-executions beyond each op's first
+  std::uint64_t faults = 0;    ///< injected device faults observed
+  std::uint64_t copies = 0;    ///< host<->device transfers
+  double copy_bytes = 0.0;
+};
+
+/// Device-wide totals over all streams.
+struct DeviceTotals {
+  std::uint64_t launches = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t copies = 0;
+  double copy_bytes = 0.0;
+  double kernel_seconds = 0.0;  ///< modelled busy time (kernels)
+  double copy_seconds = 0.0;    ///< modelled busy time (transfers)
+  double energy_joules = 0.0;
+};
+
+class Device;
+
+/// CUDA-event analogue: records a point in a stream's FIFO order. Another
+/// stream can wait on it (cross-stream dependency) and hosts can ask when
+/// it completed on the modelled clock.
+class DeviceEvent {
+ public:
+  DeviceEvent() = default;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Block the calling host thread until the event's op has executed.
+  void wait() const {
+    if (state_ != nullptr) {
+      state_->wait();
+    }
+  }
+
+  /// Completion time on the modelled device clock (seconds since the trace
+  /// epoch); 0 until the event has executed.
+  [[nodiscard]] double model_seconds() const { return *model_end_; }
+
+ private:
+  friend class Device;
+  std::shared_ptr<mhpx::detail::shared_state<void>> state_;
+  std::shared_ptr<double> model_end_ = std::make_shared<double>(0.0);
+};
+
+/// What one enqueued op is, and what it costs.
+struct LaunchSpec {
+  const char* name = "kernel";
+  OpRecord::Kind kind = OpRecord::Kind::kernel;
+  double flops = 0.0;
+  double bytes = 0.0;
+  unsigned max_attempts = 1;  ///< replay budget (>1 retries a failed body)
+  /// Post-attempt check; false forces a retry (replay semantics).
+  std::function<bool()> validator;
+  /// Modelled-duration multiplier (replicated launches run n x as long).
+  unsigned cost_multiplier = 1;
+  /// When set, receives the op's modelled completion time (event record).
+  std::shared_ptr<double> model_end_out;
+  /// When set, the op starts no earlier than this modelled time (stream
+  /// waits joining another stream's event).
+  std::shared_ptr<const double> join_after;
+};
+
+/// The process-wide modelled device: a fixed set of FIFO streams over one
+/// AcceleratorModel + DevicePowerModel. Streams are mhpx::future chains, so
+/// "device progress" rides the ambient minihpx scheduler when a runtime is
+/// active and runs inline otherwise — either way the *modelled* timeline is
+/// the same, because op durations come from the cost model, not the wall
+/// clock.
+class Device {
+ public:
+  struct Config {
+    rveval::arch::AcceleratorModel model = rveval::arch::modelled_v100();
+    rveval::power::DevicePowerModel power = rveval::power::v100_board_power();
+    unsigned streams = 4;
+    /// Chrome-trace pid of the device lane (one tid per stream inside it).
+    std::uint32_t trace_pid = 900;
+    /// Modelled watchdog stall added when a stuck_stream fault fires.
+    double stuck_stream_stall_s = 1.0e-3;
+  };
+
+  static Device& instance() {
+    static Device dev;
+    return dev;
+  }
+
+  Device() { apply_config(Config{}); }
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Replace the model/power/stream configuration. Drains all streams
+  /// first; also clears stats, timeline and any latched error.
+  void configure(Config cfg) {
+    drain();
+    std::scoped_lock lk(model_mutex_, streams_mutex_);
+    apply_config_locked(std::move(cfg));
+  }
+
+  /// Reset stats, timeline, stream clocks and the latched error (keeps the
+  /// configuration). Call only at quiescence (after fence()).
+  void reset() {
+    drain();
+    std::scoped_lock lk(model_mutex_, streams_mutex_);
+    apply_config_locked(Config(cfg_));
+  }
+
+  /// Attach (or detach, with nullptr) the fault injector consulted by every
+  /// kernel launch: inject_fault() -> corrupted_launch before the body,
+  /// inject_corruption() -> stuck_stream after it. Copies never fault.
+  void set_fault_injector(mhpx::resilience::FaultInjector* injector) {
+    std::lock_guard lk(model_mutex_);
+    injector_ = injector;
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] unsigned num_streams() const noexcept { return cfg_.streams; }
+
+  /// Enqueue \p body on \p stream. Returns a future that becomes ready when
+  /// the op has *executed* (not necessarily succeeded — failures latch for
+  /// fence(), CUDA-style).
+  mhpx::future<void> enqueue(unsigned stream, LaunchSpec spec,
+                             std::function<void()> body) {
+    StreamState& st = stream_state(stream);
+    std::lock_guard chain(st.chain_mutex);
+    auto next = st.tail.then(
+        [this, stream, spec = std::move(spec), body = std::move(body)]() {
+          execute(stream, spec, body);
+        });
+    // Two futures over one shared state: the chain keeps one, the caller
+    // gets the other (future<void> only waits, so sharing is safe).
+    auto state = next.state();
+    st.tail = std::move(next);
+    return mhpx::future<void>(state);
+  }
+
+  /// Record an event at the current tail of \p stream.
+  DeviceEvent record_event(unsigned stream) {
+    DeviceEvent ev;
+    LaunchSpec spec;
+    spec.name = "event";
+    spec.kind = OpRecord::Kind::event;
+    spec.model_end_out = ev.model_end_;
+    ev.state_ = enqueue(stream, std::move(spec), {}).state();
+    return ev;
+  }
+
+  /// Make \p stream wait for \p ev (recorded on another stream): later ops
+  /// on \p stream start no earlier than the event, on both the execution
+  /// order and the modelled clock.
+  void wait_event(unsigned stream, const DeviceEvent& ev) {
+    if (!ev.valid()) {
+      throw std::invalid_argument("mkk::device: wait on an invalid event");
+    }
+    LaunchSpec spec;
+    spec.name = "wait-event";
+    spec.kind = OpRecord::Kind::wait;
+    spec.join_after = ev.model_end_;
+    auto state = ev.state_;
+    enqueue(stream, std::move(spec), [state] { state->wait(); });
+  }
+
+  /// Drain one stream, then rethrow (and clear) the first latched failure.
+  void fence(unsigned stream) {
+    wait_stream(stream);
+    throw_pending();
+  }
+
+  /// Drain every stream, then rethrow (and clear) the first latched
+  /// failure — the cudaDeviceSynchronize analogue.
+  void fence() {
+    drain();
+    throw_pending();
+  }
+
+  /// Rethrow (and clear) the first failure latched by an executed op.
+  void throw_pending() {
+    std::exception_ptr err;
+    {
+      std::lock_guard lk(model_mutex_);
+      std::swap(err, first_error_);
+    }
+    if (err) {
+      std::rethrow_exception(err);
+    }
+  }
+
+  [[nodiscard]] StreamStats stream_stats(unsigned stream) const {
+    std::lock_guard lk(model_mutex_);
+    return stats_.at(stream % cfg_.streams);
+  }
+
+  [[nodiscard]] DeviceTotals totals() const {
+    std::lock_guard lk(model_mutex_);
+    return totals_;
+  }
+
+  /// Copy of the executed-op timeline, in execution order.
+  [[nodiscard]] std::vector<OpRecord> timeline() const {
+    std::lock_guard lk(model_mutex_);
+    return timeline_;
+  }
+
+  /// Modelled completion time of the busiest stream (seconds since the
+  /// trace epoch) — the device makespan.
+  [[nodiscard]] double model_ready_seconds() const {
+    std::lock_guard lk(model_mutex_);
+    double t = 0.0;
+    for (const double r : model_ready_) {
+      t = std::max(t, r);
+    }
+    return t;
+  }
+
+ private:
+  struct StreamState {
+    std::mutex chain_mutex;  // serializes enqueue (tail swap + .then)
+    mhpx::future<void> tail = mhpx::make_ready_future();
+  };
+
+  StreamState& stream_state(unsigned stream) {
+    std::lock_guard lk(streams_mutex_);
+    return *streams_[stream % cfg_.streams];
+  }
+
+  void apply_config(Config cfg) {
+    std::scoped_lock lk(model_mutex_, streams_mutex_);
+    apply_config_locked(std::move(cfg));
+  }
+
+  void apply_config_locked(Config cfg) {
+    if (cfg.streams == 0) {
+      cfg.streams = 1;
+    }
+    cfg_ = std::move(cfg);
+    streams_.clear();
+    for (unsigned s = 0; s < cfg_.streams; ++s) {
+      streams_.push_back(std::make_unique<StreamState>());
+    }
+    stats_.assign(cfg_.streams, StreamStats{});
+    model_ready_.assign(cfg_.streams, 0.0);
+    totals_ = DeviceTotals{};
+    timeline_.clear();
+    first_error_ = nullptr;
+    mhpx::apex::trace::set_process_label(
+        cfg_.trace_pid, "device: " + cfg_.model.name + " (modelled)");
+  }
+
+  /// Wait (without consuming) for every op currently enqueued everywhere.
+  void drain() {
+    const unsigned n = cfg_.streams;
+    for (unsigned s = 0; s < n; ++s) {
+      wait_stream(s);
+    }
+  }
+
+  void wait_stream(unsigned stream) {
+    std::shared_ptr<mhpx::detail::shared_state<void>> tail_state;
+    {
+      StreamState& st = stream_state(stream);
+      std::lock_guard chain(st.chain_mutex);
+      tail_state = st.tail.state();
+    }
+    if (tail_state != nullptr) {
+      tail_state->wait();
+    }
+  }
+
+  /// Runs inside the stream's future chain. Never throws: failures latch
+  /// into first_error_ so the FIFO chain stays usable (CUDA semantics).
+  void execute(unsigned stream_raw, const LaunchSpec& spec,
+               const std::function<void()>& body) {
+    const unsigned stream = stream_raw % cfg_.streams;
+    const bool is_kernel = spec.kind == OpRecord::Kind::kernel;
+    const bool is_copy = spec.kind == OpRecord::Kind::copy_h2d ||
+                         spec.kind == OpRecord::Kind::copy_d2h;
+
+    mhpx::resilience::FaultInjector* injector = nullptr;
+    if (is_kernel) {
+      std::lock_guard lk(model_mutex_);
+      injector = injector_;
+    }
+
+    const unsigned budget = std::max(1u, spec.max_attempts);
+    unsigned attempts = 0;
+    unsigned faults = 0;
+    unsigned stalls = 0;
+    std::exception_ptr failure;
+    const double wall_begin = mhpx::apex::trace::now_seconds();
+
+    for (unsigned attempt = 0; attempt < budget; ++attempt) {
+      ++attempts;
+      bool ok = false;
+      try {
+        if (injector != nullptr && injector->inject_fault()) {
+          ++faults;
+          throw device_fault(device_fault::Kind::corrupted_launch);
+        }
+        if (body) {
+          body();
+        }
+        if (injector != nullptr && injector->inject_corruption()) {
+          // The kernel ran (its writes stand) but the stream hung; the
+          // modelled watchdog stall is priced below. A replay re-executes
+          // the body — idempotent per the Kokkos functor contract, so the
+          // retried result is bit-identical.
+          ++faults;
+          ++stalls;
+          throw device_fault(device_fault::Kind::stuck_stream);
+        }
+        ok = !spec.validator || spec.validator();
+      } catch (...) {
+        failure = std::current_exception();
+      }
+      if (ok) {
+        failure = nullptr;
+        break;
+      }
+      if (attempt + 1 < budget) {
+        mhpx::instrument::detail::notify_task_retry(attempt + 1);
+        continue;
+      }
+      if (budget > 1) {
+        mhpx::instrument::detail::notify_replay_exhausted();
+      }
+      if (!failure) {
+        // Validator rejected the final attempt without an exception.
+        failure = std::make_exception_ptr(
+            mhpx::resilience::replay_exhausted(budget));
+      }
+    }
+    const double wall_end = mhpx::apex::trace::now_seconds();
+
+    // Price the op: per-attempt model cost, replays included, plus the
+    // watchdog stall for each stuck-stream fault.
+    double per_attempt = 0.0;
+    if (is_kernel) {
+      per_attempt = cfg_.model.kernel_seconds(spec.flops, spec.bytes) *
+                    static_cast<double>(std::max(1u, spec.cost_multiplier));
+    } else if (is_copy) {
+      per_attempt = cfg_.model.copy_seconds(spec.bytes);
+    }
+    const double duration = per_attempt * static_cast<double>(attempts) +
+                            cfg_.stuck_stream_stall_s *
+                                static_cast<double>(stalls);
+
+    OpRecord rec;
+    rec.kind = spec.kind;
+    rec.name = spec.name;
+    rec.stream = stream;
+    rec.flops = spec.flops;
+    rec.bytes = spec.bytes;
+    rec.attempts = attempts;
+    rec.faults = faults;
+    {
+      std::lock_guard lk(model_mutex_);
+      // The op occupies the modelled stream from when the stream is free
+      // (its previous op's modelled end, or the enqueueing wall time if the
+      // stream was idle, or the joined event's modelled end).
+      double begin = std::max(model_ready_[stream], wall_begin);
+      if (spec.join_after) {
+        begin = std::max(begin, *spec.join_after);
+      }
+      begin = std::max(begin, 0.0);
+      rec.model_begin = begin;
+      rec.model_end = begin + duration;
+      model_ready_[stream] = rec.model_end;
+
+      const double watts = is_copy ? cfg_.power.transfer_watts()
+                                   : cfg_.power.kernel_watts();
+      rec.energy_j = watts * duration;
+
+      StreamStats& st = stats_[stream];
+      if (is_kernel) {
+        st.launches += attempts;
+        totals_.launches += attempts;
+        totals_.kernel_seconds += duration;
+      } else if (is_copy) {
+        st.copies += 1;
+        st.copy_bytes += spec.bytes;
+        totals_.copies += 1;
+        totals_.copy_bytes += spec.bytes;
+        totals_.copy_seconds += duration;
+      }
+      st.replays += attempts - 1;
+      st.faults += faults;
+      totals_.replays += attempts - 1;
+      totals_.faults += faults;
+      totals_.energy_joules += rec.energy_j;
+      timeline_.push_back(rec);
+      if (failure && !first_error_) {
+        first_error_ = failure;
+      }
+      if (spec.model_end_out) {
+        *spec.model_end_out = rec.model_end;
+      }
+    }
+    (void)wall_end;
+
+    if (spec.kind != OpRecord::Kind::event &&
+        spec.kind != OpRecord::Kind::wait) {
+      mhpx::apex::trace::span_at(
+          is_copy ? "device-copy" : "device-kernel", spec.name,
+          rec.model_begin, rec.model_end, cfg_.trace_pid, stream + 1,
+          spec.flops, spec.bytes, static_cast<double>(attempts));
+    }
+    if (faults > 0) {
+      mhpx::apex::trace::instant("device", "device-fault",
+                                 static_cast<double>(stream),
+                                 static_cast<double>(faults));
+    }
+  }
+
+  Config cfg_;
+
+  mutable std::mutex streams_mutex_;  // guards streams_ (the vector itself)
+  std::vector<std::unique_ptr<StreamState>> streams_;
+
+  // Model accounting. Separate from the chain mutexes: an enqueue's .then
+  // may run the op INLINE (no ambient runtime) while chain_mutex is held,
+  // and execute() only ever takes model_mutex_ — never a chain mutex — so
+  // the two layers cannot deadlock.
+  mutable std::mutex model_mutex_;
+  std::vector<StreamStats> stats_;
+  std::vector<double> model_ready_;  // per-stream modelled clock
+  DeviceTotals totals_;
+  std::vector<OpRecord> timeline_;
+  std::exception_ptr first_error_;
+  mhpx::resilience::FaultInjector* injector_ = nullptr;
+};
+
+/// Default work hints when the DeviceExec carries none: one flop and a
+/// couple of loads/stores per iteration — deliberately small, so un-hinted
+/// launches stay launch-latency-dominated like real tiny GPU kernels.
+inline double default_flops(double hint, std::size_t n) {
+  return hint > 0.0 ? hint : static_cast<double>(n);
+}
+inline double default_bytes(double hint, std::size_t n) {
+  return hint > 0.0 ? hint : 16.0 * static_cast<double>(n);
+}
+
+/// Per-launch timeline label: the space's explicit label when set, else the
+/// generic per-space interned label.
+inline const char* launch_label(const DeviceExec& space,
+                                const char* fallback) {
+  return space.label != nullptr ? space.label : fallback;
+}
+
+}  // namespace device
+
+// ----------------------------------------------------------- fences
+
+/// Drain every device stream and rethrow the first latched failure.
+inline void fence() { device::Device::instance().fence(); }
+
+/// Drain one space's stream. The generic overload is a no-op: host spaces
+/// (Serial/Threads/Hpx) are synchronous.
+template <typename Space>
+  requires detail::is_execution_space<Space>::value
+void fence(const Space&) {}
+
+inline void fence(const DeviceExec& space) {
+  device::Device::instance().fence(space.stream);
+}
+inline void fence(const ReplayDevice& space) {
+  device::Device::instance().fence(space.base.stream);
+}
+inline void fence(const ReplicateDevice& space) {
+  device::Device::instance().fence(space.base.stream);
+}
+
+// ----------------------------------------------- DeviceExec dispatch
+
+/// Asynchronous parallel_for on a device stream: returns after enqueue;
+/// observe completion with mkk::fence(space) or Device::fence(). The body
+/// runs as one serial loop over the range — bit-identical to Serial.
+template <typename F>
+void parallel_for(const RangePolicy<DeviceExec>& policy, F&& f) {
+  const std::size_t n = policy.end - policy.begin;
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space, detail::KernelLabels<DeviceExec>::parallel_for());
+  spec.flops = device::default_flops(policy.space.flops, n);
+  spec.bytes = device::default_bytes(policy.space.bytes, n);
+  device::Device::instance().enqueue(
+      policy.space.stream, std::move(spec),
+      [b = policy.begin, e = policy.end, fn = std::forward<F>(f)]() {
+        for (std::size_t i = b; i < e; ++i) {
+          fn(i);
+        }
+      });
+}
+
+template <typename F>
+void parallel_for(const MDRangePolicy3<DeviceExec>& policy, F&& f) {
+  const std::size_t n = policy.count();
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space, detail::KernelLabels<DeviceExec>::parallel_for());
+  spec.flops = device::default_flops(policy.space.flops, n);
+  spec.bytes = device::default_bytes(policy.space.bytes, n);
+  device::Device::instance().enqueue(
+      policy.space.stream, std::move(spec),
+      [policy, fn = std::forward<F>(f)]() {
+        const std::size_t count = policy.count();
+        for (std::size_t flat = 0; flat < count; ++flat) {
+          std::size_t i = 0;
+          std::size_t j = 0;
+          std::size_t k = 0;
+          policy.unflatten(flat, i, j, k);
+          fn(i, j, k);
+        }
+      });
+}
+
+/// Blocking parallel_reduce on the device: enqueues the launch, fences the
+/// stream (reductions return a value, so the host must wait — exactly the
+/// implicit fence of Kokkos' device parallel_reduce into a host scalar).
+template <typename F, typename T>
+void parallel_reduce(const RangePolicy<DeviceExec>& policy, F&& f, T& result) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) {
+    result = T{};
+    return;
+  }
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space, detail::KernelLabels<DeviceExec>::parallel_reduce());
+  spec.flops = device::default_flops(policy.space.flops, n);
+  spec.bytes = device::default_bytes(policy.space.bytes, n);
+  T total{};
+  device::Device::instance().enqueue(
+      policy.space.stream, std::move(spec),
+      [b = policy.begin, e = policy.end, &f, &total]() {
+        T local{};
+        for (std::size_t i = b; i < e; ++i) {
+          f(i, local);
+        }
+        total = local;  // overwrite, not +=: a replayed body stays exact
+      });
+  device::Device::instance().fence(policy.space.stream);
+  result = total;
+}
+
+template <typename F, typename T>
+void parallel_reduce(const MDRangePolicy3<DeviceExec>& policy, F&& f,
+                     T& result) {
+  const std::size_t n = policy.count();
+  if (n == 0) {
+    result = T{};
+    return;
+  }
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space, detail::KernelLabels<DeviceExec>::parallel_reduce());
+  spec.flops = device::default_flops(policy.space.flops, n);
+  spec.bytes = device::default_bytes(policy.space.bytes, n);
+  T total{};
+  device::Device::instance().enqueue(
+      policy.space.stream, std::move(spec), [&policy, &f, &total]() {
+        T local{};
+        const std::size_t count = policy.count();
+        for (std::size_t flat = 0; flat < count; ++flat) {
+          std::size_t i = 0;
+          std::size_t j = 0;
+          std::size_t k = 0;
+          policy.unflatten(flat, i, j, k);
+          f(i, j, k, local);
+        }
+        total = local;
+      });
+  device::Device::instance().fence(policy.space.stream);
+  result = total;
+}
+
+/// Blocking parallel_scan on the device (f(i, acc, final), Kokkos
+/// contract). One serial chunk: pass 1 with final=false, pass 2 with
+/// final=true from `init` — matching the Serial space's result exactly.
+template <typename F, typename T>
+T parallel_scan(const RangePolicy<DeviceExec>& policy, F&& f, T init = T{}) {
+  const std::size_t n = policy.end - policy.begin;
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space, detail::KernelLabels<DeviceExec>::parallel_for());
+  spec.flops = device::default_flops(policy.space.flops, 2 * n);
+  spec.bytes = device::default_bytes(policy.space.bytes, 2 * n);
+  T total{};
+  device::Device::instance().enqueue(
+      policy.space.stream, std::move(spec),
+      [b = policy.begin, e = policy.end, &f, init, &total]() {
+        T acc{};
+        for (std::size_t i = b; i < e; ++i) {
+          f(i, acc, false);
+        }
+        T run = init;
+        for (std::size_t i = b; i < e; ++i) {
+          f(i, run, true);
+        }
+        total = init + acc;
+      });
+  device::Device::instance().fence(policy.space.stream);
+  return total;
+}
+
+// ---------------------------------------------- ReplayDevice dispatch
+
+template <typename F>
+void parallel_for(const RangePolicy<ReplayDevice>& policy, F&& f) {
+  const std::size_t n = policy.end - policy.begin;
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space.base, detail::KernelLabels<ReplayDevice>::parallel_for());
+  spec.flops = device::default_flops(policy.space.base.flops, n);
+  spec.bytes = device::default_bytes(policy.space.base.bytes, n);
+  spec.max_attempts = std::max(1u, policy.space.replays);
+  spec.validator = policy.space.validator;
+  device::Device::instance().enqueue(
+      policy.space.base.stream, std::move(spec),
+      [b = policy.begin, e = policy.end, fn = std::forward<F>(f)]() {
+        for (std::size_t i = b; i < e; ++i) {
+          fn(i);
+        }
+      });
+}
+
+template <typename F>
+void parallel_for(const MDRangePolicy3<ReplayDevice>& policy, F&& f) {
+  const std::size_t n = policy.count();
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space.base, detail::KernelLabels<ReplayDevice>::parallel_for());
+  spec.flops = device::default_flops(policy.space.base.flops, n);
+  spec.bytes = device::default_bytes(policy.space.base.bytes, n);
+  spec.max_attempts = std::max(1u, policy.space.replays);
+  spec.validator = policy.space.validator;
+  device::Device::instance().enqueue(
+      policy.space.base.stream, std::move(spec),
+      [policy, fn = std::forward<F>(f)]() {
+        const std::size_t count = policy.count();
+        for (std::size_t flat = 0; flat < count; ++flat) {
+          std::size_t i = 0;
+          std::size_t j = 0;
+          std::size_t k = 0;
+          policy.unflatten(flat, i, j, k);
+          fn(i, j, k);
+        }
+      });
+}
+
+template <typename F, typename T>
+void parallel_reduce(const RangePolicy<ReplayDevice>& policy, F&& f,
+                     T& result) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) {
+    result = T{};
+    return;
+  }
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space.base,
+      detail::KernelLabels<ReplayDevice>::parallel_reduce());
+  spec.flops = device::default_flops(policy.space.base.flops, n);
+  spec.bytes = device::default_bytes(policy.space.base.bytes, n);
+  spec.max_attempts = std::max(1u, policy.space.replays);
+  spec.validator = policy.space.validator;
+  T total{};
+  device::Device::instance().enqueue(
+      policy.space.base.stream, std::move(spec),
+      [b = policy.begin, e = policy.end, &f, &total]() {
+        T local{};
+        for (std::size_t i = b; i < e; ++i) {
+          f(i, local);
+        }
+        total = local;
+      });
+  device::Device::instance().fence(policy.space.base.stream);
+  result = total;
+}
+
+// ------------------------------------------- ReplicateDevice dispatch
+
+template <typename F>
+void parallel_for(const RangePolicy<ReplicateDevice>& policy, F&& f) {
+  const std::size_t n = policy.end - policy.begin;
+  const unsigned replicas = std::max(1u, policy.space.replicas);
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space.base,
+      detail::KernelLabels<ReplicateDevice>::parallel_for());
+  spec.flops = device::default_flops(policy.space.base.flops, n);
+  spec.bytes = device::default_bytes(policy.space.base.bytes, n);
+  spec.cost_multiplier = replicas;
+  device::Device::instance().enqueue(
+      policy.space.base.stream, std::move(spec),
+      [b = policy.begin, e = policy.end, replicas,
+       fn = std::forward<F>(f)]() {
+        unsigned survived = 0;
+        std::exception_ptr last;
+        for (unsigned r = 0; r < replicas; ++r) {
+          try {
+            for (std::size_t i = b; i < e; ++i) {
+              fn(i);
+            }
+            ++survived;
+          } catch (...) {
+            last = std::current_exception();
+            mhpx::instrument::detail::notify_task_retry(r + 1);
+          }
+        }
+        if (survived == 0) {
+          std::rethrow_exception(last);
+        }
+      });
+}
+
+/// Replicated device reduce: each replica's partial is bit-compared and the
+/// strict majority wins (ReplicateHpx's vote, on the device timeline).
+template <typename F, typename T>
+void parallel_reduce(const RangePolicy<ReplicateDevice>& policy, F&& f,
+                     T& result) {
+  const std::size_t n = policy.end - policy.begin;
+  if (n == 0) {
+    result = T{};
+    return;
+  }
+  const unsigned replicas = std::max(1u, policy.space.replicas);
+  device::LaunchSpec spec;
+  spec.name = device::launch_label(
+      policy.space.base,
+      detail::KernelLabels<ReplicateDevice>::parallel_reduce());
+  spec.flops = device::default_flops(policy.space.base.flops, n);
+  spec.bytes = device::default_bytes(policy.space.base.bytes, n);
+  spec.cost_multiplier = replicas;
+  T total{};
+  device::Device::instance().enqueue(
+      policy.space.base.stream, std::move(spec),
+      [b = policy.begin, e = policy.end, replicas, &f, &total]() {
+        std::vector<T> partials;
+        partials.reserve(replicas);
+        for (unsigned r = 0; r < replicas; ++r) {
+          try {
+            T local{};
+            for (std::size_t i = b; i < e; ++i) {
+              f(i, local);
+            }
+            partials.push_back(local);
+          } catch (...) {
+            mhpx::instrument::detail::notify_task_retry(r + 1);
+          }
+        }
+        for (const T& candidate : partials) {
+          unsigned agree = 0;
+          for (const T& other : partials) {
+            if (other == candidate) {
+              ++agree;
+            }
+          }
+          if (2 * agree > replicas) {
+            mhpx::instrument::detail::notify_vote(true);
+            total = candidate;
+            return;
+          }
+        }
+        mhpx::instrument::detail::notify_vote(false);
+        throw mhpx::resilience::vote_failed(replicas);
+      });
+  device::Device::instance().fence(policy.space.base.stream);
+  result = total;
+}
+
+// ------------------------------------------------ mirrors and copies
+
+namespace device::detail_mirror {
+
+template <typename T, std::size_t Rank, typename Layout, typename MemSpace,
+          typename SrcView, std::size_t... Ds>
+View<T, Rank, Layout, MemSpace> alloc_like(const SrcView& src,
+                                           std::string label,
+                                           std::index_sequence<Ds...>) {
+  return View<T, Rank, Layout, MemSpace>(std::move(label), src.extent(Ds)...);
+}
+
+}  // namespace device::detail_mirror
+
+/// Host mirror of a device view: a freshly allocated HostSpace view of the
+/// same shape (Kokkos::create_mirror_view on a device view).
+template <typename T, std::size_t Rank, typename L>
+[[nodiscard]] View<T, Rank, L, HostSpace> create_mirror_view(
+    const View<T, Rank, L, DeviceSpace>& src) {
+  return device::detail_mirror::alloc_like<T, Rank, L, HostSpace>(
+      src, src.label() + "/mirror", std::make_index_sequence<Rank>{});
+}
+
+/// Mirror of a host view is the view itself (no allocation, no copy) —
+/// the Kokkos fast path when the spaces already match.
+template <typename T, std::size_t Rank, typename L>
+[[nodiscard]] View<T, Rank, L, HostSpace> create_mirror_view(
+    const View<T, Rank, L, HostSpace>& src) {
+  return src;
+}
+
+/// Device allocation mirroring a host view's shape (the H2D direction:
+/// Kokkos::create_mirror_view(DeviceSpace{}, host_view)).
+template <typename T, std::size_t Rank, typename L>
+[[nodiscard]] View<T, Rank, L, DeviceSpace> create_mirror_view(
+    DeviceSpace, const View<T, Rank, L, HostSpace>& src) {
+  return device::detail_mirror::alloc_like<T, Rank, L, DeviceSpace>(
+      src, src.label() + "/device", std::make_index_sequence<Rank>{});
+}
+
+namespace device::detail_copy {
+
+template <typename DstView, typename SrcView>
+void check_extents(const DstView& dst, const SrcView& src) {
+  for (std::size_t d = 0; d < DstView::rank; ++d) {
+    if (dst.extent(d) != src.extent(d)) {
+      throw std::invalid_argument("mkk::deep_copy: extent mismatch");
+    }
+  }
+}
+
+template <typename T, typename DstView, typename SrcView>
+mhpx::future<void> enqueue_copy(const DeviceExec& space, OpRecord::Kind kind,
+                                const DstView& dst, const SrcView& src) {
+  check_extents(dst, src);
+  LaunchSpec spec;
+  spec.name = kind == OpRecord::Kind::copy_h2d ? "deep_copy[h2d]"
+                                               : "deep_copy[d2h]";
+  spec.kind = kind;
+  spec.bytes = static_cast<double>(src.size()) * sizeof(T);
+  // Views are captured by value: shared ownership keeps both allocations
+  // alive until the async copy has executed.
+  return Device::instance().enqueue(space.stream, std::move(spec),
+                                    [dst, src]() {
+                                      src.for_each_index([&](auto... is) {
+                                        dst(is...) = src(is...);
+                                      });
+                                    });
+}
+
+}  // namespace device::detail_copy
+
+/// Asynchronous host->device copy, priced on the modelled link: returns an
+/// mhpx::future that becomes ready when the transfer has executed. Overlap
+/// host compute with the transfer by doing work before .get()/fence().
+template <typename T, std::size_t Rank, typename LDst, typename LSrc>
+mhpx::future<void> async_deep_copy(const DeviceExec& space,
+                                   const View<T, Rank, LDst, DeviceSpace>& dst,
+                                   const View<T, Rank, LSrc, HostSpace>& src) {
+  return device::detail_copy::enqueue_copy<T>(
+      space, device::OpRecord::Kind::copy_h2d, dst, src);
+}
+
+/// Asynchronous device->host copy (see above).
+template <typename T, std::size_t Rank, typename LDst, typename LSrc>
+mhpx::future<void> async_deep_copy(const DeviceExec& space,
+                                   const View<T, Rank, LDst, HostSpace>& dst,
+                                   const View<T, Rank, LSrc, DeviceSpace>& src) {
+  return device::detail_copy::enqueue_copy<T>(
+      space, device::OpRecord::Kind::copy_d2h, dst, src);
+}
+
+/// Synchronous host->device copy: async + wait (stream 0).
+template <typename T, std::size_t Rank, typename LDst, typename LSrc>
+void deep_copy(const View<T, Rank, LDst, DeviceSpace>& dst,
+               const View<T, Rank, LSrc, HostSpace>& src) {
+  async_deep_copy(DeviceExec{}, dst, src).get();
+}
+
+/// Synchronous device->host copy: async + wait (stream 0).
+template <typename T, std::size_t Rank, typename LDst, typename LSrc>
+void deep_copy(const View<T, Rank, LDst, HostSpace>& dst,
+               const View<T, Rank, LSrc, DeviceSpace>& src) {
+  async_deep_copy(DeviceExec{}, dst, src).get();
+}
+
+// ----------------------------------------------------------- counters
+
+namespace device {
+
+/// Register /device/<stream>/{launches,replays,faults,copies} for every
+/// stream, plus /device/copied-bytes, into \p block's registry. The Device
+/// singleton outlives any registry, so the readers never dangle.
+inline void register_device_counters(mhpx::apex::CounterBlock& block,
+                                     Device& dev = Device::instance()) {
+  for (unsigned s = 0; s < dev.num_streams(); ++s) {
+    const std::string base = "/device/" + std::to_string(s) + "/";
+    block.add(base + "launches",
+              "kernel launches on device stream " + std::to_string(s) +
+                  " (replay attempts included)",
+              mhpx::apex::CounterKind::monotonic, [&dev, s] {
+                return static_cast<double>(dev.stream_stats(s).launches);
+              });
+    block.add(base + "replays",
+              "replayed launches on device stream " + std::to_string(s),
+              mhpx::apex::CounterKind::monotonic, [&dev, s] {
+                return static_cast<double>(dev.stream_stats(s).replays);
+              });
+    block.add(base + "faults",
+              "injected device faults observed on stream " +
+                  std::to_string(s),
+              mhpx::apex::CounterKind::monotonic, [&dev, s] {
+                return static_cast<double>(dev.stream_stats(s).faults);
+              });
+    block.add(base + "copies",
+              "host<->device transfers on stream " + std::to_string(s),
+              mhpx::apex::CounterKind::monotonic, [&dev, s] {
+                return static_cast<double>(dev.stream_stats(s).copies);
+              });
+  }
+  block.add("/device/copied-bytes",
+            "total host<->device bytes over the modelled link",
+            mhpx::apex::CounterKind::monotonic,
+            [&dev] { return dev.totals().copy_bytes; });
+}
+
+/// Register /power/<locality>/device-energy-j: modelled joules accrued by
+/// every device op (kernels and transfers), the device column of the
+/// per-locality energy attribution.
+inline void register_device_power_counters(mhpx::apex::CounterBlock& block,
+                                           std::uint32_t locality,
+                                           Device& dev = Device::instance()) {
+  block.add("/power/" + std::to_string(locality) + "/device-energy-j",
+            "modelled device energy [J] (power model x modelled seconds)",
+            mhpx::apex::CounterKind::monotonic,
+            [&dev] { return dev.totals().energy_joules; });
+}
+
+}  // namespace device
+
+}  // namespace mkk

@@ -4,6 +4,7 @@
 /// Umbrella header: the full public API of the minikokkos portability
 /// layer (Views, execution spaces, parallel dispatch, scan, atomics, SIMD).
 
+#include "minikokkos/device.hpp"
 #include "minikokkos/hpx_integration.hpp"
 #include "minikokkos/parallel.hpp"
 #include "minikokkos/scan_atomic.hpp"

@@ -65,6 +65,10 @@ enum class KernelType {
   legacy,          ///< old pure-HPX kernel implementations
   kokkos_serial,   ///< minikokkos kernels on the Serial space
   kokkos_hpx,      ///< minikokkos kernels on the Hpx space
+  kokkos_device,   ///< minikokkos kernels on the modelled Device streams
+  /// Device placement through the ReplayDevice resilient space: injected
+  /// device kernel faults are detected and the launch replayed.
+  kokkos_device_replay,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(KernelType k) {
@@ -75,6 +79,10 @@ enum class KernelType {
       return "kokkos-serial";
     case KernelType::kokkos_hpx:
       return "kokkos-hpx";
+    case KernelType::kokkos_device:
+      return "kokkos-device";
+    case KernelType::kokkos_device_replay:
+      return "kokkos-device-replay";
   }
   return "?";
 }

@@ -12,6 +12,14 @@
 /// Supported: ranks 1–4, LayoutRight (C order, default) and LayoutLeft
 /// (Fortran order), deep_copy, fill, and contiguous leading-dimension
 /// subviews for LayoutRight.
+///
+/// Memory spaces: a View carries a MemSpace tag (HostSpace by default).
+/// DeviceSpace views are "device-resident" in the modelled sense of
+/// DESIGN.md §9 — physically host memory, so kernels really execute, but
+/// semantically on the other side of a priced host<->device link: the
+/// same-space deep_copy below stays a plain element copy, while the
+/// cross-space deep_copy / async_deep_copy / create_mirror_view overloads
+/// (minikokkos/device.hpp) route through the link-bandwidth model.
 
 #include <array>
 #include <cassert>
@@ -19,6 +27,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #if !defined(NDEBUG)
@@ -31,6 +40,16 @@ namespace mkk {
 struct LayoutRight {};
 /// Fortran ordering: the first index is stride-1.
 struct LayoutLeft {};
+
+/// Host memory space (default): directly accessible, no pricing.
+struct HostSpace {
+  static constexpr std::string_view name() { return "Host"; }
+};
+/// Modelled device memory space: allocations tagged as device-resident;
+/// transfers to/from HostSpace are priced on the accelerator link model.
+struct DeviceSpace {
+  static constexpr std::string_view name() { return "Device"; }
+};
 
 namespace detail {
 
@@ -66,13 +85,15 @@ std::array<std::size_t, Rank> make_strides(
 }  // namespace detail
 
 /// Multi-dimensional array view with shared ownership.
-template <typename T, std::size_t Rank, typename Layout = LayoutRight>
+template <typename T, std::size_t Rank, typename Layout = LayoutRight,
+          typename MemSpace = HostSpace>
 class View {
   static_assert(Rank >= 1 && Rank <= 4, "mkk::View supports ranks 1..4");
 
  public:
   using value_type = T;
   using layout_type = Layout;
+  using memory_space = MemSpace;
   static constexpr std::size_t rank = Rank;
 
   View() = default;
@@ -158,7 +179,8 @@ class View {
   /// Rank-reducing subview: fix the leading index (LayoutRight only, where
   /// the resulting block is contiguous) — how Octo-Tiger slices per-field
   /// planes out of a sub-grid.
-  [[nodiscard]] View<T, Rank - 1, Layout> subview(std::size_t leading) const
+  [[nodiscard]] View<T, Rank - 1, Layout, MemSpace> subview(
+      std::size_t leading) const
     requires(Rank >= 2 && std::is_same_v<Layout, LayoutRight>)
   {
     if (leading >= dims_[0]) {
@@ -170,8 +192,9 @@ class View {
       dims[d - 1] = dims_[d];
       strides[d - 1] = strides_[d];
     }
-    return View<T, Rank - 1, Layout>(label_ + "/sub", data_, dims, strides,
-                                     data() + leading * strides_[0]);
+    return View<T, Rank - 1, Layout, MemSpace>(
+        label_ + "/sub", data_, dims, strides,
+        data() + leading * strides_[0]);
   }
 
   /// Visit every index tuple (row-major order of the logical index space).
@@ -223,10 +246,13 @@ class View {
   T* origin_ = nullptr;  // non-null for subviews
 };
 
-/// Element-wise copy between views of identical shape (any layouts).
-template <typename T, std::size_t Rank, typename LDst, typename LSrc>
-void deep_copy(const View<T, Rank, LDst>& dst,
-               const View<T, Rank, LSrc>& src) {
+/// Element-wise copy between same-space views of identical shape (any
+/// layouts). Cross-space copies live in minikokkos/device.hpp, where they
+/// are priced on the modelled host<->device link.
+template <typename T, std::size_t Rank, typename LDst, typename LSrc,
+          typename MSpace>
+void deep_copy(const View<T, Rank, LDst, MSpace>& dst,
+               const View<T, Rank, LSrc, MSpace>& src) {
   for (std::size_t d = 0; d < Rank; ++d) {
     if (dst.extent(d) != src.extent(d)) {
       throw std::invalid_argument("mkk::deep_copy: extent mismatch");
@@ -236,8 +262,8 @@ void deep_copy(const View<T, Rank, LDst>& dst,
 }
 
 /// Fill a view with one value (Kokkos::deep_copy(view, value) analogue).
-template <typename T, std::size_t Rank, typename L>
-void deep_copy(const View<T, Rank, L>& dst, const T& value) {
+template <typename T, std::size_t Rank, typename L, typename M>
+void deep_copy(const View<T, Rank, L, M>& dst, const T& value) {
   dst.fill(value);
 }
 

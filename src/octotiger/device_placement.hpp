@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file device_placement.hpp
+/// Helpers for the modelled device placement of the Octo-Tiger kernels
+/// (hydro_host_kernel_type=KOKKOS_DEVICE / KOKKOS_DEVICE_REPLAY).
+///
+/// Placement shape per sub-grid, mirroring Octo-Tiger's CUDA work
+/// aggregation: stage the inputs onto a device stream (H2D), launch the
+/// kernel, stage the outputs back (D2H), fence the stream. Sub-grids map
+/// to streams by identity, so sibling leaves overlap on the modelled
+/// device timeline while each leaf's own ops stay FIFO.
+
+#include <cstdint>
+
+#include "minikokkos/device.hpp"
+
+namespace octo {
+
+/// Stable stream assignment for a sub-grid (or any per-task key).
+inline unsigned device_stream_for(const void* key) {
+  auto& dev = mkk::device::Device::instance();
+  const auto bits = reinterpret_cast<std::uintptr_t>(key);
+  // Drop alignment zeros so consecutive allocations spread over streams.
+  return static_cast<unsigned>((bits >> 6) % dev.num_streams());
+}
+
+/// Enqueue a model-only staging transfer: the data is physically
+/// host-resident (DESIGN.md §9 modelled-placement simplification), so the
+/// body is empty — only the priced link time, energy and counters move.
+inline void device_stage_copy(unsigned stream, const char* name, double bytes,
+                              bool h2d) {
+  mkk::device::LaunchSpec spec;
+  spec.name = mhpx::apex::trace::intern(name);
+  spec.kind = h2d ? mkk::device::OpRecord::Kind::copy_h2d
+                  : mkk::device::OpRecord::Kind::copy_d2h;
+  spec.bytes = bytes;
+  mkk::device::Device::instance().enqueue(stream, std::move(spec), {});
+}
+
+}  // namespace octo

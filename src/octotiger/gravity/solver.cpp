@@ -7,6 +7,7 @@
 
 #include "minihpx/instrument.hpp"
 #include "minikokkos/parallel.hpp"
+#include "octotiger/device_placement.hpp"
 
 namespace octo::gravity {
 
@@ -249,12 +250,15 @@ void monopole_cell(const SubGrid& target, const InteractionLists& lists,
   target.g(2, i, j, k) = gz;
 }
 
-/// Multipole (M2P) kernel body for one target cell.
+/// Multipole (M2P) kernel body for one target cell. Runs first in the
+/// solve and *assigns* from zero rather than accumulating, so the launch is
+/// idempotent — a replayed device launch (even after a post-body fault)
+/// recomputes the same bits.
 void multipole_cell(const SubGrid& target, const InteractionLists& lists,
                     std::size_t i, std::size_t j, std::size_t k) {
   const Vec3 p = target.cell_center(i, j, k);
-  double phi = target.phi(i, j, k);
-  Vec3 g{target.g(0, i, j, k), target.g(1, i, j, k), target.g(2, i, j, k)};
+  double phi = 0.0;
+  Vec3 g{};
   for (const TreeNode* node : lists.m2p) {
     if (node->moments.mass > 0.0) {
       evaluate(node->moments, p, phi, g);
@@ -266,8 +270,23 @@ void multipole_cell(const SubGrid& target, const InteractionLists& lists,
   target.g(2, i, j, k) = g.z;
 }
 
+[[nodiscard]] bool is_device_kind(mkk::KernelType kind) {
+  return kind == mkk::KernelType::kokkos_device ||
+         kind == mkk::KernelType::kokkos_device_replay;
+}
+
+/// Modelled-cost hints for a device-placed gravity kernel (ignored by the
+/// host kinds): interned timeline label, per-launch flops/bytes, stream.
+struct DeviceLaunch {
+  const char* label = nullptr;
+  double flops = 0.0;
+  double bytes = 0.0;
+  unsigned stream = 0;
+};
+
 template <typename CellBody>
-void run_kernel(mkk::KernelType kind, CellBody&& body) {
+void run_kernel(mkk::KernelType kind, CellBody&& body,
+                const DeviceLaunch& dev = {}) {
   switch (kind) {
     case mkk::KernelType::legacy:
       for (std::size_t i = 0; i < NX; ++i) {
@@ -286,6 +305,23 @@ void run_kernel(mkk::KernelType kind, CellBody&& body) {
       mkk::parallel_for(
           mkk::MDRangePolicy3<mkk::Hpx>({0, 0, 0}, {NX, NX, NX}), body);
       break;
+    case mkk::KernelType::kokkos_device: {
+      const mkk::DeviceExec exec{dev.stream, dev.flops, dev.bytes, dev.label};
+      mkk::parallel_for(
+          mkk::MDRangePolicy3<mkk::DeviceExec>(exec, {0, 0, 0}, {NX, NX, NX}),
+          body);
+      break;
+    }
+    case mkk::KernelType::kokkos_device_replay: {
+      mkk::ReplayDevice replay;
+      replay.base = mkk::DeviceExec{dev.stream, dev.flops, dev.bytes,
+                                    dev.label};
+      mkk::parallel_for(
+          mkk::MDRangePolicy3<mkk::ReplayDevice>(replay, {0, 0, 0},
+                                                 {NX, NX, NX}),
+          body);
+      break;
+    }
   }
 }
 
@@ -381,34 +417,99 @@ SolveStats solve_leaf(const TreeNode& root, TreeNode& target, double theta,
   InteractionLists lists;
   walk(root, target, theta, lists);
 
-  // Multipole host kernel (M2P).
-  run_kernel(multipole_kind, [&](std::size_t i, std::size_t j, std::size_t k) {
-    multipole_cell(grid, lists, i, j, k);
-  });
-  // Monopole host kernel (P2P).
-  run_kernel(monopole_kind, [&](std::size_t i, std::size_t j, std::size_t k) {
-    monopole_cell(grid, lists, i, j, k);
-  });
-
   SolveStats stats;
   stats.m2p_nodes = lists.m2p.size();
   stats.p2p_table_pairs =
       lists.p2p_same.size() * CELLS_PER_GRID * CELLS_PER_GRID;
   stats.p2p_coarse_pairs = lists.p2p_coarse.size() * CELLS_PER_GRID;
 
-  const double flops =
-      m2p_cell_flops() * static_cast<double>(stats.m2p_nodes) *
-          static_cast<double>(CELLS_PER_GRID) +
+  // Per-kernel work estimates, shared by the host instrument annotation
+  // and the device cost model. The phi/g write traffic splits evenly.
+  const double write_bytes = 8.0 * 4.0 * static_cast<double>(CELLS_PER_GRID);
+  const double m2p_kernel_flops = m2p_cell_flops() *
+                           static_cast<double>(stats.m2p_nodes) *
+                           static_cast<double>(CELLS_PER_GRID);
+  const double m2p_kernel_bytes =
+      8.0 * static_cast<double>(lists.m2p.size() * CELLS_PER_GRID) +
+      write_bytes / 2.0;
+  const double p2p_kernel_flops =
       p2p_pair_flops() * static_cast<double>(stats.p2p_table_pairs) +
       13.0 * static_cast<double>(stats.p2p_coarse_pairs);
   // Effective memory traffic: source densities stream once per source leaf
-  // per target *leaf* thanks to cache reuse across the 512 target cells;
-  // plus the phi/g writes.
-  const double bytes =
-      8.0 * static_cast<double>(
-                (lists.p2p_same.size() + lists.m2p.size()) * CELLS_PER_GRID) +
-      8.0 * 4.0 * static_cast<double>(CELLS_PER_GRID);
-  mhpx::instrument::annotate(flops, bytes);
+  // per target *leaf* thanks to cache reuse across the 512 target cells.
+  const double p2p_kernel_bytes =
+      8.0 * static_cast<double>(lists.p2p_same.size() * CELLS_PER_GRID) +
+      write_bytes / 2.0;
+
+  const bool dev_m2p = is_device_kind(multipole_kind);
+  const bool dev_p2p = is_device_kind(monopole_kind);
+  auto& dev = mkk::device::Device::instance();
+  const unsigned stream = device_stream_for(&grid);
+  if (dev_m2p || dev_p2p) {
+    // Stage the source densities (one read per leaf cell) onto the device.
+    device_stage_copy(stream, "gravity.solve[h2d]",
+                      8.0 * static_cast<double>(CELLS_PER_GRID), true);
+  }
+
+  if (dev_m2p && dev_p2p) {
+    // Fully device-placed solve: fuse M2P + P2P into ONE launch per cell
+    // (M2P assigns from zero, P2P accumulates on top). The fused body is
+    // idempotent — a replay recomputes phi/g from constants, bit-identical
+    // no matter where in the launch the injected fault hit. Per-cell
+    // results equal the split host execution exactly, because each cell
+    // only touches its own phi/g.
+    const mkk::KernelType fused_kind =
+        (multipole_kind == mkk::KernelType::kokkos_device_replay ||
+         monopole_kind == mkk::KernelType::kokkos_device_replay)
+            ? mkk::KernelType::kokkos_device_replay
+            : mkk::KernelType::kokkos_device;
+    run_kernel(
+        fused_kind,
+        [&](std::size_t i, std::size_t j, std::size_t k) {
+          multipole_cell(grid, lists, i, j, k);
+          monopole_cell(grid, lists, i, j, k);
+        },
+        {mhpx::apex::trace::intern("gravity.solve"),
+         m2p_kernel_flops + p2p_kernel_flops,
+         m2p_kernel_bytes + p2p_kernel_bytes, stream});
+  } else {
+    // Multipole kernel (M2P).
+    run_kernel(
+        multipole_kind,
+        [&](std::size_t i, std::size_t j, std::size_t k) {
+          multipole_cell(grid, lists, i, j, k);
+        },
+        {mhpx::apex::trace::intern("gravity.m2p"), m2p_kernel_flops,
+         m2p_kernel_bytes, stream});
+    if (dev_m2p) {
+      // The host P2P kernel accumulates into the same phi/g fields: wait
+      // for the asynchronous device M2P launch before touching them.
+      dev.fence(stream);
+    }
+    // Monopole kernel (P2P).
+    run_kernel(
+        monopole_kind,
+        [&](std::size_t i, std::size_t j, std::size_t k) {
+          monopole_cell(grid, lists, i, j, k);
+        },
+        {mhpx::apex::trace::intern("gravity.p2p"), p2p_kernel_flops,
+         p2p_kernel_bytes, stream});
+  }
+
+  if (dev_m2p || dev_p2p) {
+    device_stage_copy(stream, "gravity.solve[d2h]", write_bytes, false);
+    dev.fence(stream);
+  }
+
+  // Host-executed work only: the device model accounts device-placed
+  // kernels (flops, bytes, energy) on its own timeline.
+  const double host_flops = (dev_m2p ? 0.0 : m2p_kernel_flops) +
+                            (dev_p2p ? 0.0 : p2p_kernel_flops);
+  const double host_bytes = (dev_m2p ? 0.0 : m2p_kernel_bytes) +
+                            (dev_p2p ? 0.0 : p2p_kernel_bytes);
+  if (host_flops > 0.0 || host_bytes > 0.0) {
+    mhpx::instrument::annotate(host_flops, host_bytes);
+  }
   return stats;
 }
 

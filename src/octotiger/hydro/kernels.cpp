@@ -2,8 +2,10 @@
 
 #include <array>
 
+#include "minihpx/apex/task_trace.hpp"
 #include "minihpx/instrument.hpp"
 #include "minikokkos/parallel.hpp"
+#include "octotiger/device_placement.hpp"
 #include "octotiger/hydro/eos.hpp"
 
 namespace octo::hydro {
@@ -189,6 +191,51 @@ void compute_rhs(const SubGrid& grid, mkk::KernelType kind) {
             cell_rhs(grid, i, j, k);
           });
       break;
+    }
+    case mkk::KernelType::kokkos_device:
+    case mkk::KernelType::kokkos_device_replay: {
+      // Device placement (modelled): ship the extended conserved state and
+      // gravity field down, run the RHS kernel on a device stream, ship the
+      // RHS back, fence. The grid is physically host-resident (DESIGN.md §9
+      // modelled-placement simplification), so the kernel body is the same
+      // serial loop — bit-identical to the Serial space — while the copies
+      // and the launch are priced on the accelerator model. Sub-grids
+      // round-robin over streams by identity, so sibling leaves overlap on
+      // the modelled device timeline.
+      auto& dev = mkk::device::Device::instance();
+      const unsigned stream = device_stream_for(&grid);
+      const double h2d_bytes =
+          static_cast<double>(NF * NXE * NXE * NXE + 3 * CELLS_PER_GRID) * 8.0;
+      const double d2h_bytes = static_cast<double>(NF * CELLS_PER_GRID) * 8.0;
+      device_stage_copy(stream, "hydro.rhs[h2d]", h2d_bytes, true);
+      mkk::DeviceExec exec{stream,
+                           rhs_flops_per_cell() *
+                               static_cast<double>(CELLS_PER_GRID),
+                           rhs_bytes_per_cell() *
+                               static_cast<double>(CELLS_PER_GRID),
+                           mhpx::apex::trace::intern("hydro.rhs")};
+      if (kind == mkk::KernelType::kokkos_device) {
+        mkk::parallel_for(
+            mkk::MDRangePolicy3<mkk::DeviceExec>(exec, {0, 0, 0},
+                                                 {NX, NX, NX}),
+            [&](std::size_t i, std::size_t j, std::size_t k) {
+              cell_rhs(grid, i, j, k);
+            });
+      } else {
+        mkk::ReplayDevice replay;
+        replay.base = exec;
+        mkk::parallel_for(
+            mkk::MDRangePolicy3<mkk::ReplayDevice>(replay, {0, 0, 0},
+                                                   {NX, NX, NX}),
+            [&](std::size_t i, std::size_t j, std::size_t k) {
+              cell_rhs(grid, i, j, k);
+            });
+      }
+      device_stage_copy(stream, "hydro.rhs[d2h]", d2h_bytes, false);
+      dev.fence(stream);
+      // The device model accounts this launch's flops/bytes and energy; do
+      // not double-count them through the host instrument stream.
+      return;
     }
   }
   mhpx::instrument::annotate(

@@ -40,11 +40,19 @@ mkk::KernelType Options::parse_kernel_type(const std::string& value) {
   if (v == "KOKKOS_HPX") {
     return mkk::KernelType::kokkos_hpx;
   }
+  if (v == "KOKKOS_DEVICE" || v == "DEVICE") {
+    return mkk::KernelType::kokkos_device;
+  }
+  if (v == "KOKKOS_DEVICE_REPLAY" || v == "DEVICE_REPLAY") {
+    return mkk::KernelType::kokkos_device_replay;
+  }
   if (v == "LEGACY" || v == "OLD") {
     return mkk::KernelType::legacy;
   }
-  throw std::runtime_error("octo::Options: unknown kernel type '" + value +
-                           "' (expected KOKKOS, KOKKOS_HPX or LEGACY)");
+  throw std::runtime_error(
+      "octo::Options: unknown kernel type '" + value +
+      "' (expected KOKKOS, KOKKOS_HPX, KOKKOS_DEVICE, KOKKOS_DEVICE_REPLAY "
+      "or LEGACY)");
 }
 
 void Options::load_ini(const std::string& path) {

@@ -1,0 +1,422 @@
+// The mkk::Device subsystem (ctest labels: device;resilience): modelled
+// streams (FIFO order, cross-stream events, fences), host<->device
+// mirroring with link-priced copies, the deferred CUDA-style error model,
+// ReplayDevice/ReplicateDevice fault recovery, and the counter/energy/trace
+// surface the observability stack consumes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/remote.hpp"
+#include "minihpx/apex/task_trace.hpp"
+#include "minihpx/distributed/runtime.hpp"
+#include "minihpx/resilience/fault_injector.hpp"
+#include "minihpx/runtime.hpp"
+#include "minikokkos/minikokkos.hpp"
+
+namespace {
+
+namespace apex = mhpx::apex;
+namespace trace = mhpx::apex::trace;
+using mkk::device::Device;
+using mkk::device::OpRecord;
+
+struct DeviceTest : ::testing::Test {
+  void SetUp() override {
+    Device::instance().set_fault_injector(nullptr);
+    Device::instance().reset();
+  }
+  void TearDown() override {
+    Device::instance().set_fault_injector(nullptr);
+    Device::instance().reset();
+  }
+};
+
+// ------------------------------------------------- mirrors and copies
+
+TEST_F(DeviceTest, MirrorRoundTripIsBitIdentical) {
+  mkk::View<double, 2> host("h", 5, 7);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      host(i, j) = std::sin(static_cast<double>(i * 7 + j));
+    }
+  }
+  auto dev = mkk::create_mirror_view(mkk::DeviceSpace{}, host);
+  static_assert(std::is_same_v<decltype(dev)::memory_space, mkk::DeviceSpace>);
+  EXPECT_EQ(dev.extent(0), 5u);
+  EXPECT_EQ(dev.extent(1), 7u);
+  mkk::deep_copy(dev, host);
+
+  auto mirror = mkk::create_mirror_view(dev);
+  static_assert(
+      std::is_same_v<decltype(mirror)::memory_space, mkk::HostSpace>);
+  EXPECT_NE(mirror.data(), dev.data());
+  mkk::deep_copy(mirror, dev);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_EQ(mirror(i, j), host(i, j));  // bitwise
+    }
+  }
+}
+
+TEST_F(DeviceTest, HostMirrorOfHostViewAliases) {
+  mkk::View<double, 1> host("h", 8);
+  auto mirror = mkk::create_mirror_view(host);
+  EXPECT_EQ(mirror.data(), host.data());
+}
+
+TEST_F(DeviceTest, AsyncDeepCopyIsPricedOnTheLink) {
+  auto& dev = Device::instance();
+  const auto& model = dev.config().model;
+  constexpr std::size_t n = 1 << 16;
+  mkk::View<double, 1> host("h", n);
+  host.fill(3.25);
+  auto d = mkk::create_mirror_view(mkk::DeviceSpace{}, host);
+
+  auto fut = mkk::async_deep_copy(mkk::DeviceExec{0}, d, host);
+  fut.get();
+  dev.throw_pending();
+  EXPECT_EQ(d(n - 1), 3.25);
+
+  const auto ops = dev.timeline();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, OpRecord::Kind::copy_h2d);
+  const double bytes = static_cast<double>(n) * sizeof(double);
+  EXPECT_DOUBLE_EQ(ops[0].bytes, bytes);
+  EXPECT_DOUBLE_EQ(ops[0].model_end - ops[0].model_begin,
+                   model.copy_seconds(bytes));
+  EXPECT_DOUBLE_EQ(dev.totals().copy_bytes, bytes);
+}
+
+TEST_F(DeviceTest, DeepCopyExtentMismatchThrowsEagerly) {
+  mkk::View<double, 1> host("h", 8);
+  mkk::View<double, 1, mkk::LayoutRight, mkk::DeviceSpace> d("d", 9);
+  EXPECT_THROW(mkk::deep_copy(d, host), std::invalid_argument);
+}
+
+// -------------------------------------------------- streams and order
+
+TEST_F(DeviceTest, OpsOnOneStreamRunFifo) {
+  auto& dev = Device::instance();
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    mkk::parallel_for(
+        mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{1}, 0, 1),
+        [&order, i](std::size_t) { order.push_back(i); });
+  }
+  dev.fence(1);
+  ASSERT_EQ(order.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+
+  // The modelled intervals tile the stream back-to-back, FIFO.
+  const auto ops = dev.timeline();
+  ASSERT_EQ(ops.size(), 16u);
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_GE(ops[i].model_begin, ops[i - 1].model_end);
+  }
+}
+
+TEST_F(DeviceTest, StreamsOverlapOnTheModelledTimeline) {
+  auto& dev = Device::instance();
+  // Two heavy kernels on different streams: their modelled intervals must
+  // overlap (concurrent streams), while two on one stream must not. The
+  // hints model ~3.5 s per launch so the wall-clock gap between the two
+  // enqueues (microseconds, but unbounded under sanitizers + load) can
+  // never push the second launch past the first one's modelled end.
+  const mkk::DeviceExec s0{0, 1.0e13, 0.0};
+  const mkk::DeviceExec s1{1, 1.0e13, 0.0};
+  mkk::parallel_for(mkk::RangePolicy<mkk::DeviceExec>(s0, 0, 4),
+                    [](std::size_t) {});
+  mkk::parallel_for(mkk::RangePolicy<mkk::DeviceExec>(s1, 0, 4),
+                    [](std::size_t) {});
+  dev.fence();
+  const auto ops = dev.timeline();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_LT(ops[1].model_begin, ops[0].model_end)
+      << "independent streams must overlap";
+}
+
+TEST_F(DeviceTest, EventJoinsModelClocksAcrossStreams) {
+  auto& dev = Device::instance();
+  const mkk::DeviceExec s0{0, 2.0e9, 0.0};  // ~ tens of ms modelled
+  mkk::parallel_for(mkk::RangePolicy<mkk::DeviceExec>(s0, 0, 4),
+                    [](std::size_t) {});
+  auto ev = dev.record_event(0);
+  dev.wait_event(1, ev);
+  bool ran = false;
+  mkk::parallel_for(
+      mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{1}, 0, 1),
+      [&ran](std::size_t) { ran = true; });
+  dev.fence();
+  EXPECT_TRUE(ran);
+  EXPECT_GT(ev.model_seconds(), 0.0);
+
+  const auto ops = dev.timeline();
+  // kernel(s0), event(s0), wait(s1), kernel(s1)
+  ASSERT_EQ(ops.size(), 4u);
+  const auto& heavy = ops[0];
+  const auto& gated = ops[3];
+  EXPECT_EQ(gated.stream, 1u);
+  EXPECT_GE(gated.model_begin, heavy.model_end)
+      << "stream 1 must not start before the event it waits on";
+}
+
+// ---------------------------------------------------------- error model
+
+TEST_F(DeviceTest, BodyFailureSurfacesAtFenceNotAtLaunch) {
+  auto& dev = Device::instance();
+  EXPECT_NO_THROW(mkk::parallel_for(
+      mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{0}, 0, 4),
+      [](std::size_t) { throw std::runtime_error("kernel bug"); }));
+  EXPECT_THROW(dev.fence(), std::runtime_error);
+  // The latch clears once reported, and the stream chain stays usable.
+  EXPECT_NO_THROW(dev.fence());
+  bool ran = false;
+  mkk::parallel_for(
+      mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{0}, 0, 1),
+      [&ran](std::size_t) { ran = true; });
+  dev.fence();
+  EXPECT_TRUE(ran);
+}
+
+// ----------------------------------------------------------- resilience
+
+TEST_F(DeviceTest, ReplayDeviceRecoversInjectedFaultBitIdentically) {
+  auto& dev = Device::instance();
+  // fault_every=2: the second launch decision faults (corrupted launch);
+  // the replay re-runs the same serial body over the same inputs.
+  mhpx::resilience::FaultInjector injector({.fault_every = 2});
+  dev.set_fault_injector(&injector);
+
+  std::vector<double> out(64, 0.0);
+  mkk::ReplayDevice space;
+  space.base.stream = 2;
+  space.replays = 3;
+  for (int launch = 0; launch < 2; ++launch) {
+    mkk::parallel_for(mkk::RangePolicy<mkk::ReplayDevice>(space, 0, 64),
+                      [&out](std::size_t i) {
+                        out[i] = 2.0 * static_cast<double>(i);
+                      });
+  }
+  dev.fence(2);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[i], 2.0 * static_cast<double>(i));  // bitwise
+  }
+  const auto st = dev.stream_stats(2);
+  EXPECT_EQ(st.faults, 1u);
+  EXPECT_EQ(st.replays, 1u);
+  EXPECT_EQ(st.launches, 3u);  // 1 clean + 1 faulted + 1 replay
+  EXPECT_EQ(injector.faults_injected(), 1u);
+}
+
+TEST_F(DeviceTest, StuckStreamFaultAddsTheWatchdogStall) {
+  auto& dev = Device::instance();
+  // corrupt_every=1: every launch hangs once (stuck stream after the body
+  // ran); the replay re-executes and hangs again until the budget is spent.
+  mhpx::resilience::FaultInjector injector({.corrupt_every = 1});
+  dev.set_fault_injector(&injector);
+
+  mkk::ReplayDevice space;
+  space.replays = 2;
+  mkk::parallel_for(mkk::RangePolicy<mkk::ReplayDevice>(space, 0, 4),
+                    [](std::size_t) {});
+  EXPECT_THROW(dev.fence(0), mkk::device::device_fault);
+
+  const auto ops = dev.timeline();
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].attempts, 2u);
+  EXPECT_EQ(ops[0].faults, 2u);
+  EXPECT_GE(ops[0].model_end - ops[0].model_begin,
+            2.0 * dev.config().stuck_stream_stall_s);
+}
+
+TEST_F(DeviceTest, ReplayExhaustionSurfacesAtFence) {
+  auto& dev = Device::instance();
+  mkk::ReplayDevice space;
+  space.replays = 2;
+  space.validator = [] { return false; };  // never valid
+  mkk::parallel_for(mkk::RangePolicy<mkk::ReplayDevice>(space, 0, 4),
+                    [](std::size_t) {});
+  EXPECT_THROW(dev.fence(0), mhpx::resilience::replay_exhausted);
+}
+
+TEST_F(DeviceTest, ReplicateDeviceOutvotesACorruptedReplica) {
+  auto& dev = Device::instance();
+  mkk::ReplicateDevice space;
+  space.replicas = 3;
+  int run = 0;
+  double sum = 0.0;
+  mkk::parallel_reduce(
+      mkk::RangePolicy<mkk::ReplicateDevice>(space, 0, 16),
+      [&run](std::size_t i, double& acc) {
+        // Replica boundaries: i == 0 starts a fresh replica. The second
+        // replica silently corrupts its partial; the other two agree.
+        if (i == 0) {
+          ++run;
+        }
+        acc += static_cast<double>(i) + (run == 2 ? 0.5 : 0.0);
+      },
+      sum);
+  EXPECT_EQ(sum, 120.0);  // majority value, bitwise
+  EXPECT_EQ(dev.timeline().at(0).attempts, 1u);
+}
+
+// --------------------------------------------------- counters and energy
+
+TEST_F(DeviceTest, CountersExposeStreamsAndEnergy) {
+  auto& dev = Device::instance();
+  apex::CounterRegistry registry;
+  apex::CounterBlock block(registry);
+  mkk::device::register_device_counters(block, dev);
+  mkk::device::register_device_power_counters(block, 0, dev);
+
+  const auto names = registry.discover("/device/**");
+  ASSERT_GE(names.size(), 4u * dev.num_streams());
+
+  mkk::parallel_for(
+      mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{0}, 0, 32),
+      [](std::size_t) {});
+  mkk::View<double, 1> host("h", 16);
+  auto d = mkk::create_mirror_view(mkk::DeviceSpace{}, host);
+  mkk::deep_copy(d, host);
+  dev.fence();
+
+  EXPECT_EQ(registry.read("/device/0/launches"), 1.0);
+  EXPECT_EQ(registry.read("/device/0/copies"), 1.0);
+  EXPECT_EQ(registry.read("/device/1/launches"), 0.0);
+  const auto joules = registry.read("/power/0/device-energy-j");
+  ASSERT_TRUE(joules.has_value());
+  EXPECT_GT(*joules, 0.0);
+
+  // Energy attribution is exact: the counter equals the timeline sum.
+  double sum = 0.0;
+  for (const auto& op : dev.timeline()) {
+    sum += op.energy_j;
+  }
+  EXPECT_DOUBLE_EQ(*joules, sum);
+  EXPECT_DOUBLE_EQ(dev.totals().energy_joules, sum);
+}
+
+TEST_F(DeviceTest, FederatedSamplerSeesDeviceCountersAcrossLocalities) {
+  auto& dev = Device::instance();
+  mhpx::dist::DistributedRuntime::Config cfg;
+  cfg.num_localities = 2;
+  cfg.threads_per_locality = 2;
+  cfg.stack_size = 64 * 1024;
+  mhpx::dist::DistributedRuntime rt(cfg);
+
+  // The modelled device hangs off locality 1; its counters go into that
+  // locality's registry and are read from locality 0 over the fabric.
+  apex::CounterBlock block(rt.locality(1).counters());
+  mkk::device::register_device_counters(block, dev);
+  mkk::device::register_device_power_counters(block, 1, dev);
+
+  mkk::parallel_for(
+      mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{0}, 0, 8),
+      [](std::size_t) {});
+  dev.fence();
+
+  const auto found =
+      apex::remote::discover(rt.locality(0), 1, "/device/**");
+  ASSERT_FALSE(found.empty());
+  const auto launches =
+      apex::remote::read(rt.locality(0), 1, "/device/0/launches");
+  ASSERT_TRUE(launches.has_value());
+  EXPECT_EQ(*launches, 1.0);
+  const auto joules =
+      apex::remote::read(rt.locality(0), 1, "/power/1/device-energy-j");
+  ASSERT_TRUE(joules.has_value());
+  EXPECT_GT(*joules, 0.0);
+
+  // The federated sampler picks the same counters up as "/loc1/..." series.
+  apex::remote::FederatedSampler sampler(rt);
+  apex::remote::FederatedSamplerConfig scfg;
+  scfg.interval_seconds = 0.001;
+  scfg.patterns = {"/device/**", "/power/**"};
+  sampler.start(scfg);
+  sampler.stop();  // flushes one final federation round
+  const auto series = sampler.series();
+  bool saw_launches = false;
+  bool saw_energy = false;
+  for (const auto& s : series) {
+    if (s.name == "/loc1/device/0/launches") {
+      saw_launches = true;
+      ASSERT_FALSE(s.v.empty());
+      EXPECT_EQ(s.v.back(), 1.0);
+    } else if (s.name == "/loc1/power/1/device-energy-j") {
+      saw_energy = true;
+      ASSERT_FALSE(s.v.empty());
+      EXPECT_GT(s.v.back(), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_launches);
+  EXPECT_TRUE(saw_energy);
+}
+
+// -------------------------------------------------------------- tracing
+
+TEST_F(DeviceTest, KernelSpansLandInTheDevicePidLane) {
+  auto& dev = Device::instance();
+  trace::clear();
+  trace::enable(true);
+  mkk::parallel_for(
+      mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{2}, 0, 8),
+      [](std::size_t) {});
+  mkk::View<double, 1> host("h", 8);
+  auto d = mkk::create_mirror_view(mkk::DeviceSpace{}, host);
+  mkk::deep_copy(d, host);
+  dev.fence();
+  trace::enable(false);
+
+  const auto events = trace::snapshot();
+  const auto pid = dev.config().trace_pid;
+  int kernel_begins = 0;
+  int copy_begins = 0;
+  for (const auto& ev : events) {
+    if (ev.pid != pid) {
+      continue;
+    }
+    if (ev.ph == trace::EventPhase::begin) {
+      if (std::string(ev.category) == "device-kernel") {
+        ++kernel_begins;
+        EXPECT_EQ(ev.tid, 3u);  // stream 2 -> tid 3
+      } else if (std::string(ev.category) == "device-copy") {
+        ++copy_begins;
+      }
+    }
+  }
+  EXPECT_EQ(kernel_begins, 1);
+  EXPECT_EQ(copy_begins, 1);
+
+  // The pid lane is labelled after the accelerator model in the export.
+  const std::string json = trace::chrome_json();
+  EXPECT_NE(json.find("device: " + dev.config().model.name), std::string::npos);
+  trace::clear();
+}
+
+// ----------------------------------------------------- under a runtime
+
+TEST_F(DeviceTest, StreamsProgressOnTheAmbientScheduler) {
+  auto& dev = Device::instance();
+  mhpx::Runtime runtime{{2, 64 * 1024}};
+  std::vector<double> out(1024, 0.0);
+  for (unsigned s = 0; s < dev.num_streams(); ++s) {
+    mkk::parallel_for(
+        mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{s}, 0, 256),
+        [&out, s](std::size_t i) {
+          out[s * 256 + i] = static_cast<double>(s * 256 + i);
+        });
+  }
+  dev.fence();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<double>(i));
+  }
+  EXPECT_EQ(dev.totals().launches, dev.num_streams());
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+// DetScheduler-driven interleaving tests for device streams (ctest labels:
+// device;simtest): tasks racing to enqueue on the modelled device must
+// never break per-stream FIFO order, and the *kernel results* must be
+// bit-identical across every explored schedule — stream interleaving is a
+// performance degree of freedom, not a correctness one.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "minihpx/runtime.hpp"
+#include "minihpx/testing/det.hpp"
+#include "minikokkos/minikokkos.hpp"
+
+namespace {
+
+using mhpx::testing::DetConfig;
+using mhpx::testing::det_run;
+using mkk::device::Device;
+
+struct DeviceInterleaving : ::testing::Test {
+  void SetUp() override {
+    Device::instance().set_fault_injector(nullptr);
+    Device::instance().reset();
+  }
+  void TearDown() override { Device::instance().reset(); }
+};
+
+// One det run: `posters` tasks each enqueue `per_task` ordered kernels onto
+// their own stream, racing through the deterministic scheduler. Returns the
+// per-stream observation logs.
+std::vector<std::vector<int>> race_streams(std::uint64_t seed,
+                                           unsigned posters,
+                                           int per_task) {
+  Device::instance().reset();
+  std::vector<std::vector<int>> logs(posters);
+  DetConfig cfg;
+  cfg.seed = seed;
+  const auto r = det_run(cfg, [&logs, posters, per_task] {
+    for (unsigned s = 0; s < posters; ++s) {
+      mhpx::post([&logs, s, per_task] {
+        for (int op = 0; op < per_task; ++op) {
+          mkk::parallel_for(
+              mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{s}, 0, 1),
+              [&logs, s, op](std::size_t) { logs[s].push_back(op); });
+        }
+      });
+    }
+    mkk::fence();
+  });
+  EXPECT_FALSE(r.failed);
+  Device::instance().fence();
+  return logs;
+}
+
+TEST_F(DeviceInterleaving, StreamFifoHoldsUnderEverySeed) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto logs = race_streams(seed, 3, 12);
+    for (const auto& log : logs) {
+      ASSERT_EQ(log.size(), 12u) << "seed " << seed;
+      for (int op = 0; op < 12; ++op) {
+        EXPECT_EQ(log[static_cast<std::size_t>(op)], op)
+            << "FIFO violated under seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_F(DeviceInterleaving, KernelResultsAreScheduleInvariant) {
+  constexpr std::size_t n = 128;
+  std::vector<double> baseline;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Device::instance().reset();
+    std::vector<double> out(n, 0.0);
+    DetConfig cfg;
+    cfg.seed = seed;
+    const auto r = det_run(cfg, [&out] {
+      // Two tasks race: a producer kernel on stream 0 and a consumer kernel
+      // on stream 1 gated by a cross-stream event recorded *after* the
+      // producer — every schedule must agree on the final values.
+      auto& dev = Device::instance();
+      mkk::parallel_for(
+          mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{0}, 0, n),
+          [&out](std::size_t i) { out[i] = static_cast<double>(i); });
+      const auto ev = dev.record_event(0);
+      dev.wait_event(1, ev);
+      mkk::parallel_for(
+          mkk::RangePolicy<mkk::DeviceExec>(mkk::DeviceExec{1}, 0, n),
+          [&out](std::size_t i) { out[i] = 2.0 * out[i] + 1.0; });
+      mkk::fence();
+    });
+    EXPECT_FALSE(r.failed) << "seed " << seed;
+    Device::instance().fence();
+    if (baseline.empty()) {
+      baseline = out;
+    } else {
+      EXPECT_EQ(out, baseline) << "seed " << seed;  // bitwise
+    }
+  }
+  ASSERT_EQ(baseline.size(), n);
+  EXPECT_EQ(baseline[10], 21.0);
+}
+
+TEST_F(DeviceInterleaving, ReplayUnderRacingSchedulesStaysExact) {
+  // Replay launches raced across streams. Every kernel launch consumes one
+  // fault decision, and each launch's attempts are consecutive decisions
+  // (the replay loop runs inside one op), so with fault_every=2 each launch
+  // either starts on an odd decision (clean) or an even one (fault + one
+  // replay) — 3 launches always cost exactly 2 faults and 2 replays, no
+  // matter which schedule the seed picks.
+  constexpr std::size_t n = 64;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Device::instance().reset();
+    mhpx::resilience::FaultInjector injector({.fault_every = 2});
+    Device::instance().set_fault_injector(&injector);
+    std::vector<double> out(2 * n, 0.0);
+    DetConfig cfg;
+    cfg.seed = seed;
+    const auto r = det_run(cfg, [&out] {
+      mhpx::post([&out] {
+        mkk::ReplayDevice space;
+        space.base.stream = 0;
+        for (int launch = 0; launch < 2; ++launch) {
+          mkk::parallel_for(mkk::RangePolicy<mkk::ReplayDevice>(space, 0, n),
+                            [&out](std::size_t i) {
+                              out[i] = static_cast<double>(i) + 0.5;
+                            });
+        }
+      });
+      mhpx::post([&out] {
+        mkk::ReplayDevice space;
+        space.base.stream = 1;
+        mkk::parallel_for(mkk::RangePolicy<mkk::ReplayDevice>(space, 0, n),
+                          [&out](std::size_t i) {
+                            out[n + i] = static_cast<double>(i) - 0.5;
+                          });
+      });
+      mkk::fence();
+    });
+    EXPECT_FALSE(r.failed) << "seed " << seed;
+    Device::instance().fence();
+    Device::instance().set_fault_injector(nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], static_cast<double>(i) + 0.5);
+      EXPECT_EQ(out[n + i], static_cast<double>(i) - 0.5);
+    }
+    EXPECT_EQ(Device::instance().totals().faults, 2u) << "seed " << seed;
+    EXPECT_EQ(Device::instance().totals().replays, 2u) << "seed " << seed;
+    EXPECT_EQ(Device::instance().totals().launches, 5u) << "seed " << seed;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Device placement of the Octo-Tiger kernels (ctest labels:
+// device;resilience).
+//
+// The metamorphic relation: kernel *placement* is an implementation detail.
+// A rotating-star run with the hydro and gravity kernels on the modelled
+// device streams must produce bit-identical conserved totals and time steps
+// to the host (Serial) run — the device bodies execute the same serial
+// loops over the same host-resident data, only their cost moves to the
+// accelerator model. And the resilient variant must hold the same relation
+// *while device faults are being injected and replayed*.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/testing/seed_env.hpp"
+#include "minihpx/resilience/fault_injector.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/testing/det.hpp"
+#include "minikokkos/minikokkos.hpp"
+#include "octotiger/driver.hpp"
+
+namespace {
+
+using namespace octo;
+using mkk::device::Device;
+
+Options small_star(mkk::KernelType kind) {
+  Options opt;
+  opt.max_level = 1;
+  opt.refine_radius = 10.0;  // uniform 8-leaf mesh
+  opt.stop_step = 2;
+  opt.threads = 2;
+  opt.hydro_kernel = kind;
+  opt.multipole_kernel = kind;
+  opt.monopole_kernel = kind;
+  return opt;
+}
+
+struct RunResult {
+  double rho = 0.0;
+  double egas = 0.0;
+  double last_dt = 0.0;
+  unsigned steps = 0;
+};
+
+RunResult run_star(mkk::KernelType kind, std::uint64_t seed) {
+  mhpx::testing::ScopedDetScheduling guard(seed);
+  Device::instance().reset();
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Simulation sim(small_star(kind));
+  sim.run();
+  RunResult r;
+  r.rho = sim.totals().rho;
+  r.egas = sim.totals().egas;
+  r.last_dt = sim.stats().last_dt;
+  r.steps = sim.stats().steps;
+  return r;
+}
+
+struct DevicePlacement : ::testing::Test {
+  void SetUp() override {
+    Device::instance().set_fault_injector(nullptr);
+    Device::instance().reset();
+  }
+  void TearDown() override {
+    Device::instance().set_fault_injector(nullptr);
+    Device::instance().reset();
+  }
+};
+
+TEST_F(DevicePlacement, HostAndDeviceRunsAgreeBitIdentically) {
+  const std::uint64_t seed = rveval::testing::sched_seed();
+  const auto host = run_star(mkk::KernelType::kokkos_serial, seed);
+  const auto device = run_star(mkk::KernelType::kokkos_device, seed);
+
+  // The device run really went through the modelled streams: kernel
+  // launches, staged transfers and energy all accrued.
+  const auto t = Device::instance().totals();
+  EXPECT_GT(t.launches, 0u);
+  EXPECT_GT(t.copies, 0u);
+  EXPECT_GT(t.copy_bytes, 0.0);
+  EXPECT_GT(t.energy_joules, 0.0);
+  EXPECT_EQ(t.faults, 0u);
+
+  ASSERT_EQ(host.steps, 2u);
+  ASSERT_EQ(device.steps, 2u);
+  // Bitwise, not approximate: placement must be unobservable.
+  EXPECT_EQ(host.rho, device.rho)
+      << rveval::testing::seed_env().repro_line();
+  EXPECT_EQ(host.egas, device.egas);
+  EXPECT_EQ(host.last_dt, device.last_dt);
+}
+
+TEST_F(DevicePlacement, ReplayRecoversInjectedDeviceFaultsBitIdentically) {
+  const std::uint64_t seed = rveval::testing::sched_seed();
+  const auto clean = run_star(mkk::KernelType::kokkos_device, seed);
+
+  // Every 7th kernel-launch decision corrupts the launch; ReplayDevice
+  // must detect each one and re-execute until the step stream is whole.
+  mhpx::resilience::FaultInjector injector({.fault_every = 7});
+  Device::instance().set_fault_injector(&injector);
+  const auto replayed = run_star(mkk::KernelType::kokkos_device_replay, seed);
+  const auto t = Device::instance().totals();
+  Device::instance().set_fault_injector(nullptr);
+
+  EXPECT_GT(injector.faults_injected(), 0u)
+      << "fault rate too low to exercise replay in this run";
+  EXPECT_EQ(t.faults, injector.faults_injected());
+  EXPECT_EQ(t.replays, t.faults);  // every corrupted launch replayed once
+
+  ASSERT_EQ(replayed.steps, 2u);
+  EXPECT_EQ(clean.rho, replayed.rho)
+      << rveval::testing::seed_env().repro_line();
+  EXPECT_EQ(clean.egas, replayed.egas);
+  EXPECT_EQ(clean.last_dt, replayed.last_dt);
+}
+
+TEST_F(DevicePlacement, UnprotectedDeviceRunSurfacesTheFault) {
+  // Same injection, plain kokkos_device (no replay budget): the fault is
+  // latched and thrown from the next fence instead of being absorbed.
+  const std::uint64_t seed = rveval::testing::sched_seed();
+  mhpx::resilience::FaultInjector injector({.fault_every = 3});
+  Device::instance().set_fault_injector(&injector);
+  EXPECT_THROW(run_star(mkk::KernelType::kokkos_device, seed),
+               mkk::device::device_fault);
+  Device::instance().set_fault_injector(nullptr);
+}
+
+}  // namespace
