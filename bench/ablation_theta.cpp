@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "core/simd/pricing.hpp"
 #include "minihpx/futures/future.hpp"
 #include "octotiger/gravity/solver.hpp"
 #include "octotiger/init/rotating_star.hpp"
@@ -75,7 +76,8 @@ int main() {
     rveval::sim::CoreSimulator sim(cpu);
     rveval::sim::SimOptions sopt;
     sopt.cores = 4;
-    sopt.simd_speedup = cpu.simd_kernel_speedup;
+    sopt.simd_speedup =
+        rveval::simd::speedup_at_width(cpu, cpu.vector_length);
     const double ms = sim.total_seconds(phases, sopt) * 1e3;
 
     t.row({rveval::report::Table::num(theta, 1), std::to_string(m2p),

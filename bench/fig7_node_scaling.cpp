@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/simd/pricing.hpp"
 #include "octotiger/driver.hpp"
 
 namespace {
@@ -79,8 +80,11 @@ int main(int argc, char** argv) {
     for (unsigned c = 1; c <= 4; ++c) {
       rveval::sim::SimOptions opt;
       opt.cores = c;
-      // Octo-Tiger's Kokkos kernels use explicit SIMD types.
-      opt.simd_speedup = cpu.simd_kernel_speedup;
+      // Octo-Tiger's Kokkos kernels use explicit SIMD types; price them
+      // at the CPU's full hardware lane width (width-aware Eq. 2 hook —
+      // identical to the historical calibrated constant at full width).
+      opt.simd_speedup =
+          rveval::simd::speedup_at_width(cpu, cpu.vector_length);
       const double seconds = sim.total_seconds(phases, opt);
       const double rate = static_cast<double>(cells) / seconds;
       rates.push_back(rate);

@@ -18,6 +18,7 @@
 
 #include "bench/common.hpp"
 #include "core/power/attribution.hpp"
+#include "core/simd/pricing.hpp"
 #include "core/power/energy.hpp"
 #include "minihpx/apex/remote.hpp"
 #include "octotiger/distributed/dist_driver.hpp"
@@ -106,7 +107,8 @@ double price_single(const Captured& cap, const rveval::arch::CpuModel& cpu,
   rveval::sim::CoreSimulator sim(cpu);
   rveval::sim::SimOptions opt;
   opt.cores = cores;
-  opt.simd_speedup = cpu.simd_kernel_speedup;  // SIMD-typed kernels
+  opt.simd_speedup =
+      rveval::simd::speedup_at_width(cpu, cpu.vector_length);
   return static_cast<double>(cap.cells) / sim.total_seconds(cap.phases, opt);
 }
 
@@ -117,7 +119,8 @@ double price_distributed(const Captured& cap,
   rveval::sim::CoreSimulator sim(cpu);
   rveval::sim::SimOptions opt;
   opt.cores = cores_per_node;
-  opt.simd_speedup = cpu.simd_kernel_speedup;  // SIMD-typed kernels
+  opt.simd_speedup =
+      rveval::simd::speedup_at_width(cpu, cpu.vector_length);
   return static_cast<double>(cap.cells) /
          sim.total_seconds_distributed(cap.phases, 2, net, opt);
 }

@@ -14,6 +14,7 @@
 
 #include "bench/common.hpp"
 #include "core/power/energy.hpp"
+#include "core/simd/pricing.hpp"
 #include "minikokkos/minikokkos.hpp"
 #include "octotiger/distributed/dist_driver.hpp"
 #include "octotiger/driver.hpp"
@@ -80,10 +81,12 @@ int main(int argc, char** argv) {
   const auto fx = rveval::arch::a64fx();
   rveval::sim::SimOptions rv_opt;
   rv_opt.cores = 4;
-  rv_opt.simd_speedup = rv.simd_kernel_speedup;
+  rv_opt.simd_speedup =
+      rveval::simd::speedup_at_width(rv, rv.vector_length);
   rveval::sim::SimOptions fx_opt;
   fx_opt.cores = 4;
-  fx_opt.simd_speedup = fx.simd_kernel_speedup;  // SVE on the kernels
+  fx_opt.simd_speedup =  // SVE on the kernels
+      rveval::simd::speedup_at_width(fx, fx.vector_length);
 
   const double t_rv1 =
       rveval::sim::CoreSimulator(rv).total_seconds(single, rv_opt);

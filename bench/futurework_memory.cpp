@@ -10,6 +10,7 @@
 
 #include "bench/common.hpp"
 #include "core/bench/memory_benchmarks.hpp"
+#include "core/simd/pricing.hpp"
 #include "minihpx/futures/future.hpp"
 
 namespace {
@@ -110,7 +111,8 @@ int main() {
     rveval::sim::CoreSimulator sim(cpu);
     rveval::sim::SimOptions opt;
     opt.cores = 4;
-    opt.simd_speedup = cpu.simd_kernel_speedup;  // BLAS-style kernels SIMD
+    opt.simd_speedup =  // BLAS-style kernels SIMD
+        rveval::simd::speedup_at_width(cpu, cpu.vector_length);
     const double secs = sim.total_seconds(lu_phases, opt);
     const double gf = rveval::bench::lu_flops(order) / secs / 1e9;
     lin.row({cpu.name, Table::num(gf, 2),

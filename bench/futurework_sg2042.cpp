@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/simd/pricing.hpp"
 #include "octotiger/driver.hpp"
 
 int main(int argc, char** argv) {
@@ -39,7 +40,8 @@ int main(int argc, char** argv) {
     rveval::sim::CoreSimulator sim(cpu);
     rveval::sim::SimOptions opt;
     opt.cores = cores;
-    opt.simd_speedup = cpu.simd_kernel_speedup;
+    opt.simd_speedup =
+        rveval::simd::speedup_at_width(cpu, cpu.vector_length);
     return static_cast<double>(cells) / sim.total_seconds(phases, opt);
   };
 

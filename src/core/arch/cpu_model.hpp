@@ -56,6 +56,21 @@ struct CpuModel {
   /// (scalar Maclaurin) from its ~7x (Octo-Tiger) RISC-V-to-A64FX gap.
   double simd_kernel_speedup = 1.0;
 
+  /// Peak performance in GFLOP/s at \p ncores when a kernel uses \p width
+  /// double lanes per op (paper Eq. 2 with the vector-length factor made an
+  /// explicit input): 2 x clock x min(width, vector_length) x #FPU x
+  /// #cores. Widths are clamped to the hardware vector length — a kernel
+  /// cannot use lanes the CPU does not have, which is exactly the U74-MC
+  /// story (every width collapses to 1). rveval::simd ABIs map onto widths
+  /// via requested_width(); core/simd/pricing.hpp builds the per-ISA rows
+  /// of the table2 bench from this.
+  [[nodiscard]] double peak_gflops_at_width(unsigned width,
+                                            unsigned ncores) const {
+    const unsigned w = width < vector_length ? width : vector_length;
+    return 2.0 * clock_ghz * static_cast<double>(w < 1 ? 1 : w) *
+           static_cast<double>(fpu_per_core) * static_cast<double>(ncores);
+  }
+
   /// Peak performance in GFLOP/s at \p ncores (paper Eq. 2):
   ///   2 x clock x vector length x #FPU x #cores.
   /// The factor 2 is the FMA factor; the paper applies it to every row of
@@ -64,8 +79,7 @@ struct CpuModel {
   /// match the paper's printed numbers and keep `fma` as the descriptive
   /// field the simulator's IPC constants already account for.
   [[nodiscard]] double peak_gflops(unsigned ncores) const {
-    return 2.0 * clock_ghz * static_cast<double>(vector_length) *
-           static_cast<double>(fpu_per_core) * static_cast<double>(ncores);
+    return peak_gflops_at_width(vector_length, ncores);
   }
 
   /// Peak at the full core count (Table 2's last column).

@@ -1,0 +1,166 @@
+#pragma once
+
+/// \file abi.hpp
+/// ABI (vector-width/backend) tags for the rveval::simd subsystem.
+///
+/// The paper's Table 2 makes vector length the decisive per-CPU input: 8
+/// double lanes on A64FX/AVX-512, 4 on AVX2, *none* on the U74-MC (no V
+/// extension). rveval::simd models that axis explicitly: a kernel is
+/// templated on an Abi tag and the same body runs
+///   - scalar     : 1 lane, plain IEEE double ops (the U74-MC path),
+///   - sse2       : 2 lanes, __m128d intrinsics when compiled in,
+///   - avx2       : 4 lanes, __m256d + FMA intrinsics when compiled in,
+///   - fixed<N>   : N lanes, portable lane-array code on any hardware,
+///   - rvv_modelled<N> : N lanes executed portably on the host, *priced*
+///                  as an N-wide RVV unit (width comes from
+///                  rveval::arch::CpuModel::vector_length — see
+///                  core/simd/pricing.hpp).
+///
+/// Backend availability is a compile-time property (the RVEVAL_SIMD_HAS_*
+/// macros below follow the compiler's -m flags); which ABI actually runs is
+/// a runtime decision made through CPUID feature detection
+/// (core/simd/detect.hpp). `abi::native` aliases the widest backend the
+/// *build* enabled; detect::resolve() narrows it to what the executing CPU
+/// supports.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+// Compile-time backend availability. SSE2 is part of the x86-64 baseline;
+// AVX2 requires -mavx2 -mfma (the top-level CMakeLists enables them when
+// the compiler and the build host both support AVX2 — OCTO_SIMD_NATIVE).
+#if defined(__SSE2__)
+#define RVEVAL_SIMD_HAS_SSE2 1
+#else
+#define RVEVAL_SIMD_HAS_SSE2 0
+#endif
+#if defined(__AVX2__) && defined(__FMA__)
+#define RVEVAL_SIMD_HAS_AVX2 1
+#else
+#define RVEVAL_SIMD_HAS_AVX2 0
+#endif
+
+namespace rveval::simd {
+
+namespace abi {
+
+/// One lane; every op is the plain scalar IEEE-754 operation. This is the
+/// reference ABI: conformance tests compare every other backend against it
+/// bit for bit, and it is what a vectorless CPU (U74-MC) executes.
+struct scalar {
+  static constexpr int width = 1;
+  static constexpr std::string_view name() { return "scalar"; }
+};
+
+/// Two double lanes over __m128d (x86-64 baseline).
+struct sse2 {
+  static constexpr int width = 2;
+  static constexpr std::string_view name() { return "sse2"; }
+};
+
+/// Four double lanes over __m256d with FMA.
+struct avx2 {
+  static constexpr int width = 4;
+  static constexpr std::string_view name() { return "avx2"; }
+};
+
+/// N portable lanes (plain lane-array code; the compiler's auto-vectoriser
+/// may still map it onto vector instructions). mkk::simd<T, N> aliases
+/// simd<T, fixed<N>> for backward compatibility.
+template <int N>
+  requires(N >= 1 && (N & (N - 1)) == 0)
+struct fixed {
+  static constexpr int width = N;
+  static constexpr std::string_view name() { return "fixed"; }
+};
+
+/// N lanes executed portably on the host but *modelled* as an N-wide RVV
+/// vector unit for pricing: the width is taken from
+/// CpuModel::vector_length, so a kernel instantiated on rvv_modelled<W>
+/// computes host-bit-identical results while its cost model charges the
+/// Table-2 peak of a W-wide RISC-V vector engine.
+template <int N>
+  requires(N >= 1 && (N & (N - 1)) == 0)
+struct rvv_modelled {
+  static constexpr int width = N;
+  static constexpr std::string_view name() { return "rvv-modelled"; }
+};
+
+/// The widest intrinsic backend this build enabled. Kernels instantiate on
+/// `native` for the host fast path; detect::resolve() decides at runtime
+/// whether the executing CPU can actually take it.
+#if RVEVAL_SIMD_HAS_AVX2
+using native = avx2;
+#elif RVEVAL_SIMD_HAS_SSE2
+using native = sse2;
+#else
+using native = scalar;
+#endif
+
+}  // namespace abi
+
+/// Runtime ABI selector (the value-level mirror of the tag types): what
+/// octo::Options carries, what --simd_abi parses to, and what
+/// detect::dispatch() maps back onto a tag type.
+enum class AbiKind {
+  scalar,  ///< force the 1-lane reference backend
+  sse2,    ///< force 2 lanes (__m128d when compiled in)
+  avx2,    ///< force 4 lanes (__m256d+FMA when compiled in)
+  native,  ///< widest backend compiled in AND supported by this CPU
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AbiKind k) {
+  switch (k) {
+    case AbiKind::scalar:
+      return "scalar";
+    case AbiKind::sse2:
+      return "sse2";
+    case AbiKind::avx2:
+      return "avx2";
+    case AbiKind::native:
+      return "native";
+  }
+  return "?";
+}
+
+/// Lane count of an AbiKind as requested (native = build-native width; the
+/// runtime-resolved width comes from detect::resolved_width).
+[[nodiscard]] constexpr int requested_width(AbiKind k) {
+  switch (k) {
+    case AbiKind::scalar:
+      return 1;
+    case AbiKind::sse2:
+      return 2;
+    case AbiKind::avx2:
+      return 4;
+    case AbiKind::native:
+      return abi::native::width;
+  }
+  return 1;
+}
+
+/// Parse "SCALAR" / "SSE2" / "AVX2" / "NATIVE" (case-insensitive); empty
+/// optional on anything else.
+[[nodiscard]] inline std::optional<AbiKind> parse_abi(std::string_view v) {
+  std::string u;
+  u.reserve(v.size());
+  for (const char c : v) {
+    u.push_back(c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A') : c);
+  }
+  if (u == "SCALAR") {
+    return AbiKind::scalar;
+  }
+  if (u == "SSE2" || u == "SSE") {
+    return AbiKind::sse2;
+  }
+  if (u == "AVX2" || u == "AVX") {
+    return AbiKind::avx2;
+  }
+  if (u == "NATIVE" || u == "AUTO") {
+    return AbiKind::native;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rveval::simd

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file detect.hpp
+/// Runtime CPU feature detection and AbiKind -> Abi-tag dispatch.
+///
+/// The split of responsibilities:
+///   - abi.hpp decides what the *build* can emit (RVEVAL_SIMD_HAS_*),
+///   - this header decides what the *executing CPU* supports (CPUID via
+///     __builtin_cpu_supports) and resolves AbiKind::native to the widest
+///     backend satisfying both,
+///   - dispatch() turns the resolved runtime value back into a compile-time
+///     tag so a kernel templated on the Abi can be instantiated once per
+///     backend and selected per call.
+///
+/// Note that simd<T, abi::avx2> always *exists* — without -mavx2 it falls
+/// back to the portable lane-array implementation — so requesting a
+/// specific ABI on a build that lacks its intrinsics is still correct,
+/// just not accelerated. That is what the -mno-avx2 conformance build in
+/// tests/CMakeLists.txt proves.
+
+#include "core/simd/abi.hpp"
+
+namespace rveval::simd::detect {
+
+/// True when the executing CPU supports 128-bit SSE2 vectors.
+[[nodiscard]] inline bool cpu_has_sse2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sse2") > 0;
+#else
+  return false;
+#endif
+}
+
+/// True when the executing CPU supports AVX2 and FMA (both are required by
+/// the avx2 backend: vfmadd is part of its contract).
+[[nodiscard]] inline bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") > 0 &&
+         __builtin_cpu_supports("fma") > 0;
+#else
+  return false;
+#endif
+}
+
+/// Widest backend that is both compiled in and supported by this CPU.
+[[nodiscard]] inline AbiKind best_kind() {
+  if (RVEVAL_SIMD_HAS_AVX2 && cpu_has_avx2()) {
+    return AbiKind::avx2;
+  }
+  if (RVEVAL_SIMD_HAS_SSE2 && cpu_has_sse2()) {
+    return AbiKind::sse2;
+  }
+  return AbiKind::scalar;
+}
+
+/// Resolve a user-requested kind: `native` becomes best_kind(); explicit
+/// kinds are honoured as-is (an explicit avx2 request on a non-AVX2 build
+/// runs the portable fallback of that ABI, see header comment).
+[[nodiscard]] inline AbiKind resolve(AbiKind k) {
+  return k == AbiKind::native ? best_kind() : k;
+}
+
+/// Lane count the resolved kind will actually execute with.
+[[nodiscard]] inline int resolved_width(AbiKind k) {
+  return requested_width(resolve(k));
+}
+
+/// Instantiate \p f once per backend and invoke the one matching \p k.
+/// \p f must accept any of the tag types (generic lambda taking the tag by
+/// value): `dispatch(kind, [&](auto tag) { kernel<decltype(tag)>(...); })`.
+template <typename F>
+decltype(auto) dispatch(AbiKind k, F&& f) {
+  switch (resolve(k)) {
+    case AbiKind::sse2:
+      return f(abi::sse2{});
+    case AbiKind::avx2:
+      return f(abi::avx2{});
+    case AbiKind::scalar:
+    case AbiKind::native:  // resolve() never returns native; keep -Wswitch happy
+      break;
+  }
+  return f(abi::scalar{});
+}
+
+}  // namespace rveval::simd::detect

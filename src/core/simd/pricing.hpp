@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file pricing.hpp
+/// Width-aware Table-2 pricing hooks: the bridge between the simd ABI
+/// model (abi.hpp) and rveval::arch::CpuModel.
+///
+/// The paper's Eq. 2 charges every CPU its full vector length; this header
+/// makes lane width a first-class input instead. Two model ingredients:
+///   - peak scales linearly with the lane count actually used, clamped to
+///     the hardware width (CpuModel::peak_gflops_at_width);
+///   - *realised* kernel speedup does not reach the ideal W x. We model a
+///     per-CPU lane efficiency e = (simd_kernel_speedup - 1) / (W_hw - 1)
+///     and interpolate: speedup(w) = 1 + e * (min(w, W_hw) - 1). At
+///     w = W_hw this reproduces the calibrated simd_kernel_speedup the
+///     fig7/fig9 pricing already used, so prior results are unchanged; at
+///     w = 1 it is exactly 1 (the U74-MC path).
+/// The same linear-lane model transfers a *measured* host speedup onto a
+/// modelled RVV width (ablation_simd's projection row).
+
+#include <string>
+#include <vector>
+
+#include "core/arch/cpu_model.hpp"
+#include "core/simd/abi.hpp"
+
+namespace rveval::simd {
+
+/// Fraction of the ideal per-extra-lane speedup that explicitly SIMD-typed
+/// kernels realise on \p cpu; 0 when the CPU has no vector unit.
+[[nodiscard]] inline double lane_efficiency(const arch::CpuModel& cpu) {
+  if (cpu.vector_length <= 1) {
+    return 0.0;
+  }
+  return (cpu.simd_kernel_speedup - 1.0) /
+         (static_cast<double>(cpu.vector_length) - 1.0);
+}
+
+/// Modelled kernel speedup over scalar when running \p width lanes on
+/// \p cpu (clamped to the hardware vector length).
+[[nodiscard]] inline double speedup_at_width(const arch::CpuModel& cpu,
+                                             unsigned width) {
+  const unsigned w = width < cpu.vector_length ? width : cpu.vector_length;
+  if (w <= 1) {
+    return 1.0;
+  }
+  return 1.0 + lane_efficiency(cpu) * (static_cast<double>(w) - 1.0);
+}
+
+/// Modelled kernel speedup for an ABI request on \p cpu: the requested
+/// lane width (native = build-native width) through speedup_at_width().
+[[nodiscard]] inline double speedup_for_abi(const arch::CpuModel& cpu,
+                                            AbiKind abi) {
+  return speedup_at_width(cpu, static_cast<unsigned>(requested_width(abi)));
+}
+
+/// Transfer a speedup *measured* at one lane width onto another width via
+/// the same linear lane-efficiency model. Used by bench/ablation_simd to
+/// project the measured AVX2-vs-scalar host speedup onto a modelled RVV
+/// unit whose width comes from CpuModel::vector_length.
+[[nodiscard]] inline double project_speedup(double measured,
+                                            unsigned measured_width,
+                                            unsigned target_width) {
+  if (measured_width <= 1 || target_width <= 1) {
+    return 1.0;
+  }
+  const double eff =
+      (measured - 1.0) / (static_cast<double>(measured_width) - 1.0);
+  return 1.0 + eff * (static_cast<double>(target_width) - 1.0);
+}
+
+/// ISA-class label for a lane width on a given CPU ("scalar", "sse2",
+/// "avx2", "avx512", "sve-512", "rvv-modelled-128", ...).
+[[nodiscard]] inline std::string isa_label(const arch::CpuModel& cpu,
+                                           unsigned width) {
+  if (width <= 1) {
+    return "scalar";
+  }
+  const unsigned bits = width * 64;
+  if (cpu.isa == "riscv64") {
+    return "rvv-modelled-" + std::to_string(bits);
+  }
+  if (cpu.isa == "aarch64") {
+    return "sve-" + std::to_string(bits);
+  }
+  switch (width) {
+    case 2:
+      return "sse2";
+    case 4:
+      return "avx2";
+    case 8:
+      return "avx512";
+    default:
+      return "simd-" + std::to_string(bits);
+  }
+}
+
+/// One per-ISA peak row of the table2 bench: Eq. 2 evaluated at an
+/// explicit lane width, plus the modelled realised kernel speedup there.
+struct IsaPeakRow {
+  std::string abi;              ///< ISA-class label (isa_label)
+  unsigned width = 1;           ///< double lanes used
+  double peak_gflops = 0.0;     ///< Eq. 2 at this width, full core count
+  double kernel_speedup = 1.0;  ///< modelled realised speedup vs scalar
+};
+
+/// Per-ISA peak ladder for one CPU: widths {1, 2, 4, ...} up to and
+/// including the hardware vector length (each width at most once — the
+/// U74-MC collapses to a single scalar row).
+[[nodiscard]] inline std::vector<IsaPeakRow> isa_peak_rows(
+    const arch::CpuModel& cpu) {
+  std::vector<IsaPeakRow> rows;
+  for (unsigned w = 1; w <= cpu.vector_length; w *= 2) {
+    rows.push_back({isa_label(cpu, w), w, cpu.peak_gflops_at_width(w, cpu.cores),
+                    speedup_at_width(cpu, w)});
+  }
+  return rows;
+}
+
+}  // namespace rveval::simd

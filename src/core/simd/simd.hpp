@@ -1,0 +1,703 @@
+#pragma once
+
+/// \file simd.hpp
+/// rveval::simd<T, Abi> — portable-width SIMD value types.
+///
+/// One kernel body, templated on the Abi tag (abi.hpp), runs at any lane
+/// count: the primary template here is a portable lane array (used by
+/// abi::scalar, abi::fixed<N>, abi::rvv_modelled<N>, and any intrinsic ABI
+/// the build did not enable), and explicit specializations map
+/// simd<double, abi::sse2> onto __m128d and simd<double, abi::avx2> onto
+/// __m256d + FMA when compiled in.
+///
+/// Bit-reproducibility contract (load-bearing: the octotiger tests assert
+/// bitwise equality between kernel flavours, and the fig7 metamorphic gate
+/// asserts scalar-vs-native bit-identity of whole simulations):
+///   - +, -, *, /, sqrt are IEEE-754 correctly rounded in every backend,
+///     so lanes match the scalar reference exactly.
+///   - fma(a, b, c) is a true fused multiply-add everywhere (std::fma in
+///     the portable backend, vfmadd in AVX2).
+///   - min/max use the x86 vector semantics in *every* backend:
+///     max(a,b) = a > b ? a : b and min(a,b) = a < b ? a : b per lane,
+///     returning b when the lanes compare unordered (NaN) or equal (which
+///     resolves the +-0 tie the same way minpd/maxpd do). This is
+///     deliberately NOT std::max, whose tie case returns a.
+///   - comparisons are ordered-quiet (NaN compares false, != true), and
+///     select(m, a, b) is a per-lane blend.
+/// The build adds -ffp-contract=off globally (top-level CMakeLists) so the
+/// compiler cannot contract the portable backend's mul+add chains into
+/// FMAs that the intrinsic backends would not perform.
+///
+/// Alignment contract: load/store require the pointer to be aligned to
+/// simd::alignment and assert it in debug builds; load_unaligned /
+/// store_unaligned accept any pointer. mkk::View allocates with plain
+/// new[] (~16-byte alignment), so all View-facing kernel paths use the
+/// unaligned pair — a 32-byte AVX2 load on a padded hydro buffer row must
+/// never fault silently.
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "core/simd/abi.hpp"
+
+#if RVEVAL_SIMD_HAS_SSE2 || RVEVAL_SIMD_HAS_AVX2
+#include <immintrin.h>
+#endif
+
+namespace rveval::simd {
+
+template <typename T, typename Abi = abi::native>
+class simd;
+template <typename T, typename Abi = abi::native>
+class simd_mask;
+
+// ---------------------------------------------------------------------------
+// Generic mask: one bool per lane.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Abi>
+class simd_mask {
+ public:
+  using value_type = bool;
+  using abi_type = Abi;
+  static constexpr int width = Abi::width;
+  static constexpr std::size_t size() { return width; }
+
+  simd_mask() = default;
+  explicit simd_mask(bool broadcast) { m_.fill(broadcast); }
+
+  [[nodiscard]] bool operator[](std::size_t i) const {
+    assert(i < size());
+    return m_[i];
+  }
+  void set(std::size_t i, bool b) {
+    assert(i < size());
+    m_[i] = b;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const bool b : m_) {
+      if (b) {
+        return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] bool all() const {
+    for (const bool b : m_) {
+      if (!b) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  friend simd_mask operator&&(const simd_mask& a, const simd_mask& b) {
+    simd_mask r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.m_[i] = a.m_[i] && b.m_[i];
+    }
+    return r;
+  }
+  friend simd_mask operator||(const simd_mask& a, const simd_mask& b) {
+    simd_mask r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.m_[i] = a.m_[i] || b.m_[i];
+    }
+    return r;
+  }
+  friend simd_mask operator!(const simd_mask& a) {
+    simd_mask r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.m_[i] = !a.m_[i];
+    }
+    return r;
+  }
+
+ private:
+  std::array<bool, width> m_{};
+};
+
+// ---------------------------------------------------------------------------
+// Generic simd: a portable lane array. Serves abi::scalar, abi::fixed<N>,
+// abi::rvv_modelled<N>, and acts as the fallback for intrinsic ABIs on
+// builds that did not enable them (-mno-avx2 conformance build).
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Abi>
+class simd {
+  static_assert(std::is_floating_point_v<T>,
+                "rveval::simd models floating-point vector lanes");
+
+ public:
+  using value_type = T;
+  using abi_type = Abi;
+  using mask_type = simd_mask<T, Abi>;
+  static constexpr int width = Abi::width;
+  /// Natural alignment of a full vector of this width.
+  static constexpr std::size_t alignment = sizeof(T) * width;
+  static_assert((alignment & (alignment - 1)) == 0,
+                "vector alignment must be a power of two");
+
+  static constexpr std::size_t size() { return width; }
+
+  simd() = default;
+  simd(T broadcast) { l_.fill(broadcast); }  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static bool is_aligned(const T* p) {
+    return (reinterpret_cast<std::uintptr_t>(p) % alignment) == 0;
+  }
+
+  /// Aligned load: \p p must be aligned to simd::alignment (debug-checked).
+  [[nodiscard]] static simd load(const T* p) {
+    assert(is_aligned(p) && "simd::load requires an aligned pointer; "
+                            "use load_unaligned for View-backed storage");
+    return load_unaligned(p);
+  }
+  [[nodiscard]] static simd load_unaligned(const T* p) {
+    simd r;
+    std::memcpy(r.l_.data(), p, sizeof(r.l_));
+    return r;
+  }
+  void store(T* p) const {
+    assert(is_aligned(p) && "simd::store requires an aligned pointer; "
+                            "use store_unaligned for View-backed storage");
+    store_unaligned(p);
+  }
+  void store_unaligned(T* p) const { std::memcpy(p, l_.data(), sizeof(l_)); }
+
+  /// Per-lane indexed load: lane i = base[idx[i]].
+  [[nodiscard]] static simd gather(const T* base, const std::int32_t* idx) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = base[idx[i]];
+    }
+    return r;
+  }
+
+  /// {first, first+1, ...} — exact for integer-valued \p first.
+  [[nodiscard]] static simd iota(T first) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = first + static_cast<T>(i);
+    }
+    return r;
+  }
+
+  [[nodiscard]] T operator[](std::size_t i) const {
+    assert(i < size());
+    return l_[i];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size());
+    return l_[i];
+  }
+
+  simd& operator+=(const simd& o) {
+    for (std::size_t i = 0; i < size(); ++i) {
+      l_[i] += o.l_[i];
+    }
+    return *this;
+  }
+  simd& operator-=(const simd& o) {
+    for (std::size_t i = 0; i < size(); ++i) {
+      l_[i] -= o.l_[i];
+    }
+    return *this;
+  }
+  simd& operator*=(const simd& o) {
+    for (std::size_t i = 0; i < size(); ++i) {
+      l_[i] *= o.l_[i];
+    }
+    return *this;
+  }
+  simd& operator/=(const simd& o) {
+    for (std::size_t i = 0; i < size(); ++i) {
+      l_[i] /= o.l_[i];
+    }
+    return *this;
+  }
+
+  friend simd operator+(simd a, const simd& b) { return a += b; }
+  friend simd operator-(simd a, const simd& b) { return a -= b; }
+  friend simd operator*(simd a, const simd& b) { return a *= b; }
+  friend simd operator/(simd a, const simd& b) { return a /= b; }
+  friend simd operator-(const simd& a) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = -a.l_[i];
+    }
+    return r;
+  }
+
+  /// True fused multiply-add per lane: a*b + c with one rounding.
+  friend simd fma(const simd& a, const simd& b, const simd& c) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = std::fma(a.l_[i], b.l_[i], c.l_[i]);
+    }
+    return r;
+  }
+  /// x86 maxpd semantics: a > b ? a : b (NaN/tie -> b). Not std::max.
+  friend simd max(const simd& a, const simd& b) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = a.l_[i] > b.l_[i] ? a.l_[i] : b.l_[i];
+    }
+    return r;
+  }
+  /// x86 minpd semantics: a < b ? a : b (NaN/tie -> b). Not std::min.
+  friend simd min(const simd& a, const simd& b) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = a.l_[i] < b.l_[i] ? a.l_[i] : b.l_[i];
+    }
+    return r;
+  }
+  friend simd sqrt(const simd& a) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = std::sqrt(a.l_[i]);
+    }
+    return r;
+  }
+  friend simd abs(const simd& a) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = std::fabs(a.l_[i]);
+    }
+    return r;
+  }
+
+  friend mask_type operator<(const simd& a, const simd& b) {
+    return cmp(a, b, [](T x, T y) { return x < y; });
+  }
+  friend mask_type operator<=(const simd& a, const simd& b) {
+    return cmp(a, b, [](T x, T y) { return x <= y; });
+  }
+  friend mask_type operator>(const simd& a, const simd& b) {
+    return cmp(a, b, [](T x, T y) { return x > y; });
+  }
+  friend mask_type operator>=(const simd& a, const simd& b) {
+    return cmp(a, b, [](T x, T y) { return x >= y; });
+  }
+  friend mask_type operator==(const simd& a, const simd& b) {
+    return cmp(a, b, [](T x, T y) { return x == y; });
+  }
+  friend mask_type operator!=(const simd& a, const simd& b) {
+    return cmp(a, b, [](T x, T y) { return x != y; });
+  }
+
+  /// Per-lane blend: m ? a : b.
+  friend simd select(const mask_type& m, const simd& a, const simd& b) {
+    simd r;
+    for (std::size_t i = 0; i < size(); ++i) {
+      r.l_[i] = m[i] ? a.l_[i] : b.l_[i];
+    }
+    return r;
+  }
+
+  /// Lane-order (lane 0 first) sequential sum — deterministic by design.
+  [[nodiscard]] T reduce_sum() const {
+    T s = l_[0];
+    for (std::size_t i = 1; i < size(); ++i) {
+      s += l_[i];
+    }
+    return s;
+  }
+  /// Lane-order max with the same tie semantics as max().
+  [[nodiscard]] T reduce_max() const {
+    T s = l_[0];
+    for (std::size_t i = 1; i < size(); ++i) {
+      s = s > l_[i] ? s : l_[i];
+    }
+    return s;
+  }
+
+ private:
+  template <typename Op>
+  static mask_type cmp(const simd& a, const simd& b, Op op) {
+    mask_type m;
+    for (std::size_t i = 0; i < size(); ++i) {
+      m.set(i, op(a.l_[i], b.l_[i]));
+    }
+    return m;
+  }
+
+  std::array<T, width> l_{};
+};
+
+// ---------------------------------------------------------------------------
+// SSE2 backend: simd<double, abi::sse2> over __m128d.
+// ---------------------------------------------------------------------------
+
+#if RVEVAL_SIMD_HAS_SSE2
+
+template <>
+class simd_mask<double, abi::sse2> {
+ public:
+  using value_type = bool;
+  using abi_type = abi::sse2;
+  static constexpr int width = 2;
+  static constexpr std::size_t size() { return width; }
+
+  simd_mask() : m_(_mm_setzero_pd()) {}
+  explicit simd_mask(bool broadcast)
+      : m_(broadcast ? _mm_castsi128_pd(_mm_set1_epi64x(-1))
+                     : _mm_setzero_pd()) {}
+  explicit simd_mask(__m128d raw) : m_(raw) {}
+
+  [[nodiscard]] __m128d raw() const { return m_; }
+  [[nodiscard]] bool operator[](std::size_t i) const {
+    assert(i < size());
+    return (_mm_movemask_pd(m_) >> i) & 1;
+  }
+  [[nodiscard]] bool any() const { return _mm_movemask_pd(m_) != 0; }
+  [[nodiscard]] bool all() const { return _mm_movemask_pd(m_) == 0x3; }
+
+  friend simd_mask operator&&(const simd_mask& a, const simd_mask& b) {
+    return simd_mask{_mm_and_pd(a.m_, b.m_)};
+  }
+  friend simd_mask operator||(const simd_mask& a, const simd_mask& b) {
+    return simd_mask{_mm_or_pd(a.m_, b.m_)};
+  }
+  friend simd_mask operator!(const simd_mask& a) {
+    return simd_mask{
+        _mm_andnot_pd(a.m_, _mm_castsi128_pd(_mm_set1_epi64x(-1)))};
+  }
+
+ private:
+  __m128d m_;
+};
+
+template <>
+class simd<double, abi::sse2> {
+ public:
+  using value_type = double;
+  using abi_type = abi::sse2;
+  using mask_type = simd_mask<double, abi::sse2>;
+  static constexpr int width = 2;
+  static constexpr std::size_t alignment = 16;
+  static constexpr std::size_t size() { return width; }
+
+  simd() : v_(_mm_setzero_pd()) {}
+  simd(double broadcast) : v_(_mm_set1_pd(broadcast)) {}  // NOLINT
+  explicit simd(__m128d raw) : v_(raw) {}
+
+  [[nodiscard]] __m128d raw() const { return v_; }
+
+  [[nodiscard]] static bool is_aligned(const double* p) {
+    return (reinterpret_cast<std::uintptr_t>(p) % alignment) == 0;
+  }
+  [[nodiscard]] static simd load(const double* p) {
+    assert(is_aligned(p) && "simd::load requires a 16-byte aligned pointer");
+    return simd{_mm_load_pd(p)};
+  }
+  [[nodiscard]] static simd load_unaligned(const double* p) {
+    return simd{_mm_loadu_pd(p)};
+  }
+  void store(double* p) const {
+    assert(is_aligned(p) && "simd::store requires a 16-byte aligned pointer");
+    _mm_store_pd(p, v_);
+  }
+  void store_unaligned(double* p) const { _mm_storeu_pd(p, v_); }
+
+  [[nodiscard]] static simd gather(const double* base,
+                                   const std::int32_t* idx) {
+    return simd{_mm_set_pd(base[idx[1]], base[idx[0]])};
+  }
+  [[nodiscard]] static simd iota(double first) {
+    return simd{_mm_set_pd(first + 1.0, first)};
+  }
+
+  [[nodiscard]] double operator[](std::size_t i) const {
+    assert(i < size());
+    alignas(alignment) double tmp[width];
+    _mm_store_pd(tmp, v_);
+    return tmp[i];
+  }
+
+  simd& operator+=(const simd& o) {
+    v_ = _mm_add_pd(v_, o.v_);
+    return *this;
+  }
+  simd& operator-=(const simd& o) {
+    v_ = _mm_sub_pd(v_, o.v_);
+    return *this;
+  }
+  simd& operator*=(const simd& o) {
+    v_ = _mm_mul_pd(v_, o.v_);
+    return *this;
+  }
+  simd& operator/=(const simd& o) {
+    v_ = _mm_div_pd(v_, o.v_);
+    return *this;
+  }
+  friend simd operator+(simd a, const simd& b) { return a += b; }
+  friend simd operator-(simd a, const simd& b) { return a -= b; }
+  friend simd operator*(simd a, const simd& b) { return a *= b; }
+  friend simd operator/(simd a, const simd& b) { return a /= b; }
+  friend simd operator-(const simd& a) {
+    return simd{_mm_xor_pd(a.v_, _mm_set1_pd(-0.0))};
+  }
+
+  friend simd fma(const simd& a, const simd& b, const simd& c) {
+#if RVEVAL_SIMD_HAS_AVX2  // -mfma implies the 128-bit form is available too
+    return simd{_mm_fmadd_pd(a.v_, b.v_, c.v_)};
+#else
+    alignas(alignment) double x[width], y[width], z[width];
+    _mm_store_pd(x, a.v_);
+    _mm_store_pd(y, b.v_);
+    _mm_store_pd(z, c.v_);
+    return simd{_mm_set_pd(std::fma(x[1], y[1], z[1]),
+                           std::fma(x[0], y[0], z[0]))};
+#endif
+  }
+  friend simd max(const simd& a, const simd& b) {
+    return simd{_mm_max_pd(a.v_, b.v_)};
+  }
+  friend simd min(const simd& a, const simd& b) {
+    return simd{_mm_min_pd(a.v_, b.v_)};
+  }
+  friend simd sqrt(const simd& a) { return simd{_mm_sqrt_pd(a.v_)}; }
+  friend simd abs(const simd& a) {
+    return simd{_mm_andnot_pd(_mm_set1_pd(-0.0), a.v_)};
+  }
+
+  friend mask_type operator<(const simd& a, const simd& b) {
+    return mask_type{_mm_cmplt_pd(a.v_, b.v_)};
+  }
+  friend mask_type operator<=(const simd& a, const simd& b) {
+    return mask_type{_mm_cmple_pd(a.v_, b.v_)};
+  }
+  friend mask_type operator>(const simd& a, const simd& b) {
+    return mask_type{_mm_cmpgt_pd(a.v_, b.v_)};
+  }
+  friend mask_type operator>=(const simd& a, const simd& b) {
+    return mask_type{_mm_cmpge_pd(a.v_, b.v_)};
+  }
+  friend mask_type operator==(const simd& a, const simd& b) {
+    return mask_type{_mm_cmpeq_pd(a.v_, b.v_)};
+  }
+  friend mask_type operator!=(const simd& a, const simd& b) {
+    return mask_type{_mm_cmpneq_pd(a.v_, b.v_)};
+  }
+
+  friend simd select(const mask_type& m, const simd& a, const simd& b) {
+    // (mask & a) | (~mask & b): cmp masks are all-ones/all-zeros per lane.
+    return simd{_mm_or_pd(_mm_and_pd(m.raw(), a.v_),
+                          _mm_andnot_pd(m.raw(), b.v_))};
+  }
+
+  [[nodiscard]] double reduce_sum() const {
+    alignas(alignment) double tmp[width];
+    _mm_store_pd(tmp, v_);
+    return tmp[0] + tmp[1];
+  }
+  [[nodiscard]] double reduce_max() const {
+    alignas(alignment) double tmp[width];
+    _mm_store_pd(tmp, v_);
+    return tmp[0] > tmp[1] ? tmp[0] : tmp[1];
+  }
+
+ private:
+  __m128d v_;
+};
+
+#endif  // RVEVAL_SIMD_HAS_SSE2
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: simd<double, abi::avx2> over __m256d + FMA.
+// ---------------------------------------------------------------------------
+
+#if RVEVAL_SIMD_HAS_AVX2
+
+template <>
+class simd_mask<double, abi::avx2> {
+ public:
+  using value_type = bool;
+  using abi_type = abi::avx2;
+  static constexpr int width = 4;
+  static constexpr std::size_t size() { return width; }
+
+  simd_mask() : m_(_mm256_setzero_pd()) {}
+  explicit simd_mask(bool broadcast)
+      : m_(broadcast ? _mm256_castsi256_pd(_mm256_set1_epi64x(-1))
+                     : _mm256_setzero_pd()) {}
+  explicit simd_mask(__m256d raw) : m_(raw) {}
+
+  [[nodiscard]] __m256d raw() const { return m_; }
+  [[nodiscard]] bool operator[](std::size_t i) const {
+    assert(i < size());
+    return (_mm256_movemask_pd(m_) >> i) & 1;
+  }
+  [[nodiscard]] bool any() const { return _mm256_movemask_pd(m_) != 0; }
+  [[nodiscard]] bool all() const { return _mm256_movemask_pd(m_) == 0xF; }
+
+  friend simd_mask operator&&(const simd_mask& a, const simd_mask& b) {
+    return simd_mask{_mm256_and_pd(a.m_, b.m_)};
+  }
+  friend simd_mask operator||(const simd_mask& a, const simd_mask& b) {
+    return simd_mask{_mm256_or_pd(a.m_, b.m_)};
+  }
+  friend simd_mask operator!(const simd_mask& a) {
+    return simd_mask{
+        _mm256_andnot_pd(a.m_, _mm256_castsi256_pd(_mm256_set1_epi64x(-1)))};
+  }
+
+ private:
+  __m256d m_;
+};
+
+template <>
+class simd<double, abi::avx2> {
+ public:
+  using value_type = double;
+  using abi_type = abi::avx2;
+  using mask_type = simd_mask<double, abi::avx2>;
+  static constexpr int width = 4;
+  static constexpr std::size_t alignment = 32;
+  static constexpr std::size_t size() { return width; }
+
+  simd() : v_(_mm256_setzero_pd()) {}
+  simd(double broadcast) : v_(_mm256_set1_pd(broadcast)) {}  // NOLINT
+  explicit simd(__m256d raw) : v_(raw) {}
+
+  [[nodiscard]] __m256d raw() const { return v_; }
+
+  [[nodiscard]] static bool is_aligned(const double* p) {
+    return (reinterpret_cast<std::uintptr_t>(p) % alignment) == 0;
+  }
+  [[nodiscard]] static simd load(const double* p) {
+    assert(is_aligned(p) && "simd::load requires a 32-byte aligned pointer; "
+                            "mkk::View storage is not — use load_unaligned");
+    return simd{_mm256_load_pd(p)};
+  }
+  [[nodiscard]] static simd load_unaligned(const double* p) {
+    return simd{_mm256_loadu_pd(p)};
+  }
+  void store(double* p) const {
+    assert(is_aligned(p) && "simd::store requires a 32-byte aligned pointer; "
+                            "mkk::View storage is not — use store_unaligned");
+    _mm256_store_pd(p, v_);
+  }
+  void store_unaligned(double* p) const { _mm256_storeu_pd(p, v_); }
+
+  /// Hardware vgatherdpd.
+  [[nodiscard]] static simd gather(const double* base,
+                                   const std::int32_t* idx) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    return simd{_mm256_i32gather_pd(base, vi, 8)};
+  }
+  [[nodiscard]] static simd iota(double first) {
+    return simd{
+        _mm256_set_pd(first + 3.0, first + 2.0, first + 1.0, first)};
+  }
+
+  [[nodiscard]] double operator[](std::size_t i) const {
+    assert(i < size());
+    alignas(alignment) double tmp[width];
+    _mm256_store_pd(tmp, v_);
+    return tmp[i];
+  }
+
+  simd& operator+=(const simd& o) {
+    v_ = _mm256_add_pd(v_, o.v_);
+    return *this;
+  }
+  simd& operator-=(const simd& o) {
+    v_ = _mm256_sub_pd(v_, o.v_);
+    return *this;
+  }
+  simd& operator*=(const simd& o) {
+    v_ = _mm256_mul_pd(v_, o.v_);
+    return *this;
+  }
+  simd& operator/=(const simd& o) {
+    v_ = _mm256_div_pd(v_, o.v_);
+    return *this;
+  }
+  friend simd operator+(simd a, const simd& b) { return a += b; }
+  friend simd operator-(simd a, const simd& b) { return a -= b; }
+  friend simd operator*(simd a, const simd& b) { return a *= b; }
+  friend simd operator/(simd a, const simd& b) { return a /= b; }
+  friend simd operator-(const simd& a) {
+    return simd{_mm256_xor_pd(a.v_, _mm256_set1_pd(-0.0))};
+  }
+
+  friend simd fma(const simd& a, const simd& b, const simd& c) {
+    return simd{_mm256_fmadd_pd(a.v_, b.v_, c.v_)};
+  }
+  friend simd max(const simd& a, const simd& b) {
+    return simd{_mm256_max_pd(a.v_, b.v_)};
+  }
+  friend simd min(const simd& a, const simd& b) {
+    return simd{_mm256_min_pd(a.v_, b.v_)};
+  }
+  friend simd sqrt(const simd& a) { return simd{_mm256_sqrt_pd(a.v_)}; }
+  friend simd abs(const simd& a) {
+    return simd{_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v_)};
+  }
+
+  friend mask_type operator<(const simd& a, const simd& b) {
+    return mask_type{_mm256_cmp_pd(a.v_, b.v_, _CMP_LT_OQ)};
+  }
+  friend mask_type operator<=(const simd& a, const simd& b) {
+    return mask_type{_mm256_cmp_pd(a.v_, b.v_, _CMP_LE_OQ)};
+  }
+  friend mask_type operator>(const simd& a, const simd& b) {
+    return mask_type{_mm256_cmp_pd(a.v_, b.v_, _CMP_GT_OQ)};
+  }
+  friend mask_type operator>=(const simd& a, const simd& b) {
+    return mask_type{_mm256_cmp_pd(a.v_, b.v_, _CMP_GE_OQ)};
+  }
+  friend mask_type operator==(const simd& a, const simd& b) {
+    return mask_type{_mm256_cmp_pd(a.v_, b.v_, _CMP_EQ_OQ)};
+  }
+  friend mask_type operator!=(const simd& a, const simd& b) {
+    return mask_type{_mm256_cmp_pd(a.v_, b.v_, _CMP_NEQ_UQ)};
+  }
+
+  friend simd select(const mask_type& m, const simd& a, const simd& b) {
+    // blendv picks a where the mask sign bit is set; cmp masks are
+    // all-ones/all-zeros per lane, so this is an exact per-lane m ? a : b.
+    return simd{_mm256_blendv_pd(b.v_, a.v_, m.raw())};
+  }
+
+  /// Lane-order sequential sum — matches the portable backend bit for bit
+  /// (no pairwise shuffle tree, which would round differently).
+  [[nodiscard]] double reduce_sum() const {
+    alignas(alignment) double tmp[width];
+    _mm256_store_pd(tmp, v_);
+    return ((tmp[0] + tmp[1]) + tmp[2]) + tmp[3];
+  }
+  [[nodiscard]] double reduce_max() const {
+    alignas(alignment) double tmp[width];
+    _mm256_store_pd(tmp, v_);
+    double s = tmp[0];
+    for (std::size_t i = 1; i < size(); ++i) {
+      s = s > tmp[i] ? s : tmp[i];
+    }
+    return s;
+  }
+
+ private:
+  __m256d v_;
+};
+
+#endif  // RVEVAL_SIMD_HAS_AVX2
+
+/// Convenience aliases.
+using native_double = simd<double, abi::native>;
+using scalar_double = simd<double, abi::scalar>;
+
+static_assert(sizeof(simd<double, abi::scalar>) == sizeof(double));
+static_assert(sizeof(simd<double, abi::fixed<4>>) == 4 * sizeof(double));
+
+}  // namespace rveval::simd

@@ -1,176 +1,35 @@
 #pragma once
 
 /// \file simd.hpp
-/// Portable SIMD value types — the analogue of the Kokkos/std::experimental
-/// simd types Octo-Tiger uses for explicit CPU vectorisation.
+/// Back-compat shim: mkk::simd<T, N> is now an alias for the real SIMD
+/// subsystem, rveval::simd<T, abi::fixed<N>> (src/core/simd/simd.hpp).
 ///
-/// The paper's Table 2 drives its peak-performance model off each CPU's
-/// vector length (8 doubles on A64FX/SVE and AVX-512, 4 on AVX2, *none* on
-/// the RISC-V U74-MC, which lacks the V extension). mkk::simd<T, N> models
-/// exactly that: a fixed-width value type whose operations compile to the
-/// host's vector instructions when N > 1 (the loops are written so GCC's
-/// vectoriser maps them onto SSE/AVX), and to scalar code when N == 1 — the
-/// "scalar ABI" every kernel falls back to on vectorless hardware like the
-/// U74-MC, or on GPUs.
+/// The original mkk::simd was a broadcast-only lane-array stub with no
+/// intrinsic backends. The rveval::simd subsystem supersedes it: portable
+/// ABI tags (scalar / sse2 / avx2 / fixed<N> / rvv_modelled<N>), real
+/// __m128d/__m256d backends with CPUID runtime dispatch, masks, gathers,
+/// and aligned/unaligned load-store contracts. There is exactly one SIMD
+/// type in the tree; these aliases keep the historical mkk spellings
+/// working for existing call sites and tests.
 
-#include <cmath>
-#include <cstddef>
-#include <type_traits>
+#include "core/simd/abi.hpp"
+#include "core/simd/simd.hpp"
 
 namespace mkk {
 
-/// Fixed-width SIMD vector of N lanes of arithmetic type T.
+/// Fixed-width SIMD vector of N lanes: alias into rveval::simd.
 template <typename T, int N>
-  requires(std::is_arithmetic_v<T> && N >= 1 && (N & (N - 1)) == 0)
-class simd {
- public:
-  using value_type = T;
-  static constexpr int size() { return N; }
+using simd = rveval::simd::simd<T, rveval::simd::abi::fixed<N>>;
 
-  simd() = default;
+/// Native double-lane width of this build (what the -m flags enabled).
+inline constexpr int native_double_width = rveval::simd::abi::native::width;
 
-  /// Broadcast.
-  simd(T scalar) {  // NOLINT(google-explicit-constructor): mirrors std::simd
-    for (int i = 0; i < N; ++i) {
-      lanes_[i] = scalar;
-    }
-  }
-
-  /// Load N contiguous elements.
-  static simd load(const T* src) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = src[i];
-    }
-    return r;
-  }
-
-  /// Store N contiguous elements.
-  void store(T* dst) const {
-    for (int i = 0; i < N; ++i) {
-      dst[i] = lanes_[i];
-    }
-  }
-
-  T& operator[](int i) { return lanes_[i]; }
-  const T& operator[](int i) const { return lanes_[i]; }
-
-  friend simd operator+(simd a, simd b) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = a.lanes_[i] + b.lanes_[i];
-    }
-    return r;
-  }
-  friend simd operator-(simd a, simd b) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = a.lanes_[i] - b.lanes_[i];
-    }
-    return r;
-  }
-  friend simd operator*(simd a, simd b) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = a.lanes_[i] * b.lanes_[i];
-    }
-    return r;
-  }
-  friend simd operator/(simd a, simd b) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = a.lanes_[i] / b.lanes_[i];
-    }
-    return r;
-  }
-  friend simd operator-(simd a) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = -a.lanes_[i];
-    }
-    return r;
-  }
-  simd& operator+=(simd b) { return *this = *this + b; }
-  simd& operator-=(simd b) { return *this = *this - b; }
-  simd& operator*=(simd b) { return *this = *this * b; }
-  simd& operator/=(simd b) { return *this = *this / b; }
-
-  /// Fused multiply-add a*b + c. On CPUs with FMA units this maps to one
-  /// instruction per lane — the factor of two in the paper's Eq. 2. (The
-  /// U74-MC only has FMA for the 32-bit FP ISA, a caveat Table 2 notes.)
-  friend simd fma(simd a, simd b, simd c) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = std::fma(a.lanes_[i], b.lanes_[i], c.lanes_[i]);
-    }
-    return r;
-  }
-
-  friend simd max(simd a, simd b) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = a.lanes_[i] > b.lanes_[i] ? a.lanes_[i] : b.lanes_[i];
-    }
-    return r;
-  }
-  friend simd min(simd a, simd b) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = a.lanes_[i] < b.lanes_[i] ? a.lanes_[i] : b.lanes_[i];
-    }
-    return r;
-  }
-  friend simd sqrt(simd a) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = std::sqrt(a.lanes_[i]);
-    }
-    return r;
-  }
-  friend simd abs(simd a) {
-    simd r;
-    for (int i = 0; i < N; ++i) {
-      r.lanes_[i] = std::abs(a.lanes_[i]);
-    }
-    return r;
-  }
-
-  /// Horizontal sum of all lanes.
-  [[nodiscard]] T reduce_sum() const {
-    T s{};
-    for (int i = 0; i < N; ++i) {
-      s += lanes_[i];
-    }
-    return s;
-  }
-
-  /// Horizontal max of all lanes.
-  [[nodiscard]] T reduce_max() const {
-    T m = lanes_[0];
-    for (int i = 1; i < N; ++i) {
-      m = lanes_[i] > m ? lanes_[i] : m;
-    }
-    return m;
-  }
-
- private:
-  alignas(alignof(T) * N) T lanes_[N]{};
-};
-
-/// Native width on the build host (what -march makes available).
-#if defined(__AVX512F__)
-inline constexpr int native_double_width = 8;
-#elif defined(__AVX__)
-inline constexpr int native_double_width = 4;
-#elif defined(__SSE2__) || defined(__aarch64__)
-inline constexpr int native_double_width = 2;
-#else
-inline constexpr int native_double_width = 1;  // e.g. RISC-V without V
-#endif
-
-/// Vector type for the host's native width.
-using native_simd_double = simd<double, native_double_width>;
+/// Vector type for the host's native width — now backed by the real
+/// intrinsic ABI (e.g. __m256d on an AVX2 build), not a lane array.
+using native_simd_double =
+    rveval::simd::simd<double, rveval::simd::abi::native>;
 /// The scalar ABI: what every kernel degrades to on vectorless hardware.
-using scalar_simd_double = simd<double, 1>;
+using scalar_simd_double =
+    rveval::simd::simd<double, rveval::simd::abi::scalar>;
 
 }  // namespace mkk

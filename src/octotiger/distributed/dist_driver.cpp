@@ -116,7 +116,8 @@ void DistOcto::for_each_owned_task(
 double DistOcto::signal_max() const {
   double s = 0.0;
   for (std::size_t l = owned_begin_; l < owned_end_; ++l) {
-    s = std::max(s, hydro::max_signal_speed(tree_.leaves()[l]->grid));
+    s = std::max(s, hydro::max_signal_speed(tree_.leaves()[l]->grid,
+                                            opt_.simd_abi));
   }
   return s;
 }
@@ -217,12 +218,12 @@ void DistOcto::run_stage(double dt, std::uint32_t stage, std::uint64_t token) {
     const TreeNode& root = tree_.root();
     for_each_owned_task([&](TreeNode& leaf) {
       gravity::solve_leaf(root, leaf, opt_.theta, opt_.multipole_kernel,
-                          opt_.monopole_kernel);
+                          opt_.monopole_kernel, opt_.simd_abi);
     });
   }
   for_each_owned_task([&](TreeNode& leaf) { tree_.fill_ghosts(leaf); });
   for_each_owned_task([&](TreeNode& leaf) {
-    hydro::compute_rhs(leaf.grid, opt_.hydro_kernel);
+    hydro::compute_rhs(leaf.grid, opt_.hydro_kernel, opt_.simd_abi);
   });
   for_each_owned_task([&](TreeNode& leaf) {
     SubGrid& g = leaf.grid;

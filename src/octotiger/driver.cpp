@@ -96,7 +96,7 @@ void Simulation::for_each_leaf_task(
 double Simulation::compute_dt() const {
   double dt = std::numeric_limits<double>::max();
   for (const TreeNode* leaf : tree_.leaves()) {
-    const double s = hydro::max_signal_speed(leaf->grid);
+    const double s = hydro::max_signal_speed(leaf->grid, opt_.simd_abi);
     if (s > 0.0) {
       dt = std::min(dt, opt_.cfl * leaf->grid.dx() / s);
     }
@@ -111,7 +111,7 @@ void Simulation::solve_gravity() {
   const TreeNode& root = tree_.root();
   for_each_leaf_task([&](TreeNode& leaf) {
     gravity::solve_leaf(root, leaf, opt_.theta, opt_.multipole_kernel,
-                        opt_.monopole_kernel);
+                        opt_.monopole_kernel, opt_.simd_abi);
   });
 }
 
@@ -121,7 +121,7 @@ void Simulation::hydro_stage(double dt, bool second_stage) {
 
   mark("hydro.kernels");
   for_each_leaf_task([&](TreeNode& leaf) {
-    hydro::compute_rhs(leaf.grid, opt_.hydro_kernel);
+    hydro::compute_rhs(leaf.grid, opt_.hydro_kernel, opt_.simd_abi);
   });
 
   mark("hydro.update");

@@ -75,6 +75,48 @@ inline void evaluate(const Multipole& m, Vec3 p, double& phi, Vec3& g) {
   g.z += c1 * (c_qd * qd.z + c_d * d.z);
 }
 
+/// Lane-parallel evaluate(): identical arithmetic to the scalar overload,
+/// operation for operation, on W cell centers that share x and y (one
+/// k-pencil block). \p V is an rveval::simd value type; every expression
+/// below mirrors the scalar evaluate() shape exactly so the scalar-ABI
+/// instantiation is bit-identical to the historical kernel and wider ABIs
+/// are bit-identical per lane (the simd ops are correctly rounded).
+template <typename V>
+inline void evaluate_lanes(const Multipole& m, V px, V py, V pz, V& phi,
+                           V& gx, V& gy, V& gz) {
+  const V dx = px - V(m.com.x);
+  const V dy = py - V(m.com.y);
+  const V dz = pz - V(m.com.z);
+  const V r2 = dx * dx + dy * dy + dz * dz;
+  const V r = sqrt(r2);
+  const V inv_r = V(1.0) / r;
+  const V inv_r3 = inv_r / r2;
+  const V inv_r5 = inv_r3 / r2;
+  const V inv_r7 = inv_r5 / r2;
+
+  // Monopole.
+  phi += V(-G_newton * m.mass) * inv_r;
+  const V mono = V(-G_newton * m.mass) * inv_r3;
+  gx += mono * dx;
+  gy += mono * dy;
+  gz += mono * dz;
+
+  // Quadrupole.
+  const auto& q = m.quad;
+  const double tr = q[0] + q[1] + q[2];
+  const V qdx = V(q[0]) * dx + V(q[3]) * dy + V(q[4]) * dz;
+  const V qdy = V(q[3]) * dx + V(q[1]) * dy + V(q[5]) * dz;
+  const V qdz = V(q[4]) * dx + V(q[5]) * dy + V(q[2]) * dz;
+  const V dqd = dx * qdx + dy * qdy + dz * qdz;
+  phi += V(-0.5 * G_newton) * ((V(3.0) * dqd) * inv_r5 - V(tr) * inv_r3);
+  const double c1 = 0.5 * G_newton;
+  const V c_qd = V(6.0) * inv_r5;
+  const V c_d = (V(-15.0) * dqd) * inv_r7 + V(3.0 * tr) * inv_r5;
+  gx += V(c1) * (c_qd * qdx + c_d * dx);
+  gy += V(c1) * (c_qd * qdy + c_d * dy);
+  gz += V(c1) * (c_qd * qdz + c_d * dz);
+}
+
 /// Analytic FLOPs of one evaluate() call (documented count).
 inline constexpr double m2p_flops = 63.0;
 

@@ -3,15 +3,21 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "core/simd/detect.hpp"
+#include "core/simd/simd.hpp"
 #include "minihpx/instrument.hpp"
 #include "minikokkos/parallel.hpp"
 #include "octotiger/device_placement.hpp"
+#include "octotiger/kernel_abi.hpp"
 
 namespace octo::gravity {
 
 namespace {
+
+namespace rs = rveval::simd;
 
 // ---------------------------------------------------------------------------
 // Near-field offset table.
@@ -27,34 +33,42 @@ namespace {
 constexpr long table_half = 2 * static_cast<long>(NX) - 1;  // 15
 constexpr long table_dim = 2 * table_half + 1;              // 31
 
-struct OffsetEntry {
-  double gx, gy, gz;  // o / |o|^3
-  double inv_r;       // 1 / |o|
-};
+/// Doubles per table entry: (gx, gy, gz, inv_r) = (o / |o|^3, 1 / |o|).
+/// The table is stored flat so the SIMD monopole kernel can gather the four
+/// fields of W entries with per-lane int32 offsets.
+constexpr std::size_t entry_doubles = 4;
 
-const std::array<OffsetEntry,
-                 static_cast<std::size_t>(table_dim* table_dim* table_dim)>&
+const std::array<double, static_cast<std::size_t>(table_dim* table_dim*
+                                                  table_dim)*
+                             entry_doubles>&
 offset_table() {
   static const auto table = [] {
-    std::array<OffsetEntry,
-               static_cast<std::size_t>(table_dim * table_dim * table_dim)>
+    std::array<double,
+               static_cast<std::size_t>(table_dim * table_dim * table_dim) *
+                   entry_doubles>
         t{};
     for (long ox = -table_half; ox <= table_half; ++ox) {
       for (long oy = -table_half; oy <= table_half; ++oy) {
         for (long oz = -table_half; oz <= table_half; ++oz) {
-          const std::size_t idx = static_cast<std::size_t>(
-              ((ox + table_half) * table_dim + (oy + table_half)) * table_dim +
-              (oz + table_half));
+          const std::size_t idx =
+              static_cast<std::size_t>(
+                  ((ox + table_half) * table_dim + (oy + table_half)) *
+                      table_dim +
+                  (oz + table_half)) *
+              entry_doubles;
           const double r2 = static_cast<double>(ox * ox + oy * oy + oz * oz);
           if (r2 == 0.0) {
-            t[idx] = OffsetEntry{0, 0, 0, 0};  // self cell: skipped
+            // Self cell: an exact-zero entry. The kernel always adds, and
+            // accumulating these +0.0 terms is bit-identical to skipping
+            // the pair (phi/g can never hold -0.0 here, see monopole_line).
             continue;
           }
           const double r = std::sqrt(r2);
           const double inv_r3 = 1.0 / (r2 * r);
-          t[idx] = OffsetEntry{static_cast<double>(ox) * inv_r3,
-                               static_cast<double>(oy) * inv_r3,
-                               static_cast<double>(oz) * inv_r3, 1.0 / r};
+          t[idx + 0] = static_cast<double>(ox) * inv_r3;
+          t[idx + 1] = static_cast<double>(oy) * inv_r3;
+          t[idx + 2] = static_cast<double>(oz) * inv_r3;
+          t[idx + 3] = 1.0 / r;
         }
       }
     }
@@ -181,93 +195,176 @@ void walk(const TreeNode& node, const TreeNode& target, double theta,
 }
 
 // ----------------------------------------------------------- the kernels
+//
+// Both kernels process one k-pencil of the target grid per call, in blocks
+// of W = simd<double, Abi>::size() lanes (W divides NX, so there is never a
+// remainder). Every ABI computes bit-identical results lane for lane: the
+// simd ops are correctly rounded, every expression mirrors the historical
+// scalar shape, and all lanes of a block follow the same (uniform) control
+// flow. phi/g live in interior-shaped Views (plain new[] storage), so all
+// vector access goes through load_unaligned/store_unaligned.
 
-/// Monopole (P2P) kernel body for one target cell.
-void monopole_cell(const SubGrid& target, const InteractionLists& lists,
-                   std::size_t i, std::size_t j, std::size_t k) {
+/// The z-coordinates of one lane block of cell centers, shaped exactly like
+/// SubGrid::cell_center: origin.z + (k + 0.5) * dx per lane.
+template <typename V>
+V lane_centers_z(const SubGrid& g, std::size_t k0) {
+  return V(g.origin().z) +
+         (V::iota(static_cast<double>(k0)) + V(0.5)) * V(g.dx());
+}
+
+/// Monopole (P2P) kernel body for one target k-pencil.
+///
+/// Vectorised over *target* cells: W targets share every source cell, so
+/// the source density broadcasts and the offset-table entries of the W
+/// targets are gathered. table_index is linear in oz with coefficient 1
+/// and lane l's z-offset is lane 0's minus l, so lane l's entry sits
+/// entry_doubles * l doubles *before* lane 0's — a constant per-lane gather
+/// offset hoisted out of all loops. The source loop order (src, si, sj, sk)
+/// is untouched, so each lane accumulates in the exact historical order.
+///
+/// The historical cell kernel skipped the self pair; this kernel always
+/// adds it instead (uniform control flow). That is bit-identical: the
+/// table's self entry is exactly (+0, +0, +0, +0), x += (fg*r)*(+0.0) can
+/// only change x if x were -0.0, and phi/g can never hold -0.0 here (they
+/// start the solve at +0.0, and IEEE addition starting from +0.0 yields
+/// -0.0 only when rounding is toward -inf).
+template <typename Abi>
+void monopole_line(const SubGrid& target, const InteractionLists& lists,
+                   std::size_t i, std::size_t j) {
+  using V = rs::simd<double, Abi>;
+  constexpr std::size_t W = V::size();
+  static_assert(NX % W == 0, "lane width must divide the pencil length");
+
   const auto& table = offset_table();
   const double h = target.dx();
   const double inv_h = 1.0 / h;
   const double inv_h2 = inv_h * inv_h;
   const double vol = h * h * h;
 
-  double phi = target.phi(i, j, k);
-  double gx = target.g(0, i, j, k);
-  double gy = target.g(1, i, j, k);
-  double gz = target.g(2, i, j, k);
-
   // Premultiplied unit factors: m = rho * vol, gm/h^2 and gm/h.
-  const double fg = G_newton * vol * inv_h2;
-  const double fp = G_newton * vol * inv_h;
-  for (const auto& src : lists.p2p_same) {
-    const double* rho = src.grid->interior_ptr(f_rho);
-    const long bx = src.dir[0] * static_cast<long>(NX) -
-                    static_cast<long>(i);
-    const long by = src.dir[1] * static_cast<long>(NX) -
-                    static_cast<long>(j);
-    const long bz = src.dir[2] * static_cast<long>(NX) -
-                    static_cast<long>(k);
-    const bool self = src.dir[0] == 0 && src.dir[1] == 0 && src.dir[2] == 0;
-    for (std::size_t si = 0; si < NX; ++si) {
-      for (std::size_t sj = 0; sj < NX; ++sj) {
-        const std::size_t base =
-            table_index(bx + static_cast<long>(si),
-                        by + static_cast<long>(sj), bz);
-        const double* row =
-            rho + si * SubGrid::stride_i + sj * SubGrid::stride_j;
-        const bool self_row = self && si == i && sj == j;
-        for (std::size_t sk = 0; sk < NX; ++sk) {
-          if (self_row && sk == k) {
-            continue;  // no self-interaction of a cell with itself
+  const double fg_s = G_newton * vol * inv_h2;
+  const double fp_s = G_newton * vol * inv_h;
+
+  const std::size_t cell0 =
+      i * SubGrid::rhs_stride_i + j * SubGrid::rhs_stride_j;
+  double* phi_row = target.phi_ptr() + cell0;
+  double* gx_row = target.g_ptr(0) + cell0;
+  double* gy_row = target.g_ptr(1) + cell0;
+  double* gz_row = target.g_ptr(2) + cell0;
+
+  const Vec3 og = target.origin();
+  const double px = og.x + (static_cast<double>(i) + 0.5) * h;
+  const double py = og.y + (static_cast<double>(j) + 0.5) * h;
+
+  // Per-lane gather offsets (in doubles) relative to lane 0's entry.
+  alignas(16) std::array<std::int32_t, W> lane_off{};
+  for (std::size_t l = 0; l < W; ++l) {
+    lane_off[l] = -static_cast<std::int32_t>(entry_doubles * l);
+  }
+
+  for (std::size_t k0 = 0; k0 < NX; k0 += W) {
+    V phi = V::load_unaligned(phi_row + k0);
+    V gx = V::load_unaligned(gx_row + k0);
+    V gy = V::load_unaligned(gy_row + k0);
+    V gz = V::load_unaligned(gz_row + k0);
+
+    const V fg(fg_s);
+    const V fp(fp_s);
+    for (const auto& src : lists.p2p_same) {
+      const double* rho = src.grid->interior_ptr(f_rho);
+      const long bx = src.dir[0] * static_cast<long>(NX) -
+                      static_cast<long>(i);
+      const long by = src.dir[1] * static_cast<long>(NX) -
+                      static_cast<long>(j);
+      const long bz = src.dir[2] * static_cast<long>(NX) -
+                      static_cast<long>(k0);  // lane 0's z offset
+      for (std::size_t si = 0; si < NX; ++si) {
+        for (std::size_t sj = 0; sj < NX; ++sj) {
+          const std::size_t base =
+              table_index(bx + static_cast<long>(si),
+                          by + static_cast<long>(sj), bz);
+          const double* row =
+              rho + si * SubGrid::stride_i + sj * SubGrid::stride_j;
+          for (std::size_t sk = 0; sk < NX; ++sk) {
+            const V r(row[sk]);
+            // Lane 0's table entry for this source cell; lanes gather at
+            // their (negative) constant offsets from it.
+            const double* e = table.data() + (base + sk) * entry_doubles;
+            const V egx = V::gather(e + 0, lane_off.data());
+            const V egy = V::gather(e + 1, lane_off.data());
+            const V egz = V::gather(e + 2, lane_off.data());
+            const V einv = V::gather(e + 3, lane_off.data());
+            gx += (fg * r) * egx;
+            gy += (fg * r) * egy;
+            gz += (fg * r) * egz;
+            phi -= (fp * r) * einv;
           }
-          const double r = row[sk];
-          const OffsetEntry& e = table[base + sk];
-          gx += fg * r * e.gx;
-          gy += fg * r * e.gy;
-          gz += fg * r * e.gz;
-          phi -= fp * r * e.inv_r;
         }
       }
     }
-  }
 
-  const Vec3 p = target.cell_center(i, j, k);
-  for (const auto& pp : lists.p2p_coarse) {
-    const Vec3 d = pp.pos - p;
-    const double r2 = d.norm2();
-    const double r = std::sqrt(r2);
-    const double gm = G_newton * pp.mass;
-    const double f = gm / (r2 * r);
-    gx += f * d.x;
-    gy += f * d.y;
-    gz += f * d.z;
-    phi -= gm / r;
-  }
+    const V pz = lane_centers_z<V>(target, k0);
+    for (const auto& pp : lists.p2p_coarse) {
+      const V dx(pp.pos.x - px);
+      const V dy(pp.pos.y - py);
+      const V dz = V(pp.pos.z) - pz;
+      const V r2 = dx * dx + dy * dy + dz * dz;
+      const V r = sqrt(r2);
+      const double gm = G_newton * pp.mass;
+      const V f = V(gm) / (r2 * r);
+      gx += f * dx;
+      gy += f * dy;
+      gz += f * dz;
+      phi -= V(gm) / r;
+    }
 
-  target.phi(i, j, k) = phi;
-  target.g(0, i, j, k) = gx;
-  target.g(1, i, j, k) = gy;
-  target.g(2, i, j, k) = gz;
+    phi.store_unaligned(phi_row + k0);
+    gx.store_unaligned(gx_row + k0);
+    gy.store_unaligned(gy_row + k0);
+    gz.store_unaligned(gz_row + k0);
+  }
 }
 
-/// Multipole (M2P) kernel body for one target cell. Runs first in the
+/// Multipole (M2P) kernel body for one target k-pencil. Runs first in the
 /// solve and *assigns* from zero rather than accumulating, so the launch is
 /// idempotent — a replayed device launch (even after a post-body fault)
-/// recomputes the same bits.
-void multipole_cell(const SubGrid& target, const InteractionLists& lists,
-                    std::size_t i, std::size_t j, std::size_t k) {
-  const Vec3 p = target.cell_center(i, j, k);
-  double phi = 0.0;
-  Vec3 g{};
-  for (const TreeNode* node : lists.m2p) {
-    if (node->moments.mass > 0.0) {
-      evaluate(node->moments, p, phi, g);
+/// recomputes the same bits. The mass>0 branch is uniform across lanes
+/// (it tests the source node, not the targets).
+template <typename Abi>
+void multipole_line(const SubGrid& target, const InteractionLists& lists,
+                    std::size_t i, std::size_t j) {
+  using V = rs::simd<double, Abi>;
+  constexpr std::size_t W = V::size();
+  static_assert(NX % W == 0, "lane width must divide the pencil length");
+
+  const Vec3 og = target.origin();
+  const double h = target.dx();
+  const V px(og.x + (static_cast<double>(i) + 0.5) * h);
+  const V py(og.y + (static_cast<double>(j) + 0.5) * h);
+
+  const std::size_t cell0 =
+      i * SubGrid::rhs_stride_i + j * SubGrid::rhs_stride_j;
+  double* phi_row = target.phi_ptr() + cell0;
+  double* gx_row = target.g_ptr(0) + cell0;
+  double* gy_row = target.g_ptr(1) + cell0;
+  double* gz_row = target.g_ptr(2) + cell0;
+
+  for (std::size_t k0 = 0; k0 < NX; k0 += W) {
+    const V pz = lane_centers_z<V>(target, k0);
+    V phi(0.0);
+    V gx(0.0);
+    V gy(0.0);
+    V gz(0.0);
+    for (const TreeNode* node : lists.m2p) {
+      if (node->moments.mass > 0.0) {
+        evaluate_lanes(node->moments, px, py, pz, phi, gx, gy, gz);
+      }
     }
+    phi.store_unaligned(phi_row + k0);
+    gx.store_unaligned(gx_row + k0);
+    gy.store_unaligned(gy_row + k0);
+    gz.store_unaligned(gz_row + k0);
   }
-  target.phi(i, j, k) = phi;
-  target.g(0, i, j, k) = g.x;
-  target.g(1, i, j, k) = g.y;
-  target.g(2, i, j, k) = g.z;
 }
 
 [[nodiscard]] bool is_device_kind(mkk::KernelType kind) {
@@ -284,32 +381,35 @@ struct DeviceLaunch {
   unsigned stream = 0;
 };
 
-template <typename CellBody>
-void run_kernel(mkk::KernelType kind, CellBody&& body,
+/// Run a line body over the NX x NX (i, j) pencil grid in the requested
+/// execution placement. Each pencil runs all NX k-cells in lane blocks.
+template <typename LineBody>
+void run_kernel(mkk::KernelType kind, LineBody&& body,
                 const DeviceLaunch& dev = {}) {
+  const auto line = [&](std::size_t i, std::size_t j, std::size_t) {
+    body(i, j);
+  };
   switch (kind) {
     case mkk::KernelType::legacy:
       for (std::size_t i = 0; i < NX; ++i) {
         for (std::size_t j = 0; j < NX; ++j) {
-          for (std::size_t k = 0; k < NX; ++k) {
-            body(i, j, k);
-          }
+          body(i, j);
         }
       }
       break;
     case mkk::KernelType::kokkos_serial:
       mkk::parallel_for(
-          mkk::MDRangePolicy3<mkk::Serial>({0, 0, 0}, {NX, NX, NX}), body);
+          mkk::MDRangePolicy3<mkk::Serial>({0, 0, 0}, {NX, NX, 1}), line);
       break;
     case mkk::KernelType::kokkos_hpx:
       mkk::parallel_for(
-          mkk::MDRangePolicy3<mkk::Hpx>({0, 0, 0}, {NX, NX, NX}), body);
+          mkk::MDRangePolicy3<mkk::Hpx>({0, 0, 0}, {NX, NX, 1}), line);
       break;
     case mkk::KernelType::kokkos_device: {
       const mkk::DeviceExec exec{dev.stream, dev.flops, dev.bytes, dev.label};
       mkk::parallel_for(
-          mkk::MDRangePolicy3<mkk::DeviceExec>(exec, {0, 0, 0}, {NX, NX, NX}),
-          body);
+          mkk::MDRangePolicy3<mkk::DeviceExec>(exec, {0, 0, 0}, {NX, NX, 1}),
+          line);
       break;
     }
     case mkk::KernelType::kokkos_device_replay: {
@@ -318,8 +418,8 @@ void run_kernel(mkk::KernelType kind, CellBody&& body,
                                     dev.label};
       mkk::parallel_for(
           mkk::MDRangePolicy3<mkk::ReplayDevice>(replay, {0, 0, 0},
-                                                 {NX, NX, NX}),
-          body);
+                                                 {NX, NX, 1}),
+          line);
       break;
     }
   }
@@ -401,7 +501,7 @@ void combine_internal_moments(TreeNode& node) { upward_pass<false>(node); }
 
 SolveStats solve_leaf(const TreeNode& root, TreeNode& target, double theta,
                       mkk::KernelType multipole_kind,
-                      mkk::KernelType monopole_kind) {
+                      mkk::KernelType monopole_kind, rs::AbiKind abi) {
   SubGrid& grid = target.grid;
   for (std::size_t i = 0; i < NX; ++i) {
     for (std::size_t j = 0; j < NX; ++j) {
@@ -463,37 +563,43 @@ SolveStats solve_leaf(const TreeNode& root, TreeNode& target, double theta,
          monopole_kind == mkk::KernelType::kokkos_device_replay)
             ? mkk::KernelType::kokkos_device_replay
             : mkk::KernelType::kokkos_device;
+    // Device kinds always execute the scalar ABI (kernel_abi.hpp): one
+    // scalar lane per modelled GPU thread.
     run_kernel(
         fused_kind,
-        [&](std::size_t i, std::size_t j, std::size_t k) {
-          multipole_cell(grid, lists, i, j, k);
-          monopole_cell(grid, lists, i, j, k);
+        [&](std::size_t i, std::size_t j) {
+          multipole_line<rs::abi::scalar>(grid, lists, i, j);
+          monopole_line<rs::abi::scalar>(grid, lists, i, j);
         },
         {mhpx::apex::trace::intern("gravity.solve"),
          m2p_kernel_flops + p2p_kernel_flops,
          m2p_kernel_bytes + p2p_kernel_bytes, stream});
   } else {
     // Multipole kernel (M2P).
-    run_kernel(
-        multipole_kind,
-        [&](std::size_t i, std::size_t j, std::size_t k) {
-          multipole_cell(grid, lists, i, j, k);
-        },
-        {mhpx::apex::trace::intern("gravity.m2p"), m2p_kernel_flops,
-         m2p_kernel_bytes, stream});
+    rs::detect::dispatch(kernel_abi(multipole_kind, abi), [&](auto tag) {
+      run_kernel(
+          multipole_kind,
+          [&](std::size_t i, std::size_t j) {
+            multipole_line<decltype(tag)>(grid, lists, i, j);
+          },
+          {mhpx::apex::trace::intern("gravity.m2p"), m2p_kernel_flops,
+           m2p_kernel_bytes, stream});
+    });
     if (dev_m2p) {
       // The host P2P kernel accumulates into the same phi/g fields: wait
       // for the asynchronous device M2P launch before touching them.
       dev.fence(stream);
     }
     // Monopole kernel (P2P).
-    run_kernel(
-        monopole_kind,
-        [&](std::size_t i, std::size_t j, std::size_t k) {
-          monopole_cell(grid, lists, i, j, k);
-        },
-        {mhpx::apex::trace::intern("gravity.p2p"), p2p_kernel_flops,
-         p2p_kernel_bytes, stream});
+    rs::detect::dispatch(kernel_abi(monopole_kind, abi), [&](auto tag) {
+      run_kernel(
+          monopole_kind,
+          [&](std::size_t i, std::size_t j) {
+            monopole_line<decltype(tag)>(grid, lists, i, j);
+          },
+          {mhpx::apex::trace::intern("gravity.p2p"), p2p_kernel_flops,
+           p2p_kernel_bytes, stream});
+    });
   }
 
   if (dev_m2p || dev_p2p) {
@@ -514,10 +620,11 @@ SolveStats solve_leaf(const TreeNode& root, TreeNode& target, double theta,
 }
 
 void solve_all(Octree& tree, double theta, mkk::KernelType multipole_kind,
-               mkk::KernelType monopole_kind) {
+               mkk::KernelType monopole_kind, rveval::simd::AbiKind abi) {
   compute_moments(tree.root());
   for (TreeNode* leaf : tree.leaves()) {
-    solve_leaf(tree.root(), *leaf, theta, multipole_kind, monopole_kind);
+    solve_leaf(tree.root(), *leaf, theta, multipole_kind, monopole_kind,
+               abi);
   }
 }
 

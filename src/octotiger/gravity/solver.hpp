@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "core/simd/abi.hpp"
 #include "minikokkos/spaces.hpp"
 #include "octotiger/octree.hpp"
 #include "octotiger/options.hpp"
@@ -43,15 +44,20 @@ struct SolveStats {
 /// Solve gravity for one target leaf: zero phi/g, walk the tree from
 /// \p root, run the multipole/monopole kernels in the requested flavours.
 /// Ghosts are not needed; only interior densities are read. The executing
-/// task is annotated with the analytic kernel cost.
+/// task is annotated with the analytic kernel cost. \p abi selects the
+/// simd lane width of the host Kokkos flavours (legacy and device kinds
+/// always run scalar); results are bit-identical at every width.
 SolveStats solve_leaf(const TreeNode& root, TreeNode& target, double theta,
                       mkk::KernelType multipole_kind,
-                      mkk::KernelType monopole_kind);
+                      mkk::KernelType monopole_kind,
+                      rveval::simd::AbiKind abi =
+                          rveval::simd::AbiKind::native);
 
 /// Convenience: moments + solve for every leaf (sequential; the driver
 /// parallelises over leaves itself).
 void solve_all(Octree& tree, double theta, mkk::KernelType multipole_kind,
-               mkk::KernelType monopole_kind);
+               mkk::KernelType monopole_kind,
+               rveval::simd::AbiKind abi = rveval::simd::AbiKind::native);
 
 /// O(N^2) reference: exact cell-cell sums into phi/g of every leaf.
 /// Only for validation (prohibitively slow beyond small trees).

@@ -127,6 +127,26 @@ class SubGrid {
   static constexpr std::size_t stride_i = NXE * NXE;
   static constexpr std::size_t stride_j = NXE;
 
+  /// Raw pointers for the flat-index SIMD kernels (hydro/simd_kernels.hpp,
+  /// gravity/solver.cpp). Extended element (ei,ej,ek) of field \p f lives
+  /// at extended_ptr(f)[ei*stride_i + ej*stride_j + ek]; interior-shaped
+  /// arrays use rhs_stride_i/j. View storage comes from plain new[] with
+  /// no vector-width alignment guarantee, so SIMD access through these
+  /// pointers must use the load_unaligned/store_unaligned pair
+  /// (rveval::simd's aligned load/store assert otherwise).
+  [[nodiscard]] const double* extended_ptr(std::size_t f) const {
+    return &u_(f, 0, 0, 0);
+  }
+  [[nodiscard]] double* rhs_ptr(std::size_t f) const {
+    return &rhs_(f, 0, 0, 0);
+  }
+  [[nodiscard]] double* phi_ptr() const { return &phi_(0, 0, 0); }
+  [[nodiscard]] double* g_ptr(std::size_t axis) const {
+    return &g_(axis, 0, 0, 0);
+  }
+  static constexpr std::size_t rhs_stride_i = NX * NX;
+  static constexpr std::size_t rhs_stride_j = NX;
+
   /// Underlying views (for the Kokkos kernel flavours).
   [[nodiscard]] const mkk::View<double, 4>& field_view() const { return u_; }
   [[nodiscard]] const mkk::View<double, 4>& rhs_view() const { return rhs_; }

@@ -1,194 +1,48 @@
 #include "octotiger/hydro/kernels.hpp"
 
-#include <array>
-
+#include "core/simd/detect.hpp"
 #include "minihpx/apex/task_trace.hpp"
 #include "minihpx/instrument.hpp"
 #include "minikokkos/parallel.hpp"
 #include "octotiger/device_placement.hpp"
-#include "octotiger/hydro/eos.hpp"
+#include "octotiger/hydro/simd_kernels.hpp"
+#include "octotiger/kernel_abi.hpp"
 
 namespace octo::hydro {
 
 namespace {
 
-/// Primitive state of extended cell (i, j, k).
-Prim prim_at(const SubGrid& g, std::size_t i, std::size_t j, std::size_t k) {
-  return to_prim(g.ue(f_rho, i, j, k), g.ue(f_sx, i, j, k),
-                 g.ue(f_sy, i, j, k), g.ue(f_sz, i, j, k),
-                 g.ue(f_egas, i, j, k));
-}
+namespace rs = rveval::simd;
 
-/// Advance an extended index along an axis.
-std::array<std::size_t, 3> shift(std::array<std::size_t, 3> c, int axis,
-                                 long d) {
-  c[static_cast<std::size_t>(axis)] =
-      static_cast<std::size_t>(static_cast<long>(c[static_cast<std::size_t>(axis)]) + d);
-  return c;
-}
-
-/// Limited slope of the primitive state in cell \p c along \p axis.
-Prim slope_at(const SubGrid& g, std::array<std::size_t, 3> c, int axis) {
-  const auto m = shift(c, axis, -1);
-  const auto p = shift(c, axis, +1);
-  const Prim qm = prim_at(g, m[0], m[1], m[2]);
-  const Prim q0 = prim_at(g, c[0], c[1], c[2]);
-  const Prim qp = prim_at(g, p[0], p[1], p[2]);
-  Prim s;
-  s.rho = minmod(q0.rho - qm.rho, qp.rho - q0.rho);
-  s.vx = minmod(q0.vx - qm.vx, qp.vx - q0.vx);
-  s.vy = minmod(q0.vy - qm.vy, qp.vy - q0.vy);
-  s.vz = minmod(q0.vz - qm.vz, qp.vz - q0.vz);
-  s.p = minmod(q0.p - qm.p, qp.p - q0.p);
-  return s;
-}
-
-Prim plus_half(const Prim& q, const Prim& s, double sign) {
-  Prim r;
-  r.rho = std::max(q.rho + sign * 0.5 * s.rho, rho_floor);
-  r.vx = q.vx + sign * 0.5 * s.vx;
-  r.vy = q.vy + sign * 0.5 * s.vy;
-  r.vz = q.vz + sign * 0.5 * s.vz;
-  r.p = std::max(q.p + sign * 0.5 * s.p, p_floor);
-  return r;
-}
-
-/// Physical Euler flux of state \p q along \p axis.
-std::array<double, NF> euler_flux(const Prim& q, int axis) {
-  const double vn = q.velocity(axis);
-  const double e = total_energy(q);
-  std::array<double, NF> f{};
-  f[f_rho] = q.rho * vn;
-  f[f_sx] = q.rho * q.vx * vn + (axis == 0 ? q.p : 0.0);
-  f[f_sy] = q.rho * q.vy * vn + (axis == 1 ? q.p : 0.0);
-  f[f_sz] = q.rho * q.vz * vn + (axis == 2 ? q.p : 0.0);
-  f[f_egas] = (e + q.p) * vn;
-  return f;
-}
-
-std::array<double, NF> cons_of(const Prim& q) {
-  std::array<double, NF> u{};
-  u[f_rho] = q.rho;
-  u[f_sx] = q.rho * q.vx;
-  u[f_sy] = q.rho * q.vy;
-  u[f_sz] = q.rho * q.vz;
-  u[f_egas] = total_energy(q);
-  return u;
-}
-
-/// HLL flux across the face between reconstructed states L | R.
-std::array<double, NF> hll_flux(const Prim& left, const Prim& right,
-                                int axis) {
-  const double cl = sound_speed(left);
-  const double cr = sound_speed(right);
-  const double vl = left.velocity(axis);
-  const double vr = right.velocity(axis);
-  const double sl = std::min(vl - cl, vr - cr);
-  const double sr = std::max(vl + cl, vr + cr);
-  const auto fl = euler_flux(left, axis);
-  const auto fr = euler_flux(right, axis);
-  if (sl >= 0.0) {
-    return fl;
-  }
-  if (sr <= 0.0) {
-    return fr;
-  }
-  const auto ul = cons_of(left);
-  const auto ur = cons_of(right);
-  std::array<double, NF> f{};
-  const double inv = 1.0 / (sr - sl);
-  for (std::size_t n = 0; n < NF; ++n) {
-    f[n] = (sr * fl[n] - sl * fr[n] + sl * sr * (ur[n] - ul[n])) * inv;
-  }
-  return f;
-}
-
-/// Flux through the face between extended cells a and a+e_axis, with
-/// minmod-limited linear reconstruction on both sides.
-std::array<double, NF> face_flux(const SubGrid& g,
-                                 std::array<std::size_t, 3> a, int axis) {
-  const auto b = shift(a, axis, +1);
-  const Prim qa = prim_at(g, a[0], a[1], a[2]);
-  const Prim qb = prim_at(g, b[0], b[1], b[2]);
-  const Prim sa = slope_at(g, a, axis);
-  const Prim sb = slope_at(g, b, axis);
-  return hll_flux(plus_half(qa, sa, +1.0), plus_half(qb, sb, -1.0), axis);
-}
-
-/// RHS of one interior cell: cell-wise flux-difference form (each cell
-/// computes both of its faces per axis; deterministic and safe under any
-/// parallel decomposition).
-void cell_rhs(const SubGrid& g, std::size_t i, std::size_t j, std::size_t k) {
-  const double inv_dx = 1.0 / g.dx();
-  std::array<double, NF> du{};
-  const std::array<std::size_t, 3> e{i + GHOST, j + GHOST, k + GHOST};
-  for (int axis = 0; axis < 3; ++axis) {
-    const auto lo = face_flux(g, shift(e, axis, -1), axis);
-    const auto hi = face_flux(g, e, axis);
-    for (std::size_t n = 0; n < NF; ++n) {
-      du[n] -= (hi[n] - lo[n]) * inv_dx;
-    }
-  }
-  // Gravity source terms: d(s)/dt += rho g, d(E)/dt += s . g.
-  const double rho = g.ue(f_rho, e[0], e[1], e[2]);
-  const double sx = g.ue(f_sx, e[0], e[1], e[2]);
-  const double sy = g.ue(f_sy, e[0], e[1], e[2]);
-  const double sz = g.ue(f_sz, e[0], e[1], e[2]);
-  const double gx = g.g(0, i, j, k);
-  const double gy = g.g(1, i, j, k);
-  const double gz = g.g(2, i, j, k);
-  du[f_sx] += rho * gx;
-  du[f_sy] += rho * gy;
-  du[f_sz] += rho * gz;
-  du[f_egas] += sx * gx + sy * gy + sz * gz;
-  for (std::size_t n = 0; n < NF; ++n) {
-    g.rhs(n, i, j, k) = du[n];
-  }
-}
-
-}  // namespace
-
-double rhs_flops_per_cell() {
-  // Counting (per interior cell): 6 face fluxes, each = 2 reconstructions
-  // (2 slopes x 5 fields x ~6 flops + prim conversions ~ 40) + HLL (~70)
-  // ~ 180 flops; plus source terms (~14) and divergence (~30).
-  // Total ~ 6*180 + 44 ~ 1124; we use the rounded documented constant.
-  return 1124.0;
-}
-
-double rhs_bytes_per_cell() {
-  // Reads the 5 conserved fields over a 5-point stencil per axis (shared
-  // via cache: ~ 5 fields x (1 + 6 neighbours) x 8 B) plus RHS/gravity
-  // writes: ~ 5 x 7 x 8 + 5 x 8 + 3 x 8 = 344 B.
-  return 344.0;
-}
-
-void compute_rhs(const SubGrid& grid, mkk::KernelType kind) {
+/// One execution-space placement of the ABI-bound line kernel. The
+/// iteration space is the NX x NX (i, j) pencil grid; each pencil runs all
+/// NX k-cells in lane blocks (simd_kernels.hpp).
+template <typename Abi>
+void compute_rhs_on(const SubGrid& grid, mkk::KernelType kind) {
+  const RhsLineKernel<Abi> kernel(grid);
   switch (kind) {
     case mkk::KernelType::legacy: {
       // The "old" pure-HPX kernel: straight nested loops.
       for (std::size_t i = 0; i < NX; ++i) {
         for (std::size_t j = 0; j < NX; ++j) {
-          for (std::size_t k = 0; k < NX; ++k) {
-            cell_rhs(grid, i, j, k);
-          }
+          kernel.line(i, j);
         }
       }
       break;
     }
     case mkk::KernelType::kokkos_serial: {
       mkk::parallel_for(
-          mkk::MDRangePolicy3<mkk::Serial>({0, 0, 0}, {NX, NX, NX}),
-          [&](std::size_t i, std::size_t j, std::size_t k) {
-            cell_rhs(grid, i, j, k);
+          mkk::MDRangePolicy3<mkk::Serial>({0, 0, 0}, {NX, NX, 1}),
+          [&](std::size_t i, std::size_t j, std::size_t) {
+            kernel.line(i, j);
           });
       break;
     }
     case mkk::KernelType::kokkos_hpx: {
       mkk::parallel_for(
-          mkk::MDRangePolicy3<mkk::Hpx>({0, 0, 0}, {NX, NX, NX}),
-          [&](std::size_t i, std::size_t j, std::size_t k) {
-            cell_rhs(grid, i, j, k);
+          mkk::MDRangePolicy3<mkk::Hpx>({0, 0, 0}, {NX, NX, 1}),
+          [&](std::size_t i, std::size_t j, std::size_t) {
+            kernel.line(i, j);
           });
       break;
     }
@@ -198,10 +52,10 @@ void compute_rhs(const SubGrid& grid, mkk::KernelType kind) {
       // gravity field down, run the RHS kernel on a device stream, ship the
       // RHS back, fence. The grid is physically host-resident (DESIGN.md §9
       // modelled-placement simplification), so the kernel body is the same
-      // serial loop — bit-identical to the Serial space — while the copies
-      // and the launch are priced on the accelerator model. Sub-grids
-      // round-robin over streams by identity, so sibling leaves overlap on
-      // the modelled device timeline.
+      // serial line loop — bit-identical to the Serial space — while the
+      // copies and the launch are priced on the accelerator model. Sub-
+      // grids round-robin over streams by identity, so sibling leaves
+      // overlap on the modelled device timeline.
       auto& dev = mkk::device::Device::instance();
       const unsigned stream = device_stream_for(&grid);
       const double h2d_bytes =
@@ -217,46 +71,66 @@ void compute_rhs(const SubGrid& grid, mkk::KernelType kind) {
       if (kind == mkk::KernelType::kokkos_device) {
         mkk::parallel_for(
             mkk::MDRangePolicy3<mkk::DeviceExec>(exec, {0, 0, 0},
-                                                 {NX, NX, NX}),
-            [&](std::size_t i, std::size_t j, std::size_t k) {
-              cell_rhs(grid, i, j, k);
+                                                 {NX, NX, 1}),
+            [&](std::size_t i, std::size_t j, std::size_t) {
+              kernel.line(i, j);
             });
       } else {
         mkk::ReplayDevice replay;
         replay.base = exec;
         mkk::parallel_for(
             mkk::MDRangePolicy3<mkk::ReplayDevice>(replay, {0, 0, 0},
-                                                   {NX, NX, NX}),
-            [&](std::size_t i, std::size_t j, std::size_t k) {
-              cell_rhs(grid, i, j, k);
+                                                   {NX, NX, 1}),
+            [&](std::size_t i, std::size_t j, std::size_t) {
+              kernel.line(i, j);
             });
       }
       device_stage_copy(stream, "hydro.rhs[d2h]", d2h_bytes, false);
       dev.fence(stream);
-      // The device model accounts this launch's flops/bytes and energy; do
-      // not double-count them through the host instrument stream.
-      return;
+      break;
     }
+  }
+}
+
+}  // namespace
+
+double rhs_flops_per_cell() {
+  // Counting (per interior cell): 6 face fluxes, each = 2 reconstructions
+  // (2 slopes x 5 fields x ~6 flops + prim conversions ~ 40) + HLL (~70)
+  // ~ 180 flops; plus source terms (~14) and divergence (~30).
+  // Total ~ 6*180 + 44 ~ 1124; we use the rounded documented constant.
+  // The count is per *cell*, independent of the simd ABI: a W-lane kernel
+  // does the same arithmetic on W cells per op.
+  return 1124.0;
+}
+
+double rhs_bytes_per_cell() {
+  // Reads the 5 conserved fields over a 5-point stencil per axis (shared
+  // via cache: ~ 5 fields x (1 + 6 neighbours) x 8 B) plus RHS/gravity
+  // writes: ~ 5 x 7 x 8 + 5 x 8 + 3 x 8 = 344 B.
+  return 344.0;
+}
+
+void compute_rhs(const SubGrid& grid, mkk::KernelType kind,
+                 rs::AbiKind abi) {
+  rs::detect::dispatch(kernel_abi(kind, abi), [&](auto tag) {
+    compute_rhs_on<decltype(tag)>(grid, kind);
+  });
+  if (kind == mkk::KernelType::kokkos_device ||
+      kind == mkk::KernelType::kokkos_device_replay) {
+    // The device model accounts this launch's flops/bytes and energy; do
+    // not double-count them through the host instrument stream.
+    return;
   }
   mhpx::instrument::annotate(
       rhs_flops_per_cell() * static_cast<double>(CELLS_PER_GRID),
       rhs_bytes_per_cell() * static_cast<double>(CELLS_PER_GRID));
 }
 
-double max_signal_speed(const SubGrid& grid) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < NX; ++i) {
-    for (std::size_t j = 0; j < NX; ++j) {
-      for (std::size_t k = 0; k < NX; ++k) {
-        const Prim q = prim_at(grid, i + GHOST, j + GHOST, k + GHOST);
-        const double c = sound_speed(q);
-        const double v = std::max({std::abs(q.vx), std::abs(q.vy),
-                                   std::abs(q.vz)});
-        s = std::max(s, v + c);
-      }
-    }
-  }
-  return s;
+double max_signal_speed(const SubGrid& grid, rs::AbiKind abi) {
+  return rs::detect::dispatch(abi, [&](auto tag) {
+    return max_signal_speed_simd<decltype(tag)>(grid);
+  });
 }
 
 }  // namespace octo::hydro

@@ -7,12 +7,18 @@
 /// Scheme: finite volumes for the inviscid Euler equations — piecewise
 /// linear (minmod-limited) reconstruction, HLL Riemann fluxes, gravity
 /// source terms — per sub-grid, exactly one kernel invocation per leaf per
-/// Runge-Kutta stage. Two implementations share the cell-wise math:
-///   - legacy:  plain nested loops (the "old, purely HPX" kernels);
-///   - kokkos:  mkk::parallel_for over an MDRange, on the Serial or Hpx
-///              execution space.
-/// Both compute identical results cell for cell (a test asserts this).
+/// Runge-Kutta stage. There is a single kernel implementation, the
+/// ABI-templated line kernel of simd_kernels.hpp; the KernelType selects
+/// *where* it runs (legacy loops, Serial/Hpx spaces, modelled device) and
+/// the simd ABI selects *how wide*:
+///   - legacy and device flavours always run the scalar ABI (the old
+///     pure-HPX kernel and the modelled-GPU per-thread lane, respectively);
+///   - kokkos_serial / kokkos_hpx honour \p abi (scalar / sse2 / avx2 /
+///     native, runtime-dispatched through rveval::simd::detect).
+/// Every flavour and every ABI computes bit-identical results cell for
+/// cell (tests assert this; the simd ops guarantee it per lane).
 
+#include "core/simd/abi.hpp"
 #include "minikokkos/spaces.hpp"
 #include "octotiger/grid.hpp"
 
@@ -22,10 +28,14 @@ namespace octo::hydro {
 /// leaf's interior cells into grid.rhs(). Ghost layers must be filled and
 /// the gravity acceleration grid.g() current. The task executing this is
 /// annotated with the kernel's analytic FLOP/byte cost.
-void compute_rhs(const SubGrid& grid, mkk::KernelType kind);
+void compute_rhs(const SubGrid& grid, mkk::KernelType kind,
+                 rveval::simd::AbiKind abi = rveval::simd::AbiKind::native);
 
-/// Largest |v| + c over the interior (for the CFL condition).
-double max_signal_speed(const SubGrid& grid);
+/// Largest |v| + c over the interior (for the CFL condition). Bit-identical
+/// at every ABI width.
+double max_signal_speed(const SubGrid& grid,
+                        rveval::simd::AbiKind abi =
+                            rveval::simd::AbiKind::scalar);
 
 /// Analytic arithmetic cost per interior cell of one compute_rhs call
 /// (documented counting in kernels.cpp; priced by the simulator).

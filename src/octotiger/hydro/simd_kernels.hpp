@@ -1,0 +1,288 @@
+#pragma once
+
+/// \file simd_kernels.hpp
+/// ABI-templated hydro reconstruct/flux kernel in the tiled, flat-index
+/// style of the real Octo-Tiger hydro_kokkos_kernel.hpp: raw pointers,
+/// compile-time strides, and a vector of k-adjacent cells ("one line") per
+/// inner step. The same body runs at every lane width:
+///   - Abi = abi::scalar    -> the reference kernel (U74-MC path; also
+///                             what the legacy and modelled-device kernel
+///                             flavours execute),
+///   - Abi = abi::sse2/avx2 -> 2/4 cells per op on the host,
+///   - Abi = abi::rvv_modelled<W> -> portable W-lane execution priced as
+///                             an RVV unit (core/simd/pricing.hpp).
+///
+/// This file is the *single* implementation of the hydro RHS: kernels.cpp
+/// instantiates it per ABI and per execution space. Width-independence is
+/// not an accident here, it is a contract — every arithmetic expression is
+/// written in ops whose backends are bit-identical per lane (see
+/// core/simd/simd.hpp), all lane counts divide NX, and the k-neighbour
+/// loads of a lane block stay inside the NXE-extended row — so the
+/// existing bitwise cross-flavour tests and the fig7 scalar-vs-native
+/// metamorphic gate hold exactly.
+
+#include <array>
+#include <cstddef>
+
+#include "core/simd/simd.hpp"
+#include "octotiger/defs.hpp"
+#include "octotiger/grid.hpp"
+#include "octotiger/hydro/eos.hpp"
+
+namespace octo::hydro {
+
+/// Primitive state of a block of W k-adjacent cells.
+template <typename V>
+struct PrimV {
+  V rho, vx, vy, vz, p;
+
+  [[nodiscard]] V velocity(int axis) const {
+    return axis == 0 ? vx : (axis == 1 ? vy : vz);
+  }
+};
+
+/// minmod limiter, lane-wise; the branchless select form computes exactly
+/// the branchy scalar limiter per lane.
+template <typename V>
+[[nodiscard]] inline V minmod_v(const V& a, const V& b) {
+  const V picked = select(abs(a) < abs(b), a, b);
+  return select(a * b <= V(0.0), V(0.0), picked);
+}
+
+/// Lane-wise to_prim (eos.hpp shapes kept expression-for-expression: the
+/// scalar instantiation must compute what eos.hpp's to_prim computes).
+template <typename V>
+[[nodiscard]] inline PrimV<V> to_prim_v(const V& rho, const V& sx,
+                                        const V& sy, const V& sz,
+                                        const V& egas) {
+  PrimV<V> q;
+  q.rho = max(rho, V(rho_floor));
+  q.vx = sx / q.rho;
+  q.vy = sy / q.rho;
+  q.vz = sz / q.rho;
+  const V r = max(rho, V(rho_floor));
+  const V kin = V(0.5) * (sx * sx + sy * sy + sz * sz) / r;
+  q.p = max(V(gamma_gas - 1.0) * (egas - kin), V(p_floor));
+  return q;
+}
+
+template <typename V>
+[[nodiscard]] inline V sound_speed_v(const PrimV<V>& q) {
+  return sqrt(V(gamma_gas) * q.p / q.rho);
+}
+
+template <typename V>
+[[nodiscard]] inline V total_energy_v(const PrimV<V>& q) {
+  return q.p / V(gamma_gas - 1.0) +
+         V(0.5) * q.rho * (q.vx * q.vx + q.vy * q.vy + q.vz * q.vz);
+}
+
+/// Hydro RHS over one sub-grid, vectorised along k. One instance per
+/// (grid, ABI); line(i, j) computes the NX cells of a (i, j) pencil in
+/// NX/W lane blocks.
+template <typename Abi>
+class RhsLineKernel {
+ public:
+  using V = rveval::simd::simd<double, Abi>;
+  static constexpr std::size_t W = V::size();
+  static_assert(NX % W == 0,
+                "lane width must divide the sub-grid edge (no remainder "
+                "loop by construction)");
+
+  explicit RhsLineKernel(const SubGrid& g) : inv_dx_(1.0 / g.dx()) {
+    for (std::size_t f = 0; f < NF; ++f) {
+      u_[f] = g.extended_ptr(f);
+      rhs_[f] = g.rhs_ptr(f);
+    }
+    for (std::size_t a = 0; a < 3; ++a) {
+      gacc_[a] = g.g_ptr(a);
+    }
+  }
+
+  /// RHS of the whole (i, j) pencil (interior indices).
+  void line(std::size_t i, std::size_t j) const {
+    for (std::size_t k0 = 0; k0 < NX; k0 += W) {
+      cells(i, j, k0);
+    }
+  }
+
+ private:
+  static constexpr std::size_t SI = SubGrid::stride_i;   // NXE*NXE
+  static constexpr std::size_t SJ = SubGrid::stride_j;   // NXE
+  static constexpr std::size_t RI = SubGrid::rhs_stride_i;  // NX*NX
+  static constexpr std::size_t RJ = SubGrid::rhs_stride_j;  // NX
+
+  /// Extended-grid neighbour stride per axis (k-lane loads shift whole
+  /// vectors by this, so every access stays one unaligned contiguous row
+  /// read — the flat-index trick of the real Octo-Tiger kernel).
+  static constexpr std::ptrdiff_t kAxisStride[3] = {
+      static_cast<std::ptrdiff_t>(SI), static_cast<std::ptrdiff_t>(SJ), 1};
+
+  /// Primitive state of the W cells at extended flat offset \p e.
+  [[nodiscard]] PrimV<V> prim(std::ptrdiff_t e) const {
+    return to_prim_v(V::load_unaligned(u_[f_rho] + e),
+                     V::load_unaligned(u_[f_sx] + e),
+                     V::load_unaligned(u_[f_sy] + e),
+                     V::load_unaligned(u_[f_sz] + e),
+                     V::load_unaligned(u_[f_egas] + e));
+  }
+
+  /// minmod-limited slope of the cells at \p e along stride \p d.
+  [[nodiscard]] PrimV<V> slope(std::ptrdiff_t e, std::ptrdiff_t d) const {
+    const PrimV<V> qm = prim(e - d);
+    const PrimV<V> q0 = prim(e);
+    const PrimV<V> qp = prim(e + d);
+    PrimV<V> s;
+    s.rho = minmod_v(q0.rho - qm.rho, qp.rho - q0.rho);
+    s.vx = minmod_v(q0.vx - qm.vx, qp.vx - q0.vx);
+    s.vy = minmod_v(q0.vy - qm.vy, qp.vy - q0.vy);
+    s.vz = minmod_v(q0.vz - qm.vz, qp.vz - q0.vz);
+    s.p = minmod_v(q0.p - qm.p, qp.p - q0.p);
+    return s;
+  }
+
+  [[nodiscard]] static PrimV<V> plus_half(const PrimV<V>& q,
+                                          const PrimV<V>& s, double sign) {
+    PrimV<V> r;
+    r.rho = max(q.rho + V(sign * 0.5) * s.rho, V(rho_floor));
+    r.vx = q.vx + V(sign * 0.5) * s.vx;
+    r.vy = q.vy + V(sign * 0.5) * s.vy;
+    r.vz = q.vz + V(sign * 0.5) * s.vz;
+    r.p = max(q.p + V(sign * 0.5) * s.p, V(p_floor));
+    return r;
+  }
+
+  [[nodiscard]] static std::array<V, NF> euler_flux(const PrimV<V>& q,
+                                                    int axis) {
+    const V vn = q.velocity(axis);
+    const V e = total_energy_v(q);
+    std::array<V, NF> f;
+    f[f_rho] = q.rho * vn;
+    f[f_sx] = q.rho * q.vx * vn + (axis == 0 ? q.p : V(0.0));
+    f[f_sy] = q.rho * q.vy * vn + (axis == 1 ? q.p : V(0.0));
+    f[f_sz] = q.rho * q.vz * vn + (axis == 2 ? q.p : V(0.0));
+    f[f_egas] = (e + q.p) * vn;
+    return f;
+  }
+
+  [[nodiscard]] static std::array<V, NF> cons_of(const PrimV<V>& q) {
+    std::array<V, NF> u;
+    u[f_rho] = q.rho;
+    u[f_sx] = q.rho * q.vx;
+    u[f_sy] = q.rho * q.vy;
+    u[f_sz] = q.rho * q.vz;
+    u[f_egas] = total_energy_v(q);
+    return u;
+  }
+
+  /// HLL flux, branch-free: the three cases of the scalar Riemann solver
+  /// become a two-level select. sr - sl >= 2 c_left > 0 strictly (pressure
+  /// and density floors keep every sound speed positive), so the middle
+  /// expression never divides by zero even where it is selected away.
+  [[nodiscard]] static std::array<V, NF> hll_flux(const PrimV<V>& left,
+                                                  const PrimV<V>& right,
+                                                  int axis) {
+    const V cl = sound_speed_v(left);
+    const V cr = sound_speed_v(right);
+    const V vl = left.velocity(axis);
+    const V vr = right.velocity(axis);
+    const V sl = min(vl - cl, vr - cr);
+    const V sr = max(vl + cl, vr + cr);
+    const auto fl = euler_flux(left, axis);
+    const auto fr = euler_flux(right, axis);
+    const auto ul = cons_of(left);
+    const auto ur = cons_of(right);
+    const auto left_going = sl >= V(0.0);
+    const auto right_going = sr <= V(0.0);
+    const V inv = V(1.0) / (sr - sl);
+    std::array<V, NF> f;
+    for (std::size_t n = 0; n < NF; ++n) {
+      const V mid = (sr * fl[n] - sl * fr[n] + sl * sr * (ur[n] - ul[n])) * inv;
+      f[n] = select(left_going, fl[n], select(right_going, fr[n], mid));
+    }
+    return f;
+  }
+
+  /// Flux through the faces between the cell blocks at \p e and \p e + d.
+  [[nodiscard]] std::array<V, NF> face_flux(std::ptrdiff_t e,
+                                            std::ptrdiff_t d,
+                                            int axis) const {
+    const PrimV<V> qa = prim(e);
+    const PrimV<V> qb = prim(e + d);
+    const PrimV<V> sa = slope(e, d);
+    const PrimV<V> sb = slope(e + d, d);
+    return hll_flux(plus_half(qa, sa, +1.0), plus_half(qb, sb, -1.0), axis);
+  }
+
+  /// RHS of the W interior cells (i, j, k0..k0+W-1): flux-difference form
+  /// plus gravity sources, written to the rhs array.
+  void cells(std::size_t i, std::size_t j, std::size_t k0) const {
+    const std::ptrdiff_t e = static_cast<std::ptrdiff_t>(
+        (i + GHOST) * SI + (j + GHOST) * SJ + (k0 + GHOST));
+    std::array<V, NF> du{};
+    for (int axis = 0; axis < 3; ++axis) {
+      const std::ptrdiff_t d = kAxisStride[axis];
+      const auto lo = face_flux(e - d, d, axis);
+      const auto hi = face_flux(e, d, axis);
+      for (std::size_t n = 0; n < NF; ++n) {
+        du[n] -= (hi[n] - lo[n]) * V(inv_dx_);
+      }
+    }
+    // Gravity source terms: d(s)/dt += rho g, d(E)/dt += s . g.
+    const V rho = V::load_unaligned(u_[f_rho] + e);
+    const V sx = V::load_unaligned(u_[f_sx] + e);
+    const V sy = V::load_unaligned(u_[f_sy] + e);
+    const V sz = V::load_unaligned(u_[f_sz] + e);
+    const std::size_t r = i * RI + j * RJ + k0;
+    const V gx = V::load_unaligned(gacc_[0] + r);
+    const V gy = V::load_unaligned(gacc_[1] + r);
+    const V gz = V::load_unaligned(gacc_[2] + r);
+    du[f_sx] += rho * gx;
+    du[f_sy] += rho * gy;
+    du[f_sz] += rho * gz;
+    du[f_egas] += sx * gx + sy * gy + sz * gz;
+    for (std::size_t n = 0; n < NF; ++n) {
+      du[n].store_unaligned(rhs_[n] + r);
+    }
+  }
+
+  const double* u_[NF] = {};
+  double* rhs_[NF] = {};
+  const double* gacc_[3] = {};
+  double inv_dx_;
+};
+
+/// Max |v| + c over one sub-grid, vectorised along k. All speeds are
+/// non-negative and max is exact, so the result is bit-identical at every
+/// lane width (the CFL step size cannot depend on the ABI).
+template <typename Abi>
+[[nodiscard]] double max_signal_speed_simd(const SubGrid& g) {
+  using V = rveval::simd::simd<double, Abi>;
+  constexpr std::size_t W = V::size();
+  static_assert(NX % W == 0);
+  const double* u[NF];
+  for (std::size_t f = 0; f < NF; ++f) {
+    u[f] = g.extended_ptr(f);
+  }
+  V s(0.0);
+  for (std::size_t i = 0; i < NX; ++i) {
+    for (std::size_t j = 0; j < NX; ++j) {
+      for (std::size_t k0 = 0; k0 < NX; k0 += W) {
+        const std::size_t e = (i + GHOST) * SubGrid::stride_i +
+                              (j + GHOST) * SubGrid::stride_j +
+                              (k0 + GHOST);
+        const PrimV<V> q = to_prim_v(V::load_unaligned(u[f_rho] + e),
+                                     V::load_unaligned(u[f_sx] + e),
+                                     V::load_unaligned(u[f_sy] + e),
+                                     V::load_unaligned(u[f_sz] + e),
+                                     V::load_unaligned(u[f_egas] + e));
+        const V c = sound_speed_v(q);
+        const V v = max(max(abs(q.vx), abs(q.vy)), abs(q.vz));
+        s = max(s, v + c);
+      }
+    }
+  }
+  return s.reduce_max();
+}
+
+}  // namespace octo::hydro

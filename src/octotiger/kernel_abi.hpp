@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file kernel_abi.hpp
+/// Maps a host-kernel flavour (--xxx_host_kernel_type) plus the requested
+/// simd ABI (--simd_abi) to the ABI the kernel actually executes. Shared by
+/// the hydro and gravity kernel dispatchers so both families follow the
+/// same rule.
+
+#include "core/simd/abi.hpp"
+#include "minikokkos/spaces.hpp"
+
+namespace octo {
+
+/// The ABI a kernel flavour actually runs: legacy is the historical scalar
+/// pure-HPX kernel, and the modelled device executes one scalar lane per
+/// modelled GPU thread; only the host Kokkos flavours vectorise.
+inline rveval::simd::AbiKind kernel_abi(mkk::KernelType kind,
+                                        rveval::simd::AbiKind requested) {
+  switch (kind) {
+    case mkk::KernelType::legacy:
+    case mkk::KernelType::kokkos_device:
+    case mkk::KernelType::kokkos_device_replay:
+      return rveval::simd::AbiKind::scalar;
+    case mkk::KernelType::kokkos_serial:
+    case mkk::KernelType::kokkos_hpx:
+      return requested;
+  }
+  return rveval::simd::AbiKind::scalar;
+}
+
+}  // namespace octo

@@ -167,6 +167,14 @@ void Options::parse_cli(const std::vector<std::string>& args) {
       multipole_kernel = parse_kernel_type(value);
     } else if (key == "monopole_host_kernel_type") {
       monopole_kernel = parse_kernel_type(value);
+    } else if (key == "simd_abi") {
+      const auto abi = rveval::simd::parse_abi(value);
+      if (!abi) {
+        throw std::runtime_error(
+            "octo::Options: unknown simd ABI '" + value +
+            "' (expected SCALAR, SSE2, AVX2 or NATIVE)");
+      }
+      simd_abi = *abi;
     } else if (key == "hpx:threads") {
       threads = static_cast<unsigned>(std::stoul(value));
     } else if (key == "hpx:localities") {
@@ -186,6 +194,7 @@ std::string Options::summary() const {
      << " hydro=" << mkk::to_string(hydro_kernel)
      << " multipole=" << mkk::to_string(multipole_kernel)
      << " monopole=" << mkk::to_string(monopole_kernel)
+     << " simd_abi=" << rveval::simd::to_string(simd_abi)
      << " threads=" << threads << " localities=" << localities;
   return os.str();
 }

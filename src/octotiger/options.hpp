@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/simd/abi.hpp"
 #include "minikokkos/spaces.hpp"
 
 namespace octo {
@@ -45,6 +46,13 @@ struct Options {
   mkk::KernelType multipole_kernel = mkk::KernelType::kokkos_serial;
   mkk::KernelType monopole_kernel = mkk::KernelType::kokkos_serial;
 
+  /// SIMD lane width of the host Kokkos kernels (--simd_abi=SCALAR/SSE2/
+  /// AVX2/NATIVE). NATIVE resolves at runtime to the widest backend the
+  /// build and CPU support; results are bit-identical at every width
+  /// (metamorphic gates enforce this), so the ABI is purely a speed knob —
+  /// the knob the paper's vectorless U74-MC is missing.
+  rveval::simd::AbiKind simd_abi = rveval::simd::AbiKind::native;
+
   // --- runtime (--hpx:threads / --hpx:localities analogues) ---
   unsigned threads = 4;
   unsigned localities = 1;
@@ -69,7 +77,8 @@ struct Options {
     ar& problem& max_level& refine_radius& stop_step& cfl& theta& gravity&
         star_radius& star_rho_c& star_omega& binary_separation&
         binary_radius1& binary_radius2& binary_rho_c1& binary_rho_c2&
-        hydro_kernel& multipole_kernel& monopole_kernel& threads& localities;
+        hydro_kernel& multipole_kernel& monopole_kernel& simd_abi& threads&
+        localities;
   }
 };
 

@@ -1,4 +1,6 @@
-// Tests for the portable SIMD types (scalar and native ABIs).
+// Tests for the mkk::simd back-compat aliases over rveval::simd (the
+// portable lane-array ABIs; the intrinsic backends are covered by
+// tests/core/test_simd_conformance.cpp).
 
 #include <gtest/gtest.h>
 
@@ -20,7 +22,7 @@ TYPED_TEST_SUITE(SimdTypedTest, SimdWidths);
 
 TYPED_TEST(SimdTypedTest, BroadcastAndIndex) {
   TypeParam v(3);
-  for (int i = 0; i < TypeParam::size(); ++i) {
+  for (std::size_t i = 0; i < TypeParam::size(); ++i) {
     EXPECT_EQ(v[i], typename TypeParam::value_type(3));
   }
 }
@@ -47,15 +49,32 @@ TYPED_TEST(SimdTypedTest, CompoundAssign) {
 }
 
 TYPED_TEST(SimdTypedTest, LoadStoreRoundTrip) {
+  // std::vector storage has no vector-width alignment guarantee, so the
+  // unaligned pair is the correct API here (load/store assert alignment).
   using T = typename TypeParam::value_type;
   std::vector<T> src(TypeParam::size());
-  for (int i = 0; i < TypeParam::size(); ++i) {
-    src[static_cast<std::size_t>(i)] = static_cast<T>(i + 1);
+  for (std::size_t i = 0; i < TypeParam::size(); ++i) {
+    src[i] = static_cast<T>(i + 1);
   }
-  auto v = TypeParam::load(src.data());
+  auto v = TypeParam::load_unaligned(src.data());
   std::vector<T> dst(TypeParam::size());
-  v.store(dst.data());
+  v.store_unaligned(dst.data());
   EXPECT_EQ(src, dst);
+}
+
+TYPED_TEST(SimdTypedTest, AlignedLoadStoreRoundTrip) {
+  using T = typename TypeParam::value_type;
+  alignas(64) T src[TypeParam::size()];
+  for (std::size_t i = 0; i < TypeParam::size(); ++i) {
+    src[i] = static_cast<T>(i + 1);
+  }
+  ASSERT_TRUE(TypeParam::is_aligned(src));
+  auto v = TypeParam::load(src);
+  alignas(64) T dst[TypeParam::size()];
+  v.store(dst);
+  for (std::size_t i = 0; i < TypeParam::size(); ++i) {
+    EXPECT_EQ(src[i], dst[i]);
+  }
 }
 
 TYPED_TEST(SimdTypedTest, FmaMatchesScalar) {
@@ -64,7 +83,7 @@ TYPED_TEST(SimdTypedTest, FmaMatchesScalar) {
   TypeParam b(4);
   TypeParam c(5);
   auto r = fma(a, b, c);
-  for (int i = 0; i < TypeParam::size(); ++i) {
+  for (std::size_t i = 0; i < TypeParam::size(); ++i) {
     EXPECT_EQ(r[i], T(17));
   }
 }
@@ -82,22 +101,35 @@ TYPED_TEST(SimdTypedTest, MinMaxAbsSqrt) {
 TYPED_TEST(SimdTypedTest, Reductions) {
   using T = typename TypeParam::value_type;
   std::vector<T> src(TypeParam::size());
-  for (int i = 0; i < TypeParam::size(); ++i) {
-    src[static_cast<std::size_t>(i)] = static_cast<T>(i + 1);
+  for (std::size_t i = 0; i < TypeParam::size(); ++i) {
+    src[i] = static_cast<T>(i + 1);
   }
-  auto v = TypeParam::load(src.data());
-  const int n = TypeParam::size();
+  auto v = TypeParam::load_unaligned(src.data());
+  const auto n = static_cast<int>(TypeParam::size());
   EXPECT_EQ(v.reduce_sum(), static_cast<T>(n * (n + 1) / 2));
   EXPECT_EQ(v.reduce_max(), static_cast<T>(n));
+}
+
+TYPED_TEST(SimdTypedTest, SelectAndCompare) {
+  using T = typename TypeParam::value_type;
+  TypeParam a(2);
+  TypeParam b(5);
+  auto m = a < b;
+  EXPECT_TRUE(m.all());
+  EXPECT_FALSE((a > b).any());
+  auto r = select(m, a, b);
+  EXPECT_EQ(r[0], T(2));
+  auto r2 = select(!m, a, b);
+  EXPECT_EQ(r2[0], T(5));
 }
 
 TEST(SimdNative, WidthMatchesArchitecture) {
   // On the x86-64 build host the native width must be >= 2; the scalar ABI
   // is always width 1 (what a vectorless U74-MC would use).
   EXPECT_GE(mkk::native_double_width, 1);
-  EXPECT_EQ(mkk::scalar_simd_double::size(), 1);
-#if defined(__AVX__)
-  EXPECT_GE(mkk::native_simd_double::size(), 4);
+  EXPECT_EQ(mkk::scalar_simd_double::size(), 1u);
+#if RVEVAL_SIMD_HAS_AVX2
+  EXPECT_EQ(mkk::native_simd_double::size(), 4u);
 #endif
 }
 
@@ -115,9 +147,9 @@ TEST(SimdNative, VectorisedDotProductMatchesScalar) {
   }
   using V = mkk::native_simd_double;
   V acc(0.0);
-  const std::size_t w = static_cast<std::size_t>(V::size());
+  const std::size_t w = V::size();
   for (std::size_t i = 0; i < n; i += w) {
-    acc = fma(V::load(&a[i]), V::load(&b[i]), acc);
+    acc = fma(V::load_unaligned(&a[i]), V::load_unaligned(&b[i]), acc);
   }
   EXPECT_NEAR(acc.reduce_sum(), scalar, std::abs(scalar) * 1e-12);
 }

@@ -1,0 +1,193 @@
+// rveval::simd kernel gates (ctest labels: simd, simtest).
+//
+// The subsystem's contract is metamorphic: the simd ABI is purely a speed
+// knob. Level 1 checks the hydro and gravity line kernels cell for cell
+// across every runtime-selectable ABI; level 2 runs the full fig7-style
+// rotating-star simulation — gravity solves, two RK2 hydro stages per
+// step, CFL reductions — under --simd_abi=SCALAR and --simd_abi=NATIVE
+// and demands bit-identical state, not approximately-equal state.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/simd/abi.hpp"
+#include "core/simd/detect.hpp"
+#include "minihpx/runtime.hpp"
+#include "octotiger/driver.hpp"
+#include "octotiger/gravity/solver.hpp"
+#include "octotiger/hydro/kernels.hpp"
+
+namespace {
+
+using namespace octo;
+namespace rs = rveval::simd;
+
+const std::vector<rs::AbiKind> kAllAbis = {
+    rs::AbiKind::scalar, rs::AbiKind::sse2, rs::AbiKind::avx2,
+    rs::AbiKind::native};
+
+void fill_wavy(SubGrid& g) {
+  for (std::size_t i = 0; i < NXE; ++i) {
+    for (std::size_t j = 0; j < NXE; ++j) {
+      for (std::size_t k = 0; k < NXE; ++k) {
+        const double x = static_cast<double>(i) / NXE;
+        const double y = static_cast<double>(j) / NXE;
+        const double z = static_cast<double>(k) / NXE;
+        const double rho = 1.0 + 0.3 * std::sin(6 * x) * std::cos(5 * y);
+        const double vx = 0.2 * std::sin(4 * z);
+        g.ue(f_rho, i, j, k) = rho;
+        g.ue(f_sx, i, j, k) = rho * vx;
+        g.ue(f_sy, i, j, k) = 0.1 * rho;
+        g.ue(f_sz, i, j, k) = -0.05 * rho * std::cos(3 * y);
+        g.ue(f_egas, i, j, k) = 1.5 + 0.5 * rho * vx * vx;
+      }
+    }
+  }
+}
+
+TEST(SimdHydroKernel, RhsBitIdenticalAcrossAbis) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  SubGrid ref({0, 0, 0}, 0.1);
+  fill_wavy(ref);
+  hydro::compute_rhs(ref, mkk::KernelType::kokkos_serial,
+                     rs::AbiKind::scalar);
+  for (const rs::AbiKind abi : kAllAbis) {
+    SubGrid g({0, 0, 0}, 0.1);
+    fill_wavy(g);
+    hydro::compute_rhs(g, mkk::KernelType::kokkos_serial, abi);
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            ASSERT_EQ(ref.rhs(f, i, j, k), g.rhs(f, i, j, k))
+                << rs::to_string(abi) << " f=" << f << " (" << i << "," << j
+                << "," << k << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdHydroKernel, MaxSignalSpeedBitIdenticalAcrossAbis) {
+  SubGrid g({0, 0, 0}, 0.1);
+  fill_wavy(g);
+  const double ref = hydro::max_signal_speed(g, rs::AbiKind::scalar);
+  EXPECT_GT(ref, 0.0);
+  for (const rs::AbiKind abi : kAllAbis) {
+    EXPECT_EQ(ref, hydro::max_signal_speed(g, abi)) << rs::to_string(abi);
+  }
+}
+
+Options small_star() {
+  Options opt;
+  opt.max_level = 2;         // mixed-level tree: exercises coarse P2P
+  opt.refine_radius = 0.45;
+  opt.stop_step = 2;
+  opt.threads = 2;
+  return opt;
+}
+
+TEST(SimdGravityKernel, SolveBitIdenticalAcrossAbis) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Simulation ref_sim(small_star());
+  gravity::solve_all(ref_sim.tree(), 0.5, mkk::KernelType::kokkos_serial,
+                     mkk::KernelType::kokkos_serial, rs::AbiKind::scalar);
+  for (const rs::AbiKind abi : kAllAbis) {
+    Simulation sim(small_star());
+    gravity::solve_all(sim.tree(), 0.5, mkk::KernelType::kokkos_serial,
+                       mkk::KernelType::kokkos_serial, abi);
+    const auto& ref_leaves = ref_sim.tree().leaves();
+    const auto& leaves = sim.tree().leaves();
+    ASSERT_EQ(ref_leaves.size(), leaves.size());
+    for (std::size_t l = 0; l < leaves.size(); ++l) {
+      const SubGrid& a = ref_leaves[l]->grid;
+      const SubGrid& b = leaves[l]->grid;
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            ASSERT_EQ(a.phi(i, j, k), b.phi(i, j, k))
+                << rs::to_string(abi) << " leaf " << l;
+            ASSERT_EQ(a.g(0, i, j, k), b.g(0, i, j, k));
+            ASSERT_EQ(a.g(1, i, j, k), b.g(1, i, j, k));
+            ASSERT_EQ(a.g(2, i, j, k), b.g(2, i, j, k));
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The legacy flavour is pinned to the scalar ABI regardless of the
+/// requested one — the historical kernel must not change meaning.
+TEST(SimdGravityKernel, LegacyFlavourMatchesScalarKokkos) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Simulation a_sim(small_star());
+  Simulation b_sim(small_star());
+  gravity::solve_all(a_sim.tree(), 0.5, mkk::KernelType::legacy,
+                     mkk::KernelType::legacy, rs::AbiKind::native);
+  gravity::solve_all(b_sim.tree(), 0.5, mkk::KernelType::kokkos_serial,
+                     mkk::KernelType::kokkos_serial, rs::AbiKind::scalar);
+  const auto& al = a_sim.tree().leaves();
+  const auto& bl = b_sim.tree().leaves();
+  ASSERT_EQ(al.size(), bl.size());
+  for (std::size_t l = 0; l < al.size(); ++l) {
+    for (std::size_t i = 0; i < NX; ++i) {
+      EXPECT_EQ(al[l]->grid.phi(i, i, i), bl[l]->grid.phi(i, i, i));
+      EXPECT_EQ(al[l]->grid.g(0, i, i, i), bl[l]->grid.g(0, i, i, i));
+    }
+  }
+}
+
+// ------------------------------------------------- metamorphic star gate
+
+struct StarState {
+  std::vector<double> u;
+  double last_dt = 0.0;
+  unsigned steps = 0;
+};
+
+StarState run_star(rs::AbiKind abi) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  Options opt = small_star();
+  opt.simd_abi = abi;
+  Simulation sim(opt);
+  sim.run();
+  StarState s;
+  s.last_dt = sim.stats().last_dt;
+  s.steps = sim.stats().steps;
+  sim.tree().for_each_leaf([&](TreeNode& leaf) {
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            s.u.push_back(leaf.grid.u(f, i, j, k));
+          }
+        }
+      }
+    }
+  });
+  return s;
+}
+
+TEST(SimdMetamorphic, RotatingStarRunIsWidthIndependent) {
+  const StarState scalar = run_star(rs::AbiKind::scalar);
+  ASSERT_EQ(scalar.steps, 2u);
+  ASSERT_FALSE(scalar.u.empty());
+  for (const rs::AbiKind abi :
+       {rs::AbiKind::sse2, rs::AbiKind::native}) {
+    const StarState wide = run_star(abi);
+    ASSERT_EQ(scalar.steps, wide.steps);
+    // Bitwise, not approximate: the lane width must be unobservable.
+    EXPECT_EQ(scalar.last_dt, wide.last_dt) << rs::to_string(abi);
+    ASSERT_EQ(scalar.u.size(), wide.u.size());
+    for (std::size_t n = 0; n < scalar.u.size(); ++n) {
+      ASSERT_EQ(scalar.u[n], wide.u[n])
+          << rs::to_string(abi) << " cell-field " << n;
+    }
+  }
+}
+
+}  // namespace
