@@ -19,6 +19,7 @@
 #include "bench/common.hpp"
 #include "core/simd/pricing.hpp"
 #include "octotiger/driver.hpp"
+#include "octotiger/scenario/scenario.hpp"
 
 namespace {
 
@@ -112,7 +113,8 @@ int main(int argc, char** argv) {
       "fig7_node_scaling",
       "Octo-Tiger node-level scaling (rotating star, 5 steps) on the "
       "VisionFive2 model");
-  report.metric("max_level", static_cast<double>(base.max_level))
+  report.metric("scenario", octo::scenario::for_options(base).name)
+      .metric("max_level", static_cast<double>(base.max_level))
       .metric("stop_step", static_cast<double>(base.stop_step))
       .metric("cpu_model", cpu.name)
       .metric("scaling_1_to_4_kokkos_serial", all_rates[1][3] / all_rates[1][0])

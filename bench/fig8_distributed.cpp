@@ -23,6 +23,7 @@
 #include "minihpx/apex/remote.hpp"
 #include "octotiger/distributed/dist_driver.hpp"
 #include "octotiger/driver.hpp"
+#include "octotiger/scenario/scenario.hpp"
 
 namespace {
 
@@ -241,7 +242,8 @@ int main(int argc, char** argv) {
       "fig8_distributed",
       "distributed scaling: 1 vs 2 boards (TCP/MPI) and 1 vs 2 Fugaku "
       "nodes at 4 cores");
-  report.metric("max_level", static_cast<double>(base.max_level))
+  report.metric("scenario", octo::scenario::for_options(base).name)
+      .metric("max_level", static_cast<double>(base.max_level))
       .metric("stop_step", static_cast<double>(base.stop_step))
       .metric("tcp_speedup", rv2_tcp / rv1)
       .metric("mpi_speedup", rv2_mpi / rv1)

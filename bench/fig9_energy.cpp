@@ -18,6 +18,7 @@
 #include "minikokkos/minikokkos.hpp"
 #include "octotiger/distributed/dist_driver.hpp"
 #include "octotiger/driver.hpp"
+#include "octotiger/scenario/scenario.hpp"
 
 namespace {
 
@@ -198,7 +199,8 @@ int main(int argc, char** argv) {
 
   rveval::report::BenchReport report(
       "fig9_energy", "energy consumption, RISC-V vs A64FX");
-  report.metric("max_level", static_cast<double>(base.max_level))
+  report.metric("scenario", octo::scenario::for_options(base).name)
+      .metric("max_level", static_cast<double>(base.max_level))
       .metric("stop_step", static_cast<double>(base.stop_step))
       .metric("riscv_watts_model", rv_watts)
       .metric("a64fx_watts_model", fx_watts)

@@ -12,7 +12,9 @@ namespace {
 namespace ser = mhpx::serialization;
 
 constexpr std::uint64_t checkpoint_magic = 0x4f43544f43504bull;  // "OCTOCPK"
-constexpr std::uint32_t checkpoint_version = 1;
+// v2: Options grew the scenario name (PR 8); the wire layout of the
+// options block changed, so v1 files are rejected rather than misread.
+constexpr std::uint32_t checkpoint_version = 2;
 
 struct StatsRecord {
   std::uint32_t steps = 0;

@@ -1,5 +1,9 @@
 #include "octotiger/diagnostics.hpp"
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
 #include "octotiger/hydro/eos.hpp"
 
 namespace octo {
@@ -38,6 +42,109 @@ Diagnostics compute_diagnostics(const Octree& tree) {
         }
       }
     }
+  }
+  return d;
+}
+
+Diagnostics compute_diagnostics_rot180(const Octree& tree) {
+  struct CellContrib {
+    double key_z, key_x, key_y;  // rotation-invariant canonical coordinate
+    double x, y;                 // actual coordinate (deterministic order)
+    double mass, px, py, pz, lz, kin, internal, pot, rho;
+  };
+  std::vector<CellContrib> cells;
+  cells.reserve(tree.leaf_count() * CELLS_PER_GRID);
+
+  for (const TreeNode* leaf : tree.leaves()) {
+    const SubGrid& g = leaf->grid;
+    const double vol = g.cell_volume();
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          const double rho = g.u(f_rho, i, j, k);
+          const double sx = g.u(f_sx, i, j, k);
+          const double sy = g.u(f_sy, i, j, k);
+          const double sz = g.u(f_sz, i, j, k);
+          const double egas = g.u(f_egas, i, j, k);
+          const Vec3 p = g.cell_center(i, j, k);
+
+          CellContrib c;
+          // Canonical representative of the orbit {(x,y), (-x,-y)}: the
+          // lexicographically larger pair. Cell centres are never on the
+          // axis (half-integer multiples of dx), so the orbit has two
+          // distinct members.
+          if (std::make_pair(p.x, p.y) > std::make_pair(-p.x, -p.y)) {
+            c.key_x = p.x;
+            c.key_y = p.y;
+          } else {
+            c.key_x = -p.x;
+            c.key_y = -p.y;
+          }
+          c.key_z = p.z;
+          c.x = p.x;
+          c.y = p.y;
+          c.mass = rho * vol;
+          c.px = sx * vol;
+          c.py = sy * vol;
+          c.pz = sz * vol;
+          c.lz = (p.x * sy - p.y * sx) * vol;
+          const double kin =
+              0.5 * (sx * sx + sy * sy + sz * sz) / std::max(rho, rho_floor);
+          c.kin = kin * vol;
+          c.internal = std::max(egas - kin, 0.0) * vol;
+          c.pot = 0.5 * rho * g.phi(i, j, k) * vol;
+          c.rho = rho;
+          cells.push_back(c);
+        }
+      }
+    }
+  }
+
+  std::sort(cells.begin(), cells.end(),
+            [](const CellContrib& a, const CellContrib& b) {
+              return std::tie(a.key_z, a.key_x, a.key_y, a.x, a.y) <
+                     std::tie(b.key_z, b.key_x, b.key_y, b.x, b.y);
+            });
+
+  Diagnostics d;
+  std::size_t i = 0;
+  while (i < cells.size()) {
+    // Group = all cells sharing a canonical key: the cell and its rotated
+    // partner when the mesh holds both, a singleton where the rotated
+    // region is at a different refinement level. Pair-summing inside the
+    // group relies only on commutativity, so the group sum is exactly
+    // covariant whichever member the rotated run visits first.
+    std::size_t j = i + 1;
+    while (j < cells.size() && cells[j].key_z == cells[i].key_z &&
+           cells[j].key_x == cells[i].key_x &&
+           cells[j].key_y == cells[i].key_y) {
+      ++j;
+    }
+    CellContrib group = cells[i];
+    for (std::size_t m = i + 1; m < j; ++m) {
+      group.mass += cells[m].mass;
+      group.px += cells[m].px;
+      group.py += cells[m].py;
+      group.pz += cells[m].pz;
+      group.lz += cells[m].lz;
+      group.kin += cells[m].kin;
+      group.internal += cells[m].internal;
+      group.pot += cells[m].pot;
+      group.rho = std::max(group.rho, cells[m].rho);
+    }
+    d.mass += group.mass;
+    d.momentum.x += group.px;
+    d.momentum.y += group.py;
+    d.momentum.z += group.pz;
+    d.angular_momentum_z += group.lz;
+    d.kinetic_energy += group.kin;
+    d.internal_energy += group.internal;
+    d.potential_energy += group.pot;
+    if (group.rho > d.rho_max) {
+      d.rho_max = group.rho;
+      d.rho_max_location = Vec3{group.key_x, group.key_y, group.key_z};
+    }
+    i = j;
   }
   return d;
 }

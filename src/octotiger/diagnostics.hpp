@@ -36,4 +36,19 @@ struct Diagnostics {
 /// Compute all diagnostics in one sweep over the leaves.
 Diagnostics compute_diagnostics(const Octree& tree);
 
+/// Diagnostics with a summation order that is *exactly covariant* under a
+/// 180° rotation of the domain about the z axis ((x,y,z) -> (-x,-y,z)).
+///
+/// Per-cell contributions are keyed by the rotation-invariant canonical
+/// coordinate (z, lexmax((x,y), (-x,-y))) — exact, because every cell
+/// centre is a dyadic rational computed without rounding — then cells
+/// sharing a key (a cell and its rotated partner, when both exist) are
+/// pair-summed first and the pair sums accumulated in sorted key order.
+/// IEEE addition is commutative (not associative), so two runs whose
+/// states are images of each other under the rotation produce *bitwise*
+/// equal mass/energies/L_z and bitwise negated momenta — the metamorphic
+/// oracle for the binary-merger scenario. rho_max_location is reported in
+/// canonical coordinates.
+Diagnostics compute_diagnostics_rot180(const Octree& tree);
+
 }  // namespace octo

@@ -15,7 +15,7 @@
 #include "octotiger/checkpoint.hpp"
 #include "octotiger/gravity/solver.hpp"
 #include "octotiger/hydro/kernels.hpp"
-#include "octotiger/init/rotating_star.hpp"
+#include "octotiger/scenario/scenario.hpp"
 
 namespace octo::dist {
 
@@ -29,8 +29,11 @@ DistOcto::DistOcto(md::Locality& here, Options opt,
       opt_(std::move(opt)),
       rank_(here.id()),
       num_partitions_(num_partitions),
-      tree_(opt_.max_level, opt_.refine_radius) {
-  init::rotating_star(tree_, opt_);
+      // Mesh + initial condition from the scenario registry, exactly as in
+      // the shared-memory driver — before the registry this replica
+      // hard-coded the rotating star whatever Options::problem said.
+      tree_(opt_.max_level, scenario::refinement(opt_)) {
+  scenario::initialize(tree_, opt_);
   const std::size_t n = tree_.leaf_count();
   owned_begin_ = static_cast<std::size_t>(rank_) * n / num_partitions_;
   owned_end_ = static_cast<std::size_t>(rank_ + 1) * n / num_partitions_;
@@ -479,11 +482,7 @@ DistSimulation::DistSimulation(
     // is bitwise identical to every locality's fresh tree, so writing the
     // step-0 restart file needs no gather — recovery is possible even if a
     // board dies during the very first checkpoint gather.
-    shadow_ = std::make_unique<Simulation>(opt_);
-    all_ids_.resize(shadow_->tree().leaf_count());
-    for (std::size_t i = 0; i < all_ids_.size(); ++i) {
-      all_ids_[i] = i;
-    }
+    ensure_shadow();
     if (res_.checkpoint_path.empty()) {
       ckpt_path_ = "octo_resilient_" + std::to_string(::getpid()) + "_" +
                    std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
@@ -843,6 +842,56 @@ double DistSimulation::resilient_step() {
   stats_.last_dt = dt;
   stats_.cells_processed += total_cells_;
   return dt;
+}
+
+void DistSimulation::ensure_shadow() {
+  if (shadow_) {
+    return;
+  }
+  shadow_ = std::make_unique<Simulation>(opt_);
+  all_ids_.resize(shadow_->tree().leaf_count());
+  for (std::size_t i = 0; i < all_ids_.size(); ++i) {
+    all_ids_[i] = i;
+  }
+}
+
+void DistSimulation::write_checkpoint(const std::string& path) {
+  // Same gather as the resilient take_checkpoint, but through plain calls:
+  // this is the user-facing restart API and works without resilient mode.
+  ensure_shadow();
+  const auto n = runtime_.num_localities();
+  const std::size_t leaves = shadow_->tree().leaf_count();
+  for (md::locality_id p = 0; p < n; ++p) {
+    const auto [b, e] = partition_range(p, n, leaves);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(e - b);
+    for (std::size_t i = b; i < e; ++i) {
+      ids.push_back(i);
+    }
+    const auto data =
+        runtime_.locality(0).call<PackFieldsAction>(components_[p], ids).get();
+    unpack_sim_fields(*shadow_, ids, data);
+  }
+  shadow_->restore_stats(stats_);
+  save_checkpoint(*shadow_, path);
+}
+
+void DistSimulation::restore_from(const std::string& path) {
+  ensure_shadow();
+  Simulation restored = load_checkpoint(path);
+  if (restored.tree().leaf_count() != all_ids_.size()) {
+    throw std::runtime_error(
+        "octo::dist: restart file " + path +
+        " was written for a different mesh than these options build");
+  }
+  const auto packed = pack_sim_fields(restored, all_ids_);
+  const auto n = runtime_.num_localities();
+  for (md::locality_id l = 0; l < n; ++l) {
+    runtime_.locality(0)
+        .call<ApplyFieldsAction>(components_[l], all_ids_, packed)
+        .get();
+  }
+  stats_ = restored.stats();
 }
 
 void DistSimulation::take_checkpoint() {

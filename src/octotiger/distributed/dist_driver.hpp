@@ -198,8 +198,19 @@ class DistSimulation {
     phase_marker_ = std::move(marker);
   }
 
+  /// Gather every partition's owned fields into a staging replica and
+  /// write a restart file — the user-facing analogue of the automatic
+  /// resilient checkpoints, available in plain (non-resilient) mode too.
+  void write_checkpoint(const std::string& path);
+  /// Restore every replica's fields and the run statistics from a restart
+  /// file written for the same options; continuing the run is bit-identical
+  /// to one that was never interrupted. Throws on a mesh mismatch.
+  void restore_from(const std::string& path);
+
  private:
   void mark(const std::string& phase);
+  /// Lazily build the checkpoint staging replica + full leaf-id list.
+  void ensure_shadow();
   void exchange_fields();
   double plain_step();
 

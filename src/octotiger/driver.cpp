@@ -8,55 +8,15 @@
 #include "minihpx/runtime.hpp"
 #include "octotiger/gravity/solver.hpp"
 #include "octotiger/hydro/kernels.hpp"
-#include "octotiger/init/binary_star.hpp"
-#include "octotiger/init/rotating_star.hpp"
+#include "octotiger/scenario/scenario.hpp"
 
 namespace octo {
 
-namespace {
-
-/// Refinement criterion for the configured problem: the rotating star
-/// refines a sphere about the origin; the binary refines around both star
-/// centres and the mass-transfer region between them (paper §3.3:
-/// "maximize the resolution in the area between the stars").
-Octree::refine_predicate refinement_for(const Options& opt) {
-  if (opt.problem == Options::Problem::binary_star) {
-    init::BinaryParams p;
-    p.separation = opt.binary_separation;
-    p.radius1 = opt.binary_radius1;
-    p.radius2 = opt.binary_radius2;
-    p.rho_c1 = opt.binary_rho_c1;
-    p.rho_c2 = opt.binary_rho_c2;
-    const Vec3 c1 = init::binary_center1(p);
-    const Vec3 c2 = init::binary_center2(p);
-    const double reach =
-        1.4 * std::max(opt.binary_radius1, opt.binary_radius2);
-    return [c1, c2, reach](const TreeNode& node) {
-      return node.distance_to(c1) < reach || node.distance_to(c2) < reach ||
-             node.distance_to(Vec3{0, 0, 0}) < reach;
-    };
-  }
-  const double r = opt.refine_radius;
-  return [r](const TreeNode& node) {
-    return node.distance_to(Vec3{0, 0, 0}) < r;
-  };
-}
-
-}  // namespace
-
+// Mesh policy and initial condition come from the scenario registry —
+// the single source both this driver and the distributed one build from.
 Simulation::Simulation(Options opt)
-    : opt_(std::move(opt)), tree_(opt_.max_level, refinement_for(opt_)) {
-  if (opt_.problem == Options::Problem::binary_star) {
-    init::BinaryParams p;
-    p.separation = opt_.binary_separation;
-    p.radius1 = opt_.binary_radius1;
-    p.radius2 = opt_.binary_radius2;
-    p.rho_c1 = opt_.binary_rho_c1;
-    p.rho_c2 = opt_.binary_rho_c2;
-    init::binary_star(tree_, p);
-  } else {
-    init::rotating_star(tree_, opt_);
-  }
+    : opt_(std::move(opt)), tree_(opt_.max_level, scenario::refinement(opt_)) {
+  scenario::initialize(tree_, opt_);
 }
 
 void Simulation::mark(const std::string& phase) {

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "octotiger/scenario/scenario.hpp"
+
 namespace octo {
 
 namespace {
@@ -141,16 +143,11 @@ void Options::parse_cli(const std::vector<std::string>& args) {
     const std::string value = arg.substr(eq + 1);
     if (key == "config_file") {
       load_ini(value);
-    } else if (key == "problem") {
-      const std::string v = upper(value);
-      if (v == "ROTATING_STAR") {
-        problem = Problem::rotating_star;
-      } else if (v == "BINARY_STAR" || v == "BINARY") {
-        problem = Problem::binary_star;
-      } else {
-        throw std::runtime_error("octo::Options: unknown problem '" + value +
-                                 "'");
-      }
+    } else if (key == "problem" || key == "scenario") {
+      // Both route through the scenario registry, which rejects unknown
+      // names with the full registered list (and resolves aliases like
+      // BINARY_STAR -> binary_merger case-insensitively).
+      scenario::apply(*this, value);
     } else if (key == "max_level") {
       max_level = static_cast<unsigned>(std::stoul(value));
     } else if (key == "stop_step") {
@@ -187,6 +184,9 @@ void Options::parse_cli(const std::vector<std::string>& args) {
 
 std::string Options::summary() const {
   std::ostringstream os;
+  if (!scenario.empty()) {
+    os << "scenario=" << scenario << " ";
+  }
   os << (problem == Problem::binary_star ? "problem=binary_star "
                                          : "problem=rotating_star ")
      << "max_level=" << max_level << " stop_step=" << stop_step

@@ -19,6 +19,12 @@ struct Options {
   enum class Problem { rotating_star, binary_star };
   Problem problem = Problem::rotating_star;
 
+  /// Registered scenario driving this run (scenario/scenario.hpp): set by
+  /// --scenario=/--problem= via scenario::apply, which also stamps the
+  /// scenario's problem family and parameter defaults. Empty = inferred
+  /// from `problem` (plain rotating_star / binary_merger).
+  std::string scenario;
+
   // --- mesh ---
   unsigned max_level = 3;      ///< --max_level (paper runs use 4)
   double refine_radius = 0.45; ///< refine nodes within this radius of origin
@@ -78,7 +84,7 @@ struct Options {
         star_radius& star_rho_c& star_omega& binary_separation&
         binary_radius1& binary_radius2& binary_rho_c1& binary_rho_c2&
         hydro_kernel& multipole_kernel& monopole_kernel& simd_abi& threads&
-        localities;
+        localities& scenario;
   }
 };
 

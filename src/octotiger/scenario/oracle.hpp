@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file oracle.hpp
+/// Invariant oracles for registered scenarios. OracleRunner turns a
+/// scenario's declarative OracleSpec into per-step machine checks over a
+/// running Simulation — conservation drift against the initial state,
+/// z-mirror symmetry probes, and the post-regrid depth profile — and
+/// collects every verdict into an OracleReport that tests and drivers can
+/// assert on (or print) without re-deriving any physics.
+
+#include <string>
+#include <vector>
+
+#include "octotiger/diagnostics.hpp"
+#include "octotiger/driver.hpp"
+#include "octotiger/scenario/scenario.hpp"
+
+namespace octo::scenario {
+
+/// One evaluated oracle: which check, at which step, verdict + numbers.
+struct OracleCheck {
+  std::string name;
+  unsigned step = 0;
+  bool passed = true;
+  std::string detail;
+};
+
+/// Every check evaluated over one scenario run.
+struct OracleReport {
+  std::vector<OracleCheck> checks;
+
+  [[nodiscard]] bool passed() const;
+  [[nodiscard]] unsigned failures() const;
+  /// Human-readable verdict: pass/fail counts plus every failed check's
+  /// name, step and detail line.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Evaluates a scenario's OracleSpec against a live Simulation.
+///
+///   OracleRunner oracle(spec, opt);
+///   oracle.on_init(sim);
+///   loop: sim.step(); oracle.after_step(sim);
+///         on regrid: oracle.after_regrid(sim, rho_threshold);
+///
+/// External oracles (restart-cycle identity, checkpoint replay, fabric
+/// identity) report through record().
+class OracleRunner {
+ public:
+  OracleRunner(OracleSpec spec, Options opt);
+
+  /// Capture conservation baselines from the initial state and check the
+  /// initial symmetry plane.
+  void on_init(const Simulation& sim);
+
+  /// Conservation drift + symmetry checks for the state after a step.
+  void after_step(const Simulation& sim);
+
+  /// Depth-profile checks for the mesh produced by a regrid (also widens
+  /// the mass allowance by regrid_mass_tol).
+  void after_regrid(const Simulation& sim, double rho_threshold);
+
+  /// Report an externally evaluated oracle (restart identity etc.).
+  void record(const std::string& name, bool passed, const std::string& detail);
+
+  [[nodiscard]] const OracleReport& report() const { return report_; }
+  [[nodiscard]] unsigned regrids() const { return regrids_; }
+
+ private:
+  void check_symmetry(const Simulation& sim);
+
+  OracleSpec spec_;
+  Options opt_;
+  OracleReport report_;
+  unsigned step_ = 0;
+  unsigned regrids_ = 0;
+  double mass0_ = 0.0;
+  Vec3 momentum0_{};
+  double energy0_ = 0.0;
+  double energy_scale_ = 1.0;
+  bool have_energy_baseline_ = false;
+  unsigned energy_baseline_step_ = 0;
+};
+
+}  // namespace octo::scenario

@@ -1,0 +1,147 @@
+#include "octotiger/scenario/runner.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "octotiger/checkpoint.hpp"
+
+namespace octo::scenario {
+
+namespace {
+
+std::string temp_ckpt_path(const void* tag, const char* kind) {
+  return "octo_scenario_" + std::string(kind) + "_" +
+         std::to_string(::getpid()) + "_" +
+         std::to_string(reinterpret_cast<std::uintptr_t>(tag)) + ".ckpt";
+}
+
+/// Count cells whose conserved state differs bitwise between two
+/// simulations on identical meshes; SIZE_MAX when the meshes differ.
+std::size_t count_mismatched_cells(const Simulation& a, const Simulation& b) {
+  if (a.tree().leaf_count() != b.tree().leaf_count()) {
+    return static_cast<std::size_t>(-1);
+  }
+  std::size_t bad = 0;
+  const auto& la = a.tree().leaves();
+  const auto& lb = b.tree().leaves();
+  for (std::size_t l = 0; l < la.size(); ++l) {
+    const SubGrid& ga = la[l]->grid;
+    const SubGrid& gb = lb[l]->grid;
+    for (std::size_t i = 0; i < NX; ++i) {
+      for (std::size_t j = 0; j < NX; ++j) {
+        for (std::size_t k = 0; k < NX; ++k) {
+          for (std::size_t f = 0; f < NF; ++f) {
+            if (ga.u(f, i, j, k) != gb.u(f, i, j, k)) {
+              ++bad;
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
+ScenarioRunResult run_scenario(const Options& opt) {
+  const Scenario& sc = for_options(opt);
+  const DriverPlan& plan = sc.plan;
+  ScenarioRunResult result;
+
+  std::optional<Simulation> sim(std::in_place, opt);
+  OracleRunner oracle(sc.oracles, opt);
+  oracle.on_init(*sim);
+
+  const auto regrid_due = [&](unsigned s) {
+    return plan.regrid_every != 0 && s % plan.regrid_every == 0 &&
+           s < opt.stop_step;
+  };
+
+  // The replay restart file must be written while the mesh still matches
+  // the tree load_checkpoint rebuilds from the options — i.e. before the
+  // first regrid takes effect (the save at step s happens before the
+  // regrid scheduled at that same step).
+  unsigned replay_step = 0;
+  if (sc.oracles.checkpoint_restart_identity && opt.stop_step > 0) {
+    replay_step = plan.regrid_every != 0
+                      ? plan.regrid_every
+                      : std::max(1u, opt.stop_step / 2);
+    replay_step = std::min(replay_step, opt.stop_step);
+  }
+  const std::string replay_path = temp_ckpt_path(&result, "replay");
+  const std::string soak_path = temp_ckpt_path(&result, "soak");
+  bool replay_saved = false;
+
+  for (unsigned s = 1; s <= opt.stop_step; ++s) {
+    sim->step();
+    oracle.after_step(*sim);
+
+    if (s == replay_step) {
+      save_checkpoint(*sim, replay_path);
+      replay_saved = true;
+    }
+    if (regrid_due(s)) {
+      sim->regrid(plan.regrid_rho_threshold);
+      ++result.regrids;
+      oracle.after_regrid(*sim, plan.regrid_rho_threshold);
+    }
+    if (plan.restart_every != 0 && s % plan.restart_every == 0 &&
+        s < opt.stop_step && result.regrids == 0) {
+      // Soak cycle: write a restart file, tear the Simulation down
+      // completely, rebuild it from the file — the recovery motion of the
+      // PR 1 resilience path, exercised on cadence. Loading must hand back
+      // exactly the state that was saved.
+      const Cons before = sim->totals();
+      save_checkpoint(*sim, soak_path);
+      sim.reset();
+      sim.emplace(load_checkpoint(soak_path));
+      const Cons after = sim->totals();
+      const bool identical = before.rho == after.rho &&
+                             before.sx == after.sx && before.sy == after.sy &&
+                             before.sz == after.sz &&
+                             before.egas == after.egas &&
+                             sim->stats().steps == s;
+      oracle.record("restart_cycle_identity", identical,
+                    identical ? "state restored bit-identically"
+                              : "restored totals differ from saved state");
+      ++result.restart_cycles;
+    }
+  }
+
+  if (replay_saved) {
+    // Replay the tail of the run from the mid-run restart file: same
+    // steps, same regrid cadence (soak cycles are identity, so skipping
+    // them is exact). Every cell must come out bitwise equal.
+    Simulation replay = load_checkpoint(replay_path);
+    for (unsigned s = replay_step; s <= opt.stop_step; ++s) {
+      if (s > replay_step) {
+        replay.step();
+      }
+      if (regrid_due(s)) {
+        replay.regrid(plan.regrid_rho_threshold);
+      }
+    }
+    const std::size_t bad = count_mismatched_cells(*sim, replay);
+    oracle.record(
+        "checkpoint_restart_identity", bad == 0,
+        bad == static_cast<std::size_t>(-1)
+            ? "replayed mesh shape differs"
+            : std::to_string(bad) + " cells differ after replay from step " +
+                  std::to_string(replay_step));
+  }
+  std::remove(replay_path.c_str());
+  std::remove(soak_path.c_str());
+
+  result.stats = sim->stats();
+  result.final_diag = compute_diagnostics(sim->tree());
+  result.report = oracle.report();
+  return result;
+}
+
+}  // namespace octo::scenario

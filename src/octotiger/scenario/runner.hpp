@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file runner.hpp
+/// Drives one registered scenario end to end under its DriverPlan —
+/// stepping, regridding on cadence, running checkpoint->kill->restore soak
+/// cycles — with the OracleRunner evaluating the scenario's invariant
+/// battery at every boundary. This is the engine behind the parameterized
+/// conformance suite (tests/octotiger/test_scenarios.cpp): a scenario that
+/// registers itself is automatically run and judged here.
+
+#include "octotiger/diagnostics.hpp"
+#include "octotiger/driver.hpp"
+#include "octotiger/scenario/oracle.hpp"
+#include "octotiger/scenario/scenario.hpp"
+
+namespace octo::scenario {
+
+/// Outcome of a judged scenario run.
+struct ScenarioRunResult {
+  RunStats stats;            ///< driver accounting at the end of the run
+  Diagnostics final_diag;    ///< diagnostics of the final state
+  OracleReport report;       ///< every oracle verdict
+  unsigned regrids = 0;      ///< regrids performed by the plan
+  unsigned restart_cycles = 0;  ///< checkpoint->kill->restore cycles
+};
+
+/// Run opt's scenario (scenario::for_options) for opt.stop_step steps:
+///
+///   - regrid every plan.regrid_every steps (depth-profile oracles after
+///     each one),
+///   - every plan.restart_every steps, checkpoint to disk, destroy the
+///     Simulation and restore it from the file (bit-identity oracle per
+///     cycle),
+///   - when spec.checkpoint_restart_identity is set, save a restart file
+///     mid-run while the mesh still matches the options-built tree, replay
+///     the remaining steps (and regrids) from it at the end, and require
+///     the final state to be bit-identical cell for cell.
+///
+/// Uses the ambient minihpx runtime when one exists; runs inline
+/// otherwise. Restart files are temporary and removed before returning.
+ScenarioRunResult run_scenario(const Options& opt);
+
+}  // namespace octo::scenario

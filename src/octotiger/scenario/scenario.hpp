@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file scenario.hpp
+/// The scenario registry — named, self-describing workloads (ROADMAP item
+/// 5, after "Simulating Stellar Merger using HPX/Kokkos on A64FX on
+/// Supercomputer Fugaku"). Each entry bundles everything a workload needs
+/// to run *and be judged*:
+///
+///   - configure(Options&)  — initial-condition family + parameter defaults
+///   - refinement/initialize — mesh policy + state fill, shared by the
+///     shared-memory and the distributed driver (before this registry the
+///     distributed driver hard-coded the rotating star whatever
+///     Options::problem said)
+///   - OracleSpec           — declarative invariants (conservation
+///     tolerances, symmetry planes, regrid depth profile, restart/fabric
+///     bit-identity) evaluated by scenario::OracleRunner after every step
+///   - DriverPlan           — run shape (regrid cadence, checkpoint→kill→
+///     restore soak cycles)
+///
+/// Registered scenarios: rotating_star, binary_merger, deep_amr,
+/// restart_soak. Adding one entry here automatically enrolls it in the
+/// parameterized conformance suite (tests/octotiger/test_scenarios.cpp)
+/// and makes it reachable from every driver and fig bench via --scenario=.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "octotiger/octree.hpp"
+#include "octotiger/options.hpp"
+
+namespace octo::scenario {
+
+/// Declarative invariants checked by OracleRunner. Tolerances are relative
+/// unless noted; a negative tolerance disables that check.
+struct OracleSpec {
+  /// |mass - mass0| / mass0 per step. Regrids resample piecewise-constant
+  /// and are conservative only to sampling accuracy, so each regrid widens
+  /// the allowance by regrid_mass_tol.
+  double mass_tol = 1e-6;
+  double regrid_mass_tol = 2e-2;
+  /// Total-energy (kinetic + internal + potential) drift relative to the
+  /// post-first-step baseline (the potential is only defined after the
+  /// first gravity solve). Budgeted *per step since the baseline*: the
+  /// hydro <-> gravity coupling leaks a resolution-dependent few percent
+  /// of |E| each step on the coarse conformance meshes.
+  double energy_tol = 0.12;
+  /// Net-momentum drift per component, scaled by total mass.
+  double momentum_tol = 1e-3;
+  /// z-mirror symmetry of the density field: every registered initial
+  /// condition is symmetric under z -> -z, and the solvers must keep it to
+  /// rounding. Relative tolerance on paired probes (< 0 disables).
+  double symmetry_tol = 1e-9;
+  /// After each regrid, the density peak must still sit in a max_level
+  /// leaf (the PR 3 off-centre regrid bug coarsened lobes away).
+  bool regrid_keeps_peak_refined = true;
+  /// After each regrid, the far field must have coarsened below max_level
+  /// (geometrically meaningful from max_level >= 3; checked only there).
+  bool regrid_expect_coarsening = false;
+  /// Save a restart file mid-run (before any mesh change), replay the
+  /// remaining steps from it, and require a bit-identical final state.
+  bool checkpoint_restart_identity = true;
+  /// The conformance suite also runs the scenario across the inproc, tcp
+  /// and mpisim fabrics under deterministic scheduling and requires
+  /// bit-identical totals.
+  bool cross_fabric_identity = true;
+};
+
+/// Run shape executed by scenario::run_scenario.
+struct DriverPlan {
+  /// Regrid after every N-th step (0 = never).
+  unsigned regrid_every = 0;
+  double regrid_rho_threshold = 1e-4;
+  /// checkpoint -> destroy the Simulation -> restore cycle after every
+  /// N-th step (0 = never): the restart-soak path. Each cycle asserts the
+  /// reloaded state is bit-identical to what was saved.
+  unsigned restart_every = 0;
+};
+
+/// A registered workload.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<std::string> aliases;  ///< accepted by --scenario/--problem
+  /// Stamp the scenario's problem family and parameter defaults onto the
+  /// options (later CLI flags still override).
+  std::function<void(Options&)> configure;
+  OracleSpec oracles;
+  DriverPlan plan;
+};
+
+/// All registered scenarios, in registration order.
+const std::vector<Scenario>& all();
+
+/// Registered names (for error messages and test instantiation).
+std::vector<std::string> names();
+
+/// Look up by name or alias (case-insensitive); nullptr when unknown.
+const Scenario* find(const std::string& name);
+
+/// Look up by name or alias; throws std::runtime_error listing every
+/// registered name on unknown input.
+const Scenario& get(const std::string& name);
+
+/// The scenario an Options object runs: opt.scenario when set, else the
+/// entry matching opt.problem (rotating_star / binary_merger).
+const Scenario& for_options(const Options& opt);
+
+/// get(name) + configure: stamp scenario \p name onto \p opt and record it
+/// in opt.scenario. Throws with the registered-name list on bad input —
+/// the routing behind --scenario= and --problem=.
+void apply(Options& opt, const std::string& name);
+
+/// Mesh refinement policy for the configured problem — the one predicate
+/// both octo::Simulation and octo::dist::DistOcto build their trees from.
+/// rotating_star/deep_amr refine a sphere around the origin; the binary
+/// refines around both star centres and the mass-transfer region between
+/// them (paper §3.3).
+Octree::refine_predicate refinement(const Options& opt);
+
+/// Fill \p tree with the configured problem's initial condition.
+void initialize(Octree& tree, const Options& opt);
+
+}  // namespace octo::scenario

@@ -1,0 +1,239 @@
+// Checkpoint/restore of in-flight merger state (ctest labels: scenario,
+// resilience).
+//
+// A binary_merger run interrupted mid-orbit at a non-regrid step and
+// restarted from its restart file must continue *bit-for-bit identically*
+// to a run that was never interrupted — per-cell over shared memory, and
+// at the conserved-totals level across all three distributed fabrics
+// (inproc/tcp/mpisim) through the new DistSimulation::write_checkpoint /
+// restore_from surface. A resilient merger run that loses parcels on top
+// of this must also land on the same bits.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "core/testing/seed_env.hpp"
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/resilience/fabric_faulty.hpp"
+#include "minihpx/runtime.hpp"
+#include "minihpx/testing/det.hpp"
+#include "octotiger/checkpoint.hpp"
+#include "octotiger/distributed/dist_driver.hpp"
+#include "octotiger/driver.hpp"
+#include "octotiger/scenario/scenario.hpp"
+
+namespace {
+
+using namespace octo;
+namespace md = mhpx::dist;
+namespace mres = mhpx::resilience;
+
+Options merger(unsigned localities) {
+  Options opt;
+  scenario::apply(opt, "binary_merger");
+  opt.max_level = 1;
+  opt.stop_step = 4;
+  opt.threads = 2;
+  opt.localities = localities;
+  return opt;
+}
+
+std::string ckpt_path(const std::string& tag) {
+  std::ostringstream os;
+  os << "octo_scenario_restart_" << tag << "_" << ::getpid() << ".ckpt";
+  return os.str();
+}
+
+const char* fabric_name(md::FabricKind k) {
+  switch (k) {
+    case md::FabricKind::inproc:
+      return "inproc";
+    case md::FabricKind::tcp:
+      return "tcp";
+    case md::FabricKind::mpisim:
+      return "mpisim";
+  }
+  return "?";
+}
+
+auto det_factory(md::FabricKind kind) {
+  return [kind] {
+    return md::make_deterministic_fabric(md::make_fabric(kind));
+  };
+}
+
+struct DistOutcome {
+  Cons totals;
+  RunStats stats;
+};
+
+// ----------------------------------------------------- distributed restart
+
+class ScenarioRestartFabric : public ::testing::TestWithParam<md::FabricKind> {
+};
+
+TEST_P(ScenarioRestartFabric, MidOrbitRestartContinuesBitIdentically) {
+  const md::FabricKind kind = GetParam();
+  const std::uint64_t seed = rveval::testing::sched_seed();
+
+  // Reference: the uninterrupted 4-step orbit.
+  DistOutcome ref;
+  {
+    mhpx::testing::ScopedDetScheduling guard(seed);
+    dist::DistSimulation sim(merger(2), kind, dist::ResilienceConfig{},
+                             det_factory(kind));
+    sim.run();
+    ref.totals = sim.totals();
+    ref.stats = sim.stats();
+  }
+
+  // Interrupted run: two steps, gather + write the restart file, tear the
+  // whole cluster down, then restore into a fresh cluster and finish.
+  const std::string path = ckpt_path(fabric_name(kind));
+  DistOutcome resumed;
+  {
+    mhpx::testing::ScopedDetScheduling guard(seed);
+    {
+      dist::DistSimulation sim(merger(2), kind, dist::ResilienceConfig{},
+                               det_factory(kind));
+      sim.step();
+      sim.step();
+      sim.write_checkpoint(path);
+    }
+    dist::DistSimulation sim(merger(2), kind, dist::ResilienceConfig{},
+                             det_factory(kind));
+    sim.restore_from(path);
+    EXPECT_EQ(sim.stats().steps, 2u);
+    sim.run();  // runs until stop_step, i.e. two more steps
+    resumed.totals = sim.totals();
+    resumed.stats = sim.stats();
+  }
+  std::remove(path.c_str());
+
+  const std::string ctx = std::string(fabric_name(kind)) + " " +
+                          rveval::testing::seed_env().repro_line();
+  EXPECT_EQ(resumed.totals.rho, ref.totals.rho) << ctx;
+  EXPECT_EQ(resumed.totals.sx, ref.totals.sx) << ctx;
+  EXPECT_EQ(resumed.totals.sy, ref.totals.sy) << ctx;
+  EXPECT_EQ(resumed.totals.sz, ref.totals.sz) << ctx;
+  EXPECT_EQ(resumed.totals.egas, ref.totals.egas) << ctx;
+  EXPECT_EQ(resumed.stats.steps, ref.stats.steps) << ctx;
+  EXPECT_EQ(resumed.stats.sim_time, ref.stats.sim_time) << ctx;
+  EXPECT_EQ(resumed.stats.last_dt, ref.stats.last_dt) << ctx;
+}
+
+TEST_P(ScenarioRestartFabric, RestoreRejectsMismatchedMesh) {
+  const md::FabricKind kind = GetParam();
+  const std::string path = ckpt_path(std::string("mesh_") +
+                                     fabric_name(kind));
+  {
+    dist::DistSimulation sim(merger(2), kind, dist::ResilienceConfig{},
+                             det_factory(kind));
+    sim.write_checkpoint(path);
+  }
+  Options deeper = merger(2);
+  deeper.max_level = 2;
+  dist::DistSimulation sim(deeper, kind, dist::ResilienceConfig{},
+                           det_factory(kind));
+  EXPECT_THROW(sim.restore_from(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFabrics, ScenarioRestartFabric,
+                         ::testing::Values(md::FabricKind::inproc,
+                                           md::FabricKind::tcp,
+                                           md::FabricKind::mpisim),
+                         [](const ::testing::TestParamInfo<md::FabricKind>& i) {
+                           return fabric_name(i.param);
+                         });
+
+// --------------------------------------------------- shared-memory restart
+
+TEST(ScenarioRestart, SharedMemoryMidOrbitRestartIsPerCellBitIdentical) {
+  mhpx::Runtime rt{{2, 128 * 1024}};
+  const Options opt = merger(1);
+
+  Simulation full(opt);
+  full.run();
+
+  const std::string path = ckpt_path("shm");
+  Simulation head(opt);
+  head.step();
+  head.step();
+  save_checkpoint(head, path);
+  Simulation tail = load_checkpoint(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(tail.stats().steps, 2u);
+  while (tail.stats().steps < opt.stop_step) {
+    tail.step();
+  }
+
+  ASSERT_EQ(tail.tree().leaf_count(), full.tree().leaf_count());
+  std::size_t mismatched = 0;
+  auto fl = full.tree().leaves();
+  auto tl = tail.tree().leaves();
+  for (std::size_t n = 0; n < fl.size(); ++n) {
+    for (std::size_t f = 0; f < NF; ++f) {
+      for (std::size_t i = 0; i < NX; ++i) {
+        for (std::size_t j = 0; j < NX; ++j) {
+          for (std::size_t k = 0; k < NX; ++k) {
+            if (fl[n]->grid.u(f, i, j, k) != tl[n]->grid.u(f, i, j, k)) {
+              ++mismatched;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(mismatched, 0u);
+  EXPECT_EQ(tail.stats().sim_time, full.stats().sim_time);
+  EXPECT_EQ(tail.stats().last_dt, full.stats().last_dt);
+}
+
+// ------------------------------------------------ resilient merger recovery
+
+TEST(ScenarioRestart, ResilientMergerSurvivesParcelLossBitIdentically) {
+  const std::uint64_t seed = rveval::testing::sched_seed();
+
+  DistOutcome ref;
+  {
+    mhpx::testing::ScopedDetScheduling guard(seed);
+    dist::DistSimulation sim(merger(2), md::FabricKind::inproc,
+                             dist::ResilienceConfig{},
+                             det_factory(md::FabricKind::inproc));
+    sim.run();
+    ref.totals = sim.totals();
+    ref.stats = sim.stats();
+  }
+
+  dist::ResilienceConfig res;
+  res.enabled = true;
+  const double scale = rveval::testing::timeout_scale();
+  res.rpc_timeout_s = 0.05 * scale;
+  res.heartbeat_timeout_s = 0.1 * scale;
+  res.backoff_initial_s = 0.001;
+  res.backoff_cap_s = 0.01;
+
+  dist::DistSimulation sim(merger(2), md::FabricKind::inproc, res, [] {
+    mres::FaultConfig fc;
+    fc.drop_rate = 0.03;
+    fc.seed = 0xd5;
+    return mres::make_faulty_fabric(md::FabricKind::inproc, fc);
+  });
+  sim.run();
+  const Cons t = sim.totals();
+  const std::string ctx = rveval::testing::seed_env().repro_line();
+  EXPECT_EQ(t.rho, ref.totals.rho) << ctx;
+  EXPECT_EQ(t.sx, ref.totals.sx) << ctx;
+  EXPECT_EQ(t.sy, ref.totals.sy) << ctx;
+  EXPECT_EQ(t.sz, ref.totals.sz) << ctx;
+  EXPECT_EQ(t.egas, ref.totals.egas) << ctx;
+  EXPECT_EQ(sim.stats().steps, ref.stats.steps) << ctx;
+  EXPECT_EQ(sim.stats().sim_time, ref.stats.sim_time) << ctx;
+}
+
+}  // namespace
