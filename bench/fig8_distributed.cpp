@@ -10,11 +10,19 @@
 // the host, capture per-locality traces, and price them on the JH7110 and
 // A64FX models with the GbE-TCP / GbE-MPI / Tofu-D network models.
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <sys/wait.h>
 
 #include "bench/common.hpp"
 #include "core/power/attribution.hpp"
@@ -32,6 +40,8 @@ namespace md = mhpx::dist;
 struct Captured {
   std::vector<rveval::sim::Phase> phases;
   std::size_t cells = 0;
+  octo::Cons totals;      ///< conserved totals (process-leg oracle)
+  double last_dt = 0.0;
 };
 
 /// What the federated sampler saw during a run: final value of every
@@ -89,6 +99,8 @@ Captured run_distributed(const octo::Options& base, md::FabricKind fabric,
 
     sim.run();
     out.cells = sim.stats().cells_processed;
+    out.totals = sim.totals();
+    out.last_dt = sim.stats().last_dt;
     sim.runtime().wait_all_idle();
     if (sampler != nullptr) {
       sampler->stop();
@@ -111,6 +123,56 @@ double price_single(const Captured& cap, const rveval::arch::CpuModel& cpu,
   opt.simd_speedup =
       rveval::simd::speedup_at_width(cpu, cpu.vector_length);
   return static_cast<double>(cap.cells) / sim.total_seconds(cap.phases, opt);
+}
+
+/// Run a command, capturing stdout (stderr passes through to the console).
+struct RunOutput {
+  int exit_code = -1;
+  std::string out;
+};
+
+RunOutput run_cmd(const std::string& cmd) {
+  RunOutput r;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return r;
+  }
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    r.out += buf;
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  }
+  return r;
+}
+
+/// Parse the worker's "TOTAL <name> <decimal> 0x<bits>" lines into raw
+/// IEEE-754 bits, so the cross-process comparison needs no decimal
+/// round-trip.
+std::map<std::string, std::uint64_t> parse_totals(const std::string& out) {
+  std::map<std::string, std::uint64_t> bits;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    std::string name;
+    std::string dec;
+    std::string hex;
+    if (ls >> tag >> name >> dec >> hex && tag == "TOTAL") {
+      bits[name] = std::stoull(hex, nullptr, 16);
+    }
+  }
+  return bits;
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  static_assert(sizeof(b) == sizeof(v));
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
 }
 
 double price_distributed(const Captured& cap,
@@ -138,6 +200,19 @@ int main(int argc, char** argv) {
   base.stop_step = 5;
   base.threads = 4;
   std::vector<std::string> args(argv + 1, argv + argc);
+  // --launch=process adds a leg where both localities live in separate OS
+  // processes (spawned rveval_locality workers over the tcp-multiproc
+  // parcelport); its totals must match the in-process TCP leg bit for bit.
+  bool launch_process = false;
+  args.erase(std::remove_if(args.begin(), args.end(),
+                            [&](const std::string& a) {
+                              if (a == "--launch=process") {
+                                launch_process = true;
+                                return true;
+                              }
+                              return false;
+                            }),
+             args.end());
   const auto io = bench_common::parse_io(args, "BENCH_fig8.json");
   base.parse_cli(args);
   std::cout << "mesh: max_level=" << base.max_level << "\n";
@@ -158,6 +233,52 @@ int main(int argc, char** argv) {
   const std::vector<mhpx::apex::trace::Event> tcp_events =
       mhpx::apex::trace::snapshot();
   const Captured dist_mpi = run_distributed(base, md::FabricKind::mpisim);
+
+  // The --launch=process leg: the same two-locality TCP run, but every
+  // locality in its own OS process. Worker options are re-derived from the
+  // scenario name plus the numeric mesh fields, so only scenario /
+  // max_level / stop_step / threads propagate (exotic parse_cli overrides
+  // such as --theta do not — the legs would diverge silently otherwise).
+  int process_bitwise_match = -1;  // -1 = leg not run
+  if (launch_process) {
+    std::ostringstream cmd;
+    cmd << RVEVAL_WORKER_BIN << " --spawn --localities=2"
+        << " --threads=" << base.threads
+        << " --scenario=" << octo::scenario::for_options(base).name
+        << " --steps=" << base.stop_step
+        << " --max-level=" << base.max_level;
+    std::cout << "\n--launch=process leg: " << cmd.str() << "\n";
+    const RunOutput proc = run_cmd(cmd.str());
+    if (proc.exit_code != 0) {
+      std::cerr << "process leg FAILED (exit " << proc.exit_code << "):\n"
+                << proc.out;
+      return 1;
+    }
+    const auto bits = parse_totals(proc.out);
+    const std::vector<std::pair<std::string, double>> expect = {
+        {"rho", dist_tcp.totals.rho},   {"sx", dist_tcp.totals.sx},
+        {"sy", dist_tcp.totals.sy},     {"sz", dist_tcp.totals.sz},
+        {"egas", dist_tcp.totals.egas}, {"last_dt", dist_tcp.last_dt}};
+    process_bitwise_match = 1;
+    for (const auto& [name, value] : expect) {
+      const auto it = bits.find(name);
+      const bool ok = it != bits.end() && it->second == bits_of(value);
+      if (!ok) {
+        process_bitwise_match = 0;
+      }
+      std::cout << "  " << name << ": "
+                << (ok ? "bitwise identical to in-process TCP"
+                       : "MISMATCH vs in-process TCP")
+                << "\n";
+    }
+    if (process_bitwise_match != 1) {
+      std::cerr << "process leg totals diverged from in-process TCP:\n"
+                << proc.out;
+      return 1;
+    }
+    std::cout << "  all conserved totals + last_dt bitwise identical "
+                 "across OS processes\n";
+  }
 
   const auto rv = rveval::arch::jh7110();
   const auto fx = rveval::arch::a64fx();
@@ -250,6 +371,9 @@ int main(int argc, char** argv) {
       .metric("a64fx_over_riscv_1node", fx1 / rv1)
       .metric("federation_rounds", static_cast<double>(federation.rounds))
       .metric("tcp_run_energy_j_host_attributed", tcp_joules)
+      .metric("process_launch", launch_process ? 1.0 : 0.0)
+      .metric("process_bitwise_match",
+              static_cast<double>(process_bitwise_match))
       .add_table(t)
       .add_table(fed)
       .add_table(en);

@@ -246,6 +246,10 @@ void register_fabric_counters(CounterBlock& block, const dist::Fabric& fabric) {
             "send failures that marked a peer connection dead",
             CounterKind::monotonic,
             [f] { return static_cast<double>(f->stats().send_errors); });
+  block.add(base + "/connect-retries",
+            "dial attempts retried because the peer was not yet listening",
+            CounterKind::monotonic,
+            [f] { return static_cast<double>(f->stats().connect_retries); });
 }
 
 void register_resilience_counters(CounterBlock& block) {

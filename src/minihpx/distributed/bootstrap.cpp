@@ -1,0 +1,321 @@
+#include "minihpx/distributed/bootstrap.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "minihpx/distributed/fabric_tcp_common.hpp"
+
+namespace mhpx::dist {
+
+namespace {
+
+using tcpdetail::IoStatus;
+using tcpdetail::throw_errno;
+
+// Registration frame: magic, version, rank, nranks, data_ip, data_port.
+constexpr std::uint32_t kMagic = 0x52565A42;  // "BZVR" on a LE wire
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRegistrationBytes = 4 * sizeof(std::uint32_t) +
+                                           sizeof(std::uint32_t) +
+                                           sizeof(std::uint16_t);
+
+struct Registration {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t nranks = 0;
+  Endpoint data;
+};
+
+void pack_registration(const Registration& r, unsigned char* out) {
+  std::memcpy(out, &r.magic, 4);
+  std::memcpy(out + 4, &r.version, 4);
+  std::memcpy(out + 8, &r.rank, 4);
+  std::memcpy(out + 12, &r.nranks, 4);
+  std::memcpy(out + 16, &r.data.ip_be, 4);
+  std::memcpy(out + 20, &r.data.port, 2);
+}
+
+Registration unpack_registration(const unsigned char* in) {
+  Registration r;
+  std::memcpy(&r.magic, in, 4);
+  std::memcpy(&r.version, in + 4, 4);
+  std::memcpy(&r.rank, in + 8, 4);
+  std::memcpy(&r.nranks, in + 12, 4);
+  std::memcpy(&r.data.ip_be, in + 16, 4);
+  std::memcpy(&r.data.port, in + 20, 2);
+  return r;
+}
+
+/// Cap how long one blocking read on a bootstrap connection may stall the
+/// server (a registrant that connected but never wrote its frame).
+void set_recv_timeout(int fd, double seconds) {
+  if (seconds < 0.05) {
+    seconds = 0.05;
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                       tv.tv_sec)) *
+                                        1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+double seconds_until(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+void send_status(int fd, RendezvousStatus status) {
+  const auto byte = static_cast<std::uint8_t>(status);
+  try {
+    tcpdetail::write_all(fd, &byte, sizeof(byte));
+  } catch (const std::system_error&) {
+    // The registrant hung up before reading its rejection; its own read
+    // error tells the same story.
+  }
+}
+
+}  // namespace
+
+std::string Endpoint::str() const {
+  in_addr a{};
+  a.s_addr = ip_be;
+  char buf[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &a, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(port);
+}
+
+Endpoint parse_endpoint(const std::string& text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    throw std::invalid_argument("endpoint: expected host:port, got '" + text +
+                                "'");
+  }
+  std::string host = text.substr(0, colon);
+  if (host == "localhost") {
+    host = "127.0.0.1";
+  }
+  Endpoint ep;
+  in_addr a{};
+  if (::inet_pton(AF_INET, host.c_str(), &a) != 1) {
+    throw std::invalid_argument("endpoint: bad IPv4 host in '" + text + "'");
+  }
+  ep.ip_be = a.s_addr;
+  const std::string port_text = text.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port > 65535) {
+    throw std::invalid_argument("endpoint: bad port in '" + text + "'");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::pair<int, Endpoint> bind_listener(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("bootstrap: socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("bootstrap: bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("bootstrap: getsockname");
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("bootstrap: listen");
+  }
+  Endpoint ep;
+  ep.ip_be = addr.sin_addr.s_addr;
+  ep.port = ntohs(addr.sin_port);
+  return {fd, ep};
+}
+
+std::vector<Endpoint> rendezvous_serve(int listen_fd, std::uint32_t nranks,
+                                       Endpoint self, double timeout_s) {
+  std::vector<Endpoint> table(nranks);
+  std::vector<bool> present(nranks, false);
+  std::vector<int> pending;  // open connections awaiting the table
+  pending.reserve(nranks);
+  table[0] = self;
+  present[0] = true;
+  std::uint32_t registered = 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+
+  auto close_pending = [&pending] {
+    for (const int fd : pending) {
+      ::close(fd);
+    }
+    pending.clear();
+  };
+
+  while (registered < nranks) {
+    const double remaining = seconds_until(deadline);
+    if (remaining <= 0.0) {
+      break;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+    if (pr < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      close_pending();
+      throw_errno("bootstrap: poll");
+    }
+    if (pr == 0) {
+      break;  // deadline — report the missing ranks below
+    }
+    const int cfd = tcpdetail::accept_retry(listen_fd);
+    set_recv_timeout(cfd, seconds_until(deadline));
+    unsigned char buf[kRegistrationBytes];
+    if (tcpdetail::read_all(cfd, buf, sizeof(buf)) != IoStatus::ok) {
+      ::close(cfd);  // hung up or stalled mid-registration: no slot burnt
+      continue;
+    }
+    const Registration r = unpack_registration(buf);
+    if (r.magic != kMagic || r.version != kVersion) {
+      send_status(cfd, RendezvousStatus::bad_magic);
+      ::close(cfd);
+      continue;
+    }
+    if (r.nranks != nranks || r.rank == 0 || r.rank >= nranks) {
+      send_status(cfd, RendezvousStatus::config_mismatch);
+      ::close(cfd);
+      continue;
+    }
+    if (present[r.rank]) {
+      // A second process claiming an already-registered rank: reject the
+      // newcomer, keep the original registration untouched.
+      send_status(cfd, RendezvousStatus::duplicate_rank);
+      ::close(cfd);
+      continue;
+    }
+    table[r.rank] = r.data;
+    present[r.rank] = true;
+    pending.push_back(cfd);
+    ++registered;
+  }
+
+  if (registered < nranks) {
+    close_pending();
+    std::string missing;
+    for (std::uint32_t i = 0; i < nranks; ++i) {
+      if (!present[i]) {
+        missing += (missing.empty() ? "" : ",") + std::to_string(i);
+      }
+    }
+    throw BootstrapError("bootstrap: rendezvous timed out after " +
+                         std::to_string(timeout_s) + "s; missing ranks " +
+                         missing);
+  }
+
+  // Broadcast: status byte + the full table to every registrant.
+  std::vector<unsigned char> reply(1 + nranks * 6);
+  reply[0] = static_cast<std::uint8_t>(RendezvousStatus::ok);
+  for (std::uint32_t i = 0; i < nranks; ++i) {
+    std::memcpy(&reply[1 + i * 6], &table[i].ip_be, 4);
+    std::memcpy(&reply[1 + i * 6 + 4], &table[i].port, 2);
+  }
+  for (const int fd : pending) {
+    try {
+      tcpdetail::write_all(fd, reply.data(), reply.size());
+    } catch (const std::system_error&) {
+      // A registrant that died after registering: its own mesh bring-up
+      // will fail loudly; the broadcast must still reach everyone else.
+    }
+    ::close(fd);
+  }
+  pending.clear();
+  return table;
+}
+
+std::vector<Endpoint> rendezvous_register(
+    const Endpoint& rendezvous, std::uint32_t rank, std::uint32_t nranks,
+    Endpoint data, mhpx::resilience::Backoff& backoff,
+    std::atomic<std::uint64_t>* connect_retries, double timeout_s) {
+  const int fd = tcpdetail::dial_retry(rendezvous.ip_be, rendezvous.port,
+                                       backoff, connect_retries);
+  set_recv_timeout(fd, timeout_s);
+  Registration r;
+  r.magic = kMagic;
+  r.version = kVersion;
+  r.rank = rank;
+  r.nranks = nranks;
+  r.data = data;
+  unsigned char buf[kRegistrationBytes];
+  pack_registration(r, buf);
+  try {
+    tcpdetail::write_all(fd, buf, sizeof(buf));
+  } catch (const std::system_error&) {
+    ::close(fd);
+    throw BootstrapError("bootstrap: rendezvous registration send failed");
+  }
+  std::uint8_t status = 0xFF;
+  if (tcpdetail::read_all(fd, &status, sizeof(status)) != IoStatus::ok) {
+    ::close(fd);
+    throw BootstrapError(
+        "bootstrap: rendezvous hung up before answering rank " +
+        std::to_string(rank) + " (timeout or server death)");
+  }
+  switch (static_cast<RendezvousStatus>(status)) {
+    case RendezvousStatus::ok:
+      break;
+    case RendezvousStatus::duplicate_rank:
+      ::close(fd);
+      throw BootstrapError("bootstrap: rank " + std::to_string(rank) +
+                           " is already registered (duplicate --rank?)");
+    case RendezvousStatus::config_mismatch:
+      ::close(fd);
+      throw BootstrapError("bootstrap: cluster-size/rank mismatch (rank " +
+                           std::to_string(rank) + " of " +
+                           std::to_string(nranks) + ")");
+    default:
+      ::close(fd);
+      throw BootstrapError("bootstrap: protocol version/magic mismatch");
+  }
+  std::vector<unsigned char> reply(nranks * 6);
+  if (tcpdetail::read_all(fd, reply.data(), reply.size()) != IoStatus::ok) {
+    ::close(fd);
+    throw BootstrapError("bootstrap: truncated rank table");
+  }
+  ::close(fd);
+  std::vector<Endpoint> table(nranks);
+  for (std::uint32_t i = 0; i < nranks; ++i) {
+    std::memcpy(&table[i].ip_be, &reply[i * 6], 4);
+    std::memcpy(&table[i].port, &reply[i * 6 + 4], 2);
+  }
+  return table;
+}
+
+}  // namespace mhpx::dist

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file bootstrap.hpp
+/// TCP rendezvous bootstrap for multi-process localities (DESIGN.md §13).
+///
+/// Every rank first binds its *data* listener on an ephemeral port, then:
+///   - rank 0 serves the well-known rendezvous endpoint: it accepts one
+///     registration per peer rank, rejects duplicates and mismatched
+///     cluster sizes, and — once all ranks are present — answers every
+///     registrant (and itself) with the complete rank → endpoint table;
+///   - ranks >= 1 dial the rendezvous endpoint (with jittered retries:
+///     rank 0 may not be listening yet), register {rank, data endpoint},
+///     and block until the table comes back.
+/// After the broadcast the existing full-mesh dial proceeds against the
+/// table: rank j dials every i < j's data endpoint and accepts from every
+/// k > j. Registrations may arrive in any order — a slow starter simply
+/// registers last and delays only the table broadcast, not the protocol.
+///
+/// Wire format (fixed-width little-endian, version-stamped):
+///   registration:  u32 magic | u32 version | u32 rank | u32 nranks
+///                  | u32 data_ip (network order) | u16 data_port
+///   reply:         u8 status; status 0 is followed by nranks x
+///                  {u32 ip (network order) | u16 port}
+///
+/// These functions are transport-only (plain fds and OS threads, no
+/// scheduler) so the protocol is unit-testable in one process.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minihpx/resilience/backoff.hpp"
+
+namespace mhpx::dist {
+
+/// One locality's TCP endpoint; ip is in network byte order.
+struct Endpoint {
+  std::uint32_t ip_be = 0;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Parse "host:port" where host is a dotted-quad IPv4 address or
+/// "localhost". Throws std::invalid_argument on malformed input.
+Endpoint parse_endpoint(const std::string& text);
+
+/// A bootstrap that cannot complete: timeout with ranks missing, duplicate
+/// registration, mismatched cluster size, protocol version skew.
+struct BootstrapError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Rendezvous reply status bytes.
+enum class RendezvousStatus : std::uint8_t {
+  ok = 0,
+  duplicate_rank = 1,
+  config_mismatch = 2,
+  bad_magic = 3,
+};
+
+/// Bind a loopback TCP listener (SO_REUSEADDR; port 0 = kernel-chosen)
+/// and return {fd, bound endpoint}. The backlog must be >= the number of
+/// peers that may dial concurrently — with backlog >= nranks the
+/// sequential dial-then-accept mesh bring-up cannot deadlock.
+std::pair<int, Endpoint> bind_listener(std::uint16_t port, int backlog);
+
+/// Rank 0: accept nranks-1 registrations on \p listen_fd, then broadcast
+/// the complete table. \p self is rank 0's own data endpoint (slot 0 of
+/// the table). Faulty registrations are answered with their status byte
+/// and do not consume a slot; a duplicate of an already-registered rank is
+/// rejected without disturbing the original. Throws BootstrapError if the
+/// table is incomplete after \p timeout_s. Does not close \p listen_fd.
+std::vector<Endpoint> rendezvous_serve(int listen_fd, std::uint32_t nranks,
+                                       Endpoint self, double timeout_s);
+
+/// Ranks >= 1: register \p data with the rendezvous server and return the
+/// broadcast table. The dial retries under \p backoff while rank 0 is not
+/// yet listening (each re-dial bumps \p connect_retries when non-null).
+/// Throws BootstrapError when the server rejects the registration and
+/// std::system_error when the dial gives up.
+std::vector<Endpoint> rendezvous_register(
+    const Endpoint& rendezvous, std::uint32_t rank, std::uint32_t nranks,
+    Endpoint data, mhpx::resilience::Backoff& backoff,
+    std::atomic<std::uint64_t>* connect_retries, double timeout_s);
+
+}  // namespace mhpx::dist

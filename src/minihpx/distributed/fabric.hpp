@@ -118,6 +118,16 @@ class Fabric {
     std::uint64_t recv_errors = 0;
     /// tcp only: send failures (EPIPE/ECONNRESET -> peer treated as dead).
     std::uint64_t send_errors = 0;
+    /// tcp only: mesh/rendezvous dials that had to be re-attempted because
+    /// the peer was not yet listening (bounded jittered backoff).
+    std::uint64_t connect_retries = 0;
+  };
+
+  /// What a socket-level audit of the established mesh saw. Non-socket
+  /// fabrics report zero sockets.
+  struct SocketAudit {
+    std::size_t sockets = 0;          ///< live connected sockets
+    std::size_t missing_nodelay = 0;  ///< sockets without TCP_NODELAY set
   };
 
   virtual ~Fabric() = default;
@@ -160,6 +170,13 @@ class Fabric {
   virtual bool debug_kill_endpoint(locality_id victim) {
     (void)victim;
     return false;
+  }
+
+  /// Conformance hook: re-read the socket options of every established
+  /// connection (both the dialed and the accepted end) so tests can assert
+  /// the whole mesh is Nagle-free. Default: no sockets to audit.
+  [[nodiscard]] virtual SocketAudit debug_socket_audit() const {
+    return SocketAudit{};
   }
 
   /// Stop background threads and release sockets. Idempotent; called by

@@ -74,6 +74,10 @@ class DetFabric final : public Fabric {
     return inner_->debug_kill_endpoint(victim);
   }
 
+  [[nodiscard]] SocketAudit debug_socket_audit() const override {
+    return inner_->debug_socket_audit();
+  }
+
   void shutdown() override { inner_->shutdown(); }
 
   [[nodiscard]] Stats stats() const override { return inner_->stats(); }

@@ -1,108 +1,55 @@
-// TCP parcelport over real AF_INET loopback sockets.
+// TCP parcelport over real AF_INET loopback sockets (in-process flavour).
 //
 // Every locality gets a listening socket on 127.0.0.1 with a kernel-chosen
 // port; connect() establishes a full mesh (locality j dials every i < j) and
 // then starts one reader thread per connection. This exercises the same
 // syscall path a two-board GbE cluster would, which is what makes the
-// TCP-vs-MPI comparison of Fig. 8 meaningful.
+// TCP-vs-MPI comparison of Fig. 8 meaningful. The multi-process flavour
+// (fabric_tcp_multiproc.cpp) shares the socket layer and wire protocol via
+// fabric_tcp_common.hpp; this file keeps only the one-process wiring.
 //
 // Frames travel in *bundles*: the shared SendPipeline coalesces frames bound
 // for the same peer, and one sendmsg() puts the whole batch on the wire with
 // scatter-gather iovecs — header, per-frame lengths and every frame's
 // head/body segments leave without being glued into a flat buffer first.
-// Bundle wire format (all little-endian host order; both ends are this
-// process):
-//   uint32 source_locality | uint32 nframes | uint32 total_bytes
-//   uint32 frame_len * nframes
-//   frame bytes, concatenated in order
+// The bundle wire format and its failure semantics (recv error vs orderly
+// close, never-throwing sends marking peers dead) are documented in
+// fabric_tcp_common.hpp.
 //
-// Failure semantics (the two bugs this file used to have):
-//   - recv() errors are distinguished from orderly peer close: real errors
-//     are counted (/parcels/tcp/recv-errors) and logged, not silently
-//     folded into "peer hung up";
-//   - send() failures (EPIPE/ECONNRESET — the peer board died) no longer
-//     throw std::system_error through the caller: the connection is marked
-//     dead and the frames are dropped with the same accounting
-//     FaultyFabric's board-death uses, so the resilience layer's replay
-//     timeout sees a lost message instead of the driver crashing.
+// Socket-layer fixes this file accumulated (regression-tested under the
+// `parcelport` and `multiproc` labels):
+//   - accept() retries on EINTR instead of aborting mesh bring-up;
+//   - the full-mesh dial retries with bounded jittered backoff when the
+//     peer is not yet listening (counted as /parcels/tcp/connect-retries);
+//   - TCP_NODELAY is set and verified on BOTH ends of every connection
+//     (debug_socket_audit() lets the conformance suite assert it).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <cstdio>
-#include <cstring>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
-#include <system_error>
 #include <thread>
 #include <utility>
 
 #include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/fabric_tcp_common.hpp"
 #include "minihpx/distributed/parcel_pipeline.hpp"
 #include "minihpx/instrument.hpp"
+#include "minihpx/resilience/backoff.hpp"
 
 namespace mhpx::dist {
 
 namespace {
 
-[[noreturn]] void throw_errno(const char* what) {
-  throw std::system_error(errno, std::generic_category(), what);
-}
-
-void write_all(int fd, const void* data, std::size_t n) {
-  const char* p = static_cast<const char*>(data);
-  while (n > 0) {
-    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      throw_errno("tcp parcelport: handshake send");
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-}
-
-/// Outcome of a blocking read: data, orderly peer close, or a real error
-/// (errno preserved for the caller's diagnostics).
-enum class IoStatus { ok, closed, error };
-
-IoStatus read_all(int fd, void* out, std::size_t n) {
-  char* p = static_cast<char*>(out);
-  while (n > 0) {
-    const ssize_t r = ::recv(fd, p, n, 0);
-    if (r == 0) {
-      return IoStatus::closed;  // orderly shutdown: peer closed the socket
-    }
-    if (r < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return IoStatus::error;  // real failure — NOT an orderly close
-    }
-    p += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return IoStatus::ok;
-}
-
-/// Largest number of frames one sendmsg() carries: 2 iovecs per frame plus
-/// the bundle header stay far below IOV_MAX (POSIX floor 1024).
-constexpr std::size_t max_wire_frames = 120;
-constexpr std::size_t bundle_header_words = 3;  // src, nframes, total_bytes
-/// Reader-side sanity bounds; in-process both ends speak this protocol, so
-/// violations mean a torn stream, not a hostile peer.
-constexpr std::uint32_t max_sane_frames = 1u << 20;
-constexpr std::uint32_t max_sane_bytes = 1u << 30;
+using tcpdetail::Conn;
+using tcpdetail::IoStatus;
+using tcpdetail::throw_errno;
 
 class TcpFabric final : public Fabric {
  public:
@@ -123,6 +70,8 @@ class TcpFabric final : public Fabric {
     pipeline_->connect(n);
 
     // One listener per locality on a kernel-chosen loopback port.
+    // SO_REUSEADDR on listeners only — see fabric_tcp_common.hpp for the
+    // audited semantics.
     std::vector<int> listeners(n, -1);
     std::vector<std::uint16_t> ports(n, 0);
     for (locality_id i = 0; i < n; ++i) {
@@ -151,34 +100,26 @@ class TcpFabric final : public Fabric {
     }
 
     // Full mesh: j dials i for all i < j; i accepts and learns j from a
-    // one-int handshake.
+    // one-int handshake. The dial retries with jittered backoff — here all
+    // listeners are already bound, but the shared helper keeps this path
+    // identical to the multi-process one, where the peer may lag.
+    mhpx::resilience::Backoff backoff({}, /*seed=*/0x7c9d);
     for (locality_id j = 0; j < n; ++j) {
       for (locality_id i = 0; i < j; ++i) {
-        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd < 0) {
-          throw_errno("tcp parcelport: socket(dial)");
-        }
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port = htons(ports[i]);
-        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-            0) {
-          throw_errno("tcp parcelport: connect");
-        }
+        const int fd = tcpdetail::dial_retry(htonl(INADDR_LOOPBACK), ports[i],
+                                             backoff, &connect_retries_);
         const std::uint32_t who = j;
-        write_all(fd, &who, sizeof(who));
+        tcpdetail::write_all(fd, &who, sizeof(who));
 
-        const int afd = ::accept(listeners[i], nullptr, nullptr);
-        if (afd < 0) {
-          throw_errno("tcp parcelport: accept");
-        }
+        const int afd = tcpdetail::accept_retry(listeners[i]);
         std::uint32_t peer = 0;
-        if (read_all(afd, &peer, sizeof(peer)) != IoStatus::ok) {
+        if (tcpdetail::read_all(afd, &peer, sizeof(peer)) != IoStatus::ok) {
           throw std::runtime_error("tcp parcelport: handshake failed");
         }
-        configure(fd);
-        configure(afd);
+        if (!tcpdetail::configure_nodelay(fd) ||
+            !tcpdetail::configure_nodelay(afd)) {
+          throw std::runtime_error("tcp parcelport: TCP_NODELAY rejected");
+        }
         conns_[j][i].fd.store(fd);      // j -> i uses the dialled socket
         conns_[i][peer].fd.store(afd);  // i -> j uses the accepted socket
       }
@@ -264,6 +205,23 @@ class TcpFabric final : public Fabric {
     return true;
   }
 
+  [[nodiscard]] SocketAudit debug_socket_audit() const override {
+    SocketAudit audit;
+    for (const auto& row : conns_) {
+      for (const Conn& c : row) {
+        const int fd = c.fd.load(std::memory_order_acquire);
+        if (fd < 0) {
+          continue;
+        }
+        ++audit.sockets;
+        if (!tcpdetail::nodelay_enabled(fd)) {
+          ++audit.missing_nodelay;
+        }
+      }
+    }
+    return audit;
+  }
+
   void shutdown() override {
     bool expected = true;
     if (!running_.compare_exchange_strong(expected, false)) {
@@ -302,6 +260,7 @@ class TcpFabric final : public Fabric {
     s.bytes = bytes_.load(std::memory_order_relaxed);
     s.recv_errors = recv_errors_.load(std::memory_order_relaxed);
     s.send_errors = send_errors_.load(std::memory_order_relaxed);
+    s.connect_retries = connect_retries_.load(std::memory_order_relaxed);
     if (pipeline_) {
       const auto p = pipeline_->stats();
       s.flushes = p.flushes;
@@ -314,35 +273,11 @@ class TcpFabric final : public Fabric {
   [[nodiscard]] std::string_view name() const override { return "tcp"; }
 
  private:
-  struct Conn {
-    std::atomic<int> fd{-1};
-    std::atomic<bool> dead{false};
-    std::atomic<bool> error_logged{false};
-  };
-
-  static void configure(int fd) {
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  }
-
   void deliver_local(locality_id src, locality_id dst,
                      std::vector<std::byte> frame) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
     receivers_[dst](src, std::move(frame));
-  }
-
-  /// Report one connection failure (first failure per connection only —
-  /// a dead board would otherwise flood the log once per queued frame).
-  void log_conn_error(Conn& c, const char* op, locality_id src,
-                      locality_id dst, int err) {
-    if (!c.error_logged.exchange(true)) {
-      std::fprintf(stderr,
-                   "minihpx tcp parcelport: %s %u->%u failed: %s; treating "
-                   "peer as dead\n",
-                   op, static_cast<unsigned>(src), static_cast<unsigned>(dst),
-                   std::strerror(err));
-    }
   }
 
   /// Account a batch that will never reach the wire — the same signal
@@ -370,8 +305,9 @@ class TcpFabric final : public Fabric {
     std::size_t first = 0;
     while (first < batch.frames.size()) {
       const std::size_t count =
-          std::min(batch.frames.size() - first, max_wire_frames);
-      if (!send_bundle(c, fd, src, dst, &batch.frames[first], count)) {
+          std::min(batch.frames.size() - first, tcpdetail::max_wire_frames);
+      if (!tcpdetail::send_bundle(c, fd, src, dst, &batch.frames[first], count,
+                                  send_errors_, running_)) {
         // Connection died mid-batch: everything from `first` on is lost.
         FrameBatch rest;
         for (std::size_t i = first; i < batch.frames.size(); ++i) {
@@ -384,117 +320,21 @@ class TcpFabric final : public Fabric {
     }
   }
 
-  /// One bundle -> one sendmsg (looped only on partial writes / EINTR).
-  /// Returns false when the connection failed; the caller owns accounting.
-  bool send_bundle(Conn& c, int fd, locality_id src, locality_id dst,
-                   WireFrame* frames, std::size_t count) {
-    // Bundle header + frame length table, then 2 iovecs per frame.
-    std::vector<std::uint32_t> header(bundle_header_words + count);
-    std::uint64_t total = 0;
-    for (std::size_t i = 0; i < count; ++i) {
-      header[bundle_header_words + i] =
-          static_cast<std::uint32_t>(frames[i].size());
-      total += frames[i].size();
-    }
-    header[0] = src;
-    header[1] = static_cast<std::uint32_t>(count);
-    header[2] = static_cast<std::uint32_t>(total);
-
-    std::vector<iovec> iov;
-    iov.reserve(1 + 2 * count);
-    iov.push_back({header.data(), header.size() * sizeof(std::uint32_t)});
-    for (std::size_t i = 0; i < count; ++i) {
-      if (!frames[i].head.empty()) {
-        iov.push_back({frames[i].head.data(), frames[i].head.size()});
-      }
-      if (!frames[i].body.empty()) {
-        iov.push_back({frames[i].body.data(), frames[i].body.size()});
-      }
-    }
-
-    std::size_t iov_index = 0;
-    while (iov_index < iov.size()) {
-      msghdr msg{};
-      msg.msg_iov = iov.data() + iov_index;
-      msg.msg_iovlen = iov.size() - iov_index;
-      const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        // EPIPE/ECONNRESET: the peer board died under us. Anything else
-        // (EBADF after a shutdown race, ...) gets the same treatment —
-        // surviving a flaky wire beats crashing the driver.
-        send_errors_.fetch_add(1, std::memory_order_relaxed);
-        if (running_.load(std::memory_order_acquire)) {
-          log_conn_error(c, "send", src, dst, errno);
-        }
-        c.dead.store(true, std::memory_order_release);
-        return false;
-      }
-      // Advance past fully-written iovecs; trim a partially written one.
-      std::size_t written = static_cast<std::size_t>(w);
-      while (written > 0 && iov_index < iov.size()) {
-        iovec& v = iov[iov_index];
-        if (written >= v.iov_len) {
-          written -= v.iov_len;
-          ++iov_index;
-        } else {
-          v.iov_base = static_cast<char*>(v.iov_base) + written;
-          v.iov_len -= written;
-          written = 0;
-        }
-      }
-    }
-    return true;
-  }
-
   void reader_loop(locality_id self, locality_id peer) {
     const int fd = conns_[self][peer].fd.load(std::memory_order_acquire);
     if (fd < 0) {
       return;
     }
-    while (running_.load(std::memory_order_acquire)) {
-      std::uint32_t header[bundle_header_words] = {0, 0, 0};
-      IoStatus st = read_all(fd, header, sizeof(header));
-      if (st != IoStatus::ok) {
-        on_read_end(self, peer, st);
-        return;
-      }
-      const std::uint32_t who = header[0];
-      const std::uint32_t nframes = header[1];
-      const std::uint32_t total = header[2];
-      if (nframes == 0 || nframes > max_sane_frames ||
-          total > max_sane_bytes) {
-        on_read_end(self, peer, IoStatus::error);  // torn stream
-        return;
-      }
-      std::vector<std::uint32_t> lens(nframes);
-      st = read_all(fd, lens.data(), nframes * sizeof(std::uint32_t));
-      if (st != IoStatus::ok) {
-        on_read_end(self, peer, st);
-        return;
-      }
-      for (std::uint32_t i = 0; i < nframes; ++i) {
-        std::vector<std::byte> frame(lens[i]);
-        st = read_all(fd, frame.data(), frame.size());
-        if (st != IoStatus::ok) {
-          on_read_end(self, peer, st);
-          return;
-        }
-        receivers_[self](static_cast<locality_id>(who), std::move(frame));
-      }
+    const IoStatus st = tcpdetail::read_bundles(
+        fd, running_, [this, self](locality_id who, std::vector<std::byte> f) {
+          receivers_[self](who, std::move(f));
+        });
+    // Orderly close is business as usual; a real recv error is surfaced
+    // (counter + log) instead of masquerading as a close.
+    if (st == IoStatus::error && running_.load(std::memory_order_acquire)) {
+      recv_errors_.fetch_add(1, std::memory_order_relaxed);
+      tcpdetail::log_conn_error(conns_[self][peer], "recv", peer, self, errno);
     }
-  }
-
-  /// The reader stopped: orderly close is business as usual; a real recv
-  /// error is surfaced (counter + log) instead of masquerading as a close.
-  void on_read_end(locality_id self, locality_id peer, IoStatus st) {
-    if (st != IoStatus::error || !running_.load(std::memory_order_acquire)) {
-      return;  // peer closed, or our own shutdown tore the socket down
-    }
-    recv_errors_.fetch_add(1, std::memory_order_relaxed);
-    log_conn_error(conns_[self][peer], "recv", peer, self, errno);
   }
 
   std::vector<receive_fn> receivers_;
@@ -506,6 +346,7 @@ class TcpFabric final : public Fabric {
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> recv_errors_{0};
   std::atomic<std::uint64_t> send_errors_{0};
+  std::atomic<std::uint64_t> connect_retries_{0};
 };
 
 }  // namespace

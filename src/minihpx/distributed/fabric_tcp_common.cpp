@@ -1,0 +1,234 @@
+#include "minihpx/distributed/fabric_tcp_common.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+
+namespace mhpx::dist::tcpdetail {
+
+void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+IoStatus read_all(int fd, void* out, std::size_t n) {
+  char* p = static_cast<char*>(out);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r == 0) {
+      return IoStatus::closed;  // orderly shutdown: peer closed the socket
+    }
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return IoStatus::error;  // real failure — NOT an orderly close
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return IoStatus::ok;
+}
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("tcp parcelport: handshake send");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+int accept_retry(int listen_fd) {
+  for (;;) {
+    const int afd = ::accept(listen_fd, nullptr, nullptr);
+    if (afd >= 0) {
+      return afd;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) {
+      // EINTR: a signal landed on the accepting thread — retry, like the
+      // recv/sendmsg loops. ECONNABORTED: the dialer gave up between SYN
+      // and accept; its retry will produce a fresh connection.
+      continue;
+    }
+    throw_errno("tcp parcelport: accept");
+  }
+}
+
+bool configure_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return false;
+  }
+  return nodelay_enabled(fd);
+}
+
+bool nodelay_enabled(int fd) {
+  int value = 0;
+  socklen_t len = sizeof(value);
+  if (::getsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &value, &len) != 0) {
+    return false;
+  }
+  return value != 0;
+}
+
+int dial_retry(std::uint32_t ip_be, std::uint16_t port,
+               mhpx::resilience::Backoff& backoff,
+               std::atomic<std::uint64_t>* retries) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ip_be;
+  addr.sin_port = htons(port);
+  const unsigned max_retries = backoff.policy().max_retries;
+  for (unsigned attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw_errno("tcp parcelport: socket(dial)");
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    // Not-listening-yet shapes only; anything else (EADDRNOTAVAIL, a
+    // misconfigured endpoint, ...) is a hard error worth failing fast on.
+    const bool transient =
+        err == ECONNREFUSED || err == ETIMEDOUT || err == EAGAIN;
+    if (!transient || attempt >= max_retries) {
+      errno = err;
+      throw_errno("tcp parcelport: connect");
+    }
+    if (retries != nullptr) {
+      retries->fetch_add(1, std::memory_order_relaxed);
+    }
+    backoff.sleep(attempt + 1);
+  }
+}
+
+void log_conn_error(Conn& c, const char* op, locality_id src, locality_id dst,
+                    int err) {
+  if (!c.error_logged.exchange(true)) {
+    std::fprintf(stderr,
+                 "minihpx tcp parcelport: %s %u->%u failed: %s; treating "
+                 "peer as dead\n",
+                 op, static_cast<unsigned>(src), static_cast<unsigned>(dst),
+                 std::strerror(err));
+  }
+}
+
+bool send_bundle(Conn& c, int fd, locality_id src, locality_id dst,
+                 WireFrame* frames, std::size_t count,
+                 std::atomic<std::uint64_t>& send_errors,
+                 const std::atomic<bool>& running) {
+  // Bundle header + frame length table, then 2 iovecs per frame.
+  std::vector<std::uint32_t> header(bundle_header_words + count);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    header[bundle_header_words + i] =
+        static_cast<std::uint32_t>(frames[i].size());
+    total += frames[i].size();
+  }
+  header[0] = src;
+  header[1] = static_cast<std::uint32_t>(count);
+  header[2] = static_cast<std::uint32_t>(total);
+
+  std::vector<iovec> iov;
+  iov.reserve(1 + 2 * count);
+  iov.push_back({header.data(), header.size() * sizeof(std::uint32_t)});
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!frames[i].head.empty()) {
+      iov.push_back({frames[i].head.data(), frames[i].head.size()});
+    }
+    if (!frames[i].body.empty()) {
+      iov.push_back({frames[i].body.data(), frames[i].body.size()});
+    }
+  }
+
+  std::size_t iov_index = 0;
+  while (iov_index < iov.size()) {
+    msghdr msg{};
+    msg.msg_iov = iov.data() + iov_index;
+    msg.msg_iovlen = iov.size() - iov_index;
+    const ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      // EPIPE/ECONNRESET: the peer board died under us. Anything else
+      // (EBADF after a shutdown race, ...) gets the same treatment —
+      // surviving a flaky wire beats crashing the driver.
+      send_errors.fetch_add(1, std::memory_order_relaxed);
+      if (running.load(std::memory_order_acquire)) {
+        log_conn_error(c, "send", src, dst, errno);
+      }
+      c.dead.store(true, std::memory_order_release);
+      return false;
+    }
+    // Advance past fully-written iovecs; trim a partially written one.
+    std::size_t written = static_cast<std::size_t>(w);
+    while (written > 0 && iov_index < iov.size()) {
+      iovec& v = iov[iov_index];
+      if (written >= v.iov_len) {
+        written -= v.iov_len;
+        ++iov_index;
+      } else {
+        v.iov_base = static_cast<char*>(v.iov_base) + written;
+        v.iov_len -= written;
+        written = 0;
+      }
+    }
+  }
+  return true;
+}
+
+IoStatus read_bundles(
+    int fd, const std::atomic<bool>& running,
+    const std::function<void(locality_id, std::vector<std::byte>)>& deliver) {
+  while (running.load(std::memory_order_acquire)) {
+    std::uint32_t header[bundle_header_words] = {0, 0, 0};
+    IoStatus st = read_all(fd, header, sizeof(header));
+    if (st != IoStatus::ok) {
+      return st;
+    }
+    const std::uint32_t who = header[0];
+    const std::uint32_t nframes = header[1];
+    const std::uint32_t total = header[2];
+    if (nframes == 0 || nframes > max_sane_frames || total > max_sane_bytes) {
+      return IoStatus::error;  // torn stream
+    }
+    std::vector<std::uint32_t> lens(nframes);
+    st = read_all(fd, lens.data(), nframes * sizeof(std::uint32_t));
+    if (st != IoStatus::ok) {
+      return st;
+    }
+    for (std::uint32_t i = 0; i < nframes; ++i) {
+      std::vector<std::byte> frame(lens[i]);
+      st = read_all(fd, frame.data(), frame.size());
+      if (st != IoStatus::ok) {
+        return st;
+      }
+      deliver(static_cast<locality_id>(who), std::move(frame));
+    }
+  }
+  return IoStatus::closed;
+}
+
+}  // namespace mhpx::dist::tcpdetail

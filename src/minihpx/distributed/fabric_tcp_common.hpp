@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file fabric_tcp_common.hpp
+/// Socket-layer plumbing shared by the in-process TCP parcelport
+/// (fabric_tcp.cpp) and the multi-process one (fabric_tcp_multiproc.cpp):
+/// restartable read/write loops, EINTR-safe accept, dialing with bounded
+/// jittered retries, TCP_NODELAY with read-back verification, and the
+/// bundle wire protocol (send and reader side).
+///
+/// Bundle wire format (little-endian host order; both ends are the same
+/// architecture — loopback sockets or a homogeneous cluster):
+///   uint32 source_locality | uint32 nframes | uint32 total_bytes
+///   uint32 frame_len * nframes
+///   frame bytes, concatenated in order
+///
+/// Socket-option semantics, audited (the satellite of PR 9):
+///   - TCP_NODELAY must be set on BOTH ends of every connection. The mesh
+///     uses one socket per unordered pair full-duplex, so a Nagled accepted
+///     end would delay half of all traffic (replies in particular).
+///     configure_nodelay() verifies the option stuck via getsockopt and the
+///     fabrics expose the count through debug_socket_audit().
+///   - SO_REUSEADDR is set on LISTENERS ONLY: it lets a relaunched rank
+///     rebind its advertised port while stale connections from a previous
+///     run linger in TIME_WAIT. It is deliberately NOT set on dialed
+///     sockets (they bind ephemeral ports; reuse would be meaningless) and
+///     it is not SO_REUSEPORT — two live localities must still collide if
+///     misconfigured with the same endpoint.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/gid.hpp"
+#include "minihpx/resilience/backoff.hpp"
+
+namespace mhpx::dist::tcpdetail {
+
+[[noreturn]] void throw_errno(const char* what);
+
+/// Outcome of a blocking read: data, orderly peer close, or a real error
+/// (errno preserved for the caller's diagnostics).
+enum class IoStatus { ok, closed, error };
+
+/// Blocking full-buffer read, restarted on EINTR.
+IoStatus read_all(int fd, void* out, std::size_t n);
+
+/// Blocking full-buffer send (MSG_NOSIGNAL), restarted on EINTR; throws
+/// std::system_error on failure. Handshake/bootstrap use only — data-path
+/// sends go through send_bundle, which never throws.
+void write_all(int fd, const void* data, std::size_t n);
+
+/// accept(2) restarted on EINTR. A signal delivered to the accepting
+/// thread (a profiler's SIGPROF, a debugger attach, the stress harness's
+/// timers) used to abort the whole mesh bring-up; now it just retries.
+/// Returns the accepted fd; throws on real errors.
+int accept_retry(int listen_fd);
+
+/// Set TCP_NODELAY and verify via getsockopt that it stuck.
+bool configure_nodelay(int fd);
+
+/// Read back whether TCP_NODELAY is enabled on \p fd.
+bool nodelay_enabled(int fd);
+
+/// Dial 127-net address \p ip_be:\p port (ip in network byte order) with
+/// bounded jittered retries: ECONNREFUSED/ETIMEDOUT mean the peer is not
+/// listening *yet* — benign when all localities live in one process that
+/// binds every listener first, fatal for independently started processes
+/// without the retry. Each re-dial bumps \p retries (surfaced as the apex
+/// counter /parcels/<fabric>/connect-retries). Returns the connected fd;
+/// throws std::system_error once backoff.policy().max_retries is spent.
+int dial_retry(std::uint32_t ip_be, std::uint16_t port,
+               mhpx::resilience::Backoff& backoff,
+               std::atomic<std::uint64_t>* retries);
+
+/// One directed connection endpoint. fd stays open after death (readers
+/// may be blocked in recv on it; close() would race fd reuse) — shutdown()
+/// wakes them with EOF.
+struct Conn {
+  std::atomic<int> fd{-1};
+  std::atomic<bool> dead{false};
+  std::atomic<bool> error_logged{false};
+};
+
+/// Largest number of frames one sendmsg() carries: 2 iovecs per frame plus
+/// the bundle header stay far below IOV_MAX (POSIX floor 1024).
+constexpr std::size_t max_wire_frames = 120;
+constexpr std::size_t bundle_header_words = 3;  // src, nframes, total_bytes
+/// Reader-side sanity bounds; both ends speak this protocol, so violations
+/// mean a torn stream, not a hostile peer.
+constexpr std::uint32_t max_sane_frames = 1u << 20;
+constexpr std::uint32_t max_sane_bytes = 1u << 30;
+
+/// Report one connection failure (first failure per connection only — a
+/// dead board would otherwise flood the log once per queued frame).
+void log_conn_error(Conn& c, const char* op, locality_id src, locality_id dst,
+                    int err);
+
+/// One bundle -> one sendmsg (looped only on partial writes / EINTR).
+/// Returns false when the connection failed — the error is counted in
+/// \p send_errors, the conn marked dead, and (while \p running) logged
+/// once; the caller owns drop accounting. Never throws: surviving a flaky
+/// wire beats crashing the driver.
+bool send_bundle(Conn& c, int fd, locality_id src, locality_id dst,
+                 WireFrame* frames, std::size_t count,
+                 std::atomic<std::uint64_t>& send_errors,
+                 const std::atomic<bool>& running);
+
+/// Blocking bundle reader: decode bundles from \p fd and hand every frame
+/// to deliver(source, frame) until the stream ends, \p running clears, or
+/// the stream tears (treated as IoStatus::error). Returns the final status.
+IoStatus read_bundles(
+    int fd, const std::atomic<bool>& running,
+    const std::function<void(locality_id, std::vector<std::byte>)>& deliver);
+
+}  // namespace mhpx::dist::tcpdetail

@@ -1,0 +1,351 @@
+// Multi-process TCP parcelport: the fabric one OS process uses when every
+// locality is its own process (--launch=process).
+//
+// Unlike the in-process TcpFabric — which owns all n listeners and both
+// ends of every connection — this fabric owns exactly one endpoint: the
+// local rank's data listener and its n-1 connections. Wiring happens in
+// two phases (DESIGN.md §13):
+//   1. rendezvous bootstrap (bootstrap.hpp): bind the data listener on an
+//      ephemeral port, then register with rank 0 (or serve, if we are
+//      rank 0) to obtain the complete rank → endpoint table;
+//   2. full-mesh dial against the table: rank j dials every i < j (with
+//      bounded jittered retries — a peer may still be between bootstrap
+//      and listen-ready) and accepts from every k > j, learning k from the
+//      same one-u32 handshake the in-process mesh uses. With the data
+//      listener's backlog >= n the sequential dial-then-accept order is
+//      deadlock-free.
+//
+// Sends must originate at the local rank: in multi-process mode a frame
+// with src != rank would claim another process's identity on the wire (its
+// reply would route to a pending-request table that lives over there). The
+// runtime's proxy localities guarantee this by wrapping impersonated calls
+// in ParcelKind::forward parcels; the fabric enforces it.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "minihpx/distributed/bootstrap.hpp"
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/fabric_tcp_common.hpp"
+#include "minihpx/distributed/launch.hpp"
+#include "minihpx/distributed/parcel_pipeline.hpp"
+#include "minihpx/instrument.hpp"
+#include "minihpx/resilience/backoff.hpp"
+
+namespace mhpx::dist {
+
+namespace {
+
+using tcpdetail::Conn;
+using tcpdetail::IoStatus;
+
+/// Dial/registration backoff tuned for process launch: cold processes can
+/// lag by whole scheduler quanta, so allow many cheap retries before the
+/// cap instead of the remote-call policy's few.
+mhpx::resilience::BackoffPolicy boot_backoff_policy(double timeout_s) {
+  mhpx::resilience::BackoffPolicy p;
+  p.initial_s = 0.005;
+  p.factor = 1.6;
+  p.cap_s = 0.25;
+  p.jitter = 0.25;
+  // Enough retries that cap * max_retries comfortably exceeds the
+  // bootstrap timeout — the deadline, not the count, is the real bound.
+  p.max_retries = static_cast<unsigned>(timeout_s / p.cap_s) + 16;
+  return p;
+}
+
+class MultiprocTcpFabric final : public Fabric {
+ public:
+  explicit MultiprocTcpFabric(ProcessLaunchConfig cfg)
+      : cfg_(std::move(cfg)) {}
+
+  ~MultiprocTcpFabric() override { shutdown(); }
+
+  void connect(std::vector<receive_fn> receivers) override {
+    const auto n = static_cast<locality_id>(receivers.size());
+    rank_ = cfg_.rank;
+    if (rank_ >= n) {
+      throw std::invalid_argument(
+          "tcp-multiproc: rank out of range for locality count");
+    }
+    receivers_ = std::move(receivers);
+    conns_ = std::vector<Conn>(n);
+    pipeline_ = std::make_unique<SendPipeline>(
+        coalesce_config_from_env(),
+        [this](locality_id src, locality_id dst, FrameBatch batch) {
+          wire_flush(src, dst, std::move(batch));
+        });
+    pipeline_->connect(n);
+
+    // Phase 1: data listener + rendezvous.
+    auto [data_fd, data_ep] = bind_listener(0, static_cast<int>(n) + 1);
+    std::vector<Endpoint> table;
+    mhpx::resilience::Backoff backoff(
+        boot_backoff_policy(cfg_.bootstrap_timeout_s),
+        /*seed=*/0x9e3779b9u + rank_);
+    try {
+      if (rank_ == 0) {
+        int rfd = cfg_.rendezvous_listen_fd;
+        bool own_rfd = false;
+        if (rfd < 0) {
+          const Endpoint rdv = parse_endpoint(cfg_.rendezvous);
+          auto [bound, ep] = bind_listener(rdv.port, static_cast<int>(n) + 1);
+          (void)ep;
+          rfd = bound;
+          own_rfd = true;
+        }
+        try {
+          table = rendezvous_serve(rfd, n, data_ep, cfg_.bootstrap_timeout_s);
+        } catch (...) {
+          if (own_rfd || cfg_.rendezvous_listen_fd >= 0) {
+            ::close(rfd);
+          }
+          throw;
+        }
+        ::close(rfd);
+        cfg_.rendezvous_listen_fd = -1;
+      } else {
+        table = rendezvous_register(parse_endpoint(cfg_.rendezvous), rank_, n,
+                                    data_ep, backoff, &connect_retries_,
+                                    cfg_.bootstrap_timeout_s);
+      }
+
+      // Phase 2: full mesh against the table. Dial every lower rank...
+      for (locality_id i = 0; i < rank_; ++i) {
+        const int fd = tcpdetail::dial_retry(table[i].ip_be, table[i].port,
+                                             backoff, &connect_retries_);
+        const std::uint32_t who = rank_;
+        tcpdetail::write_all(fd, &who, sizeof(who));
+        if (!tcpdetail::configure_nodelay(fd)) {
+          throw std::runtime_error("tcp-multiproc: TCP_NODELAY rejected");
+        }
+        conns_[i].fd.store(fd);
+      }
+      // ...then accept every higher rank.
+      for (locality_id remaining = n - 1 - rank_; remaining > 0;
+           --remaining) {
+        const int afd = tcpdetail::accept_retry(data_fd);
+        std::uint32_t who = 0;
+        if (tcpdetail::read_all(afd, &who, sizeof(who)) != IoStatus::ok) {
+          ::close(afd);
+          throw std::runtime_error("tcp-multiproc: mesh handshake failed");
+        }
+        if (who <= rank_ || who >= n ||
+            conns_[who].fd.load(std::memory_order_acquire) >= 0) {
+          ::close(afd);
+          throw std::runtime_error(
+              "tcp-multiproc: mesh handshake announced an invalid rank");
+        }
+        if (!tcpdetail::configure_nodelay(afd)) {
+          throw std::runtime_error("tcp-multiproc: TCP_NODELAY rejected");
+        }
+        conns_[who].fd.store(afd);
+      }
+    } catch (...) {
+      ::close(data_fd);
+      throw;
+    }
+    ::close(data_fd);
+
+    // One reader per peer connection, delivering into the local rank.
+    running_.store(true);
+    for (locality_id p = 0; p < n; ++p) {
+      if (p == rank_) {
+        continue;
+      }
+      readers_.emplace_back([this, p] { reader_loop(p); });
+    }
+  }
+
+  void send(locality_id src, locality_id dst,
+            std::vector<std::byte> frame) override {
+    send(src, dst, WireFrame(std::move(frame)));
+  }
+
+  void send(locality_id src, locality_id dst, WireFrame frame) override {
+    if (src != rank_) {
+      throw std::logic_error(
+          "tcp-multiproc: send must originate at the local rank (proxy "
+          "localities forward instead of impersonating)");
+    }
+    if (dst == rank_) {
+      deliver_local(src, dst, std::move(frame).flatten());
+      return;
+    }
+    if (dst >= conns_.size()) {
+      throw std::logic_error("tcp-multiproc: destination out of range");
+    }
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+    instrument::detail::notify_parcel(src, dst, frame.size());
+    pipeline_->submit(src, dst, std::move(frame));
+  }
+
+  void flush() override {
+    if (pipeline_) {
+      pipeline_->flush_all();
+    }
+  }
+
+  void cork() override {
+    if (pipeline_) {
+      pipeline_->cork();
+    }
+  }
+
+  void uncork() override {
+    if (pipeline_) {
+      pipeline_->uncork();
+    }
+  }
+
+  [[nodiscard]] SocketAudit debug_socket_audit() const override {
+    SocketAudit audit;
+    for (const Conn& c : conns_) {
+      const int fd = c.fd.load(std::memory_order_acquire);
+      if (fd < 0) {
+        continue;
+      }
+      ++audit.sockets;
+      if (!tcpdetail::nodelay_enabled(fd)) {
+        ++audit.missing_nodelay;
+      }
+    }
+    return audit;
+  }
+
+  void shutdown() override {
+    bool expected = true;
+    if (!running_.compare_exchange_strong(expected, false)) {
+      // Not started or already shut down; still join any stray readers.
+    }
+    if (pipeline_) {
+      pipeline_->flush_all();
+    }
+    for (Conn& c : conns_) {
+      const int fd = c.fd.load(std::memory_order_acquire);
+      if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+    for (auto& t : readers_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    readers_.clear();
+    for (Conn& c : conns_) {
+      const int fd = c.fd.exchange(-1);
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+  }
+
+  [[nodiscard]] Stats stats() const override {
+    Stats s;
+    s.messages = messages_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.recv_errors = recv_errors_.load(std::memory_order_relaxed);
+    s.send_errors = send_errors_.load(std::memory_order_relaxed);
+    s.connect_retries = connect_retries_.load(std::memory_order_relaxed);
+    if (pipeline_) {
+      const auto p = pipeline_->stats();
+      s.flushes = p.flushes;
+      s.coalesced_frames = p.coalesced;
+      s.flushed_bytes = p.flushed_bytes;
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return "tcp-multiproc";
+  }
+
+ private:
+  void deliver_local(locality_id src, locality_id dst,
+                     std::vector<std::byte> frame) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(frame.size(), std::memory_order_relaxed);
+    receivers_[dst](src, std::move(frame));
+  }
+
+  void drop_batch(locality_id src, locality_id dst, const FrameBatch& batch) {
+    for (const auto& f : batch.frames) {
+      instrument::detail::notify_parcel_dropped(src, dst, f.size());
+    }
+  }
+
+  void wire_flush(locality_id src, locality_id dst, FrameBatch batch) {
+    Conn& c = conns_[dst];
+    if (c.dead.load(std::memory_order_acquire)) {
+      drop_batch(src, dst, batch);
+      return;
+    }
+    const int fd = c.fd.load(std::memory_order_acquire);
+    if (fd < 0) {
+      drop_batch(src, dst, batch);
+      return;
+    }
+    std::size_t first = 0;
+    while (first < batch.frames.size()) {
+      const std::size_t count =
+          std::min(batch.frames.size() - first, tcpdetail::max_wire_frames);
+      if (!tcpdetail::send_bundle(c, fd, src, dst, &batch.frames[first],
+                                  count, send_errors_, running_)) {
+        FrameBatch rest;
+        for (std::size_t i = first; i < batch.frames.size(); ++i) {
+          rest.frames.push_back(std::move(batch.frames[i]));
+        }
+        drop_batch(src, dst, rest);
+        return;
+      }
+      first += count;
+    }
+  }
+
+  void reader_loop(locality_id peer) {
+    const int fd = conns_[peer].fd.load(std::memory_order_acquire);
+    if (fd < 0) {
+      return;
+    }
+    const IoStatus st = tcpdetail::read_bundles(
+        fd, running_,
+        [this](locality_id who, std::vector<std::byte> frame) {
+          receivers_[rank_](who, std::move(frame));
+        });
+    if (st == IoStatus::error && running_.load(std::memory_order_acquire)) {
+      recv_errors_.fetch_add(1, std::memory_order_relaxed);
+      tcpdetail::log_conn_error(conns_[peer], "recv", peer, rank_, errno);
+    }
+  }
+
+  ProcessLaunchConfig cfg_;
+  locality_id rank_ = 0;
+  std::vector<receive_fn> receivers_;
+  std::vector<Conn> conns_;  // [peer]; slot rank_ stays empty
+  std::unique_ptr<SendPipeline> pipeline_;
+  std::vector<std::thread> readers_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> recv_errors_{0};
+  std::atomic<std::uint64_t> send_errors_{0};
+  std::atomic<std::uint64_t> connect_retries_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Fabric> make_multiproc_tcp_fabric(ProcessLaunchConfig cfg) {
+  return std::make_unique<MultiprocTcpFabric>(std::move(cfg));
+}
+
+}  // namespace mhpx::dist

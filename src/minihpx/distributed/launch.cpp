@@ -1,0 +1,182 @@
+#include "minihpx/distributed/launch.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "minihpx/distributed/bootstrap.hpp"
+
+namespace mhpx::dist {
+
+namespace {
+
+std::mutex g_launch_mutex;
+ProcessLaunchConfig g_launch;
+bool g_launch_initialized = false;
+
+}  // namespace
+
+ProcessLaunchConfig launch_config_from_env() {
+  ProcessLaunchConfig cfg;
+  const char* mode = std::getenv("RVEVAL_LAUNCH");
+  if (mode == nullptr || std::strcmp(mode, "process") != 0) {
+    return cfg;
+  }
+  cfg.enabled = true;
+  if (const char* rank = std::getenv("RVEVAL_RANK")) {
+    cfg.rank = static_cast<std::uint32_t>(std::strtoul(rank, nullptr, 10));
+  }
+  if (const char* rdv = std::getenv("RVEVAL_RENDEZVOUS")) {
+    cfg.rendezvous = rdv;
+  }
+  if (const char* t = std::getenv("RVEVAL_BOOTSTRAP_TIMEOUT_S")) {
+    cfg.bootstrap_timeout_s = std::strtod(t, nullptr);
+  }
+  return cfg;
+}
+
+const ProcessLaunchConfig& process_launch() {
+  std::lock_guard lk(g_launch_mutex);
+  if (!g_launch_initialized) {
+    g_launch = launch_config_from_env();
+    g_launch_initialized = true;
+  }
+  return g_launch;
+}
+
+void set_process_launch(ProcessLaunchConfig cfg) {
+  std::lock_guard lk(g_launch_mutex);
+  g_launch = std::move(cfg);
+  g_launch_initialized = true;
+}
+
+ScopedProcessLaunch::ScopedProcessLaunch(ProcessLaunchConfig cfg)
+    : previous_(process_launch()) {
+  set_process_launch(std::move(cfg));
+}
+
+ScopedProcessLaunch::~ScopedProcessLaunch() {
+  set_process_launch(std::move(previous_));
+}
+
+WorkerGroup::~WorkerGroup() {
+  for (const pid_t pid : pids_) {
+    // Anything still alive at teardown is a stuck worker (wait_all reaps
+    // clean exits and clears the list): kill hard and reap the zombie.
+    if (::kill(pid, 0) == 0) {
+      ::kill(pid, SIGKILL);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+}
+
+WorkerGroup::WorkerGroup(WorkerGroup&& other) noexcept
+    : pids_(std::move(other.pids_)),
+      rendezvous_(std::move(other.rendezvous_)),
+      listen_fd_(other.listen_fd_),
+      nranks_(other.nranks_) {
+  other.pids_.clear();
+  other.listen_fd_ = -1;
+}
+
+WorkerGroup& WorkerGroup::operator=(WorkerGroup&& other) noexcept {
+  if (this != &other) {
+    this->~WorkerGroup();
+    new (this) WorkerGroup(std::move(other));
+  }
+  return *this;
+}
+
+WorkerGroup WorkerGroup::spawn(const std::string& worker_binary,
+                               unsigned nranks,
+                               unsigned threads_per_locality,
+                               const std::vector<std::string>& extra_args) {
+  if (nranks < 2) {
+    throw std::invalid_argument("WorkerGroup: need at least 2 localities");
+  }
+  WorkerGroup group;
+  group.nranks_ = nranks;
+  // Bind before forking: workers can dial immediately, and the listener
+  // carries FD_CLOEXEC so the exec'd children do not inherit it.
+  auto [fd, ep] = bind_listener(0, static_cast<int>(nranks) + 1);
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  group.listen_fd_ = fd;
+  group.rendezvous_ = ep.str();
+
+  for (unsigned rank = 1; rank < nranks; ++rank) {
+    std::vector<std::string> args;
+    args.push_back(worker_binary);
+    args.push_back("--rank=" + std::to_string(rank));
+    args.push_back("--localities=" + std::to_string(nranks));
+    args.push_back("--threads=" + std::to_string(threads_per_locality));
+    args.push_back("--rendezvous=" + group.rendezvous_);
+    for (const std::string& a : extra_args) {
+      args.push_back(a);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) {
+      argv.push_back(a.data());
+    }
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw std::runtime_error("WorkerGroup: fork failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      ::execv(worker_binary.c_str(), argv.data());
+      // Reached only when exec failed (missing binary, bad permissions).
+      std::fprintf(stderr, "rveval_locality exec failed: %s: %s\n",
+                   worker_binary.c_str(), std::strerror(errno));
+      ::_exit(127);
+    }
+    group.pids_.push_back(pid);
+  }
+  return group;
+}
+
+ProcessLaunchConfig WorkerGroup::take_rank0_config() {
+  if (listen_fd_ < 0) {
+    throw std::logic_error("WorkerGroup: rank-0 config already taken");
+  }
+  ProcessLaunchConfig cfg;
+  cfg.enabled = true;
+  cfg.rank = 0;
+  cfg.rendezvous = rendezvous_;
+  cfg.rendezvous_listen_fd = listen_fd_;
+  listen_fd_ = -1;
+  return cfg;
+}
+
+bool WorkerGroup::wait_all() {
+  bool all_clean = true;
+  for (const pid_t pid : pids_) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r != pid || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      all_clean = false;
+    }
+  }
+  pids_.clear();
+  return all_clean;
+}
+
+}  // namespace mhpx::dist

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file launch.hpp
+/// Multi-process locality launch (--launch=process): the process-wide
+/// launch configuration the DistributedRuntime consults, the multiproc
+/// TCP fabric factory, and a fork/exec helper that spawns one
+/// rveval_locality worker per peer rank.
+///
+/// In this mode every locality is its own OS process. The process hosting
+/// rank 0 (a test, fig8, or rveval_locality --rank=0) is the orchestrator:
+/// it owns the rendezvous endpoint, drives the simulation, and broadcasts
+/// shutdown parcels when its runtime is destroyed. Workers construct the
+/// same DistributedRuntime with their own rank and block in
+/// wait_for_remote_shutdown(). DistSimulation runs unchanged on top — the
+/// runtime transparently turns every non-local locality into a forwarding
+/// proxy (see locality.hpp, ParcelKind::forward).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "minihpx/distributed/fabric.hpp"
+
+namespace mhpx::dist {
+
+/// How this process participates in a multi-process launch.
+struct ProcessLaunchConfig {
+  bool enabled = false;
+  /// This process's locality id (0 = orchestrator).
+  std::uint32_t rank = 0;
+  /// Rendezvous endpoint "host:port": rank 0 binds and serves it (unless
+  /// rendezvous_listen_fd already carries a bound listener), every other
+  /// rank dials it.
+  std::string rendezvous = "127.0.0.1:0";
+  /// Rank 0 only: an already-bound, already-listening rendezvous socket.
+  /// Binding before spawning workers makes the bootstrap race-free; the
+  /// fabric takes ownership and closes it after the broadcast.
+  int rendezvous_listen_fd = -1;
+  /// Give up on the bootstrap (missing workers, dead orchestrator) after
+  /// this long.
+  double bootstrap_timeout_s = 30.0;
+};
+
+/// Process-wide launch configuration, consulted by DistributedRuntime when
+/// its Config does not carry one explicitly. Defaults come from the
+/// environment at first use: RVEVAL_LAUNCH=process enables it, with
+/// RVEVAL_RANK, RVEVAL_RENDEZVOUS and RVEVAL_BOOTSTRAP_TIMEOUT_S filling
+/// the fields — which is how spawned workers inherit their identity
+/// without every caller threading a config through.
+[[nodiscard]] const ProcessLaunchConfig& process_launch();
+void set_process_launch(ProcessLaunchConfig cfg);
+
+/// Parse RVEVAL_LAUNCH / RVEVAL_RANK / RVEVAL_RENDEZVOUS /
+/// RVEVAL_BOOTSTRAP_TIMEOUT_S into a config (disabled when RVEVAL_LAUNCH
+/// is unset or not "process").
+[[nodiscard]] ProcessLaunchConfig launch_config_from_env();
+
+/// RAII: install a launch config for a scope, restoring the previous
+/// process-wide value on destruction (tests and fig8 run several launches
+/// in one process).
+class ScopedProcessLaunch {
+ public:
+  explicit ScopedProcessLaunch(ProcessLaunchConfig cfg);
+  ~ScopedProcessLaunch();
+  ScopedProcessLaunch(const ScopedProcessLaunch&) = delete;
+  ScopedProcessLaunch& operator=(const ScopedProcessLaunch&) = delete;
+
+ private:
+  ProcessLaunchConfig previous_;
+};
+
+/// The multi-process TCP parcelport: one real endpoint per process, wired
+/// by the rendezvous bootstrap (bootstrap.hpp) plus the standard full-mesh
+/// dial. name() == "tcp-multiproc". Throws BootstrapError / system_error
+/// when the cluster cannot form.
+std::unique_ptr<Fabric> make_multiproc_tcp_fabric(ProcessLaunchConfig cfg);
+
+/// Worker ranks 1..n-1 spawned as rveval_locality processes, plus the
+/// pre-bound rendezvous listener rank 0 will serve. The group reaps its
+/// children; destruction kills anything still running (SIGKILL after
+/// waitpid bookkeeping) so a crashed orchestrator never leaks workers.
+class WorkerGroup {
+ public:
+  WorkerGroup() = default;
+  ~WorkerGroup();
+  WorkerGroup(WorkerGroup&& other) noexcept;
+  WorkerGroup& operator=(WorkerGroup&& other) noexcept;
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  /// Bind the rendezvous listener (FD_CLOEXEC: workers must not inherit
+  /// it), then fork+exec \p worker_binary once per rank in [1, nranks)
+  /// with --rank/--localities/--threads/--rendezvous plus \p extra_args.
+  static WorkerGroup spawn(const std::string& worker_binary, unsigned nranks,
+                           unsigned threads_per_locality,
+                           const std::vector<std::string>& extra_args = {});
+
+  /// The orchestrator's launch config. Transfers ownership of the
+  /// rendezvous listener fd to the caller's fabric; callable once.
+  [[nodiscard]] ProcessLaunchConfig take_rank0_config();
+
+  /// Block until every worker exits; true iff all exited with status 0.
+  bool wait_all();
+
+  [[nodiscard]] std::size_t size() const { return pids_.size(); }
+  [[nodiscard]] const std::string& rendezvous() const { return rendezvous_; }
+
+ private:
+  std::vector<pid_t> pids_;
+  std::string rendezvous_;
+  int listen_fd_ = -1;
+  unsigned nranks_ = 0;
+};
+
+}  // namespace mhpx::dist

@@ -13,9 +13,10 @@ Component* find_component(Locality& here, std::uint64_t id) {
 }  // namespace detail
 
 Locality::Locality(locality_id id, DistributedRuntime& runtime,
-                   unsigned num_threads, std::size_t stack_size)
+                   unsigned num_threads, std::size_t stack_size, bool proxy)
     : id_(id),
       runtime_(runtime),
+      proxy_(proxy),
       scheduler_(threads::Scheduler::Config{
           num_threads, stack_size, /*deterministic=*/false, /*det_seed=*/0,
           /*trace_locality=*/id}) {
@@ -24,7 +25,14 @@ Locality::Locality(locality_id id, DistributedRuntime& runtime,
 
 Locality::~Locality() = default;
 
+Locality& Locality::origin() { return runtime_.local_locality(); }
+
 gid Locality::adopt(std::unique_ptr<Component> component) {
+  if (proxy_) {
+    throw std::logic_error(
+        "Locality::adopt: components cannot live on a proxy locality (the "
+        "rank is hosted by another process)");
+  }
   std::lock_guard lk(components_mutex_);
   const std::uint64_t local_id = next_component_++;
   components_.emplace(local_id, std::move(component));
@@ -51,6 +59,34 @@ void Locality::destroy(const gid& g) {
 std::size_t Locality::component_count() const {
   std::lock_guard lk(components_mutex_);
   return components_.size();
+}
+
+future<Locality::RawReply> Locality::send_raw_request(
+    locality_id dst, ParcelKind kind, std::uint64_t action,
+    std::uint64_t target, std::vector<std::byte> payload) {
+  auto state = std::make_shared<mhpx::detail::shared_state<RawReply>>();
+  const std::uint64_t request = next_request_.fetch_add(1);
+  {
+    std::lock_guard lk(pending_mutex_);
+    pending_[request] = [state](std::uint8_t status,
+                                serialization::InputArchive& in) {
+      RawReply r;
+      r.status = status;
+      r.payload.resize(in.remaining());
+      in.read_bytes(r.payload.data(), r.payload.size());
+      state->set_value(std::move(r));
+    };
+  }
+  Parcel p;
+  p.header.kind = kind;
+  p.header.source = id_;
+  p.header.destination = dst;
+  p.header.action = action;
+  p.header.target = target;
+  p.header.request = request;
+  p.payload = std::move(payload);
+  send_parcel(std::move(p));
+  return future<RawReply>(std::move(state));
 }
 
 void Locality::send_parcel(Parcel p) {
@@ -166,8 +202,46 @@ void Locality::handle_parcel(Parcel p) {
       }
       break;
     }
+    case ParcelKind::forward: {
+      // Re-issue the wrapped request as *this* locality and relay the raw
+      // reply. The handler fiber blocks on the inner future — legal on a
+      // worker fiber, and the inner reply arrives through the normal
+      // pending-table path of this (real) locality.
+      Parcel reply;
+      reply.header.kind = ParcelKind::reply;
+      reply.header.source = id_;
+      reply.header.destination = p.header.source;
+      reply.header.request = p.header.request;
+      try {
+        serialization::InputArchive in(p.payload);
+        std::uint8_t inner_kind = 0;
+        std::uint64_t action = 0;
+        locality_id dst = 0;
+        std::uint64_t target = 0;
+        in& inner_kind& action& dst& target;
+        std::vector<std::byte> inner(in.remaining());
+        in.read_bytes(inner.data(), inner.size());
+        RawReply raw =
+            send_raw_request(dst, static_cast<ParcelKind>(inner_kind), action,
+                             target, std::move(inner))
+                .get();
+        reply.header.status = raw.status;
+        reply.payload = std::move(raw.payload);
+      } catch (const std::exception& e) {
+        reply.header.status = 1;
+        serialization::OutputArchive out;
+        std::string message = e.what();
+        out& message;
+        reply.payload = std::move(out).take();
+      }
+      send_parcel(std::move(reply));
+      break;
+    }
     case ParcelKind::shutdown:
-      break;  // cooperative teardown marker; nothing to do in-process
+      // In-process runtimes never send these; in multi-process mode this
+      // is the orchestrator telling a worker its runtime may tear down.
+      runtime_.notify_remote_shutdown();
+      break;
     default:
       // Corrupted kind byte that survived framing: drop, like deliver().
       dropped_frames_.fetch_add(1, std::memory_order_relaxed);

@@ -36,13 +36,20 @@ class DistributedRuntime;
 
 class Locality {
  public:
+  /// A \p proxy locality is a multi-process stand-in for a rank hosted by
+  /// another OS process: it keeps the id and the unified call<>() syntax,
+  /// but every request it originates is wrapped in a ParcelKind::forward
+  /// parcel and sent from this process's *real* locality to the rank's
+  /// real process, which re-issues the call as itself. Proxies never host
+  /// components and never put frames on the wire under their own id.
   Locality(locality_id id, DistributedRuntime& runtime, unsigned num_threads,
-           std::size_t stack_size);
+           std::size_t stack_size, bool proxy = false);
   ~Locality();
   Locality(const Locality&) = delete;
   Locality& operator=(const Locality&) = delete;
 
   [[nodiscard]] locality_id id() const noexcept { return id_; }
+  [[nodiscard]] bool is_proxy() const noexcept { return proxy_; }
   [[nodiscard]] threads::Scheduler& scheduler() noexcept { return scheduler_; }
 
   /// This locality's own counter registry — the namespace apex::remote
@@ -74,7 +81,7 @@ class Locality {
   /// arguments; resolves to the new component's gid.
   template <typename C, typename... Args>
   future<gid> create_on(locality_id where, Args&&... args) {
-    if (where == id_) {
+    if (!proxy_ && where == id_) {
       return make_ready_future(create_local<C>(std::forward<Args>(args)...));
     }
     serialization::OutputArchive payload;
@@ -117,7 +124,7 @@ class Locality {
     using R = typename detail::action_traits<A>::result;
     typename detail::action_traits<A>::args_tuple tup(
         std::forward<Args>(args)...);
-    if (target.locality == id_) {
+    if (!proxy_ && target.locality == id_) {
       // Local short-circuit: same dispatch, no serialization round-trip.
       auto state = std::make_shared<mhpx::detail::shared_state<R>>();
       scheduler_.post([this, target, tup = std::move(tup), state]() mutable {
@@ -181,11 +188,26 @@ class Locality {
     }
   }
 
+  /// An inner reply relayed verbatim by a forward handler: status byte and
+  /// the undecoded reply payload (typed decoding happens at the origin).
+  struct RawReply {
+    std::uint8_t status = 0;
+    std::vector<std::byte> payload;
+  };
+
   /// Send a request parcel and return a future resolved by the reply.
+  /// A proxy locality cannot speak on the wire as itself — its pending
+  /// table lives in this process while its identity lives in another — so
+  /// its requests are re-routed through the real local locality as a
+  /// ParcelKind::forward envelope.
   template <typename R>
   future<R> send_request(locality_id dst, ParcelKind kind,
                          std::uint64_t action, std::uint64_t target,
                          std::vector<std::byte> payload) {
+    if (proxy_) {
+      return origin().forward_request<R>(id_, dst, kind, action, target,
+                                         std::move(payload));
+    }
     auto state = std::make_shared<mhpx::detail::shared_state<R>>();
     const std::uint64_t request = next_request_.fetch_add(1);
     {
@@ -224,11 +246,36 @@ class Locality {
     return future<R>(std::move(state));
   }
 
+  /// Wrap an impersonated request as a forward envelope and send it to
+  /// \p via's real process; the typed resolver still lives here, keyed by
+  /// this (real) locality's request id.
+  template <typename R>
+  future<R> forward_request(locality_id via, locality_id dst, ParcelKind kind,
+                            std::uint64_t action, std::uint64_t target,
+                            std::vector<std::byte> inner) {
+    serialization::OutputArchive env;
+    const auto inner_kind = static_cast<std::uint8_t>(kind);
+    env& inner_kind& action& dst& target;
+    env.write_bytes(inner.data(), inner.size());
+    return send_request<R>(via, ParcelKind::forward, /*action=*/0,
+                           /*target=*/0, std::move(env).take());
+  }
+
+  /// Issue a request whose reply is wanted raw (forward handlers relay the
+  /// bytes without knowing the result type).
+  future<RawReply> send_raw_request(locality_id dst, ParcelKind kind,
+                                    std::uint64_t action, std::uint64_t target,
+                                    std::vector<std::byte> payload);
+
+  /// The real locality hosted by this process (proxy plumbing).
+  Locality& origin();
+
   void send_parcel(Parcel p);
   void handle_parcel(Parcel p);
 
   locality_id id_;
   DistributedRuntime& runtime_;
+  bool proxy_ = false;
   threads::Scheduler scheduler_;
 
   mutable std::mutex components_mutex_;  // guards components_/next_component_

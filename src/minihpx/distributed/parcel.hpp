@@ -24,6 +24,14 @@ enum class ParcelKind : std::uint8_t {
   reply = 1,     ///< deliver an action result to a pending request
   create = 2,    ///< construct a component from a registered factory
   shutdown = 3,  ///< cooperative teardown notification
+  /// Re-issue the wrapped request *as the receiving locality* and relay
+  /// the raw reply back. Multi-process mode only: a proxy locality cannot
+  /// put frames on the wire under the impersonated rank's identity (the
+  /// reply would route to a pending table in the wrong process), so the
+  /// orchestrator forwards the call to the rank's real process instead.
+  /// Payload: u8 inner kind | u64 action | u32 destination | u64 target |
+  /// inner payload bytes.
+  forward = 4,
 };
 
 struct ParcelHeader {

@@ -1,17 +1,43 @@
 #include "minihpx/distributed/runtime.hpp"
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 namespace mhpx::dist {
 
-DistributedRuntime::DistributedRuntime(Config cfg) {
-  fabric_ = cfg.fabric_factory ? cfg.fabric_factory() : make_fabric(cfg.fabric);
+DistributedRuntime::DistributedRuntime(Config cfg)
+    : launch_(cfg.launch ? *cfg.launch : process_launch()) {
+  if (launch_.enabled) {
+    if (cfg.fabric_factory) {
+      throw std::logic_error(
+          "DistributedRuntime: fabric_factory cannot be combined with "
+          "multi-process launch (each process owns exactly one tcp-multiproc "
+          "endpoint; decorators like FaultyFabric assume all localities are "
+          "in-process)");
+    }
+    if (cfg.fabric != FabricKind::tcp) {
+      throw std::logic_error(
+          "DistributedRuntime: multi-process launch requires the tcp "
+          "parcelport (--fabric=tcp)");
+    }
+    if (launch_.rank >= cfg.num_localities) {
+      throw std::logic_error(
+          "DistributedRuntime: launch rank out of range for --localities");
+    }
+    fabric_ = make_multiproc_tcp_fabric(launch_);
+  } else {
+    fabric_ =
+        cfg.fabric_factory ? cfg.fabric_factory() : make_fabric(cfg.fabric);
+  }
   localities_.reserve(cfg.num_localities);
   for (locality_id i = 0; i < cfg.num_localities; ++i) {
-    localities_.push_back(
-        std::make_unique<Locality>(i, *this, cfg.threads_per_locality,
-                                   cfg.stack_size));
+    // In multi-process mode only this process's rank is a real locality;
+    // the others are single-thread proxies that forward (locality.hpp).
+    const bool proxy = launch_.enabled && i != launch_.rank;
+    localities_.push_back(std::make_unique<Locality>(
+        i, *this, proxy ? 1u : cfg.threads_per_locality, cfg.stack_size,
+        proxy));
   }
   std::vector<Fabric::receive_fn> receivers;
   receivers.reserve(localities_.size());
@@ -26,13 +52,20 @@ DistributedRuntime::DistributedRuntime(Config cfg) {
   // corks the fabric and uncorks when it runs out of ready work, so the
   // replies the burst produced leave as one coalesced batch instead of one
   // wire send each. Held frames stop new work from arriving, so every
-  // burst ends and the uncork (a full flush) always comes.
+  // burst ends and the uncork (a full flush) always comes. Proxies never
+  // run handler bursts, so they get no hooks.
   for (auto& loc : localities_) {
+    if (loc->is_proxy()) {
+      continue;
+    }
     loc->scheduler().set_burst_hooks([f = fabric_.get()] { f->cork(); },
                                      [f = fabric_.get()] { f->uncork(); });
   }
   apex::register_fabric_counters(counters_, *fabric_);
   for (auto& loc : localities_) {
+    if (loc->is_proxy()) {
+      continue;  // its real counters live in the rank's own process
+    }
     apex::register_scheduler_counters(
         counters_, loc->scheduler(),
         "locality" + std::to_string(loc->id()));
@@ -45,8 +78,44 @@ DistributedRuntime::DistributedRuntime(Config cfg) {
 
 DistributedRuntime::~DistributedRuntime() {
   wait_all_idle();
+  if (launch_.enabled && launch_.rank == 0) {
+    // The orchestrator going down IS the cluster going down: release every
+    // worker blocked in wait_for_remote_shutdown() before the mesh closes.
+    broadcast_shutdown();
+  }
   // Stop the fabric first so no frame arrives at a half-destroyed locality.
   fabric_->shutdown();
+}
+
+void DistributedRuntime::broadcast_shutdown() {
+  const auto n = static_cast<locality_id>(localities_.size());
+  for (locality_id i = 0; i < n; ++i) {
+    if (i == launch_.rank) {
+      continue;
+    }
+    Parcel p;
+    p.header.kind = ParcelKind::shutdown;
+    p.header.source = launch_.rank;
+    p.header.destination = i;
+    fabric_->send(launch_.rank, i, encode_parcel_frame(std::move(p)));
+  }
+  fabric_->flush();
+}
+
+void DistributedRuntime::notify_remote_shutdown() {
+  {
+    std::lock_guard lk(shutdown_mutex_);
+    shutdown_received_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void DistributedRuntime::wait_for_remote_shutdown() {
+  if (!launch_.enabled) {
+    return;  // in-process: teardown is the destructor, nothing to wait for
+  }
+  std::unique_lock lk(shutdown_mutex_);
+  shutdown_cv_.wait(lk, [this] { return shutdown_received_; });
 }
 
 void DistributedRuntime::wait_all_idle() {

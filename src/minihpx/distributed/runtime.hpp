@@ -4,14 +4,28 @@
 /// DistributedRuntime: hosts N simulated localities over a chosen fabric —
 /// the analogue of launching octotiger with --hpx:localities=2 on the
 /// two-board cluster (paper Listings 2–3).
+///
+/// Two hosting modes:
+///   - in-process (default): all N localities live here, wired to a shared
+///     fabric — the original simulation substrate;
+///   - multi-process (--launch=process / ProcessLaunchConfig): this process
+///     hosts ONE real locality (its rank) plus lightweight proxies for the
+///     others, wired by the tcp-multiproc fabric's rendezvous bootstrap.
+///     Drivers like DistSimulation run unchanged on the orchestrator
+///     (rank 0): calls issued on a proxy are forwarded to the rank's real
+///     process (locality.hpp, ParcelKind::forward).
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "minihpx/apex/counters.hpp"
 #include "minihpx/config.hpp"
 #include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/launch.hpp"
 #include "minihpx/distributed/locality.hpp"
 
 namespace mhpx::dist {
@@ -27,6 +41,11 @@ class DistributedRuntime {
     /// tests and resilient drivers wrap any parcelport in a fault-injecting
     /// decorator (minihpx/resilience/fabric_faulty.hpp).
     std::function<std::unique_ptr<Fabric>()> fabric_factory;
+    /// Multi-process launch override. When unset, the process-wide config
+    /// (set_process_launch / RVEVAL_LAUNCH=process) applies — which is how
+    /// DistSimulation joins a multi-process cluster without a signature
+    /// change.
+    std::optional<ProcessLaunchConfig> launch;
   };
 
   explicit DistributedRuntime(Config cfg);
@@ -40,6 +59,24 @@ class DistributedRuntime {
   [[nodiscard]] Locality& locality(locality_id i) { return *localities_.at(i); }
   [[nodiscard]] Fabric& fabric() noexcept { return *fabric_; }
 
+  /// True when this runtime is one process of a multi-process cluster.
+  [[nodiscard]] bool multiprocess() const noexcept { return launch_.enabled; }
+
+  /// The rank this process hosts (0 unless multi-process).
+  [[nodiscard]] locality_id local_rank() const noexcept {
+    return launch_.enabled ? launch_.rank : 0;
+  }
+
+  /// The (real) locality hosted by this process.
+  [[nodiscard]] Locality& local_locality() {
+    return *localities_.at(local_rank());
+  }
+
+  /// Worker side of a multi-process launch: block until the orchestrator's
+  /// shutdown parcel arrives (sent by rank 0's destructor). Returns
+  /// immediately in-process.
+  void wait_for_remote_shutdown();
+
   /// Drain every locality. Callable only from an external (non-worker)
   /// thread; loops until a full sweep finds all localities idle (a reply
   /// can re-awaken an earlier-checked locality, hence the sweep).
@@ -48,8 +85,17 @@ class DistributedRuntime {
  private:
   friend class Locality;
 
+  /// Rank 0, multi-process: tell every worker its runtime may tear down.
+  void broadcast_shutdown();
+  /// Called from the shutdown-parcel handler (any locality).
+  void notify_remote_shutdown();
+
+  ProcessLaunchConfig launch_;
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<Locality>> localities_;
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_received_ = false;
   /// /parcels/{fabric}/... and /threads/locality<i>/... counters; declared
   /// last so they unregister before the sources they read are destroyed.
   apex::CounterBlock counters_;

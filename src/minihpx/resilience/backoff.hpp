@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file backoff.hpp
+/// Exponential backoff with multiplicative jitter, capped — the retry
+/// delay scheme introduced with the resilient distributed driver (PR 1,
+/// DESIGN.md "Resilience"), extracted so socket dials, rendezvous
+/// registration and remote-call replay all share one policy instead of
+/// three divergent copies.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+
+namespace mhpx::resilience {
+
+/// delay(attempt) = min(initial * factor^(attempt-1), cap) * U(1±jitter).
+struct BackoffPolicy {
+  unsigned max_retries = 6;  ///< retries after the first attempt
+  double initial_s = 0.002;  ///< delay before the first retry
+  double factor = 2.0;       ///< exponential growth per retry
+  double cap_s = 0.1;        ///< delay ceiling
+  double jitter = 0.25;      ///< ± fraction applied multiplicatively
+};
+
+/// Stateful delay generator. The jitter RNG is owned: two Backoff
+/// instances built from the same seed produce the same delay sequence,
+/// which keeps retry timing reproducible under a pinned RVEVAL seed.
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}, std::uint64_t seed = 0xb0ff)
+      : policy_(policy), rng_(seed) {}
+
+  [[nodiscard]] const BackoffPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+  /// Delay in seconds before retry \p attempt (1-based).
+  [[nodiscard]] double delay_s(unsigned attempt) {
+    double delay = policy_.initial_s;
+    for (unsigned a = 1; a < attempt; ++a) {
+      delay *= policy_.factor;
+    }
+    delay = std::min(delay, policy_.cap_s);
+    if (policy_.jitter > 0.0) {
+      std::uniform_real_distribution<double> u(1.0 - policy_.jitter,
+                                               1.0 + policy_.jitter);
+      delay *= u(rng_);
+    }
+    return delay;
+  }
+
+  /// Block the calling OS thread for delay_s(attempt).
+  void sleep(unsigned attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(delay_s(attempt)));
+  }
+
+ private:
+  BackoffPolicy policy_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace mhpx::resilience

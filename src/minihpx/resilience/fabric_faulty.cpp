@@ -103,6 +103,10 @@ bool FaultyFabric::debug_kill_endpoint(dist::locality_id victim) {
   return inner_->debug_kill_endpoint(victim);
 }
 
+dist::Fabric::SocketAudit FaultyFabric::debug_socket_audit() const {
+  return inner_->debug_socket_audit();
+}
+
 void FaultyFabric::shutdown() { inner_->shutdown(); }
 
 dist::Fabric::Stats FaultyFabric::stats() const { return inner_->stats(); }

@@ -63,6 +63,7 @@ class FaultyFabric final : public dist::Fabric {
   void cork() override;
   void uncork() override;
   bool debug_kill_endpoint(dist::locality_id victim) override;
+  [[nodiscard]] SocketAudit debug_socket_audit() const override;
   void shutdown() override;
   [[nodiscard]] Stats stats() const override;
   [[nodiscard]] std::string_view name() const override { return name_; }

@@ -425,6 +425,16 @@ DistSimulation::DistSimulation(
     : opt_(std::move(opt)),
       res_(std::move(res)),
       runtime_([&] {
+        if (res_.enabled && md::process_launch().enabled) {
+          // Checked before the runtime exists (a doomed bootstrap would
+          // otherwise block first): recovery needs to revive a locality in
+          // place and replay into this process; none of that is meaningful
+          // when the rank lives in another OS process that actually died.
+          throw std::logic_error(
+              "DistSimulation: resilient mode is not supported under "
+              "--launch=process (checkpoint/restart across processes "
+              "works; in-place recovery does not)");
+        }
         md::DistributedRuntime::Config cfg;
         cfg.num_localities = opt_.localities;
         cfg.threads_per_locality = opt_.threads;
@@ -432,7 +442,11 @@ DistSimulation::DistSimulation(
         cfg.fabric_factory = std::move(fabric_factory);
         return cfg;
       }()) {
-  rng_.seed(res_.seed);
+  backoff_ = mhpx::resilience::Backoff(
+      mhpx::resilience::BackoffPolicy{res_.max_retries, res_.backoff_initial_s,
+                                      res_.backoff_factor, res_.backoff_cap_s,
+                                      res_.backoff_jitter},
+      res_.seed);
   // Component creation is not idempotent, so construction must run without
   // injected faults: stash the faulty fabric's rates and zero them until
   // the wish-list gather below is done.
@@ -698,18 +712,7 @@ void DistSimulation::run() {
 // ------------------------------------------------------- resilient path
 
 void DistSimulation::backoff_sleep(unsigned attempt) {
-  // Exponential backoff with multiplicative jitter, capped.
-  double delay = res_.backoff_initial_s;
-  for (unsigned a = 1; a < attempt; ++a) {
-    delay *= res_.backoff_factor;
-  }
-  delay = std::min(delay, res_.backoff_cap_s);
-  if (res_.backoff_jitter > 0.0) {
-    std::uniform_real_distribution<double> u(1.0 - res_.backoff_jitter,
-                                             1.0 + res_.backoff_jitter);
-    delay *= u(rng_);
-  }
-  std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  backoff_.sleep(attempt);
 }
 
 bool DistSimulation::probe(md::locality_id l) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "minihpx/distributed/runtime.hpp"
+#include "minihpx/resilience/backoff.hpp"
 #include "minihpx/sync/mutex.hpp"
 #include "octotiger/driver.hpp"
 #include "octotiger/octree.hpp"
@@ -252,7 +253,9 @@ class DistSimulation {
   std::vector<std::uint64_t> all_ids_;  ///< every leaf id, for full restore
   std::uint32_t epoch_ = 0;   ///< bumped per recovery; keys stage tokens
   unsigned recoveries_ = 0;
-  std::mt19937_64 rng_{0};    ///< backoff jitter (seeded from res_.seed)
+  /// Retry-delay generator (shared scheme: minihpx/resilience/backoff.hpp);
+  /// rebuilt in the ctor from res_'s policy fields and seed.
+  mhpx::resilience::Backoff backoff_;
 };
 
 }  // namespace octo::dist

@@ -1,0 +1,579 @@
+// Multi-process launch plumbing (ctest label: multiproc).
+//
+// Everything below the DistributedRuntime: the shared Backoff policy, the
+// rendezvous bootstrap protocol (rank-table broadcast, duplicate-rank and
+// config-mismatch rejection, slow starters), the EINTR regressions in the
+// socket layer (accept retry, dial retry with bounded backoff), the
+// TCP_NODELAY conformance audit, and a 3-rank MultiprocTcpFabric mesh
+// hosted in threads (one fabric instance per simulated "process").
+//
+// The cross-process driver oracle — real fork/exec'd rveval_locality
+// workers producing bitwise-identical totals — lives in
+// tests/octotiger/test_multiproc_driver.cpp.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minihpx/distributed/bootstrap.hpp"
+#include "minihpx/distributed/fabric_tcp_common.hpp"
+#include "minihpx/distributed/launch.hpp"
+#include "minihpx/resilience/backoff.hpp"
+
+namespace md = mhpx::dist;
+namespace td = mhpx::dist::tcpdetail;
+using mhpx::resilience::Backoff;
+using mhpx::resilience::BackoffPolicy;
+
+// ----------------------------------------------------------------- backoff
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+  BackoffPolicy p;
+  p.initial_s = 0.001;
+  p.factor = 2.0;
+  p.cap_s = 0.005;
+  p.jitter = 0.0;  // deterministic delays for exact comparison
+  Backoff b(p);
+  EXPECT_DOUBLE_EQ(b.delay_s(1), 0.001);
+  EXPECT_DOUBLE_EQ(b.delay_s(2), 0.002);
+  EXPECT_DOUBLE_EQ(b.delay_s(3), 0.004);
+  EXPECT_DOUBLE_EQ(b.delay_s(4), 0.005);   // capped
+  EXPECT_DOUBLE_EQ(b.delay_s(10), 0.005);  // stays capped
+}
+
+TEST(Backoff, JitterStaysWithinBandAndIsSeedDeterministic) {
+  BackoffPolicy p;
+  p.initial_s = 0.01;
+  p.factor = 1.0;
+  p.cap_s = 0.01;
+  p.jitter = 0.25;
+  Backoff a(p, 42);
+  Backoff b(p, 42);
+  Backoff c(p, 43);
+  bool diverged = false;
+  for (unsigned i = 1; i <= 64; ++i) {
+    const double da = a.delay_s(i);
+    EXPECT_GE(da, 0.01 * 0.75);
+    EXPECT_LE(da, 0.01 * 1.25);
+    EXPECT_DOUBLE_EQ(da, b.delay_s(i)) << "same seed, same sequence";
+    diverged |= da != c.delay_s(i);
+  }
+  EXPECT_TRUE(diverged) << "different seeds should jitter differently";
+}
+
+// ---------------------------------------------------------------- endpoint
+
+TEST(Endpoint, ParsesDottedQuadAndLocalhost) {
+  const md::Endpoint a = md::parse_endpoint("127.0.0.1:7000");
+  EXPECT_EQ(a.ip_be, htonl(INADDR_LOOPBACK));
+  EXPECT_EQ(a.port, 7000);
+  EXPECT_EQ(a.str(), "127.0.0.1:7000");
+  EXPECT_EQ(md::parse_endpoint("localhost:1"), (md::Endpoint{
+                                                   htonl(INADDR_LOOPBACK), 1}));
+}
+
+TEST(Endpoint, RejectsMalformedInput) {
+  EXPECT_THROW(md::parse_endpoint("127.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(md::parse_endpoint("127.0.0.1:"), std::invalid_argument);
+  EXPECT_THROW(md::parse_endpoint("127.0.0.1:x"), std::invalid_argument);
+  EXPECT_THROW(md::parse_endpoint("127.0.0.1:70000"), std::invalid_argument);
+  EXPECT_THROW(md::parse_endpoint("not-an-ip:1"), std::invalid_argument);
+  EXPECT_THROW(md::parse_endpoint(":80"), std::invalid_argument);
+}
+
+TEST(Endpoint, BindListenerPicksAnEphemeralPort) {
+  auto [fd, ep] = md::bind_listener(0, 4);
+  EXPECT_GE(fd, 0);
+  EXPECT_NE(ep.port, 0);
+  EXPECT_EQ(ep.ip_be, htonl(INADDR_LOOPBACK));
+  ::close(fd);
+}
+
+// -------------------------------------------------------------- rendezvous
+
+namespace {
+
+Backoff test_backoff() {
+  BackoffPolicy p;
+  p.max_retries = 200;
+  p.initial_s = 0.002;
+  p.cap_s = 0.02;
+  return Backoff(p, ::testing::UnitTest::GetInstance()->random_seed());
+}
+
+md::Endpoint data_ep(std::uint16_t port) {
+  return md::Endpoint{htonl(INADDR_LOOPBACK), port};
+}
+
+}  // namespace
+
+TEST(Rendezvous, BroadcastsTheSameTableToEveryRank) {
+  auto [fd, ep] = md::bind_listener(0, 8);
+  const md::Endpoint self = data_ep(1000);
+  std::vector<md::Endpoint> served;
+  std::thread server(
+      [&, fd = fd] { served = md::rendezvous_serve(fd, 3, self, 10.0); });
+  std::vector<md::Endpoint> t1;
+  std::vector<md::Endpoint> t2;
+  std::thread w1([&, ep = ep] {
+    Backoff b = test_backoff();
+    t1 = md::rendezvous_register(ep, 1, 3, data_ep(1001), b, nullptr, 10.0);
+  });
+  std::thread w2([&, ep = ep] {
+    Backoff b = test_backoff();
+    t2 = md::rendezvous_register(ep, 2, 3, data_ep(1002), b, nullptr, 10.0);
+  });
+  server.join();
+  w1.join();
+  w2.join();
+  ::close(fd);
+  const std::vector<md::Endpoint> want{self, data_ep(1001), data_ep(1002)};
+  EXPECT_EQ(served, want);
+  EXPECT_EQ(t1, want);
+  EXPECT_EQ(t2, want);
+}
+
+TEST(Rendezvous, RejectsADuplicateRankWithoutDisturbingTheOriginal) {
+  auto [fd, ep] = md::bind_listener(0, 8);
+  const md::Endpoint self = data_ep(2000);
+  std::vector<md::Endpoint> served;
+  std::thread server(
+      [&, fd = fd] { served = md::rendezvous_serve(fd, 3, self, 10.0); });
+
+  Backoff b1 = test_backoff();
+  std::vector<md::Endpoint> t1;
+  std::thread w1([&, ep = ep] {
+    t1 = md::rendezvous_register(ep, 1, 3, data_ep(2001), b1, nullptr, 10.0);
+  });
+  // An impostor claiming rank 1 *after* the real rank 1 registered: it must
+  // be turned away with a status byte, and the original table slot kept.
+  // (Register serially so "who is the original" is deterministic.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    Backoff b = test_backoff();
+    EXPECT_THROW(
+        md::rendezvous_register(ep, 1, 3, data_ep(2099), b, nullptr, 10.0),
+        md::BootstrapError);
+  }
+  {
+    Backoff b = test_backoff();
+    const auto t2 =
+        md::rendezvous_register(ep, 2, 3, data_ep(2002), b, nullptr, 10.0);
+    EXPECT_EQ(t2[1], data_ep(2001)) << "original registration survives";
+  }
+  server.join();
+  w1.join();
+  ::close(fd);
+  EXPECT_EQ(served[1], data_ep(2001));
+  EXPECT_EQ(t1[1], data_ep(2001));
+}
+
+TEST(Rendezvous, RejectsMismatchedClusterSizeAndOutOfRangeRanks) {
+  auto [fd, ep] = md::bind_listener(0, 8);
+  std::vector<md::Endpoint> served;
+  std::thread server([&, fd = fd] {
+    served = md::rendezvous_serve(fd, 2, data_ep(3000), 10.0);
+  });
+  {
+    // Worker built for a 3-rank cluster dialing a 2-rank rendezvous.
+    Backoff b = test_backoff();
+    EXPECT_THROW(
+        md::rendezvous_register(ep, 1, 3, data_ep(3001), b, nullptr, 10.0),
+        md::BootstrapError);
+  }
+  {
+    // Rank beyond the cluster (claims nranks=2 but rank 5).
+    Backoff b = test_backoff();
+    EXPECT_THROW(
+        md::rendezvous_register(ep, 5, 2, data_ep(3005), b, nullptr, 10.0),
+        md::BootstrapError);
+  }
+  {
+    Backoff b = test_backoff();
+    const auto t =
+        md::rendezvous_register(ep, 1, 2, data_ep(3001), b, nullptr, 10.0);
+    EXPECT_EQ(t[1], data_ep(3001));
+  }
+  server.join();
+  ::close(fd);
+  EXPECT_EQ(served[1], data_ep(3001));
+}
+
+TEST(Rendezvous, IgnoresGarbageBytesFromAStrayClient) {
+  auto [fd, ep] = md::bind_listener(0, 8);
+  std::vector<md::Endpoint> served;
+  std::thread server([&, fd = fd] {
+    served = md::rendezvous_serve(fd, 2, data_ep(4000), 10.0);
+  });
+  {
+    // A non-protocol client (port scanner, health checker) writing junk:
+    // the server answers bad_magic and keeps serving.
+    Backoff b = test_backoff();
+    const int cfd =
+        td::dial_retry(ep.ip_be, ep.port, b, /*retries=*/nullptr);
+    unsigned char junk[22];
+    std::memset(junk, 0xAB, sizeof(junk));
+    td::write_all(cfd, junk, sizeof(junk));
+    unsigned char status = 0;
+    ASSERT_EQ(td::read_all(cfd, &status, 1), td::IoStatus::ok);
+    EXPECT_EQ(status, static_cast<unsigned char>(
+                          md::RendezvousStatus::bad_magic));
+    ::close(cfd);
+  }
+  {
+    Backoff b = test_backoff();
+    const auto t =
+        md::rendezvous_register(ep, 1, 2, data_ep(4001), b, nullptr, 10.0);
+    EXPECT_EQ(t[0], data_ep(4000));
+  }
+  server.join();
+  ::close(fd);
+}
+
+TEST(Rendezvous, SlowStarterRegistersLastAndStillGetsTheTable) {
+  auto [fd, ep] = md::bind_listener(0, 8);
+  std::vector<md::Endpoint> served;
+  std::thread server([&, fd = fd] {
+    served = md::rendezvous_serve(fd, 3, data_ep(5000), 10.0);
+  });
+  std::vector<md::Endpoint> fast;
+  std::vector<md::Endpoint> slow;
+  std::thread w2([&, ep = ep] {
+    Backoff b = test_backoff();
+    fast = md::rendezvous_register(ep, 2, 3, data_ep(5002), b, nullptr, 10.0);
+  });
+  std::thread w1([&, ep = ep] {
+    // The straggler: everyone else is already parked waiting for the table.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    Backoff b = test_backoff();
+    slow = md::rendezvous_register(ep, 1, 3, data_ep(5001), b, nullptr, 10.0);
+  });
+  server.join();
+  w1.join();
+  w2.join();
+  ::close(fd);
+  const std::vector<md::Endpoint> want{data_ep(5000), data_ep(5001),
+                                       data_ep(5002)};
+  EXPECT_EQ(fast, want);
+  EXPECT_EQ(slow, want);
+}
+
+TEST(Rendezvous, TimesOutNamingTheMissingRanks) {
+  auto [fd, ep] = md::bind_listener(0, 8);
+  (void)ep;
+  try {
+    md::rendezvous_serve(fd, 3, data_ep(6000), 0.2);
+    FAIL() << "expected BootstrapError";
+  } catch (const md::BootstrapError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2"), std::string::npos) << msg;
+  }
+  ::close(fd);
+}
+
+TEST(Rendezvous, WorkerGivesUpWhenNoServerEverListens) {
+  // Dial a bound-but-never-accepting... no: a *closed* port. Bind then
+  // close to obtain a port that is very likely unused.
+  auto [fd, ep] = md::bind_listener(0, 1);
+  ::close(fd);
+  BackoffPolicy p;
+  p.max_retries = 3;
+  p.initial_s = 0.001;
+  p.cap_s = 0.002;
+  Backoff b(p, 7);
+  std::atomic<std::uint64_t> retries{0};
+  EXPECT_THROW(md::rendezvous_register(ep, 1, 2, data_ep(7001), b, &retries,
+                                       1.0),
+               std::system_error);
+  EXPECT_GE(retries.load(), 3u) << "every retry must be counted";
+}
+
+// ------------------------------------------------- socket-layer regressions
+
+namespace {
+void noop_handler(int) {}
+}  // namespace
+
+TEST(SocketLayer, AcceptRetriesOnEintr) {
+  // Regression: accept() used to throw on EINTR, killing the mesh bring-up
+  // when any signal (SIGPROF, timers) landed on the accepting thread.
+  struct sigaction sa{};
+  struct sigaction old{};
+  sa.sa_handler = noop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: accept must see EINTR
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  auto [fd, ep] = md::bind_listener(0, 4);
+  std::atomic<bool> accepting{false};
+  int accepted = -1;
+  std::thread acceptor([&, fd = fd] {
+    accepting.store(true);
+    accepted = td::accept_retry(fd);
+  });
+  while (!accepting.load()) {
+    std::this_thread::yield();
+  }
+  // Pepper the accepting thread with signals; each one interrupts the
+  // blocking accept with EINTR.
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pthread_kill(acceptor.native_handle(), SIGUSR1);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Backoff b = test_backoff();
+  const int cfd = td::dial_retry(ep.ip_be, ep.port, b, nullptr);
+  acceptor.join();
+  EXPECT_GE(accepted, 0) << "accept_retry must survive EINTR and connect";
+  ::close(cfd);
+  if (accepted >= 0) {
+    ::close(accepted);
+  }
+  ::close(fd);
+  sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(SocketLayer, DialRetriesUntilTheListenerAppears) {
+  // Regression: the full-mesh connect() had no retry, so a locality whose
+  // peer had not yet reached listen() died on ECONNREFUSED. Reserve a port
+  // by binding and closing, dial it, and only *then* start the listener.
+  auto [fd0, ep] = md::bind_listener(0, 4);
+  ::close(fd0);
+  std::atomic<std::uint64_t> retries{0};
+  std::thread late_listener([ep = ep] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    // SO_REUSEADDR on listeners makes rebinding the just-closed port safe.
+    auto [fd, ep2] = md::bind_listener(ep.port, 4);
+    const int cfd = td::accept_retry(fd);
+    ::close(cfd);
+    ::close(fd);
+  });
+  BackoffPolicy p;
+  p.max_retries = 500;
+  p.initial_s = 0.002;
+  p.cap_s = 0.02;
+  Backoff b(p, 11);
+  const int cfd = td::dial_retry(ep.ip_be, ep.port, b, &retries);
+  EXPECT_GE(cfd, 0);
+  EXPECT_GT(retries.load(), 0u)
+      << "the listener started late; at least one re-dial must be counted";
+  ::close(cfd);
+  late_listener.join();
+}
+
+TEST(SocketLayer, DialGivesUpAfterBoundedRetries) {
+  auto [fd, ep] = md::bind_listener(0, 1);
+  ::close(fd);  // nobody will ever listen here
+  BackoffPolicy p;
+  p.max_retries = 4;
+  p.initial_s = 0.001;
+  p.cap_s = 0.002;
+  Backoff b(p, 13);
+  std::atomic<std::uint64_t> retries{0};
+  EXPECT_THROW(td::dial_retry(ep.ip_be, ep.port, b, &retries),
+               std::system_error);
+  EXPECT_EQ(retries.load(), 4u);
+}
+
+TEST(SocketLayer, NodelayIsSetAndVerifiedOnBothEnds) {
+  auto [fd, ep] = md::bind_listener(0, 4);
+  Backoff b = test_backoff();
+  int afd = -1;
+  std::thread acceptor([&, fd = fd] { afd = td::accept_retry(fd); });
+  const int cfd = td::dial_retry(ep.ip_be, ep.port, b, nullptr);
+  acceptor.join();
+  ASSERT_GE(afd, 0);
+  EXPECT_FALSE(td::nodelay_enabled(cfd)) << "fresh socket: Nagle on";
+  EXPECT_TRUE(td::configure_nodelay(cfd));
+  EXPECT_TRUE(td::configure_nodelay(afd));
+  EXPECT_TRUE(td::nodelay_enabled(cfd));
+  EXPECT_TRUE(td::nodelay_enabled(afd));
+  ::close(cfd);
+  ::close(afd);
+  ::close(fd);
+}
+
+// --------------------------------------------- multiproc fabric (threaded)
+
+namespace {
+
+/// One simulated "process" of the 3-rank cluster: its own fabric instance
+/// plus a per-rank frame log.
+struct SimProcess {
+  std::unique_ptr<md::Fabric> fabric;
+  std::mutex mutex;
+  std::vector<std::pair<md::locality_id, std::string>> received;
+
+  void connect(unsigned nranks) {
+    std::vector<md::Fabric::receive_fn> receivers;
+    for (unsigned i = 0; i < nranks; ++i) {
+      receivers.push_back(
+          [this](md::locality_id src, std::vector<std::byte> frame) {
+            std::lock_guard lk(mutex);
+            received.emplace_back(
+                src, std::string(reinterpret_cast<const char*>(frame.data()),
+                                 frame.size()));
+          });
+    }
+    fabric->connect(std::move(receivers));
+  }
+
+  [[nodiscard]] std::size_t count() {
+    std::lock_guard lk(mutex);
+    return received.size();
+  }
+};
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+}  // namespace
+
+TEST(MultiprocFabric, ThreeRanksExchangeFramesOverRealSockets) {
+  constexpr unsigned n = 3;
+  auto [rfd, rep] = md::bind_listener(0, n + 1);
+
+  SimProcess procs[n];
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (unsigned r = 0; r < n; ++r) {
+    threads.emplace_back([&, r, rfd = rfd, rep = rep] {
+      try {
+        md::ProcessLaunchConfig cfg;
+        cfg.enabled = true;
+        cfg.rank = r;
+        cfg.rendezvous = rep.str();
+        cfg.rendezvous_listen_fd = r == 0 ? rfd : -1;
+        cfg.bootstrap_timeout_s = 20.0;
+        procs[r].fabric = md::make_multiproc_tcp_fabric(cfg);
+        procs[r].connect(n);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "rank " << r << ": " << e.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+
+  EXPECT_EQ(procs[0].fabric->name(), "tcp-multiproc");
+
+  // Every ordered pair sends one frame; loopback delivery included.
+  for (unsigned src = 0; src < n; ++src) {
+    for (unsigned dst = 0; dst < n; ++dst) {
+      const std::string msg =
+          "m" + std::to_string(src) + std::to_string(dst);
+      procs[src].fabric->send(src, dst, bytes_of(msg));
+    }
+    procs[src].fabric->flush();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (unsigned r = 0; r < n; ++r) {
+    while (procs[r].count() < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::lock_guard lk(procs[r].mutex);
+    ASSERT_EQ(procs[r].received.size(), n) << "rank " << r;
+    std::vector<bool> seen(n, false);
+    for (const auto& [src, msg] : procs[r].received) {
+      EXPECT_EQ(msg, "m" + std::to_string(src) + std::to_string(r));
+      seen[src] = true;
+    }
+    for (unsigned src = 0; src < n; ++src) {
+      EXPECT_TRUE(seen[src]) << "rank " << r << " missing frame from " << src;
+    }
+  }
+
+  // The one-real-endpoint-per-process invariant: a send whose source is not
+  // the hosted rank means proxy plumbing leaked a frame — reject loudly.
+  EXPECT_THROW(procs[0].fabric->send(1, 2, bytes_of("x")), std::logic_error);
+
+  // Conformance audit (satellite: NODELAY on both ends). Each process holds
+  // one socket per peer — dialed or accepted — and all must have NODELAY.
+  for (unsigned r = 0; r < n; ++r) {
+    const auto audit = procs[r].fabric->debug_socket_audit();
+    EXPECT_EQ(audit.sockets, n - 1) << "rank " << r;
+    EXPECT_EQ(audit.missing_nodelay, 0u) << "rank " << r;
+  }
+
+  for (unsigned r = 0; r < n; ++r) {
+    procs[r].fabric->shutdown();
+  }
+}
+
+TEST(MultiprocFabric, SlowOrchestratorForcesWorkersToRedialUnderBackoff) {
+  // Rank 0 binds its own rendezvous endpoint 300ms after the workers start
+  // dialing it — the by-hand launch order nobody can control. The workers
+  // must survive the ECONNREFUSED window on jittered retries, and those
+  // retries must be visible in /parcels/tcp-multiproc/connect-retries.
+  constexpr unsigned n = 3;
+  auto [reserve_fd, rep] = md::bind_listener(0, 1);
+  ::close(reserve_fd);  // rank 0 will rebind this port itself, late
+  SimProcess procs[n];
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (unsigned r = 0; r < n; ++r) {
+    threads.emplace_back([&, r, rep = rep] {
+      try {
+        if (r == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        }
+        md::ProcessLaunchConfig cfg;
+        cfg.enabled = true;
+        cfg.rank = r;
+        cfg.rendezvous = rep.str();
+        cfg.bootstrap_timeout_s = 20.0;
+        procs[r].fabric = md::make_multiproc_tcp_fabric(cfg);
+        procs[r].connect(n);
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "rank " << r << ": " << e.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+  procs[1].fabric->send(1, 2, bytes_of("late"));
+  procs[1].fabric->flush();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (procs[2].count() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(procs[2].count(), 1u);
+  std::uint64_t total_retries = 0;
+  for (unsigned r = 1; r < n; ++r) {
+    total_retries += procs[r].fabric->stats().connect_retries;
+  }
+  EXPECT_GT(total_retries, 0u)
+      << "workers dialed a rendezvous endpoint that was not up yet";
+  for (unsigned r = 0; r < n; ++r) {
+    procs[r].fabric->shutdown();
+  }
+}

@@ -651,6 +651,39 @@ TEST(DetCoalescing, GlobalOrderSurvivesBatching) {
   fabric->shutdown();
 }
 
+// --------------------------------------------------- socket audit (tcp)
+
+TEST(TcpSocketAudit, EveryMeshSocketHasNodelayOnBothEnds) {
+  // Conformance assertion for the audited socket-option semantics
+  // (fabric_tcp_common.hpp): each connection is full-duplex, so a Nagled
+  // *accepted* end would delay replies even though every dialed end was
+  // configured — the audit reads TCP_NODELAY back on every live fd, both
+  // ends included, via getsockopt.
+  Recorder rec(3);
+  auto fabric = make_fabric(FabricKind::tcp);
+  fabric->connect(rec.receivers());
+  const auto audit = fabric->debug_socket_audit();
+  EXPECT_GE(audit.sockets, 3u) << "3-locality mesh: one socket per pair";
+  EXPECT_EQ(audit.missing_nodelay, 0u);
+  fabric->shutdown();
+
+  // Decorators must forward the audit to the socket-owning inner fabric.
+  Recorder rec2(3);
+  auto det = make_deterministic_fabric(make_fabric(FabricKind::tcp));
+  det->connect(rec2.receivers());
+  const auto det_audit = det->debug_socket_audit();
+  EXPECT_GE(det_audit.sockets, 3u);
+  EXPECT_EQ(det_audit.missing_nodelay, 0u);
+  det->shutdown();
+
+  // Non-socket fabrics audit as empty rather than lying.
+  auto inproc = make_fabric(FabricKind::inproc);
+  Recorder rec3(2);
+  inproc->connect(rec3.receivers());
+  EXPECT_EQ(inproc->debug_socket_audit().sockets, 0u);
+  inproc->shutdown();
+}
+
 // ------------------------------------------------------ peer death (tcp)
 
 TEST(TcpPeerDeath, SendAfterDeathDropsInsteadOfThrowing) {

@@ -1,0 +1,227 @@
+// Multi-process DistSimulation oracle (ctest label: multiproc).
+//
+// The tentpole acceptance gate: rotating-star (and binary-merger) on three
+// SEPARATE OS processes over the tcp-multiproc parcelport must produce
+// conservation totals BITWISE identical to the same run hosted in-process
+// over the plain TCP fabric. The cross-process leg fork/execs the real
+// rveval_locality worker binary (path baked in as RVEVAL_WORKER_BIN) in
+// --spawn mode and greps its TOTAL lines, which carry the raw IEEE-754
+// bits precisely so this comparison needs no decimal round-trip.
+//
+// Also covered: checkpoint/restart across the process boundary (a restart
+// file written by a multi-process cluster restores bit-exactly in-process),
+// federated apex counters read from locality 0 across processes, and slow-
+// starting workers joining late.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/distributed/launch.hpp"
+#include "octotiger/distributed/dist_driver.hpp"
+#include "octotiger/options.hpp"
+#include "octotiger/scenario/scenario.hpp"
+
+namespace md = mhpx::dist;
+using octo::Cons;
+using octo::Options;
+
+namespace {
+
+struct RunOutput {
+  int exit_code = -1;
+  std::string out;
+};
+
+/// Run a command, capturing stdout (stderr goes to the test log).
+RunOutput run_cmd(const std::string& cmd) {
+  RunOutput r;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return r;
+  }
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    r.out += buf;
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  }
+  return r;
+}
+
+std::string worker_bin() { return RVEVAL_WORKER_BIN; }
+
+/// Parse "TOTAL <name> <decimal> 0x<bits>" lines into name -> raw bits.
+std::map<std::string, std::uint64_t> parse_totals(const std::string& out) {
+  std::map<std::string, std::uint64_t> bits;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    std::string name;
+    std::string dec;
+    std::string hex;
+    if (ls >> tag >> name >> dec >> hex && tag == "TOTAL") {
+      bits[name] = std::stoull(hex, nullptr, 16);
+    }
+  }
+  return bits;
+}
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  static_assert(sizeof(b) == sizeof(v));
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+Options small_opt(const std::string& scenario, unsigned steps) {
+  Options opt;
+  octo::scenario::apply(opt, scenario);
+  opt.max_level = 1;
+  opt.stop_step = steps;
+  opt.threads = 2;
+  opt.localities = 3;
+  return opt;
+}
+
+struct Reference {
+  Cons totals;
+  double last_dt = 0.0;
+};
+
+/// The in-process leg: same options, plain TCP fabric, all three
+/// localities in this test process.
+Reference run_inproc(const Options& opt) {
+  octo::dist::DistSimulation sim(opt, md::FabricKind::tcp);
+  sim.run();
+  return {sim.totals(), sim.stats().last_dt};
+}
+
+void expect_bitwise_match(const Reference& ref,
+                          const std::map<std::string, std::uint64_t>& proc,
+                          const std::string& label) {
+  ASSERT_EQ(proc.count("rho"), 1u) << label << ": missing TOTAL lines";
+  EXPECT_EQ(proc.at("rho"), bits_of(ref.totals.rho)) << label;
+  EXPECT_EQ(proc.at("sx"), bits_of(ref.totals.sx)) << label;
+  EXPECT_EQ(proc.at("sy"), bits_of(ref.totals.sy)) << label;
+  EXPECT_EQ(proc.at("sz"), bits_of(ref.totals.sz)) << label;
+  EXPECT_EQ(proc.at("egas"), bits_of(ref.totals.egas)) << label;
+  EXPECT_EQ(proc.at("last_dt"), bits_of(ref.last_dt)) << label;
+}
+
+std::string tmp_path(const char* stem) {
+  return ::testing::TempDir() + stem + "." + std::to_string(::getpid());
+}
+
+}  // namespace
+
+TEST(MultiprocDriver, RotatingStarTotalsBitwiseIdenticalToInprocessTcp) {
+  const Reference ref = run_inproc(small_opt("rotating_star", 2));
+  const RunOutput proc = run_cmd(
+      worker_bin() +
+      " --spawn --localities=3 --threads=2 --scenario=rotating_star"
+      " --steps=2 --max-level=1");
+  ASSERT_EQ(proc.exit_code, 0) << proc.out;
+  expect_bitwise_match(ref, parse_totals(proc.out), "rotating_star");
+}
+
+TEST(MultiprocDriver, BinaryMergerTotalsBitwiseIdenticalToInprocessTcp) {
+  const Reference ref = run_inproc(small_opt("binary_merger", 2));
+  const RunOutput proc = run_cmd(
+      worker_bin() +
+      " --spawn --localities=3 --threads=2 --scenario=binary_merger"
+      " --steps=2 --max-level=1");
+  ASSERT_EQ(proc.exit_code, 0) << proc.out;
+  expect_bitwise_match(ref, parse_totals(proc.out), "binary_merger");
+}
+
+TEST(MultiprocDriver, CheckpointWrittenAcrossProcessesRestoresBitExactly) {
+  // A 3-process cluster runs one step and writes a restart file; a second
+  // 3-process cluster restores it and finishes step 2. The final totals
+  // must match an uninterrupted in-process 2-step run bit for bit — the
+  // same checkpoint/restart surface, now spanning real process boundaries.
+  const std::string ckpt = tmp_path("multiproc_ckpt");
+  const RunOutput first = run_cmd(
+      worker_bin() +
+      " --spawn --localities=3 --threads=2 --scenario=rotating_star"
+      " --steps=1 --max-level=1 --write-checkpoint=" + ckpt);
+  ASSERT_EQ(first.exit_code, 0) << first.out;
+
+  const RunOutput second = run_cmd(
+      worker_bin() +
+      " --spawn --localities=3 --threads=2 --scenario=rotating_star"
+      " --steps=2 --max-level=1 --restore=" + ckpt);
+  ASSERT_EQ(second.exit_code, 0) << second.out;
+
+  const Reference ref = run_inproc(small_opt("rotating_star", 2));
+  expect_bitwise_match(ref, parse_totals(second.out), "restored run");
+
+  // The same restart file also restores into an in-process simulation:
+  // the checkpoint format is launch-mode agnostic.
+  {
+    octo::dist::DistSimulation sim(small_opt("rotating_star", 2),
+                                   md::FabricKind::tcp);
+    sim.restore_from(ckpt);
+    sim.run();
+    EXPECT_EQ(bits_of(sim.totals().rho), bits_of(ref.totals.rho));
+    EXPECT_EQ(bits_of(sim.totals().egas), bits_of(ref.totals.egas));
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(MultiprocDriver, FederatedCountersReachableAcrossProcesses) {
+  // PR-5 federation over real process boundaries: locality 0 reads worker
+  // ranks' /threads and modelled /power counters through the apex::remote
+  // actions, which now travel the tcp-multiproc wire.
+  const RunOutput proc = run_cmd(
+      worker_bin() +
+      " --spawn --localities=3 --threads=2 --scenario=rotating_star"
+      " --steps=1 --max-level=1 --print-counters");
+  ASSERT_EQ(proc.exit_code, 0) << proc.out;
+  for (const char* needle :
+       {"COUNTER loc1 /threads/", "COUNTER loc2 /threads/",
+        "COUNTER loc1 /power/", "COUNTER loc2 /power/"}) {
+    EXPECT_NE(proc.out.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n"
+        << proc.out;
+  }
+}
+
+TEST(MultiprocDriver, SlowStartingWorkersStillFormTheCluster) {
+  // Every worker sleeps 400ms before constructing its runtime while the
+  // orchestrator is already serving the rendezvous; the run must complete
+  // with the same bits as ever (the bootstrap waits, nothing times out).
+  const Reference ref = run_inproc(small_opt("rotating_star", 1));
+  const RunOutput proc = run_cmd(
+      worker_bin() +
+      " --spawn --localities=3 --threads=2 --scenario=rotating_star"
+      " --steps=1 --max-level=1 --start-delay-ms=400");
+  ASSERT_EQ(proc.exit_code, 0) << proc.out;
+  expect_bitwise_match(ref, parse_totals(proc.out), "slow start");
+}
+
+TEST(MultiprocDriver, ResilientModeRefusesProcessLaunchClearly) {
+  md::ProcessLaunchConfig lc;
+  lc.enabled = true;
+  lc.rank = 0;
+  md::ScopedProcessLaunch guard(lc);
+  octo::dist::ResilienceConfig res;
+  res.enabled = true;
+  EXPECT_THROW(octo::dist::DistSimulation(small_opt("rotating_star", 1),
+                                          md::FabricKind::tcp, res, {}),
+               std::logic_error);
+}

@@ -1,0 +1,252 @@
+/// \file rveval_locality.cpp
+/// One locality as one OS process (--launch=process mode, DESIGN.md §13).
+///
+/// Worker (--rank=i, i > 0): join the cluster through the rendezvous
+/// endpoint, host locality i (components arrive as create parcels from the
+/// orchestrator — the scenario never needs to be repeated on the command
+/// line), and block until rank 0's runtime broadcasts shutdown.
+///
+/// Orchestrator (--rank=0, the default): drive a DistSimulation over the
+/// multi-process cluster and print the conserved totals in both decimal and
+/// raw IEEE-754 bits — the lines the bitwise cross-process oracle greps.
+/// With --spawn it forks its own workers (re-exec'ing this binary), so
+///
+///   rveval_locality --spawn --localities=3 --scenario=rotating_star
+///
+/// is a complete three-process run. Without --spawn, start the workers by
+/// hand first:
+///
+///   rveval_locality --rank=1 --localities=3 --rendezvous=127.0.0.1:7000 &
+///   rveval_locality --rank=2 --localities=3 --rendezvous=127.0.0.1:7000 &
+///   rveval_locality --rank=0 --localities=3 --rendezvous=127.0.0.1:7000
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/power/attribution.hpp"
+#include "core/power/energy.hpp"
+#include "minihpx/apex/remote.hpp"
+#include "minihpx/distributed/launch.hpp"
+#include "minihpx/distributed/runtime.hpp"
+#include "octotiger/distributed/dist_driver.hpp"
+#include "octotiger/options.hpp"
+#include "octotiger/scenario/scenario.hpp"
+
+namespace md = mhpx::dist;
+
+namespace {
+
+struct Cli {
+  unsigned rank = 0;
+  unsigned localities = 3;
+  unsigned threads = 2;
+  std::string rendezvous = "127.0.0.1:0";
+  double bootstrap_timeout_s = 30.0;
+  bool spawn = false;            ///< rank 0: fork the workers myself
+  unsigned start_delay_ms = 0;   ///< slow-starter injection (tests)
+  std::string scenario = "rotating_star";
+  unsigned steps = 2;
+  unsigned max_level = 1;
+  std::string write_checkpoint;  ///< rank 0: write a restart file after run
+  std::string restore;           ///< rank 0: restore before running
+  bool print_counters = false;   ///< rank 0: federated apex digest
+};
+
+bool parse_flag(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--rank=N] --localities=N [--threads=T]\n"
+      "          [--rendezvous=host:port] [--bootstrap-timeout=S]\n"
+      "          [--spawn] [--start-delay-ms=D]\n"
+      "          [--scenario=NAME] [--steps=N] [--max-level=L]\n"
+      "          [--write-checkpoint=PATH] [--restore=PATH]\n"
+      "          [--print-counters]\n",
+      argv0);
+  return 2;
+}
+
+/// Path of this binary, for --spawn re-exec.
+std::string self_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+void print_double(const char* name, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::printf("TOTAL %s %.17g 0x%016" PRIx64 "\n", name, v, bits);
+}
+
+int run_worker(const Cli& cli) {
+  if (cli.start_delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(cli.start_delay_ms));
+  }
+  md::ProcessLaunchConfig lc;
+  lc.enabled = true;
+  lc.rank = cli.rank;
+  lc.rendezvous = cli.rendezvous;
+  lc.bootstrap_timeout_s = cli.bootstrap_timeout_s;
+
+  md::DistributedRuntime::Config rcfg;
+  rcfg.num_localities = cli.localities;
+  rcfg.threads_per_locality = cli.threads;
+  rcfg.fabric = md::FabricKind::tcp;
+  rcfg.launch = lc;
+  md::DistributedRuntime rt(rcfg);
+
+  // The modelled board meter for this rank, in the locality's own registry
+  // so the orchestrator's federated /power/** reads cross the process
+  // boundary exactly like they cross localities in-process.
+  auto& loc = rt.local_locality();
+  rveval::power::register_power_counters(loc.counters_block(),
+                                         loc.scheduler(),
+                                         rveval::power::visionfive2_board(),
+                                         rt.local_rank());
+  std::fprintf(stderr, "rveval_locality: rank %u up (%u localities)\n",
+               cli.rank, cli.localities);
+  rt.wait_for_remote_shutdown();
+  std::fprintf(stderr, "rveval_locality: rank %u shutting down\n", cli.rank);
+  return 0;
+}
+
+int run_orchestrator(const Cli& cli, const char* argv0) {
+  octo::Options opt;
+  octo::scenario::apply(opt, cli.scenario);
+  opt.max_level = cli.max_level;
+  opt.stop_step = cli.steps;
+  opt.threads = cli.threads;
+  opt.localities = cli.localities;
+
+  md::WorkerGroup group;
+  md::ProcessLaunchConfig lc;
+  lc.enabled = true;
+  lc.rank = 0;
+  lc.bootstrap_timeout_s = cli.bootstrap_timeout_s;
+  if (cli.spawn) {
+    std::vector<std::string> extra;
+    if (cli.start_delay_ms > 0) {
+      // Forwarded to every worker: the slow-starter injection the
+      // bootstrap's retry path is tested against.
+      extra.push_back("--start-delay-ms=" +
+                      std::to_string(cli.start_delay_ms));
+    }
+    group = md::WorkerGroup::spawn(self_path(argv0), cli.localities,
+                                   cli.threads, extra);
+    lc = group.take_rank0_config();
+  } else {
+    lc.rendezvous = cli.rendezvous;
+  }
+  md::ScopedProcessLaunch guard(lc);
+  {
+    octo::dist::DistSimulation sim(opt, md::FabricKind::tcp);
+    if (!cli.restore.empty()) {
+      sim.restore_from(cli.restore);
+    }
+    sim.run();
+    if (!cli.write_checkpoint.empty()) {
+      sim.write_checkpoint(cli.write_checkpoint);
+    }
+    const octo::Cons t = sim.totals();
+    std::printf("SCENARIO %s steps %u localities %u\n", cli.scenario.c_str(),
+                sim.stats().steps, cli.localities);
+    print_double("rho", t.rho);
+    print_double("sx", t.sx);
+    print_double("sy", t.sy);
+    print_double("sz", t.sz);
+    print_double("egas", t.egas);
+    print_double("last_dt", sim.stats().last_dt);
+    if (cli.print_counters) {
+      // Federated digest: every rank's counters read from locality 0
+      // through the apex::remote actions — over the wire for ranks hosted
+      // by other processes.
+      auto& from = sim.runtime().local_locality();
+      for (unsigned l = 0; l < cli.localities; ++l) {
+        for (const char* pattern : {"/threads/**", "/power/**"}) {
+          for (const auto& [name, value] : mhpx::apex::remote::read_matching(
+                   from, l, pattern)) {
+            std::printf("COUNTER loc%u %s %.17g\n", l, name.c_str(), value);
+          }
+        }
+      }
+    }
+    // sim's destructor tears the runtime down, broadcasting shutdown to the
+    // workers — which must happen before wait_all() below can return.
+  }
+  if (cli.spawn && !group.wait_all()) {
+    std::fprintf(stderr, "rveval_locality: a worker exited nonzero\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (parse_flag(arg, "--rank", v)) {
+      cli.rank = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(arg, "--localities", v)) {
+      cli.localities = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(arg, "--threads", v)) {
+      cli.threads = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(arg, "--rendezvous", v)) {
+      cli.rendezvous = v;
+    } else if (parse_flag(arg, "--bootstrap-timeout", v)) {
+      cli.bootstrap_timeout_s = std::stod(v);
+    } else if (arg == "--spawn") {
+      cli.spawn = true;
+    } else if (parse_flag(arg, "--start-delay-ms", v)) {
+      cli.start_delay_ms = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(arg, "--scenario", v)) {
+      cli.scenario = v;
+    } else if (parse_flag(arg, "--steps", v)) {
+      cli.steps = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(arg, "--max-level", v)) {
+      cli.max_level = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(arg, "--write-checkpoint", v)) {
+      cli.write_checkpoint = v;
+    } else if (parse_flag(arg, "--restore", v)) {
+      cli.restore = v;
+    } else if (arg == "--print-counters") {
+      cli.print_counters = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cli.localities < 1 || cli.rank >= cli.localities) {
+    std::fprintf(stderr, "rveval_locality: need 0 <= rank < localities\n");
+    return 2;
+  }
+  try {
+    return cli.rank == 0 ? run_orchestrator(cli, argv[0]) : run_worker(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rveval_locality: rank %u failed: %s\n", cli.rank,
+                 e.what());
+    return 1;
+  }
+}
