@@ -182,12 +182,45 @@ int main(int argc, char** argv) {
   }
   t_span.print(std::cout);
 
-  // --- 4. Counter registry + sampler, on a live traced run. -------------
-  rveval::report::Table t_counters("A8.4: counter registry after one run");
+  // --- 4. Histogram record-path overhead gate. ---------------------------
+  // Same workload, tracing off both arms; the only difference is the
+  // latency-histogram record path (scheduler task-wait/task-run, step
+  // timer). set_enabled(false) short-circuits record_ns() at its first
+  // branch — the same early-out the -DMHPX_HISTOGRAMS_DISABLED build
+  // compiles away entirely — so this prices the enabled path against the
+  // ablated one. Gate: < 5% wall-time delta, nonzero exit on failure.
+  apex::trace::enable(false);
+  // Min-of-5: the record path costs nanoseconds per event, so the signal
+  // is small — more reps keep a single descheduled rep from reading as
+  // overhead (the ctest registration additionally runs this RUN_SERIAL).
+  constexpr int hist_reps = 5;
+  apex::Histogram::set_enabled(false);
+  const double wall_hist_off = min_of_reps(opt, hist_reps);
+  apex::Histogram::set_enabled(true);
+  const double wall_hist_on = min_of_reps(opt, hist_reps);
+  const double hist_overhead_pct =
+      (wall_hist_on - wall_hist_off) / wall_hist_off * 100.0;
+  const bool hist_gate_ok = hist_overhead_pct < 5.0;
+  rveval::report::Table t_hist(
+      "A8.4: latency-histogram record-path overhead (min of " +
+      std::to_string(hist_reps) + " reps, tracing off)");
+  t_hist.headers({"histograms", "wall [ms]", "overhead"});
+  t_hist.row({"disabled", rveval::report::Table::num(wall_hist_off * 1e3, 2),
+              "-"});
+  t_hist.row({"enabled", rveval::report::Table::num(wall_hist_on * 1e3, 2),
+              rveval::report::Table::num(hist_overhead_pct, 2) + "%"});
+  t_hist.print(std::cout);
+  std::cout << "check: histogram overhead < 5%: "
+            << (hist_gate_ok ? "yes" : "NO") << "\n\n";
+
+  // --- 5. Counter registry + sampler, on a live traced run. -------------
+  rveval::report::Table t_counters("A8.5: counter registry after one run");
   t_counters.headers({"counter", "kind", "value"});
-  rveval::report::Table t_sampler("A8.5: sampled counter timeseries");
+  rveval::report::Table t_sampler("A8.6: sampled counter timeseries");
   t_sampler.headers({"counter", "samples", "last value"});
   std::size_t n_counters = 0;
+  double task_wait_p50 = 0.0;
+  double task_wait_p99 = 0.0;
   {
     mhpx::Runtime rt{{opt.threads, 256 * 1024}};
     apex::Sampler sampler;
@@ -216,6 +249,14 @@ int main(int argc, char** argv) {
                      rveval::report::Table::num(
                          s.v.empty() ? 0.0 : s.v.back(), 3)});
     }
+    // Percentile leaves the HistogramRegistry derived from the scheduler's
+    // task-wait histogram — read while the runtime (and histogram) lives.
+    task_wait_p50 = apex::CounterRegistry::instance()
+                        .read("/threads/default/task-wait/p50")
+                        .value_or(0.0);
+    task_wait_p99 = apex::CounterRegistry::instance()
+                        .read("/threads/default/task-wait/p99")
+                        .value_or(0.0);
   }
   t_counters.print(std::cout);
   t_sampler.print(std::cout);
@@ -238,9 +279,15 @@ int main(int argc, char** argv) {
       .metric("busy_seconds", cp.busy_seconds)
       .metric("utilization", cp.utilization)
       .metric("counters_registered", static_cast<double>(n_counters))
+      .metric("hist_wall_off_seconds", wall_hist_off)
+      .metric("hist_wall_on_seconds", wall_hist_on)
+      .metric("hist_overhead_percent", hist_overhead_pct)
+      .metric("task_wait_p50_seconds", task_wait_p50)
+      .metric("task_wait_p99_seconds", task_wait_p99)
       .add_table(t_over)
       .add_table(t_trace)
       .add_table(t_span)
+      .add_table(t_hist)
       .add_table(t_counters)
       .add_table(t_sampler);
   {
@@ -249,5 +296,10 @@ int main(int argc, char** argv) {
     report.note(cp_note.str());
   }
   bench_common::finish_io(io, report);
+  if (!hist_gate_ok) {
+    std::cerr << "ablation_observability: histogram record-path overhead "
+              << hist_overhead_pct << "% exceeds the 5% gate\n";
+    return 1;
+  }
   return 0;
 }

@@ -11,10 +11,26 @@
 #include <vector>
 
 #include "core/rveval.hpp"
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/apex/task_trace.hpp"
 #include "minihpx/runtime.hpp"
 
 namespace bench_common {
+
+/// Merged /threads/default/task-wait distribution across every runtime this
+/// bench process has retired so far. Scheduler histograms die with their
+/// runtime, so each run's buckets are folded in here before teardown; the
+/// report chains read p50/p99 off the merged snapshot at the end (bucket
+/// merges are exact integer adds, so run order does not matter).
+inline mhpx::apex::HistogramSnapshot& task_wait_accumulator() {
+  static mhpx::apex::HistogramSnapshot acc;
+  return acc;
+}
+
+/// Fold one run's task-wait snapshot into the process accumulator.
+inline void accumulate_task_wait(const mhpx::apex::HistogramSnapshot& s) {
+  task_wait_accumulator().merge(s);
+}
 
 /// Execute \p workload under a fresh minihpx runtime and trace collector;
 /// returns the captured phases.
@@ -27,6 +43,8 @@ std::vector<rveval::sim::Phase> capture_trace(unsigned threads,
     trace.map_scheduler(&rt.scheduler(), 0);
     workload(trace);
     rt.scheduler().wait_idle();
+    accumulate_task_wait(mhpx::apex::HistogramRegistry::instance().snapshot(
+        "/threads/default/task-wait"));
   }
   return trace.finish();
 }

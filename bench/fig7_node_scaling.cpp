@@ -120,6 +120,12 @@ int main(int argc, char** argv) {
       .metric("scaling_1_to_4_kokkos_serial", all_rates[1][3] / all_rates[1][0])
       .metric("serial_over_hpx_at_4", serial4 / hpx4)
       .metric("legacy_over_serial_at_4", legacy4 / serial4)
+      .metric("task_wait_p50_seconds",
+              bench_common::task_wait_accumulator().quantile(0.5))
+      .metric("task_wait_p99_seconds",
+              bench_common::task_wait_accumulator().quantile(0.99))
+      .metric("task_wait_events",
+              static_cast<double>(bench_common::task_wait_accumulator().count))
       .add_table(t);
   bench_common::finish_io(io, report);
   return 0;

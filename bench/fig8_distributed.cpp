@@ -102,6 +102,11 @@ Captured run_distributed(const octo::Options& base, md::FabricKind fabric,
     out.totals = sim.totals();
     out.last_dt = sim.stats().last_dt;
     sim.runtime().wait_all_idle();
+    for (unsigned i = 0; i < sim.runtime().num_localities(); ++i) {
+      bench_common::accumulate_task_wait(
+          sim.runtime().locality(i).histograms().snapshot(
+              "/threads/default/task-wait"));
+    }
     if (sampler != nullptr) {
       sampler->stop();
       federation->rounds = sampler->samples();
@@ -374,6 +379,12 @@ int main(int argc, char** argv) {
       .metric("process_launch", launch_process ? 1.0 : 0.0)
       .metric("process_bitwise_match",
               static_cast<double>(process_bitwise_match))
+      .metric("task_wait_p50_seconds",
+              bench_common::task_wait_accumulator().quantile(0.5))
+      .metric("task_wait_p99_seconds",
+              bench_common::task_wait_accumulator().quantile(0.99))
+      .metric("task_wait_events",
+              static_cast<double>(bench_common::task_wait_accumulator().count))
       .add_table(t)
       .add_table(fed)
       .add_table(en);

@@ -43,6 +43,11 @@ std::vector<rveval::sim::Phase> run_two(const octo::Options& base) {
     trace.map_scheduler(&sim.runtime().locality(1).scheduler(), 1);
     sim.run();
     sim.runtime().wait_all_idle();
+    for (unsigned i = 0; i < sim.runtime().num_localities(); ++i) {
+      bench_common::accumulate_task_wait(
+          sim.runtime().locality(i).histograms().snapshot(
+              "/threads/default/task-wait"));
+    }
   }
   return trace.finish();
 }
@@ -212,6 +217,12 @@ int main(int argc, char** argv) {
       .metric("device_copy_seconds", dev_totals.copy_seconds)
       .metric("device_copy_bytes", dev_totals.copy_bytes)
       .metric("device_launches", static_cast<double>(dev_totals.launches))
+      .metric("task_wait_p50_seconds",
+              bench_common::task_wait_accumulator().quantile(0.5))
+      .metric("task_wait_p99_seconds",
+              bench_common::task_wait_accumulator().quantile(0.99))
+      .metric("task_wait_events",
+              static_cast<double>(bench_common::task_wait_accumulator().count))
       .add_table(pw)
       .add_table(t)
       .add_table(pp)

@@ -8,6 +8,12 @@
 //     Clock-skew-corrected merge: estimates each input's clock offset from
 //     cross-trace parcel flow pairs, shifts, concatenates and re-emits one
 //     Perfetto-loadable file.
+//
+//   trace_tool flamegraph <trace.json> [out.folded]
+//     Fold the trace's duration spans into collapsed-stack text (self-time
+//     weights in microseconds, one root per locality pid) — pipe into
+//     flamegraph.pl / inferno / speedscope. Writes stdout when no output
+//     path is given.
 
 #include <fstream>
 #include <iostream>
@@ -23,7 +29,8 @@ namespace tt = rveval::report::tracetools;
 
 int usage() {
   std::cerr << "usage: trace_tool lint <trace.json> [--min-pids=N]\n"
-            << "       trace_tool merge <out.json> <in.json> [in.json ...]\n";
+            << "       trace_tool merge <out.json> <in.json> [in.json ...]\n"
+            << "       trace_tool flamegraph <trace.json> [out.folded]\n";
   return 2;
 }
 
@@ -88,6 +95,28 @@ int run_merge(const std::vector<std::string>& args) {
   return out ? 0 : 1;
 }
 
+int run_flamegraph(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) {
+    return usage();
+  }
+  const tt::ParsedTrace trace = tt::parse_chrome(slurp(args[0]));
+  const std::vector<tt::FoldedStack> folds = tt::fold_stacks(trace);
+  const std::string text = tt::to_collapsed(folds);
+  if (args.size() == 2) {
+    std::ofstream out(args[1], std::ios::binary);
+    if (!out) {
+      std::cerr << "trace_tool: cannot write " << args[1] << "\n";
+      return 1;
+    }
+    out << text;
+    std::cout << "trace_tool: folded " << trace.events.size() << " events, "
+              << folds.size() << " stack(s) -> " << args[1] << "\n";
+    return out ? 0 : 1;
+  }
+  std::cout << text;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +132,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "merge") {
       return run_merge(args);
+    }
+    if (cmd == "flamegraph") {
+      return run_flamegraph(args);
     }
   } catch (const std::exception& e) {
     std::cerr << "trace_tool: " << e.what() << "\n";

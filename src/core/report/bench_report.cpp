@@ -1,7 +1,10 @@
 #include "core/report/bench_report.hpp"
 
+#include <array>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <optional>
 
 namespace rveval::report {
 
@@ -134,6 +137,39 @@ std::vector<std::string> validate_bench_v1(const json::Value& doc) {
         if (value.kind() != json::Value::Kind::number &&
             value.kind() != json::Value::Kind::string) {
           bad("metric \"" + name + "\" is neither a number nor a string");
+        }
+      }
+      // Percentile families: metrics named <stem>_p{50,90,99,999}_seconds
+      // must be nondecreasing in q — a p50 above its own p99 means the
+      // producer mixed up quantile arguments or merged the wrong buckets.
+      // Reports without percentile metrics are untouched.
+      static constexpr const char* kQuantiles[] = {"p50", "p90", "p99",
+                                                   "p999"};
+      std::map<std::string, std::array<std::optional<double>, 4>> families;
+      for (const auto& [name, value] : metrics->members()) {
+        if (value.kind() != json::Value::Kind::number) {
+          continue;
+        }
+        for (std::size_t q = 0; q < 4; ++q) {
+          const std::string suffix =
+              std::string("_") + kQuantiles[q] + "_seconds";
+          if (name.size() > suffix.size() &&
+              name.compare(name.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+            families[name.substr(0, name.size() - suffix.size())][q] =
+                value.as_number();
+          }
+        }
+      }
+      for (const auto& [stem, qs] : families) {
+        for (std::size_t lo = 0; lo < 4; ++lo) {
+          for (std::size_t hi = lo + 1; hi < 4; ++hi) {
+            if (qs[lo].has_value() && qs[hi].has_value() &&
+                *qs[lo] > *qs[hi]) {
+              bad("percentile metrics for \"" + stem + "\" are not ordered: " +
+                  kQuantiles[lo] + " > " + kQuantiles[hi]);
+            }
+          }
         }
       }
     }

@@ -61,7 +61,9 @@ class BenchReport {
 
 /// Structural validation of an rveval-bench-v1 document: schema tag, bench
 /// id, title, metrics object (numbers/strings only), tables each with
-/// title/headers/rows of matching width, notes as strings. Returns every
+/// title/headers/rows of matching width, notes as strings. Percentile
+/// metric families (<stem>_p{50,90,99,999}_seconds) must additionally be
+/// nondecreasing in q; reports without them are unaffected. Returns every
 /// violation found (empty = valid). CI runs this over emitted BENCH_*.json
 /// so a report regression fails the build, not the plotting pipeline.
 [[nodiscard]] std::vector<std::string> validate_bench_v1(

@@ -342,4 +342,72 @@ std::string to_chrome_json(const ParsedTrace& trace) {
   return doc.dump(1);
 }
 
+// ------------------------------------------------------------- flamegraph
+
+std::vector<FoldedStack> fold_stacks(const ParsedTrace& trace) {
+  // Replay each (pid, tid) lane independently: B/E events in ts order,
+  // original order breaking ties (a nested B at the same ts as its parent
+  // must stay nested).
+  struct Lane {
+    std::vector<const TraceEvent*> events;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Lane> lanes;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.ph == 'B' || ev.ph == 'E') {
+      lanes[{ev.pid, ev.tid}].events.push_back(&ev);
+    }
+  }
+  std::map<std::string, double> self_us;  // path → accumulated self time
+  for (auto& [key, lane] : lanes) {
+    std::stable_sort(lane.events.begin(), lane.events.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       return a->ts_us < b->ts_us;
+                     });
+    const std::string root = "loc" + std::to_string(key.first);
+    std::vector<const TraceEvent*> stack;
+    double last_ts = 0.0;
+    auto attribute = [&](double now) {
+      if (!stack.empty() && now > last_ts) {
+        std::string path = root;
+        for (const TraceEvent* frame : stack) {
+          path += ';';
+          path += frame->name;
+        }
+        self_us[path] += now - last_ts;
+      }
+      last_ts = now;
+    };
+    for (const TraceEvent* ev : lane.events) {
+      attribute(ev->ts_us);
+      if (ev->ph == 'B') {
+        stack.push_back(ev);
+      } else if (!stack.empty()) {  // orphan 'E's are lint()'s business
+        stack.pop_back();
+      }
+    }
+    // A dangling 'B' (truncated trace) gets no further attribution — its
+    // self time ends at the last event seen on the lane.
+  }
+  std::vector<FoldedStack> out;
+  out.reserve(self_us.size());
+  for (const auto& [path, us] : self_us) {  // std::map: sorted by stack
+    const auto w = static_cast<std::uint64_t>(us + 0.5);
+    if (w > 0) {
+      out.push_back(FoldedStack{path, w});
+    }
+  }
+  return out;
+}
+
+std::string to_collapsed(const std::vector<FoldedStack>& folds) {
+  std::string out;
+  for (const FoldedStack& f : folds) {
+    out += f.stack;
+    out += ' ';
+    out += std::to_string(f.self_us);
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace rveval::report::tracetools

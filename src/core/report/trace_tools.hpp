@@ -82,4 +82,33 @@ struct ParsedTrace {
 /// every pid), loadable in Perfetto.
 [[nodiscard]] std::string to_chrome_json(const ParsedTrace& trace);
 
+// ------------------------------------------------------------- flamegraph
+
+/// One collapsed-stack aggregate: a semicolon-joined frame path (rooted at
+/// "loc<pid>") and the total *self* time attributed to it, microseconds.
+struct FoldedStack {
+  std::string stack;
+  std::uint64_t self_us = 0;
+};
+
+/// Fold the duration spans of a trace into collapsed stacks, the input
+/// format of Brendan Gregg's flamegraph.pl / speedscope / inferno:
+///   - events are replayed per (pid, tid) in timestamp order; 'B' pushes a
+///     frame, 'E' pops it (unbalanced 'E's are ignored — lint() reports
+///     them);
+///   - *self* time semantics: the interval between two adjacent events is
+///     attributed to the frame path on top of the stack during it, so a
+///     parent's weight excludes its children and the flamegraph widths sum
+///     correctly at every depth;
+///   - each path is rooted at "loc<pid>" (one root per locality/process in
+///     the merged fig8 trace);
+///   - sub-microsecond remainders round half-up; zero-weight paths with no
+///     events inside are dropped.
+/// Returns the aggregated paths sorted by stack string.
+[[nodiscard]] std::vector<FoldedStack> fold_stacks(const ParsedTrace& trace);
+
+/// Serialize folded stacks to collapsed-stack text: one "path weight" line
+/// per aggregate, sorted — diff-stable for golden tests.
+[[nodiscard]] std::string to_collapsed(const std::vector<FoldedStack>& folds);
+
 }  // namespace rveval::report::tracetools

@@ -4,13 +4,17 @@
 /// Umbrella header for mhpx::apex — the observability layer (the minihpx
 /// analogue of the APEX profiler the paper's community pairs with HPX):
 ///   - counters.hpp:      hierarchical performance-counter registry
+///   - histogram.hpp:     HDR-style latency histograms + percentile leaves
+///   - metrics_http.hpp:  Prometheus-text /metrics endpoint
 ///   - sampler.hpp:       background counter sampling into timeseries
 ///   - task_trace.hpp:    task-timeline tracing with Chrome-trace export
 ///   - critical_path.hpp: critical-path analysis over the task DAG
-///   - remote.hpp:        cross-locality counter federation + sampler
+///   - remote.hpp:        cross-locality counter/histogram federation
 
 #include "minihpx/apex/counters.hpp"
 #include "minihpx/apex/critical_path.hpp"
+#include "minihpx/apex/histogram.hpp"
+#include "minihpx/apex/metrics_http.hpp"
 #include "minihpx/apex/remote.hpp"
 #include "minihpx/apex/sampler.hpp"
 #include "minihpx/apex/task_trace.hpp"

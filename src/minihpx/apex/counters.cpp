@@ -61,6 +61,38 @@ std::optional<double> CounterRegistry::read(const std::string& name) const {
   return reader() - baseline;
 }
 
+std::optional<double> CounterRegistry::read_raw(const std::string& name) const {
+  read_fn reader;
+  {
+    std::lock_guard lk(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      return std::nullopt;
+    }
+    reader = it->second.read;
+  }
+  return reader();
+}
+
+std::vector<std::tuple<std::string, double, CounterKind>>
+CounterRegistry::read_matching_raw(std::string_view pattern) const {
+  std::vector<std::tuple<std::string, read_fn, CounterKind>> matched;
+  {
+    std::lock_guard lk(mutex_);
+    for (const auto& [name, entry] : counters_) {
+      if (pattern_match(pattern, name)) {
+        matched.emplace_back(name, entry.read, entry.info.kind);
+      }
+    }
+  }
+  std::vector<std::tuple<std::string, double, CounterKind>> out;
+  out.reserve(matched.size());
+  for (auto& [name, reader, kind] : matched) {
+    out.emplace_back(std::move(name), reader(), kind);
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, double>> CounterRegistry::read_matching(
     std::string_view pattern) const {
   std::vector<std::tuple<std::string, read_fn, double>> matched;
@@ -168,6 +200,37 @@ void CounterBlock::clear() {
     }
   }
   names_.clear();
+}
+
+std::size_t ResetScope::reset(std::string_view pattern) {
+  std::size_t n = 0;
+  for (auto& [name, raw, kind] : registry_->read_matching_raw(pattern)) {
+    if (kind == CounterKind::monotonic) {
+      baselines_[std::move(name)] = raw;
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::optional<double> ResetScope::read(const std::string& name) const {
+  const std::optional<double> raw = registry_->read_raw(name);
+  if (!raw) {
+    return std::nullopt;
+  }
+  const auto it = baselines_.find(name);
+  return it == baselines_.end() ? *raw : *raw - it->second;
+}
+
+std::vector<std::pair<std::string, double>> ResetScope::read_matching(
+    std::string_view pattern) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (auto& [name, raw, kind] : registry_->read_matching_raw(pattern)) {
+    const auto it = baselines_.find(name);
+    const double base = it == baselines_.end() ? 0.0 : it->second;
+    out.emplace_back(std::move(name), raw - base);
+  }
+  return out;
 }
 
 void register_scheduler_counters(CounterBlock& block,

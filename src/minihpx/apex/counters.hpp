@@ -14,9 +14,12 @@
 /// live source on demand; nothing is sampled until someone asks (the
 /// Sampler in sampler.hpp turns pull into periodic push). reset() never
 /// mutates the underlying source — for monotonic counters it records a
-/// baseline that subsequent reads subtract, so two observers can reset
-/// independently without stealing each other's deltas... as long as they
-/// use separate registries; the process-global instance() shares baselines.
+/// baseline that subsequent reads subtract. The registry-level baseline is
+/// SHARED: two observers of the same registry (in particular the
+/// process-global instance()) calling reset() steal each other's deltas.
+/// Observers that must not interfere take a ResetScope instead: it
+/// snapshots baselines locally and reads through them, leaving the
+/// registry's shared baselines untouched.
 
 #include <cstdint>
 #include <functional>
@@ -25,6 +28,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -71,6 +75,15 @@ class CounterRegistry {
 
   /// Read one counter (baseline-adjusted); nullopt when not registered.
   [[nodiscard]] std::optional<double> read(const std::string& name) const;
+
+  /// Read one counter's RAW source value, ignoring the registry baseline
+  /// (ResetScope builds observer-local baselines from raw reads).
+  [[nodiscard]] std::optional<double> read_raw(const std::string& name) const;
+
+  /// Raw values of every counter matching \p pattern, sorted by name, with
+  /// each counter's kind (ResetScope only re-baselines monotonic ones).
+  [[nodiscard]] std::vector<std::tuple<std::string, double, CounterKind>>
+  read_matching_raw(std::string_view pattern) const;
 
   /// Read every counter matching \p pattern, sorted by name.
   [[nodiscard]] std::vector<std::pair<std::string, double>> read_matching(
@@ -138,6 +151,38 @@ class CounterBlock {
  private:
   CounterRegistry* registry_ = nullptr;  // null → instance() at first add
   std::vector<std::string> names_;
+};
+
+/// Observer-local reset (the fix for the shared-baseline hazard above):
+/// reset() snapshots the matched counters' raw values into this scope, and
+/// reads through the scope subtract *these* baselines — never touching the
+/// registry's shared ones. Any number of ResetScopes over the same registry
+/// (including instance()) reset and read independently; CounterRegistry::
+/// reset() keeps its old stealing semantics for single-observer callers.
+class ResetScope {
+ public:
+  /// Observe \p registry (default: the process-global instance()).
+  explicit ResetScope(CounterRegistry& registry = CounterRegistry::instance())
+      : registry_(&registry) {}
+
+  /// Snapshot baselines for monotonic counters matching \p pattern so they
+  /// read 0 through this scope now; gauges are unaffected. Counters matched
+  /// by an earlier reset() but not \p pattern keep their old baselines.
+  /// Returns the number of counters (re-)baselined.
+  std::size_t reset(std::string_view pattern);
+
+  /// Read one counter through this scope's baselines; nullopt when not
+  /// registered. Counters never reset through this scope read raw.
+  [[nodiscard]] std::optional<double> read(const std::string& name) const;
+
+  /// Read every counter matching \p pattern through this scope's
+  /// baselines, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> read_matching(
+      std::string_view pattern) const;
+
+ private:
+  CounterRegistry* registry_;
+  std::map<std::string, double> baselines_;  ///< raw value at last reset()
 };
 
 }  // namespace mhpx::apex

@@ -1,0 +1,315 @@
+#include "minihpx/apex/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "minihpx/distributed/fabric.hpp"
+#include "minihpx/threads/scheduler.hpp"
+
+namespace mhpx::apex {
+
+std::atomic<bool> Histogram::g_enabled{true};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ------------------------------------------------------- bucket arithmetic
+
+std::size_t Histogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < sub_count) {
+    return static_cast<std::size_t>(v);  // exact region: one value per bucket
+  }
+  const unsigned k = static_cast<unsigned>(std::bit_width(v)) - 1;  // ≥ 5
+  // Sub-bucket: the sub_bits bits just below the top bit.
+  const auto sub =
+      static_cast<std::size_t>((v >> (k - sub_bits)) & (sub_count - 1));
+  return static_cast<std::size_t>(k - sub_bits + 1) * sub_count + sub;
+}
+
+std::uint64_t Histogram::bucket_upper_ns(std::size_t idx) noexcept {
+  if (idx < sub_count) {
+    return static_cast<std::uint64_t>(idx);
+  }
+  const unsigned k =
+      static_cast<unsigned>(idx / sub_count) + sub_bits - 1;  // top bit
+  const std::uint64_t sub = idx % sub_count;
+  const std::uint64_t lower = (sub_count + sub) << (k - sub_bits);
+  const std::uint64_t width = std::uint64_t{1} << (k - sub_bits);
+  return lower + width - 1;
+}
+
+// ----------------------------------------------------------------- records
+
+Histogram::Histogram() : shards_(new Shard[shard_count]) {
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_[s].buckets.reset(new std::atomic<std::uint64_t>[bucket_count]());
+  }
+}
+
+namespace {
+/// Round-robin shard assignment per recording thread: workers spread over
+/// the shards once and keep their pick for the thread's lifetime.
+std::size_t my_shard(std::size_t shard_count) noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % shard_count;
+  return mine;
+}
+}  // namespace
+
+void Histogram::record_ns(std::uint64_t ns) noexcept {
+#if defined(MHPX_HISTOGRAMS_DISABLED)
+  (void)ns;
+#else
+  if (!enabled()) {
+    return;
+  }
+  Shard& s = shards_[my_shard(shard_count)];
+  s.buckets[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t prev = s.max.load(std::memory_order_relaxed);
+  while (prev < ns &&
+         !s.max.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+  }
+#endif
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    total += shards_[s].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  std::size_t last = 0;
+  std::vector<std::uint64_t> dense(bucket_count, 0);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const Shard& sh = shards_[s];
+    out.count += sh.count.load(std::memory_order_relaxed);
+    out.sum_ns += sh.sum.load(std::memory_order_relaxed);
+    out.max_ns = std::max(out.max_ns, sh.max.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+      const std::uint64_t c = sh.buckets[i].load(std::memory_order_relaxed);
+      if (c != 0) {
+        dense[i] += c;
+        last = std::max(last, i + 1);
+      }
+    }
+  }
+  dense.resize(last);
+  out.buckets = std::move(dense);
+  return out;
+}
+
+// ---------------------------------------------------------------- snapshot
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.buckets.size() > buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_ns += other.sum_ns;
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile event, 1-based: ceil(q·count), at least 1.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) {
+      return static_cast<double>(Histogram::bucket_upper_ns(i)) * 1e-9;
+    }
+  }
+  // count said more events than the buckets hold (snapshot raced a
+  // recorder): fall back to the last nonempty bucket.
+  for (std::size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] != 0) {
+      return static_cast<double>(Histogram::bucket_upper_ns(i)) * 1e-9;
+    }
+  }
+  return 0.0;
+}
+
+double HistogramSnapshot::mean() const {
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum_ns) /
+                          static_cast<double>(count) * 1e-9;
+}
+
+// ---------------------------------------------------------------- registry
+
+HistogramRegistry& HistogramRegistry::instance() {
+  static HistogramRegistry* reg =
+      new HistogramRegistry(CounterRegistry::instance());  // leaked, like
+  return *reg;  // CounterRegistry::instance() — outlives static teardown
+}
+
+HistogramRegistry::~HistogramRegistry() {
+  std::lock_guard lk(mutex_);
+  for (const auto& [name, entry] : map_) {
+    remove_leaves(name);
+  }
+}
+
+void HistogramRegistry::register_leaves(const std::string& name,
+                                        const std::string& desc,
+                                        Histogram* h) {
+  const std::string about = desc.empty() ? name : desc;
+  counters_.add(name + "/count", about + " — events recorded",
+                CounterKind::monotonic,
+                [h] { return static_cast<double>(h->count()); });
+  counters_.add(name + "/mean", about + " — mean [seconds]",
+                CounterKind::gauge, [h] { return h->snapshot().mean(); });
+  struct Q {
+    const char* leaf;
+    double q;
+  };
+  for (const Q q : {Q{"/p50", 0.50}, Q{"/p90", 0.90}, Q{"/p99", 0.99},
+                    Q{"/p999", 0.999}}) {
+    counters_.add(name + q.leaf,
+                  about + " — " + (q.leaf + 1) + " quantile [seconds]",
+                  CounterKind::gauge,
+                  [h, qq = q.q] { return h->snapshot().quantile(qq); });
+  }
+  counters_.add(name + "/max", about + " — maximum [seconds]",
+                CounterKind::gauge, [h] { return h->snapshot().max(); });
+}
+
+void HistogramRegistry::remove_leaves(const std::string& name) {
+  for (const char* leaf :
+       {"/count", "/mean", "/p50", "/p90", "/p99", "/p999", "/max"}) {
+    counters_.remove(name + leaf);
+  }
+}
+
+Histogram& HistogramRegistry::get_or_create(const std::string& name,
+                                            const std::string& description) {
+  std::lock_guard lk(mutex_);
+  auto it = map_.find(name);
+  if (it != map_.end()) {
+    return *it->second.hist;
+  }
+  Entry e;
+  e.owned = std::make_unique<Histogram>();
+  e.hist = e.owned.get();
+  Histogram* h = e.hist;
+  map_.emplace(name, std::move(e));
+  register_leaves(name, description, h);
+  return *h;
+}
+
+bool HistogramRegistry::attach(const std::string& name, Histogram& hist,
+                               const std::string& description) {
+  std::lock_guard lk(mutex_);
+  auto [it, inserted] = map_.try_emplace(name);
+  if (!inserted) {
+    return false;
+  }
+  it->second.hist = &hist;
+  register_leaves(name, description, &hist);
+  return true;
+}
+
+bool HistogramRegistry::remove(const std::string& name) {
+  std::lock_guard lk(mutex_);
+  auto it = map_.find(name);
+  if (it == map_.end()) {
+    return false;
+  }
+  remove_leaves(name);
+  map_.erase(it);
+  return true;
+}
+
+std::vector<std::string> HistogramRegistry::names() const {
+  std::vector<std::string> out;
+  std::lock_guard lk(mutex_);
+  out.reserve(map_.size());
+  for (const auto& [name, entry] : map_) {
+    out.push_back(name);
+  }
+  return out;  // std::map iterates sorted
+}
+
+HistogramSnapshot HistogramRegistry::snapshot(const std::string& name) const {
+  Histogram* h = nullptr;
+  {
+    std::lock_guard lk(mutex_);
+    auto it = map_.find(name);
+    if (it != map_.end()) {
+      h = it->second.hist;
+    }
+  }
+  return h != nullptr ? h->snapshot() : HistogramSnapshot{};
+}
+
+Histogram* HistogramRegistry::find(const std::string& name) const {
+  std::lock_guard lk(mutex_);
+  auto it = map_.find(name);
+  return it == map_.end() ? nullptr : it->second.hist;
+}
+
+bool HistogramBlock::attach(const std::string& name, Histogram& hist,
+                            const std::string& description) {
+  HistogramRegistry& reg =
+      registry_ != nullptr ? *registry_ : HistogramRegistry::instance();
+  registry_ = &reg;
+  if (!reg.attach(name, hist, description)) {
+    return false;
+  }
+  names_.push_back(name);
+  return true;
+}
+
+void HistogramBlock::clear() {
+  if (registry_ != nullptr) {
+    for (const std::string& name : names_) {
+      registry_->remove(name);
+    }
+  }
+  names_.clear();
+}
+
+// ------------------------------------------------------- standard wirings
+
+void register_scheduler_histograms(HistogramBlock& block,
+                                   threads::Scheduler& sched,
+                                   const std::string& pool) {
+  const std::string base = "/threads/" + pool;
+  block.attach(base + "/task-wait", sched.wait_histogram(),
+               "task queue-wait (enqueue to first run slice)");
+  block.attach(base + "/task-run", sched.run_histogram(),
+               "task execution slice duration");
+}
+
+void register_fabric_histograms(HistogramBlock& block,
+                                const dist::Fabric& fabric) {
+  Histogram* h = fabric.send_latency_histogram();
+  if (h != nullptr) {
+    block.attach("/parcels/" + std::string(fabric.name()) + "/send-flush",
+                 *h, "parcel latency from submit to wire flush");
+  }
+}
+
+}  // namespace mhpx::apex

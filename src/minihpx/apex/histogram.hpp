@@ -1,0 +1,247 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-memory latency histograms (the HDR-histogram idea, APEX-style).
+///
+/// Scalar counters (counters.hpp) answer "how much"; SLO questions —
+/// ROADMAP item 4's multi-tenant service — need "how bad is the tail",
+/// which only a distribution answers. A Histogram records nanosecond
+/// latencies into log-spaced buckets: one "major" bucket per power of two,
+/// subdivided into 32 linear sub-buckets, giving a fixed ~3% relative
+/// error over the full uint64 range in 1920 buckets of memory, no
+/// allocation on the record path.
+///
+/// Two properties matter for the distributed story:
+///   - record() is lock-free and sharded per worker (cacheline-aligned
+///     atomic arrays, relaxed fetch_add), so instrumenting the scheduler's
+///     hot path costs a few nanoseconds;
+///   - bucketing is deterministic integer math, so per-locality bucket
+///     arrays merge bit-exactly and locality 0 can compute true
+///     cluster-wide quantiles from shipped raw buckets — precomputed
+///     percentiles do not merge, bucket counts do (DESIGN.md §14).
+///
+/// HistogramRegistry surfaces each histogram into a CounterRegistry as
+/// derived leaves /<name>/{count,mean,p50,p90,p99,p999,max}, so glob
+/// discovery, the Sampler and every --print-counter path work unchanged.
+///
+/// Compile-time kill switch: building with -DMHPX_HISTOGRAMS_DISABLED
+/// turns record() into a no-op the optimizer deletes; the runtime
+/// equivalent is Histogram::set_enabled(false) (one relaxed atomic load on
+/// the record path), which bench/ablation_observability uses to price the
+/// record path.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "minihpx/apex/counters.hpp"
+
+namespace mhpx::apex {
+
+/// A frozen, mergeable view of a histogram: the raw bucket array plus the
+/// count/sum/max moments. This is the wire type counter federation ships —
+/// raw buckets, never percentiles.
+struct HistogramSnapshot {
+  /// Dense bucket counts, index 0..N-1, trimmed to the last nonzero bucket
+  /// (an empty histogram has an empty vector).
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  /// Accumulate \p other into this snapshot (bucket-wise integer adds —
+  /// associative and commutative by construction).
+  void merge(const HistogramSnapshot& other);
+
+  /// Upper bound of the bucket containing the q-quantile, in seconds
+  /// (q in [0,1]; 0 when the histogram is empty). Deterministic: the same
+  /// bucket counts give the same answer on every locality.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Mean recorded value in seconds (0 when empty).
+  [[nodiscard]] double mean() const;
+
+  /// Maximum recorded value in seconds.
+  [[nodiscard]] double max() const { return static_cast<double>(max_ns) * 1e-9; }
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& buckets& count& sum_ns& max_ns;
+  }
+};
+
+/// Lock-free, per-worker-sharded log-bucketed latency histogram.
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^sub_bits linear buckets per power of two,
+  /// i.e. worst-case relative error 2^-sub_bits ≈ 3%.
+  static constexpr unsigned sub_bits = 5;
+  static constexpr unsigned sub_count = 1u << sub_bits;
+  /// Buckets 0..31 hold exact values; each further power of two adds 32.
+  static constexpr std::size_t bucket_count = (64 - sub_bits + 1) * sub_count;
+
+  Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one latency. Wait-free: a thread-local shard pick plus relaxed
+  /// fetch_adds on that shard's cacheline-aligned atomics.
+  void record_ns(std::uint64_t ns) noexcept;
+
+  /// Convenience: seconds → nanoseconds (negative values clamp to 0).
+  void record_seconds(double s) noexcept {
+    record_ns(s > 0.0 ? static_cast<std::uint64_t>(s * 1e9) : 0u);
+  }
+
+  /// Sum all shards into one frozen snapshot. Concurrent records may land
+  /// in or out of the snapshot (torn totals across *different* events are
+  /// possible while recording is live, never torn bucket counts).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Total records so far (cheap; sums the per-shard counters).
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  // ---------------------------------------------------- bucket arithmetic
+
+  /// Bucket index for a value: values < 32 map to themselves; otherwise
+  /// with k = floor(log2 v), index = (k-4)*32 + the 5 bits below the top
+  /// bit. Pure integer math — identical on every locality.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
+
+  /// Largest value mapping to bucket \p idx (the quantile representative).
+  [[nodiscard]] static std::uint64_t bucket_upper_ns(std::size_t idx) noexcept;
+
+  // ------------------------------------------------------- global switch
+
+  /// Process-wide record enable (default on). One relaxed load per record.
+  [[nodiscard]] static bool enabled() noexcept {
+    return g_enabled.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) noexcept {
+    g_enabled.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  /// One worker's slice: its own cachelines, so concurrent recorders never
+  /// contend. 8 shards bound memory at ~120 KiB per histogram while
+  /// spreading typical worker counts.
+  static constexpr std::size_t shard_count = 8;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+  };
+
+  static std::atomic<bool> g_enabled;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Steady-clock nanoseconds — the stamp every instrumented site pairs with
+/// a later record_ns(now_ns() - t0).
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+/// Surfaces histograms into a CounterRegistry as derived leaves
+/// /<name>/{count,mean,p50,p90,p99,p999,max} (count monotonic, the rest
+/// gauges, times in seconds), so discovery/read/Sampler paths see them as
+/// ordinary counters. Also the lookup table bucket federation reads from.
+class HistogramRegistry {
+ public:
+  explicit HistogramRegistry(CounterRegistry& counters) : counters_(counters) {}
+  ~HistogramRegistry();
+  HistogramRegistry(const HistogramRegistry&) = delete;
+  HistogramRegistry& operator=(const HistogramRegistry&) = delete;
+
+  /// The process-global registry, bound to CounterRegistry::instance().
+  static HistogramRegistry& instance();
+
+  /// Histogram owned by the registry, created on first use. Derived
+  /// counter leaves are registered on creation.
+  Histogram& get_or_create(const std::string& name,
+                           const std::string& description = "");
+
+  /// Register an externally owned histogram (scheduler-, fabric- or
+  /// device-resident). \p hist must stay alive until remove(name) or the
+  /// registry dies. Returns false when the name is taken.
+  bool attach(const std::string& name, Histogram& hist,
+              const std::string& description = "");
+
+  /// Unregister \p name and its derived counter leaves.
+  bool remove(const std::string& name);
+
+  /// Registered histogram names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Snapshot of \p name's buckets; empty snapshot when not registered.
+  [[nodiscard]] HistogramSnapshot snapshot(const std::string& name) const;
+
+  /// Live histogram by name, or nullptr.
+  [[nodiscard]] Histogram* find(const std::string& name) const;
+
+ private:
+  void register_leaves(const std::string& name, const std::string& desc,
+                       Histogram* h);
+  void remove_leaves(const std::string& name);
+
+  struct Entry {
+    Histogram* hist = nullptr;
+    std::unique_ptr<Histogram> owned;  ///< null for attach()ed histograms
+  };
+
+  CounterRegistry& counters_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> map_;
+};
+
+/// RAII attach set (the HistogramBlock analogue of CounterBlock): every
+/// attach() through the block is removed when the block dies, so runtimes
+/// can surface subsystem-owned histograms without leaking dangling readers.
+class HistogramBlock {
+ public:
+  HistogramBlock() = default;
+  explicit HistogramBlock(HistogramRegistry& registry) : registry_(&registry) {}
+  ~HistogramBlock() { clear(); }
+  HistogramBlock(const HistogramBlock&) = delete;
+  HistogramBlock& operator=(const HistogramBlock&) = delete;
+
+  bool attach(const std::string& name, Histogram& hist,
+              const std::string& description = "");
+  void clear();
+
+ private:
+  HistogramRegistry* registry_ = nullptr;  // null → instance() at first use
+  std::vector<std::string> names_;
+};
+
+}  // namespace mhpx::apex
+
+// ---------------------------------------------------------------------------
+// Standard histogram sets, mirroring the counter helpers in counters.hpp.
+// ---------------------------------------------------------------------------
+
+namespace mhpx::threads {
+class Scheduler;
+}
+namespace mhpx::dist {
+class Fabric;
+}
+
+namespace mhpx::apex {
+
+/// `/threads/{pool}/task-wait` (enqueue → first run) and
+/// `/threads/{pool}/task-run` (one execution slice), read from the
+/// scheduler's built-in histograms.
+void register_scheduler_histograms(HistogramBlock& block,
+                                   threads::Scheduler& sched,
+                                   const std::string& pool = "default");
+
+/// `/parcels/{fabric}/send-flush` (submit → wire flush), when the fabric's
+/// send pipeline exposes one; no-op otherwise.
+void register_fabric_histograms(HistogramBlock& block,
+                                const dist::Fabric& fabric);
+
+}  // namespace mhpx::apex

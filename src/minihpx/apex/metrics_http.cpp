@@ -1,0 +1,329 @@
+#include "minihpx/apex/metrics_http.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <system_error>
+
+#include "minihpx/apex/remote.hpp"
+#include "minihpx/distributed/fabric_tcp_common.hpp"
+#include "minihpx/distributed/locality.hpp"
+#include "minihpx/distributed/runtime.hpp"
+
+namespace mhpx::apex {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Cumulative-le histogram samples for one labeled snapshot.
+void emit_histogram_series(std::string& out, const std::string& fam,
+                           const std::string& locality,
+                           const HistogramSnapshot& s) {
+  const std::string labels = "{locality=\"" + locality + "\"";
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+    if (s.buckets[i] == 0) {
+      continue;
+    }
+    cum += s.buckets[i];
+    out += fam + "_bucket" + labels + ",le=\"" +
+           fmt_double(static_cast<double>(Histogram::bucket_upper_ns(i)) *
+                      1e-9) +
+           "\"} " + std::to_string(cum) + "\n";
+  }
+  out += fam + "_bucket" + labels + ",le=\"+Inf\"} " +
+         std::to_string(s.count) + "\n";
+  out += fam + "_sum" + labels + "} " +
+         fmt_double(static_cast<double>(s.sum_ns) * 1e-9) + "\n";
+  out += fam + "_count" + labels + "} " + std::to_string(s.count) + "\n";
+}
+
+/// Exact integer raw buckets (non-cumulative) — the series the bit-exact
+/// cross-process oracle merges offline.
+void emit_raw_series(std::string& out, const std::string& fam,
+                     const std::string& locality,
+                     const HistogramSnapshot& s) {
+  for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+    if (s.buckets[i] == 0) {
+      continue;
+    }
+    out += fam + "{locality=\"" + locality + "\",idx=\"" + std::to_string(i) +
+           "\"} " + std::to_string(s.buckets[i]) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view path) {
+  std::string out = "rveval";
+  bool pending_sep = !path.empty();
+  for (const char c : path) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (ok) {
+      if (pending_sep) {
+        out += '_';
+        pending_sep = false;
+      }
+      out += c;
+    } else {
+      pending_sep = true;  // runs of separators collapse to one '_'
+    }
+  }
+  return out;
+}
+
+MetricsLocality collect_metrics(const CounterRegistry& counters,
+                                const HistogramRegistry& histograms,
+                                unsigned id) {
+  MetricsLocality m;
+  m.id = id;
+  m.counters = counters.read_matching_raw("**");
+  for (const std::string& name : histograms.names()) {
+    m.histograms.emplace_back(name, histograms.snapshot(name));
+  }
+  return m;
+}
+
+std::string render_prometheus(const std::vector<MetricsLocality>& localities) {
+  std::string out;
+  // ---- scalar counters, grouped into one family per counter path -------
+  struct Fam {
+    CounterKind kind = CounterKind::gauge;
+    std::vector<std::pair<unsigned, double>> samples;  // (locality, value)
+  };
+  std::map<std::string, Fam> families;
+  for (const MetricsLocality& loc : localities) {
+    for (const auto& [name, value, kind] : loc.counters) {
+      Fam& f = families[sanitize_metric_name(name)];
+      f.kind = kind;
+      f.samples.emplace_back(loc.id, value);
+    }
+  }
+  for (const auto& [fam, f] : families) {
+    out += "# TYPE " + fam +
+           (f.kind == CounterKind::monotonic ? " counter\n" : " gauge\n");
+    for (const auto& [id, value] : f.samples) {
+      out += fam + "{locality=\"" + std::to_string(id) + "\"} " +
+             fmt_double(value) + "\n";
+    }
+  }
+  // ---- histograms: per-locality + bucket-merged cluster series ---------
+  std::set<std::string> hist_names;
+  for (const MetricsLocality& loc : localities) {
+    for (const auto& [name, snap] : loc.histograms) {
+      hist_names.insert(name);
+    }
+  }
+  for (const std::string& name : hist_names) {
+    const std::string fam = sanitize_metric_name(name) + "_seconds";
+    const std::string raw = sanitize_metric_name(name) + "_raw_bucket";
+    HistogramSnapshot merged;
+    out += "# TYPE " + fam + " histogram\n";
+    for (const MetricsLocality& loc : localities) {
+      for (const auto& [hname, snap] : loc.histograms) {
+        if (hname != name) {
+          continue;
+        }
+        emit_histogram_series(out, fam, std::to_string(loc.id), snap);
+        merged.merge(snap);
+      }
+    }
+    emit_histogram_series(out, fam, "all", merged);
+    out += "# TYPE " + raw + " gauge\n";
+    for (const MetricsLocality& loc : localities) {
+      for (const auto& [hname, snap] : loc.histograms) {
+        if (hname == name) {
+          emit_raw_series(out, raw, std::to_string(loc.id), snap);
+        }
+      }
+    }
+    emit_raw_series(out, raw, "all", merged);
+    // Cluster-wide quantiles, computed from the merged buckets above (the
+    // same snapshots this very document carries — self-consistent by
+    // construction, bit-exact by integer bucket math).
+    const std::string qfam = sanitize_metric_name(name) + "_quantile_seconds";
+    out += "# TYPE " + qfam + " gauge\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.5},
+          {"0.9", 0.9},
+          {"0.99", 0.99},
+          {"0.999", 0.999}}) {
+      out += qfam + "{locality=\"all\",q=\"" + label + "\"} " +
+             fmt_double(merged.quantile(q)) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string federated_prometheus(dist::DistributedRuntime& rt) {
+  std::vector<MetricsLocality> locs;
+  dist::Locality& vantage = rt.locality(0);
+  for (unsigned l = 0; l < rt.num_localities(); ++l) {
+    MetricsLocality m;
+    m.id = l;
+    // Kinds come from discovery, values from one read-matching round.
+    std::map<std::string, CounterKind> kinds;
+    for (const CounterInfo& info : remote::discover(vantage, l, "**")) {
+      kinds[info.name] = info.kind;
+    }
+    for (auto& [name, value] : remote::read_matching(vantage, l, "**")) {
+      const auto it = kinds.find(name);
+      m.counters.emplace_back(
+          std::move(name), value,
+          it == kinds.end() ? CounterKind::gauge : it->second);
+    }
+    for (const std::string& hname : remote::histogram_names(vantage, l)) {
+      m.histograms.emplace_back(hname, remote::histogram(vantage, l, hname));
+    }
+    locs.push_back(std::move(m));
+  }
+  return render_prometheus(locs);
+}
+
+double parse_prom_value(const std::string& text, const std::string& metric) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string_view line(text.data() + pos, eol - pos);
+    if (line.size() > metric.size() && line[metric.size()] == ' ' &&
+        line.substr(0, metric.size()) == metric) {
+      return std::strtod(line.data() + metric.size() + 1, nullptr);
+    }
+    pos = eol + 1;
+  }
+  return std::nan("");
+}
+
+// ------------------------------------------------------------- the server
+
+MetricsServer::MetricsServer(std::function<std::string()> metrics_body,
+                             std::uint16_t port)
+    : metrics_body_(std::move(metrics_body)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "metrics server: socket");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::system_error(err, std::generic_category(),
+                            "metrics server: bind/listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { serve(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::serve() {
+  // Poll-then-accept so stop() needs no cross-thread socket shootdown: the
+  // 100 ms poll tick observes stopping_ and the thread leaves cleanly.
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, 100);
+    if (r <= 0 || (pfd.revents & POLLIN) == 0) {
+      continue;
+    }
+    int fd = -1;
+    try {
+      fd = dist::tcpdetail::accept_retry(listen_fd_);
+    } catch (const std::exception&) {
+      continue;  // transient accept failure: keep serving
+    }
+    dist::tcpdetail::configure_nodelay(fd);
+    handle(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsServer::handle(int fd) {
+  // Read the request head (we only need the request line).
+  std::string req;
+  char buf[1024];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  std::string path;
+  if (req.rfind("GET ", 0) == 0) {
+    const std::size_t end = req.find(' ', 4);
+    if (end != std::string::npos) {
+      path = req.substr(4, end - 4);
+    }
+  }
+  std::string status = "404 Not Found";
+  std::string body = "not found\n";
+  if (path == "/healthz") {
+    status = "200 OK";
+    body = "ok\n";
+  } else if (path == "/metrics") {
+    try {
+      body = metrics_body_();
+      status = "200 OK";
+    } catch (const std::exception& e) {
+      status = "500 Internal Server Error";
+      body = std::string("metrics render failed: ") + e.what() + "\n";
+    }
+  }
+  const std::string response =
+      "HTTP/1.0 " + status +
+      "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  try {
+    dist::tcpdetail::write_all(fd, response.data(), response.size());
+  } catch (const std::exception&) {
+    // Peer went away mid-response; nothing to do.
+  }
+}
+
+}  // namespace mhpx::apex

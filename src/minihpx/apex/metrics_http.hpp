@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file metrics_http.hpp
+/// Live telemetry endpoint: a minimal HTTP/1.0 text server exposing the
+/// counter registry and the latency histograms in Prometheus text format.
+///
+/// The paper's workflow is post-hoc (run, dump counters, plot); ROADMAP
+/// item 4's service front-end needs the opposite: scrape-while-running.
+/// This rides the same loopback-socket plumbing as the TCP parcelport
+/// (fabric_tcp_common) and serves
+///   GET /metrics  → Prometheus text: every counter as a counter/gauge
+///                   family and every histogram as a histogram family
+///                   (cumulative le buckets in seconds) PLUS an exact
+///                   integer raw-bucket family (`..._raw_bucket{idx=}`),
+///                   because float le values cannot round-trip bucket
+///                   boundaries bit-exactly and the cross-process oracle
+///                   compares bucket counts exactly;
+///   GET /healthz  → "ok" (liveness probe).
+/// Everything else is 404. One request per connection (HTTP/1.0,
+/// Connection: close) — a scraper, not a web server.
+///
+/// In a distributed run the body renderer federates: locality 0 pulls every
+/// rank's counters and raw histogram buckets through apex::remote, merges
+/// buckets bucket-wise, and emits cluster-wide quantiles under
+/// locality="all" — true percentiles across OS processes, computed from
+/// buckets, never averaged from per-rank percentiles.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/histogram.hpp"
+
+namespace mhpx::dist {
+class DistributedRuntime;
+}
+
+namespace mhpx::apex {
+
+/// One locality's worth of exposition data, collected before rendering so
+/// the merged ("all") series are exactly the sum of the per-locality
+/// series in the same document.
+struct MetricsLocality {
+  unsigned id = 0;
+  /// (name, value, kind) — baseline-free raw reads.
+  std::vector<std::tuple<std::string, double, CounterKind>> counters;
+  /// (name, raw-bucket snapshot).
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Counter path → Prometheus metric name: "rveval" + path with every
+/// character outside [a-zA-Z0-9_] folded to '_' (leading '/' dropped).
+[[nodiscard]] std::string sanitize_metric_name(std::string_view path);
+
+/// Render the Prometheus text document for \p localities. Deterministic:
+/// families sorted by name, localities in input order, merged "all" series
+/// computed from the snapshots passed in.
+[[nodiscard]] std::string render_prometheus(
+    const std::vector<MetricsLocality>& localities);
+
+/// Collect one registry pair into exposition data (every counter, every
+/// histogram).
+[[nodiscard]] MetricsLocality collect_metrics(
+    const CounterRegistry& counters, const HistogramRegistry& histograms,
+    unsigned id);
+
+/// Collect every locality of a distributed runtime through the
+/// apex::remote federation (raw buckets over the wire for remote ranks)
+/// and render. Call from locality 0 — the console-node vantage.
+[[nodiscard]] std::string federated_prometheus(dist::DistributedRuntime& rt);
+
+/// Parse the value of sample \p metric (exact text match including labels,
+/// e.g. `rveval_x_raw_bucket{locality="0",idx="7"}`) out of a Prometheus
+/// text document; NaN when absent. Exposed for the scrape self-tests.
+[[nodiscard]] double parse_prom_value(const std::string& text,
+                                      const std::string& metric);
+
+/// The server: binds 127.0.0.1:\p port (0 = ephemeral; see port()), accepts
+/// on a background thread, serves until stop()/destruction.
+class MetricsServer {
+ public:
+  /// \p metrics_body renders the /metrics payload per request; it runs on
+  /// the server thread and may block (federation round-trips).
+  explicit MetricsServer(std::function<std::string()> metrics_body,
+                         std::uint16_t port = 0);
+  ~MetricsServer();
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// The bound port (the ephemeral pick when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Close the listener and join the server thread. Idempotent.
+  void stop();
+
+ private:
+  void serve();
+  void handle(int fd);
+
+  std::function<std::string()> metrics_body_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace mhpx::apex

@@ -65,6 +65,44 @@ struct ResetCountersAction {
   }
 };
 
+/// Wire twin of HistogramSnapshot: the raw buckets, never percentiles —
+/// the whole point of the federation is that buckets merge exactly.
+struct WireHistogram {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar& buckets& count& sum_ns& max_ns;
+  }
+};
+
+struct ListHistogramsAction {
+  static constexpr std::string_view name = "apex::histograms::list";
+  static std::vector<std::string> invoke(dist::Locality& here) {
+    return here.histograms().names();
+  }
+};
+
+struct ReadHistogramAction {
+  static constexpr std::string_view name = "apex::histograms::buckets";
+  static WireHistogram invoke(dist::Locality& here, std::string histogram) {
+    const HistogramSnapshot s = here.histograms().snapshot(histogram);
+    return WireHistogram{s.buckets, s.count, s.sum_ns, s.max_ns};
+  }
+};
+
+struct SetHistogramsEnabledAction {
+  static constexpr std::string_view name = "apex::histograms::set-enabled";
+  static bool invoke(dist::Locality& here, bool on) {
+    (void)here;
+    Histogram::set_enabled(on);
+    return on;
+  }
+};
+
 }  // namespace
 
 }  // namespace mhpx::apex::remote
@@ -73,6 +111,9 @@ MHPX_REGISTER_ACTION(mhpx::apex::remote::DiscoverCountersAction);
 MHPX_REGISTER_ACTION(mhpx::apex::remote::ReadCounterAction);
 MHPX_REGISTER_ACTION(mhpx::apex::remote::ReadMatchingAction);
 MHPX_REGISTER_ACTION(mhpx::apex::remote::ResetCountersAction);
+MHPX_REGISTER_ACTION(mhpx::apex::remote::ListHistogramsAction);
+MHPX_REGISTER_ACTION(mhpx::apex::remote::ReadHistogramAction);
+MHPX_REGISTER_ACTION(mhpx::apex::remote::SetHistogramsEnabledAction);
 
 namespace mhpx::apex::remote {
 
@@ -108,6 +149,41 @@ std::size_t reset(dist::Locality& from, dist::locality_id where,
   return static_cast<std::size_t>(
       from.call<ResetCountersAction>(dist::locality_gid(where), pattern)
           .get());
+}
+
+std::vector<std::string> histogram_names(dist::Locality& from,
+                                         dist::locality_id where) {
+  return from.call<ListHistogramsAction>(dist::locality_gid(where)).get();
+}
+
+HistogramSnapshot histogram(dist::Locality& from, dist::locality_id where,
+                            const std::string& name) {
+  WireHistogram w =
+      from.call<ReadHistogramAction>(dist::locality_gid(where), name).get();
+  HistogramSnapshot s;
+  s.buckets = std::move(w.buckets);
+  s.count = w.count;
+  s.sum_ns = w.sum_ns;
+  s.max_ns = w.max_ns;
+  return s;
+}
+
+void set_histograms_enabled(dist::Locality& from,
+                            dist::locality_id num_localities, bool on) {
+  for (dist::locality_id loc = 0; loc < num_localities; ++loc) {
+    (void)from.call<SetHistogramsEnabledAction>(dist::locality_gid(loc), on)
+        .get();
+  }
+}
+
+HistogramSnapshot merged_histogram(dist::Locality& from,
+                                   dist::locality_id num_localities,
+                                   const std::string& name) {
+  HistogramSnapshot merged;
+  for (dist::locality_id loc = 0; loc < num_localities; ++loc) {
+    merged.merge(histogram(from, loc, name));
+  }
+  return merged;
 }
 
 // -------------------------------------------------------- FederatedSampler

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/apex/sampler.hpp"
 #include "minihpx/distributed/gid.hpp"
 
@@ -61,6 +62,36 @@ namespace mhpx::apex::remote {
 /// the number of counters reset.
 std::size_t reset(dist::Locality& from, dist::locality_id where,
                   const std::string& pattern);
+
+// ------------------------------------------------- histogram federation
+// Percentiles do not merge; raw bucket counts do. These ship the bucket
+// arrays themselves, so the observing locality computes true cluster-wide
+// quantiles: merge every locality's snapshot bucket-wise (exact integer
+// adds — bit-identical wherever it is computed), then take quantile(q) of
+// the merged snapshot (DESIGN.md §14).
+
+/// Histogram names registered on locality \p where, sorted.
+[[nodiscard]] std::vector<std::string> histogram_names(
+    dist::Locality& from, dist::locality_id where);
+
+/// Raw-bucket snapshot of histogram \p name on \p where (empty snapshot
+/// when not registered). Crosses the wire for remote ranks.
+[[nodiscard]] HistogramSnapshot histogram(dist::Locality& from,
+                                          dist::locality_id where,
+                                          const std::string& name);
+
+/// Cluster-wide distribution of \p name: every locality's snapshot merged
+/// bucket-wise at the vantage locality \p from.
+[[nodiscard]] HistogramSnapshot merged_histogram(
+    dist::Locality& from, dist::locality_id num_localities,
+    const std::string& name);
+
+/// Flip Histogram::set_enabled on every locality (each OS process has its
+/// own process-wide switch). Freezing recording cluster-wide makes a live
+/// scrape and a later offline bucket dump bit-exactly comparable — the
+/// federation reads themselves would otherwise keep recording task-waits.
+void set_histograms_enabled(dist::Locality& from,
+                            dist::locality_id num_localities, bool on);
 
 struct FederatedSamplerConfig {
   /// Seconds between federation rounds (every round polls all localities).

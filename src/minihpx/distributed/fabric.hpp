@@ -22,6 +22,10 @@
 
 #include "minihpx/distributed/gid.hpp"
 
+namespace mhpx::apex {
+class Histogram;
+}
+
 namespace mhpx::dist {
 
 /// One logical frame as two scatter-gather segments: a small framing `head`
@@ -182,6 +186,15 @@ class Fabric {
   /// Stop background threads and release sockets. Idempotent; called by
   /// the distributed runtime before localities are destroyed.
   virtual void shutdown() = 0;
+
+  /// Submit→flush latency distribution of this fabric's send pipeline, or
+  /// nullptr for fabrics without one. The pointer stays valid until
+  /// shutdown(); apex::register_fabric_histograms surfaces it as
+  /// /parcels/{name}/send-flush. Decorators forward to the wrapped fabric.
+  [[nodiscard]] virtual apex::Histogram* send_latency_histogram()
+      const noexcept {
+    return nullptr;
+  }
 
   [[nodiscard]] virtual Stats stats() const = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;

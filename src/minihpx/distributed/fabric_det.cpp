@@ -80,6 +80,11 @@ class DetFabric final : public Fabric {
 
   void shutdown() override { inner_->shutdown(); }
 
+  [[nodiscard]] apex::Histogram* send_latency_histogram()
+      const noexcept override {
+    return inner_->send_latency_histogram();
+  }
+
   [[nodiscard]] Stats stats() const override { return inner_->stats(); }
 
   [[nodiscard]] std::string_view name() const override { return name_; }

@@ -90,6 +90,11 @@ class InprocFabric final : public Fabric {
     return s;
   }
 
+  [[nodiscard]] apex::Histogram* send_latency_histogram()
+      const noexcept override {
+    return pipeline_ ? &pipeline_->latency_histogram() : nullptr;
+  }
+
   [[nodiscard]] std::string_view name() const override { return "inproc"; }
 
  private:

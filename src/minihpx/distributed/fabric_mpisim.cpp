@@ -122,6 +122,11 @@ class MpiSimFabric final : public Fabric {
     return s;
   }
 
+  [[nodiscard]] apex::Histogram* send_latency_histogram()
+      const noexcept override {
+    return pipeline_ ? &pipeline_->latency_histogram() : nullptr;
+  }
+
   [[nodiscard]] std::string_view name() const override { return "mpisim"; }
 
  private:

@@ -21,6 +21,18 @@ Locality::Locality(locality_id id, DistributedRuntime& runtime,
           num_threads, stack_size, /*deterministic=*/false, /*det_seed=*/0,
           /*trace_locality=*/id}) {
   apex::register_scheduler_counters(counters_block_, scheduler_);
+  // The distribution layer over those scalars: queue-wait/run-slice
+  // histograms plus this locality's request round trips, all surfaced as
+  // /<name>/{count,mean,p50,p90,p99,p999,max} leaves in counters().
+  histograms_registry_.attach("/threads/default/task-wait",
+                              scheduler_.wait_histogram(),
+                              "task queue-wait (enqueue to first run slice)");
+  histograms_registry_.attach("/threads/default/task-run",
+                              scheduler_.run_histogram(),
+                              "task execution slice duration");
+  histograms_registry_.attach(
+      "/parcels/rtt", rtt_hist_,
+      "request to reply round trip observed at the origin locality");
 }
 
 Locality::~Locality() = default;

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/distributed/action.hpp"
 #include "minihpx/distributed/component.hpp"
 #include "minihpx/distributed/fabric.hpp"
@@ -63,6 +64,13 @@ class Locality {
   /// through it are removed before the registry (and scheduler) die.
   [[nodiscard]] apex::CounterBlock& counters_block() noexcept {
     return counters_block_;
+  }
+
+  /// This locality's latency histograms, surfaced into counters() as
+  /// /<name>/{count,mean,p50,...} leaves and federated raw-bucket-wise by
+  /// apex::remote (cluster quantiles merge buckets, never percentiles).
+  [[nodiscard]] apex::HistogramRegistry& histograms() noexcept {
+    return histograms_registry_;
   }
 
   // ----------------------------------------------------------- components
@@ -210,10 +218,17 @@ class Locality {
     }
     auto state = std::make_shared<mhpx::detail::shared_state<R>>();
     const std::uint64_t request = next_request_.fetch_add(1);
+    // Round-trip stamp: resolved replies record request→reply latency into
+    // /parcels/rtt. Proxies re-route through origin() above, so in
+    // multi-process mode this interval brackets the real wire RTT.
+    const std::uint64_t rtt_from = apex::now_ns();
     {
       std::lock_guard lk(pending_mutex_);
-      pending_[request] = [state](std::uint8_t status,
-                                  serialization::InputArchive& in) {
+      pending_[request] = [this, state, rtt_from](
+                              std::uint8_t status,
+                              serialization::InputArchive& in) {
+        const std::uint64_t now = apex::now_ns();
+        rtt_hist_.record_ns(now >= rtt_from ? now - rtt_from : 0);
         if (status != 0) {
           std::string message;
           in& message;
@@ -290,11 +305,17 @@ class Locality {
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> dropped_frames_{0};
 
+  /// Resolved request→reply round trips (see send_request).
+  apex::Histogram rtt_hist_;
+
   /// Declared after scheduler_ and before counters_block_ so the block's
   /// readers (which pull scheduler/fabric state) unregister before either
-  /// the registry or the sources they read are destroyed.
+  /// the registry or the sources they read are destroyed. The histogram
+  /// registry comes last: its derived counter leaves must unregister from
+  /// counters_registry_ before the histograms they read go away.
   apex::CounterRegistry counters_registry_;
   apex::CounterBlock counters_block_{counters_registry_};
+  apex::HistogramRegistry histograms_registry_{counters_registry_};
 };
 
 }  // namespace mhpx::dist

@@ -44,6 +44,7 @@ void SendPipeline::submit(locality_id src, locality_id dst, WireFrame frame) {
   std::unique_lock lk(p.mutex);
   p.queued_bytes += frame.size();
   p.queue.push_back(std::move(frame));
+  p.stamps.push_back(apex::now_ns());
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (p.flushing) {
     return;  // the active flusher picks this frame up — that's coalescing
@@ -73,9 +74,14 @@ void SendPipeline::drain(Peer& p, std::unique_lock<std::mutex>& lk,
                 p.queued_bytes >= batch_bytes)
              : !p.queue.empty()) {
     FrameBatch batch;
+    std::vector<std::uint64_t> stamps;
     do {  // always take one; cut the batch at the size/frame limits
       WireFrame f = std::move(p.queue.front());
       p.queue.pop_front();
+      if (!p.stamps.empty()) {
+        stamps.push_back(p.stamps.front());
+        p.stamps.pop_front();
+      }
       const std::size_t sz = f.size();
       p.queued_bytes -= sz;
       batch.bytes += sz;
@@ -89,6 +95,12 @@ void SendPipeline::drain(Peer& p, std::unique_lock<std::mutex>& lk,
       coalesced_.fetch_add(batch.frames.size(), std::memory_order_relaxed);
     }
     flush_(src, dst, std::move(batch));
+    // Latency is priced through the flush call: what a peer observes is
+    // "my frame left the box", not "my frame entered the batch".
+    const std::uint64_t done = apex::now_ns();
+    for (const std::uint64_t t0 : stamps) {
+      latency_hist_.record_ns(done >= t0 ? done - t0 : 0);
+    }
     lk.lock();
   }
   p.flushing = false;

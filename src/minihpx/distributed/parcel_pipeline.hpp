@@ -36,6 +36,7 @@
 #include <mutex>
 #include <vector>
 
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/distributed/fabric.hpp"
 
 namespace mhpx::dist {
@@ -108,11 +109,20 @@ class SendPipeline {
 
   [[nodiscard]] const CoalesceConfig& config() const noexcept { return cfg_; }
 
+  /// Distribution of submit → wire-flush latency per frame: the time a
+  /// parcel spent held in the coalescing queue plus the flush syscall
+  /// ahead of it. Surfaced as /parcels/{fabric}/send-flush.
+  [[nodiscard]] apex::Histogram& latency_histogram() const noexcept {
+    return latency_hist_;
+  }
+
  private:
   struct Peer {
     std::mutex mutex;
     std::condition_variable idle;  ///< signalled when a drain completes
     std::deque<WireFrame> queue;
+    /// Submit stamps (apex::now_ns), index-aligned with queue.
+    std::deque<std::uint64_t> stamps;
     std::size_t queued_bytes = 0;
     bool flushing = false;
   };
@@ -135,6 +145,7 @@ class SendPipeline {
   std::atomic<std::uint64_t> flushes_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> flushed_bytes_{0};
+  mutable apex::Histogram latency_hist_;  // see latency_histogram()
 };
 
 }  // namespace mhpx::dist

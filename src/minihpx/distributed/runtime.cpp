@@ -62,6 +62,7 @@ DistributedRuntime::DistributedRuntime(Config cfg)
                                      [f = fabric_.get()] { f->uncork(); });
   }
   apex::register_fabric_counters(counters_, *fabric_);
+  apex::register_fabric_histograms(histograms_, *fabric_);
   for (auto& loc : localities_) {
     if (loc->is_proxy()) {
       continue;  // its real counters live in the rank's own process
@@ -73,6 +74,11 @@ DistributedRuntime::DistributedRuntime(Config cfg)
     // also sees the shared fabric: remote observers read /parcels/* through
     // any locality. Scheduler counters were registered by the Locality ctor.
     apex::register_fabric_counters(loc->counters_block(), *fabric_);
+    if (apex::Histogram* h = fabric_->send_latency_histogram()) {
+      loc->histograms().attach(
+          "/parcels/" + std::string(fabric_->name()) + "/send-flush", *h,
+          "parcel latency from submit to wire flush");
+    }
   }
 }
 

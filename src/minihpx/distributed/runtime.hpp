@@ -99,6 +99,9 @@ class DistributedRuntime {
   /// /parcels/{fabric}/... and /threads/locality<i>/... counters; declared
   /// last so they unregister before the sources they read are destroyed.
   apex::CounterBlock counters_;
+  /// Global-registry mirrors of the fabric/scheduler histograms (same
+  /// ordering rule as counters_).
+  apex::HistogramBlock histograms_;
 };
 
 }  // namespace mhpx::dist

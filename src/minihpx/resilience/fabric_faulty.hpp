@@ -66,6 +66,10 @@ class FaultyFabric final : public dist::Fabric {
   [[nodiscard]] SocketAudit debug_socket_audit() const override;
   void shutdown() override;
   [[nodiscard]] Stats stats() const override;
+  [[nodiscard]] apex::Histogram* send_latency_histogram()
+      const noexcept override {
+    return inner_->send_latency_histogram();
+  }
   [[nodiscard]] std::string_view name() const override { return name_; }
 
   // ---- fault plan control ----

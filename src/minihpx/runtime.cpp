@@ -21,6 +21,7 @@ Runtime::Runtime(Config cfg) {
   }
   apex::register_scheduler_counters(counters_, *scheduler_, "default");
   apex::register_resilience_counters(counters_);
+  apex::register_scheduler_histograms(histograms_, *scheduler_, "default");
 }
 
 Runtime::~Runtime() {

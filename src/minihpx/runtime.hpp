@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/config.hpp"
 #include "minihpx/threads/scheduler.hpp"
 
@@ -41,8 +42,10 @@ class Runtime {
  private:
   std::unique_ptr<threads::Scheduler> scheduler_;
   /// Declared after scheduler_ so the /threads/default/... counters are
-  /// unregistered before the scheduler they read is destroyed.
+  /// unregistered before the scheduler they read is destroyed. Same rule
+  /// for the histogram leaves (task-wait/task-run distributions).
   apex::CounterBlock counters_;
+  apex::HistogramBlock histograms_;
 };
 
 namespace detail {

@@ -122,6 +122,13 @@ void Scheduler::post(std::function<void()> task) {
 
 void Scheduler::enqueue(TaskCtx* task) {
   assert(task->owner == this);
+  // No latency stamps in deterministic mode: det schedulers exist for
+  // schedule replay, where wall-clock distributions are meaningless and
+  // the extra clock reads on the post path shift the posting/picking
+  // interleave between replays.
+  if (!deterministic_) {
+    task->ready_ns = apex::now_ns();
+  }
   if (t_worker_of == this) {
     Worker& w = *workers_[t_worker_id];
     std::lock_guard lock(w.mutex);
@@ -275,17 +282,26 @@ void Scheduler::run_task(Worker& self, TaskCtx* task) {
   if (race_on) {
     testing::race::on_task_begin(task->guid);
   }
+  if (!deterministic_ && task->ready_ns != 0) {
+    const std::uint64_t slice_from_ns = apex::now_ns();
+    if (slice_from_ns >= task->ready_ns) {
+      wait_hist_.record_ns(slice_from_ns - task->ready_ns);
+    }
+  }
   const auto busy_from = std::chrono::steady_clock::now();
   task->fib->resume();
   if (race_on) {
     testing::race::on_task_slice_end();
   }
-  busy_ns_.fetch_add(
+  const std::uint64_t slice_ns =
       static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - busy_from)
-              .count()),
-      std::memory_order_relaxed);
+              .count());
+  if (!deterministic_) {
+    run_hist_.record_ns(slice_ns);
+  }
+  busy_ns_.fetch_add(slice_ns, std::memory_order_relaxed);
   // Accumulate this execution slice's work annotations into the task, so
   // tasks that suspend and migrate across workers are still priced fully.
   const auto slice = instrument::detail::task_scope_end();

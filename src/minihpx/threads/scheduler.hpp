@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/config.hpp"
 #include "minihpx/fiber/fiber.hpp"
 #include "minihpx/fiber/stack.hpp"
@@ -45,6 +46,9 @@ struct TaskCtx {
   /// — the APEX-style GUID/parent pair the apex timeline records.
   std::uint64_t guid = 0;
   std::uint64_t parent = 0;
+  /// steady-clock stamp of the last enqueue — the start of the queue-wait
+  /// interval the /threads/{pool}/task-wait histogram records.
+  std::uint64_t ready_ns = 0;
   /// One-shot hook run by the worker after the fiber has switched out.
   std::function<void(TaskCtx*)> pending_suspend;
 };
@@ -164,6 +168,15 @@ class Scheduler {
   /// Snapshot of the counters (aggregated over all workers).
   [[nodiscard]] Counters counters() const;
 
+  /// Latency distributions (the percentile layer over the scalar counters
+  /// above): queue-wait from enqueue to the start of a run slice, and run
+  /// slice duration. Registered as /threads/{pool}/task-{wait,run} by
+  /// apex::register_scheduler_histograms.
+  [[nodiscard]] apex::Histogram& wait_histogram() noexcept {
+    return wait_hist_;
+  }
+  [[nodiscard]] apex::Histogram& run_histogram() noexcept { return run_hist_; }
+
  private:
   struct Worker {
     explicit Worker(unsigned worker_id) : id(worker_id) {}
@@ -217,6 +230,9 @@ class Scheduler {
   std::atomic<std::uint64_t> n_yielded_{0};
   std::atomic<std::uint64_t> busy_ns_{0};
   std::atomic<std::uint64_t> idle_ns_{0};
+
+  apex::Histogram wait_hist_;  // see wait_histogram()
+  apex::Histogram run_hist_;
 };
 
 }  // namespace mhpx::threads

@@ -53,6 +53,7 @@
 #include "core/arch/accelerator_model.hpp"
 #include "core/power/energy.hpp"
 #include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/apex/task_trace.hpp"
 #include "minihpx/futures/future.hpp"
 #include "minihpx/instrument.hpp"
@@ -204,6 +205,9 @@ struct LaunchSpec {
   /// When set, the op starts no earlier than this modelled time (stream
   /// waits joining another stream's event).
   std::shared_ptr<const double> join_after;
+  /// Wall-clock enqueue stamp (set by Device::enqueue), feeding the
+  /// launch->fence latency histogram.
+  std::uint64_t enqueue_ns = 0;
 };
 
 /// The process-wide modelled device: a fixed set of FIFO streams over one
@@ -265,6 +269,7 @@ class Device {
   /// fence(), CUDA-style).
   mhpx::future<void> enqueue(unsigned stream, LaunchSpec spec,
                              std::function<void()> body) {
+    spec.enqueue_ns = mhpx::apex::now_ns();
     StreamState& st = stream_state(stream);
     std::lock_guard chain(st.chain_mutex);
     auto next = st.tail.then(
@@ -343,6 +348,14 @@ class Device {
   [[nodiscard]] std::vector<OpRecord> timeline() const {
     std::lock_guard lk(model_mutex_);
     return timeline_;
+  }
+
+  /// Wall-clock latency distribution from enqueue to executed op (kernels
+  /// and copies; events/waits excluded) — the launch->fence latency the
+  /// hpx-kokkos bridge measures on a real device.
+  [[nodiscard]] mhpx::apex::Histogram& launch_latency_histogram()
+      const noexcept {
+    return launch_latency_hist_;
   }
 
   /// Modelled completion time of the busiest stream (seconds since the
@@ -541,6 +554,12 @@ class Device {
     }
     (void)wall_end;
 
+    if ((is_kernel || is_copy) && spec.enqueue_ns != 0) {
+      const std::uint64_t done = mhpx::apex::now_ns();
+      launch_latency_hist_.record_ns(
+          done >= spec.enqueue_ns ? done - spec.enqueue_ns : 0);
+    }
+
     if (spec.kind != OpRecord::Kind::event &&
         spec.kind != OpRecord::Kind::wait) {
       mhpx::apex::trace::span_at(
@@ -571,6 +590,9 @@ class Device {
   std::vector<OpRecord> timeline_;
   std::exception_ptr first_error_;
   mhpx::resilience::FaultInjector* injector_ = nullptr;
+  /// Internally synchronized (sharded atomics); not reset by configure() —
+  /// wall-clock latency is a property of the host run, not the model.
+  mutable mhpx::apex::Histogram launch_latency_hist_;
 };
 
 /// Default work hints when the DeviceExec carries none: one flop and a
@@ -1056,6 +1078,17 @@ inline void register_device_counters(mhpx::apex::CounterBlock& block,
             "total host<->device bytes over the modelled link",
             mhpx::apex::CounterKind::monotonic,
             [&dev] { return dev.totals().copy_bytes; });
+}
+
+/// Attach /device/launch-fence — the wall-clock enqueue->executed latency
+/// distribution over all streams — into \p block's histogram registry,
+/// surfacing /device/launch-fence/{count,mean,p50,p90,p99,p999,max} as
+/// derived counter leaves. The Device singleton outlives any registry.
+inline void register_device_histograms(mhpx::apex::HistogramBlock& block,
+                                       Device& dev = Device::instance()) {
+  block.attach("/device/launch-fence", dev.launch_latency_histogram(),
+               "wall-clock latency from device op enqueue to execution "
+               "(kernels and copies, all streams)");
 }
 
 /// Register /power/<locality>/device-energy-j: modelled joules accrued by

@@ -447,6 +447,9 @@ DistSimulation::DistSimulation(
                                       res_.backoff_factor, res_.backoff_cap_s,
                                       res_.backoff_jitter},
       res_.seed);
+  runtime_.local_locality().histograms().attach(
+      "/octotiger/step", step_hist_,
+      "distributed driver wall time per time step (orchestrator view)");
   // Component creation is not idempotent, so construction must run without
   // injected faults: stash the faulty fabric's rates and zero them until
   // the wish-list gather below is done.
@@ -514,6 +517,9 @@ DistSimulation::DistSimulation(
 }
 
 DistSimulation::~DistSimulation() {
+  // step_hist_ dies before runtime_ (reverse member order): drop the
+  // registry entry while its leaves can still be unregistered safely.
+  runtime_.local_locality().histograms().remove("/octotiger/step");
   if (owns_ckpt_file_) {
     std::remove(ckpt_path_.c_str());
   }
@@ -592,8 +598,11 @@ void DistSimulation::exchange_fields() {
 }
 
 double DistSimulation::step() {
+  const std::uint64_t step_from = mhpx::apex::now_ns();
   if (!res_.enabled) {
-    return plain_step();
+    const double dt = plain_step();
+    step_hist_.record_ns(mhpx::apex::now_ns() - step_from);
+    return dt;
   }
   for (;;) {
     try {
@@ -601,7 +610,9 @@ double DistSimulation::step() {
           stats_.steps % res_.checkpoint_every == 0) {
         take_checkpoint();
       }
-      return resilient_step();
+      const double dt = resilient_step();
+      step_hist_.record_ns(mhpx::apex::now_ns() - step_from);
+      return dt;
     } catch (const locality_dead& e) {
       if (++recoveries_ > res_.max_recoveries) {
         throw;

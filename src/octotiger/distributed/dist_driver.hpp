@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/distributed/runtime.hpp"
 #include "minihpx/resilience/backoff.hpp"
 #include "minihpx/sync/mutex.hpp"
@@ -245,6 +246,10 @@ class DistSimulation {
   std::function<void(const std::string&)> phase_marker_;
   /// Apex phase timeline mirroring mark(), as in octo::Simulation.
   mhpx::apex::trace::PhaseSeries trace_phases_;
+  /// Per-step wall time (the orchestrator's view: all phases, all remote
+  /// joins), published as /octotiger/step on the local locality so the
+  /// federation and /metrics see it per rank.
+  mhpx::apex::Histogram step_hist_;
 
   // Resilient-mode state.
   std::unique_ptr<Simulation> shadow_;  ///< checkpoint staging replica

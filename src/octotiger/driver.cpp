@@ -17,6 +17,9 @@ namespace octo {
 Simulation::Simulation(Options opt)
     : opt_(std::move(opt)), tree_(opt_.max_level, scenario::refinement(opt_)) {
   scenario::initialize(tree_, opt_);
+  step_telemetry_ = std::make_unique<StepTelemetry>();
+  step_telemetry_->block.attach("/octotiger/step", step_telemetry_->hist,
+                                "driver wall time per time step");
 }
 
 void Simulation::mark(const std::string& phase) {
@@ -115,6 +118,7 @@ void Simulation::hydro_stage(double dt, bool second_stage) {
 }
 
 double Simulation::step() {
+  const std::uint64_t step_from = mhpx::apex::now_ns();
   const double dt = compute_dt();
 
   for (TreeNode* leaf : tree_.leaves()) {
@@ -135,6 +139,7 @@ double Simulation::step() {
   stats_.sim_time += dt;
   stats_.last_dt = dt;
   stats_.cells_processed += tree_.total_cells();
+  step_telemetry_->hist.record_ns(mhpx::apex::now_ns() - step_from);
   return dt;
 }
 

@@ -9,8 +9,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "minihpx/apex/histogram.hpp"
 #include "minihpx/apex/task_trace.hpp"
 #include "octotiger/octree.hpp"
 #include "octotiger/options.hpp"
@@ -80,6 +82,17 @@ class Simulation {
   /// Apex phase timeline: every mark() opens the next solver phase as a
   /// trace region so tasks spawned within it are attributed to it.
   mhpx::apex::trace::PhaseSeries trace_phases_;
+  /// Per-step wall-time distribution, surfaced as /octotiger/step/{p50,...}
+  /// in the global registry. The first Simulation in a process claims the
+  /// name; replicas (e.g. checkpoint shadows) still record locally but do
+  /// not publish. Heap-held so Simulation stays movable while the registry
+  /// keeps a stable histogram address; block after hist → leaves
+  /// unregister before the histogram dies.
+  struct StepTelemetry {
+    mhpx::apex::Histogram hist;
+    mhpx::apex::HistogramBlock block;
+  };
+  std::unique_ptr<StepTelemetry> step_telemetry_;
 };
 
 }  // namespace octo

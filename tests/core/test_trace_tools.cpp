@@ -220,3 +220,80 @@ TEST(TraceRoundTrip, RealExportLintsThroughTheCli) {
   const tt::ParsedTrace reparsed = tt::parse_chrome(tt::to_chrome_json(merged));
   EXPECT_TRUE(tt::lint(reparsed, 2).empty());
 }
+
+namespace {
+
+tt::TraceEvent span(char ph, const std::string& name, double ts_us,
+                    std::uint32_t pid, std::uint32_t tid = 0) {
+  tt::TraceEvent e;
+  e.name = name;
+  e.cat = "test";
+  e.ph = ph;
+  e.ts_us = ts_us;
+  e.has_ts = true;
+  e.pid = pid;
+  e.tid = tid;
+  return e;
+}
+
+}  // namespace
+
+TEST(TraceFlamegraph, GoldenSelfTimeAttribution) {
+  // loc0: main [0,40] with nested hydro [10,30]. Self time: main gets the
+  // [0,10) prologue and the [30,40) epilogue, hydro the [10,30) body.
+  tt::ParsedTrace trace;
+  trace.events = {span('B', "main", 0.0, 0), span('B', "hydro", 10.0, 0),
+                  span('E', "hydro", 30.0, 0), span('E', "main", 40.0, 0)};
+  const auto folds = tt::fold_stacks(trace);
+  ASSERT_EQ(folds.size(), 2u);
+  EXPECT_EQ(folds[0].stack, "loc0;main");  // map order: sorted by path
+  EXPECT_EQ(folds[0].self_us, 20u);
+  EXPECT_EQ(folds[1].stack, "loc0;main;hydro");
+  EXPECT_EQ(folds[1].self_us, 20u);
+  EXPECT_EQ(tt::to_collapsed(folds),
+            "loc0;main 20\nloc0;main;hydro 20\n");
+}
+
+TEST(TraceFlamegraph, LanesAreIndependentAndRootedPerPid) {
+  // Two localities, plus a second tid on loc0 whose frames never mix with
+  // tid 0's stack even when the time windows interleave.
+  tt::ParsedTrace trace;
+  trace.events = {span('B', "a", 0.0, 0, 0),  span('E', "a", 10.0, 0, 0),
+                  span('B', "b", 2.0, 0, 1),  span('E', "b", 6.0, 0, 1),
+                  span('B', "c", 0.0, 1, 0),  span('E', "c", 8.0, 1, 0)};
+  const auto folds = tt::fold_stacks(trace);
+  ASSERT_EQ(folds.size(), 3u);
+  EXPECT_EQ(folds[0].stack, "loc0;a");
+  EXPECT_EQ(folds[0].self_us, 10u);
+  EXPECT_EQ(folds[1].stack, "loc0;b");
+  EXPECT_EQ(folds[1].self_us, 4u);
+  EXPECT_EQ(folds[2].stack, "loc1;c");
+  EXPECT_EQ(folds[2].self_us, 8u);
+}
+
+TEST(TraceFlamegraph, RoundingAndZeroWeightFrames) {
+  // Sub-microsecond self time rounds half-up; frames that round to zero
+  // are dropped from the collapsed output entirely.
+  tt::ParsedTrace trace;
+  trace.events = {span('B', "tiny", 0.0, 0), span('E', "tiny", 0.4, 0),
+                  span('B', "small", 1.0, 0), span('E', "small", 2.5, 0)};
+  const auto folds = tt::fold_stacks(trace);
+  ASSERT_EQ(folds.size(), 1u);
+  EXPECT_EQ(folds[0].stack, "loc0;small");
+  EXPECT_EQ(folds[0].self_us, 2u);  // 1.5 rounds half-up
+}
+
+TEST(TraceFlamegraph, SameTimestampNestingAndDanglingB) {
+  // A nested B at its parent's ts must stay nested (stable sort), and a
+  // dangling B from a truncated trace stops accruing at the last event.
+  tt::ParsedTrace trace;
+  trace.events = {span('B', "outer", 0.0, 0), span('B', "inner", 0.0, 0),
+                  span('E', "inner", 5.0, 0), span('B', "cut", 5.0, 0),
+                  span('E', "cut", 7.0, 0)};
+  const auto folds = tt::fold_stacks(trace);
+  ASSERT_EQ(folds.size(), 2u);
+  EXPECT_EQ(folds[0].stack, "loc0;outer;cut");
+  EXPECT_EQ(folds[0].self_us, 2u);
+  EXPECT_EQ(folds[1].stack, "loc0;outer;inner");
+  EXPECT_EQ(folds[1].self_us, 5u);
+}

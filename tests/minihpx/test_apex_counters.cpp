@@ -270,3 +270,98 @@ TEST(Sampler, RestartsAfterMaxSamplesAndStopIsIdempotent) {
   EXPECT_EQ(sampler.samples(), 2u);
   EXPECT_FALSE(sampler.running());
 }
+
+TEST(CounterPattern, DiscoveryEdgeCases) {
+  apex::CounterRegistry reg;
+  reg.add("/threads/default/tasks", "", apex::CounterKind::monotonic,
+          [] { return 1.0; });
+  reg.add("/threads/default/idle-rate", "", apex::CounterKind::gauge,
+          [] { return 0.0; });
+  reg.add("/parcels/tcp/sent", "", apex::CounterKind::monotonic,
+          [] { return 2.0; });
+
+  // '**' at the root spans everything; '/**' requires the leading slash.
+  EXPECT_EQ(reg.discover("**").size(), 3u);
+  EXPECT_EQ(reg.discover("/**").size(), 3u);
+  EXPECT_FALSE(apex::CounterRegistry::pattern_match("/**", "no-slash"));
+
+  // A trailing '/' matches no registered leaf (names never end in '/').
+  EXPECT_TRUE(reg.discover("/threads/").empty());
+  EXPECT_TRUE(reg.discover("/threads/default/").empty());
+
+  // The empty pattern matches only the empty name — i.e. nothing here.
+  EXPECT_TRUE(reg.discover("").empty());
+  EXPECT_TRUE(apex::CounterRegistry::pattern_match("", ""));
+
+  // An interior node is not a leaf: '/threads/**' must not match the bare
+  // '/threads' prefix itself, only names below it.
+  EXPECT_FALSE(
+      apex::CounterRegistry::pattern_match("/threads/**", "/threads"));
+  EXPECT_EQ(reg.discover("/threads/**").size(), 2u);
+}
+
+TEST(ResetScope, ObserverLocalBaselinesDoNotSteal) {
+  // Regression for the shared-baseline stealing hazard: two observers
+  // resetting through the registry raced — the second reset() re-zeroed
+  // the first observer's window. Scoped resets must be independent of each
+  // other AND of the registry's shared baseline.
+  apex::CounterRegistry reg;
+  double mono = 100.0;
+  reg.add("/t/events", "", apex::CounterKind::monotonic,
+          [&mono] { return mono; });
+
+  apex::ResetScope a(reg);
+  apex::ResetScope b(reg);
+
+  EXPECT_EQ(a.reset("/t/**"), 1u);  // a's window opens at 100
+  mono = 130.0;
+  EXPECT_EQ(b.reset("/t/**"), 1u);  // b's window opens at 130
+  mono = 150.0;
+
+  EXPECT_DOUBLE_EQ(a.read("/t/events").value_or(-1), 50.0);
+  EXPECT_DOUBLE_EQ(b.read("/t/events").value_or(-1), 20.0);
+
+  // A registry-level (shared) reset moves the shared baseline only; the
+  // scopes keep reading raw-minus-own-baseline.
+  EXPECT_EQ(reg.reset("/t/**"), 1u);
+  mono = 160.0;
+  EXPECT_DOUBLE_EQ(reg.read("/t/events").value_or(-1), 10.0);
+  EXPECT_DOUBLE_EQ(a.read("/t/events").value_or(-1), 60.0);
+  EXPECT_DOUBLE_EQ(b.read("/t/events").value_or(-1), 30.0);
+
+  // Re-resetting one scope leaves the other untouched.
+  EXPECT_EQ(a.reset("/t/**"), 1u);
+  mono = 161.0;
+  EXPECT_DOUBLE_EQ(a.read("/t/events").value_or(-1), 1.0);
+  EXPECT_DOUBLE_EQ(b.read("/t/events").value_or(-1), 31.0);
+}
+
+TEST(ResetScope, GaugesAndUnresetCountersReadRaw) {
+  apex::CounterRegistry reg;
+  double mono = 10.0;
+  double level = 0.4;
+  reg.add("/t/count", "", apex::CounterKind::monotonic,
+          [&mono] { return mono; });
+  reg.add("/t/gauge", "", apex::CounterKind::gauge,
+          [&level] { return level; });
+
+  apex::ResetScope scope(reg);
+  EXPECT_EQ(scope.reset("/t/**"), 1u);  // only the monotonic counter
+  mono = 25.0;
+  level = 0.9;
+  EXPECT_DOUBLE_EQ(scope.read("/t/count").value_or(-1), 15.0);
+  EXPECT_DOUBLE_EQ(scope.read("/t/gauge").value_or(-1), 0.9);
+  EXPECT_FALSE(scope.read("/t/missing").has_value());
+
+  const auto all = scope.read_matching("/t/**");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "/t/count");
+  EXPECT_DOUBLE_EQ(all[0].second, 15.0);
+  EXPECT_DOUBLE_EQ(all[1].second, 0.9);
+
+  // A counter registered after the reset (never baselined) reads raw.
+  double late = 5.0;
+  reg.add("/t/late", "", apex::CounterKind::monotonic,
+          [&late] { return late; });
+  EXPECT_DOUBLE_EQ(scope.read("/t/late").value_or(-1), 5.0);
+}

@@ -1,0 +1,238 @@
+// mhpx::apex::Histogram: HDR bucket arithmetic, golden quantiles, snapshot
+// merge algebra (associative/commutative, the property bucket federation
+// rests on), the metamorphic sharded-vs-single identity, concurrent
+// recording, the registry's derived counter leaves, and the global enable
+// switch.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/histogram.hpp"
+
+namespace apex = mhpx::apex;
+
+namespace {
+
+apex::HistogramSnapshot snap_of(const std::vector<std::uint64_t>& values) {
+  apex::Histogram h;
+  for (std::uint64_t v : values) {
+    h.record_ns(v);
+  }
+  return h.snapshot();
+}
+
+}  // namespace
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < apex::Histogram::sub_count; ++v) {
+    EXPECT_EQ(apex::Histogram::bucket_index(v), v);
+    EXPECT_EQ(apex::Histogram::bucket_upper_ns(v), v);
+  }
+}
+
+TEST(HistogramBuckets, UpperBoundIsTightAndMonotonic) {
+  // Every value maps into a bucket whose upper bound is >= the value and
+  // whose predecessor's upper bound is < the value.
+  for (std::uint64_t v : {32ull, 33ull, 100ull, 1000ull, 4095ull, 4096ull,
+                          1ull << 20, (1ull << 20) + 17, 1ull << 40,
+                          ~0ull >> 1}) {
+    const std::size_t idx = apex::Histogram::bucket_index(v);
+    ASSERT_LT(idx, apex::Histogram::bucket_count);
+    EXPECT_GE(apex::Histogram::bucket_upper_ns(idx), v);
+    if (idx > 0) {
+      EXPECT_LT(apex::Histogram::bucket_upper_ns(idx - 1), v);
+    }
+  }
+  // Relative error stays within 2^-sub_bits (~3%).
+  const std::uint64_t v = 1000000;
+  const std::size_t idx = apex::Histogram::bucket_index(v);
+  const double ub = static_cast<double>(apex::Histogram::bucket_upper_ns(idx));
+  EXPECT_LE((ub - static_cast<double>(v)) / static_cast<double>(v),
+            1.0 / apex::Histogram::sub_count);
+}
+
+TEST(HistogramQuantile, GoldenSingleValue) {
+  // 1000 ns lands in the bucket with upper bound 1007 ns; every quantile of
+  // a single-valued distribution is that representative, exactly.
+  apex::Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.record_ns(1000);
+  }
+  const apex::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum_ns, 100000u);
+  EXPECT_EQ(s.max_ns, 1000u);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 1007e-9) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 1000e-9);
+}
+
+TEST(HistogramQuantile, GoldenTwoPointDistribution) {
+  // 90 values at 10 ns, 10 at 1000 ns: p50/p90 sit in the exact bucket 10,
+  // p99 and above in 1000's bucket (upper bound 1007).
+  apex::Histogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.record_ns(10);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.record_ns(1000);
+  }
+  const apex::HistogramSnapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 10e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 10e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 1007e-9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.999), 1007e-9);
+  EXPECT_DOUBLE_EQ(s.max(), 1000e-9);
+}
+
+TEST(HistogramQuantile, EmptyHistogramReadsZero) {
+  apex::Histogram h;
+  const apex::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(s.buckets.empty());
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramMerge, AssociativeAndCommutative) {
+  const apex::HistogramSnapshot a = snap_of({1, 5, 900, 70000});
+  const apex::HistogramSnapshot b = snap_of({2, 2, 2, 1u << 20});
+  const apex::HistogramSnapshot c = snap_of({1000, 1000, 31});
+
+  apex::HistogramSnapshot ab_c = a;  // (a+b)+c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  apex::HistogramSnapshot a_bc = b;  // a+(b+c), built b-first
+  a_bc.merge(c);
+  a_bc.merge(a);
+
+  EXPECT_EQ(ab_c.buckets, a_bc.buckets);
+  EXPECT_EQ(ab_c.count, a_bc.count);
+  EXPECT_EQ(ab_c.sum_ns, a_bc.sum_ns);
+  EXPECT_EQ(ab_c.max_ns, a_bc.max_ns);
+
+  apex::HistogramSnapshot ba = b;
+  ba.merge(a);
+  apex::HistogramSnapshot ab = a;
+  ab.merge(b);
+  EXPECT_EQ(ab.buckets, ba.buckets);
+  EXPECT_EQ(ab.count, ba.count);
+  EXPECT_EQ(ab.sum_ns, ba.sum_ns);
+  EXPECT_EQ(ab.max_ns, ba.max_ns);
+}
+
+TEST(HistogramMerge, MetamorphicShardedEqualsSingle) {
+  // The federation invariant end to end: values split across many
+  // histograms and merged must give bit-identical buckets (and therefore
+  // identical quantiles) to the same values in one histogram.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    values.push_back((i * 2654435761u) % 10000000);  // deterministic spread
+  }
+  const apex::HistogramSnapshot single = snap_of(values);
+
+  apex::HistogramSnapshot merged;
+  constexpr std::size_t parts = 7;
+  for (std::size_t p = 0; p < parts; ++p) {
+    apex::Histogram h;
+    for (std::size_t i = p; i < values.size(); i += parts) {
+      h.record_ns(values[i]);
+    }
+    merged.merge(h.snapshot());
+  }
+
+  EXPECT_EQ(merged.buckets, single.buckets);
+  EXPECT_EQ(merged.count, single.count);
+  EXPECT_EQ(merged.sum_ns, single.sum_ns);
+  EXPECT_EQ(merged.max_ns, single.max_ns);
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), single.quantile(q));
+  }
+}
+
+TEST(HistogramConcurrency, ParallelRecordsAllLand) {
+  apex::Histogram h;
+  constexpr int threads = 8;
+  constexpr int per_thread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&h] {
+      for (int i = 0; i < per_thread; ++i) {
+        h.record_ns(static_cast<std::uint64_t>(i) * 13 + 1);
+      }
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(threads) * per_thread);
+  const apex::HistogramSnapshot s = h.snapshot();
+  std::uint64_t total = 0;
+  for (std::uint64_t b : s.buckets) {
+    total += b;
+  }
+  EXPECT_EQ(total, s.count);
+}
+
+TEST(HistogramEnable, GlobalSwitchDropsRecords) {
+  apex::Histogram h;
+  h.record_ns(50);
+  apex::Histogram::set_enabled(false);
+  h.record_ns(50);
+  h.record_ns(50);
+  apex::Histogram::set_enabled(true);
+  h.record_ns(50);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(HistogramRegistry, DerivedLeavesReadThroughCounters) {
+  apex::CounterRegistry counters;
+  apex::HistogramRegistry reg(counters);
+  apex::Histogram h;
+  ASSERT_TRUE(reg.attach("/t/lat", h, "test latency"));
+  // Re-attaching the same name is rejected (checkpoint shadow replicas).
+  apex::Histogram other;
+  EXPECT_FALSE(reg.attach("/t/lat", other));
+
+  for (int i = 0; i < 10; ++i) {
+    h.record_ns(1000);
+  }
+  EXPECT_DOUBLE_EQ(counters.read("/t/lat/count").value_or(-1), 10.0);
+  EXPECT_DOUBLE_EQ(counters.read("/t/lat/mean").value_or(-1), 1000e-9);
+  EXPECT_DOUBLE_EQ(counters.read("/t/lat/p50").value_or(-1), 1007e-9);
+  EXPECT_DOUBLE_EQ(counters.read("/t/lat/p99").value_or(-1), 1007e-9);
+  EXPECT_DOUBLE_EQ(counters.read("/t/lat/p999").value_or(-1), 1007e-9);
+  EXPECT_DOUBLE_EQ(counters.read("/t/lat/max").value_or(-1), 1000e-9);
+
+  // The glob surface sees all seven leaves.
+  EXPECT_EQ(counters.discover("/t/lat/**").size(), 7u);
+
+  ASSERT_TRUE(reg.remove("/t/lat"));
+  EXPECT_FALSE(counters.read("/t/lat/count").has_value());
+  EXPECT_FALSE(reg.remove("/t/lat"));
+}
+
+TEST(HistogramRegistry, OwnedHistogramsAndBlocks) {
+  apex::CounterRegistry counters;
+  apex::HistogramRegistry reg(counters);
+  apex::Histogram& owned = reg.get_or_create("/t/owned", "registry-owned");
+  owned.record_ns(42);
+  EXPECT_EQ(reg.snapshot("/t/owned").count, 1u);
+  EXPECT_EQ(&reg.get_or_create("/t/owned"), &owned);
+  EXPECT_EQ(reg.find("/t/missing"), nullptr);
+
+  apex::Histogram h;
+  {
+    apex::HistogramBlock block(reg);
+    ASSERT_TRUE(block.attach("/t/scoped", h));
+    EXPECT_EQ(reg.names().size(), 2u);
+  }
+  // Block death removes its attachments, not the registry-owned entries.
+  EXPECT_EQ(reg.names().size(), 1u);
+  EXPECT_EQ(reg.names()[0], "/t/owned");
+}

@@ -1,0 +1,197 @@
+// mhpx::apex metrics exposition: Prometheus rendering (families, labels,
+// cumulative le buckets, the exact raw-bucket family, merged "all" series),
+// name sanitization, the text-sample parser, and the loopback MetricsServer
+// (ephemeral bind, /metrics, /healthz, 404, body-exception → 500).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "minihpx/apex/counters.hpp"
+#include "minihpx/apex/histogram.hpp"
+#include "minihpx/apex/metrics_http.hpp"
+
+namespace apex = mhpx::apex;
+
+namespace {
+
+/// Blocking loopback HTTP/1.0 GET; returns "<status-line>\n<body>".
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("connect");
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string reply;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto header_end = reply.find("\r\n\r\n");
+  const auto line_end = reply.find("\r\n");
+  if (header_end == std::string::npos || line_end == std::string::npos) {
+    throw std::runtime_error("malformed reply");
+  }
+  return reply.substr(0, line_end) + "\n" + reply.substr(header_end + 4);
+}
+
+apex::MetricsLocality one_locality(unsigned id) {
+  apex::MetricsLocality loc;
+  loc.id = id;
+  loc.counters.emplace_back("/threads/default/tasks", 10.0 * (id + 1),
+                            apex::CounterKind::monotonic);
+  loc.counters.emplace_back("/threads/default/idle-rate", 0.25,
+                            apex::CounterKind::gauge);
+  apex::Histogram h;
+  for (unsigned i = 0; i <= id; ++i) {
+    h.record_ns(1000);
+  }
+  loc.histograms.emplace_back("/threads/default/task-wait", h.snapshot());
+  return loc;
+}
+
+}  // namespace
+
+TEST(MetricNames, SanitizeFoldsNonAlnumRuns) {
+  EXPECT_EQ(apex::sanitize_metric_name("/threads/default/task-wait"),
+            "rveval_threads_default_task_wait");
+  EXPECT_EQ(apex::sanitize_metric_name("/parcels/tcp/send-flush"),
+            "rveval_parcels_tcp_send_flush");
+  EXPECT_EQ(apex::sanitize_metric_name("a//b..c"), "rveval_a_b_c");
+}
+
+TEST(PromParse, ExactSampleMatchAndAbsence) {
+  const std::string text =
+      "# TYPE rveval_x counter\n"
+      "rveval_x{locality=\"0\"} 41.5\n"
+      "rveval_x{locality=\"1\"} 2\n";
+  EXPECT_DOUBLE_EQ(apex::parse_prom_value(text, "rveval_x{locality=\"0\"}"),
+                   41.5);
+  EXPECT_DOUBLE_EQ(apex::parse_prom_value(text, "rveval_x{locality=\"1\"}"),
+                   2.0);
+  EXPECT_TRUE(
+      std::isnan(apex::parse_prom_value(text, "rveval_x{locality=\"2\"}")));
+}
+
+TEST(PromRender, CountersCarryTypeAndLocalityLabels) {
+  const std::string text =
+      apex::render_prometheus({one_locality(0), one_locality(1)});
+  EXPECT_NE(text.find("# TYPE rveval_threads_default_tasks counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rveval_threads_default_idle_rate gauge"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(apex::parse_prom_value(
+                       text, "rveval_threads_default_tasks{locality=\"0\"}"),
+                   10.0);
+  EXPECT_DOUBLE_EQ(apex::parse_prom_value(
+                       text, "rveval_threads_default_tasks{locality=\"1\"}"),
+                   20.0);
+}
+
+TEST(PromRender, RawBucketsAreExactAndMergedSeriesSum) {
+  const auto l0 = one_locality(0);  // 1 event at 1000 ns
+  const auto l1 = one_locality(1);  // 2 events at 1000 ns
+  const std::string text = apex::render_prometheus({l0, l1});
+
+  // 1000 ns → bucket 190; raw-bucket samples are exact integers.
+  const std::string fam = "rveval_threads_default_task_wait_raw_bucket";
+  EXPECT_NE(text.find("# TYPE " + fam + " gauge"), std::string::npos);
+  EXPECT_DOUBLE_EQ(
+      apex::parse_prom_value(text, fam + "{locality=\"0\",idx=\"190\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      apex::parse_prom_value(text, fam + "{locality=\"1\",idx=\"190\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(
+      apex::parse_prom_value(text, fam + "{locality=\"all\",idx=\"190\"}"),
+      3.0);
+
+  // The merged quantile in the document equals the offline merge of the
+  // same snapshots, bit-exactly (%.17g round-trips doubles).
+  apex::HistogramSnapshot merged = l0.histograms[0].second;
+  merged.merge(l1.histograms[0].second);
+  const std::string qfam =
+      "rveval_threads_default_task_wait_quantile_seconds";
+  for (const char* q : {"0.5", "0.9", "0.99", "0.999"}) {
+    const double scraped = apex::parse_prom_value(
+        text, qfam + std::string("{locality=\"all\",q=\"") + q + "\"}");
+    EXPECT_EQ(scraped, merged.quantile(std::strtod(q, nullptr)))
+        << "q=" << q;
+  }
+
+  // Histogram-family plumbing: cumulative le buckets end at +Inf == count.
+  const std::string hfam = "rveval_threads_default_task_wait_seconds";
+  EXPECT_NE(text.find("# TYPE " + hfam + " histogram"), std::string::npos);
+  EXPECT_DOUBLE_EQ(apex::parse_prom_value(
+                       text, hfam + "_count{locality=\"all\"}"),
+                   3.0);
+  EXPECT_DOUBLE_EQ(
+      apex::parse_prom_value(
+          text, hfam + "_bucket{locality=\"all\",le=\"+Inf\"}"),
+      3.0);
+}
+
+TEST(PromRender, CollectMetricsSeesRegistries) {
+  apex::CounterRegistry counters;
+  apex::HistogramRegistry hists(counters);
+  double v = 7.0;
+  ASSERT_TRUE(counters.add("/test/v", "", apex::CounterKind::gauge,
+                           [&v] { return v; }));
+  hists.get_or_create("/test/lat").record_ns(10);
+  const apex::MetricsLocality loc = apex::collect_metrics(counters, hists, 3);
+  EXPECT_EQ(loc.id, 3u);
+  // The histogram's derived leaves (count/mean/p50/...) are counters too,
+  // so expect the explicit gauge plus seven leaves.
+  EXPECT_EQ(loc.counters.size(), 8u);
+  ASSERT_EQ(loc.histograms.size(), 1u);
+  EXPECT_EQ(loc.histograms[0].first, "/test/lat");
+  EXPECT_EQ(loc.histograms[0].second.count, 1u);
+}
+
+TEST(MetricsServer, ServesMetricsHealthzAnd404) {
+  apex::MetricsServer server([] { return std::string("# TYPE x gauge\nx 1\n"); });
+  ASSERT_NE(server.port(), 0);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(metrics.find("x 1"), std::string::npos);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_THROW(http_get(server.port(), "/healthz"), std::runtime_error);
+}
+
+TEST(MetricsServer, BodyExceptionBecomes500) {
+  apex::MetricsServer server(
+      []() -> std::string { throw std::runtime_error("boom"); });
+  const std::string reply = http_get(server.port(), "/metrics");
+  EXPECT_NE(reply.find("HTTP/1.0 500"), std::string::npos);
+  // /healthz never runs the body and stays alive.
+  EXPECT_NE(http_get(server.port(), "/healthz").find("200"),
+            std::string::npos);
+}

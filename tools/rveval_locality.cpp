@@ -20,10 +20,13 @@
 ///   rveval_locality --rank=2 --localities=3 --rendezvous=127.0.0.1:7000 &
 ///   rveval_locality --rank=0 --localities=3 --rendezvous=127.0.0.1:7000
 
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -33,6 +36,7 @@
 
 #include "core/power/attribution.hpp"
 #include "core/power/energy.hpp"
+#include "minihpx/apex/metrics_http.hpp"
 #include "minihpx/apex/remote.hpp"
 #include "minihpx/distributed/launch.hpp"
 #include "minihpx/distributed/runtime.hpp"
@@ -58,6 +62,10 @@ struct Cli {
   std::string write_checkpoint;  ///< rank 0: write a restart file after run
   std::string restore;           ///< rank 0: restore before running
   bool print_counters = false;   ///< rank 0: federated apex digest
+  bool serve_metrics = false;    ///< rank 0: expose /metrics after the run
+  unsigned metrics_port = 0;     ///< 0 = ephemeral (printed as METRICS line)
+  double metrics_hold_s = 0.0;   ///< keep serving this long (curl window)
+  bool metrics_selftest = false; ///< rank 0: scrape own endpoint + verify
 };
 
 bool parse_flag(const std::string& arg, const char* name, std::string& out) {
@@ -77,7 +85,8 @@ int usage(const char* argv0) {
       "          [--spawn] [--start-delay-ms=D]\n"
       "          [--scenario=NAME] [--steps=N] [--max-level=L]\n"
       "          [--write-checkpoint=PATH] [--restore=PATH]\n"
-      "          [--print-counters]\n",
+      "          [--print-counters]\n"
+      "          [--metrics-port=P] [--metrics-hold=S] [--metrics-selftest]\n",
       argv0);
   return 2;
 }
@@ -97,6 +106,122 @@ void print_double(const char* name, double v) {
   std::uint64_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
   std::printf("TOTAL %s %.17g 0x%016" PRIx64 "\n", name, v, bits);
+}
+
+/// Minimal HTTP/1.0 GET against the local metrics endpoint; returns the
+/// body. Throws on connect failure or a non-200 status.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("metrics scrape: socket failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("metrics scrape: connect failed");
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("metrics scrape: send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = response.find("\r\n\r\n");
+  if (split == std::string::npos) {
+    throw std::runtime_error("metrics scrape: malformed response");
+  }
+  if (response.find(" 200 ") == std::string::npos ||
+      response.find(" 200 ") > split) {
+    throw std::runtime_error("metrics scrape: non-200 status for " + path);
+  }
+  return response.substr(split + 4);
+}
+
+/// Scrape-vs-federation self-test (--metrics-selftest): with recording
+/// frozen cluster-wide, the raw-bucket series in the served document must
+/// equal the buckets shipped by apex::remote bit-exactly, and the served
+/// cluster p99 must equal the offline merged-bucket quantile.
+int verify_metrics(mhpx::dist::DistributedRuntime& rt, std::uint16_t port,
+                   unsigned localities) {
+  namespace apx = mhpx::apex;
+  auto& from = rt.local_locality();
+  const std::string hist_name = "/threads/default/task-wait";
+  apx::remote::set_histograms_enabled(from, localities, false);
+  int failures = 0;
+  if (http_get(port, "/healthz") != "ok\n") {
+    std::fprintf(stderr, "SELFTEST FAIL /healthz body mismatch\n");
+    ++failures;
+  }
+  const std::string text = http_get(port, "/metrics");
+  if (text.find("# TYPE") == std::string::npos ||
+      text.find("_raw_bucket") == std::string::npos) {
+    std::fprintf(stderr, "SELFTEST FAIL /metrics not Prometheus text\n");
+    ++failures;
+  }
+  const std::string fam = apx::sanitize_metric_name(hist_name);
+  apx::HistogramSnapshot merged;
+  std::size_t compared = 0;
+  for (unsigned l = 0; l < localities; ++l) {
+    const apx::HistogramSnapshot snap =
+        apx::remote::histogram(from, l, hist_name);
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (snap.buckets[i] == 0) {
+        continue;
+      }
+      const std::string metric = fam + "_raw_bucket{locality=\"" +
+                                 std::to_string(l) + "\",idx=\"" +
+                                 std::to_string(i) + "\"}";
+      const double scraped = apx::parse_prom_value(text, metric);
+      if (scraped != static_cast<double>(snap.buckets[i])) {
+        std::fprintf(stderr,
+                     "SELFTEST FAIL %s scraped %.17g != federation %" PRIu64
+                     "\n",
+                     metric.c_str(), scraped, snap.buckets[i]);
+        ++failures;
+      }
+      ++compared;
+    }
+    merged.merge(snap);
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "SELFTEST FAIL no nonzero task-wait buckets\n");
+    ++failures;
+  }
+  const double scraped_p99 = apx::parse_prom_value(
+      text, fam + "_quantile_seconds{locality=\"all\",q=\"0.99\"}");
+  const double offline_p99 = merged.quantile(0.99);
+  // %.17g round-trips doubles exactly, so equality here is bitwise.
+  if (scraped_p99 != offline_p99) {
+    std::fprintf(stderr, "SELFTEST FAIL p99 scraped %.17g != offline %.17g\n",
+                 scraped_p99, offline_p99);
+    ++failures;
+  }
+  apx::remote::set_histograms_enabled(from, localities, true);
+  if (failures == 0) {
+    std::printf("SELFTEST metrics ok: %zu bucket(s) bit-exact, p99 %.17g s "
+                "over %" PRIu64 " event(s)\n",
+                compared, offline_p99, merged.count);
+  }
+  return failures;
 }
 
 int run_worker(const Cli& cli) {
@@ -159,6 +284,7 @@ int run_orchestrator(const Cli& cli, const char* argv0) {
     lc.rendezvous = cli.rendezvous;
   }
   md::ScopedProcessLaunch guard(lc);
+  int rc = 0;
   {
     octo::dist::DistSimulation sim(opt, md::FabricKind::tcp);
     if (!cli.restore.empty()) {
@@ -191,6 +317,25 @@ int run_orchestrator(const Cli& cli, const char* argv0) {
         }
       }
     }
+    if (cli.serve_metrics || cli.metrics_selftest) {
+      auto& rt = sim.runtime();
+      mhpx::apex::MetricsServer server(
+          [&rt] { return mhpx::apex::federated_prometheus(rt); },
+          static_cast<std::uint16_t>(cli.metrics_port));
+      std::printf("METRICS http://127.0.0.1:%u/metrics\n",
+                  static_cast<unsigned>(server.port()));
+      std::fflush(stdout);
+      if (cli.metrics_selftest) {
+        rc = verify_metrics(rt, server.port(), cli.localities) == 0 ? rc : 1;
+      }
+      if (cli.metrics_hold_s > 0.0) {
+        // The curl window: keep the cluster and the endpoint alive so an
+        // outside scraper can hit a *running* federation.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cli.metrics_hold_s));
+      }
+      server.stop();
+    }
     // sim's destructor tears the runtime down, broadcasting shutdown to the
     // workers — which must happen before wait_all() below can return.
   }
@@ -198,7 +343,7 @@ int run_orchestrator(const Cli& cli, const char* argv0) {
     std::fprintf(stderr, "rveval_locality: a worker exited nonzero\n");
     return 1;
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace
@@ -234,6 +379,14 @@ int main(int argc, char** argv) {
       cli.restore = v;
     } else if (arg == "--print-counters") {
       cli.print_counters = true;
+    } else if (parse_flag(arg, "--metrics-port", v)) {
+      cli.serve_metrics = true;
+      cli.metrics_port = static_cast<unsigned>(std::stoul(v));
+    } else if (parse_flag(arg, "--metrics-hold", v)) {
+      cli.serve_metrics = true;
+      cli.metrics_hold_s = std::stod(v);
+    } else if (arg == "--metrics-selftest") {
+      cli.metrics_selftest = true;
     } else {
       return usage(argv[0]);
     }
